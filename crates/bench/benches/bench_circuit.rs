@@ -1,0 +1,84 @@
+//! Cost of the simulation substrate: operating points, transient stepping
+//! and AC sweeps on the paper's circuits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shil::circuit::analysis::{
+    ac_impedance, operating_point, transient, AcOptions, OpOptions, TranOptions,
+};
+use shil::circuit::{Circuit, IvCurve, SourceWave};
+use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
+
+fn tanh_oscillator() -> (Circuit, usize) {
+    let mut ckt = Circuit::new();
+    let top = ckt.node("top");
+    ckt.resistor(top, Circuit::GROUND, 1000.0);
+    ckt.inductor(top, Circuit::GROUND, 10e-6);
+    ckt.capacitor(top, Circuit::GROUND, 10e-9);
+    ckt.nonlinear(top, Circuit::GROUND, IvCurve::tanh(-1e-3, 20.0));
+    (ckt, top)
+}
+
+fn bench_circuit(c: &mut Criterion) {
+    // Operating point of the BJT extraction circuit (nonlinear, homotopy-able).
+    let params = DiffPairParams::default();
+    let (ext, vs_l, vs_r) = params.extraction_circuit();
+    let mut ext = ext;
+    ext.set_source_wave(vs_l, SourceWave::Dc(params.vcc + 0.2))
+        .expect("set");
+    ext.set_source_wave(vs_r, SourceWave::Dc(params.vcc - 0.2))
+        .expect("set");
+    c.bench_function("op/diff_pair_extraction", |b| {
+        b.iter(|| operating_point(black_box(&ext), &OpOptions::default()).expect("op"))
+    });
+
+    // Transient throughput: 20 periods of the tanh oscillator at
+    // 128 steps/period = 2560 Newton-solved steps.
+    let (osc, top) = tanh_oscillator();
+    let period = std::f64::consts::TAU * (10e-6f64 * 10e-9).sqrt();
+    let opts = TranOptions::new(period / 128.0, 20.0 * period)
+        .use_ic()
+        .with_ic(top, 0.5);
+    let mut g = c.benchmark_group("transient");
+    g.sample_size(20);
+    g.bench_function("tanh_osc_2560_steps", |b| {
+        b.iter(|| transient(black_box(&osc), &opts).expect("tran"))
+    });
+    // The full diff-pair oscillator (8 unknowns, 2 BJTs).
+    let dp = DiffPairOscillator::build(params);
+    let dp_period = 1.0 / params.center_frequency_hz();
+    let dp_opts = TranOptions::new(dp_period / 128.0, 20.0 * dp_period)
+        .with_ic(dp.ncl, params.vcc + 0.05);
+    g.bench_function("diff_pair_2560_steps", |b| {
+        b.iter(|| transient(black_box(&dp.circuit), &dp_opts).expect("tran"))
+    });
+    g.finish();
+
+    // AC tank pre-characterization (the TabulatedTank path).
+    let (tank_only, top) = {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.resistor(top, Circuit::GROUND, 1000.0);
+        ckt.inductor(top, Circuit::GROUND, 10e-6);
+        ckt.capacitor(top, Circuit::GROUND, 10e-9);
+        (ckt, top)
+    };
+    let fc = 1.0 / (std::f64::consts::TAU * (10e-6f64 * 10e-9).sqrt());
+    let freqs: Vec<f64> = (0..200).map(|k| fc * (0.8 + 0.4 * k as f64 / 199.0)).collect();
+    c.bench_function("ac_impedance/200_points", |b| {
+        b.iter(|| {
+            ac_impedance(
+                black_box(&tank_only),
+                top,
+                Circuit::GROUND,
+                &freqs,
+                &AcOptions::default(),
+            )
+            .expect("ac")
+        })
+    });
+}
+
+criterion_group!(benches, bench_circuit);
+criterion_main!(benches);

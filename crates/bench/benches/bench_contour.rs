@@ -1,0 +1,43 @@
+//! Cost of the geometric engine of the graphical procedure: level-set
+//! extraction and curve-intersection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use shil_numerics::contour::{marching_squares, polyline_intersections};
+use shil_numerics::Grid2;
+
+fn bench_contour(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marching_squares");
+    for &(nx, ny) in &[(61usize, 41usize), (161, 101), (321, 201)] {
+        let grid = Grid2::from_fn(0.0, std::f64::consts::TAU, nx, 0.1, 1.7, ny, |x, y| {
+            // A T_f-like surface: saturating in A, rippled in phi.
+            1.5 / y * (1.0 + 0.05 * (3.0 * x).cos())
+        })
+        .expect("grid");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nx}x{ny}")),
+            &grid,
+            |b, grid| b.iter(|| marching_squares(black_box(grid), 1.0).expect("contours")),
+        );
+    }
+    g.finish();
+
+    // Intersection of two realistic polyline families.
+    let grid_a = Grid2::from_fn(0.0, std::f64::consts::TAU, 161, 0.1, 1.7, 101, |x, y| {
+        1.5 / y * (1.0 + 0.05 * (3.0 * x).cos())
+    })
+    .expect("grid");
+    let grid_b = Grid2::from_fn(0.0, std::f64::consts::TAU, 161, 0.1, 1.7, 101, |x, y| {
+        0.05 * (3.0 * x).sin() * (1.0 + 0.2 * y)
+    })
+    .expect("grid");
+    let fam_a = marching_squares(&grid_a, 1.0).expect("a");
+    let fam_b = marching_squares(&grid_b, 0.02).expect("b");
+    c.bench_function("polyline_intersections/161x101", |b| {
+        b.iter(|| polyline_intersections(black_box(&fam_a), black_box(&fam_b), 1e-3))
+    });
+}
+
+criterion_group!(benches, bench_contour);
+criterion_main!(benches);

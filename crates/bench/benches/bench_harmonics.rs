@@ -1,0 +1,45 @@
+//! Cost of the harmonic pre-characterization kernels — the inner loop of
+//! the entire analysis method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use shil::core::harmonics::{i1_injected, i1_single, injected_spectrum, HarmonicOptions};
+use shil::core::nonlinearity::{NegativeTanh, TunnelDiode};
+use shil::repro::diff_pair::DiffPairParams;
+
+fn bench_i1(c: &mut Criterion) {
+    let tanh = NegativeTanh::new(1e-3, 20.0);
+    let td = TunnelDiode::new().biased_at(0.25);
+    let table = DiffPairParams::default()
+        .extract_iv_curve()
+        .expect("extraction");
+
+    let mut g = c.benchmark_group("i1_injected");
+    for samples in [128usize, 256, 512] {
+        let o = HarmonicOptions { samples };
+        g.bench_with_input(BenchmarkId::new("tanh", samples), &o, |b, o| {
+            b.iter(|| i1_injected(&tanh, black_box(1.27), 0.03, 0.8, 3, o))
+        });
+        g.bench_with_input(BenchmarkId::new("tunnel_diode", samples), &o, |b, o| {
+            b.iter(|| i1_injected(&td, black_box(0.19), 0.03, 0.8, 3, o))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("tabulated_diff_pair", samples),
+            &o,
+            |b, o| b.iter(|| i1_injected(&table, black_box(0.5), 0.03, 0.8, 3, o)),
+        );
+    }
+    g.finish();
+
+    let o = HarmonicOptions { samples: 256 };
+    c.bench_function("i1_single/tanh_256", |b| {
+        b.iter(|| i1_single(&tanh, black_box(1.27), &o))
+    });
+    c.bench_function("injected_spectrum/tanh_256_k6", |b| {
+        b.iter(|| injected_spectrum(&tanh, black_box(1.27), 0.03, 0.8, 3, 6, &o))
+    });
+}
+
+criterion_group!(benches, bench_i1);
+criterion_main!(benches);

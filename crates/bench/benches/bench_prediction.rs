@@ -1,0 +1,95 @@
+//! Cost of the analysis side: natural-oscillation solve, SHIL grid
+//! pre-characterization, per-frequency solution queries and the full
+//! lock-range prediction. Together with `bench_simulation` these measure
+//! the paper's 1–2 orders-of-magnitude speedup claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shil::core::describing::{natural_oscillation, NaturalOptions};
+use shil::core::shil::{ShilAnalysis, ShilOptions};
+use shil::core::tank::ParallelRlc;
+use shil::repro::diff_pair::DiffPairParams;
+use shil::repro::tunnel_diode::TunnelDiodeParams;
+
+fn bench_prediction(c: &mut Criterion) {
+    let dp = DiffPairParams::calibrated(0.505).expect("calibration");
+    let dp_curve = dp.extract_iv_curve().expect("extraction");
+    let dp_tank = dp.tank().expect("tank");
+    let td = TunnelDiodeParams::calibrated(0.199).expect("calibration");
+    let td_curve = td.biased_nonlinearity();
+    let td_tank = td.tank().expect("tank");
+
+    c.bench_function("natural_oscillation/diff_pair", |b| {
+        b.iter(|| {
+            natural_oscillation(
+                black_box(&dp_curve),
+                &dp_tank,
+                &NaturalOptions::default(),
+            )
+            .expect("oscillates")
+        })
+    });
+
+    let mut g = c.benchmark_group("shil_precharacterize");
+    g.sample_size(10);
+    g.bench_function("diff_pair", |b| {
+        b.iter(|| {
+            ShilAnalysis::new(&dp_curve, &dp_tank, 3, 0.03, ShilOptions::default())
+                .expect("analysis")
+        })
+    });
+    g.bench_function("tunnel_diode", |b| {
+        b.iter(|| {
+            ShilAnalysis::new(&td_curve, &td_tank, 3, 0.03, ShilOptions::default())
+                .expect("analysis")
+        })
+    });
+    g.finish();
+
+    let analysis = ShilAnalysis::new(&dp_curve, &dp_tank, 3, 0.03, ShilOptions::default())
+        .expect("analysis");
+    c.bench_function("solutions_at_phase/diff_pair", |b| {
+        b.iter(|| analysis.solutions_at_phase(black_box(0.1)).expect("solutions"))
+    });
+
+    let mut g = c.benchmark_group("lock_range_prediction");
+    g.sample_size(10);
+    g.bench_function("diff_pair_total", |b| {
+        // End-to-end: pre-characterization + boundary search, the number
+        // the speedup tables quote.
+        b.iter(|| {
+            ShilAnalysis::new(&dp_curve, &dp_tank, 3, 0.03, ShilOptions::default())
+                .expect("analysis")
+                .lock_range()
+                .expect("lock range")
+        })
+    });
+    g.bench_function("tunnel_diode_total", |b| {
+        b.iter(|| {
+            ShilAnalysis::new(&td_curve, &td_tank, 3, 0.03, ShilOptions::default())
+                .expect("analysis")
+                .lock_range()
+                .expect("lock range")
+        })
+    });
+    g.finish();
+
+    // The tanh reference oscillator, for cross-machine comparability.
+    let tanh = shil::core::nonlinearity::NegativeTanh::new(1e-3, 20.0);
+    let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("tank");
+    let mut g = c.benchmark_group("lock_range_prediction_tanh");
+    g.sample_size(10);
+    g.bench_function("tanh_total", |b| {
+        b.iter(|| {
+            ShilAnalysis::new(&tanh, &tank, 3, 0.03, ShilOptions::default())
+                .expect("analysis")
+                .lock_range()
+                .expect("lock range")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Cost of the brute-force baseline: one lock probe (settle + lock test)
+//! per oscillator. A full simulated lock-range search runs ~20 of these —
+//! multiply accordingly when comparing against `bench_prediction`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
+use shil::repro::simlock::{probe_lock, SimOptions};
+use shil::repro::tunnel_diode::{TunnelDiodeOscillator, TunnelDiodeParams};
+
+fn bench_simulation(c: &mut Criterion) {
+    let dp = DiffPairParams::calibrated(0.505).expect("calibration");
+    let td = TunnelDiodeParams::calibrated(0.199).expect("calibration");
+    let opts = SimOptions::default();
+
+    let mut g = c.benchmark_group("lock_probe");
+    g.sample_size(10);
+
+    let f_inj_dp = 3.0 * dp.center_frequency_hz();
+    g.bench_function("diff_pair_one_probe", |b| {
+        b.iter(|| {
+            let mut o = DiffPairOscillator::build(dp);
+            o.set_injection(DiffPairOscillator::injection_wave(0.03, f_inj_dp, 0.0))
+                .expect("injection");
+            probe_lock(
+                black_box(&o.circuit),
+                o.ncl,
+                o.ncr,
+                f_inj_dp,
+                3,
+                &opts,
+                &[(o.ncl, dp.vcc + 0.1)],
+            )
+            .expect("probe")
+        })
+    });
+
+    let f_inj_td = 3.0 * td.center_frequency_hz();
+    g.bench_function("tunnel_diode_one_probe", |b| {
+        b.iter(|| {
+            let mut o = TunnelDiodeOscillator::build(td);
+            o.set_injection(TunnelDiodeOscillator::injection_wave(0.03, f_inj_td, 0.0))
+                .expect("injection");
+            probe_lock(
+                black_box(&o.circuit),
+                o.n_diode,
+                0,
+                f_inj_td,
+                3,
+                &opts,
+                &[(o.n_tank, td.v_bias + 0.02), (o.n_diode, td.v_bias + 0.02)],
+            )
+            .expect("probe")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! A03 — ablation: FHIL as the `n = 1` special case (paper §III-C).
+//!
+//! The paper claims the SHIL viewpoint "is general and also works for
+//! n = 1". This ablation runs the full graphical machinery at `n = 1`
+//! across injection strengths and compares against the classical Adler
+//! closed form, which is exact in the weak-injection limit.
+
+use shil::core::fhil::{adler_lock_range, adler_span_estimate};
+use shil::core::describing::{natural_oscillation, NaturalOptions};
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::shil::{ShilAnalysis, ShilOptions};
+use shil::core::tank::{ParallelRlc, Tank};
+use shil_bench::header;
+
+fn main() {
+    header("Ablation A03 — FHIL (n = 1) vs the classical Adler formula");
+    let f = NegativeTanh::new(1e-3, 20.0);
+    let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("tank");
+    let nat = natural_oscillation(&f, &tank, &NaturalOptions::default()).expect("oscillates");
+    println!(
+        "oscillator: A = {:.4} V, f_c = {:.2} kHz, Q = {:.2}",
+        nat.amplitude,
+        tank.center_frequency_hz() / 1e3,
+        tank.q()
+    );
+    println!();
+    println!("V_i (V) | graphical n=1 span | Adler span  | small-signal est. | graphical/Adler");
+    println!("--------+--------------------+-------------+-------------------+----------------");
+    for vi in [0.005, 0.01, 0.02, 0.05, 0.1] {
+        let graphical = ShilAnalysis::new(&f, &tank, 1, vi, ShilOptions::default())
+            .and_then(|a| a.lock_range());
+        let adler = adler_lock_range(&f, &tank, vi);
+        let est = adler_span_estimate(tank.center_frequency_hz(), tank.q(), nat.amplitude, vi);
+        match (graphical, adler) {
+            (Ok(g), Ok(a)) => println!(
+                "{vi:>7} | {:>15.4} kHz | {:>7.4} kHz | {:>13.4} kHz | {:>14.3}",
+                g.injection_span_hz / 1e3,
+                a.span_hz / 1e3,
+                est / 1e3,
+                g.injection_span_hz / a.span_hz
+            ),
+            (g, a) => println!("{vi:>7} | graphical: {g:?} | adler: {a:?}"),
+        }
+    }
+    println!();
+    println!("expected: ratio -> 1 as V_i -> 0 (Adler is the weak-injection");
+    println!("asymptote); deviations grow with V_i where Adler's linearization");
+    println!("breaks but the graphical method keeps the full nonlinearity.");
+}

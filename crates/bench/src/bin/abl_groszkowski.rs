@@ -1,0 +1,80 @@
+//! A05 — ablation: the Groszkowski frequency shift.
+//!
+//! The describing-function method (and the paper) place the oscillation
+//! exactly at the tank center frequency `f_c`. Real (and simulated)
+//! oscillators run slightly *below* `f_c`: harmonic currents circulate in
+//! the tank reactances and detune it (Groszkowski, 1933). This experiment
+//! shows the reproduction's harmonic-balance solver predicts that shift
+//! quantitatively, by comparing against transient simulation with the
+//! integrator's own `O(dt²)` dispersion removed by Richardson
+//! extrapolation.
+
+use shil::circuit::{Circuit, IvCurve};
+use shil::core::hb::{solve_oscillator, HbOptions};
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::tank::{ParallelRlc, Tank};
+use shil::repro::simlock::{measure_natural, SimOptions};
+use shil_bench::header;
+
+fn tanh_circuit(gain: f64) -> (Circuit, usize) {
+    let mut ckt = Circuit::new();
+    let top = ckt.node("top");
+    ckt.resistor(top, Circuit::GROUND, 1000.0);
+    ckt.inductor(top, Circuit::GROUND, 10e-6);
+    ckt.capacitor(top, Circuit::GROUND, 10e-9);
+    ckt.nonlinear(top, Circuit::GROUND, IvCurve::tanh(-1e-3, gain));
+    (ckt, top)
+}
+
+fn main() {
+    header("Ablation A05 — Groszkowski frequency shift: HB vs extrapolated transient");
+    let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("tank");
+    let fc = tank.center_frequency_hz();
+    println!("tank: f_c = {fc:.3} Hz, Q = {:.1}", tank.q());
+    println!();
+    println!("gain | loop gain | HB shift (ppm) | sim shift (ppm, dt->0) | HB f (Hz) | sim f (Hz)");
+    println!("-----+-----------+----------------+------------------------+-----------+-----------");
+
+    for gain in [2.0, 5.0, 20.0] {
+        let f = NegativeTanh::new(1e-3, gain);
+        let hb_opts = HbOptions {
+            harmonics: 15,
+            samples: 1024,
+            ..HbOptions::default()
+        };
+        let hb = solve_oscillator(&f, &tank, &hb_opts).expect("hb");
+        let hb_shift = hb.groszkowski_shift(&tank);
+
+        // Transient at two step sizes; dispersion is O(dt²), so
+        // Richardson: f0 = (4 f(h/2) − f(h)) / 3.
+        let (ckt, top) = tanh_circuit(gain);
+        let measure = |spp: usize| {
+            let opts = SimOptions {
+                steps_per_period: spp,
+                settle_periods: 400.0,
+                ..SimOptions::default()
+            };
+            measure_natural(&ckt, top, 0, fc, &opts, &[(top, 0.01)])
+                .expect("simulation")
+                .frequency_hz
+        };
+        let f_h = measure(128);
+        let f_h2 = measure(256);
+        let f_extrap = (4.0 * f_h2 - f_h) / 3.0;
+        let sim_shift = (f_extrap - fc) / fc;
+
+        println!(
+            "{gain:>4} | {:>9.1} | {:>14.2} | {:>22.2} | {:>9.1} | {:>9.1}",
+            1000.0 * 1e-3 * gain,
+            hb_shift * 1e6,
+            sim_shift * 1e6,
+            hb.frequency_hz,
+            f_extrap
+        );
+    }
+    println!();
+    println!("the loop-gain-20 oscillator clips hard -> large harmonic currents");
+    println!("-> tens of ppm of downward detuning, matched by HB but invisible");
+    println!("to the single-harmonic describing function. This is exactly the");
+    println!("residual frequency offset seen in the Fig. 13/17 validations.");
+}

@@ -1,0 +1,105 @@
+//! E12 (extension) — the full pipeline on a CMOS cross-coupled VCO.
+//!
+//! The paper's validation circuits are a BJT pair and a tunnel diode; its
+//! motivation, however, is RFIC clocking — which is CMOS. This experiment
+//! runs the identical extract → predict → simulate pipeline on an NMOS
+//! cross-coupled VCO (1.8 V, 2 mA tail, level-1 devices) and validates the
+//! natural oscillation and the 3rd-sub-harmonic lock range against
+//! transient simulation, demonstrating the "any nonlinearity" claim on the
+//! topology designers actually use.
+
+use shil::core::describing::{natural_oscillation, NaturalOptions};
+use shil::core::shil::{ShilAnalysis, ShilOptions};
+use shil::core::tank::Tank;
+use shil::repro::cmos_vco::{CmosVco, CmosVcoParams};
+use shil::repro::simlock::{measure_natural, probe_lock, simulated_lock_range};
+use shil_bench::{accurate_sim_options, fmt_hz, header, paper, rel_err, timed};
+
+fn main() {
+    header("Extension E12 — CMOS cross-coupled VCO through the same pipeline");
+    let params = CmosVcoParams::default();
+    println!(
+        "VCO: VDD = {} V, tail = {} mA, R = {} Ohm, level-1 NMOS (Vth = {} V, k'W/L = {} mA/V^2)",
+        params.vdd,
+        params.i_tail * 1e3,
+        params.r_tank,
+        params.mos.vth,
+        params.mos.kp * params.mos.w_over_l * 1e3
+    );
+
+    let f = params.extract_iv_curve().expect("extraction");
+    let tank = params.tank().expect("tank");
+    let nat = natural_oscillation(&f, &tank, &NaturalOptions::default()).expect("oscillates");
+    println!(
+        "predicted: A = {:.4} V at {}",
+        nat.amplitude,
+        fmt_hz(nat.frequency_hz)
+    );
+
+    let vco = CmosVco::build(params);
+    let opts = accurate_sim_options();
+    let ic = [(vco.dl, params.vdd + 0.05)];
+    let sim =
+        measure_natural(&vco.circuit, vco.dl, vco.dr, nat.frequency_hz, &opts, &ic)
+            .expect("simulation");
+    println!(
+        "simulated: A = {:.4} V at {}  (amplitude err {:.2}%)",
+        sim.amplitude,
+        fmt_hz(sim.frequency_hz),
+        100.0 * rel_err(sim.amplitude, nat.amplitude)
+    );
+
+    let (lock, t_pred) = timed(|| {
+        ShilAnalysis::new(&f, &tank, paper::N, paper::VI, ShilOptions::default())
+            .expect("analysis")
+            .lock_range()
+            .expect("lock range")
+    });
+    println!(
+        "predicted 3rd-SHIL lock range: [{}, {}] span {}  ({t_pred:?})",
+        fmt_hz(lock.lower_injection_hz),
+        fmt_hz(lock.upper_injection_hz),
+        fmt_hz(lock.injection_span_hz)
+    );
+
+    let fc = tank.center_frequency_hz();
+    let (sim_lock, t_sim) = timed(|| {
+        simulated_lock_range(
+            |f_inj| {
+                let mut v = CmosVco::build(params);
+                v.set_injection(shil::circuit::SourceWave::sine(
+                    2.0 * paper::VI,
+                    f_inj,
+                    0.0,
+                ))
+                .expect("injection");
+                probe_lock(
+                    &v.circuit,
+                    v.dl,
+                    v.dr,
+                    f_inj,
+                    paper::N,
+                    &opts,
+                    &[(v.dl, params.vdd + 0.05)],
+                )
+            },
+            3.0 * fc,
+            3.0 * fc * 1.5e-3,
+            3.0 * fc * 2e-5,
+        )
+        .expect("simulated lock range")
+    });
+    println!(
+        "simulated 3rd-SHIL lock range: [{}, {}] span {}  ({} probes, {t_sim:?})",
+        fmt_hz(sim_lock.lower_injection_hz),
+        fmt_hz(sim_lock.upper_injection_hz),
+        fmt_hz(sim_lock.injection_span_hz)
+    , sim_lock.probes);
+    println!(
+        "span deviation {:.2}%, speedup {:.1}x",
+        100.0 * rel_err(lock.injection_span_hz, sim_lock.injection_span_hz),
+        t_sim.as_secs_f64() / t_pred.as_secs_f64()
+    );
+    println!("the tool needed zero changes for the CMOS topology — the");
+    println!("extraction-based nonlinearity makes it device-agnostic.");
+}

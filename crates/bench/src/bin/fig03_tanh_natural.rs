@@ -1,0 +1,58 @@
+//! E01 — Fig. 3: predicting the natural-oscillation amplitude of the
+//! `−tanh` LC oscillator by plotting `y = T_f(A)` against `y = 1` and
+//! reading off the crossing.
+
+use shil::core::describing::{natural_oscillation, t_f_curve, NaturalOptions};
+use shil::core::harmonics::HarmonicOptions;
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::tank::{ParallelRlc, Tank};
+use shil::plot::{Figure, Marker, Series};
+use shil_bench::{header, results_dir};
+
+fn main() {
+    header("Fig. 3 — natural oscillation of the negative-tanh LC oscillator");
+    let f = NegativeTanh::new(1e-3, 20.0);
+    let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("valid tank");
+    println!(
+        "oscillator: f(v) = -1 mA * tanh(20 v),  R = 1 kOhm, L = 10 uH, C = 10 nF"
+    );
+    println!(
+        "tank: f_c = {:.2} kHz, Q = {:.2}",
+        tank.center_frequency_hz() / 1e3,
+        tank.q()
+    );
+
+    let nat = natural_oscillation(&f, &tank, &NaturalOptions::default()).expect("oscillates");
+    println!(
+        "predicted: A = {:.4} V at {:.4} kHz ({})",
+        nat.amplitude,
+        nat.frequency_hz / 1e3,
+        if nat.stable { "stable" } else { "unstable" }
+    );
+    println!(
+        "graphical check: T_f slope at crossing = {:.4} (stable iff negative)",
+        nat.t_f_slope
+    );
+
+    // The Fig. 3 curves: y = T_f(A) and y = 1.
+    let amps: Vec<f64> = (1..=400).map(|k| k as f64 * 2.0 / 400.0).collect();
+    let tf = t_f_curve(&f, &tank, &amps, &HarmonicOptions::default());
+    let fig = Figure::new("Fig. 3: T_f(A) = -R I1(A)/(A/2) vs y = 1")
+        .with_axis_labels("A (V)", "loop gain")
+        .with_series(Series::line("T_f(A)", amps.clone(), tf))
+        .with_series(Series::line("y = 1", amps.clone(), vec![1.0; amps.len()]))
+        .with_series(Series::scatter(
+            "predicted A",
+            vec![nat.amplitude],
+            vec![1.0],
+            Marker::Circle,
+        ));
+    println!("{}", fig.render_ascii(72, 20));
+
+    let dir = results_dir();
+    fig.save_svg(dir.join("fig03_tanh_natural.svg"), 800, 520)
+        .expect("write svg");
+    fig.save_csv(dir.join("fig03_tanh_natural.csv"))
+        .expect("write csv");
+    println!("artifacts: results/fig03_tanh_natural.{{svg,csv}}");
+}

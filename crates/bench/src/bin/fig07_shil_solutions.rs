@@ -1,0 +1,84 @@
+//! E02 — Fig. 7: finding the SHIL solutions for a given injection `V_i` and
+//! operating frequency `ω_i` as intersections of the `C_{T_f,1}` level set
+//! and the `∠−I₁ = −φ_d(ω_i)` isoline in the `(φ, A)` plane.
+
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::shil::{ShilAnalysis, ShilOptions};
+use shil::core::tank::{ParallelRlc, Tank};
+use shil::plot::{Figure, Marker, Series};
+use shil_bench::{header, paper, results_dir};
+
+fn main() {
+    header("Fig. 7 — SHIL solutions at a given V_i and omega_i (tanh oscillator)");
+    let f = NegativeTanh::new(1e-3, 20.0);
+    let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("valid tank");
+    let an = ShilAnalysis::new(&f, &tank, paper::N, paper::VI, ShilOptions::default())
+        .expect("analysis");
+
+    // Operate part-way into the lock range so both curves intersect cleanly.
+    let lr = an.lock_range().expect("lock range");
+    let phi_d = 0.6 * lr.phi_d_max;
+    let omega_i = tank.omega_for_phase(phi_d).expect("in range");
+    let f_inj = paper::N as f64 * omega_i / std::f64::consts::TAU;
+    println!(
+        "injection: n = {}, |V_i| = {} V, f_inj = {:.4} MHz  (phi_d = {phi_d:.4} rad)",
+        paper::N,
+        paper::VI,
+        f_inj / 1e6
+    );
+
+    let g = an.graphical_curves(phi_d).expect("curves");
+    println!("solutions (phi_s, A_s):");
+    for s in &g.solutions {
+        println!(
+            "  phi = {:+.4} rad, A = {:.4} V  -> {}   (det {:+.2e}, tr {:+.2e})",
+            s.phase,
+            s.amplitude,
+            if s.stable { "STABLE" } else { "unstable" },
+            s.jacobian_det,
+            s.jacobian_trace
+        );
+    }
+
+    let mut fig = Figure::new("Fig. 7: C_{T_f,1} and C_{angle(-I1), -phi_d} intersections")
+        .with_axis_labels("phi (rad)", "A (V)");
+    for (k, c) in g.tf_unity.iter().enumerate() {
+        let label = if k == 0 { "C_{T_f,1}" } else { "" };
+        fig.push_series(Series::line(
+            label,
+            c.points.iter().map(|p| p.x).collect(),
+            c.points.iter().map(|p| p.y).collect(),
+        ));
+    }
+    for (k, c) in g.angle_isoline.iter().enumerate() {
+        let label = if k == 0 { "angle(-I1) = -phi_d" } else { "" };
+        fig.push_series(Series::line(
+            label,
+            c.points.iter().map(|p| p.x).collect(),
+            c.points.iter().map(|p| p.y).collect(),
+        ));
+    }
+    let to_plot_phi = |p: f64| if p < 0.0 { p + std::f64::consts::TAU } else { p };
+    let stable: Vec<&_> = g.solutions.iter().filter(|s| s.stable).collect();
+    let unstable: Vec<&_> = g.solutions.iter().filter(|s| !s.stable).collect();
+    fig.push_series(Series::scatter(
+        "stable lock",
+        stable.iter().map(|s| to_plot_phi(s.phase)).collect(),
+        stable.iter().map(|s| s.amplitude).collect(),
+        Marker::Circle,
+    ));
+    fig.push_series(Series::scatter(
+        "unstable",
+        unstable.iter().map(|s| to_plot_phi(s.phase)).collect(),
+        unstable.iter().map(|s| s.amplitude).collect(),
+        Marker::Cross,
+    ));
+    println!("{}", fig.render_ascii(72, 22));
+
+    let dir = results_dir();
+    fig.save_svg(dir.join("fig07_shil_solutions.svg"), 800, 520)
+        .expect("write svg");
+    fig.save_csv(dir.join("fig07_shil_solutions.csv"))
+        .expect("write csv");
+    println!("artifacts: results/fig07_shil_solutions.{{svg,csv}}");
+}

@@ -1,0 +1,62 @@
+//! E03 — Fig. 9: the `n` equally spaced lock states of `n`-th-harmonic
+//! SHIL, shown as the oscillator phasor positions relative to the
+//! reference signal at `f_inj/n`.
+
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::shil::{ShilAnalysis, ShilOptions};
+use shil::core::tank::ParallelRlc;
+use shil::plot::{Figure, Marker, Series};
+use shil_bench::{header, paper, results_dir};
+
+fn main() {
+    header("Fig. 9 — the n states of n-th sub-harmonic locking (n = 3)");
+    let f = NegativeTanh::new(1e-3, 20.0);
+    let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("valid tank");
+    let an = ShilAnalysis::new(&f, &tank, paper::N, paper::VI, ShilOptions::default())
+        .expect("analysis");
+
+    let sols = an.solutions_at_phase(0.02).expect("solutions");
+    let stable = sols.iter().find(|s| s.stable).expect("stable lock");
+    let phases = an.state_phases(stable);
+    println!(
+        "lock solution: phi_s = {:+.4} rad, A_s = {:.4} V",
+        stable.phase, stable.amplitude
+    );
+    println!("the {} states (oscillator phase vs reference at f_inj/n):", paper::N);
+    for (k, p) in phases.iter().enumerate() {
+        println!("  state {k}: {:+.6} rad  ({:+.2} deg)", p, p.to_degrees());
+    }
+    let gap = std::f64::consts::TAU / paper::N as f64;
+    println!("expected spacing 2*pi/n = {gap:.6} rad — §VI-B4");
+
+    // Phasor picture: the A/2 phasor head at each state angle.
+    let r = stable.amplitude / 2.0;
+    let circle: Vec<f64> = (0..=128).map(|k| k as f64 * std::f64::consts::TAU / 128.0).collect();
+    let mut fig = Figure::new("Fig. 9: phasor picture of the n = 3 SHIL states")
+        .with_axis_labels("Re", "Im")
+        .with_series(Series::line(
+            "|A/2| circle",
+            circle.iter().map(|t| r * t.cos()).collect(),
+            circle.iter().map(|t| r * t.sin()).collect(),
+        ));
+    for (k, p) in phases.iter().enumerate() {
+        fig.push_series(Series::line(
+            &format!("state {k}"),
+            vec![0.0, r * p.cos()],
+            vec![0.0, r * p.sin()],
+        ));
+    }
+    fig.push_series(Series::scatter(
+        "phasor heads",
+        phases.iter().map(|p| r * p.cos()).collect(),
+        phases.iter().map(|p| r * p.sin()).collect(),
+        Marker::Circle,
+    ));
+    println!("{}", fig.render_ascii(56, 24));
+
+    let dir = results_dir();
+    fig.save_svg(dir.join("fig09_n_states.svg"), 620, 620)
+        .expect("write svg");
+    fig.save_csv(dir.join("fig09_n_states.csv")).expect("write csv");
+    println!("artifacts: results/fig09_n_states.{{svg,csv}}");
+}

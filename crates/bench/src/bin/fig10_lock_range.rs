@@ -1,0 +1,77 @@
+//! E04 — Fig. 10: predicting the lock range with isolines of `∠−I₁` drawn
+//! over the invariant `C_{T_f,1}` curve. The largest `|−φ_d|` isoline that
+//! still crosses `C_{T_f,1}` with a stable intersection marks the boundary.
+
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::shil::{ShilAnalysis, ShilOptions};
+use shil::core::tank::ParallelRlc;
+use shil::plot::{Figure, Marker, Series};
+use shil_bench::{fmt_hz, header, paper, results_dir};
+
+fn main() {
+    header("Fig. 10 — lock-range prediction via angle isolines (tanh oscillator)");
+    let f = NegativeTanh::new(1e-3, 20.0);
+    let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("valid tank");
+    let an = ShilAnalysis::new(&f, &tank, paper::N, paper::VI, ShilOptions::default())
+        .expect("analysis");
+
+    let lr = an.lock_range().expect("lock range");
+    println!("boundary tank phase: -phi_d = {:.4} rad", -lr.phi_d_max);
+    println!(
+        "oscillator lock range: [{}, {}]",
+        fmt_hz(lr.lower_oscillator_hz),
+        fmt_hz(lr.upper_oscillator_hz)
+    );
+    println!(
+        "injection  lock range: [{}, {}]  (span {})",
+        fmt_hz(lr.lower_injection_hz),
+        fmt_hz(lr.upper_injection_hz),
+        fmt_hz(lr.injection_span_hz)
+    );
+
+    // Isolines at fractions of the boundary (the Fig. 10 family).
+    let fracs = [0.0, 0.35, 0.7, 0.95, 1.15];
+    let levels: Vec<f64> = fracs.iter().map(|t| -t * lr.phi_d_max).collect();
+    let isolines = an.angle_isolines(&levels).expect("isolines");
+
+    let mut fig = Figure::new("Fig. 10: isolines of angle(-I1) over C_{T_f,1}")
+        .with_axis_labels("phi (rad)", "A (V)");
+    for (k, c) in an.tf_unity_curve().iter().enumerate() {
+        fig.push_series(Series::line(
+            if k == 0 { "C_{T_f,1}" } else { "" },
+            c.points.iter().map(|p| p.x).collect(),
+            c.points.iter().map(|p| p.y).collect(),
+        ));
+    }
+    for ((level, curves), frac) in isolines.iter().zip(&fracs) {
+        for (k, c) in curves.iter().enumerate() {
+            let label = if k == 0 {
+                format!("angle = {level:.3} ({:.0}% of boundary)", frac * 100.0)
+            } else {
+                String::new()
+            };
+            fig.push_series(Series::line(
+                &label,
+                c.points.iter().map(|p| p.x).collect(),
+                c.points.iter().map(|p| p.y).collect(),
+            ));
+        }
+    }
+    // Mark the boundary solution.
+    if let Ok(sols) = an.solutions_at_phase(0.999 * lr.phi_d_max) {
+        let to_plot = |p: f64| if p < 0.0 { p + std::f64::consts::TAU } else { p };
+        fig.push_series(Series::scatter(
+            "boundary lock",
+            sols.iter().filter(|s| s.stable).map(|s| to_plot(s.phase)).collect(),
+            sols.iter().filter(|s| s.stable).map(|s| s.amplitude).collect(),
+            Marker::Star,
+        ));
+    }
+    println!("{}", fig.render_ascii(72, 22));
+
+    let dir = results_dir();
+    fig.save_svg(dir.join("fig10_lock_range.svg"), 840, 560)
+        .expect("write svg");
+    fig.save_csv(dir.join("fig10_lock_range.csv")).expect("write csv");
+    println!("artifacts: results/fig10_lock_range.{{svg,csv}}");
+}

@@ -1,0 +1,110 @@
+//! E06 — Fig. 12b + Fig. 13: the diff-pair natural oscillation.
+//!
+//! Fig. 12b predicts the amplitude (A = 0.505 V in the paper) from the
+//! extracted `f(v)`; Fig. 13 validates it by transient simulation, which
+//! must settle to a sinusoid of that amplitude at the tank center
+//! frequency (0.5033 MHz).
+
+use shil::core::describing::{natural_oscillation, t_f_curve, NaturalOptions};
+use shil::core::harmonics::HarmonicOptions;
+use shil::core::tank::Tank;
+use shil::plot::{Figure, Marker, Series};
+use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
+use shil::repro::simlock::{measure_natural, settled_trace};
+use shil_bench::{accurate_sim_options, header, paper, rel_err, results_dir, timed};
+
+fn main() {
+    header("Fig. 12b + 13 — diff-pair natural oscillation: prediction vs transient");
+    let (params, t_cal) = timed(|| {
+        DiffPairParams::calibrated(paper::DIFF_PAIR_AMPLITUDE).expect("calibration")
+    });
+    println!(
+        "calibrated R_tank = {:.2} Ohm (target A = {} V, took {t_cal:?})",
+        params.r_tank,
+        paper::DIFF_PAIR_AMPLITUDE
+    );
+
+    let f = params.extract_iv_curve().expect("extraction");
+    let tank = params.tank().expect("tank");
+    let (nat, t_pred) =
+        timed(|| natural_oscillation(&f, &tank, &NaturalOptions::default()).expect("oscillates"));
+    println!(
+        "prediction: A = {:.4} V at {:.4} kHz   ({t_pred:?})",
+        nat.amplitude,
+        nat.frequency_hz / 1e3
+    );
+
+    let osc = DiffPairOscillator::build(params);
+    let ic = [(osc.ncl, params.vcc + 0.05)];
+    let opts = accurate_sim_options();
+    let (meas, t_sim) = timed(|| {
+        measure_natural(&osc.circuit, osc.ncl, osc.ncr, nat.frequency_hz, &opts, &ic)
+            .expect("simulation")
+    });
+    println!(
+        "simulation: A = {:.4} V at {:.4} kHz   ({t_sim:?})",
+        meas.amplitude,
+        meas.frequency_hz / 1e3
+    );
+    println!(
+        "agreement: amplitude {:.3}%, frequency {:.4}%",
+        100.0 * rel_err(meas.amplitude, nat.amplitude),
+        100.0 * rel_err(meas.frequency_hz, nat.frequency_hz)
+    );
+    println!("paper: A = 0.505 V predicted and observed; f = 0.5033 MHz");
+
+    let dir = results_dir();
+
+    // Fig. 12b: the graphical amplitude prediction.
+    let amps: Vec<f64> = (1..=300).map(|k| k as f64 * 0.75 / 300.0).collect();
+    let tf = t_f_curve(&f, &tank, &amps, &HarmonicOptions::default());
+    let fig_b = Figure::new("Fig. 12b: T_f(A) for the extracted diff-pair f(v)")
+        .with_axis_labels("A (V)", "loop gain")
+        .with_series(Series::line("T_f(A)", amps.clone(), tf))
+        .with_series(Series::line("y = 1", amps.clone(), vec![1.0; amps.len()]))
+        .with_series(Series::scatter(
+            "predicted A",
+            vec![nat.amplitude],
+            vec![1.0],
+            Marker::Circle,
+        ));
+    println!("{}", fig_b.render_ascii(72, 18));
+    fig_b
+        .save_svg(dir.join("fig12b_diff_pair_tf.svg"), 800, 520)
+        .expect("write svg");
+    fig_b
+        .save_csv(dir.join("fig12b_diff_pair_tf.csv"))
+        .expect("write csv");
+
+    // Fig. 13: a snippet of the settled waveform.
+    let (time, values) =
+        settled_trace(&osc.circuit, osc.ncl, osc.ncr, nat.frequency_hz, &opts, &ic)
+            .expect("trace");
+    let keep = (8.0 / nat.frequency_hz / (time[1] - time[0])) as usize;
+    let fig_w = Figure::new("Fig. 13: settled diff-pair waveform (8 periods)")
+        .with_axis_labels("t (s)", "v_out (V)")
+        .with_series(Series::line(
+            "v_CL - v_CR",
+            time[..keep].to_vec(),
+            values[..keep].to_vec(),
+        ))
+        .with_series(Series::line(
+            "+A predicted",
+            vec![time[0], time[keep - 1]],
+            vec![nat.amplitude, nat.amplitude],
+        ))
+        .with_series(Series::line(
+            "-A predicted",
+            vec![time[0], time[keep - 1]],
+            vec![-nat.amplitude, -nat.amplitude],
+        ));
+    println!("{}", fig_w.render_ascii(72, 18));
+    fig_w
+        .save_svg(dir.join("fig13_diff_pair_waveform.svg"), 840, 480)
+        .expect("write svg");
+    fig_w
+        .save_csv(dir.join("fig13_diff_pair_waveform.csv"))
+        .expect("write csv");
+    println!("artifacts: results/fig12b_diff_pair_tf.*, results/fig13_diff_pair_waveform.*");
+    let _ = tank.center_frequency_hz();
+}

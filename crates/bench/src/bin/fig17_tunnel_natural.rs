@@ -1,0 +1,120 @@
+//! E09 — Fig. 16 + Fig. 17: the tunnel-diode oscillator's `i = f(v)` curve,
+//! the natural-amplitude prediction (A = 0.199 V in the paper), and its
+//! transient validation at 0.5033 GHz.
+
+use shil::core::describing::{natural_oscillation, t_f_curve, NaturalOptions};
+use shil::core::harmonics::HarmonicOptions;
+use shil::core::nonlinearity::Nonlinearity;
+use shil::core::tank::Tank;
+use shil::plot::{Figure, Marker, Series};
+use shil::repro::simlock::{measure_natural, settled_trace};
+use shil::repro::tunnel_diode::{TunnelDiodeOscillator, TunnelDiodeParams};
+use shil_bench::{accurate_sim_options, header, paper, rel_err, results_dir, timed};
+
+fn main() {
+    header("Fig. 16 + 17 — tunnel-diode natural oscillation: prediction vs transient");
+    let params =
+        TunnelDiodeParams::calibrated(paper::TUNNEL_AMPLITUDE).expect("calibration");
+    println!(
+        "calibrated R_tank = {:.2} Ohm (bias {} V, L = 10 nH, C = 10 pF)",
+        params.r_tank, params.v_bias
+    );
+
+    // Fig. 16b: the device curve with the negative-resistance valley.
+    let raw = shil::core::nonlinearity::TunnelDiode { model: params.model };
+    let vs: Vec<f64> = (0..=240).map(|k| -0.1 + 0.7 * k as f64 / 240.0).collect();
+    let is: Vec<f64> = vs.iter().map(|&v| raw.current(v)).collect();
+    let fig_iv = Figure::new("Fig. 16b: tunnel diode i = f(v) (appendix VI-C model)")
+        .with_axis_labels("v (V)", "i (A)")
+        .with_series(Series::line("f(v)", vs.clone(), is))
+        .with_series(Series::scatter(
+            "bias 0.25 V",
+            vec![params.v_bias],
+            vec![raw.current(params.v_bias)],
+            Marker::Circle,
+        ));
+    println!("{}", fig_iv.render_ascii(72, 16));
+
+    let f = params.biased_nonlinearity();
+    let tank = params.tank().expect("tank");
+    let (nat, t_pred) =
+        timed(|| natural_oscillation(&f, &tank, &NaturalOptions::default()).expect("oscillates"));
+    println!(
+        "prediction: A = {:.4} V at {:.5} GHz   ({t_pred:?})",
+        nat.amplitude,
+        nat.frequency_hz / 1e9
+    );
+
+    let osc = TunnelDiodeOscillator::build(params);
+    let ic = [
+        (osc.n_tank, params.v_bias + 0.02),
+        (osc.n_diode, params.v_bias + 0.02),
+    ];
+    let opts = accurate_sim_options();
+    let (meas, t_sim) = timed(|| {
+        measure_natural(&osc.circuit, osc.n_diode, 0, nat.frequency_hz, &opts, &ic)
+            .expect("simulation")
+    });
+    println!(
+        "simulation: A = {:.4} V at {:.5} GHz   ({t_sim:?})",
+        meas.amplitude,
+        meas.frequency_hz / 1e9
+    );
+    println!(
+        "agreement: amplitude {:.3}%, frequency {:.4}%",
+        100.0 * rel_err(meas.amplitude, nat.amplitude),
+        100.0 * rel_err(meas.frequency_hz, nat.frequency_hz)
+    );
+    println!("paper: A = 0.199 V predicted and observed; f = 0.5033 GHz");
+
+    let dir = results_dir();
+    fig_iv
+        .save_svg(dir.join("fig16b_tunnel_iv.svg"), 800, 520)
+        .expect("write svg");
+    fig_iv
+        .save_csv(dir.join("fig16b_tunnel_iv.csv"))
+        .expect("write csv");
+
+    // Fig. 16c: the graphical prediction.
+    let amps: Vec<f64> = (1..=300).map(|k| k as f64 * 0.3 / 300.0).collect();
+    let tf = t_f_curve(&f, &tank, &amps, &HarmonicOptions::default());
+    let fig_tf = Figure::new("Fig. 16c: T_f(A) for the biased tunnel diode")
+        .with_axis_labels("A (V)", "loop gain")
+        .with_series(Series::line("T_f(A)", amps.clone(), tf))
+        .with_series(Series::line("y = 1", amps.clone(), vec![1.0; amps.len()]))
+        .with_series(Series::scatter(
+            "predicted A",
+            vec![nat.amplitude],
+            vec![1.0],
+            Marker::Circle,
+        ));
+    fig_tf
+        .save_svg(dir.join("fig16c_tunnel_tf.svg"), 800, 520)
+        .expect("write svg");
+    fig_tf
+        .save_csv(dir.join("fig16c_tunnel_tf.csv"))
+        .expect("write csv");
+
+    // Fig. 17: settled waveform snippet.
+    let (time, values) =
+        settled_trace(&osc.circuit, osc.n_diode, 0, nat.frequency_hz, &opts, &ic)
+            .expect("trace");
+    let keep = (8.0 / nat.frequency_hz / (time[1] - time[0])) as usize;
+    let fig_w = Figure::new("Fig. 17: settled tunnel-diode waveform (8 periods)")
+        .with_axis_labels("t (s)", "v_diode (V)")
+        .with_series(Series::line(
+            "v_diode",
+            time[..keep].to_vec(),
+            values[..keep].to_vec(),
+        ));
+    fig_w
+        .save_svg(dir.join("fig17_tunnel_waveform.svg"), 840, 480)
+        .expect("write svg");
+    fig_w
+        .save_csv(dir.join("fig17_tunnel_waveform.csv"))
+        .expect("write csv");
+    println!(
+        "artifacts: results/fig16b_tunnel_iv.*, results/fig16c_tunnel_tf.*, results/fig17_tunnel_waveform.*"
+    );
+    let _ = tank.center_frequency_hz();
+}

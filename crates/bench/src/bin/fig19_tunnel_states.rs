@@ -1,0 +1,79 @@
+//! E11 — Fig. 19: the three SHIL states of the tunnel-diode oscillator,
+//! flipped by ~1 ns current pulses at 2 µs and 4 µs.
+
+use shil::circuit::analysis::{transient, TranOptions};
+use shil::circuit::SourceWave;
+use shil::plot::{Figure, Series};
+use shil::repro::tunnel_diode::{TunnelDiodeOscillator, TunnelDiodeParams};
+use shil::waveform::states::classify_states;
+use shil::waveform::Sampled;
+use shil_bench::{header, paper, results_dir};
+
+fn main() {
+    header("Fig. 19 — the three SHIL states of the tunnel-diode oscillator");
+    let params =
+        TunnelDiodeParams::calibrated(paper::TUNNEL_AMPLITUDE).expect("calibration");
+    let fc = params.center_frequency_hz();
+    let f_inj = 3.0 * fc;
+    let (kick_amp, kick_width) = paper::TUNNEL_KICK;
+
+    let mut osc = TunnelDiodeOscillator::build(params);
+    osc.set_injection(TunnelDiodeOscillator::injection_wave(paper::VI, f_inj, 0.0))
+        .expect("injection");
+    osc.set_kick(SourceWave::Pulse {
+        v1: 0.0,
+        v2: kick_amp,
+        delay: 2e-6,
+        rise: 1e-11,
+        fall: 1e-11,
+        width: kick_width,
+        period: 2e-6,
+    })
+    .expect("kick");
+    println!(
+        "injection at {:.5} GHz; kick pulses of {} mA / {} ns at 2 us and 4 us",
+        f_inj / 1e9,
+        kick_amp * 1e3,
+        kick_width * 1e9
+    );
+
+    let dt = 1.0 / fc / 128.0;
+    let tran = TranOptions::new(dt, 5.8e-6)
+        .with_ic(osc.n_tank, params.v_bias + 0.02)
+        .with_ic(osc.n_diode, params.v_bias + 0.02)
+        .record_after(0.3e-6);
+    let res = transient(&osc.circuit, &tran).expect("transient");
+    let tr = res.voltage_between(osc.n_diode, 0).expect("trace");
+    let s = Sampled::from_time_series(&tr.time, &tr.values).expect("uniform");
+
+    let traj = classify_states(&s, f_inj, 3, 40).expect("classification");
+    println!("visited states: {:?}", traj.visited_states());
+    println!("state transitions at: {:?} s", traj.transition_times());
+    assert_eq!(
+        traj.visited_states().len(),
+        3,
+        "all three states should be observed"
+    );
+    println!("all three n = 3 states observed, as in Fig. 19.");
+
+    let fig = Figure::new("Fig. 19: SHIL state of the tunnel diode vs time")
+        .with_axis_labels("t (s)", "state phase vs reference (rad)")
+        .with_series(Series::line(
+            "relative phase",
+            traj.windows.iter().map(|w| w.t_center).collect(),
+            traj.windows.iter().map(|w| w.relative_phase).collect(),
+        ))
+        .with_series(Series::line(
+            "state index (x 0.5 rad)",
+            traj.windows.iter().map(|w| w.t_center).collect(),
+            traj.windows.iter().map(|w| w.state as f64 * 0.5).collect(),
+        ));
+    println!("{}", fig.render_ascii(72, 16));
+
+    let dir = results_dir();
+    fig.save_svg(dir.join("fig19_tunnel_states.svg"), 840, 480)
+        .expect("write svg");
+    fig.save_csv(dir.join("fig19_tunnel_states.csv"))
+        .expect("write csv");
+    println!("artifacts: results/fig19_tunnel_states.{{svg,csv}}");
+}

@@ -1,0 +1,143 @@
+//! E10 — Fig. 18 + Table 2: the tunnel-diode 3rd-sub-harmonic lock range,
+//! prediction vs brute-force simulation, with the speedup measurement.
+
+use shil::core::shil::{ShilAnalysis, ShilOptions};
+use shil::core::tank::Tank;
+use shil::plot::{Figure, Marker, Series};
+use shil::repro::simlock::{probe_lock, simulated_lock_range};
+use shil::repro::tunnel_diode::{TunnelDiodeOscillator, TunnelDiodeParams};
+use shil_bench::{accurate_sim_options, fmt_hz, header, paper, results_dir, timed};
+
+fn main() {
+    header("Table 2 + Fig. 18 — tunnel-diode 3rd SHIL lock range");
+    let params =
+        TunnelDiodeParams::calibrated(paper::TUNNEL_AMPLITUDE).expect("calibration");
+    let f = params.biased_nonlinearity();
+    let tank = params.tank().expect("tank");
+    let fc = tank.center_frequency_hz();
+    println!(
+        "oscillator: R = {:.1} Ohm, Q = {:.1}, f_c = {}",
+        params.r_tank,
+        tank.q(),
+        fmt_hz(fc)
+    );
+    println!("injection: n = {}, |V_i| = {} V", paper::N, paper::VI);
+
+    let ((analysis, lock), t_pred) = timed(|| {
+        let an = ShilAnalysis::new(&f, &tank, paper::N, paper::VI, ShilOptions::default())
+            .expect("analysis");
+        let lr = an.lock_range().expect("lock range");
+        (an, lr)
+    });
+
+    // Q ≈ 316 here: beats near the band edge are slow, so the lock gate
+    // needs long windows to resolve them (drift resolution ≈
+    // 0.02/(2π·100) of the oscillator frequency ≈ 1% of the span).
+    let mut opts = accurate_sim_options();
+    opts.settle_periods = 2500.0;
+    opts.lock.windows = 8;
+    opts.lock.periods_per_window = 100;
+    let (sim, t_sim) = timed(|| {
+        let probe = |f_inj: f64| {
+            let mut o = TunnelDiodeOscillator::build(params);
+            o.set_injection(TunnelDiodeOscillator::injection_wave(paper::VI, f_inj, 0.0))
+                .expect("injection");
+            probe_lock(
+                &o.circuit,
+                o.n_diode,
+                0,
+                f_inj,
+                paper::N,
+                &opts,
+                &[
+                    (o.n_tank, params.v_bias + 0.02),
+                    (o.n_diode, params.v_bias + 0.02),
+                ],
+            )
+        };
+        simulated_lock_range(probe, 3.0 * fc, 3.0 * fc * 1e-3, 3.0 * fc * 1e-5)
+            .expect("simulated lock range")
+    });
+
+    println!();
+    println!("3rd SHIL      | lower lock limit | upper lock limit | lock range Δf");
+    println!("--------------+------------------+------------------+---------------");
+    println!(
+        "Simulation    | {:>16} | {:>16} | {:>13}",
+        fmt_hz(sim.lower_injection_hz),
+        fmt_hz(sim.upper_injection_hz),
+        fmt_hz(sim.injection_span_hz)
+    );
+    println!(
+        "Prediction    | {:>16} | {:>16} | {:>13}",
+        fmt_hz(lock.lower_injection_hz),
+        fmt_hz(lock.upper_injection_hz),
+        fmt_hz(lock.injection_span_hz)
+    );
+    println!(
+        "paper (sim)   | {:>16} | {:>16} | {:>13}",
+        fmt_hz(paper::table2::SIM_LOWER),
+        fmt_hz(paper::table2::SIM_UPPER),
+        fmt_hz(paper::table2::SIM_UPPER - paper::table2::SIM_LOWER)
+    );
+    println!(
+        "paper (pred)  | {:>16} | {:>16} | {:>13}",
+        fmt_hz(paper::table2::PRED_LOWER),
+        fmt_hz(paper::table2::PRED_UPPER),
+        fmt_hz(paper::table2::PRED_UPPER - paper::table2::PRED_LOWER)
+    );
+    println!();
+    let paper_pred_span = paper::table2::PRED_UPPER - paper::table2::PRED_LOWER;
+    println!(
+        "our prediction vs the paper's prediction: span {:.3}% off, limits {:.4}% / {:.4}% off",
+        100.0 * (lock.injection_span_hz - paper_pred_span).abs() / paper_pred_span,
+        100.0 * (lock.lower_injection_hz - paper::table2::PRED_LOWER).abs()
+            / paper::table2::PRED_LOWER,
+        100.0 * (lock.upper_injection_hz - paper::table2::PRED_UPPER).abs()
+            / paper::table2::PRED_UPPER
+    );
+    let span_err =
+        100.0 * (lock.injection_span_hz - sim.injection_span_hz).abs() / sim.injection_span_hz;
+    println!("prediction-vs-simulation span deviation: {span_err:.2}%");
+    println!(
+        "timing: prediction {t_pred:?} vs simulation {t_sim:?} ({} probes) -> speedup {:.1}x (paper: ~{}x)",
+        sim.probes,
+        t_sim.as_secs_f64() / t_pred.as_secs_f64(),
+        paper::table2::SPEEDUP
+    );
+
+    // Fig. 18: stable-lock amplitude across the lock range.
+    let mut amp_curve: (Vec<f64>, Vec<f64>) = (vec![], vec![]);
+    for k in 0..=24 {
+        let phi_d = lock.phi_d_max * (k as f64 / 24.0 - 0.5) * 2.0 * 0.98;
+        if let Ok(sols) = analysis.solutions_at_phase(phi_d) {
+            if let Some(s) = sols.iter().find(|s| s.stable) {
+                let f_inj = 3.0 * tank.omega_for_phase(phi_d).expect("in range")
+                    / std::f64::consts::TAU;
+                amp_curve.0.push(f_inj);
+                amp_curve.1.push(s.amplitude);
+            }
+        }
+    }
+    let fig = Figure::new("Fig. 18: tunnel-diode stable-lock amplitude across the range")
+        .with_axis_labels("f_injection (Hz)", "A (V)")
+        .with_series(Series::line(
+            "A(f_inj)",
+            amp_curve.0,
+            amp_curve.1,
+        ))
+        .with_series(Series::scatter(
+            "boundaries",
+            vec![lock.lower_injection_hz, lock.upper_injection_hz],
+            vec![lock.amplitude_at_center, lock.amplitude_at_center],
+            Marker::Star,
+        ));
+    println!("{}", fig.render_ascii(72, 14));
+
+    let dir = results_dir();
+    fig.save_svg(dir.join("fig18_tunnel_lock_range.svg"), 840, 520)
+        .expect("write svg");
+    fig.save_csv(dir.join("fig18_tunnel_lock_range.csv"))
+        .expect("write csv");
+    println!("artifacts: results/fig18_tunnel_lock_range.{{svg,csv}}");
+}

@@ -1,0 +1,165 @@
+//! Shared plumbing for the experiment binaries that regenerate every figure
+//! and table of the DAC 2014 SHIL paper.
+//!
+//! Each binary in `src/bin/` reproduces one figure or table (see DESIGN.md
+//! §4 for the index) and writes its artifacts — SVG renderings and CSV data
+//! — into `results/` at the workspace root, printing a paper-style summary
+//! to stdout. The Criterion benches in `benches/` measure the runtime story
+//! (prediction vs. brute-force simulation).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use shil::repro::simlock::SimOptions;
+use shil::waveform::lock::LockOptions;
+
+/// The paper's experiment constants (§IV).
+pub mod paper {
+    /// Sub-harmonic order used throughout §IV.
+    pub const N: u32 = 3;
+    /// Injection phasor magnitude `|V_i|` (V); physical peak is `2·V_i`.
+    pub const VI: f64 = 0.03;
+    /// Reported diff-pair natural amplitude (V) used to calibrate `R`.
+    pub const DIFF_PAIR_AMPLITUDE: f64 = 0.505;
+    /// Reported tunnel-diode natural amplitude (V) used to calibrate `R`.
+    pub const TUNNEL_AMPLITUDE: f64 = 0.199;
+    /// Diff-pair kick pulse that flips SHIL states (A, s) — Fig. 15.
+    pub const DIFF_PAIR_KICK: (f64, f64) = (40e-3, 1.5e-6);
+    /// Tunnel-diode kick pulse (A, s) — Fig. 19.
+    pub const TUNNEL_KICK: (f64, f64) = (30e-3, 1.2e-9);
+
+    /// Paper Table 1 (diff pair, §IV-A2) reference numbers, hertz.
+    pub mod table1 {
+        /// Simulated lower lock limit.
+        pub const SIM_LOWER: f64 = 1.4998e6;
+        /// Simulated upper lock limit.
+        pub const SIM_UPPER: f64 = 1.5174e6;
+        /// Predicted lower lock limit.
+        pub const PRED_LOWER: f64 = 1.501065e6;
+        /// Predicted upper lock limit.
+        pub const PRED_UPPER: f64 = 1.518735e6;
+        /// Reported speedup of prediction over simulation.
+        pub const SPEEDUP: f64 = 25.0;
+    }
+
+    /// Paper Table 2 (tunnel diode, §IV-B2) reference numbers, hertz.
+    pub mod table2 {
+        /// Simulated lower lock limit.
+        pub const SIM_LOWER: f64 = 1.507185e9;
+        /// Simulated upper lock limit.
+        pub const SIM_UPPER: f64 = 1.512293e9;
+        /// Predicted lower lock limit.
+        pub const PRED_LOWER: f64 = 1.507320e9;
+        /// Predicted upper lock limit.
+        pub const PRED_UPPER: f64 = 1.512429e9;
+        /// Reported speedup of prediction over simulation.
+        pub const SPEEDUP: f64 = 50.0;
+    }
+}
+
+/// Simulation settings for the publication-quality table runs: fine time
+/// step (numerical dispersion ∝ dt² shifts the apparent frequency), long
+/// settle, strict phase-drift gate.
+pub fn accurate_sim_options() -> SimOptions {
+    SimOptions {
+        steps_per_period: 256,
+        settle_periods: 900.0,
+        lock: LockOptions {
+            windows: 10,
+            periods_per_window: 30,
+            max_drift: 0.02,
+            ..LockOptions::default()
+        },
+        startup_kick: 0.1,
+    }
+}
+
+/// Faster settings for smoke runs and tests.
+pub fn fast_sim_options() -> SimOptions {
+    SimOptions::default()
+}
+
+/// Directory for experiment artifacts (`results/` at the workspace root),
+/// created on first use.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created — the experiment binaries
+/// cannot do anything useful without it.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Runs `f`, returning its output and wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Prints a boxed experiment header.
+pub fn header(title: &str) {
+    let bar: String = std::iter::repeat('=').take(title.len() + 4).collect();
+    println!("{bar}\n| {title} |\n{bar}");
+}
+
+/// Formats hertz with engineering units.
+pub fn fmt_hz(f: f64) -> String {
+    let a = f.abs();
+    if a >= 1e9 {
+        format!("{:.6} GHz", f / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.6} MHz", f / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.4} kHz", f / 1e3)
+    } else {
+        format!("{f:.3} Hz")
+    }
+}
+
+/// Relative deviation `|a − b| / |b|`.
+pub fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_hz_units() {
+        assert_eq!(fmt_hz(1.5e9), "1.500000 GHz");
+        assert_eq!(fmt_hz(1.5174e6), "1.517400 MHz");
+        assert_eq!(fmt_hz(503.3e3), "503.3000 kHz");
+        assert_eq!(fmt_hz(12.0), "12.000 Hz");
+    }
+
+    #[test]
+    fn rel_err_basic() {
+        assert!((rel_err(1.01, 1.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn paper_constants_are_consistent() {
+        use paper::*;
+        assert!(table1::SIM_UPPER > table1::SIM_LOWER);
+        assert!(table2::PRED_UPPER > table2::PRED_LOWER);
+        assert_eq!(N, 3);
+        assert!(VI > 0.0);
+    }
+
+    #[test]
+    fn sim_option_presets_differ() {
+        assert!(accurate_sim_options().settle_periods > fast_sim_options().settle_periods);
+    }
+}

@@ -1,0 +1,196 @@
+//! DC sweep analysis.
+//!
+//! This is the extraction step of §IV of the paper: sweep the probe source
+//! `v_x` across the nonlinear one-port (Fig. 11b) and record `i_x = f(v_x)`
+//! (Fig. 12a). The sweep warm-starts each point from the previous solution,
+//! which carries Newton smoothly through negative-resistance regions.
+
+use crate::circuit::{Circuit, DeviceId, NodeId};
+use crate::error::CircuitError;
+use crate::mna::MnaStructure;
+use crate::wave::SourceWave;
+
+use super::op::{newton_dc, OpOptions};
+
+/// Result of a DC sweep.
+#[derive(Debug, Clone)]
+pub struct DcSweep {
+    pub(crate) structure: MnaStructure,
+    /// The swept source values.
+    pub values: Vec<f64>,
+    /// Solution vector per sweep point.
+    pub(crate) solutions: Vec<Vec<f64>>,
+}
+
+impl DcSweep {
+    /// Voltage of `node` at each sweep point.
+    pub fn node_voltage(&self, node: NodeId) -> Vec<f64> {
+        self.solutions
+            .iter()
+            .map(|x| self.structure.voltage(x, node))
+            .collect()
+    }
+
+    /// Branch current of a voltage source or inductor at each sweep point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidRequest`] if the device has no branch
+    /// current.
+    pub fn branch_current(&self, dev: DeviceId) -> Result<Vec<f64>, CircuitError> {
+        let idx = self.structure.branch_index(dev.index()).ok_or_else(|| {
+            CircuitError::InvalidRequest("device has no branch-current unknown".into())
+        })?;
+        Ok(self.solutions.iter().map(|x| x[idx]).collect())
+    }
+}
+
+/// Sweeps the DC value of an independent source and solves the operating
+/// point at each value.
+///
+/// The source's waveform is replaced by `Dc(value)` for each point (the
+/// input circuit is not modified — an internal clone is swept).
+///
+/// # Errors
+///
+/// - [`CircuitError::InvalidRequest`] if `source` is not a V/I source.
+/// - [`CircuitError::ConvergenceFailure`] if some point fails even with
+///   warm-starting and homotopy.
+///
+/// ```
+/// use shil_circuit::{Circuit, SourceWave};
+/// use shil_circuit::analysis::{dc_sweep, OpOptions};
+///
+/// # fn main() -> Result<(), shil_circuit::CircuitError> {
+/// let mut ckt = Circuit::new();
+/// let n1 = ckt.node("n1");
+/// let vs = ckt.vsource(n1, Circuit::GROUND, SourceWave::Dc(0.0));
+/// ckt.resistor(n1, Circuit::GROUND, 2.0);
+/// let sweep = dc_sweep(&ckt, vs, &[0.0, 1.0, 2.0], &OpOptions::default())?;
+/// let i = sweep.branch_current(vs)?;
+/// assert!((i[2] + 1.0).abs() < 1e-9); // 2 V across 2 Ω, source sinks 1 A
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_sweep(
+    ckt: &Circuit,
+    source: DeviceId,
+    values: &[f64],
+    opts: &OpOptions,
+) -> Result<DcSweep, CircuitError> {
+    let mut work = ckt.clone();
+    // Validate the target up front.
+    work.set_source_wave(source, SourceWave::Dc(0.0))?;
+    let structure = MnaStructure::new(&work);
+    let mut solutions = Vec::with_capacity(values.len());
+    let mut guess = vec![0.0; structure.size()];
+    for (k, &v) in values.iter().enumerate() {
+        work.set_source_wave(source, SourceWave::Dc(v))?;
+        let x = match newton_dc(&work, &structure, &guess, 0.0, 1.0, opts) {
+            Ok(x) => x,
+            Err(_) => {
+                // Retry through the full homotopy ladder via operating_point.
+                let op = super::op::operating_point(&work, opts).map_err(|e| match e {
+                    CircuitError::ConvergenceFailure { residual, .. } => {
+                        CircuitError::ConvergenceFailure {
+                            analysis: "dc",
+                            at: v,
+                            residual,
+                        }
+                    }
+                    other => other,
+                })?;
+                op.x
+            }
+        };
+        guess.copy_from_slice(&x);
+        solutions.push(x);
+        let _ = k;
+    }
+    Ok(DcSweep {
+        structure,
+        values: values.to_vec(),
+        solutions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iv::TunnelDiodeModel;
+    use crate::IvCurve;
+
+    #[test]
+    fn sweep_linear_resistor_is_ohms_law() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let vs = ckt.vsource(n1, 0, SourceWave::Dc(0.0));
+        ckt.resistor(n1, 0, 100.0);
+        let vals: Vec<f64> = (0..11).map(|k| k as f64 * 0.1).collect();
+        let sweep = dc_sweep(&ckt, vs, &vals, &OpOptions::default()).unwrap();
+        let i = sweep.branch_current(vs).unwrap();
+        for (v, ii) in vals.iter().zip(&i) {
+            // Source current flows a→b internally: −v/R.
+            assert!((ii + v / 100.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_extracts_tunnel_diode_curve() {
+        // The Fig. 11b pattern: probe source directly across the device.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let vs = ckt.vsource(n1, 0, SourceWave::Dc(0.0));
+        ckt.nonlinear(n1, 0, IvCurve::TunnelDiode(TunnelDiodeModel::default()));
+        let vals: Vec<f64> = (0..61).map(|k| k as f64 * 0.01).collect();
+        let sweep = dc_sweep(&ckt, vs, &vals, &OpOptions::default()).unwrap();
+        let i = sweep.branch_current(vs).unwrap();
+        let model = TunnelDiodeModel::default();
+        for (v, ii) in vals.iter().zip(&i) {
+            // The source sees the negated device current.
+            assert!(
+                (ii + model.current(*v)).abs() < 1e-9,
+                "v={v}: {} vs {}",
+                -ii,
+                model.current(*v)
+            );
+        }
+        // The extracted curve must be non-monotonic: the tunnel peak
+        // (near 0.14 V) exceeds the valley (near 0.35 V) in device current.
+        let dev_i: Vec<f64> = i.iter().map(|x| -x).collect();
+        let peak = vals
+            .iter()
+            .zip(&dev_i)
+            .filter(|(v, _)| (0.05..0.2).contains(*v))
+            .map(|(_, i)| *i)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let valley = vals
+            .iter()
+            .zip(&dev_i)
+            .filter(|(v, _)| (0.25..0.5).contains(*v))
+            .map(|(_, i)| *i)
+            .fold(f64::INFINITY, f64::min);
+        assert!(peak > valley, "peak {peak} valley {valley}");
+    }
+
+    #[test]
+    fn sweep_rejects_non_source_target() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let r = ckt.resistor(n1, 0, 1.0);
+        ckt.vsource(n1, 0, SourceWave::Dc(1.0));
+        assert!(dc_sweep(&ckt, r, &[0.0], &OpOptions::default()).is_err());
+    }
+
+    #[test]
+    fn node_voltage_tracks_sweep() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        let vs = ckt.vsource(n1, 0, SourceWave::Dc(0.0));
+        ckt.resistor(n1, n2, 1e3);
+        ckt.resistor(n2, 0, 1e3);
+        let sweep = dc_sweep(&ckt, vs, &[0.0, 2.0, 4.0], &OpOptions::default()).unwrap();
+        assert_eq!(sweep.node_voltage(n2), vec![0.0, 1.0, 2.0]);
+    }
+}

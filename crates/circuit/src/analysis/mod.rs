@@ -1,0 +1,11 @@
+//! Circuit analyses: operating point, DC sweep, AC small-signal, transient.
+
+mod ac;
+mod dc;
+mod op;
+mod tran;
+
+pub use ac::{ac_impedance, AcOptions};
+pub use dc::{dc_sweep, DcSweep};
+pub use op::{operating_point, operating_point_with_guess, OpOptions, OpSolution};
+pub use tran::{transient, TranOptions};

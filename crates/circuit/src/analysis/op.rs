@@ -1,0 +1,374 @@
+//! DC operating-point analysis.
+//!
+//! A damped Newton iteration on the MNA residual, with two homotopy
+//! fallbacks when plain Newton fails from a cold start: **gmin stepping**
+//! (solve with a large shunt conductance on every node, then relax it to
+//! zero) and **source stepping** (ramp all independent sources from zero).
+
+use shil_numerics::linalg::Lu;
+use shil_numerics::Matrix;
+
+use crate::circuit::{Circuit, DeviceId, NodeId};
+use crate::error::CircuitError;
+use crate::mna::{assemble, MnaStructure, StampMode};
+
+/// Options for [`operating_point`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpOptions {
+    /// Residual infinity-norm (amperes) declared converged.
+    pub abstol: f64,
+    /// Maximum Newton iterations per solve.
+    pub max_iter: usize,
+    /// gmin homotopy schedule (siemens), relaxed left to right; a final
+    /// implicit `0.0` stage always runs.
+    pub gmin_steps: Vec<f64>,
+    /// Number of source-stepping stages for the last-resort homotopy.
+    pub source_steps: usize,
+}
+
+impl Default for OpOptions {
+    fn default() -> Self {
+        OpOptions {
+            abstol: 1e-9,
+            max_iter: 120,
+            gmin_steps: vec![1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12],
+            source_steps: 10,
+        }
+    }
+}
+
+/// A converged DC solution.
+#[derive(Debug, Clone)]
+pub struct OpSolution {
+    pub(crate) structure: MnaStructure,
+    /// The full unknown vector `[v₁…, i_b…]`.
+    pub x: Vec<f64>,
+}
+
+impl OpSolution {
+    /// Voltage of a node (0.0 for ground).
+    pub fn node_voltage(&self, node: NodeId) -> f64 {
+        self.structure.voltage(&self.x, node)
+    }
+
+    /// Branch current of a voltage source or inductor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidRequest`] if the device has no branch
+    /// current unknown.
+    pub fn branch_current(&self, dev: DeviceId) -> Result<f64, CircuitError> {
+        self.structure
+            .branch_index(dev.index())
+            .map(|i| self.x[i])
+            .ok_or_else(|| {
+                CircuitError::InvalidRequest("device has no branch-current unknown".into())
+            })
+    }
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// One damped Newton solve at fixed `gmin` and `source_scale`.
+pub(crate) fn newton_dc(
+    ckt: &Circuit,
+    structure: &MnaStructure,
+    x0: &[f64],
+    gmin: f64,
+    source_scale: f64,
+    opts: &OpOptions,
+) -> Result<Vec<f64>, CircuitError> {
+    let n = structure.size();
+    let mode = StampMode::Dc { source_scale };
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; n];
+    let mut r_trial = vec![0.0; n];
+    let mut xt = vec![0.0; n];
+    let mut jac = Matrix::zeros(n, n);
+    let mut scratch = Matrix::zeros(n, n);
+
+    assemble(ckt, structure, &x, mode, gmin, &mut r, &mut jac);
+    let mut rnorm = inf_norm(&r);
+
+    for _ in 0..opts.max_iter {
+        if rnorm < opts.abstol {
+            return Ok(x);
+        }
+        let lu = Lu::factorize(jac.clone())?;
+        let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
+        let dx = lu.solve(&neg_r);
+        // Damped line search.
+        let mut lambda = 1.0;
+        let mut improved = false;
+        for _ in 0..24 {
+            for i in 0..n {
+                xt[i] = x[i] + lambda * dx[i];
+            }
+            assemble(ckt, structure, &xt, mode, gmin, &mut r_trial, &mut scratch);
+            let tn = inf_norm(&r_trial);
+            if tn.is_finite() && tn < rnorm {
+                x.copy_from_slice(&xt);
+                std::mem::swap(&mut r, &mut r_trial);
+                std::mem::swap(&mut jac, &mut scratch);
+                rnorm = tn;
+                improved = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !improved {
+            break;
+        }
+    }
+    if rnorm < opts.abstol {
+        Ok(x)
+    } else {
+        Err(CircuitError::ConvergenceFailure {
+            analysis: "op",
+            at: 0.0,
+            residual: rnorm,
+        })
+    }
+}
+
+/// Computes the DC operating point starting from a caller-supplied guess,
+/// falling back to the full homotopy ladder of [`operating_point`] when the
+/// warm start fails.
+///
+/// Continuation sweeps (DC transfer curves through saturation regions)
+/// converge far more reliably when each point starts from its neighbour's
+/// solution.
+///
+/// # Errors
+///
+/// Same conditions as [`operating_point`].
+///
+/// # Panics
+///
+/// Panics if `guess.len()` does not match the circuit's unknown count.
+pub fn operating_point_with_guess(
+    ckt: &Circuit,
+    guess: &[f64],
+    opts: &OpOptions,
+) -> Result<OpSolution, CircuitError> {
+    let structure = MnaStructure::new(ckt);
+    assert_eq!(
+        guess.len(),
+        structure.size(),
+        "guess size does not match circuit unknowns"
+    );
+    if let Ok(x) = newton_dc(ckt, &structure, guess, 0.0, 1.0, opts) {
+        return Ok(OpSolution { structure, x });
+    }
+    operating_point(ckt, opts)
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ConvergenceFailure`] if Newton, gmin stepping and
+/// source stepping all fail, or [`CircuitError::Numerics`] on a singular
+/// matrix (typically a floating node — add a gmin step or a large resistor).
+///
+/// ```
+/// use shil_circuit::{Circuit, SourceWave};
+/// use shil_circuit::analysis::{operating_point, OpOptions};
+///
+/// # fn main() -> Result<(), shil_circuit::CircuitError> {
+/// let mut ckt = Circuit::new();
+/// let n1 = ckt.node("n1");
+/// let n2 = ckt.node("n2");
+/// ckt.vsource(n1, Circuit::GROUND, SourceWave::Dc(2.0));
+/// ckt.resistor(n1, n2, 1e3);
+/// ckt.resistor(n2, Circuit::GROUND, 1e3);
+/// let op = operating_point(&ckt, &OpOptions::default())?;
+/// assert!((op.node_voltage(n2) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn operating_point(ckt: &Circuit, opts: &OpOptions) -> Result<OpSolution, CircuitError> {
+    let structure = MnaStructure::new(ckt);
+    let x0 = vec![0.0; structure.size()];
+
+    // 1. Plain Newton from a cold start.
+    if let Ok(x) = newton_dc(ckt, &structure, &x0, 0.0, 1.0, opts) {
+        return Ok(OpSolution { structure, x });
+    }
+
+    // 2. gmin stepping: relax the shunt conductance toward zero, warm-starting
+    //    each stage from the previous one.
+    let mut guess = x0.clone();
+    let mut ok = true;
+    for &gmin in &opts.gmin_steps {
+        match newton_dc(ckt, &structure, &guess, gmin, 1.0, opts) {
+            Ok(x) => guess = x,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        if let Ok(x) = newton_dc(ckt, &structure, &guess, 0.0, 1.0, opts) {
+            return Ok(OpSolution { structure, x });
+        }
+    }
+
+    // 3. Source stepping from zero excitation.
+    let mut guess = x0;
+    for k in 1..=opts.source_steps {
+        let scale = k as f64 / opts.source_steps as f64;
+        guess = newton_dc(ckt, &structure, &guess, 0.0, scale, opts)?;
+    }
+    Ok(OpSolution {
+        structure,
+        x: guess,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::SourceWave;
+    use crate::IvCurve;
+
+    #[test]
+    fn resistive_divider() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        let vs = ckt.vsource(n1, 0, SourceWave::Dc(10.0));
+        ckt.resistor(n1, n2, 3e3);
+        ckt.resistor(n2, 0, 1e3);
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        assert!((op.node_voltage(n2) - 2.5).abs() < 1e-9);
+        // Source supplies 10 V / 4 kΩ = 2.5 mA; MNA branch current is the
+        // current flowing a→b inside the source, i.e. −2.5 mA.
+        assert!((op.branch_current(vs).unwrap() + 2.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diode_forward_drop() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.vsource(n1, 0, SourceWave::Dc(5.0));
+        ckt.resistor(n1, n2, 1e3);
+        ckt.diode(n2, 0, 1e-12, 1.0);
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        let vd = op.node_voltage(n2);
+        // Forward drop for ~4.5 mA at Is = 1 pA, Vt = 25 mV: ≈ 0.55 V.
+        assert!(vd > 0.4 && vd < 0.7, "vd = {vd}");
+        // Consistency: I_R = I_D.
+        let i_r = (5.0 - vd) / 1e3;
+        let i_d = 1e-12 * ((vd / 0.025).exp() - 1.0);
+        assert!((i_r - i_d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bjt_emitter_follower() {
+        let mut ckt = Circuit::new();
+        let vcc = ckt.node("vcc");
+        let base = ckt.node("base");
+        let emit = ckt.node("emit");
+        ckt.vsource(vcc, 0, SourceWave::Dc(10.0));
+        ckt.vsource(base, 0, SourceWave::Dc(2.0));
+        ckt.npn(vcc, base, emit, Default::default());
+        ckt.resistor(emit, 0, 1e3);
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        let ve = op.node_voltage(emit);
+        // Emitter sits one V_be below the base.
+        assert!(ve > 1.2 && ve < 1.6, "ve = {ve}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.isource(0, n1, SourceWave::Dc(1e-3));
+        ckt.resistor(n1, 0, 2e3);
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        assert!((op.node_voltage(n1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.vsource(n1, 0, SourceWave::Dc(1.0));
+        ckt.resistor(n1, n2, 1e3);
+        let l = ckt.inductor(n2, 0, 1e-3);
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        assert!(op.node_voltage(n2).abs() < 1e-9);
+        assert!((op.branch_current(l).unwrap() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_common_source_bias_point() {
+        // VDD = 3 V, RD = 5 kΩ, VGS = 1 V: saturation with
+        // I_D = 0.5·k'·(W/L)·0.25·(1 + λ·V_DS).
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let gate = ckt.node("gate");
+        let drain = ckt.node("drain");
+        ckt.vsource(vdd, 0, SourceWave::Dc(3.0));
+        ckt.vsource(gate, 0, SourceWave::Dc(1.0));
+        ckt.resistor(vdd, drain, 5e2);
+        ckt.nmos(drain, gate, 0, Default::default());
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        let vd = op.node_voltage(drain);
+        // Fixed point: (3 − vd)/500 = 0.5·0.01·0.25·(1 + 0.02·vd)
+        // ⇒ vd = 2.34568.
+        assert!((vd - 2.34568).abs() < 2e-4, "vd = {vd}");
+    }
+
+    #[test]
+    fn pmos_mirror_of_nmos() {
+        // The same circuit mirrored to negative rails with a PMOS must give
+        // the mirrored drain voltage.
+        let mut ckt = Circuit::new();
+        let vss = ckt.node("vss");
+        let gate = ckt.node("gate");
+        let drain = ckt.node("drain");
+        ckt.vsource(vss, 0, SourceWave::Dc(-3.0));
+        ckt.vsource(gate, 0, SourceWave::Dc(-1.0));
+        ckt.resistor(vss, drain, 5e2);
+        ckt.pmos(drain, gate, 0, Default::default());
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        let vd = op.node_voltage(drain);
+        assert!((vd + 2.34568).abs() < 2e-4, "vd = {vd}");
+    }
+
+    #[test]
+    fn nonlinear_negative_resistance_needs_homotopy() {
+        // A tunnel-diode-style load line with multiple candidate regions —
+        // exercises the gmin/source stepping paths.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.vsource(n1, 0, SourceWave::Dc(0.25));
+        ckt.resistor(n1, n2, 50.0);
+        ckt.nonlinear(
+            n2,
+            0,
+            IvCurve::TunnelDiode(crate::iv::TunnelDiodeModel::default()),
+        );
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        let v = op.node_voltage(n2);
+        assert!(v > 0.0 && v < 0.25, "v = {v}");
+    }
+
+    #[test]
+    fn branch_current_request_on_resistor_errors() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let r = ckt.resistor(n1, 0, 1e3);
+        ckt.vsource(n1, 0, SourceWave::Dc(1.0));
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        assert!(op.branch_current(r).is_err());
+    }
+}

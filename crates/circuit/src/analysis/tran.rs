@@ -1,0 +1,500 @@
+//! Transient analysis.
+//!
+//! Fixed-step integration with trapezoidal (default) or backward-Euler
+//! companion models and a damped Newton solve at every step. The first step
+//! after the initial condition uses backward Euler to bootstrap the
+//! trapezoidal history; steps that fail to converge are retried with
+//! recursive halving (the recorded output stays on the uniform grid).
+
+use shil_numerics::linalg::Lu;
+use shil_numerics::Matrix;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::CircuitError;
+use crate::mna::{
+    assemble, update_dynamic_state, DynamicState, Integrator, MnaStructure, StampMode,
+};
+use crate::trace::TranResult;
+
+use super::op::{operating_point, OpOptions};
+
+/// Options for [`transient`].
+#[derive(Debug, Clone)]
+pub struct TranOptions {
+    /// Uniform output step size (seconds).
+    pub dt: f64,
+    /// End time of the simulation (seconds).
+    pub t_stop: f64,
+    /// Only record samples with `t ≥ t_record_start` (saves memory on long
+    /// settles).
+    pub t_record_start: f64,
+    /// Record every `record_every`-th grid point (≥ 1).
+    pub record_every: usize,
+    /// Companion-model integrator.
+    pub method: Integrator,
+    /// Node-voltage overrides applied to the initial state.
+    pub initial_conditions: Vec<(NodeId, f64)>,
+    /// If `true`, skip the operating-point solve and start from all-zeros
+    /// plus `initial_conditions` (SPICE `UIC`).
+    pub use_ic: bool,
+    /// Newton residual tolerance (amperes).
+    pub abstol: f64,
+    /// Maximum Newton iterations per step.
+    pub max_newton_iter: usize,
+    /// Maximum recursive step halvings before giving up.
+    pub max_halvings: usize,
+    /// Options for the initial operating-point solve.
+    pub op: OpOptions,
+}
+
+impl TranOptions {
+    /// Creates options with the given step and stop time and defaults
+    /// elsewhere (trapezoidal, record everything, start from the OP).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < dt < t_stop`.
+    pub fn new(dt: f64, t_stop: f64) -> Self {
+        assert!(dt > 0.0 && t_stop > dt, "need 0 < dt < t_stop");
+        TranOptions {
+            dt,
+            t_stop,
+            t_record_start: 0.0,
+            record_every: 1,
+            method: Integrator::Trapezoidal,
+            initial_conditions: Vec::new(),
+            use_ic: false,
+            abstol: 1e-9,
+            max_newton_iter: 80,
+            max_halvings: 14,
+            op: OpOptions::default(),
+        }
+    }
+
+    /// Adds an initial-condition override for a node voltage.
+    #[must_use]
+    pub fn with_ic(mut self, node: NodeId, volts: f64) -> Self {
+        self.initial_conditions.push((node, volts));
+        self
+    }
+
+    /// Skips the operating point and starts from zeros + ICs.
+    #[must_use]
+    pub fn use_ic(mut self) -> Self {
+        self.use_ic = true;
+        self
+    }
+
+    /// Starts recording only after `t` seconds.
+    #[must_use]
+    pub fn record_after(mut self, t: f64) -> Self {
+        self.t_record_start = t;
+        self
+    }
+
+    /// Selects the integration method.
+    #[must_use]
+    pub fn with_method(mut self, method: Integrator) -> Self {
+        self.method = method;
+        self
+    }
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Workspace reused across all Newton solves of a transient run.
+struct Workspace {
+    r: Vec<f64>,
+    r_trial: Vec<f64>,
+    xt: Vec<f64>,
+    jac: Matrix,
+    scratch: Matrix,
+}
+
+impl Workspace {
+    fn new(n: usize) -> Self {
+        Workspace {
+            r: vec![0.0; n],
+            r_trial: vec![0.0; n],
+            xt: vec![0.0; n],
+            jac: Matrix::zeros(n, n),
+            scratch: Matrix::zeros(n, n),
+        }
+    }
+}
+
+/// One Newton solve for the step ending at `t` with history `prev`.
+#[allow(clippy::too_many_arguments)]
+fn newton_tran(
+    ckt: &Circuit,
+    structure: &MnaStructure,
+    x0: &[f64],
+    t: f64,
+    dt: f64,
+    method: Integrator,
+    prev: &DynamicState,
+    opts: &TranOptions,
+    ws: &mut Workspace,
+) -> Result<Vec<f64>, CircuitError> {
+    let n = structure.size();
+    let mode = StampMode::Transient {
+        t,
+        dt,
+        method,
+        prev,
+    };
+    let mut x = x0.to_vec();
+    assemble(ckt, structure, &x, mode, 0.0, &mut ws.r, &mut ws.jac);
+    let mut rnorm = inf_norm(&ws.r);
+
+    for _ in 0..opts.max_newton_iter {
+        if rnorm < opts.abstol {
+            return Ok(x);
+        }
+        let lu = Lu::factorize(ws.jac.clone())?;
+        let neg_r: Vec<f64> = ws.r.iter().map(|v| -v).collect();
+        let dx = lu.solve(&neg_r);
+        let mut lambda = 1.0;
+        let mut improved = false;
+        for _ in 0..20 {
+            for i in 0..n {
+                ws.xt[i] = x[i] + lambda * dx[i];
+            }
+            assemble(
+                ckt,
+                structure,
+                &ws.xt,
+                mode,
+                0.0,
+                &mut ws.r_trial,
+                &mut ws.scratch,
+            );
+            let tn = inf_norm(&ws.r_trial);
+            if tn.is_finite() && tn < rnorm {
+                x.copy_from_slice(&ws.xt);
+                std::mem::swap(&mut ws.r, &mut ws.r_trial);
+                std::mem::swap(&mut ws.jac, &mut ws.scratch);
+                rnorm = tn;
+                improved = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !improved {
+            break;
+        }
+    }
+    if rnorm < opts.abstol {
+        Ok(x)
+    } else {
+        Err(CircuitError::ConvergenceFailure {
+            analysis: "tran",
+            at: t,
+            residual: rnorm,
+        })
+    }
+}
+
+/// Advances from `t0` to `t0 + dt`, recursively halving on Newton failure.
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    ckt: &Circuit,
+    structure: &MnaStructure,
+    x: &mut Vec<f64>,
+    state: &mut DynamicState,
+    next_state: &mut DynamicState,
+    t0: f64,
+    dt: f64,
+    method: Integrator,
+    opts: &TranOptions,
+    ws: &mut Workspace,
+    depth: usize,
+) -> Result<(), CircuitError> {
+    match newton_tran(ckt, structure, x, t0 + dt, dt, method, state, opts, ws) {
+        Ok(xn) => {
+            update_dynamic_state(ckt, structure, &xn, dt, method, state, next_state);
+            std::mem::swap(state, next_state);
+            *x = xn;
+            Ok(())
+        }
+        Err(e) => {
+            if depth >= opts.max_halvings {
+                return Err(e);
+            }
+            let half = dt * 0.5;
+            advance(
+                ckt, structure, x, state, next_state, t0, half, method, opts, ws,
+                depth + 1,
+            )?;
+            advance(
+                ckt,
+                structure,
+                x,
+                state,
+                next_state,
+                t0 + half,
+                half,
+                method,
+                opts,
+                ws,
+                depth + 1,
+            )
+        }
+    }
+}
+
+/// Runs a transient analysis.
+///
+/// # Errors
+///
+/// - [`CircuitError::ConvergenceFailure`] if a step cannot be solved even
+///   after `max_halvings` recursive halvings.
+/// - Errors from the initial operating-point solve (unless `use_ic`).
+///
+/// See the crate-level example for typical usage.
+pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, CircuitError> {
+    let structure = MnaStructure::new(ckt);
+    let n = structure.size();
+
+    // Initial state.
+    let mut x = if opts.use_ic {
+        vec![0.0; n]
+    } else {
+        operating_point(ckt, &opts.op)?.x
+    };
+    for &(node, v) in &opts.initial_conditions {
+        if node >= ckt.num_nodes() {
+            return Err(CircuitError::UnknownNode { node });
+        }
+        if let Some(i) = structure.node_index(node) {
+            x[i] = v;
+        }
+    }
+
+    // Seed the dynamic history from the initial state (zero element
+    // currents: consistent with a quiescent start).
+    let mut state = DynamicState::for_circuit(ckt);
+    let mut next_state = DynamicState::for_circuit(ckt);
+    seed_state(ckt, &structure, &x, &mut state);
+
+    let steps = (opts.t_stop / opts.dt).round() as usize;
+    let mut result = TranResult::new(structure.clone());
+    if 0.0 >= opts.t_record_start {
+        result.push(0.0, &x);
+    }
+
+    let mut ws = Workspace::new(n);
+    for k in 0..steps {
+        let t0 = k as f64 * opts.dt;
+        // Bootstrap the trapezoidal history with one backward-Euler step.
+        let method = if k == 0 {
+            Integrator::BackwardEuler
+        } else {
+            opts.method
+        };
+        advance(
+            ckt,
+            &structure,
+            &mut x,
+            &mut state,
+            &mut next_state,
+            t0,
+            opts.dt,
+            method,
+            opts,
+            &mut ws,
+            0,
+        )?;
+        let t1 = (k + 1) as f64 * opts.dt;
+        if t1 >= opts.t_record_start && (k + 1) % opts.record_every == 0 {
+            result.push(t1, &x);
+        }
+    }
+    Ok(result)
+}
+
+/// Initializes capacitor voltages and inductor voltages/currents from the
+/// starting solution.
+fn seed_state(ckt: &Circuit, structure: &MnaStructure, x: &[f64], state: &mut DynamicState) {
+    use crate::device::Device;
+    for (di, dev) in ckt.devices().iter().enumerate() {
+        match dev {
+            Device::Capacitor { a, b, .. } => {
+                state.cap_v[di] = structure.voltage(x, *a) - structure.voltage(x, *b);
+                state.cap_i[di] = 0.0;
+            }
+            Device::Inductor { a, b, .. } => {
+                state.ind_v[di] = structure.voltage(x, *a) - structure.voltage(x, *b);
+                state.ind_i[di] = structure
+                    .branch_index(di)
+                    .map(|i| x[i])
+                    .unwrap_or_default();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::SourceWave;
+    use crate::{Circuit, IvCurve};
+
+    #[test]
+    fn rc_step_response_time_constant() {
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n_out = ckt.node("out");
+        ckt.vsource(n_in, 0, SourceWave::Dc(1.0));
+        ckt.resistor(n_in, n_out, 1e3);
+        ckt.capacitor(n_out, 0, 1e-6);
+        // Start discharged (UIC) so we see the full exponential.
+        let opts = TranOptions::new(1e-6, 5e-3).use_ic();
+        let res = transient(&ckt, &opts).unwrap();
+        let v = res.node_voltage(n_out).unwrap();
+        // At t = τ = 1 ms, v = 1 − e⁻¹.
+        let idx = res.time.partition_point(|&t| t < 1e-3);
+        assert!(
+            (v[idx] - (1.0 - (-1.0f64).exp())).abs() < 2e-3,
+            "v(τ) = {}",
+            v[idx]
+        );
+        let v_end = *v.last().unwrap();
+        assert!((v_end - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn lc_tank_rings_at_resonance() {
+        let (l, c) = (10e-6, 10e-9);
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.inductor(top, 0, l);
+        ckt.capacitor(top, 0, c);
+        // Lossless ring from a 1 V initial condition.
+        let f0 = 1.0 / (std::f64::consts::TAU * (l * c).sqrt());
+        let period = 1.0 / f0;
+        let opts = TranOptions::new(period / 200.0, 20.0 * period)
+            .use_ic()
+            .with_ic(top, 1.0);
+        let res = transient(&ckt, &opts).unwrap();
+        let v = res.node_voltage(top).unwrap();
+        // Count zero crossings: 2 per period.
+        let crossings = v.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
+        let periods = res.time.last().unwrap() * f0;
+        let expected = (2.0 * periods).round() as usize;
+        assert!(
+            (crossings as i64 - expected as i64).abs() <= 1,
+            "crossings {crossings} vs expected {expected}"
+        );
+        // Trapezoidal integration preserves the ring amplitude.
+        let tail_max = v[v.len() - 400..]
+            .iter()
+            .fold(0.0f64, |m, x| m.max(x.abs()));
+        assert!(tail_max > 0.98, "amplitude decayed to {tail_max}");
+    }
+
+    #[test]
+    fn backward_euler_damps_the_same_tank() {
+        let (l, c) = (10e-6, 10e-9);
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.inductor(top, 0, l);
+        ckt.capacitor(top, 0, c);
+        let f0 = 1.0 / (std::f64::consts::TAU * (l * c).sqrt());
+        let period = 1.0 / f0;
+        let opts = TranOptions::new(period / 200.0, 20.0 * period)
+            .use_ic()
+            .with_ic(top, 1.0)
+            .with_method(Integrator::BackwardEuler);
+        let res = transient(&ckt, &opts).unwrap();
+        let v = res.node_voltage(top).unwrap();
+        let tail_max = v[v.len() - 400..]
+            .iter()
+            .fold(0.0f64, |m, x| m.max(x.abs()));
+        assert!(tail_max < 0.8, "BE should damp, got {tail_max}");
+    }
+
+    #[test]
+    fn sine_source_reproduced_across_divider() {
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n_out = ckt.node("out");
+        ckt.vsource(n_in, 0, SourceWave::sine(2.0, 1e3, 0.0));
+        ckt.resistor(n_in, n_out, 1e3);
+        ckt.resistor(n_out, 0, 1e3);
+        let res = transient(&ckt, &TranOptions::new(1e-6, 2e-3)).unwrap();
+        let v = res.node_voltage(n_out).unwrap();
+        for (t, vk) in res.time.iter().zip(v) {
+            let expect = (std::f64::consts::TAU * 1e3 * t).sin();
+            assert!((vk - expect).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn tanh_oscillator_reaches_limit_cycle() {
+        // Negative-resistance LC oscillator: startup from a small kick must
+        // grow to a finite limit cycle (validated quantitatively against the
+        // describing-function prediction in the integration tests).
+        let (r, l, c) = (1000.0, 10e-6, 10e-9);
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.resistor(top, 0, r);
+        ckt.inductor(top, 0, l);
+        ckt.capacitor(top, 0, c);
+        // Small-signal negative conductance −2/R: loop gain 2 at resonance.
+        ckt.nonlinear(top, 0, IvCurve::tanh(-1e-3, 2.0 / (r * 1e-3)));
+        let f0 = 1.0 / (std::f64::consts::TAU * (l * c).sqrt());
+        let period = 1.0 / f0;
+        let opts = TranOptions::new(period / 200.0, 120.0 * period)
+            .use_ic()
+            .with_ic(top, 1e-3);
+        let res = transient(&ckt, &opts).unwrap();
+        let v = res.node_voltage(top).unwrap();
+        let early_max = v[..v.len() / 10].iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        let tail_max = v[v.len() - 400..]
+            .iter()
+            .fold(0.0f64, |m, x| m.max(x.abs()));
+        assert!(tail_max > 10.0 * early_max, "no growth: {early_max} → {tail_max}");
+        assert!(tail_max < 10.0, "unbounded growth: {tail_max}");
+        // The oscillation frequency must be the tank resonance.
+        let crossings = v[v.len() / 2..]
+            .windows(2)
+            .filter(|w| w[0] * w[1] < 0.0)
+            .count();
+        let span = res.time.last().unwrap() - res.time[res.time.len() / 2];
+        let f_est = crossings as f64 / (2.0 * span);
+        assert!((f_est - f0).abs() / f0 < 0.02, "f = {f_est} vs f0 = {f0}");
+    }
+
+    #[test]
+    fn record_after_trims_output() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.vsource(n1, 0, SourceWave::Dc(1.0));
+        ckt.resistor(n1, 0, 1e3);
+        let opts = {
+            let mut o = TranOptions::new(1e-6, 1e-3);
+            o.t_record_start = 0.5e-3;
+            o
+        };
+        let res = transient(&ckt, &opts).unwrap();
+        assert!(res.time[0] >= 0.5e-3);
+        assert!(!res.is_empty());
+    }
+
+    #[test]
+    fn unknown_ic_node_is_rejected() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.vsource(n1, 0, SourceWave::Dc(1.0));
+        ckt.resistor(n1, 0, 1e3);
+        let opts = TranOptions::new(1e-6, 1e-3).with_ic(42, 1.0);
+        assert!(matches!(
+            transient(&ckt, &opts),
+            Err(CircuitError::UnknownNode { node: 42 })
+        ));
+    }
+}

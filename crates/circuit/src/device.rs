@@ -1,0 +1,328 @@
+//! Circuit device definitions.
+//!
+//! Devices are plain data; all analysis behaviour (stamping, companion
+//! models) lives in [`crate::mna`]. Terminal conventions:
+//!
+//! - Two-terminal devices conduct a current `i` from terminal `a` to
+//!   terminal `b` *through the device* (so `i` leaves node `a` and enters
+//!   node `b`).
+//! - The BJT uses SPICE terminal order: collector, base, emitter.
+
+use crate::iv::IvCurve;
+use crate::wave::SourceWave;
+use crate::NodeId;
+
+/// Ebers–Moll bipolar transistor parameters.
+///
+/// The defaults mirror the paper's "default NPN model in NGSPICE with
+/// `I_s = 10⁻¹² A`" (forward beta 100, reverse beta 1, `V_t = 25 mV`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BjtModel {
+    /// Transport saturation current `I_s` in amperes.
+    pub saturation_current: f64,
+    /// Forward current gain `β_F`.
+    pub beta_f: f64,
+    /// Reverse current gain `β_R`.
+    pub beta_r: f64,
+    /// Thermal voltage `V_t` in volts.
+    pub vt: f64,
+}
+
+impl Default for BjtModel {
+    fn default() -> Self {
+        BjtModel {
+            saturation_current: 1e-12,
+            beta_f: 100.0,
+            beta_r: 1.0,
+            vt: crate::THERMAL_VOLTAGE,
+        }
+    }
+}
+
+/// BJT polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BjtPolarity {
+    /// NPN: forward-active with `V_be > 0`.
+    Npn,
+    /// PNP: mirror image (all junction voltages and currents negated).
+    Pnp,
+}
+
+/// Level-1 (Shichman–Hodges) MOSFET parameters.
+///
+/// `i_D = k'·(W/L)·[(v_GS − V_th)v_DS − v_DS²/2]·(1 + λ v_DS)` in triode and
+/// `i_D = (k'/2)·(W/L)·(v_GS − V_th)²·(1 + λ v_DS)` in saturation, with the
+/// drain/source symmetry handled automatically for `v_DS < 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetModel {
+    /// Threshold voltage `V_th` (positive for NMOS enhancement).
+    pub vth: f64,
+    /// Process transconductance `k' = µ·C_ox` (A/V²).
+    pub kp: f64,
+    /// Aspect ratio `W/L`.
+    pub w_over_l: f64,
+    /// Channel-length modulation `λ` (1/V).
+    pub lambda: f64,
+}
+
+impl Default for MosfetModel {
+    fn default() -> Self {
+        MosfetModel {
+            vth: 0.5,
+            kp: 200e-6,
+            w_over_l: 50.0,
+            lambda: 0.02,
+        }
+    }
+}
+
+impl MosfetModel {
+    /// Drain current and its partials `(i_d, g_m, g_ds)` at `(v_gs, v_ds)`
+    /// for an NMOS device with `v_ds ≥ 0` (callers handle reversal).
+    pub fn evaluate(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        debug_assert!(vds >= 0.0, "caller must orient the channel");
+        let vov = vgs - self.vth;
+        let beta = self.kp * self.w_over_l;
+        if vov <= 0.0 {
+            // Cutoff: tiny leakage conductance keeps Newton matrices
+            // nonsingular when the whole branch is off.
+            let gleak = 1e-12;
+            return (gleak * vds, 0.0, gleak);
+        }
+        let clm = 1.0 + self.lambda * vds;
+        if vds < vov {
+            // Triode.
+            let id = beta * (vov * vds - 0.5 * vds * vds) * clm;
+            let gm = beta * vds * clm;
+            let gds = beta * ((vov - vds) * clm
+                + (vov * vds - 0.5 * vds * vds) * self.lambda);
+            (id, gm, gds)
+        } else {
+            // Saturation.
+            let id = 0.5 * beta * vov * vov * clm;
+            let gm = beta * vov * clm;
+            let gds = 0.5 * beta * vov * vov * self.lambda;
+            (id, gm, gds)
+        }
+    }
+}
+
+/// MOSFET polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosPolarity {
+    /// N-channel.
+    Nmos,
+    /// P-channel (all voltages and currents mirrored).
+    Pmos,
+}
+
+/// A circuit element.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Device {
+    /// Linear resistor.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (must be positive).
+        ohms: f64,
+    },
+    /// Linear capacitor.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (must be positive).
+        farads: f64,
+    },
+    /// Linear inductor (adds one branch-current unknown).
+    Inductor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries (must be positive).
+        henries: f64,
+    },
+    /// Independent voltage source `v_a − v_b = wave(t)` (adds one branch
+    /// current unknown).
+    Vsource {
+        /// Positive terminal.
+        a: NodeId,
+        /// Negative terminal.
+        b: NodeId,
+        /// Source waveform.
+        wave: SourceWave,
+    },
+    /// Independent current source driving `wave(t)` amperes from `a` to `b`
+    /// through the source.
+    Isource {
+        /// Terminal the current leaves.
+        a: NodeId,
+        /// Terminal the current enters.
+        b: NodeId,
+        /// Source waveform.
+        wave: SourceWave,
+    },
+    /// Junction diode `i = I_s (e^{v/(nV_t)} − 1)` from anode to cathode.
+    Diode {
+        /// Anode.
+        a: NodeId,
+        /// Cathode.
+        b: NodeId,
+        /// Saturation current in amperes.
+        saturation_current: f64,
+        /// Ideality factor.
+        ideality: f64,
+    },
+    /// Ebers–Moll bipolar transistor.
+    Bjt {
+        /// Collector.
+        c: NodeId,
+        /// Base.
+        b: NodeId,
+        /// Emitter.
+        e: NodeId,
+        /// Model parameters.
+        model: BjtModel,
+        /// NPN or PNP.
+        polarity: BjtPolarity,
+    },
+    /// Level-1 MOSFET (drain, gate, source; bulk tied to source).
+    Mosfet {
+        /// Drain.
+        d: NodeId,
+        /// Gate.
+        g: NodeId,
+        /// Source.
+        s: NodeId,
+        /// Model parameters.
+        model: MosfetModel,
+        /// NMOS or PMOS.
+        polarity: MosPolarity,
+    },
+    /// Memoryless nonlinear resistor `i = f(v_a − v_b)`.
+    Nonlinear {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// The `i = f(v)` characteristic.
+        curve: IvCurve,
+    },
+    /// Series-injection nonlinear element `i = f(v_a − v_b + v_inj(t))`.
+    ///
+    /// This realizes the paper's SHIL block diagram literally: the injection
+    /// voltage adds to the tank voltage *before* the nonlinearity, i.e.
+    /// `g(t) = v_out(t) + v_i(t)` feeds `f(·)`.
+    InjectedNonlinear {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// The `i = f(v)` characteristic.
+        curve: IvCurve,
+        /// The injection waveform `v_inj(t)`.
+        injection: SourceWave,
+    },
+}
+
+impl Device {
+    /// The nodes this device touches (used for connectivity checks).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Device::Resistor { a, b, .. }
+            | Device::Capacitor { a, b, .. }
+            | Device::Inductor { a, b, .. }
+            | Device::Vsource { a, b, .. }
+            | Device::Isource { a, b, .. }
+            | Device::Diode { a, b, .. }
+            | Device::Nonlinear { a, b, .. }
+            | Device::InjectedNonlinear { a, b, .. } => vec![*a, *b],
+            Device::Bjt { c, b, e, .. } => vec![*c, *b, *e],
+            Device::Mosfet { d, g, s, .. } => vec![*d, *g, *s],
+        }
+    }
+
+    /// Whether this device introduces a branch-current unknown in MNA.
+    pub fn has_branch_current(&self) -> bool {
+        matches!(self, Device::Vsource { .. } | Device::Inductor { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bjt_matches_paper_defaults() {
+        let m = BjtModel::default();
+        assert_eq!(m.saturation_current, 1e-12);
+        assert_eq!(m.vt, 0.025);
+        assert!(m.beta_f > m.beta_r);
+    }
+
+    #[test]
+    fn branch_current_devices() {
+        let v = Device::Vsource {
+            a: 1,
+            b: 0,
+            wave: SourceWave::Dc(1.0),
+        };
+        let r = Device::Resistor {
+            a: 1,
+            b: 0,
+            ohms: 1.0,
+        };
+        let l = Device::Inductor {
+            a: 1,
+            b: 0,
+            henries: 1e-6,
+        };
+        assert!(v.has_branch_current());
+        assert!(l.has_branch_current());
+        assert!(!r.has_branch_current());
+    }
+
+    #[test]
+    fn mosfet_regions_and_derivatives() {
+        let m = MosfetModel::default();
+        // Cutoff.
+        let (id, gm, _) = m.evaluate(0.2, 1.0);
+        assert!(id < 1e-9 && gm == 0.0);
+        // Saturation: id = 0.5 k' W/L vov² (1 + λ vds).
+        let (id, gm, gds) = m.evaluate(1.0, 2.0);
+        let expect = 0.5 * 200e-6 * 50.0 * 0.25 * (1.0 + 0.04);
+        assert!((id - expect).abs() < 1e-12);
+        assert!(gm > 0.0 && gds > 0.0);
+        // Triode boundary continuity.
+        let vov = 0.5;
+        let (i_tri, _, _) = m.evaluate(1.0, vov - 1e-9);
+        let (i_sat, _, _) = m.evaluate(1.0, vov + 1e-9);
+        assert!((i_tri - i_sat).abs() < 1e-9 * i_sat.max(1e-12));
+        // Finite-difference check of gm and gds in both regions.
+        for &(vgs, vds) in &[(1.0, 0.2), (1.0, 2.0), (0.8, 0.1)] {
+            let h = 1e-7;
+            let (i0, gm, gds) = m.evaluate(vgs, vds);
+            let (ip, _, _) = m.evaluate(vgs + h, vds);
+            let (iq, _, _) = m.evaluate(vgs, vds + h);
+            assert!(((ip - i0) / h - gm).abs() < 1e-4 * (1.0 + gm), "gm at {vgs},{vds}");
+            assert!(((iq - i0) / h - gds).abs() < 1e-4 * (1.0 + gds), "gds at {vgs},{vds}");
+        }
+    }
+
+    #[test]
+    fn nodes_enumeration() {
+        let q = Device::Bjt {
+            c: 3,
+            b: 2,
+            e: 1,
+            model: BjtModel::default(),
+            polarity: BjtPolarity::Npn,
+        };
+        assert_eq!(q.nodes(), vec![3, 2, 1]);
+    }
+}

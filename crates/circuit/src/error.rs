@@ -1,0 +1,99 @@
+use std::fmt;
+
+use shil_numerics::NumericsError;
+
+/// Errors produced by circuit construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A device referenced a node that does not exist in the circuit.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A device id did not refer to an existing device.
+    UnknownDevice {
+        /// The offending device index.
+        device: usize,
+    },
+    /// A device parameter was non-physical (documented per constructor).
+    InvalidParameter(String),
+    /// The requested analysis target was not applicable (e.g. asking for the
+    /// branch current of a resistor).
+    InvalidRequest(String),
+    /// The nonlinear solver failed to converge even with homotopy fallbacks.
+    ConvergenceFailure {
+        /// Analysis that failed ("op", "dc", "tran").
+        analysis: &'static str,
+        /// Context such as the time point or sweep value.
+        at: f64,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// An underlying numerical kernel failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode { node } => write!(f, "unknown node index {node}"),
+            CircuitError::UnknownDevice { device } => write!(f, "unknown device index {device}"),
+            CircuitError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CircuitError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            CircuitError::ConvergenceFailure {
+                analysis,
+                at,
+                residual,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge at {at:.6e} (residual {residual:.3e})"
+            ),
+            CircuitError::Numerics(e) => write!(f, "numerics failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for CircuitError {
+    fn from(e: NumericsError) -> Self {
+        CircuitError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            CircuitError::UnknownNode { node: 7 }.to_string(),
+            "unknown node index 7"
+        );
+        let e = CircuitError::ConvergenceFailure {
+            analysis: "tran",
+            at: 1e-6,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("tran"));
+        let e: CircuitError = NumericsError::SingularMatrix { pivot: 1 }.into();
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn source_chains_to_numerics() {
+        use std::error::Error;
+        let e: CircuitError = NumericsError::SingularMatrix { pivot: 0 }.into();
+        assert!(e.source().is_some());
+        assert!(CircuitError::UnknownNode { node: 0 }.source().is_none());
+    }
+}

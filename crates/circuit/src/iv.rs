@@ -1,0 +1,262 @@
+//! Static `i = f(v)` characteristics for nonlinear resistive elements.
+//!
+//! The analysis side (`shil-core`) and the simulation side (this crate)
+//! share the same physical device curves through [`IvCurve`]: an analytic or
+//! tabulated memoryless nonlinearity with an analytic derivative for Newton
+//! stamping. The tunnel-diode variant implements the exact equations of the
+//! paper's appendix §VI-C.
+
+use shil_numerics::interp::Pchip;
+
+use crate::error::CircuitError;
+
+pub use shil_core::nonlinearity::{limexp, limexp_deriv, TunnelDiodeModel};
+
+/// A memoryless `i = f(v)` characteristic with analytic derivative.
+///
+/// ```
+/// use shil_circuit::IvCurve;
+///
+/// // A negative-resistance tanh element: i = −1 mA · tanh(20·v).
+/// let f = IvCurve::tanh(-1e-3, 20.0);
+/// assert!(f.current(0.5) < 0.0);
+/// assert!(f.conductance(0.0) < 0.0); // negative differential resistance
+/// ```
+#[derive(Debug, Clone)]
+pub enum IvCurve {
+    /// `i = g·v` (a plain conductance).
+    Linear {
+        /// Conductance in siemens.
+        g: f64,
+    },
+    /// `i = i_sat · tanh(gain · v)`. A negative `i_sat` (or negative `gain`)
+    /// gives the paper's `−tanh` negative-resistance element.
+    Tanh {
+        /// Saturation current (signed).
+        i_sat: f64,
+        /// Voltage gain inside the tanh, 1/V.
+        gain: f64,
+    },
+    /// `i = Σ c_k v^k`, coefficients in ascending order. A van der Pol
+    /// element is `[0, −g1, 0, g3]`.
+    Polynomial(Vec<f64>),
+    /// The paper's tunnel diode (appendix §VI-C).
+    TunnelDiode(TunnelDiodeModel),
+    /// Tabulated data interpolated with shape-preserving PCHIP — the bridge
+    /// from DC-sweep extraction (Fig. 12a) into analysis and simulation.
+    Table(Pchip),
+    /// `i = inner(v + v_offset) − i_offset`: bias-shifting adapter (used to
+    /// re-center the tunnel diode around its 0.25 V negative-resistance
+    /// operating point, as in Fig. 16).
+    Shifted {
+        /// The unshifted curve.
+        inner: Box<IvCurve>,
+        /// Voltage shift added to the argument.
+        v_offset: f64,
+        /// Current subtracted from the result.
+        i_offset: f64,
+    },
+}
+
+impl IvCurve {
+    /// Creates a tanh curve `i = i_sat·tanh(gain·v)`.
+    pub fn tanh(i_sat: f64, gain: f64) -> Self {
+        IvCurve::Tanh { i_sat, gain }
+    }
+
+    /// Creates a tabulated curve from `(v, i)` samples (strictly increasing
+    /// in `v`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if the samples are not a
+    /// valid strictly increasing table of at least two points.
+    pub fn table(v: Vec<f64>, i: Vec<f64>) -> Result<Self, CircuitError> {
+        let pchip = Pchip::new(v, i)
+            .map_err(|e| CircuitError::InvalidParameter(format!("bad i(v) table: {e}")))?;
+        Ok(IvCurve::Table(pchip))
+    }
+
+    /// Wraps this curve with a bias shift: `i = self(v + v_offset) − i_offset`.
+    ///
+    /// Choosing `i_offset = self(v_offset)` moves the operating point to the
+    /// origin, which is the normalization the describing-function analysis
+    /// assumes.
+    #[must_use]
+    pub fn shifted(self, v_offset: f64, i_offset: f64) -> Self {
+        IvCurve::Shifted {
+            inner: Box::new(self),
+            v_offset,
+            i_offset,
+        }
+    }
+
+    /// Re-centers the curve so that `(v_bias, self(v_bias))` maps to the
+    /// origin.
+    #[must_use]
+    pub fn biased_at(self, v_bias: f64) -> Self {
+        let i_bias = self.current(v_bias);
+        self.shifted(v_bias, i_bias)
+    }
+
+    /// Current at voltage `v`.
+    pub fn current(&self, v: f64) -> f64 {
+        match self {
+            IvCurve::Linear { g } => g * v,
+            IvCurve::Tanh { i_sat, gain } => i_sat * (gain * v).tanh(),
+            IvCurve::Polynomial(coeffs) => {
+                // Horner evaluation.
+                coeffs.iter().rev().fold(0.0, |acc, &c| acc * v + c)
+            }
+            IvCurve::TunnelDiode(model) => model.current(v),
+            IvCurve::Table(pchip) => pchip.eval(v).unwrap_or_else(|_| {
+                // Linear extrapolation policy never errors; this branch is
+                // unreachable but kept total.
+                0.0
+            }),
+            IvCurve::Shifted {
+                inner,
+                v_offset,
+                i_offset,
+            } => inner.current(v + v_offset) - i_offset,
+        }
+    }
+
+    /// Differential conductance `df/dv` at `v`.
+    pub fn conductance(&self, v: f64) -> f64 {
+        match self {
+            IvCurve::Linear { g } => *g,
+            IvCurve::Tanh { i_sat, gain } => {
+                let c = (gain * v).cosh();
+                i_sat * gain / (c * c)
+            }
+            IvCurve::Polynomial(coeffs) => {
+                let mut acc = 0.0;
+                for (k, &c) in coeffs.iter().enumerate().skip(1).rev() {
+                    acc = acc * v + c * k as f64;
+                }
+                acc
+            }
+            IvCurve::TunnelDiode(model) => model.conductance(v),
+            IvCurve::Table(pchip) => pchip.derivative(v),
+            IvCurve::Shifted { inner, v_offset, .. } => inner.conductance(v + v_offset),
+        }
+    }
+}
+
+/// `IvCurve` plugs directly into the describing-function analysis of
+/// `shil-core`: the same device curve drives both the simulator and the
+/// predictor (the workflow of §IV of the paper).
+impl shil_core::Nonlinearity for IvCurve {
+    fn current(&self, v: f64) -> f64 {
+        IvCurve::current(self, v)
+    }
+    fn conductance(&self, v: f64) -> f64 {
+        IvCurve::conductance(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_conductance(curve: &IvCurve, v: f64) -> f64 {
+        let h = 1e-7 * (1.0 + v.abs());
+        (curve.current(v + h) - curve.current(v - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn tanh_curve_values_and_slope() {
+        let f = IvCurve::tanh(-1e-3, 20.0);
+        assert_eq!(f.current(0.0), 0.0);
+        assert!((f.current(1.0) + 1e-3).abs() < 1e-9); // saturated
+        assert!((f.conductance(0.0) + 0.02).abs() < 1e-12);
+        for &v in &[-0.3, -0.05, 0.0, 0.02, 0.4] {
+            assert!((f.conductance(v) - fd_conductance(&f, v)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn polynomial_horner_and_derivative() {
+        // Van der Pol: i = −0.01 v + 0.002 v³.
+        let f = IvCurve::Polynomial(vec![0.0, -0.01, 0.0, 0.002]);
+        assert!((f.current(2.0) - (-0.02 + 0.016)).abs() < 1e-15);
+        for &v in &[-2.0, -0.5, 0.0, 1.0, 3.0] {
+            assert!((f.conductance(v) - fd_conductance(&f, v)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn tunnel_diode_matches_paper_equations() {
+        let m = TunnelDiodeModel::default();
+        // At v = 0.1 V: I_tunnel = (0.1/1000)·e^{−0.25} and I_diode = 1e−12(e⁴−1).
+        let expect = 0.1 / 1000.0 * (-0.25f64).exp() + 1e-12 * ((4.0f64).exp() - 1.0);
+        assert!((m.current(0.1) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tunnel_diode_has_negative_resistance_region() {
+        let f = IvCurve::TunnelDiode(TunnelDiodeModel::default());
+        // The paper bias point: ~0.25 V sits in the negative-slope valley.
+        assert!(f.conductance(0.25) < 0.0, "g(0.25) = {}", f.conductance(0.25));
+        // Peak occurs below 0.2 V, positive slope near zero.
+        assert!(f.conductance(0.05) > 0.0);
+        // Past the valley the junction term restores positive slope.
+        assert!(f.conductance(0.6) > 0.0);
+    }
+
+    #[test]
+    fn tunnel_diode_conductance_matches_fd() {
+        let f = IvCurve::TunnelDiode(TunnelDiodeModel::default());
+        for &v in &[-0.1, 0.0, 0.1, 0.25, 0.4, 0.7] {
+            let fd = fd_conductance(&f, v);
+            assert!(
+                (f.conductance(v) - fd).abs() < 1e-6 * (1.0 + fd.abs()),
+                "v={v}: {} vs {}",
+                f.conductance(v),
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn biased_tunnel_diode_passes_through_origin() {
+        let f = IvCurve::TunnelDiode(TunnelDiodeModel::default()).biased_at(0.25);
+        assert!(f.current(0.0).abs() < 1e-18);
+        // Negative resistance is preserved at the new origin.
+        assert!(f.conductance(0.0) < 0.0);
+    }
+
+    #[test]
+    fn table_interpolates_and_differentiates() {
+        let v: Vec<f64> = (0..50).map(|i| -0.5 + i as f64 * 0.02).collect();
+        let i: Vec<f64> = v.iter().map(|&x| -1e-3 * (15.0 * x).tanh()).collect();
+        let f = IvCurve::table(v, i).unwrap();
+        let exact = IvCurve::tanh(-1e-3, 15.0);
+        for &q in &[-0.4, -0.12, 0.0, 0.07, 0.33] {
+            assert!((f.current(q) - exact.current(q)).abs() < 2e-5);
+            assert!((f.conductance(q) - fd_conductance(&f, q)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn table_rejects_bad_data() {
+        assert!(IvCurve::table(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(IvCurve::table(vec![0.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn linear_curve() {
+        let f = IvCurve::Linear { g: 0.01 };
+        assert_eq!(f.current(2.0), 0.02);
+        assert_eq!(f.conductance(-5.0), 0.01);
+    }
+
+    #[test]
+    fn shifted_semantics() {
+        let f = IvCurve::tanh(1e-3, 10.0).shifted(0.1, 5e-4);
+        assert!((f.current(0.0) - (1e-3 * 1.0f64.tanh() - 5e-4)).abs() < 1e-12);
+        let g_inner = IvCurve::tanh(1e-3, 10.0).conductance(0.1);
+        assert!((f.conductance(0.0) - g_inner).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,63 @@
+//! A small SPICE-like circuit simulator built on modified nodal analysis.
+//!
+//! The DAC 2014 SHIL paper validates its describing-function predictions
+//! against NGSPICE transient simulations of two oscillators (a cross-coupled
+//! BJT differential pair and a tunnel-diode oscillator). This crate is the
+//! reproduction's stand-in for NGSPICE: a self-contained MNA simulator with
+//!
+//! - **devices**: resistors, capacitors, inductors, independent V/I sources
+//!   (DC / sine / pulse / PWL), junction diodes, Ebers–Moll BJTs, the tunnel
+//!   diode of the paper's appendix §VI-C, arbitrary analytic or tabulated
+//!   `i = f(v)` nonlinear resistors, and a *series-injection* nonlinear
+//!   element that realizes the paper's `g(t) = v_out(t) + v_i(t)` block
+//!   diagram exactly;
+//! - **analyses**: operating point (Newton with gmin and source stepping),
+//!   DC sweep (used to extract `i = f(v)` curves as in Fig. 11b/12a), AC
+//!   small-signal sweep (used to pre-characterize arbitrary tanks), and
+//!   transient (trapezoidal or backward-Euler companion models with Newton
+//!   per step).
+//!
+//! # Example — an RC low-pass step response
+//!
+//! ```
+//! use shil_circuit::{Circuit, SourceWave};
+//! use shil_circuit::analysis::{transient, TranOptions};
+//!
+//! # fn main() -> Result<(), shil_circuit::CircuitError> {
+//! let mut ckt = Circuit::new();
+//! let n_in = ckt.node("in");
+//! let n_out = ckt.node("out");
+//! ckt.vsource(n_in, Circuit::GROUND, SourceWave::Dc(1.0));
+//! ckt.resistor(n_in, n_out, 1e3);
+//! ckt.capacitor(n_out, Circuit::GROUND, 1e-6);
+//!
+//! let result = transient(&ckt, &TranOptions::new(1e-5, 5e-3))?;
+//! let v_end = *result.node_voltage(n_out)?.last().expect("has samples");
+//! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 5 time constants
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod circuit;
+pub mod device;
+pub mod iv;
+pub mod mna;
+pub mod netlist;
+pub mod trace;
+pub mod wave;
+
+mod error;
+
+pub use circuit::{Circuit, DeviceId, NodeId};
+pub use error::CircuitError;
+pub use iv::IvCurve;
+pub use trace::{Trace, TranResult};
+pub use wave::SourceWave;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CircuitError>;
+
+/// Thermal voltage `kT/q` at the paper's operating temperature (25 mV, the
+/// value used by the tunnel-diode model in appendix §VI-C).
+pub const THERMAL_VOLTAGE: f64 = 0.025;

@@ -1,0 +1,623 @@
+//! Modified nodal analysis: unknown layout and residual/Jacobian assembly.
+//!
+//! The unknown vector is `x = [v₁ … v_{N−1}, i_b₁ … i_bM]`: one voltage per
+//! non-ground node followed by one branch current per voltage source and
+//! inductor. Analyses drive Newton iterations on the residual
+//!
+//! ```text
+//! F_node(x)   = Σ currents leaving the node through devices  (KCL)
+//! F_branch(x) = device branch equation (V source, inductor)
+//! ```
+//!
+//! with the Jacobian assembled analytically from device derivatives.
+
+use shil_numerics::Matrix;
+
+use crate::circuit::Circuit;
+use crate::device::{BjtPolarity, Device, MosPolarity};
+use crate::iv::{limexp, limexp_deriv};
+
+/// Integration method for dynamic (C, L) companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Trapezoidal rule (2nd order, A-stable; SPICE default).
+    #[default]
+    Trapezoidal,
+    /// Backward Euler (1st order, L-stable; used for the first step and as
+    /// a damping fallback).
+    BackwardEuler,
+}
+
+/// Maps devices and nodes to unknown-vector indices.
+#[derive(Debug, Clone)]
+pub struct MnaStructure {
+    num_nodes: usize,
+    branch_of_device: Vec<Option<usize>>,
+    size: usize,
+}
+
+impl MnaStructure {
+    /// Builds the unknown layout for a circuit.
+    pub fn new(ckt: &Circuit) -> Self {
+        let num_nodes = ckt.num_nodes();
+        let mut branch_of_device = Vec::with_capacity(ckt.devices().len());
+        let mut next_branch = 0usize;
+        for d in ckt.devices() {
+            if d.has_branch_current() {
+                branch_of_device.push(Some(next_branch));
+                next_branch += 1;
+            } else {
+                branch_of_device.push(None);
+            }
+        }
+        MnaStructure {
+            num_nodes,
+            branch_of_device,
+            size: (num_nodes - 1) + next_branch,
+        }
+    }
+
+    /// Total number of unknowns.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Row/column of a node voltage, or `None` for ground.
+    #[inline]
+    pub fn node_index(&self, node: usize) -> Option<usize> {
+        if node == 0 {
+            None
+        } else {
+            Some(node - 1)
+        }
+    }
+
+    /// Row/column of a device's branch current, if it has one.
+    #[inline]
+    pub fn branch_index(&self, device_idx: usize) -> Option<usize> {
+        self.branch_of_device
+            .get(device_idx)
+            .copied()
+            .flatten()
+            .map(|b| (self.num_nodes - 1) + b)
+    }
+
+    /// Node voltage from an unknown vector (0.0 for ground).
+    #[inline]
+    pub fn voltage(&self, x: &[f64], node: usize) -> f64 {
+        match self.node_index(node) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+}
+
+/// History carried between transient steps for dynamic elements, indexed by
+/// device position in the netlist.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicState {
+    /// Capacitor terminal voltage at the previous accepted time point.
+    pub cap_v: Vec<f64>,
+    /// Capacitor current at the previous accepted time point.
+    pub cap_i: Vec<f64>,
+    /// Inductor terminal voltage at the previous accepted time point.
+    pub ind_v: Vec<f64>,
+    /// Inductor current at the previous accepted time point.
+    pub ind_i: Vec<f64>,
+}
+
+impl DynamicState {
+    /// Zero-initialized state sized for a circuit.
+    pub fn for_circuit(ckt: &Circuit) -> Self {
+        let n = ckt.devices().len();
+        DynamicState {
+            cap_v: vec![0.0; n],
+            cap_i: vec![0.0; n],
+            ind_v: vec![0.0; n],
+            ind_i: vec![0.0; n],
+        }
+    }
+}
+
+/// How sources and dynamic elements are treated during assembly.
+#[derive(Debug, Clone, Copy)]
+pub enum StampMode<'a> {
+    /// DC: sources at `dc_value()·scale`, capacitors open, inductors short.
+    Dc {
+        /// Homotopy scale factor applied to all independent sources.
+        source_scale: f64,
+    },
+    /// Transient step ending at time `t` with step `dt` from the state in
+    /// `prev`.
+    Transient {
+        /// Time at the *end* of the step (where the residual is enforced).
+        t: f64,
+        /// Step size.
+        dt: f64,
+        /// Integration method for companion models.
+        method: Integrator,
+        /// Dynamic-element history at the start of the step.
+        prev: &'a DynamicState,
+    },
+}
+
+/// Assembles the MNA residual and Jacobian at the point `x`.
+///
+/// `gmin` adds a conductance from every non-ground node to ground — the
+/// classic convergence aid (0.0 disables it).
+///
+/// # Panics
+///
+/// Panics if buffer sizes disagree with `structure.size()`.
+pub fn assemble(
+    ckt: &Circuit,
+    structure: &MnaStructure,
+    x: &[f64],
+    mode: StampMode<'_>,
+    gmin: f64,
+    residual: &mut [f64],
+    jac: &mut Matrix,
+) {
+    let n = structure.size();
+    assert_eq!(x.len(), n, "state size mismatch");
+    assert_eq!(residual.len(), n, "residual size mismatch");
+    assert_eq!(jac.rows(), n, "jacobian size mismatch");
+
+    residual.fill(0.0);
+    jac.clear();
+
+    // KCL helper: current `i` leaves `node` through a device.
+    macro_rules! kcl {
+        ($node:expr, $i:expr) => {
+            if let Some(r) = structure.node_index($node) {
+                residual[r] += $i;
+            }
+        };
+    }
+    // Jacobian helper: ∂F_row(node)/∂x_col += g.
+    macro_rules! jkcl {
+        ($node:expr, $col:expr, $g:expr) => {
+            if let Some(r) = structure.node_index($node) {
+                jac.add_at(r, $col, $g);
+            }
+        };
+    }
+
+    for (di, dev) in ckt.devices().iter().enumerate() {
+        match dev {
+            Device::Resistor { a, b, ohms } => {
+                let g = 1.0 / ohms;
+                let v = structure.voltage(x, *a) - structure.voltage(x, *b);
+                let i = g * v;
+                kcl!(*a, i);
+                kcl!(*b, -i);
+                stamp_conductance(structure, jac, *a, *b, g);
+            }
+            Device::Capacitor { a, b, farads } => {
+                if let StampMode::Transient {
+                    dt, method, prev, ..
+                } = mode
+                {
+                    let (geq, ieq) = match method {
+                        Integrator::Trapezoidal => {
+                            let geq = 2.0 * farads / dt;
+                            (geq, geq * prev.cap_v[di] + prev.cap_i[di])
+                        }
+                        Integrator::BackwardEuler => {
+                            let geq = farads / dt;
+                            (geq, geq * prev.cap_v[di])
+                        }
+                    };
+                    let v = structure.voltage(x, *a) - structure.voltage(x, *b);
+                    let i = geq * v - ieq;
+                    kcl!(*a, i);
+                    kcl!(*b, -i);
+                    stamp_conductance(structure, jac, *a, *b, geq);
+                }
+                // DC: an ideal capacitor is an open circuit — no stamp.
+            }
+            Device::Inductor { a, b, henries } => {
+                let bi = structure.branch_index(di).expect("inductor has branch");
+                let i = x[bi];
+                kcl!(*a, i);
+                kcl!(*b, -i);
+                jkcl!(*a, bi, 1.0);
+                jkcl!(*b, bi, -1.0);
+                let v = structure.voltage(x, *a) - structure.voltage(x, *b);
+                match mode {
+                    StampMode::Dc { .. } => {
+                        // Short circuit: v = 0.
+                        residual[bi] += v;
+                        stamp_branch_voltage(structure, jac, bi, *a, *b);
+                    }
+                    StampMode::Transient {
+                        dt, method, prev, ..
+                    } => match method {
+                        Integrator::Trapezoidal => {
+                            // v_n + v_{n−1} = (2L/dt)(i_n − i_{n−1})
+                            let k = 2.0 * henries / dt;
+                            residual[bi] += v + prev.ind_v[di] - k * (i - prev.ind_i[di]);
+                            stamp_branch_voltage(structure, jac, bi, *a, *b);
+                            jac.add_at(bi, bi, -k);
+                        }
+                        Integrator::BackwardEuler => {
+                            let k = henries / dt;
+                            residual[bi] += v - k * (i - prev.ind_i[di]);
+                            stamp_branch_voltage(structure, jac, bi, *a, *b);
+                            jac.add_at(bi, bi, -k);
+                        }
+                    },
+                }
+            }
+            Device::Vsource { a, b, wave } => {
+                let bi = structure.branch_index(di).expect("vsource has branch");
+                let i = x[bi];
+                kcl!(*a, i);
+                kcl!(*b, -i);
+                jkcl!(*a, bi, 1.0);
+                jkcl!(*b, bi, -1.0);
+                let v_src = match mode {
+                    StampMode::Dc { source_scale } => wave.dc_value() * source_scale,
+                    StampMode::Transient { t, .. } => wave.value(t),
+                };
+                let v = structure.voltage(x, *a) - structure.voltage(x, *b);
+                residual[bi] += v - v_src;
+                stamp_branch_voltage(structure, jac, bi, *a, *b);
+            }
+            Device::Isource { a, b, wave } => {
+                let i_src = match mode {
+                    StampMode::Dc { source_scale } => wave.dc_value() * source_scale,
+                    StampMode::Transient { t, .. } => wave.value(t),
+                };
+                kcl!(*a, i_src);
+                kcl!(*b, -i_src);
+            }
+            Device::Diode {
+                a,
+                b,
+                saturation_current,
+                ideality,
+            } => {
+                let nvt = ideality * crate::THERMAL_VOLTAGE;
+                let v = structure.voltage(x, *a) - structure.voltage(x, *b);
+                let i = saturation_current * (limexp(v / nvt) - 1.0);
+                let g = saturation_current * limexp_deriv(v / nvt) / nvt;
+                kcl!(*a, i);
+                kcl!(*b, -i);
+                stamp_conductance(structure, jac, *a, *b, g);
+            }
+            Device::Bjt {
+                c,
+                b,
+                e,
+                model,
+                polarity,
+            } => {
+                let s = match polarity {
+                    BjtPolarity::Npn => 1.0,
+                    BjtPolarity::Pnp => -1.0,
+                };
+                let vt = model.vt;
+                let is = model.saturation_current;
+                let vbe = s * (structure.voltage(x, *b) - structure.voltage(x, *e));
+                let vbc = s * (structure.voltage(x, *b) - structure.voltage(x, *c));
+                let ee = limexp(vbe / vt);
+                let ec = limexp(vbc / vt);
+                let dee = limexp_deriv(vbe / vt) / vt;
+                let dec = limexp_deriv(vbc / vt) / vt;
+                // Transport model: Icc = Is(e^{vbe/Vt} − e^{vbc/Vt}).
+                let ic = is * (ee - ec) - is / model.beta_r * (ec - 1.0);
+                let ib = is / model.beta_f * (ee - 1.0) + is / model.beta_r * (ec - 1.0);
+                // Currents entering the device terminals (NPN orientation),
+                // then flipped by polarity.
+                kcl!(*c, s * ic);
+                kcl!(*b, s * ib);
+                kcl!(*e, -s * (ic + ib));
+                // Partials w.r.t. (vbe, vbc); the polarity factors cancel in
+                // the node-voltage chain rule (s·∂/∂v = s²·∂/∂V' = ∂/∂V').
+                let dic_dvbe = is * dee;
+                let dic_dvbc = -is * dec - is / model.beta_r * dec;
+                let dib_dvbe = is / model.beta_f * dee;
+                let dib_dvbc = is / model.beta_r * dec;
+                // vbe = s(vb − ve), vbc = s(vb − vc)
+                let mut stamp3 = |node: usize, d_dvbe: f64, d_dvbc: f64| {
+                    // ∂(s·I)/∂vb, ∂vc, ∂ve:
+                    if let Some(rb) = structure.node_index(*b) {
+                        jkcl!(node, rb, d_dvbe + d_dvbc);
+                    }
+                    if let Some(re) = structure.node_index(*e) {
+                        jkcl!(node, re, -d_dvbe);
+                    }
+                    if let Some(rc) = structure.node_index(*c) {
+                        jkcl!(node, rc, -d_dvbc);
+                    }
+                };
+                stamp3(*c, dic_dvbe, dic_dvbc);
+                stamp3(*b, dib_dvbe, dib_dvbc);
+                stamp3(*e, -(dic_dvbe + dib_dvbe), -(dic_dvbc + dib_dvbc));
+            }
+            Device::Mosfet {
+                d,
+                g,
+                s: src,
+                model,
+                polarity,
+            } => {
+                let sgn = match polarity {
+                    MosPolarity::Nmos => 1.0,
+                    MosPolarity::Pmos => -1.0,
+                };
+                let vd = structure.voltage(x, *d);
+                let vg = structure.voltage(x, *g);
+                let vs = structure.voltage(x, *src);
+                // Orient the symmetric channel so the model sees v_ds ≥ 0.
+                let (deff, seff) = if sgn * (vd - vs) >= 0.0 {
+                    (*d, *src)
+                } else {
+                    (*src, *d)
+                };
+                let vde = structure.voltage(x, deff);
+                let vse = structure.voltage(x, seff);
+                let vgs = sgn * (vg - vse);
+                let vds = sgn * (vde - vse);
+                let (id, gm, gds) = model.evaluate(vgs, vds);
+                // Physical drain current flows deff → seff inside the
+                // device (sign handled by polarity).
+                kcl!(deff, sgn * id);
+                kcl!(seff, -(sgn * id));
+                // ∂(sgn·id)/∂v: the polarity factors cancel (sgn² = 1).
+                let mut stamp_row = |node: usize, sign_row: f64| {
+                    if let Some(cg) = structure.node_index(*g) {
+                        jkcl!(node, cg, sign_row * gm);
+                    }
+                    if let Some(cd) = structure.node_index(deff) {
+                        jkcl!(node, cd, sign_row * gds);
+                    }
+                    if let Some(cs) = structure.node_index(seff) {
+                        jkcl!(node, cs, -sign_row * (gm + gds));
+                    }
+                };
+                stamp_row(deff, 1.0);
+                stamp_row(seff, -1.0);
+            }
+            Device::Nonlinear { a, b, curve } => {
+                let v = structure.voltage(x, *a) - structure.voltage(x, *b);
+                let i = curve.current(v);
+                let g = curve.conductance(v);
+                kcl!(*a, i);
+                kcl!(*b, -i);
+                stamp_conductance(structure, jac, *a, *b, g);
+            }
+            Device::InjectedNonlinear {
+                a,
+                b,
+                curve,
+                injection,
+            } => {
+                let v_inj = match mode {
+                    StampMode::Dc { source_scale } => injection.dc_value() * source_scale,
+                    StampMode::Transient { t, .. } => injection.value(t),
+                };
+                let v = structure.voltage(x, *a) - structure.voltage(x, *b) + v_inj;
+                let i = curve.current(v);
+                let g = curve.conductance(v);
+                kcl!(*a, i);
+                kcl!(*b, -i);
+                stamp_conductance(structure, jac, *a, *b, g);
+            }
+        }
+    }
+
+    // gmin shunts on every non-ground node.
+    if gmin > 0.0 {
+        for node in 1..ckt.num_nodes() {
+            let r = structure.node_index(node).expect("non-ground");
+            residual[r] += gmin * x[r];
+            jac.add_at(r, r, gmin);
+        }
+    }
+}
+
+/// Stamps a conductance `g` between nodes `a` and `b` into the Jacobian.
+fn stamp_conductance(structure: &MnaStructure, jac: &mut Matrix, a: usize, b: usize, g: f64) {
+    let ia = structure.node_index(a);
+    let ib = structure.node_index(b);
+    if let Some(ra) = ia {
+        jac.add_at(ra, ra, g);
+        if let Some(rb) = ib {
+            jac.add_at(ra, rb, -g);
+        }
+    }
+    if let Some(rb) = ib {
+        jac.add_at(rb, rb, g);
+        if let Some(ra) = ia {
+            jac.add_at(rb, ra, -g);
+        }
+    }
+}
+
+/// Stamps `∂(v_a − v_b)/∂x` into branch row `bi`.
+fn stamp_branch_voltage(
+    structure: &MnaStructure,
+    jac: &mut Matrix,
+    bi: usize,
+    a: usize,
+    b: usize,
+) {
+    if let Some(ra) = structure.node_index(a) {
+        jac.add_at(bi, ra, 1.0);
+    }
+    if let Some(rb) = structure.node_index(b) {
+        jac.add_at(bi, rb, -1.0);
+    }
+}
+
+/// Updates the dynamic-element history after an accepted step at solution
+/// `x` (must match the `mode` used to assemble that step).
+pub fn update_dynamic_state(
+    ckt: &Circuit,
+    structure: &MnaStructure,
+    x: &[f64],
+    dt: f64,
+    method: Integrator,
+    prev: &DynamicState,
+    next: &mut DynamicState,
+) {
+    for (di, dev) in ckt.devices().iter().enumerate() {
+        match dev {
+            Device::Capacitor { a, b, farads } => {
+                let v = structure.voltage(x, *a) - structure.voltage(x, *b);
+                let i = match method {
+                    Integrator::Trapezoidal => {
+                        let geq = 2.0 * farads / dt;
+                        geq * (v - prev.cap_v[di]) - prev.cap_i[di]
+                    }
+                    Integrator::BackwardEuler => farads / dt * (v - prev.cap_v[di]),
+                };
+                next.cap_v[di] = v;
+                next.cap_i[di] = i;
+            }
+            Device::Inductor { a, b, .. } => {
+                let bi = structure.branch_index(di).expect("inductor has branch");
+                next.ind_v[di] = structure.voltage(x, *a) - structure.voltage(x, *b);
+                next.ind_i[di] = x[bi];
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::SourceWave;
+
+    /// Finite-difference check of the assembled Jacobian on a nonlinear
+    /// circuit exercising most device kinds.
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        let n3 = ckt.node("n3");
+        ckt.vsource(n1, 0, SourceWave::Dc(2.0));
+        ckt.resistor(n1, n2, 1e3);
+        ckt.diode(n2, 0, 1e-12, 1.0);
+        ckt.npn(n2, n3, 0, Default::default());
+        ckt.nmos(n3, n2, 0, Default::default());
+        ckt.pmos(n3, n2, n1, Default::default());
+        ckt.resistor(n3, n1, 5e3);
+        ckt.nonlinear(n2, n3, crate::IvCurve::tanh(-1e-3, 10.0));
+        ckt.isource(n1, n3, SourceWave::Dc(1e-4));
+
+        let structure = MnaStructure::new(&ckt);
+        let n = structure.size();
+        let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let mode = StampMode::Dc { source_scale: 1.0 };
+
+        let mut r0 = vec![0.0; n];
+        let mut jac = Matrix::zeros(n, n);
+        assemble(&ckt, &structure, &x, mode, 1e-9, &mut r0, &mut jac);
+
+        let mut r1 = vec![0.0; n];
+        let mut jac_scratch = Matrix::zeros(n, n);
+        let h = 1e-7;
+        for j in 0..n {
+            let mut xp = x.clone();
+            xp[j] += h;
+            assemble(&ckt, &structure, &xp, mode, 1e-9, &mut r1, &mut jac_scratch);
+            for i in 0..n {
+                let fd = (r1[i] - r0[i]) / h;
+                assert!(
+                    (jac[(i, j)] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "J[{i},{j}] = {} but fd = {}",
+                    jac[(i, j)],
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_jacobian_matches_finite_differences() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.vsource(n1, 0, SourceWave::sine(1.0, 1e3, 0.0));
+        ckt.resistor(n1, n2, 1e3);
+        ckt.capacitor(n2, 0, 1e-6);
+        ckt.inductor(n2, 0, 1e-3);
+        ckt.injected_nonlinear(
+            n2,
+            0,
+            crate::IvCurve::tanh(-2e-3, 5.0),
+            SourceWave::sine(0.1, 3e3, 0.0),
+        );
+
+        let structure = MnaStructure::new(&ckt);
+        let n = structure.size();
+        let mut prev = DynamicState::for_circuit(&ckt);
+        prev.cap_v.fill(0.2);
+        prev.cap_i.fill(1e-4);
+        prev.ind_v.fill(0.1);
+        prev.ind_i.fill(2e-3);
+        let mode = StampMode::Transient {
+            t: 1e-4,
+            dt: 1e-6,
+            method: Integrator::Trapezoidal,
+            prev: &prev,
+        };
+
+        let x: Vec<f64> = (0..n).map(|i| 0.05 * (i as f64 + 1.0)).collect();
+        let mut r0 = vec![0.0; n];
+        let mut jac = Matrix::zeros(n, n);
+        assemble(&ckt, &structure, &x, mode, 0.0, &mut r0, &mut jac);
+
+        let mut r1 = vec![0.0; n];
+        let mut scratch = Matrix::zeros(n, n);
+        let h = 1e-8;
+        for j in 0..n {
+            let mut xp = x.clone();
+            xp[j] += h;
+            assemble(&ckt, &structure, &xp, mode, 0.0, &mut r1, &mut scratch);
+            for i in 0..n {
+                let fd = (r1[i] - r0[i]) / h;
+                assert!(
+                    (jac[(i, j)] - fd).abs() < 1e-2 * (1.0 + fd.abs()),
+                    "J[{i},{j}] = {} but fd = {}",
+                    jac[(i, j)],
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structure_layout() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.resistor(a, b, 1.0);
+        let v = ckt.vsource(a, 0, SourceWave::Dc(1.0));
+        let l = ckt.inductor(b, 0, 1e-6);
+        let structure = MnaStructure::new(&ckt);
+        // 2 node voltages + 2 branch currents.
+        assert_eq!(structure.size(), 4);
+        assert_eq!(structure.node_index(0), None);
+        assert_eq!(structure.node_index(a), Some(0));
+        assert_eq!(structure.branch_index(v.index()), Some(2));
+        assert_eq!(structure.branch_index(l.index()), Some(3));
+        assert_eq!(structure.branch_index(0), None); // the resistor
+    }
+
+    #[test]
+    fn voltage_of_ground_is_zero() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor(a, 0, 1.0);
+        let structure = MnaStructure::new(&ckt);
+        let x = vec![3.3];
+        assert_eq!(structure.voltage(&x, 0), 0.0);
+        assert_eq!(structure.voltage(&x, a), 3.3);
+    }
+}

@@ -1,0 +1,588 @@
+//! SPICE-flavoured text netlists.
+//!
+//! A compact, line-oriented format so circuits can live in files and test
+//! vectors instead of Rust code. The first letter of each element name
+//! selects the device, as in SPICE:
+//!
+//! ```text
+//! * cross-coupled pair with a tank (comment lines start with '*')
+//! V1 vdd 0 DC 5
+//! Q1 ncl ncr ne IS=1e-12 BF=100 BR=1
+//! Q2 ncr ncl ne IS=1e-12 BF=100 BR=1
+//! I1 ne 0 DC 1m
+//! L1 ncl vdd 5u
+//! L2 tb  vdd 5u
+//! R1 ncl tb 1.2k
+//! C1 ncl tb 10n
+//! V2 tb ncr SIN(0 0.06 1.5meg 0 0)
+//! .end
+//! ```
+//!
+//! Supported cards:
+//!
+//! | card | device |
+//! |---|---|
+//! | `Rxxx a b value` | resistor |
+//! | `Cxxx a b value` | capacitor |
+//! | `Lxxx a b value` | inductor |
+//! | `Vxxx a b DC v` / `SIN(off amp freq delay phase)` / `PULSE(v1 v2 delay rise fall width period)` | voltage source |
+//! | `Ixxx a b …` (same waveforms) | current source |
+//! | `Dxxx a k [IS=…] [N=…]` | junction diode |
+//! | `Qxxx c b e [IS=…] [BF=…] [BR=…] [PNP]` | Ebers–Moll BJT |
+//! | `Mxxx d g s [VTH=…] [KP=…] [WL=…] [LAMBDA=…] [PMOS]` | level-1 MOSFET |
+//! | `Gxxx a b TANH(i_sat gain)` / `POLY(c0 c1 …)` / `TD()` | nonlinear resistor |
+//!
+//! Values accept engineering suffixes `f p n u m k meg g t` (case
+//! insensitive). Node `0` is ground; all other node names are arbitrary
+//! identifiers.
+
+use crate::circuit::Circuit;
+use crate::device::{BjtModel, MosfetModel};
+use crate::error::CircuitError;
+use crate::iv::{IvCurve, TunnelDiodeModel};
+use crate::wave::SourceWave;
+
+/// Parses an engineering-notation value like `10n`, `1.5meg` or `4.7k`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] for malformed numbers.
+pub fn parse_value(token: &str) -> Result<f64, CircuitError> {
+    let t = token.trim().to_ascii_lowercase();
+    let (num, mult) = if let Some(stripped) = t.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else if let Some(stripped) = t.strip_suffix('f') {
+        (stripped, 1e-15)
+    } else if let Some(stripped) = t.strip_suffix('p') {
+        (stripped, 1e-12)
+    } else if let Some(stripped) = t.strip_suffix('n') {
+        (stripped, 1e-9)
+    } else if let Some(stripped) = t.strip_suffix('u') {
+        (stripped, 1e-6)
+    } else if let Some(stripped) = t.strip_suffix('m') {
+        (stripped, 1e-3)
+    } else if let Some(stripped) = t.strip_suffix('k') {
+        (stripped, 1e3)
+    } else if let Some(stripped) = t.strip_suffix('g') {
+        (stripped, 1e9)
+    } else if let Some(stripped) = t.strip_suffix('t') {
+        (stripped, 1e12)
+    } else {
+        (t.as_str(), 1.0)
+    };
+    num.parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| CircuitError::InvalidParameter(format!("cannot parse value `{token}`")))
+}
+
+/// Splits `NAME(a b c)` argument lists that may span whitespace.
+fn call_args<'a>(joined: &'a str, keyword: &str) -> Option<Vec<&'a str>> {
+    let upper = joined.to_ascii_uppercase();
+    let start = upper.find(&format!("{keyword}("))?;
+    let open = start + keyword.len();
+    let close = joined[open..].find(')')? + open;
+    Some(
+        joined[open + 1..close]
+            .split_whitespace()
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn parse_wave(fields: &[&str], line_no: usize) -> Result<SourceWave, CircuitError> {
+    let joined = fields.join(" ");
+    let upper = joined.to_ascii_uppercase();
+    let bad = |msg: String| CircuitError::InvalidParameter(format!("line {line_no}: {msg}"));
+    if upper.starts_with("DC") {
+        let v = fields
+            .get(1)
+            .ok_or_else(|| bad("DC needs a value".into()))?;
+        return Ok(SourceWave::Dc(parse_value(v)?));
+    }
+    if upper.starts_with("SIN") {
+        let args = call_args(&joined, "SIN")
+            .ok_or_else(|| bad("SIN needs (offset amp freq delay phase)".into()))?;
+        if args.len() < 3 {
+            return Err(bad("SIN needs at least (offset amp freq)".into()));
+        }
+        let get = |k: usize| -> Result<f64, CircuitError> {
+            args.get(k).map_or(Ok(0.0), |t| parse_value(t))
+        };
+        return Ok(SourceWave::Sin {
+            offset: get(0)?,
+            amplitude: get(1)?,
+            freq_hz: get(2)?,
+            delay: get(3)?,
+            phase: get(4)?,
+        });
+    }
+    if upper.starts_with("PULSE") {
+        let args = call_args(&joined, "PULSE")
+            .ok_or_else(|| bad("PULSE needs (v1 v2 delay rise fall width period)".into()))?;
+        if args.len() < 7 {
+            return Err(bad("PULSE needs 7 arguments".into()));
+        }
+        let g = |k: usize| parse_value(args[k]);
+        return Ok(SourceWave::Pulse {
+            v1: g(0)?,
+            v2: g(1)?,
+            delay: g(2)?,
+            rise: g(3)?,
+            fall: g(4)?,
+            width: g(5)?,
+            period: g(6)?,
+        });
+    }
+    // Bare value = DC.
+    if fields.len() == 1 {
+        return Ok(SourceWave::Dc(parse_value(fields[0])?));
+    }
+    Err(bad(format!("unrecognized source specification `{joined}`")))
+}
+
+/// Reads `KEY=value` parameters from the tail of a card.
+fn params(fields: &[&str]) -> Result<Vec<(String, f64)>, CircuitError> {
+    let mut out = Vec::new();
+    for f in fields {
+        if let Some((k, v)) = f.split_once('=') {
+            out.push((k.to_ascii_uppercase(), parse_value(v)?));
+        }
+    }
+    Ok(out)
+}
+
+fn has_flag(fields: &[&str], flag: &str) -> bool {
+    fields.iter().any(|f| f.eq_ignore_ascii_case(flag))
+}
+
+/// Parses a netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] describing the offending line
+/// for any malformed card.
+pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
+    let mut ckt = Circuit::new();
+    for (idx, raw) in netlist.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('*').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        if lower == ".end" || lower.starts_with(".title") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let name = fields[0];
+        let bad =
+            |msg: String| CircuitError::InvalidParameter(format!("line {line_no}: {msg}"));
+        let kind = name
+            .chars()
+            .next()
+            .expect("non-empty field")
+            .to_ascii_uppercase();
+        let mut node = |tok: &str| -> usize {
+            if tok == "0" {
+                Circuit::GROUND
+            } else {
+                ckt.node(tok)
+            }
+        };
+        match kind {
+            'R' | 'C' | 'L' => {
+                if fields.len() < 4 {
+                    return Err(bad(format!("{name} needs `a b value`")));
+                }
+                let a = node(fields[1]);
+                let b = node(fields[2]);
+                let v = parse_value(fields[3])?;
+                if !(v > 0.0) {
+                    return Err(bad(format!("{name}: value must be positive")));
+                }
+                match kind {
+                    'R' => ckt.resistor(a, b, v),
+                    'C' => ckt.capacitor(a, b, v),
+                    _ => ckt.inductor(a, b, v),
+                };
+            }
+            'V' | 'I' => {
+                if fields.len() < 4 {
+                    return Err(bad(format!("{name} needs `a b <source>`")));
+                }
+                let a = node(fields[1]);
+                let b = node(fields[2]);
+                let wave = parse_wave(&fields[3..], line_no)?;
+                if kind == 'V' {
+                    ckt.vsource(a, b, wave);
+                } else {
+                    ckt.isource(a, b, wave);
+                }
+            }
+            'D' => {
+                if fields.len() < 3 {
+                    return Err(bad(format!("{name} needs `anode cathode`")));
+                }
+                let a = node(fields[1]);
+                let b = node(fields[2]);
+                let mut is = 1e-12;
+                let mut n = 1.0;
+                for (k, v) in params(&fields[3..])? {
+                    match k.as_str() {
+                        "IS" => is = v,
+                        "N" => n = v,
+                        other => return Err(bad(format!("unknown diode parameter {other}"))),
+                    }
+                }
+                ckt.diode(a, b, is, n);
+            }
+            'Q' => {
+                if fields.len() < 4 {
+                    return Err(bad(format!("{name} needs `c b e`")));
+                }
+                let c = node(fields[1]);
+                let b = node(fields[2]);
+                let e = node(fields[3]);
+                let mut model = BjtModel::default();
+                for (k, v) in params(&fields[4..])? {
+                    match k.as_str() {
+                        "IS" => model.saturation_current = v,
+                        "BF" => model.beta_f = v,
+                        "BR" => model.beta_r = v,
+                        "VT" => model.vt = v,
+                        other => return Err(bad(format!("unknown BJT parameter {other}"))),
+                    }
+                }
+                if has_flag(&fields[4..], "PNP") {
+                    ckt.pnp(c, b, e, model);
+                } else {
+                    ckt.npn(c, b, e, model);
+                }
+            }
+            'M' => {
+                if fields.len() < 4 {
+                    return Err(bad(format!("{name} needs `d g s`")));
+                }
+                let d = node(fields[1]);
+                let g = node(fields[2]);
+                let s = node(fields[3]);
+                let mut model = MosfetModel::default();
+                for (k, v) in params(&fields[4..])? {
+                    match k.as_str() {
+                        "VTH" => model.vth = v,
+                        "KP" => model.kp = v,
+                        "WL" => model.w_over_l = v,
+                        "LAMBDA" => model.lambda = v,
+                        other => return Err(bad(format!("unknown MOSFET parameter {other}"))),
+                    }
+                }
+                if has_flag(&fields[4..], "PMOS") {
+                    ckt.pmos(d, g, s, model);
+                } else {
+                    ckt.nmos(d, g, s, model);
+                }
+            }
+            'G' => {
+                if fields.len() < 4 {
+                    return Err(bad(format!("{name} needs `a b CURVE(...)`")));
+                }
+                let a = node(fields[1]);
+                let b = node(fields[2]);
+                let joined = fields[3..].join(" ");
+                let upper = joined.to_ascii_uppercase();
+                let curve = if upper.starts_with("TANH") {
+                    let args = call_args(&joined, "TANH")
+                        .ok_or_else(|| bad("TANH needs (i_sat gain)".into()))?;
+                    if args.len() != 2 {
+                        return Err(bad("TANH needs exactly (i_sat gain)".into()));
+                    }
+                    IvCurve::tanh(parse_value(args[0])?, parse_value(args[1])?)
+                } else if upper.starts_with("POLY") {
+                    let args = call_args(&joined, "POLY")
+                        .ok_or_else(|| bad("POLY needs (c0 c1 ...)".into()))?;
+                    let coeffs = args
+                        .iter()
+                        .map(|t| parse_value(t))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if coeffs.is_empty() {
+                        return Err(bad("POLY needs at least one coefficient".into()));
+                    }
+                    IvCurve::Polynomial(coeffs)
+                } else if upper.starts_with("TD") {
+                    IvCurve::TunnelDiode(TunnelDiodeModel::default())
+                } else {
+                    return Err(bad(format!("unknown nonlinear curve `{joined}`")));
+                };
+                ckt.nonlinear(a, b, curve);
+            }
+            other => {
+                return Err(bad(format!("unknown element type `{other}`")));
+            }
+        }
+    }
+    Ok(ckt)
+}
+
+/// Serializes a circuit back into netlist text (an inverse of [`parse`] for
+/// the supported cards; waveforms beyond DC/SIN/PULSE are rejected).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidRequest`] for devices the text format
+/// cannot represent (tabulated curves, PWL/Sum sources, injected
+/// nonlinearities).
+pub fn write(ckt: &Circuit) -> Result<String, CircuitError> {
+    use crate::device::{BjtPolarity, Device, MosPolarity};
+    use std::fmt::Write as _;
+
+    let mut out = String::from("* generated by shil-circuit\n");
+    let unsupported =
+        |what: &str| CircuitError::InvalidRequest(format!("{what} has no netlist form"));
+    let wave_str = |w: &SourceWave| -> Result<String, CircuitError> {
+        Ok(match w {
+            SourceWave::Dc(v) => format!("DC {v:e}"),
+            SourceWave::Sin {
+                offset,
+                amplitude,
+                freq_hz,
+                delay,
+                phase,
+            } => format!("SIN({offset:e} {amplitude:e} {freq_hz:e} {delay:e} {phase:e})"),
+            SourceWave::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => format!(
+                "PULSE({v1:e} {v2:e} {delay:e} {rise:e} {fall:e} {width:e} {period:e})"
+            ),
+            _ => return Err(unsupported("PWL/Sum source")),
+        })
+    };
+    for (k, dev) in ckt.devices().iter().enumerate() {
+        let n = |id: usize| ckt.node_name(id).to_string();
+        match dev {
+            Device::Resistor { a, b, ohms } => {
+                let _ = writeln!(out, "R{k} {} {} {ohms:e}", n(*a), n(*b));
+            }
+            Device::Capacitor { a, b, farads } => {
+                let _ = writeln!(out, "C{k} {} {} {farads:e}", n(*a), n(*b));
+            }
+            Device::Inductor { a, b, henries } => {
+                let _ = writeln!(out, "L{k} {} {} {henries:e}", n(*a), n(*b));
+            }
+            Device::Vsource { a, b, wave } => {
+                let _ = writeln!(out, "V{k} {} {} {}", n(*a), n(*b), wave_str(wave)?);
+            }
+            Device::Isource { a, b, wave } => {
+                let _ = writeln!(out, "I{k} {} {} {}", n(*a), n(*b), wave_str(wave)?);
+            }
+            Device::Diode {
+                a,
+                b,
+                saturation_current,
+                ideality,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "D{k} {} {} IS={saturation_current:e} N={ideality:e}",
+                    n(*a),
+                    n(*b)
+                );
+            }
+            Device::Bjt {
+                c,
+                b,
+                e,
+                model,
+                polarity,
+            } => {
+                let flag = match polarity {
+                    BjtPolarity::Npn => "",
+                    BjtPolarity::Pnp => " PNP",
+                };
+                let _ = writeln!(
+                    out,
+                    "Q{k} {} {} {} IS={:e} BF={:e} BR={:e} VT={:e}{flag}",
+                    n(*c),
+                    n(*b),
+                    n(*e),
+                    model.saturation_current,
+                    model.beta_f,
+                    model.beta_r,
+                    model.vt
+                );
+            }
+            Device::Mosfet {
+                d,
+                g,
+                s,
+                model,
+                polarity,
+            } => {
+                let flag = match polarity {
+                    MosPolarity::Nmos => "",
+                    MosPolarity::Pmos => " PMOS",
+                };
+                let _ = writeln!(
+                    out,
+                    "M{k} {} {} {} VTH={:e} KP={:e} WL={:e} LAMBDA={:e}{flag}",
+                    n(*d),
+                    n(*g),
+                    n(*s),
+                    model.vth,
+                    model.kp,
+                    model.w_over_l,
+                    model.lambda
+                );
+            }
+            Device::Nonlinear { a, b, curve } => match curve {
+                IvCurve::Tanh { i_sat, gain } => {
+                    let _ = writeln!(out, "G{k} {} {} TANH({i_sat:e} {gain:e})", n(*a), n(*b));
+                }
+                IvCurve::Polynomial(coeffs) => {
+                    let list = coeffs
+                        .iter()
+                        .map(|c| format!("{c:e}"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    let _ = writeln!(out, "G{k} {} {} POLY({list})", n(*a), n(*b));
+                }
+                IvCurve::TunnelDiode(_) => {
+                    let _ = writeln!(out, "G{k} {} {} TD()", n(*a), n(*b));
+                }
+                _ => return Err(unsupported("tabulated/shifted nonlinearity")),
+            },
+            _ => return Err(unsupported("injected nonlinearity")),
+        }
+    }
+    out.push_str(".end\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{operating_point, OpOptions};
+
+    #[test]
+    fn engineering_values() {
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_value("10n").unwrap(), 1e-8);
+        assert_eq!(parse_value("1.5meg").unwrap(), 1.5e6);
+        assert_eq!(parse_value("4.7u").unwrap(), 4.7e-6);
+        assert_eq!(parse_value("2m").unwrap(), 2e-3);
+        assert_eq!(parse_value("3p").unwrap(), 3e-12);
+        assert_eq!(parse_value("1.2G").unwrap(), 1.2e9);
+        assert_eq!(parse_value("5").unwrap(), 5.0);
+        assert_eq!(parse_value("-0.5").unwrap(), -0.5);
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn parses_and_solves_a_divider() {
+        let ckt = parse(
+            "* divider\n\
+             V1 in 0 DC 10\n\
+             R1 in out 3k\n\
+             R2 out 0 1k\n\
+             .end\n",
+        )
+        .unwrap();
+        let out = ckt.find_node("out").unwrap();
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        assert!((op.node_voltage(out) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_the_diff_pair_oscillator() {
+        let ckt = parse(
+            "V1 vdd 0 DC 5\n\
+             Q1 ncl ncr ne IS=1e-12 BF=100 BR=1\n\
+             Q2 ncr ncl ne IS=1e-12 BF=100 BR=1\n\
+             I1 ne 0 DC 1m\n\
+             L1 ncl vdd 5u\n\
+             L2 tb vdd 5u\n\
+             R1 ncl tb 1.2k\n\
+             C1 ncl tb 10n\n\
+             V2 tb ncr SIN(0 0.06 1.5meg 0 0)\n",
+        )
+        .unwrap();
+        assert_eq!(ckt.devices().len(), 9);
+        assert!(operating_point(&ckt, &OpOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn parses_sources_and_flags() {
+        let ckt = parse(
+            "I1 0 a PULSE(0 40m 2m 100n 100n 1.5u 2m)\n\
+             R1 a 0 1k\n\
+             Q1 a b 0 PNP\n\
+             R2 b 0 1k\n\
+             M1 a b 0 VTH=0.6 PMOS\n\
+             G1 a 0 TANH(-1m 20)\n\
+             G2 a 0 POLY(0 -1m 0 1m)\n\
+             G3 a 0 TD()\n\
+             D1 a 0 IS=1e-14 N=1.5\n",
+        )
+        .unwrap();
+        assert_eq!(ckt.devices().len(), 9);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let e = parse("R1 a 0 1k\nX9 a 0 1\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = parse("R1 a 0\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        let e = parse("R1 a 0 -5\n").unwrap_err();
+        assert!(e.to_string().contains("positive"), "{e}");
+        let e = parse("V1 a 0 TRI(1 2)\n").unwrap_err();
+        assert!(e.to_string().contains("unrecognized source"), "{e}");
+    }
+
+    #[test]
+    fn roundtrip_through_write_and_parse() {
+        let text = "V1 vdd 0 DC 5\n\
+                    R1 vdd out 1k\n\
+                    C1 out 0 10n\n\
+                    L1 out 0 10u\n\
+                    D1 out 0 IS=1e-12 N=1\n\
+                    Q1 vdd out 0 IS=1e-12 BF=100 BR=1\n\
+                    M1 vdd out 0 VTH=0.5 KP=200u WL=50 LAMBDA=0.02\n\
+                    G1 out 0 TANH(-1m 20)\n\
+                    I1 0 out SIN(0 1m 1meg 0 0)\n";
+        let ckt = parse(text).unwrap();
+        let rendered = write(&ckt).unwrap();
+        let again = parse(&rendered).unwrap();
+        assert_eq!(ckt.devices().len(), again.devices().len());
+        // The reparsed circuit must solve to the same operating point.
+        let op1 = operating_point(&ckt, &OpOptions::default()).unwrap();
+        let op2 = operating_point(&again, &OpOptions::default()).unwrap();
+        let out1 = ckt.find_node("out").unwrap();
+        let out2 = again.find_node("out").unwrap();
+        assert!((op1.node_voltage(out1) - op2.node_voltage(out2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_rejects_unrepresentable_devices() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.injected_nonlinear(a, 0, IvCurve::tanh(-1e-3, 20.0), SourceWave::Dc(0.0));
+        assert!(write(&ckt).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let ckt = parse(
+            "* header comment\n\
+             \n\
+             R1 a 0 1k * trailing comment\n\
+             .end\n",
+        )
+        .unwrap();
+        assert_eq!(ckt.devices().len(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Analysis result containers.
+
+use crate::circuit::{Circuit, DeviceId, NodeId};
+use crate::error::CircuitError;
+use crate::mna::MnaStructure;
+
+/// A single scalar signal sampled over time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Sample times in seconds.
+    pub time: Vec<f64>,
+    /// Sample values.
+    pub values: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace from parallel time/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn new(time: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(time.len(), values.len(), "trace length mismatch");
+        Trace { time, values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Restricts the trace to `t ≥ t_min` (used to discard start-up
+    /// transients before steady-state measurements).
+    #[must_use]
+    pub fn after(&self, t_min: f64) -> Trace {
+        let start = self.time.partition_point(|&t| t < t_min);
+        Trace {
+            time: self.time[start..].to_vec(),
+            values: self.values[start..].to_vec(),
+        }
+    }
+}
+
+/// Full transient-analysis result: the solution vector at every recorded
+/// time point, plus the index maps needed to read it back.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    pub(crate) structure: MnaStructure,
+    /// Recorded times.
+    pub time: Vec<f64>,
+    /// `columns[k]` is the trajectory of unknown `k`.
+    pub(crate) columns: Vec<Vec<f64>>,
+}
+
+impl TranResult {
+    pub(crate) fn new(structure: MnaStructure) -> Self {
+        let size = structure.size();
+        TranResult {
+            structure,
+            time: Vec::new(),
+            columns: vec![Vec::new(); size],
+        }
+    }
+
+    pub(crate) fn push(&mut self, t: f64, x: &[f64]) {
+        self.time.push(t);
+        for (col, &v) in self.columns.iter_mut().zip(x) {
+            col.push(v);
+        }
+    }
+
+    /// Number of recorded time points.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether any samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// The voltage trajectory of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidRequest`] for the ground node (its
+    /// voltage is identically zero and is not stored).
+    pub fn node_voltage(&self, node: NodeId) -> Result<&[f64], CircuitError> {
+        match self.structure.node_index(node) {
+            Some(i) => Ok(&self.columns[i]),
+            None => Err(CircuitError::InvalidRequest(
+                "ground voltage is identically zero".into(),
+            )),
+        }
+    }
+
+    /// The differential voltage trajectory `v_a − v_b` as a [`Trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if either node is out of range.
+    pub fn voltage_between(&self, a: NodeId, b: NodeId) -> Result<Trace, CircuitError> {
+        let idx = |n: NodeId| -> Result<Option<usize>, CircuitError> {
+            if n == 0 {
+                Ok(None)
+            } else {
+                let i = self
+                    .structure
+                    .node_index(n)
+                    .ok_or(CircuitError::UnknownNode { node: n })?;
+                if i >= self.columns.len() {
+                    return Err(CircuitError::UnknownNode { node: n });
+                }
+                Ok(Some(i))
+            }
+        };
+        let ia = idx(a)?;
+        let ib = idx(b)?;
+        let values = (0..self.time.len())
+            .map(|k| {
+                let va = ia.map_or(0.0, |i| self.columns[i][k]);
+                let vb = ib.map_or(0.0, |i| self.columns[i][k]);
+                va - vb
+            })
+            .collect();
+        Ok(Trace::new(self.time.clone(), values))
+    }
+
+    /// The branch-current trajectory of a voltage source or inductor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidRequest`] if the device has no branch
+    /// current unknown.
+    pub fn branch_current(&self, ckt: &Circuit, dev: DeviceId) -> Result<&[f64], CircuitError> {
+        ckt.device(dev)?;
+        match self.structure.branch_index(dev.index()) {
+            Some(i) => Ok(&self.columns[i]),
+            None => Err(CircuitError::InvalidRequest(
+                "device has no branch-current unknown".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::SourceWave;
+
+    #[test]
+    fn trace_after_discards_prefix() {
+        let tr = Trace::new(vec![0.0, 1.0, 2.0, 3.0], vec![10.0, 11.0, 12.0, 13.0]);
+        let tail = tr.after(1.5);
+        assert_eq!(tail.time, vec![2.0, 3.0]);
+        assert_eq!(tail.values, vec![12.0, 13.0]);
+        assert_eq!(tr.len(), 4);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn tran_result_indexing() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.resistor(a, b, 1.0);
+        let v = ckt.vsource(a, 0, SourceWave::Dc(1.0));
+        let structure = MnaStructure::new(&ckt);
+        let mut res = TranResult::new(structure);
+        res.push(0.0, &[1.0, 0.5, -0.01]);
+        res.push(1.0, &[1.1, 0.6, -0.02]);
+
+        assert_eq!(res.len(), 2);
+        assert_eq!(res.node_voltage(a).unwrap(), &[1.0, 1.1]);
+        assert_eq!(res.node_voltage(b).unwrap(), &[0.5, 0.6]);
+        assert!(res.node_voltage(0).is_err());
+        let diff = res.voltage_between(a, b).unwrap();
+        for v in &diff.values {
+            assert!((v - 0.5).abs() < 1e-12);
+        }
+        assert_eq!(res.branch_current(&ckt, v).unwrap(), &[-0.01, -0.02]);
+        let diff_gnd = res.voltage_between(a, 0).unwrap();
+        assert_eq!(diff_gnd.values, vec![1.0, 1.1]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Time-dependent source waveforms.
+//!
+//! The SHIL experiments need three source shapes beyond DC: the sinusoidal
+//! injection signal (`SIN` in SPICE, including the delay semantics — the
+//! source holds its offset until the delay elapses, which lets an oscillator
+//! settle into natural oscillation before injection begins), the state-kick
+//! pulse train of Figs. 15/19, and piecewise-linear test stimuli.
+
+/// An independent-source waveform `v(t)` (or `i(t)` for current sources).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SourceWave {
+    /// Constant value.
+    Dc(f64),
+    /// `offset + amplitude·sin(2πf(t − delay) + phase)` for `t ≥ delay`,
+    /// and `offset` before. SPICE `SIN` semantics with phase in radians.
+    Sin {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        freq_hz: f64,
+        /// Turn-on delay in seconds.
+        delay: f64,
+        /// Phase at turn-on, radians.
+        phase: f64,
+    },
+    /// SPICE-style trapezoidal pulse train.
+    Pulse {
+        /// Initial (resting) value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Time of the first rising edge.
+        delay: f64,
+        /// Rise time (clamped to ≥ 1 ps to avoid discontinuities).
+        rise: f64,
+        /// Fall time (clamped likewise).
+        fall: f64,
+        /// Width of the flat top.
+        width: f64,
+        /// Repetition period; `f64::INFINITY` for a single pulse.
+        period: f64,
+    },
+    /// Piecewise-linear waveform through `(t, v)` points; clamps outside.
+    Pwl(Vec<(f64, f64)>),
+    /// Sum of two waveforms (e.g. injection sine plus kick pulses).
+    Sum(Box<SourceWave>, Box<SourceWave>),
+}
+
+impl SourceWave {
+    /// Convenience constructor for a turn-on-delayed sine.
+    pub fn sine(amplitude: f64, freq_hz: f64, delay: f64) -> Self {
+        SourceWave::Sin {
+            offset: 0.0,
+            amplitude,
+            freq_hz,
+            delay,
+            phase: 0.0,
+        }
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            SourceWave::Sin {
+                offset,
+                amplitude,
+                freq_hz,
+                delay,
+                phase,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset
+                        + amplitude
+                            * (std::f64::consts::TAU * freq_hz * (t - delay) + phase).sin()
+                }
+            }
+            SourceWave::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let rise = rise.max(1e-12);
+                let fall = fall.max(1e-12);
+                let tau = if period.is_finite() && *period > 0.0 {
+                    (t - delay) % period
+                } else {
+                    t - delay
+                };
+                if tau < rise {
+                    v1 + (v2 - v1) * tau / rise
+                } else if tau < rise + width {
+                    *v2
+                } else if tau < rise + width + fall {
+                    v2 + (v1 - v2) * (tau - rise - width) / fall
+                } else {
+                    *v1
+                }
+            }
+            SourceWave::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                let last = points[points.len() - 1];
+                if t >= last.0 {
+                    return last.1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t >= t0 && t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                last.1
+            }
+            SourceWave::Sum(a, b) => a.value(t) + b.value(t),
+        }
+    }
+
+    /// The DC (t → −∞ resting) value used by operating-point analysis.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            SourceWave::Sin { offset, .. } => *offset,
+            SourceWave::Pulse { v1, .. } => *v1,
+            SourceWave::Pwl(points) => points.first().map_or(0.0, |p| p.1),
+            SourceWave::Sum(a, b) => a.dc_value() + b.dc_value(),
+        }
+    }
+}
+
+impl From<f64> for SourceWave {
+    fn from(v: f64) -> Self {
+        SourceWave::Dc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = SourceWave::Dc(2.5);
+        assert_eq!(w.value(0.0), 2.5);
+        assert_eq!(w.value(1e9), 2.5);
+        assert_eq!(w.dc_value(), 2.5);
+    }
+
+    #[test]
+    fn sin_holds_offset_until_delay() {
+        let w = SourceWave::Sin {
+            offset: 1.0,
+            amplitude: 2.0,
+            freq_hz: 10.0,
+            delay: 0.5,
+            phase: 0.0,
+        };
+        assert_eq!(w.value(0.0), 1.0);
+        assert_eq!(w.value(0.49), 1.0);
+        // Quarter period after the delay: peak.
+        assert!((w.value(0.5 + 0.025) - 3.0).abs() < 1e-12);
+        assert_eq!(w.dc_value(), 1.0);
+    }
+
+    #[test]
+    fn sine_helper_produces_zero_offset() {
+        let w = SourceWave::sine(0.03, 1.5e6, 1e-3);
+        assert_eq!(w.value(0.0), 0.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.5,
+            period: f64::INFINITY,
+        };
+        assert_eq!(w.value(0.5), 0.0);
+        assert!((w.value(1.05) - 0.5).abs() < 1e-12); // mid rise
+        assert_eq!(w.value(1.3), 1.0); // flat top
+        assert!((w.value(1.65) - 0.5).abs() < 1e-12); // mid fall
+        assert_eq!(w.value(2.0), 0.0);
+    }
+
+    #[test]
+    fn pulse_repeats_with_period() {
+        let w = SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1e-6,
+            fall: 1e-6,
+            width: 0.1,
+            period: 1.0,
+        };
+        assert_eq!(w.value(0.05), 1.0);
+        assert_eq!(w.value(0.5), 0.0);
+        assert_eq!(w.value(1.05), 1.0);
+        assert_eq!(w.value(7.05), 1.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = SourceWave::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, -2.0)]);
+        assert_eq!(w.value(-1.0), 0.0);
+        assert_eq!(w.value(0.5), 1.0);
+        assert_eq!(w.value(1.5), 0.0);
+        assert_eq!(w.value(5.0), -2.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn sum_composes() {
+        let w = SourceWave::Sum(
+            Box::new(SourceWave::Dc(1.0)),
+            Box::new(SourceWave::sine(2.0, 1.0, 0.0)),
+        );
+        assert!((w.value(0.25) - 3.0).abs() < 1e-12);
+        assert_eq!(w.dc_value(), 1.0);
+    }
+
+    #[test]
+    fn from_f64_is_dc() {
+        let w: SourceWave = 3.0.into();
+        assert_eq!(w, SourceWave::Dc(3.0));
+    }
+}

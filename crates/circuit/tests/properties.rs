@@ -1,0 +1,159 @@
+//! Property-based invariants for the circuit simulator.
+
+use proptest::prelude::*;
+
+use shil_circuit::analysis::{
+    ac_impedance, operating_point, transient, AcOptions, OpOptions, TranOptions,
+};
+use shil_circuit::{Circuit, SourceWave};
+use shil_numerics::Complex64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A random series resistor ladder solves to the analytic divider.
+    #[test]
+    fn resistor_ladder_matches_ohms_law(
+        rs in prop::collection::vec(10.0f64..100e3, 2..6),
+        vin in -20.0f64..20.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("n0");
+        ckt.vsource(top, Circuit::GROUND, SourceWave::Dc(vin));
+        let mut prev = top;
+        let mut nodes = vec![top];
+        for (k, &r) in rs.iter().enumerate() {
+            let n = ckt.node(&format!("n{}", k + 1));
+            ckt.resistor(prev, n, r);
+            prev = n;
+            nodes.push(n);
+        }
+        // Ground the far end through the last resistor's node.
+        ckt.resistor(prev, Circuit::GROUND, 1e3);
+        let total: f64 = rs.iter().sum::<f64>() + 1e3;
+        let op = operating_point(&ckt, &OpOptions::default()).expect("linear network");
+        // Voltage at each tap matches the analytic divider.
+        let mut acc = 0.0;
+        for (k, &r) in rs.iter().enumerate() {
+            acc += r;
+            let expect = vin * (1.0 - acc / total);
+            let got = op.node_voltage(nodes[k + 1]);
+            prop_assert!((got - expect).abs() < 1e-9 * (1.0 + expect.abs()),
+                "tap {k}: {got} vs {expect}");
+        }
+    }
+
+    /// AC reciprocity: for a passive RLC two-port, the transfer impedance
+    /// is symmetric (Z_ab measured from port a equals from port b).
+    #[test]
+    fn passive_network_ac_reciprocity(
+        r1 in 10.0f64..10e3,
+        r2 in 10.0f64..10e3,
+        c in 1e-12f64..1e-6,
+        l in 1e-9f64..1e-3,
+        f in 1e3f64..1e8,
+    ) {
+        // Port a = node x, port b = node y, coupled through r2 ∥ l.
+        let build = || {
+            let mut ckt = Circuit::new();
+            let x = ckt.node("x");
+            let y = ckt.node("y");
+            ckt.resistor(x, Circuit::GROUND, r1);
+            ckt.capacitor(x, y, c);
+            ckt.resistor(x, y, r2);
+            ckt.inductor(y, Circuit::GROUND, l);
+            (ckt, x, y)
+        };
+        // Transfer: inject at x, read v(y); then inject at y, read v(x).
+        let (ckt, x, y) = build();
+        let z_ax = ac_impedance(&ckt, x, Circuit::GROUND, &[f], &AcOptions::default())
+            .expect("ac");
+        let _ = z_ax;
+        // Reciprocity check via superposition: Z_xy == Z_yx for the same
+        // network. Compute both transfer impedances directly from two
+        // single-injection solves.
+        let transfer = |inject: usize, read: usize| -> Complex64 {
+            let (ckt, _, _) = build();
+            // Use ac_impedance with ports (inject, ground) but read a
+            // different node: emulate by two-terminal measurements and
+            // superposition: Z_t = (Z_(i+r) − Z_i − Z_r) / 2 ... instead,
+            // use the direct identity with a dedicated helper below.
+            direct_transfer(&ckt, inject, read, f)
+        };
+        let z_xy = transfer(x, y);
+        let z_yx = transfer(y, x);
+        prop_assert!((z_xy - z_yx).abs() < 1e-6 * (1.0 + z_xy.abs()),
+            "Z_xy = {z_xy:?}, Z_yx = {z_yx:?}");
+    }
+
+    /// Trapezoidal transient of a driven RC matches the analytic charge
+    /// curve for random time constants.
+    #[test]
+    fn rc_charge_curve_matches_analytic(
+        r in 100.0f64..100e3,
+        c in 1e-9f64..1e-6,
+        vstep in 0.5f64..10.0,
+    ) {
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, SourceWave::Dc(vstep));
+        ckt.resistor(a, b, r);
+        ckt.capacitor(b, Circuit::GROUND, c);
+        let opts = TranOptions::new(tau / 200.0, 3.0 * tau).use_ic();
+        let res = transient(&ckt, &opts).expect("transient");
+        let v = res.node_voltage(b).expect("trace");
+        for (k, &t) in res.time.iter().enumerate().step_by(50) {
+            let expect = vstep * (1.0 - (-t / tau).exp());
+            prop_assert!((v[k] - expect).abs() < 2e-3 * vstep,
+                "t/tau = {}: {} vs {expect}", t / tau, v[k]);
+        }
+    }
+
+    /// Energy bookkeeping: an undriven lossy tank only ever loses energy.
+    #[test]
+    fn lossy_tank_energy_decays_monotonically(
+        r in 100.0f64..50e3,
+        v0 in 0.1f64..5.0,
+    ) {
+        let (l, c) = (10e-6, 10e-9);
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.resistor(top, Circuit::GROUND, r);
+        let l_id = ckt.inductor(top, Circuit::GROUND, l);
+        ckt.capacitor(top, Circuit::GROUND, c);
+        let f0 = 1.0 / (std::f64::consts::TAU * (l * c).sqrt());
+        let opts = TranOptions::new(1.0 / f0 / 256.0, 10.0 / f0)
+            .use_ic()
+            .with_ic(top, v0);
+        let res = transient(&ckt, &opts).expect("transient");
+        let v = res.node_voltage(top).expect("v");
+        let i = res.branch_current(&ckt, l_id).expect("i");
+        // E = C v²/2 + L i²/2, sampled once per period.
+        let per = 256;
+        let mut last = f64::INFINITY;
+        for k in (0..v.len()).step_by(per) {
+            let e = 0.5 * c * v[k] * v[k] + 0.5 * l * i[k] * i[k];
+            prop_assert!(e <= last * (1.0 + 1e-9), "energy grew: {e} > {last}");
+            last = e;
+        }
+    }
+}
+
+/// Transfer impedance `v(read)/1A(inject)` at frequency `f`.
+fn direct_transfer(ckt: &Circuit, inject: usize, read: usize, f: f64) -> Complex64 {
+    // ac_impedance reads the same port it injects; emulate a transfer
+    // measurement with the bilinear identity
+    // Z_t = (Z(i∪r) − Z(i) − Z(r))/2 + cross terms — instead, simply use
+    // three driving-point measurements: for a reciprocal network,
+    // Z_t = (Z_joint − Z_i − Z_r)/−2 where Z_joint is measured between the
+    // two ports.
+    let z_ii = ac_impedance(ckt, inject, Circuit::GROUND, &[f], &AcOptions::default())
+        .expect("ac")[0];
+    let z_rr = ac_impedance(ckt, read, Circuit::GROUND, &[f], &AcOptions::default())
+        .expect("ac")[0];
+    let z_ir = ac_impedance(ckt, inject, read, &[f], &AcOptions::default()).expect("ac")[0];
+    // Z_between = Z_ii + Z_rr − 2 Z_t  ⇒  Z_t = (Z_ii + Z_rr − Z_between)/2.
+    (z_ii + z_rr - z_ir) * 0.5
+}

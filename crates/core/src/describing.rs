@@ -1,0 +1,285 @@
+//! Natural-oscillation prediction by the describing-function method (§II)
+//! and its stability rule (§VI-A1).
+//!
+//! The loop closes without injection when `T_f(A) = −R·I₁(A)/(A/2) = 1`
+//! (paper eq. 2). Plotting `y = T_f(A)` against `y = 1` and reading the
+//! crossings *is* the graphical procedure of Fig. 3; this module finds the
+//! same crossings numerically (scan + Brent) and classifies each with the
+//! paper's rule: stable iff the curve cuts `y = 1` from above.
+
+use shil_numerics::roots::{bracket_scan, brent};
+
+use crate::error::ShilError;
+use crate::harmonics::{t_f_single, HarmonicOptions};
+use crate::nonlinearity::Nonlinearity;
+use crate::tank::Tank;
+
+/// Options for the natural-oscillation solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaturalOptions {
+    /// Upper end of the amplitude scan; `None` grows automatically until
+    /// `T_f < 1` (saturation guarantees this for physical elements).
+    pub a_max: Option<f64>,
+    /// Scan resolution (number of amplitude subintervals).
+    pub scan_points: usize,
+    /// Harmonic-integral sampling.
+    pub harmonics: HarmonicOptions,
+}
+
+impl Default for NaturalOptions {
+    fn default() -> Self {
+        NaturalOptions {
+            a_max: None,
+            scan_points: 400,
+            harmonics: HarmonicOptions::default(),
+        }
+    }
+}
+
+/// A predicted natural oscillation (one crossing of `T_f(A) = 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaturalOscillation {
+    /// Oscillation amplitude `A` (volts).
+    pub amplitude: f64,
+    /// Oscillation frequency — the tank center frequency (hertz), per the
+    /// §II filtering argument.
+    pub frequency_hz: f64,
+    /// Stability by the §VI-A1 rule (curve cuts `y = 1` from above).
+    pub stable: bool,
+    /// Slope `dT_f/dA` at the crossing (negative for stable solutions).
+    pub t_f_slope: f64,
+}
+
+/// The small-signal loop gain `T_f(A → 0) = −R·f′(0)`.
+///
+/// Oscillation can start up only when this exceeds one.
+pub fn small_signal_loop_gain<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
+    nonlinearity: &N,
+    tank: &T,
+) -> f64 {
+    -tank.peak_resistance() * nonlinearity.conductance(0.0)
+}
+
+/// Samples the describing-function curve `T_f(A)` over the given
+/// amplitudes — the `y = −R·I₁(A)/(A/2)` curve of Fig. 3, ready for
+/// plotting.
+pub fn t_f_curve<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
+    nonlinearity: &N,
+    tank: &T,
+    amplitudes: &[f64],
+    opts: &HarmonicOptions,
+) -> Vec<f64> {
+    let r = tank.peak_resistance();
+    amplitudes
+        .iter()
+        .map(|&a| t_f_single(nonlinearity, r, a, opts))
+        .collect()
+}
+
+/// Finds **all** natural-oscillation amplitudes and their stability.
+///
+/// The zero amplitude equilibrium is not reported (it is unstable whenever
+/// the small-signal gain exceeds one, which is the interesting case).
+///
+/// # Errors
+///
+/// - [`ShilError::InvalidParameter`] if the automatic amplitude cap fails
+///   to bracket saturation (pathological `f` that never saturates).
+/// - Root-refinement failures from the numerics layer.
+pub fn natural_oscillations<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
+    nonlinearity: &N,
+    tank: &T,
+    opts: &NaturalOptions,
+) -> Result<Vec<NaturalOscillation>, ShilError> {
+    let r = tank.peak_resistance();
+    let fc = tank.center_frequency_hz();
+    let tf = |a: f64| t_f_single(nonlinearity, r, a, &opts.harmonics);
+
+    let a_max = match opts.a_max {
+        Some(a) => {
+            if !(a > 0.0) {
+                return Err(ShilError::InvalidParameter(format!(
+                    "a_max must be positive, got {a}"
+                )));
+            }
+            a
+        }
+        None => {
+            // Grow until the loop gain has fallen below one (saturation).
+            let mut a = 1.0;
+            let mut tries = 0;
+            while tf(a) > 1.0 {
+                a *= 2.0;
+                tries += 1;
+                if tries > 60 {
+                    return Err(ShilError::InvalidParameter(
+                        "nonlinearity never saturates: T_f(A) > 1 for all scanned A".into(),
+                    ));
+                }
+            }
+            a
+        }
+    };
+
+    // Scan from a tiny amplitude: T_f(0⁺) is the small-signal gain.
+    let a_min = a_max * 1e-9;
+    let mut out = Vec::new();
+    for (lo, hi) in bracket_scan(|a| tf(a) - 1.0, a_min, a_max, opts.scan_points) {
+        let amplitude = if lo == hi {
+            lo
+        } else {
+            brent(|a| tf(a) - 1.0, lo, hi, a_max * 1e-14, 200)?
+        };
+        // Slope by central difference on the smooth DF curve.
+        let h = a_max * 1e-6;
+        let slope = (tf(amplitude + h) - tf(amplitude - h)) / (2.0 * h);
+        out.push(NaturalOscillation {
+            amplitude,
+            frequency_hz: fc,
+            stable: slope < 0.0,
+            t_f_slope: slope,
+        });
+    }
+    Ok(out)
+}
+
+/// Finds the (unique, stable) natural oscillation of a healthy oscillator.
+///
+/// # Errors
+///
+/// Returns [`ShilError::NoOscillation`] when no stable crossing exists —
+/// including the gain-below-one case — with the small-signal gain attached
+/// for diagnosis.
+pub fn natural_oscillation<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
+    nonlinearity: &N,
+    tank: &T,
+    opts: &NaturalOptions,
+) -> Result<NaturalOscillation, ShilError> {
+    let gain = small_signal_loop_gain(nonlinearity, tank);
+    if gain <= 1.0 {
+        return Err(ShilError::NoOscillation {
+            small_signal_gain: gain,
+        });
+    }
+    let all = natural_oscillations(nonlinearity, tank, opts)?;
+    all.into_iter()
+        .filter(|o| o.stable)
+        .max_by(|a, b| {
+            a.amplitude
+                .partial_cmp(&b.amplitude)
+                .expect("finite amplitudes")
+        })
+        .ok_or(ShilError::NoOscillation {
+            small_signal_gain: gain,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonlinearity::{NegativeTanh, Polynomial};
+    use crate::tank::ParallelRlc;
+    use std::f64::consts::PI;
+
+    fn tank() -> ParallelRlc {
+        ParallelRlc::new(1000.0, 10e-6, 10e-9).unwrap()
+    }
+
+    #[test]
+    fn small_signal_gain_formula() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let g = small_signal_loop_gain(&f, &tank());
+        assert!((g - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tanh_oscillator_amplitude_near_saturated_asymptote() {
+        // Deeply saturated: A ≈ (4/π)·R·i₀.
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let t = tank();
+        let osc = natural_oscillation(&f, &t, &NaturalOptions::default()).unwrap();
+        let asymptote = 4.0 / PI * 1000.0 * 1e-3;
+        assert!(
+            (osc.amplitude - asymptote).abs() / asymptote < 0.05,
+            "A = {} vs asymptote {asymptote}",
+            osc.amplitude
+        );
+        assert!(osc.stable);
+        assert!(osc.t_f_slope < 0.0);
+        assert!((osc.frequency_hz - t.center_frequency_hz()).abs() < 1e-6);
+        // Consistency: T_f(A*) = 1.
+        let r = t.peak_resistance();
+        let tf = t_f_single(&f, r, osc.amplitude, &HarmonicOptions::default());
+        assert!((tf - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn van_der_pol_amplitude_closed_form() {
+        // T_f(A) = R(g₁ − (3/4)g₃A²)… from I₁ = −g₁A/2 + (3/8)g₃A³:
+        // T_f = R(g₁ − (3/4)g₃A²) = 1 ⇒ A² = (g₁ − 1/R)·4/(3g₃).
+        let (g1, g3) = (3e-3, 1e-3);
+        let f = Polynomial::van_der_pol(g1, g3).unwrap();
+        let t = tank();
+        let osc = natural_oscillation(&f, &t, &NaturalOptions::default()).unwrap();
+        let expect = ((g1 - 1e-3) * 4.0 / (3.0 * g3)).sqrt();
+        assert!(
+            (osc.amplitude - expect).abs() < 1e-6,
+            "A = {} vs {expect}",
+            osc.amplitude
+        );
+        assert!(osc.stable);
+    }
+
+    #[test]
+    fn subcritical_oscillator_reports_no_oscillation() {
+        // Loop gain 0.5 < 1: dead.
+        let f = NegativeTanh::new(1e-3, 0.5e-3 / 1e-3 * 1.0);
+        let e = natural_oscillation(&f, &tank(), &NaturalOptions::default()).unwrap_err();
+        match e {
+            ShilError::NoOscillation { small_signal_gain } => {
+                assert!(small_signal_gain < 1.0)
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn t_f_curve_matches_pointwise_evaluation() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let t = tank();
+        let amps = [0.1, 0.5, 1.0, 2.0];
+        let curve = t_f_curve(&f, &t, &amps, &HarmonicOptions::default());
+        assert_eq!(curve.len(), 4);
+        for (a, c) in amps.iter().zip(&curve) {
+            assert!((c - t_f_single(&f, 1000.0, *a, &HarmonicOptions::default())).abs() < 1e-15);
+        }
+        // Monotone decreasing toward saturation.
+        assert!(curve[0] > curve[1] && curve[1] > curve[2] && curve[2] > curve[3]);
+    }
+
+    #[test]
+    fn explicit_a_max_is_honoured() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let opts = NaturalOptions {
+            a_max: Some(5.0),
+            ..Default::default()
+        };
+        let oscs = natural_oscillations(&f, &tank(), &opts).unwrap();
+        assert_eq!(oscs.len(), 1);
+        assert!(oscs[0].amplitude < 5.0);
+        let bad = NaturalOptions {
+            a_max: Some(-1.0),
+            ..Default::default()
+        };
+        assert!(natural_oscillations(&f, &tank(), &bad).is_err());
+    }
+
+    #[test]
+    fn never_saturating_element_is_rejected() {
+        // i = −g·v is linear: T_f(A) = R·g for all A; with R·g > 1 the
+        // auto-cap cannot terminate and must error out.
+        let f = crate::nonlinearity::FnNonlinearity::new(|v: f64| -2e-3 * v);
+        let e = natural_oscillations(&f, &tank(), &NaturalOptions::default()).unwrap_err();
+        assert!(matches!(e, ShilError::InvalidParameter(_)));
+    }
+}

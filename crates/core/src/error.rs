@@ -1,0 +1,82 @@
+use std::fmt;
+
+use shil_numerics::NumericsError;
+
+/// Errors produced by the describing-function analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ShilError {
+    /// A parameter was non-physical (documented per constructor).
+    InvalidParameter(String),
+    /// The oscillator has no (stable) natural oscillation — the small-signal
+    /// loop gain never reaches one.
+    NoOscillation {
+        /// The small-signal loop gain `T_f(A→0)` that was found.
+        small_signal_gain: f64,
+    },
+    /// No stable lock exists for the requested injection (the lock range is
+    /// empty at this `V_i`).
+    NoLock,
+    /// An underlying numerical kernel failed.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for ShilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShilError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ShilError::NoOscillation { small_signal_gain } => write!(
+                f,
+                "no natural oscillation: small-signal loop gain {small_signal_gain:.3} never exceeds 1"
+            ),
+            ShilError::NoLock => write!(f, "no stable injection lock exists"),
+            ShilError::Numerics(e) => write!(f, "numerics failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShilError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShilError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for ShilError {
+    fn from(e: NumericsError) -> Self {
+        ShilError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ShilError::InvalidParameter("bad R".into())
+            .to_string()
+            .contains("bad R"));
+        assert!(ShilError::NoOscillation {
+            small_signal_gain: 0.5
+        }
+        .to_string()
+        .contains("0.5"));
+        assert_eq!(
+            ShilError::NoLock.to_string(),
+            "no stable injection lock exists"
+        );
+        let e: ShilError = NumericsError::InvalidBracket { a: 0.0, b: 1.0 }.into();
+        assert!(e.to_string().contains("bracket"));
+    }
+
+    #[test]
+    fn error_source_chain() {
+        use std::error::Error;
+        let e: ShilError = NumericsError::SingularMatrix { pivot: 2 }.into();
+        assert!(e.source().is_some());
+        assert!(ShilError::NoLock.source().is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Fundamental-harmonic injection locking (FHIL, §III-B) and the classical
+//! Adler approximation.
+//!
+//! The paper's SHIL machinery subsumes FHIL as the `n = 1` special case
+//! (handled by [`crate::shil::ShilAnalysis`] directly). This module adds
+//! the textbook closed form for cross-validation: for a weak fundamental
+//! injection the combined drive phasor is `A/2 + V_i·e^{jφ}`, the maximum
+//! loop phase the injection can absorb is `arcsin`-limited, and the
+//! resulting lock range follows from the tank phase slope.
+
+use crate::describing::{natural_oscillation, NaturalOptions};
+use crate::error::ShilError;
+use crate::nonlinearity::Nonlinearity;
+use crate::tank::{ParallelRlc, Tank};
+
+/// Closed-form (Adler-style) FHIL lock range for a parallel RLC oscillator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdlerLockRange {
+    /// Maximum loop phase the injection can supply (radians):
+    /// `arcsin(2V_i/A)` for `2V_i < A`.
+    pub phi_max: f64,
+    /// Lower lock limit (hertz).
+    pub lower_hz: f64,
+    /// Upper lock limit (hertz).
+    pub upper_hz: f64,
+    /// Total lock-range width (hertz).
+    pub span_hz: f64,
+}
+
+/// Computes the Adler approximation of the FHIL lock range.
+///
+/// With drive phasor `A/2` and injection phasor `V_i·e^{jφ}` the angle of
+/// the combined phasor reaches at most `arcsin(2V_i/A)`; setting the tank
+/// phase equal to that bound and inverting gives the lock limits. Accurate
+/// for `2V_i ≪ A` and high-ish Q.
+///
+/// # Errors
+///
+/// - [`ShilError::InvalidParameter`] if `vi ≤ 0`.
+/// - [`ShilError::NoLock`] if `2·vi ≥ amplitude` (the weak-injection
+///   formula does not apply).
+/// - [`ShilError::NoOscillation`] propagated from the natural-oscillation
+///   solve.
+pub fn adler_lock_range<N: Nonlinearity + ?Sized>(
+    nonlinearity: &N,
+    tank: &ParallelRlc,
+    vi: f64,
+) -> Result<AdlerLockRange, ShilError> {
+    if !(vi > 0.0) {
+        return Err(ShilError::InvalidParameter(format!(
+            "injection magnitude must be positive, got {vi}"
+        )));
+    }
+    let natural = natural_oscillation(nonlinearity, tank, &NaturalOptions::default())?;
+    let a = natural.amplitude;
+    if 2.0 * vi >= a {
+        return Err(ShilError::NoLock);
+    }
+    let phi_max = (2.0 * vi / a).asin();
+    let w_lo = tank.omega_for_phase(phi_max)?;
+    let w_hi = tank.omega_for_phase(-phi_max)?;
+    let lower_hz = w_lo / std::f64::consts::TAU;
+    let upper_hz = w_hi / std::f64::consts::TAU;
+    Ok(AdlerLockRange {
+        phi_max,
+        lower_hz,
+        upper_hz,
+        span_hz: upper_hz - lower_hz,
+    })
+}
+
+/// The classical small-signal estimate `Δf ≈ 2·f_c·V_i/(Q·A)` (total
+/// width), handy as a sanity bound.
+pub fn adler_span_estimate(fc_hz: f64, q: f64, amplitude: f64, vi: f64) -> f64 {
+    2.0 * fc_hz * vi / (q * amplitude)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonlinearity::NegativeTanh;
+    use crate::shil::{ShilAnalysis, ShilOptions};
+
+    fn setup() -> (NegativeTanh, ParallelRlc) {
+        (
+            NegativeTanh::new(1e-3, 20.0),
+            ParallelRlc::new(1000.0, 10e-6, 10e-9).unwrap(),
+        )
+    }
+
+    #[test]
+    fn adler_formula_matches_small_signal_estimate() {
+        let (f, t) = setup();
+        let lr = adler_lock_range(&f, &t, 0.01).unwrap();
+        let natural = natural_oscillation(&f, &t, &NaturalOptions::default()).unwrap();
+        let est = adler_span_estimate(t.center_frequency_hz(), t.q(), natural.amplitude, 0.01);
+        assert!(
+            ((lr.span_hz - est) / est).abs() < 0.05,
+            "closed form {} vs estimate {est}",
+            lr.span_hz
+        );
+        assert!(lr.lower_hz < t.center_frequency_hz());
+        assert!(lr.upper_hz > t.center_frequency_hz());
+    }
+
+    #[test]
+    fn adler_agrees_with_graphical_n1_analysis() {
+        // The paper's claim that SHIL machinery subsumes FHIL: the n = 1
+        // graphical lock range must approximate Adler for weak injection.
+        let (f, t) = setup();
+        let vi = 0.02;
+        let adler = adler_lock_range(&f, &t, vi).unwrap();
+        let an = ShilAnalysis::new(
+            &f,
+            &t,
+            1,
+            vi,
+            ShilOptions {
+                phase_points: 161,
+                amplitude_points: 101,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let graphical = an.lock_range().unwrap();
+        let rel = (graphical.injection_span_hz - adler.span_hz).abs() / adler.span_hz;
+        assert!(
+            rel < 0.25,
+            "graphical {} vs adler {} (rel {rel})",
+            graphical.injection_span_hz,
+            adler.span_hz
+        );
+    }
+
+    #[test]
+    fn rejects_overdrive_and_bad_input() {
+        let (f, t) = setup();
+        assert!(matches!(
+            adler_lock_range(&f, &t, 0.0),
+            Err(ShilError::InvalidParameter(_))
+        ));
+        // 2·V_i above the ~1.27 V natural amplitude.
+        assert!(matches!(
+            adler_lock_range(&f, &t, 0.7),
+            Err(ShilError::NoLock)
+        ));
+    }
+
+    #[test]
+    fn span_scales_linearly_with_injection() {
+        let (f, t) = setup();
+        let a = adler_lock_range(&f, &t, 0.005).unwrap();
+        let b = adler_lock_range(&f, &t, 0.01).unwrap();
+        assert!(((b.span_hz / a.span_hz) - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,299 @@
+//! Harmonic pre-characterization of nonlinearities.
+//!
+//! Everything the describing-function method needs from a nonlinearity is a
+//! handful of Fourier coefficients of its output under one- or two-tone
+//! excitation (paper eq. 1 and §VI-B2):
+//!
+//! - single tone: `i(θ) = f(A·cosθ)` with coefficients `I_k(A)`;
+//! - with sub-harmonic injection: `i(θ) = f(A·cosθ + 2V_i·cos(nθ + φ))`
+//!   with the fundamental `I₁(A, V_i, φ)` carrying all the locking physics.
+//!
+//! All integrals are periodic trapezoid sums, which converge spectrally for
+//! the smooth waveforms at hand; this is the "minimal cost" computational
+//! pre-characterization the paper describes.
+
+use shil_numerics::quad::fourier_coefficient;
+use shil_numerics::Complex64;
+
+use crate::nonlinearity::Nonlinearity;
+
+/// Sampling options for the harmonic integrals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarmonicOptions {
+    /// Samples per fundamental period (power of two recommended).
+    pub samples: usize,
+}
+
+impl Default for HarmonicOptions {
+    fn default() -> Self {
+        HarmonicOptions { samples: 512 }
+    }
+}
+
+/// `k`-th Fourier coefficient `I_k(A)` of `f(A·cosθ)` (paper eq. 1).
+///
+/// For any real memoryless `f`, `I₁(A)` is real (the input is even in θ),
+/// and negative exactly when `f` acts as a negative resistance at this
+/// amplitude — the fact §II uses to close the loop without injection.
+pub fn i_k<N: Nonlinearity + ?Sized>(
+    f: &N,
+    amplitude: f64,
+    k: i32,
+    opts: &HarmonicOptions,
+) -> Complex64 {
+    fourier_coefficient(|theta| f.current(amplitude * theta.cos()), k, opts.samples)
+}
+
+/// Fundamental coefficient `I₁(A)` of the single-tone response.
+pub fn i1_single<N: Nonlinearity + ?Sized>(
+    f: &N,
+    amplitude: f64,
+    opts: &HarmonicOptions,
+) -> Complex64 {
+    i_k(f, amplitude, 1, opts)
+}
+
+/// Fundamental coefficient `I₁(A, V_i, φ)` under `n`-th-harmonic injection:
+/// the Fourier coefficient at the fundamental of
+/// `f(A·cosθ + 2V_i·cos(nθ + φ))` (paper §VI-B2).
+///
+/// `vi` is the injection **phasor magnitude** (the physical injection
+/// waveform has peak amplitude `2·vi`, matching the paper's
+/// `2V_i·cos(nω_i t + φ)` convention).
+///
+/// # Panics
+///
+/// Panics if `n == 0` (use [`i1_single`] for no injection, or `n = 1` for
+/// fundamental injection).
+pub fn i1_injected<N: Nonlinearity + ?Sized>(
+    f: &N,
+    amplitude: f64,
+    vi: f64,
+    phi: f64,
+    n: u32,
+    opts: &HarmonicOptions,
+) -> Complex64 {
+    assert!(n >= 1, "harmonic order n must be >= 1");
+    let nf = n as f64;
+    fourier_coefficient(
+        |theta| f.current(amplitude * theta.cos() + 2.0 * vi * (nf * theta + phi).cos()),
+        1,
+        opts.samples,
+    )
+}
+
+/// All coefficients `I_0..=I_max_k` of the injected two-tone response.
+///
+/// Useful for verifying the filtering assumption: with a high-Q tank only
+/// `I₁` (and the injection's own bin `I_n`) matter.
+pub fn injected_spectrum<N: Nonlinearity + ?Sized>(
+    f: &N,
+    amplitude: f64,
+    vi: f64,
+    phi: f64,
+    n: u32,
+    max_k: usize,
+    opts: &HarmonicOptions,
+) -> Vec<Complex64> {
+    assert!(n >= 1, "harmonic order n must be >= 1");
+    let nf = n as f64;
+    (0..=max_k as i32)
+        .map(|k| {
+            fourier_coefficient(
+                |theta| f.current(amplitude * theta.cos() + 2.0 * vi * (nf * theta + phi).cos()),
+                k,
+                opts.samples,
+            )
+        })
+        .collect()
+}
+
+/// The paper's loop-gain describing function
+/// `T_f(A) = −R·I₁(A)/(A/2)` for the injection-free loop (eq. 2).
+pub fn t_f_single<N: Nonlinearity + ?Sized>(
+    f: &N,
+    r: f64,
+    amplitude: f64,
+    opts: &HarmonicOptions,
+) -> f64 {
+    -r * i1_single(f, amplitude, opts).re / (amplitude / 2.0)
+}
+
+/// The injected loop-gain describing function
+/// `T_f(A, V_i, φ) = −R·I₁ₓ(A, V_i, φ)/(A/2)` (paper eq. 3), where `I₁ₓ` is
+/// the cosine (real) component of the fundamental phasor.
+pub fn t_f_injected<N: Nonlinearity + ?Sized>(
+    f: &N,
+    r: f64,
+    amplitude: f64,
+    vi: f64,
+    phi: f64,
+    n: u32,
+    opts: &HarmonicOptions,
+) -> f64 {
+    -r * i1_injected(f, amplitude, vi, phi, n, opts).re / (amplitude / 2.0)
+}
+
+/// The phase `∠−I₁(A, V_i, φ)` used in the lock condition (paper eq. 4),
+/// wrapped to `(−π, π]`.
+pub fn angle_neg_i1<N: Nonlinearity + ?Sized>(
+    f: &N,
+    amplitude: f64,
+    vi: f64,
+    phi: f64,
+    n: u32,
+    opts: &HarmonicOptions,
+) -> f64 {
+    (-i1_injected(f, amplitude, vi, phi, n, opts)).arg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonlinearity::{FnNonlinearity, NegativeTanh, Polynomial};
+    use std::f64::consts::PI;
+
+    fn opts() -> HarmonicOptions {
+        HarmonicOptions::default()
+    }
+
+    #[test]
+    fn linear_element_fundamental() {
+        let f = FnNonlinearity::new(|v: f64| 0.01 * v);
+        // I₁ = g·A/2 for i = g·v.
+        let i1 = i1_single(&f, 2.0, &opts());
+        assert!((i1.re - 0.01).abs() < 1e-12);
+        assert!(i1.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn tanh_fundamental_is_real_negative_and_saturates() {
+        let f = NegativeTanh::new(1e-3, 50.0);
+        for &a in &[0.05, 0.2, 1.0, 5.0] {
+            let i1 = i1_single(&f, a, &opts());
+            assert!(i1.im.abs() < 1e-12, "imaginary leak at A={a}");
+            assert!(i1.re < 0.0, "negative resistance sign at A={a}");
+        }
+        // Hard-limit asymptote: |I₁| → (2/π)·i₀.
+        let deep = i1_single(&f, 100.0, &opts());
+        assert!((deep.re.abs() - 2e-3 / PI).abs() < 1e-5);
+    }
+
+    #[test]
+    fn van_der_pol_fundamental_matches_closed_form() {
+        // i = −g₁v + g₃v³ with v = A cosθ:
+        // I₁ = (−g₁·A/2 + g₃·(3/4)A³·(1/2)) = −g₁A/2 + (3/8)g₃A³.
+        let (g1, g3) = (2e-3, 5e-4);
+        let f = Polynomial::van_der_pol(g1, g3).unwrap();
+        for &a in &[0.1, 0.7, 1.5, 3.0] {
+            let i1 = i1_single(&f, a, &opts());
+            let expect = -g1 * a / 2.0 + 3.0 / 8.0 * g3 * a.powi(3);
+            assert!(
+                (i1.re - expect).abs() < 1e-12 * (1.0 + expect.abs()),
+                "A={a}: {} vs {expect}",
+                i1.re
+            );
+        }
+    }
+
+    #[test]
+    fn injection_at_n2plus_leaves_linear_element_untouched() {
+        // A *linear* element cannot mix the injection down to the
+        // fundamental: I₁ must be independent of V_i and φ for n ≥ 2.
+        let f = FnNonlinearity::new(|v: f64| 0.01 * v);
+        let base = i1_injected(&f, 1.0, 0.0, 0.0, 3, &opts());
+        for &phi in &[0.0, 1.0, 2.5] {
+            let withinj = i1_injected(&f, 1.0, 0.2, phi, 3, &opts());
+            assert!((withinj - base).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn nonlinear_element_mixes_injection_into_fundamental() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let no_inj = i1_injected(&f, 0.5, 0.0, 0.0, 3, &opts());
+        assert!(no_inj.im.abs() < 1e-12);
+        let with_inj = i1_injected(&f, 0.5, 0.03, 0.8, 3, &opts());
+        // The injection must rotate the fundamental phasor — that rotation
+        // is the entire SHIL mechanism (§III-C).
+        assert!(with_inj.im.abs() > 1e-6, "no phase generated: {with_inj:?}");
+    }
+
+    #[test]
+    fn conjugate_symmetry_in_phi() {
+        // §VI-B3: replacing φ → −φ conjugates the fundamental phasor.
+        let f = NegativeTanh::new(1e-3, 20.0);
+        for &phi in &[0.3, 1.2, 2.9] {
+            let plus = i1_injected(&f, 0.4, 0.05, phi, 3, &opts());
+            let minus = i1_injected(&f, 0.4, 0.05, -phi, 3, &opts());
+            assert!((plus.conj() - minus).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn phi_periodicity_is_two_pi() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let a = i1_injected(&f, 0.4, 0.05, 0.7, 3, &opts());
+        let b = i1_injected(&f, 0.4, 0.05, 0.7 + std::f64::consts::TAU, 3, &opts());
+        assert!((a - b).abs() < 1e-13);
+    }
+
+    #[test]
+    fn n1_injection_reduces_to_vector_addition() {
+        // For n = 1 the two tones are colinear: the input is a single
+        // sinusoid with phasor A/2 + V_i·e^{jφ}, so
+        // I₁(A, V_i, φ) = I₁(A_eff)·e^{jψ} with A_eff/2·e^{jψ} the combined
+        // phasor.
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let (a, vi, phi) = (0.5, 0.04, 1.1);
+        let combined = Complex64::new(a / 2.0, 0.0) + Complex64::from_polar(vi, phi);
+        let a_eff = 2.0 * combined.abs();
+        let psi = combined.arg();
+        let direct = i1_injected(&f, a, vi, phi, 1, &opts());
+        let composed = i1_single(&f, a_eff, &opts()) * Complex64::from_polar(1.0, psi);
+        assert!(
+            (direct - composed).abs() < 1e-12,
+            "{direct:?} vs {composed:?}"
+        );
+    }
+
+    #[test]
+    fn injected_spectrum_shows_injection_bin() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let spec = injected_spectrum(&f, 0.5, 0.03, 0.4, 3, 6, &opts());
+        // Odd nonlinearity, odd input structure: fundamental and 3rd
+        // dominate; DC vanishes.
+        assert!(spec[0].abs() < 1e-12);
+        assert!(spec[1].abs() > 1e-4);
+        assert!(spec[3].abs() > 1e-6);
+    }
+
+    #[test]
+    fn t_f_definitions_are_consistent() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let r = 1000.0;
+        let a = 0.7;
+        let tf1 = t_f_single(&f, r, a, &opts());
+        let tf2 = t_f_injected(&f, r, a, 0.0, 0.0, 3, &opts());
+        assert!((tf1 - tf2).abs() < 1e-12);
+        assert!(tf1 > 0.0);
+        // Small-signal limit: T_f → −R·f′(0) = R·i₀·gain = 20.
+        let tf0 = t_f_single(&f, r, 1e-6, &opts());
+        assert!((tf0 - 20.0).abs() < 1e-6, "tf0 = {tf0}");
+    }
+
+    #[test]
+    fn angle_neg_i1_is_zero_without_injection() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        // −I₁ is a positive real number ⇒ angle 0 (the §II natural case).
+        let ang = angle_neg_i1(&f, 0.5, 0.0, 0.0, 3, &opts());
+        assert!(ang.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "harmonic order")]
+    fn zero_harmonic_order_panics() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let _ = i1_injected(&f, 0.5, 0.03, 0.0, 0, &opts());
+    }
+}

@@ -1,0 +1,465 @@
+//! Memoryless nonlinearities `i = f(v)`.
+//!
+//! The describing-function method works for *any* memoryless nonlinearity —
+//! the paper's central claim — because the harmonic pre-characterization in
+//! [`crate::harmonics`] only ever evaluates `f` pointwise. This module
+//! provides the trait plus the concrete curves used by the paper:
+//!
+//! - [`NegativeTanh`] — the `−tanh` illustration of §II–III;
+//! - [`TunnelDiode`] / [`TunnelDiodeModel`] — the exact §VI-C device;
+//! - [`Polynomial`] — e.g. van der Pol cubics;
+//! - [`Tabulated`] — PCHIP over DC-sweep data (the Fig. 12a extraction);
+//! - [`Biased`] — re-centers any curve around a DC operating point;
+//! - [`FnNonlinearity`] — wraps an arbitrary closure.
+
+use shil_numerics::interp::Pchip;
+
+use crate::error::ShilError;
+
+/// Thermal voltage `kT/q` used by the junction models (25 mV, the value in
+/// the paper's appendix §VI-C).
+pub const THERMAL_VOLTAGE: f64 = 0.025;
+
+/// Exponential with linearized continuation above `x = 40`, the standard
+/// SPICE convergence aid for junction laws.
+pub fn limexp(x: f64) -> f64 {
+    const LIM: f64 = 40.0;
+    if x <= LIM {
+        x.exp()
+    } else {
+        LIM.exp() * (1.0 + (x - LIM))
+    }
+}
+
+/// Derivative of [`limexp`].
+pub fn limexp_deriv(x: f64) -> f64 {
+    const LIM: f64 = 40.0;
+    if x <= LIM {
+        x.exp()
+    } else {
+        LIM.exp()
+    }
+}
+
+/// A memoryless `i = f(v)` characteristic.
+///
+/// Implementors must be deterministic and finite on the voltage ranges the
+/// analysis explores (roughly `|v| ≤ A_max + 2V_i`).
+pub trait Nonlinearity {
+    /// Current through the element at instantaneous voltage `v`.
+    fn current(&self, v: f64) -> f64;
+
+    /// Differential conductance `df/dv`.
+    ///
+    /// The default is a central finite difference; override when an
+    /// analytic derivative is available.
+    fn conductance(&self, v: f64) -> f64 {
+        let h = 1e-6 * (1.0 + v.abs());
+        (self.current(v + h) - self.current(v - h)) / (2.0 * h)
+    }
+}
+
+impl<N: Nonlinearity + ?Sized> Nonlinearity for &N {
+    fn current(&self, v: f64) -> f64 {
+        (**self).current(v)
+    }
+    fn conductance(&self, v: f64) -> f64 {
+        (**self).conductance(v)
+    }
+}
+
+/// The paper's illustrative negative-resistance element
+/// `f(v) = −i₀·tanh(gain·v)`.
+///
+/// Small-signal conductance `f′(0) = −i₀·gain`; with a tank resistance `R`
+/// the oscillator starts up iff `R·i₀·gain > 1`.
+///
+/// ```
+/// use shil_core::nonlinearity::{NegativeTanh, Nonlinearity};
+///
+/// let f = NegativeTanh::new(1e-3, 20.0);
+/// assert!(f.current(0.5) < 0.0);
+/// assert!((f.conductance(0.0) + 0.02).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegativeTanh {
+    /// Saturation current magnitude `i₀` (amperes, positive).
+    pub i0: f64,
+    /// Voltage gain inside the tanh (1/V, positive).
+    pub gain: f64,
+}
+
+impl NegativeTanh {
+    /// Creates the element.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive.
+    pub fn new(i0: f64, gain: f64) -> Self {
+        assert!(i0 > 0.0 && gain > 0.0, "parameters must be positive");
+        NegativeTanh { i0, gain }
+    }
+}
+
+impl Nonlinearity for NegativeTanh {
+    fn current(&self, v: f64) -> f64 {
+        -self.i0 * (self.gain * v).tanh()
+    }
+    fn conductance(&self, v: f64) -> f64 {
+        let c = (self.gain * v).cosh();
+        -self.i0 * self.gain / (c * c)
+    }
+}
+
+/// Polynomial nonlinearity `i = Σ c_k v^k` (coefficients ascending).
+///
+/// A van der Pol negative-resistance element is `[0, −g₁, 0, g₃]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShilError::InvalidParameter`] for an empty coefficient list
+    /// or non-finite coefficients.
+    pub fn new(coeffs: Vec<f64>) -> Result<Self, ShilError> {
+        if coeffs.is_empty() {
+            return Err(ShilError::InvalidParameter(
+                "polynomial needs at least one coefficient".into(),
+            ));
+        }
+        if coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(ShilError::InvalidParameter(
+                "polynomial coefficients must be finite".into(),
+            ));
+        }
+        Ok(Polynomial { coeffs })
+    }
+
+    /// The van der Pol cubic `i = −g₁·v + g₃·v³`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShilError::InvalidParameter`] unless both conductances are
+    /// positive.
+    pub fn van_der_pol(g1: f64, g3: f64) -> Result<Self, ShilError> {
+        if !(g1 > 0.0 && g3 > 0.0) {
+            return Err(ShilError::InvalidParameter(
+                "van der Pol conductances must be positive".into(),
+            ));
+        }
+        Polynomial::new(vec![0.0, -g1, 0.0, g3])
+    }
+
+    /// The coefficients, ascending.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+}
+
+impl Nonlinearity for Polynomial {
+    fn current(&self, v: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * v + c)
+    }
+    fn conductance(&self, v: f64) -> f64 {
+        let mut acc = 0.0;
+        for (k, &c) in self.coeffs.iter().enumerate().skip(1).rev() {
+            acc = acc * v + c * k as f64;
+        }
+        acc
+    }
+}
+
+/// Parameters of the paper's tunnel-diode model (appendix §VI-C):
+/// `I_td = I_tunnel + I_diode`, `I_diode = I_s(e^{v/(ηV_th)} − 1)`,
+/// `I_tunnel = (v/R₀)·e^{−(v/V₀)^m}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunnelDiodeModel {
+    /// Saturation current `I_s` (paper: 1e−12 A).
+    pub saturation_current: f64,
+    /// Ideality factor `η` (paper: 1).
+    pub ideality: f64,
+    /// Thermal voltage `V_th` (paper: 0.025 V).
+    pub thermal_voltage: f64,
+    /// Tunnel exponent `m` (paper: 2; typically 1 ≤ m ≤ 3).
+    pub m: f64,
+    /// Tunnel voltage scale `V₀` (paper: 0.2 V; typically 0.1–0.5 V).
+    pub v0: f64,
+    /// Ohmic-region resistance `R₀` (paper: 1000 Ω).
+    pub r0: f64,
+}
+
+impl Default for TunnelDiodeModel {
+    /// The exact parameter set of appendix §VI-C.
+    fn default() -> Self {
+        TunnelDiodeModel {
+            saturation_current: 1e-12,
+            ideality: 1.0,
+            thermal_voltage: THERMAL_VOLTAGE,
+            m: 2.0,
+            v0: 0.2,
+            r0: 1000.0,
+        }
+    }
+}
+
+impl TunnelDiodeModel {
+    /// Total diode current at junction voltage `v`.
+    pub fn current(&self, v: f64) -> f64 {
+        let x = v / (self.ideality * self.thermal_voltage);
+        let i_diode = self.saturation_current * (limexp(x) - 1.0);
+        let i_tunnel = v / self.r0 * (-self.signed_pow(v)).exp();
+        i_diode + i_tunnel
+    }
+
+    /// Differential conductance `dI/dv` at `v`.
+    pub fn conductance(&self, v: f64) -> f64 {
+        let nvt = self.ideality * self.thermal_voltage;
+        let g_diode = self.saturation_current * limexp_deriv(v / nvt) / nvt;
+        let a = (-self.signed_pow(v)).exp();
+        let u = self.signed_pow(v);
+        g_diode + a / self.r0 * (1.0 - self.m * u)
+    }
+
+    /// `(|v|/V₀)^m` — the tunnel attenuation exponent (the magnitude keeps
+    /// the expression defined for `v < 0`, where the junction term dominates
+    /// anyway).
+    fn signed_pow(&self, v: f64) -> f64 {
+        (v / self.v0).abs().powf(self.m)
+    }
+}
+
+/// The tunnel diode as a [`Nonlinearity`] (un-biased; see [`Biased`] or
+/// [`TunnelDiode::biased_at`] for the 0.25 V re-centering of Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TunnelDiode {
+    /// Device model parameters.
+    pub model: TunnelDiodeModel,
+}
+
+impl TunnelDiode {
+    /// Creates a tunnel diode with the paper's §VI-C parameters.
+    pub fn new() -> Self {
+        TunnelDiode::default()
+    }
+
+    /// Re-centers the device around `v_bias`, returning a curve through the
+    /// origin with the same local shape — the normalization Fig. 16 applies
+    /// before running the prediction theory.
+    pub fn biased_at(self, v_bias: f64) -> Biased<TunnelDiode> {
+        Biased::new(self, v_bias)
+    }
+}
+
+impl Nonlinearity for TunnelDiode {
+    fn current(&self, v: f64) -> f64 {
+        self.model.current(v)
+    }
+    fn conductance(&self, v: f64) -> f64 {
+        self.model.conductance(v)
+    }
+}
+
+/// Bias-shifting adapter: `i = inner(v + v_bias) − inner(v_bias)`.
+///
+/// Moves a chosen DC operating point to the origin, which is the frame the
+/// describing-function equations assume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biased<N> {
+    inner: N,
+    v_bias: f64,
+    i_bias: f64,
+}
+
+impl<N: Nonlinearity> Biased<N> {
+    /// Wraps `inner` so that `(v_bias, inner(v_bias))` maps to the origin.
+    pub fn new(inner: N, v_bias: f64) -> Self {
+        let i_bias = inner.current(v_bias);
+        Biased {
+            inner,
+            v_bias,
+            i_bias,
+        }
+    }
+
+    /// The wrapped curve.
+    pub fn inner(&self) -> &N {
+        &self.inner
+    }
+
+    /// The bias voltage.
+    pub fn v_bias(&self) -> f64 {
+        self.v_bias
+    }
+}
+
+impl<N: Nonlinearity> Nonlinearity for Biased<N> {
+    fn current(&self, v: f64) -> f64 {
+        self.inner.current(v + self.v_bias) - self.i_bias
+    }
+    fn conductance(&self, v: f64) -> f64 {
+        self.inner.conductance(v + self.v_bias)
+    }
+}
+
+/// Tabulated `i = f(v)` data interpolated with shape-preserving PCHIP.
+///
+/// This is how DC-sweep extractions (Fig. 11b → Fig. 12a) enter the
+/// analysis: the `(v, i)` samples from the simulator become a first-class
+/// nonlinearity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tabulated {
+    pchip: Pchip,
+}
+
+impl Tabulated {
+    /// Builds the interpolant from `(v, i)` samples with strictly
+    /// increasing `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShilError::InvalidParameter`] for fewer than two points or
+    /// a non-increasing voltage axis.
+    pub fn new(v: Vec<f64>, i: Vec<f64>) -> Result<Self, ShilError> {
+        let pchip = Pchip::new(v, i)
+            .map_err(|e| ShilError::InvalidParameter(format!("bad i(v) table: {e}")))?;
+        Ok(Tabulated { pchip })
+    }
+
+    /// The valid voltage range of the table (queries outside extrapolate
+    /// linearly with the edge slope).
+    pub fn domain(&self) -> (f64, f64) {
+        self.pchip.domain()
+    }
+}
+
+impl Nonlinearity for Tabulated {
+    fn current(&self, v: f64) -> f64 {
+        self.pchip.eval(v).unwrap_or(0.0)
+    }
+    fn conductance(&self, v: f64) -> f64 {
+        self.pchip.derivative(v)
+    }
+}
+
+/// Wraps an arbitrary closure as a [`Nonlinearity`] (finite-difference
+/// conductance).
+///
+/// ```
+/// use shil_core::nonlinearity::{FnNonlinearity, Nonlinearity};
+///
+/// let f = FnNonlinearity::new(|v: f64| -1e-3 * v.sin());
+/// assert!((f.conductance(0.0) + 1e-3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FnNonlinearity<F> {
+    f: F,
+}
+
+impl<F: Fn(f64) -> f64> FnNonlinearity<F> {
+    /// Wraps the closure.
+    pub fn new(f: F) -> Self {
+        FnNonlinearity { f }
+    }
+}
+
+impl<F: Fn(f64) -> f64> Nonlinearity for FnNonlinearity<F> {
+    fn current(&self, v: f64) -> f64 {
+        (self.f)(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(f: &dyn Nonlinearity, v: f64) -> f64 {
+        let h = 1e-7 * (1.0 + v.abs());
+        (f.current(v + h) - f.current(v - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn negative_tanh_shape() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        assert_eq!(f.current(0.0), 0.0);
+        assert!((f.current(10.0) + 1e-3).abs() < 1e-12);
+        assert!((f.current(-10.0) - 1e-3).abs() < 1e-12);
+        for &v in &[-0.2, -0.01, 0.0, 0.05, 0.3] {
+            assert!((f.conductance(v) - fd(&f, v)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn polynomial_van_der_pol() {
+        let f = Polynomial::van_der_pol(1e-3, 1e-3).unwrap();
+        // Zero crossings of conductance at v = ±1/√3.
+        assert!(f.conductance(0.0) < 0.0);
+        assert!(f.conductance(1.0) > 0.0);
+        for &v in &[-1.5, -0.3, 0.0, 0.8, 2.0] {
+            assert!((f.conductance(v) - fd(&f, v)).abs() < 1e-6);
+        }
+        assert!(Polynomial::van_der_pol(-1.0, 1.0).is_err());
+        assert!(Polynomial::new(vec![]).is_err());
+        assert!(Polynomial::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn tunnel_diode_matches_appendix_equations() {
+        let td = TunnelDiode::new();
+        let v = 0.1;
+        let expect = 0.1 / 1000.0 * (-0.25f64).exp() + 1e-12 * ((4.0f64).exp() - 1.0);
+        assert!((td.current(v) - expect).abs() < 1e-15);
+        // Negative resistance near the paper's 0.25 V bias.
+        assert!(td.conductance(0.25) < 0.0);
+        for &v in &[-0.1, 0.05, 0.25, 0.45, 0.7] {
+            assert!((td.conductance(v) - fd(&td, v)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn biased_tunnel_diode_centers_origin() {
+        let f = TunnelDiode::new().biased_at(0.25);
+        assert!(f.current(0.0).abs() < 1e-18);
+        assert!(f.conductance(0.0) < 0.0);
+        assert_eq!(f.v_bias(), 0.25);
+        // Shifting is exact: f(v) = td(v + 0.25) − td(0.25).
+        let td = TunnelDiode::new();
+        for &v in &[-0.2, -0.05, 0.1, 0.3] {
+            assert!((f.current(v) - (td.current(v + 0.25) - td.current(0.25))).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn tabulated_roundtrip_against_generator() {
+        let v: Vec<f64> = (0..201).map(|k| -1.0 + 0.01 * k as f64).collect();
+        let gen = NegativeTanh::new(2e-3, 8.0);
+        let i: Vec<f64> = v.iter().map(|&x| gen.current(x)).collect();
+        let t = Tabulated::new(v, i).unwrap();
+        for &q in &[-0.9, -0.33, 0.0, 0.41, 0.87] {
+            assert!((t.current(q) - gen.current(q)).abs() < 1e-6);
+            assert!((t.conductance(q) - gen.conductance(q)).abs() < 1e-3);
+        }
+        assert_eq!(t.domain(), (-1.0, 1.0));
+        assert!(Tabulated::new(vec![0.0], vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn fn_nonlinearity_and_reference_impl() {
+        let f = FnNonlinearity::new(|v: f64| -0.5 * v);
+        assert_eq!(f.current(2.0), -1.0);
+        let r = &f;
+        assert_eq!(r.current(2.0), -1.0);
+        assert!((r.conductance(0.3) + 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn limexp_continuity() {
+        assert!((limexp(39.9999999) - limexp(40.0000001)).abs() / limexp(40.0) < 1e-6);
+        assert!(limexp(500.0).is_finite());
+        assert!(limexp_deriv(500.0).is_finite());
+    }
+}

@@ -1,0 +1,218 @@
+//! Injection pulling: quasi-periodic beating just outside the lock range.
+//!
+//! The paper's introduction cites injection pulling as the sibling
+//! phenomenon of locking. Inside the lock range the relative phase
+//! `φ = θ_V − n·θ_A` settles; outside it `φ` slips continuously and the
+//! output becomes quasi-periodic with a characteristic beat. The slip
+//! dynamics follow from the same pre-characterized curves as the lock
+//! analysis:
+//!
+//! 1. Quasi-statically, the amplitude rides the injection-invariant
+//!    `T_f(A, φ) = 1` curve: `A = A*(φ)`.
+//! 2. The oscillator detunes itself so the loop phase closes: its
+//!    instantaneous frequency `ω(φ)` satisfies
+//!    `φ_d(ω) = −∠−I₁(A*(φ), φ)`.
+//! 3. The relative phase then slips at `dφ/dt = n·(ω_i − ω(φ))` where
+//!    `ω_i = 2π·f_inj/n`.
+//!
+//! If `dφ/dt` has a zero the oscillator locks (this reproduces the lock
+//! range); otherwise the beat frequency is `1/T` with
+//! `T = ∮ dφ/|dφ/dt|` — the quantity [`pulling_state`] returns, validated
+//! against transient simulation in the `ext_pulling` experiment.
+
+use crate::error::ShilError;
+use crate::harmonics::{angle_neg_i1, t_f_injected};
+use crate::nonlinearity::Nonlinearity;
+use crate::shil::ShilAnalysis;
+use crate::tank::Tank;
+use shil_numerics::roots::brent;
+
+/// Result of a pulling analysis at one injection frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PullingState {
+    /// The phase dynamics have a fixed point: the oscillator locks.
+    Locked,
+    /// The phase slips: quasi-periodic output with the given beat.
+    Pulled {
+        /// Slip (beat) frequency in hertz — the spacing of the sidebands
+        /// around the quasi-locked spectrum.
+        beat_hz: f64,
+        /// Mean slip direction: `+1` when the oscillator trails the
+        /// injection (injection above the range), `−1` below.
+        direction: f64,
+    },
+}
+
+/// Quasi-static pulling analysis at injection frequency `f_injection_hz`.
+///
+/// Uses the prepared [`ShilAnalysis`] for its nonlinearity/tank/injection
+/// configuration. The phase circle is discretized into `steps` points
+/// (defaults are fine at 256; the integrand is smooth).
+///
+/// # Errors
+///
+/// - [`ShilError::InvalidParameter`] for non-positive frequency or a
+///   detuning so large the required tank phase leaves `(−π/2, π/2)`.
+/// - Root-finding failures from the amplitude solve.
+pub fn pulling_state<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
+    analysis: &ShilAnalysis<'_, N, T>,
+    nonlinearity: &N,
+    tank: &T,
+    f_injection_hz: f64,
+    steps: usize,
+) -> Result<PullingState, ShilError> {
+    if !(f_injection_hz > 0.0) {
+        return Err(ShilError::InvalidParameter(format!(
+            "injection frequency must be positive, got {f_injection_hz}"
+        )));
+    }
+    let n = analysis.order();
+    let vi = analysis.injection();
+    let natural = analysis.natural();
+    let opts = crate::harmonics::HarmonicOptions::default();
+    let omega_i = std::f64::consts::TAU * f_injection_hz / n as f64;
+
+    // Walk the phase circle, computing the quasi-static slip rate.
+    let mut rates = Vec::with_capacity(steps);
+    let a_lo = 0.2 * natural.amplitude;
+    let a_hi = 1.5 * natural.amplitude;
+    let r = tank.peak_resistance();
+    for k in 0..steps {
+        let phi = std::f64::consts::TAU * k as f64 / steps as f64;
+        // Amplitude on the T_f = 1 curve at this phase.
+        let g = |a: f64| t_f_injected(nonlinearity, r, a, vi, phi, n, &opts) - 1.0;
+        let a_star = brent(g, a_lo, a_hi, 1e-12 * a_hi, 200)?;
+        // Oscillator's self-consistent instantaneous frequency.
+        let ang = angle_neg_i1(nonlinearity, a_star, vi, phi, n, &opts);
+        let omega_phi = tank.omega_for_phase(-ang)?;
+        rates.push(n as f64 * (omega_i - omega_phi));
+    }
+
+    let (min_rate, max_rate) = rates
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    if min_rate <= 0.0 && max_rate >= 0.0 {
+        return Ok(PullingState::Locked);
+    }
+    // Beat period: T = ∮ dφ / |dφ/dt| (trapezoid over the periodic circle).
+    let dphi = std::f64::consts::TAU / steps as f64;
+    let period: f64 = rates.iter().map(|v| dphi / v.abs()).sum();
+    Ok(PullingState::Pulled {
+        beat_hz: 1.0 / period,
+        direction: if min_rate > 0.0 { 1.0 } else { -1.0 },
+    })
+}
+
+/// Classical Adler beat formula `f_beat = √(Δf² − Δf_L²)` for a detuning
+/// `Δf` beyond a lock half-width `Δf_L` (both in hertz) — the weak-injection
+/// asymptote of [`pulling_state`].
+pub fn adler_beat(detuning_hz: f64, lock_half_width_hz: f64) -> Option<f64> {
+    let d2 = detuning_hz * detuning_hz - lock_half_width_hz * lock_half_width_hz;
+    if d2 <= 0.0 {
+        None
+    } else {
+        Some(d2.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonlinearity::NegativeTanh;
+    use crate::shil::ShilOptions;
+    use crate::tank::ParallelRlc;
+
+    fn setup() -> (NegativeTanh, ParallelRlc) {
+        (
+            NegativeTanh::new(1e-3, 20.0),
+            ParallelRlc::new(1000.0, 10e-6, 10e-9).unwrap(),
+        )
+    }
+
+    #[test]
+    fn inside_the_lock_range_reports_locked() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, ShilOptions::default()).unwrap();
+        let lr = an.lock_range().unwrap();
+        let mid = 0.5 * (lr.lower_injection_hz + lr.upper_injection_hz);
+        assert_eq!(
+            pulling_state(&an, &f, &t, mid, 256).unwrap(),
+            PullingState::Locked
+        );
+        // Also at 90 % of the upper edge.
+        let near = mid + 0.4 * lr.injection_span_hz;
+        assert_eq!(
+            pulling_state(&an, &f, &t, near, 256).unwrap(),
+            PullingState::Locked
+        );
+    }
+
+    #[test]
+    fn beat_appears_outside_and_matches_adler_shape() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, ShilOptions::default()).unwrap();
+        let lr = an.lock_range().unwrap();
+        let center = 0.5 * (lr.lower_injection_hz + lr.upper_injection_hz);
+        let half = 0.5 * lr.injection_span_hz;
+
+        for &excess in &[1.1, 1.5, 3.0, 10.0] {
+            let f_inj = center + excess * half;
+            let state = pulling_state(&an, &f, &t, f_inj, 512).unwrap();
+            let PullingState::Pulled { beat_hz, direction } = state else {
+                panic!("expected pulling at {excess}x the half width");
+            };
+            assert!(direction > 0.0);
+            let adler = adler_beat(excess * half, half).expect("outside");
+            // The quasi-static beat must track the Adler square-root law
+            // within a few percent (the curves are not exactly sinusoidal).
+            assert!(
+                (beat_hz - adler).abs() / adler < 0.1,
+                "excess {excess}: beat {beat_hz} vs adler {adler}"
+            );
+        }
+    }
+
+    #[test]
+    fn beat_direction_flips_below_the_range() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, ShilOptions::default()).unwrap();
+        let lr = an.lock_range().unwrap();
+        let f_inj = lr.lower_injection_hz - lr.injection_span_hz;
+        match pulling_state(&an, &f, &t, f_inj, 256).unwrap() {
+            PullingState::Pulled { direction, .. } => assert!(direction < 0.0),
+            other => panic!("expected pulling, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn far_detuning_beat_approaches_raw_offset() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, ShilOptions::default()).unwrap();
+        let lr = an.lock_range().unwrap();
+        let center = 0.5 * (lr.lower_injection_hz + lr.upper_injection_hz);
+        let offset = 20.0 * lr.injection_span_hz;
+        match pulling_state(&an, &f, &t, center + offset, 256).unwrap() {
+            PullingState::Pulled { beat_hz, .. } => {
+                assert!((beat_hz - offset).abs() / offset < 0.05, "beat {beat_hz}");
+            }
+            other => panic!("expected pulling, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adler_beat_edge_cases() {
+        assert_eq!(adler_beat(1.0, 2.0), None);
+        assert_eq!(adler_beat(2.0, 2.0), None);
+        let b = adler_beat(5.0, 3.0).unwrap();
+        assert!((b - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_frequency_is_rejected() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, ShilOptions::default()).unwrap();
+        assert!(pulling_state(&an, &f, &t, -1.0, 64).is_err());
+    }
+}

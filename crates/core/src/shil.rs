@@ -1,0 +1,811 @@
+//! Sub-harmonic injection locking: the paper's graphical procedure (§III-C)
+//! as an executable algorithm.
+//!
+//! # The procedure
+//!
+//! For an injection phasor `V_i` at `n·ω_i` the lock conditions are
+//! (paper eqs. 3–4)
+//!
+//! ```text
+//! T_f(A, φ)  = −R·I₁ₓ(A, V_i, φ) / (A/2) = 1
+//! ∠−I₁(A, φ) = −φ_d(ω_i)
+//! ```
+//!
+//! Both left-hand sides are pre-characterized on a rectangular `(φ, A)`
+//! grid. The level set `C_{T_f,1}` is extracted once with marching squares
+//! — it does **not** depend on the injection frequency, the invariance the
+//! paper exploits for cheap lock-range sweeps. For a given `ω_i`, solutions
+//! are the intersections of `C_{T_f,1}` with the isoline
+//! `C_{∠−I₁, −φ_d(ω_i)}`; each intersection is polished by a 2×2 Newton
+//! solve on the exact residuals and classified as stable or unstable from
+//! the local restoring-force field (§VI-B3). The lock range is the largest
+//! `|φ_d|` for which a stable intersection survives (§III-C, Fig. 10),
+//! found by bisection; the tank phase inverse maps it back to frequency.
+//!
+//! Every intermediate object — grids, level sets, isolines, intersections —
+//! is exposed through [`GraphicalCurves`] so the figures of the paper can
+//! be re-rendered from this crate's output.
+
+use shil_numerics::contour::{marching_squares, polyline_intersections, Point, Polyline};
+use shil_numerics::newton::{newton_system, NewtonOptions};
+use shil_numerics::{wrap_angle, Grid2};
+
+use crate::describing::{natural_oscillation, NaturalOptions, NaturalOscillation};
+use crate::error::ShilError;
+use crate::harmonics::{i1_injected, HarmonicOptions};
+use crate::nonlinearity::Nonlinearity;
+use crate::tank::Tank;
+
+/// Options for the SHIL analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShilOptions {
+    /// Grid resolution along the phase axis `φ ∈ [0, 2π]`.
+    pub phase_points: usize,
+    /// Grid resolution along the amplitude axis.
+    pub amplitude_points: usize,
+    /// Lower amplitude bound as a fraction of the natural amplitude.
+    pub a_min_factor: f64,
+    /// Upper amplitude bound as a fraction of the natural amplitude.
+    pub a_max_factor: f64,
+    /// Harmonic-integral sampling.
+    pub harmonics: HarmonicOptions,
+    /// Bisection iterations for the lock-range boundary.
+    pub lock_range_iters: usize,
+    /// Coarse scan steps when locating the lock-range boundary.
+    pub lock_range_scan: usize,
+    /// Natural-oscillation solve options (used for grid scaling).
+    pub natural: NaturalOptions,
+}
+
+impl Default for ShilOptions {
+    fn default() -> Self {
+        // The graphical pass only needs to *locate* intersections — the
+        // Newton polish against the exact residuals supplies the precision —
+        // so a moderate grid loses nothing (verified by the A02 ablation).
+        ShilOptions {
+            phase_points: 161,
+            amplitude_points: 101,
+            a_min_factor: 0.05,
+            a_max_factor: 1.35,
+            harmonics: HarmonicOptions { samples: 256 },
+            lock_range_iters: 36,
+            lock_range_scan: 16,
+            natural: NaturalOptions::default(),
+        }
+    }
+}
+
+/// One lock solution `(φ_s, A_s)` of the SHIL equations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShilSolution {
+    /// Oscillation amplitude `A_s` (volts).
+    pub amplitude: f64,
+    /// Phase `φ_s` of the injection relative to the oscillation fundamental
+    /// (radians, wrapped to `(−π, π]`).
+    pub phase: f64,
+    /// Stability from the restoring-force analysis (§VI-B3).
+    pub stable: bool,
+    /// Determinant of the perturbation Jacobian (positive for
+    /// non-saddle equilibria).
+    pub jacobian_det: f64,
+    /// Trace of the perturbation Jacobian (negative for stable equilibria).
+    pub jacobian_trace: f64,
+}
+
+/// The predicted lock range (paper Fig. 10 / Tables 1–2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockRange {
+    /// Largest tank phase magnitude `|φ_d|` with a stable lock (radians).
+    pub phi_d_max: f64,
+    /// Lower oscillator lock limit (hertz, below `f_c`).
+    pub lower_oscillator_hz: f64,
+    /// Upper oscillator lock limit (hertz, above `f_c`).
+    pub upper_oscillator_hz: f64,
+    /// Lower injection lock limit `n·lower_oscillator_hz` (hertz).
+    pub lower_injection_hz: f64,
+    /// Upper injection lock limit `n·upper_oscillator_hz` (hertz).
+    pub upper_injection_hz: f64,
+    /// Injection lock-range width `Δf` (hertz).
+    pub injection_span_hz: f64,
+    /// Amplitude of the stable lock at center frequency (`φ_d = 0`).
+    pub amplitude_at_center: f64,
+}
+
+/// The raw curves of the graphical procedure at one injection frequency —
+/// everything needed to redraw Figs. 7/10/14/18.
+#[derive(Debug, Clone)]
+pub struct GraphicalCurves {
+    /// The tank phase `−φ_d` used for the isoline.
+    pub neg_phi_d: f64,
+    /// The injection-invariant `C_{T_f,1}` level set (φ on x, A on y).
+    pub tf_unity: Vec<Polyline>,
+    /// The `∠−I₁ = −φ_d` isoline.
+    pub angle_isoline: Vec<Polyline>,
+    /// Intersections after Newton refinement, with stability.
+    pub solutions: Vec<ShilSolution>,
+}
+
+/// A prepared SHIL analysis for one oscillator, sub-harmonic order and
+/// injection strength.
+///
+/// Construction performs the full grid pre-characterization; all queries
+/// afterwards (solutions at a frequency, lock range, plot curves) reuse it.
+pub struct ShilAnalysis<'a, N: ?Sized, T: ?Sized> {
+    nonlinearity: &'a N,
+    tank: &'a T,
+    n: u32,
+    vi: f64,
+    opts: ShilOptions,
+    natural: NaturalOscillation,
+    r: f64,
+    /// `T_f(φ, A)` over the grid (x = φ, y = A).
+    tf_grid: Grid2,
+    /// `∠−I₁(φ, A)` over the grid, wrapped to `(−π, π]`.
+    angle_grid: Grid2,
+    /// The injection-invariant level set `C_{T_f,1}`.
+    tf_unity: Vec<Polyline>,
+}
+
+impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
+    /// Pre-characterizes the oscillator for `n`-th sub-harmonic injection
+    /// with phasor magnitude `vi` (the physical injection waveform is
+    /// `2·vi·cos(nω_i t + φ)`).
+    ///
+    /// # Errors
+    ///
+    /// - [`ShilError::InvalidParameter`] for `n = 0` or `vi ≤ 0`.
+    /// - [`ShilError::NoOscillation`] if the oscillator has no stable
+    ///   natural oscillation (the grid is scaled from it).
+    pub fn new(
+        nonlinearity: &'a N,
+        tank: &'a T,
+        n: u32,
+        vi: f64,
+        opts: ShilOptions,
+    ) -> Result<Self, ShilError> {
+        if n == 0 {
+            return Err(ShilError::InvalidParameter(
+                "sub-harmonic order n must be ≥ 1".into(),
+            ));
+        }
+        if !(vi > 0.0 && vi.is_finite()) {
+            return Err(ShilError::InvalidParameter(format!(
+                "injection magnitude must be positive and finite, got {vi}"
+            )));
+        }
+        let natural = natural_oscillation(nonlinearity, tank, &opts.natural)?;
+        let r = tank.peak_resistance();
+
+        let a_lo = opts.a_min_factor * natural.amplitude;
+        let a_hi = opts.a_max_factor * natural.amplitude;
+        let (nx, ny) = (opts.phase_points, opts.amplitude_points);
+
+        // One harmonic integral per grid point yields both fields.
+        let phis: Vec<f64> = (0..nx)
+            .map(|i| std::f64::consts::TAU * i as f64 / (nx - 1) as f64)
+            .collect();
+        let amps: Vec<f64> = (0..ny)
+            .map(|j| a_lo + (a_hi - a_lo) * j as f64 / (ny - 1) as f64)
+            .collect();
+        let mut tf_data = Vec::with_capacity(nx * ny);
+        let mut angle_data = Vec::with_capacity(nx * ny);
+        for &a in &amps {
+            for &phi in &phis {
+                let i1 = i1_injected(nonlinearity, a, vi, phi, n, &opts.harmonics);
+                tf_data.push(-r * i1.re / (a / 2.0));
+                angle_data.push((-i1).arg());
+            }
+        }
+        let tf_grid = Grid2::from_data(phis.clone(), amps.clone(), tf_data)?;
+        let angle_grid = Grid2::from_data(phis, amps, angle_data)?;
+        let tf_unity = marching_squares(&tf_grid, 1.0)?;
+
+        Ok(ShilAnalysis {
+            nonlinearity,
+            tank,
+            n,
+            vi,
+            opts,
+            natural,
+            r,
+            tf_grid,
+            angle_grid,
+            tf_unity,
+        })
+    }
+
+    /// The natural oscillation the grids were scaled from.
+    pub fn natural(&self) -> NaturalOscillation {
+        self.natural
+    }
+
+    /// Sub-harmonic order `n`.
+    pub fn order(&self) -> u32 {
+        self.n
+    }
+
+    /// Injection phasor magnitude `V_i`.
+    pub fn injection(&self) -> f64 {
+        self.vi
+    }
+
+    /// The pre-characterized `T_f(φ, A)` grid (x = φ, y = A).
+    pub fn tf_grid(&self) -> &Grid2 {
+        &self.tf_grid
+    }
+
+    /// The pre-characterized `∠−I₁(φ, A)` grid, wrapped to `(−π, π]`.
+    pub fn angle_grid(&self) -> &Grid2 {
+        &self.angle_grid
+    }
+
+    /// The injection-frequency-invariant level set `C_{T_f,1}`.
+    pub fn tf_unity_curve(&self) -> &[Polyline] {
+        &self.tf_unity
+    }
+
+    /// Extracts the isoline `∠−I₁ = level` from the angle grid, masking the
+    /// wrap-around branch cut.
+    fn angle_isoline(&self, level: f64) -> Result<Vec<Polyline>, ShilError> {
+        let nx = self.angle_grid.nx();
+        let ny = self.angle_grid.ny();
+        let mut data = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let d = wrap_angle(self.angle_grid.value(i, j) - level);
+                // Mask the half of the circle nearest the branch cut so
+                // marching squares never sees the ±π jump.
+                data.push(if d.abs() > std::f64::consts::FRAC_PI_2 {
+                    f64::NAN
+                } else {
+                    d
+                });
+            }
+        }
+        let g = Grid2::from_data(
+            self.angle_grid.xs().to_vec(),
+            self.angle_grid.ys().to_vec(),
+            data,
+        )?;
+        Ok(marching_squares(&g, 0.0)?)
+    }
+
+    /// Exact residuals of the lock equations at `(φ, A)`.
+    fn residuals(&self, phi: f64, a: f64, neg_phi_d: f64) -> (f64, f64) {
+        let i1 = i1_injected(self.nonlinearity, a, self.vi, phi, self.n, &self.opts.harmonics);
+        let tf = -self.r * i1.re / (a / 2.0);
+        let ang = wrap_angle((-i1).arg() - neg_phi_d);
+        (tf - 1.0, ang)
+    }
+
+    /// Effective loop gain `T_F` (paper eq. 5) at `(φ, A)` for tank phase
+    /// `φ_d` — the quantity whose excess over 1 drives amplitude growth.
+    fn t_f_gain(&self, phi: f64, a: f64, phi_d: f64) -> f64 {
+        let i1 = i1_injected(self.nonlinearity, a, self.vi, phi, self.n, &self.opts.harmonics);
+        self.r * i1.abs() * phi_d.cos().abs() / (a / 2.0)
+    }
+
+    /// Classifies the stability of a refined solution from the local
+    /// restoring-force field (§VI-B3).
+    ///
+    /// Perturbation dynamics: `dA/dt ∝ (T_F − 1)·A` and
+    /// `dφ/dt ∝ −(∠−I₁ + φ_d)`. The solution is stable iff the 2×2
+    /// Jacobian of this field has positive determinant and negative trace.
+    fn classify(&self, phi: f64, a: f64, phi_d: f64) -> (bool, f64, f64) {
+        let ha = 1e-5 * self.natural.amplitude;
+        let hp = 1e-5;
+        let gain = |p: f64, aa: f64| self.t_f_gain(p, aa, phi_d) - 1.0;
+        let pha = |p: f64, aa: f64| {
+            let i1 = i1_injected(self.nonlinearity, aa, self.vi, p, self.n, &self.opts.harmonics);
+            wrap_angle((-i1).arg() + phi_d)
+        };
+        let dga = (gain(phi, a + ha) - gain(phi, a - ha)) / (2.0 * ha);
+        let dgp = (gain(phi + hp, a) - gain(phi - hp, a)) / (2.0 * hp);
+        let dpa = (pha(phi, a + ha) - pha(phi, a - ha)) / (2.0 * ha);
+        let dpp = (pha(phi + hp, a) - pha(phi - hp, a)) / (2.0 * hp);
+        // J = [[∂Ȧ/∂A, ∂Ȧ/∂φ], [∂φ̇/∂A, ∂φ̇/∂φ]] with Ȧ = (T_F−1)A, φ̇ = −(∠−I₁+φ_d).
+        let j11 = dga * a;
+        let j12 = dgp * a;
+        let j21 = -dpa;
+        let j22 = -dpp;
+        let det = j11 * j22 - j12 * j21;
+        let trace = j11 + j22;
+        (det > 0.0 && trace < 0.0, det, trace)
+    }
+
+    /// All lock solutions at a given tank phase `φ_d` (radians), over the
+    /// full `φ ∈ [0, 2π)` plane — so each physical lock appears with all of
+    /// its `n` state copies (§VI-B4).
+    ///
+    /// # Errors
+    ///
+    /// - [`ShilError::InvalidParameter`] if `|φ_d| ≥ π/2`.
+    pub fn solutions_at_phase(&self, phi_d: f64) -> Result<Vec<ShilSolution>, ShilError> {
+        if phi_d.abs() >= std::f64::consts::FRAC_PI_2 {
+            return Err(ShilError::InvalidParameter(format!(
+                "tank phase must lie in (−π/2, π/2), got {phi_d}"
+            )));
+        }
+        let neg_phi_d = -phi_d;
+        let isoline = self.angle_isoline(neg_phi_d)?;
+        let merge_tol = 1e-3 * (self.tf_grid.ys()[self.tf_grid.ny() - 1]);
+        let raw = polyline_intersections(&self.tf_unity, &isoline, merge_tol);
+
+        let mut solutions: Vec<ShilSolution> = Vec::new();
+        for p in raw {
+            let refined = self.refine(p, neg_phi_d);
+            let (phi, a) = match refined {
+                Some(pa) => pa,
+                None => continue,
+            };
+            let phi_wrapped = wrap_angle(phi);
+            // Deduplicate (graphical intersections can converge together).
+            let dup = solutions.iter().any(|s| {
+                shil_numerics::angle_diff(s.phase, phi_wrapped).abs() < 1e-4
+                    && (s.amplitude - a).abs() < 1e-6 * self.natural.amplitude.max(1.0)
+            });
+            if dup {
+                continue;
+            }
+            let (stable, det, trace) = self.classify(phi, a, phi_d);
+            solutions.push(ShilSolution {
+                amplitude: a,
+                phase: phi_wrapped,
+                stable,
+                jacobian_det: det,
+                jacobian_trace: trace,
+            });
+        }
+        solutions.sort_by(|a, b| a.phase.partial_cmp(&b.phase).expect("finite phases"));
+        Ok(solutions)
+    }
+
+    /// Newton-polishes a graphical intersection against the exact
+    /// residuals. Returns `None` when the polish diverges (spurious
+    /// intersection from grid artifacts).
+    fn refine(&self, p: Point, neg_phi_d: f64) -> Option<(f64, f64)> {
+        let a_lo = self.tf_grid.ys()[0];
+        let a_hi = self.tf_grid.ys()[self.tf_grid.ny() - 1];
+        let res = newton_system(
+            |x, r| {
+                let (r0, r1) = self.residuals(x[0], x[1], neg_phi_d);
+                r[0] = r0;
+                r[1] = r1;
+            },
+            &[p.x, p.y],
+            &NewtonOptions {
+                tol_residual: 1e-11,
+                max_iter: 60,
+                ..NewtonOptions::default()
+            },
+        )
+        .ok()?;
+        let (phi, a) = (res[0], res[1]);
+        if !(a.is_finite() && phi.is_finite()) || a < 0.25 * a_lo || a > 1.2 * a_hi {
+            return None;
+        }
+        Some((phi, a))
+    }
+
+    /// All lock solutions at a given **injection** frequency (hertz); the
+    /// oscillator runs at `f_injection/n`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ShilError::InvalidParameter`] for a non-positive frequency.
+    pub fn solutions_at_injection(&self, f_injection_hz: f64) -> Result<Vec<ShilSolution>, ShilError> {
+        if !(f_injection_hz > 0.0) {
+            return Err(ShilError::InvalidParameter(format!(
+                "injection frequency must be positive, got {f_injection_hz}"
+            )));
+        }
+        let omega_i = std::f64::consts::TAU * f_injection_hz / self.n as f64;
+        let phi_d = self.tank.phase(omega_i);
+        self.solutions_at_phase(phi_d)
+    }
+
+    /// The full graphical picture at one tank phase: level set, isoline,
+    /// refined solutions (Fig. 7 at a glance).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::solutions_at_phase`].
+    pub fn graphical_curves(&self, phi_d: f64) -> Result<GraphicalCurves, ShilError> {
+        let solutions = self.solutions_at_phase(phi_d)?;
+        Ok(GraphicalCurves {
+            neg_phi_d: -phi_d,
+            tf_unity: self.tf_unity.clone(),
+            angle_isoline: self.angle_isoline(-phi_d)?,
+            solutions,
+        })
+    }
+
+    /// Isolines of `∠−I₁` at several levels (the Fig. 10 visualization).
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid extraction failures.
+    pub fn angle_isolines(&self, levels: &[f64]) -> Result<Vec<(f64, Vec<Polyline>)>, ShilError> {
+        levels
+            .iter()
+            .map(|&lv| Ok((lv, self.angle_isoline(lv)?)))
+            .collect()
+    }
+
+    /// The `n` physical lock states of a solution (§VI-B4), reported as the
+    /// oscillator's phase offsets relative to a reference signal at
+    /// `f_injection/n` that is phase-locked to the injection (the
+    /// measurement of Figs. 15/19).
+    ///
+    /// In the `(φ, A)` solution plane all `n` states coincide — shifting
+    /// the oscillation by a full injection period leaves the relative phase
+    /// `φ` unchanged — but the oscillator's absolute phase takes the `n`
+    /// equally spaced values `(−φ_s + 2πk)/n`, `k = 0..n`.
+    pub fn state_phases(&self, solution: &ShilSolution) -> Vec<f64> {
+        let nf = self.n as f64;
+        (0..self.n)
+            .map(|k| wrap_angle((-solution.phase + std::f64::consts::TAU * k as f64) / nf))
+            .collect()
+    }
+
+    /// Whether a stable lock exists at tank phase `φ_d`.
+    fn has_stable_lock(&self, phi_d: f64) -> bool {
+        self.solutions_at_phase(phi_d)
+            .map(|sols| sols.iter().any(|s| s.stable))
+            .unwrap_or(false)
+    }
+
+    /// Predicts the lock range (paper §III-C, Fig. 10; validated against
+    /// Tables 1–2).
+    ///
+    /// A coarse scan locates the loss-of-lock boundary in `φ_d ∈ [0, π/2)`,
+    /// bisection sharpens it, and the tank phase inverse maps the boundary
+    /// back to the oscillator and injection frequencies. By the reflection
+    /// symmetry of §VI-B3 the range is symmetric in `±φ_d`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ShilError::NoLock`] when even `φ_d = 0` admits no stable
+    ///   solution.
+    pub fn lock_range(&self) -> Result<LockRange, ShilError> {
+        if !self.has_stable_lock(0.0) {
+            return Err(ShilError::NoLock);
+        }
+        let center = self
+            .solutions_at_phase(0.0)?
+            .into_iter()
+            .filter(|s| s.stable)
+            .max_by(|a, b| {
+                a.amplitude
+                    .partial_cmp(&b.amplitude)
+                    .expect("finite amplitudes")
+            })
+            .ok_or(ShilError::NoLock)?;
+
+        // Coarse forward scan for the first failing phase.
+        let cap = std::f64::consts::FRAC_PI_2 * 0.999;
+        let steps = self.opts.lock_range_scan.max(4);
+        let mut lo = 0.0;
+        let mut hi = cap;
+        let mut found_fail = false;
+        for k in 1..=steps {
+            let phi = cap * k as f64 / steps as f64;
+            if self.has_stable_lock(phi) {
+                lo = phi;
+            } else {
+                hi = phi;
+                found_fail = true;
+                break;
+            }
+        }
+        let phi_d_max = if found_fail {
+            // Bisection between the last success and the first failure.
+            let mut lo = lo;
+            let mut hi = hi;
+            for _ in 0..self.opts.lock_range_iters {
+                let mid = 0.5 * (lo + hi);
+                if self.has_stable_lock(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        } else {
+            cap
+        };
+
+        // φ_d > 0 ⇒ below resonance; the ± pair gives the two edges.
+        let w_lo = self.tank.omega_for_phase(phi_d_max)?;
+        let w_hi = self.tank.omega_for_phase(-phi_d_max)?;
+        let lower_oscillator_hz = w_lo / std::f64::consts::TAU;
+        let upper_oscillator_hz = w_hi / std::f64::consts::TAU;
+        let nf = self.n as f64;
+        Ok(LockRange {
+            phi_d_max,
+            lower_oscillator_hz,
+            upper_oscillator_hz,
+            lower_injection_hz: nf * lower_oscillator_hz,
+            upper_injection_hz: nf * upper_oscillator_hz,
+            injection_span_hz: nf * (upper_oscillator_hz - lower_oscillator_hz),
+            amplitude_at_center: center.amplitude,
+        })
+    }
+}
+
+impl<N: ?Sized, T: ?Sized> std::fmt::Debug for ShilAnalysis<'_, N, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShilAnalysis")
+            .field("n", &self.n)
+            .field("vi", &self.vi)
+            .field("natural", &self.natural)
+            .field("grid", &(self.tf_grid.nx(), self.tf_grid.ny()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonlinearity::NegativeTanh;
+    use crate::tank::ParallelRlc;
+
+    fn setup() -> (NegativeTanh, ParallelRlc) {
+        (
+            NegativeTanh::new(1e-3, 20.0),
+            ParallelRlc::new(1000.0, 10e-6, 10e-9).unwrap(),
+        )
+    }
+
+    fn fast_opts() -> ShilOptions {
+        ShilOptions {
+            phase_points: 121,
+            amplitude_points: 81,
+            harmonics: HarmonicOptions { samples: 256 },
+            lock_range_iters: 30,
+            lock_range_scan: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        let (f, t) = setup();
+        assert!(ShilAnalysis::new(&f, &t, 0, 0.03, fast_opts()).is_err());
+        assert!(ShilAnalysis::new(&f, &t, 3, 0.0, fast_opts()).is_err());
+        assert!(ShilAnalysis::new(&f, &t, 3, -0.1, fast_opts()).is_err());
+        assert!(ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).is_ok());
+    }
+
+    #[test]
+    fn center_frequency_has_stable_unstable_pair() {
+        // In the (φ, A) plane the n physical states coincide, so at the
+        // center frequency exactly one stable/unstable pair appears: the
+        // stable lock at φ = π and its unstable companion at φ = 0 (for the
+        // odd tanh element, where ∠−I₁ = 0 on both axes).
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).unwrap();
+        let sols = an.solutions_at_phase(0.0).unwrap();
+        let stable: Vec<_> = sols.iter().filter(|s| s.stable).collect();
+        let unstable: Vec<_> = sols.iter().filter(|s| !s.stable).collect();
+        assert_eq!(stable.len(), 1, "stable: {stable:?}");
+        assert_eq!(unstable.len(), 1, "unstable: {unstable:?}");
+        assert!(
+            shil_numerics::angle_diff(stable[0].phase, std::f64::consts::PI)
+                .abs()
+                < 1e-3
+        );
+        assert!(unstable[0].phase.abs() < 1e-3);
+    }
+
+    #[test]
+    fn shil_amplitude_drops_below_natural_at_the_band_edge() {
+        // §IV observes "the value of A for SHIL is lower than that for
+        // natural oscillations": A decreases with detuning, so near the
+        // lock-range edge it sits clearly below the natural amplitude. At
+        // exact center the difference is within the injection perturbation.
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).unwrap();
+        let nat = an.natural().amplitude;
+        let center = an.solutions_at_phase(0.0).unwrap();
+        let s0 = center.iter().find(|s| s.stable).expect("stable lock");
+        assert!(
+            (s0.amplitude - nat).abs() < 0.01 * nat,
+            "center amplitude {} vs natural {nat}",
+            s0.amplitude
+        );
+        let lr = an.lock_range().unwrap();
+        let edge = an.solutions_at_phase(0.95 * lr.phi_d_max).unwrap();
+        let se = edge.iter().find(|s| s.stable).expect("stable edge lock");
+        assert!(
+            se.amplitude < nat,
+            "edge amplitude {} vs natural {nat}",
+            se.amplitude
+        );
+    }
+
+    #[test]
+    fn residuals_vanish_at_solutions() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).unwrap();
+        for &phi_d in &[0.0, 0.1, -0.15] {
+            for s in an.solutions_at_phase(phi_d).unwrap() {
+                let (r0, r1) = an.residuals(s.phase, s.amplitude, -phi_d);
+                assert!(r0.abs() < 1e-9, "T_f residual {r0} at φ_d = {phi_d}");
+                assert!(r1.abs() < 1e-9, "angle residual {r1} at φ_d = {phi_d}");
+            }
+        }
+    }
+
+    #[test]
+    fn detuning_shrinks_amplitude() {
+        // Fig. 14: A decreases with increasing |ω_c − ω_i| up to the lock
+        // boundary.
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).unwrap();
+        let amp_at = |phi_d: f64| {
+            an.solutions_at_phase(phi_d)
+                .unwrap()
+                .into_iter()
+                .filter(|s| s.stable)
+                .map(|s| s.amplitude)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        // The lock boundary for this oscillator sits near φ_d ≈ 0.047, so
+        // probe inside it.
+        let a0 = amp_at(0.0);
+        let a1 = amp_at(0.02);
+        let a2 = amp_at(0.04);
+        assert!(a0 > a1 && a1 > a2, "a0={a0}, a1={a1}, a2={a2}");
+    }
+
+    #[test]
+    fn lock_range_is_positive_and_centered() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).unwrap();
+        let lr = an.lock_range().unwrap();
+        let fc = t.center_frequency_hz();
+        assert!(lr.phi_d_max > 0.0 && lr.phi_d_max < std::f64::consts::FRAC_PI_2);
+        assert!(lr.lower_oscillator_hz < fc && fc < lr.upper_oscillator_hz);
+        assert!((lr.lower_injection_hz - 3.0 * lr.lower_oscillator_hz).abs() < 1e-6);
+        assert!((lr.injection_span_hz
+            - (lr.upper_injection_hz - lr.lower_injection_hz))
+            .abs()
+            < 1e-9);
+        assert!(lr.amplitude_at_center > 0.0);
+        // Locking inside the range, no stable lock outside.
+        assert!(an.has_stable_lock(0.5 * lr.phi_d_max));
+        assert!(!an.has_stable_lock((1.05 * lr.phi_d_max).min(1.5)));
+    }
+
+    #[test]
+    fn lock_range_grows_with_injection_strength() {
+        let (f, t) = setup();
+        let weak = ShilAnalysis::new(&f, &t, 3, 0.01, fast_opts())
+            .unwrap()
+            .lock_range()
+            .unwrap();
+        let strong = ShilAnalysis::new(&f, &t, 3, 0.05, fast_opts())
+            .unwrap()
+            .lock_range()
+            .unwrap();
+        assert!(
+            strong.injection_span_hz > 2.0 * weak.injection_span_hz,
+            "weak {} vs strong {}",
+            weak.injection_span_hz,
+            strong.injection_span_hz
+        );
+    }
+
+    #[test]
+    fn even_order_lock_is_much_weaker_through_an_odd_nonlinearity() {
+        // Leading-order mixing of a 2nd-harmonic injection down to the
+        // fundamental needs even-order terms that an odd f lacks; the
+        // surviving 5th-order path (a³b² → cos(θ + 2φ)) is weak. The n = 2
+        // lock range must therefore be far narrower than n = 3's — the
+        // classic reason practical ÷2 injection dividers add asymmetry.
+        let (f, t) = setup();
+        let n3 = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts())
+            .unwrap()
+            .lock_range()
+            .unwrap();
+        let an2 = ShilAnalysis::new(&f, &t, 2, 0.03, fast_opts()).unwrap();
+        match an2.lock_range() {
+            Err(ShilError::NoLock) => {}
+            Ok(lr2) => assert!(
+                lr2.injection_span_hz < 0.1 * n3.injection_span_hz,
+                "n=2 span {} vs n=3 span {}",
+                lr2.injection_span_hz,
+                n3.injection_span_hz
+            ),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solutions_at_injection_maps_frequency_through_tank() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).unwrap();
+        let fc = t.center_frequency_hz();
+        let sols_center = an.solutions_at_injection(3.0 * fc).unwrap();
+        let direct = an.solutions_at_phase(0.0).unwrap();
+        assert_eq!(sols_center.len(), direct.len());
+        assert!(an.solutions_at_injection(-1.0).is_err());
+    }
+
+    #[test]
+    fn graphical_curves_expose_the_procedure() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).unwrap();
+        let g = an.graphical_curves(0.1).unwrap();
+        assert!(!g.tf_unity.is_empty(), "C_{{T_f,1}} missing");
+        assert!(!g.angle_isoline.is_empty(), "isoline missing");
+        assert_eq!(g.neg_phi_d, -0.1);
+        // Solutions lie on both curve families (within grid tolerance).
+        for s in &g.solutions {
+            let p = Point::new(
+                if s.phase < 0.0 {
+                    s.phase + std::f64::consts::TAU
+                } else {
+                    s.phase
+                },
+                s.amplitude,
+            );
+            let near_tf = g
+                .tf_unity
+                .iter()
+                .filter_map(|c| {
+                    c.points
+                        .iter()
+                        .map(|q| q.distance(p))
+                        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(near_tf < 0.1, "solution far from C_Tf1: {near_tf}");
+        }
+    }
+
+    #[test]
+    fn state_phases_are_equally_spaced() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).unwrap();
+        let sols = an.solutions_at_phase(0.02).unwrap();
+        let s = sols.iter().find(|s| s.stable).expect("stable solution");
+        let states = an.state_phases(s);
+        assert_eq!(states.len(), 3);
+        // Gaps of exactly 2π/3 (§VI-B4), independent of the lock phase.
+        for w in 0..3 {
+            let gap = shil_numerics::angle_diff(states[(w + 1) % 3], states[w]);
+            assert!(
+                (gap.abs() - std::f64::consts::TAU / 3.0).abs() < 1e-12,
+                "gap {gap}"
+            );
+        }
+        // State 0 is the lock phase divided down by n.
+        assert!((states[0] - wrap_angle(-s.phase / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fhil_special_case_n1_locks() {
+        // §III-C: "this viewpoint is general and also works for n = 1."
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 1, 0.03, fast_opts()).unwrap();
+        let sols = an.solutions_at_phase(0.0).unwrap();
+        assert!(sols.iter().any(|s| s.stable));
+        let lr = an.lock_range().unwrap();
+        assert!(lr.injection_span_hz > 0.0);
+        // n = 1: injection and oscillator frequencies coincide.
+        assert!((lr.lower_injection_hz - lr.lower_oscillator_hz).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_isolines_for_figure_10() {
+        let (f, t) = setup();
+        let an = ShilAnalysis::new(&f, &t, 3, 0.03, fast_opts()).unwrap();
+        let iso = an.angle_isolines(&[-0.2, -0.1, 0.0, 0.1, 0.2]).unwrap();
+        assert_eq!(iso.len(), 5);
+        // The zero isoline exists (locks at resonance).
+        let zero = iso.iter().find(|(l, _)| *l == 0.0).expect("level 0");
+        assert!(!zero.1.is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+//! Linear tank models.
+//!
+//! The feedback path of the oscillator is the tank impedance `H(jω)`. The
+//! analysis needs three things from it: the center frequency `ω_c`, the
+//! peak resistance `R = |H(jω_c)|`, and the phase `φ_d(ω) = ∠H(jω)` with
+//! its inverse (to map a lock-range boundary in `φ_d` back to frequency).
+//!
+//! [`ParallelRlc`] provides all of these analytically, including the
+//! paper's *circle property* (§VI-B1): `|H(jω)| = R·cos φ_d(ω)`, i.e. the
+//! phasor head sweeps a circle of diameter `R`. [`TabulatedTank`] covers
+//! arbitrary topologies pre-characterized numerically (e.g. by the AC
+//! analysis in `shil-circuit`).
+
+use shil_numerics::interp::Pchip;
+use shil_numerics::roots::brent;
+use shil_numerics::Complex64;
+
+use crate::error::ShilError;
+
+/// A linear band-pass tank characterized by its impedance.
+pub trait Tank {
+    /// Complex impedance `H(jω)` at angular frequency `omega` (rad/s).
+    fn impedance(&self, omega: f64) -> Complex64;
+
+    /// Center (resonance) angular frequency `ω_c` where the phase is zero
+    /// and the magnitude peaks.
+    fn center_omega(&self) -> f64;
+
+    /// Peak resistance `R = |H(jω_c)|`.
+    fn peak_resistance(&self) -> f64 {
+        self.impedance(self.center_omega()).abs()
+    }
+
+    /// Phase `φ_d(ω) = ∠H(jω)`, radians.
+    fn phase(&self, omega: f64) -> f64 {
+        self.impedance(omega).arg()
+    }
+
+    /// Inverts the phase curve: the angular frequency at which
+    /// `φ_d(ω) = phi_d`. Positive `phi_d` lies **below** resonance and
+    /// negative above (standard band-pass behaviour).
+    ///
+    /// The default implementation brackets around `ω_c` and bisects with
+    /// Brent; tanks with closed-form phase (like [`ParallelRlc`]) override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShilError::InvalidParameter`] if `|phi_d| ≥ π/2` or the
+    /// phase is not attained within `ω_c/64 .. 64·ω_c`.
+    fn omega_for_phase(&self, phi_d: f64) -> Result<f64, ShilError> {
+        if phi_d.abs() >= std::f64::consts::FRAC_PI_2 {
+            return Err(ShilError::InvalidParameter(format!(
+                "tank phase must lie in (−π/2, π/2), got {phi_d}"
+            )));
+        }
+        let wc = self.center_omega();
+        let g = |w: f64| self.phase(w) - phi_d;
+        let (mut lo, mut hi) = (wc, wc);
+        // Expand the bracket on the correct side.
+        for _ in 0..12 {
+            if phi_d >= 0.0 {
+                lo /= 2.0;
+            } else {
+                hi *= 2.0;
+            }
+            if g(lo) * g(hi) <= 0.0 {
+                return brent(g, lo, hi, wc * 1e-14, 200).map_err(ShilError::from);
+            }
+        }
+        Err(ShilError::InvalidParameter(format!(
+            "phase {phi_d} not attained by the tank"
+        )))
+    }
+
+    /// Frequency (hertz) version of [`Tank::center_omega`].
+    fn center_frequency_hz(&self) -> f64 {
+        self.center_omega() / std::f64::consts::TAU
+    }
+}
+
+impl<T: Tank + ?Sized> Tank for &T {
+    fn impedance(&self, omega: f64) -> Complex64 {
+        (**self).impedance(omega)
+    }
+    fn center_omega(&self) -> f64 {
+        (**self).center_omega()
+    }
+    fn peak_resistance(&self) -> f64 {
+        (**self).peak_resistance()
+    }
+    fn phase(&self, omega: f64) -> f64 {
+        (**self).phase(omega)
+    }
+    fn omega_for_phase(&self, phi_d: f64) -> Result<f64, ShilError> {
+        (**self).omega_for_phase(phi_d)
+    }
+}
+
+/// A parallel RLC tank: `H(jω) = R / (1 + jQ(ω/ω_c − ω_c/ω))` with
+/// `ω_c = 1/√(LC)` and `Q = R√(C/L)`.
+///
+/// ```
+/// use shil_core::tank::{ParallelRlc, Tank};
+///
+/// # fn main() -> Result<(), shil_core::ShilError> {
+/// let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9)?;
+/// assert!((tank.center_frequency_hz() - 503.29e3).abs() < 20.0);
+/// assert!((tank.peak_resistance() - 1000.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelRlc {
+    r: f64,
+    l: f64,
+    c: f64,
+}
+
+impl ParallelRlc {
+    /// Creates a tank from parallel resistance (Ω), inductance (H) and
+    /// capacitance (F).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShilError::InvalidParameter`] unless all three values are
+    /// positive and finite.
+    pub fn new(r: f64, l: f64, c: f64) -> Result<Self, ShilError> {
+        for (name, v) in [("R", r), ("L", l), ("C", c)] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ShilError::InvalidParameter(format!(
+                    "{name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        Ok(ParallelRlc { r, l, c })
+    }
+
+    /// Parallel resistance R.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Inductance L.
+    pub fn l(&self) -> f64 {
+        self.l
+    }
+
+    /// Capacitance C.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Quality factor `Q = R√(C/L)`.
+    pub fn q(&self) -> f64 {
+        self.r * (self.c / self.l).sqrt()
+    }
+}
+
+impl Tank for ParallelRlc {
+    fn impedance(&self, omega: f64) -> Complex64 {
+        // Y = 1/R + jωC + 1/(jωL)
+        let y = Complex64::new(1.0 / self.r, omega * self.c - 1.0 / (omega * self.l));
+        y.inv()
+    }
+
+    fn center_omega(&self) -> f64 {
+        1.0 / (self.l * self.c).sqrt()
+    }
+
+    fn peak_resistance(&self) -> f64 {
+        self.r
+    }
+
+    fn phase(&self, omega: f64) -> f64 {
+        let x = omega / self.center_omega();
+        -(self.q() * (x - 1.0 / x)).atan()
+    }
+
+    fn omega_for_phase(&self, phi_d: f64) -> Result<f64, ShilError> {
+        if phi_d.abs() >= std::f64::consts::FRAC_PI_2 {
+            return Err(ShilError::InvalidParameter(format!(
+                "tank phase must lie in (−π/2, π/2), got {phi_d}"
+            )));
+        }
+        // tan φ_d = −Q(x − 1/x)  ⇒  x² + (t/Q)x − 1 = 0, x > 0.
+        let t = phi_d.tan() / self.q();
+        let x = 0.5 * (-t + (t * t + 4.0).sqrt());
+        Ok(x * self.center_omega())
+    }
+}
+
+/// A tank characterized by sampled impedance data (e.g. from the AC
+/// analysis of `shil-circuit` on an arbitrary passive network).
+///
+/// Magnitude and phase are PCHIP-interpolated over frequency; the center
+/// frequency is the interpolated magnitude peak.
+#[derive(Debug, Clone)]
+pub struct TabulatedTank {
+    omega: Vec<f64>,
+    mag: Pchip,
+    phase: Pchip,
+    omega_c: f64,
+}
+
+impl TabulatedTank {
+    /// Builds a tank from `(frequency_hz, impedance)` samples covering the
+    /// resonance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShilError::InvalidParameter`] if fewer than 5 samples are
+    /// given, the frequency axis is not strictly increasing, or the
+    /// magnitude peak sits on the boundary of the sampled band (resonance
+    /// not covered).
+    pub fn from_samples(freq_hz: Vec<f64>, z: Vec<Complex64>) -> Result<Self, ShilError> {
+        if freq_hz.len() != z.len() {
+            return Err(ShilError::InvalidParameter(
+                "frequency and impedance sample counts differ".into(),
+            ));
+        }
+        if freq_hz.len() < 5 {
+            return Err(ShilError::InvalidParameter(
+                "need at least 5 impedance samples".into(),
+            ));
+        }
+        let omega: Vec<f64> = freq_hz.iter().map(|f| f * std::f64::consts::TAU).collect();
+        let mags: Vec<f64> = z.iter().map(|z| z.abs()).collect();
+        let phases: Vec<f64> = z.iter().map(|z| z.arg()).collect();
+        // Peak must be interior.
+        let (kpk, _) = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite magnitudes"))
+            .expect("non-empty");
+        if kpk == 0 || kpk == mags.len() - 1 {
+            return Err(ShilError::InvalidParameter(
+                "impedance peak on band edge: widen the sampled frequency range".into(),
+            ));
+        }
+        let mag = Pchip::new(omega.clone(), mags)
+            .map_err(|e| ShilError::InvalidParameter(format!("bad magnitude data: {e}")))?;
+        let phase = Pchip::new(omega.clone(), phases)
+            .map_err(|e| ShilError::InvalidParameter(format!("bad phase data: {e}")))?;
+        // Refine the peak: the zero of the phase near the discrete peak is
+        // the robust resonance marker for a band-pass impedance.
+        let omega_c = brent(
+            |w| phase.eval(w).unwrap_or(f64::NAN),
+            omega[kpk - 1],
+            omega[kpk + 1],
+            omega[kpk] * 1e-14,
+            200,
+        )
+        .unwrap_or(omega[kpk]);
+        Ok(TabulatedTank {
+            omega,
+            mag,
+            phase,
+            omega_c,
+        })
+    }
+
+    /// The sampled angular-frequency range.
+    pub fn omega_range(&self) -> (f64, f64) {
+        (self.omega[0], self.omega[self.omega.len() - 1])
+    }
+}
+
+impl Tank for TabulatedTank {
+    fn impedance(&self, omega: f64) -> Complex64 {
+        let m = self.mag.eval(omega).unwrap_or(0.0).max(0.0);
+        let p = self.phase.eval(omega).unwrap_or(0.0);
+        Complex64::from_polar(m, p)
+    }
+
+    fn center_omega(&self) -> f64 {
+        self.omega_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn tank() -> ParallelRlc {
+        ParallelRlc::new(1000.0, 10e-6, 10e-9).unwrap()
+    }
+
+    #[test]
+    fn center_frequency_and_q() {
+        let t = tank();
+        assert!((t.center_frequency_hz() - 503_292.12).abs() < 1.0);
+        assert!((t.q() - 1000.0 * (10e-9f64 / 10e-6).sqrt()).abs() < 1e-9);
+        assert_eq!(t.q(), 31.622776601683793);
+    }
+
+    #[test]
+    fn impedance_peaks_at_resonance_with_zero_phase() {
+        let t = tank();
+        let wc = t.center_omega();
+        let z = t.impedance(wc);
+        assert!((z.abs() - 1000.0).abs() < 1e-6);
+        assert!(z.arg().abs() < 1e-9);
+        // Off resonance the magnitude falls.
+        assert!(t.impedance(wc * 1.05).abs() < 999.0);
+        assert!(t.impedance(wc * 0.95).abs() < 999.0);
+    }
+
+    #[test]
+    fn phase_sign_convention() {
+        let t = tank();
+        let wc = t.center_omega();
+        // Below resonance the tank is inductive: positive phase.
+        assert!(t.phase(wc * 0.98) > 0.0);
+        // Above resonance: capacitive, negative phase.
+        assert!(t.phase(wc * 1.02) < 0.0);
+        // Phase matches the impedance argument.
+        for &x in &[0.9, 0.99, 1.01, 1.1] {
+            let w = wc * x;
+            assert!((t.phase(w) - t.impedance(w).arg()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn circle_property_holds() {
+        // §VI-B1: |H(jω)| = R·cos(φ_d(ω)) exactly for the parallel RLC.
+        let t = tank();
+        let wc = t.center_omega();
+        for &x in &[0.9, 0.95, 0.99, 1.0, 1.01, 1.05, 1.12] {
+            let w = wc * x;
+            let z = t.impedance(w);
+            assert!(
+                (z.abs() - 1000.0 * z.arg().cos()).abs() < 1e-6,
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn omega_for_phase_inverts_phase() {
+        let t = tank();
+        for &phi in &[-1.2, -0.5, -0.05, 0.0, 0.05, 0.5, 1.2] {
+            let w = t.omega_for_phase(phi).unwrap();
+            assert!(
+                (t.phase(w) - phi).abs() < 1e-10,
+                "phi = {phi}: phase(w) = {}",
+                t.phase(w)
+            );
+        }
+        assert!(t.omega_for_phase(FRAC_PI_2).is_err());
+        assert!(t.omega_for_phase(-2.0).is_err());
+    }
+
+    #[test]
+    fn default_omega_for_phase_agrees_with_analytic() {
+        // Drive the trait's default implementation through a wrapper that
+        // hides the analytic override.
+        struct Wrap(ParallelRlc);
+        impl Tank for Wrap {
+            fn impedance(&self, w: f64) -> Complex64 {
+                self.0.impedance(w)
+            }
+            fn center_omega(&self) -> f64 {
+                self.0.center_omega()
+            }
+        }
+        let t = tank();
+        let w = Wrap(t);
+        for &phi in &[-0.9, -0.2, 0.3, 1.0] {
+            let wa = t.omega_for_phase(phi).unwrap();
+            let wd = w.omega_for_phase(phi).unwrap();
+            assert!(
+                ((wa - wd) / wa).abs() < 1e-10,
+                "phi = {phi}: {wa} vs {wd}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ParallelRlc::new(0.0, 1e-6, 1e-9).is_err());
+        assert!(ParallelRlc::new(1e3, -1e-6, 1e-9).is_err());
+        assert!(ParallelRlc::new(1e3, 1e-6, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn tabulated_tank_reproduces_analytic_tank() {
+        let t = tank();
+        let fc = t.center_frequency_hz();
+        let freqs: Vec<f64> = (0..401)
+            .map(|k| fc * (0.7 + 0.6 * k as f64 / 400.0))
+            .collect();
+        let z: Vec<Complex64> = freqs
+            .iter()
+            .map(|f| t.impedance(f * std::f64::consts::TAU))
+            .collect();
+        let tab = TabulatedTank::from_samples(freqs, z).unwrap();
+        assert!(((tab.center_omega() - t.center_omega()) / t.center_omega()).abs() < 1e-6);
+        assert!((tab.peak_resistance() - 1000.0).abs() < 0.5);
+        for &x in &[0.8, 0.95, 1.0, 1.05, 1.2] {
+            let w = t.center_omega() * x;
+            let za = t.impedance(w);
+            let zt = tab.impedance(w);
+            assert!((za - zt).abs() < 2.0, "x = {x}: {za:?} vs {zt:?}");
+        }
+        // The generic inverse works on the tabulated phase too.
+        for &phi in &[-0.4, 0.25] {
+            let w = tab.omega_for_phase(phi).unwrap();
+            assert!((tab.phase(w) - phi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tabulated_tank_validates_inputs() {
+        assert!(TabulatedTank::from_samples(vec![1.0, 2.0], vec![Complex64::ONE; 2]).is_err());
+        assert!(
+            TabulatedTank::from_samples(vec![1.0, 2.0, 3.0], vec![Complex64::ONE; 2]).is_err()
+        );
+        // Peak on the edge: monotone magnitude data.
+        let freqs: Vec<f64> = (1..=6).map(|k| k as f64).collect();
+        let z: Vec<Complex64> = freqs
+            .iter()
+            .map(|f| Complex64::new(*f, 0.0))
+            .collect();
+        assert!(TabulatedTank::from_samples(freqs, z).is_err());
+    }
+
+    #[test]
+    fn tank_trait_object_and_reference() {
+        let t = tank();
+        let r: &dyn Tank = &t;
+        assert!((r.peak_resistance() - 1000.0).abs() < 1e-9);
+        let rr = &t;
+        assert!((Tank::phase(&rr, t.center_omega())).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,333 @@
+//! A minimal double-precision complex number.
+//!
+//! The standard library has no complex type and the offline dependency set
+//! excludes `num-complex`, so this module provides the small subset of
+//! complex arithmetic the workspace needs: field operations, conjugation,
+//! polar form, `exp`, and scaling by `f64`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use shil_numerics::Complex64;
+///
+/// let z = Complex64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!(z * z.conj(), Complex64::new(25.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a complex number from polar form `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use shil_numerics::Complex64;
+    /// use std::f64::consts::FRAC_PI_2;
+    ///
+    /// let z = Complex64::from_polar(2.0, FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15);
+    /// assert!((z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Magnitude `|z|`, computed with `hypot` for robustness.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (avoids the square root of [`abs`](Self::abs)).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns infinities when `z == 0`, matching IEEE division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, k: f64) -> Complex64 {
+        self.scale(k)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, z: Complex64) -> Complex64 {
+        z.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, k: f64) -> Complex64 {
+        Complex64::new(self.re / k, self.im / k)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, k: f64) -> Complex64 {
+        Complex64::new(self.re + k, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, k: f64) -> Complex64 {
+        Complex64::new(self.re - k, self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::new(1.0, 0.0));
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+        assert_eq!(Complex64::from(2.5), Complex64::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(3.0, 0.7);
+        assert!((z.abs() - 3.0).abs() < 1e-14);
+        assert!((z.arg() - 0.7).abs() < 1e-14);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 0.75);
+        assert!(close(a + b - b, a, 1e-15));
+        assert!(close(a * b / b, a, 1e-14));
+        assert!(close(a * a.inv(), Complex64::ONE, 1e-14));
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn conjugation_properties() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert!(close((a * b).conj(), a.conj() * b.conj(), 1e-14));
+        assert_eq!((a * a.conj()).im, 0.0);
+        assert!(((a * a.conj()).re - a.norm_sqr()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn exp_euler_identity() {
+        let z = Complex64::new(0.0, PI);
+        assert!(close(z.exp(), Complex64::new(-1.0, 0.0), 1e-14));
+    }
+
+    #[test]
+    fn real_scalar_ops() {
+        let z = Complex64::new(2.0, -4.0);
+        assert_eq!(z * 0.5, Complex64::new(1.0, -2.0));
+        assert_eq!(0.5 * z, Complex64::new(1.0, -2.0));
+        assert_eq!(z / 2.0, Complex64::new(1.0, -2.0));
+        assert_eq!(z + 1.0, Complex64::new(3.0, -4.0));
+        assert_eq!(z - 1.0, Complex64::new(1.0, -4.0));
+    }
+
+    #[test]
+    fn sum_of_rotations_cancels() {
+        // The n-th roots of unity sum to zero: the same identity that makes
+        // the n SHIL lock states equally spaced.
+        let n = 7;
+        let total: Complex64 = (0..n)
+            .map(|k| Complex64::from_polar(1.0, 2.0 * PI * k as f64 / n as f64))
+            .sum();
+        assert!(total.abs() < 1e-13);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let a = Complex64::new(1.0, 1.0);
+        let b = Complex64::new(2.0, -3.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert!(close(c, a, 1e-15));
+        c *= b;
+        assert!(close(c, a * b, 1e-15));
+        c /= b;
+        assert!(close(c, a, 1e-15));
+    }
+}

@@ -1,0 +1,470 @@
+//! Level-set extraction (marching squares) and polyline geometry.
+//!
+//! This module is the geometric engine behind the paper's *graphical*
+//! procedure: the curves `C_{T_f,1}` (the `T_f = 1` level set) and
+//! `C_{∠−I₁, −φ_d}` (phase isolines) are extracted from sampled grids with
+//! marching squares, and lock solutions are the intersections of the two
+//! polyline families — found "in exactly one pass", as the paper emphasizes.
+
+use crate::error::NumericsError;
+use crate::grid::Grid2;
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (φ in the SHIL plane).
+    pub x: f64,
+    /// Vertical coordinate (A in the SHIL plane).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// An open or closed polyline (a connected piece of a level set).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polyline {
+    /// Ordered vertices.
+    pub points: Vec<Point>,
+}
+
+impl Polyline {
+    /// Total arc length.
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+
+    /// Whether the polyline is (numerically) closed.
+    pub fn is_closed(&self) -> bool {
+        self.points.len() > 2
+            && self.points[0].distance(*self.points.last().expect("non-empty")) < 1e-12
+    }
+
+    /// Local tangent slope `dy/dx` nearest to `p`.
+    ///
+    /// Returns `None` for polylines with fewer than two points or when the
+    /// local segment is vertical (infinite slope) — callers compare slope
+    /// *magnitudes*, so a vertical tangent is reported as `f64::INFINITY`
+    /// via [`Polyline::slope_magnitude_near`].
+    pub fn slope_near(&self, p: Point) -> Option<f64> {
+        let seg = self.nearest_segment(p)?;
+        let (a, b) = seg;
+        let dx = b.x - a.x;
+        let dy = b.y - a.y;
+        if dx == 0.0 {
+            None
+        } else {
+            Some(dy / dx)
+        }
+    }
+
+    /// Magnitude of the local tangent slope near `p` (`f64::INFINITY` for a
+    /// vertical tangent). This is the quantity the paper's stability rule
+    /// compares between the two SHIL curves (§VI-B3).
+    pub fn slope_magnitude_near(&self, p: Point) -> Option<f64> {
+        let (a, b) = self.nearest_segment(p)?;
+        let dx = b.x - a.x;
+        let dy = b.y - a.y;
+        if dx == 0.0 && dy == 0.0 {
+            None
+        } else if dx == 0.0 {
+            Some(f64::INFINITY)
+        } else {
+            Some((dy / dx).abs())
+        }
+    }
+
+    fn nearest_segment(&self, p: Point) -> Option<(Point, Point)> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut best = None;
+        let mut best_d = f64::INFINITY;
+        for w in self.points.windows(2) {
+            let d = point_segment_distance(p, w[0], w[1]);
+            if d < best_d {
+                best_d = d;
+                best = Some((w[0], w[1]));
+            }
+        }
+        best
+    }
+}
+
+fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len2 = abx * abx + aby * aby;
+    if len2 == 0.0 {
+        return p.distance(a);
+    }
+    let t = (((p.x - a.x) * abx + (p.y - a.y) * aby) / len2).clamp(0.0, 1.0);
+    p.distance(Point::new(a.x + t * abx, a.y + t * aby))
+}
+
+/// Extracts the level set `z = level` from a sampled grid as polylines.
+///
+/// Cells containing NaN samples are skipped, which lets callers mask out
+/// invalid regions (e.g. `A → 0` where the describing function is
+/// undefined). Saddle cells are disambiguated with the cell-center average.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] if `level` is NaN.
+///
+/// ```
+/// use shil_numerics::contour::marching_squares;
+/// use shil_numerics::Grid2;
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// // The unit circle as the 0-level of x² + y² − 1.
+/// let g = Grid2::from_fn(-2.0, 2.0, 81, -2.0, 2.0, 81, |x, y| x * x + y * y - 1.0)?;
+/// let curves = marching_squares(&g, 0.0)?;
+/// let total: f64 = curves.iter().map(|c| c.length()).sum();
+/// assert!((total - std::f64::consts::TAU).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn marching_squares(grid: &Grid2, level: f64) -> Result<Vec<Polyline>, NumericsError> {
+    if level.is_nan() {
+        return Err(NumericsError::InvalidInput("level must not be NaN".into()));
+    }
+    let mut segments: Vec<(Point, Point)> = Vec::new();
+    let xs = grid.xs();
+    let ys = grid.ys();
+    // Segments far shorter than a cell are artifacts of the zero-corner
+    // nudge below; discard them so they cannot disorder the chaining.
+    let cell_dx = (xs[grid.nx() - 1] - xs[0]) / (grid.nx() - 1) as f64;
+    let cell_dy = (ys[grid.ny() - 1] - ys[0]) / (grid.ny() - 1) as f64;
+    let min_len = 1e-8 * cell_dx.hypot(cell_dy);
+
+    for iy in 0..grid.ny() - 1 {
+        for ix in 0..grid.nx() - 1 {
+            // Corner values, counterclockwise from bottom-left.
+            let mut v = [
+                grid.value(ix, iy) - level,
+                grid.value(ix + 1, iy) - level,
+                grid.value(ix + 1, iy + 1) - level,
+                grid.value(ix, iy + 1) - level,
+            ];
+            if v.iter().any(|x| x.is_nan()) {
+                continue;
+            }
+            // Corners exactly on the level produce degenerate topology
+            // (zero-length segments that break chaining). Nudge them onto
+            // the positive side by a value far below the extraction
+            // accuracy of the grid itself.
+            let scale = v.iter().fold(0.0f64, |m, x| m.max(x.abs())).max(1e-300);
+            for val in &mut v {
+                if *val == 0.0 {
+                    *val = 1e-12 * scale;
+                }
+            }
+            let corners = [
+                Point::new(xs[ix], ys[iy]),
+                Point::new(xs[ix + 1], ys[iy]),
+                Point::new(xs[ix + 1], ys[iy + 1]),
+                Point::new(xs[ix], ys[iy + 1]),
+            ];
+            let mut code = 0u8;
+            for (k, &val) in v.iter().enumerate() {
+                if val > 0.0 {
+                    code |= 1 << k;
+                }
+            }
+            if code == 0 || code == 15 {
+                continue;
+            }
+            // Edge crossing points by inverse linear interpolation.
+            let edge = |a: usize, b: usize| -> Point {
+                let t = v[a] / (v[a] - v[b]);
+                Point::new(
+                    corners[a].x + t * (corners[b].x - corners[a].x),
+                    corners[a].y + t * (corners[b].y - corners[a].y),
+                )
+            };
+            // Edges: 0 = bottom (c0-c1), 1 = right (c1-c2), 2 = top (c2-c3),
+            // 3 = left (c3-c0).
+            let mut emit = |ea: Point, eb: Point| {
+                if ea.distance(eb) > min_len {
+                    segments.push((ea, eb));
+                }
+            };
+            match code {
+                1 | 14 => emit(edge(0, 1), edge(0, 3)),
+                2 | 13 => emit(edge(1, 0), edge(1, 2)),
+                4 | 11 => emit(edge(2, 1), edge(2, 3)),
+                8 | 7 => emit(edge(3, 0), edge(3, 2)),
+                3 | 12 => emit(edge(1, 2), edge(0, 3)),
+                6 | 9 => emit(edge(0, 1), edge(2, 3)),
+                5 | 10 => {
+                    // Saddle: disambiguate with the center average.
+                    let center = 0.25 * (v[0] + v[1] + v[2] + v[3]);
+                    let flip = (code == 5) == (center > 0.0);
+                    if flip {
+                        emit(edge(0, 1), edge(1, 2));
+                        emit(edge(2, 3), edge(3, 0));
+                    } else {
+                        emit(edge(0, 1), edge(3, 0));
+                        emit(edge(1, 2), edge(2, 3));
+                    }
+                }
+                _ => unreachable!("all 4-bit cases covered"),
+            }
+        }
+    }
+    Ok(chain_segments(segments, grid))
+}
+
+/// Chains unordered segments into polylines by endpoint matching.
+fn chain_segments(segments: Vec<(Point, Point)>, grid: &Grid2) -> Vec<Polyline> {
+    // Tolerance scaled to the cell size.
+    let dx = (grid.xs()[grid.nx() - 1] - grid.xs()[0]) / (grid.nx() - 1) as f64;
+    let dy = (grid.ys()[grid.ny() - 1] - grid.ys()[0]) / (grid.ny() - 1) as f64;
+    let tol = 1e-9 * dx.hypot(dy);
+
+    let mut remaining: Vec<(Point, Point)> = segments;
+    let mut polylines = Vec::new();
+
+    while let Some((a, b)) = remaining.pop() {
+        let mut pts = std::collections::VecDeque::new();
+        pts.push_back(a);
+        pts.push_back(b);
+        let mut grew = true;
+        while grew {
+            grew = false;
+            let head = *pts.front().expect("non-empty");
+            let tail = *pts.back().expect("non-empty");
+            let mut i = 0;
+            while i < remaining.len() {
+                let (p, q) = remaining[i];
+                if p.distance(tail) < tol {
+                    pts.push_back(q);
+                    remaining.swap_remove(i);
+                    grew = true;
+                } else if q.distance(tail) < tol {
+                    pts.push_back(p);
+                    remaining.swap_remove(i);
+                    grew = true;
+                } else if p.distance(head) < tol {
+                    pts.push_front(q);
+                    remaining.swap_remove(i);
+                    grew = true;
+                } else if q.distance(head) < tol {
+                    pts.push_front(p);
+                    remaining.swap_remove(i);
+                    grew = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        polylines.push(Polyline {
+            points: pts.into_iter().collect(),
+        });
+    }
+    polylines
+}
+
+/// Intersection of two line segments `a0→a1` and `b0→b1`, if any.
+///
+/// Returns the intersection point for proper (non-parallel) crossings with
+/// parameters inside both segments (inclusive endpoints).
+pub fn segment_intersection(a0: Point, a1: Point, b0: Point, b1: Point) -> Option<Point> {
+    let d1x = a1.x - a0.x;
+    let d1y = a1.y - a0.y;
+    let d2x = b1.x - b0.x;
+    let d2y = b1.y - b0.y;
+    let denom = d1x * d2y - d1y * d2x;
+    if denom == 0.0 {
+        return None;
+    }
+    let t = ((b0.x - a0.x) * d2y - (b0.y - a0.y) * d2x) / denom;
+    let u = ((b0.x - a0.x) * d1y - (b0.y - a0.y) * d1x) / denom;
+    if (-1e-12..=1.0 + 1e-12).contains(&t) && (-1e-12..=1.0 + 1e-12).contains(&u) {
+        Some(Point::new(a0.x + t * d1x, a0.y + t * d1y))
+    } else {
+        None
+    }
+}
+
+/// All intersection points between two polyline families, with duplicates
+/// within `merge_tol` coalesced.
+///
+/// This is the "read off the crossings" step of the paper's graphical
+/// solution procedure.
+pub fn polyline_intersections(
+    family_a: &[Polyline],
+    family_b: &[Polyline],
+    merge_tol: f64,
+) -> Vec<Point> {
+    let mut hits: Vec<Point> = Vec::new();
+    for pa in family_a {
+        for sa in pa.points.windows(2) {
+            for pb in family_b {
+                for sb in pb.points.windows(2) {
+                    if let Some(p) = segment_intersection(sa[0], sa[1], sb[0], sb[1]) {
+                        if !hits.iter().any(|h| h.distance(p) < merge_tol) {
+                            hits.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_level_set_has_correct_length_and_closure() {
+        let g = Grid2::from_fn(-2.0, 2.0, 161, -2.0, 2.0, 161, |x, y| x * x + y * y).unwrap();
+        let curves = marching_squares(&g, 1.0).unwrap();
+        assert_eq!(curves.len(), 1, "unit circle must be a single component");
+        let total: f64 = curves.iter().map(|c| c.length()).sum();
+        assert!(
+            (total - std::f64::consts::TAU).abs() < 5e-3,
+            "length {total}"
+        );
+        assert!(curves[0].is_closed());
+    }
+
+    #[test]
+    fn line_level_set() {
+        // z = y − x: level 0 is the diagonal.
+        let g = Grid2::from_fn(0.0, 1.0, 21, 0.0, 1.0, 21, |x, y| y - x).unwrap();
+        let curves = marching_squares(&g, 0.0).unwrap();
+        let total: f64 = curves.iter().map(|c| c.length()).sum();
+        assert!((total - 2f64.sqrt()).abs() < 1e-6, "length {total}");
+        // Every point on the extracted curve satisfies y ≈ x.
+        for c in &curves {
+            for p in &c.points {
+                assert!((p.y - p.x).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn two_components_are_separated() {
+        // Two circular bumps ⇒ the 0.5-level set has two components.
+        let f = |x: f64, y: f64| {
+            let d1: f64 = ((x + 1.0).powi(2) + y * y).sqrt();
+            let d2: f64 = ((x - 1.0).powi(2) + y * y).sqrt();
+            (-d1 * d1 * 4.0).exp() + (-d2 * d2 * 4.0).exp()
+        };
+        let g = Grid2::from_fn(-2.5, 2.5, 201, -1.5, 1.5, 121, f).unwrap();
+        let curves = marching_squares(&g, 0.5).unwrap();
+        assert_eq!(curves.len(), 2);
+    }
+
+    #[test]
+    fn nan_cells_are_masked() {
+        let g = Grid2::from_fn(-1.0, 1.0, 41, -1.0, 1.0, 41, |x, y| {
+            if x < 0.0 {
+                f64::NAN
+            } else {
+                x * x + y * y - 0.25
+            }
+        })
+        .unwrap();
+        let curves = marching_squares(&g, 0.0).unwrap();
+        // Only the right half-circle survives.
+        for c in &curves {
+            for p in &c.points {
+                assert!(p.x >= -0.05, "point in masked region: {p:?}");
+            }
+        }
+        let total: f64 = curves.iter().map(|c| c.length()).sum();
+        assert!((total - std::f64::consts::PI * 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn segment_intersection_basic() {
+        let p = segment_intersection(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 0.0),
+        )
+        .unwrap();
+        assert!((p.x - 0.5).abs() < 1e-15 && (p.y - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn segment_intersection_misses_and_parallels() {
+        assert!(segment_intersection(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        )
+        .is_none());
+        assert!(segment_intersection(
+            Point::new(0.0, 0.0),
+            Point::new(0.4, 0.4),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 0.0),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn circle_and_line_intersections() {
+        let g1 = Grid2::from_fn(-2.0, 2.0, 121, -2.0, 2.0, 121, |x, y| x * x + y * y).unwrap();
+        let circle = marching_squares(&g1, 1.0).unwrap();
+        let g2 = Grid2::from_fn(-2.0, 2.0, 121, -2.0, 2.0, 121, |_, y| y).unwrap();
+        let axis = marching_squares(&g2, 0.0).unwrap();
+        let hits = polyline_intersections(&circle, &axis, 1e-3);
+        assert_eq!(hits.len(), 2);
+        for h in hits {
+            assert!((h.x.abs() - 1.0).abs() < 1e-2);
+            assert!(h.y.abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn slope_near_diagonal_line() {
+        let poly = Polyline {
+            points: vec![Point::new(0.0, 0.0), Point::new(1.0, 2.0)],
+        };
+        let s = poly.slope_near(Point::new(0.5, 1.0)).unwrap();
+        assert!((s - 2.0).abs() < 1e-12);
+        assert!((poly.slope_magnitude_near(Point::new(0.5, 1.0)).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_of_vertical_segment_is_infinite_magnitude() {
+        let poly = Polyline {
+            points: vec![Point::new(1.0, 0.0), Point::new(1.0, 5.0)],
+        };
+        assert!(poly.slope_near(Point::new(1.0, 2.0)).is_none());
+        assert_eq!(
+            poly.slope_magnitude_near(Point::new(1.0, 2.0)).unwrap(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn polyline_length_and_closed() {
+        let open = Polyline {
+            points: vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)],
+        };
+        assert_eq!(open.length(), 5.0);
+        assert!(!open.is_closed());
+    }
+}

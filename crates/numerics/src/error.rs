@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Errors produced by the numerical kernels in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A matrix factorization encountered a (numerically) singular pivot.
+    SingularMatrix {
+        /// Index of the pivot column where factorization broke down.
+        pivot: usize,
+    },
+    /// A root-finding bracket `[a, b]` did not actually bracket a sign change.
+    InvalidBracket {
+        /// Left end of the attempted bracket.
+        a: f64,
+        /// Right end of the attempted bracket.
+        b: f64,
+    },
+    /// An iterative method exhausted its iteration budget before converging.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm (or interval width) at the point of giving up.
+        residual: f64,
+    },
+    /// Input data violated a structural precondition (documented per function).
+    InvalidInput(String),
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            NumericsError::InvalidBracket { a, b } => {
+                write!(f, "interval [{a}, {b}] does not bracket a root")
+            }
+            NumericsError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NumericsError::SingularMatrix { pivot: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot column 3");
+        let e = NumericsError::InvalidBracket { a: 0.0, b: 1.0 };
+        assert!(e.to_string().contains("does not bracket"));
+        let e = NumericsError::NoConvergence {
+            iterations: 7,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("7 iterations"));
+        let e = NumericsError::InvalidInput("empty grid".into());
+        assert!(e.to_string().contains("empty grid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

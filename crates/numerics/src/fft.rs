@@ -1,0 +1,232 @@
+//! Iterative radix-2 FFT and Fourier-series helpers.
+//!
+//! The harmonic table pre-characterization evaluates *all* harmonics
+//! `I_k(A, V_i, φ)` of the nonlinearity output at once; a single FFT over a
+//! power-of-two number of samples per period is much cheaper than one
+//! quadrature per harmonic. The circuit-waveform analyzer also uses the FFT
+//! for spectrum estimates.
+
+use crate::complex::Complex64;
+use crate::error::NumericsError;
+
+/// In-place forward FFT (`X_k = Σ_n x_n e^{−j2πkn/N}`) for power-of-two `N`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] if the length is zero or not a
+/// power of two.
+///
+/// ```
+/// use shil_numerics::fft::fft_in_place;
+/// use shil_numerics::Complex64;
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// let mut x = vec![Complex64::ONE; 4];
+/// fft_in_place(&mut x)?;
+/// assert!((x[0].re - 4.0).abs() < 1e-12); // DC bin carries the sum
+/// assert!(x[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_in_place(x: &mut [Complex64]) -> Result<(), NumericsError> {
+    let n = x.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(NumericsError::InvalidInput(format!(
+            "fft length {n} is not a power of two"
+        )));
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Danielson–Lanczos butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -std::f64::consts::TAU / len as f64;
+        let wlen = Complex64::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// In-place inverse FFT (`x_n = (1/N) Σ_k X_k e^{+j2πkn/N}`).
+///
+/// # Errors
+///
+/// Same conditions as [`fft_in_place`].
+pub fn ifft_in_place(x: &mut [Complex64]) -> Result<(), NumericsError> {
+    for v in x.iter_mut() {
+        *v = v.conj();
+    }
+    fft_in_place(x)?;
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.conj() / n;
+    }
+    Ok(())
+}
+
+/// Complex Fourier-series coefficients `c_k = (1/N) Σ x_n e^{−j2πkn/N}` of a
+/// real signal uniformly sampled over exactly one period.
+///
+/// Returns coefficients for `k = 0..=max_k`. For a real signal,
+/// `c_{−k} = conj(c_k)`, so the non-negative half suffices. This is the FFT
+/// counterpart of [`crate::quad::fourier_coefficient`] and is exact (to
+/// rounding) whenever the signal is band-limited below the Nyquist index.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidInput`] if `samples.len()` is not a power of two
+///   or `max_k` is not below `samples.len()/2`.
+pub fn fourier_series(samples: &[f64], max_k: usize) -> Result<Vec<Complex64>, NumericsError> {
+    let n = samples.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(NumericsError::InvalidInput(format!(
+            "sample count {n} is not a power of two"
+        )));
+    }
+    if max_k >= n / 2 {
+        return Err(NumericsError::InvalidInput(format!(
+            "max_k {max_k} must be below the Nyquist index {}",
+            n / 2
+        )));
+    }
+    let mut buf: Vec<Complex64> = samples.iter().map(|&s| Complex64::new(s, 0.0)).collect();
+    fft_in_place(&mut buf)?;
+    Ok(buf[..=max_k].iter().map(|c| *c / n as f64).collect())
+}
+
+/// Single-bin discrete Fourier coefficient `c_k` of an arbitrary-length real
+/// sample set covering one period (a direct Goertzel-style sum).
+///
+/// Useful when the sample count is not a power of two (e.g. resampled
+/// transient waveforms).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn dft_bin(samples: &[f64], k: i32) -> Complex64 {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let n = samples.len() as f64;
+    let mut acc = Complex64::ZERO;
+    for (i, &s) in samples.iter().enumerate() {
+        let phase = -std::f64::consts::TAU * k as f64 * i as f64 / n;
+        acc += Complex64::from_polar(s, phase);
+    }
+    acc / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn fft_of_delta_is_flat() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        fft_in_place(&mut x).unwrap();
+        for v in x {
+            assert!((v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let orig: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft_in_place(&mut x).unwrap();
+        ifft_in_place(&mut x).unwrap();
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut x = vec![Complex64::ZERO; 6];
+        assert!(fft_in_place(&mut x).is_err());
+        let mut e = vec![];
+        assert!(fft_in_place(&mut e).is_err());
+    }
+
+    #[test]
+    fn fourier_series_matches_quadrature() {
+        let f = |t: f64| (2.0 * t.cos() + 0.3 * (3.0 * t).cos()).tanh();
+        let n = 256;
+        let samples: Vec<f64> = (0..n).map(|i| f(TAU * i as f64 / n as f64)).collect();
+        let coeffs = fourier_series(&samples, 5).unwrap();
+        for k in 0..=5 {
+            let q = crate::quad::fourier_coefficient(f, k as i32, n);
+            assert!(
+                (coeffs[k] - q).abs() < 1e-12,
+                "k={k}: fft {:?} vs quad {:?}",
+                coeffs[k],
+                q
+            );
+        }
+    }
+
+    #[test]
+    fn fourier_series_pure_tone() {
+        let n = 128;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (TAU * 4.0 * i as f64 / n as f64).cos())
+            .collect();
+        let coeffs = fourier_series(&samples, 10).unwrap();
+        assert!((coeffs[4].re - 0.5).abs() < 1e-12);
+        assert!(coeffs[4].im.abs() < 1e-12);
+        for (k, c) in coeffs.iter().enumerate() {
+            if k != 4 {
+                assert!(c.abs() < 1e-12, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fourier_series_guards_nyquist() {
+        let samples = vec![0.0; 16];
+        assert!(fourier_series(&samples, 8).is_err());
+        assert!(fourier_series(&samples, 7).is_ok());
+    }
+
+    #[test]
+    fn dft_bin_matches_fft_bin() {
+        let n = 64;
+        let f = |t: f64| (t.cos() * 1.7).tanh() + 0.2;
+        let samples: Vec<f64> = (0..n).map(|i| f(TAU * i as f64 / n as f64)).collect();
+        let coeffs = fourier_series(&samples, 3).unwrap();
+        for k in 0..=3 {
+            let d = dft_bin(&samples, k as i32);
+            assert!((d - coeffs[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let orig: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = orig.iter().map(|z| z.norm_sqr()).sum();
+        let mut x = orig;
+        fft_in_place(&mut x).unwrap();
+        let freq_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,263 @@
+//! Rectangular 2-D sampled scalar fields.
+//!
+//! The graphical SHIL procedure evaluates `T_f(A, φ)` and `∠−I₁(A, φ)` on a
+//! rectangular `(φ, A)` grid and extracts level sets. [`Grid2`] owns the axes
+//! and samples; [`crate::contour`] walks it with marching squares.
+
+use crate::error::NumericsError;
+
+/// A scalar field `z(x, y)` sampled on a rectangular grid.
+///
+/// Values are stored row-major with `y` as the row index:
+/// `value(ix, iy) = data[iy * nx + ix]`.
+///
+/// ```
+/// use shil_numerics::Grid2;
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// let g = Grid2::from_fn(0.0, 1.0, 11, 0.0, 2.0, 21, |x, y| x + y)?;
+/// assert_eq!(g.value(10, 20), 3.0);
+/// assert!((g.bilinear(0.5, 1.0) - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2 {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    data: Vec<f64>,
+}
+
+impl Grid2 {
+    /// Builds a grid by evaluating `f(x, y)` on the tensor product of two
+    /// uniform axes with `nx × ny` points (inclusive of both endpoints).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] if either axis has fewer than
+    /// two points or a degenerate extent.
+    pub fn from_fn<F: FnMut(f64, f64) -> f64>(
+        x0: f64,
+        x1: f64,
+        nx: usize,
+        y0: f64,
+        y1: f64,
+        ny: usize,
+        mut f: F,
+    ) -> Result<Self, NumericsError> {
+        if nx < 2 || ny < 2 {
+            return Err(NumericsError::InvalidInput(
+                "grid axes need at least two points".into(),
+            ));
+        }
+        if !(x1 > x0) || !(y1 > y0) {
+            return Err(NumericsError::InvalidInput(
+                "grid extents must be positive".into(),
+            ));
+        }
+        let xs: Vec<f64> = (0..nx)
+            .map(|i| x0 + (x1 - x0) * i as f64 / (nx - 1) as f64)
+            .collect();
+        let ys: Vec<f64> = (0..ny)
+            .map(|j| y0 + (y1 - y0) * j as f64 / (ny - 1) as f64)
+            .collect();
+        let mut data = Vec::with_capacity(nx * ny);
+        for &y in &ys {
+            for &x in &xs {
+                data.push(f(x, y));
+            }
+        }
+        Ok(Grid2 { xs, ys, data })
+    }
+
+    /// Builds a grid from explicit axes and row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] on size mismatch or
+    /// non-increasing axes.
+    pub fn from_data(xs: Vec<f64>, ys: Vec<f64>, data: Vec<f64>) -> Result<Self, NumericsError> {
+        if xs.len() < 2 || ys.len() < 2 {
+            return Err(NumericsError::InvalidInput(
+                "grid axes need at least two points".into(),
+            ));
+        }
+        if data.len() != xs.len() * ys.len() {
+            return Err(NumericsError::InvalidInput(format!(
+                "data length {} != {} x {}",
+                data.len(),
+                xs.len(),
+                ys.len()
+            )));
+        }
+        for axis in [&xs, &ys] {
+            for w in axis.windows(2) {
+                if !(w[1] > w[0]) {
+                    return Err(NumericsError::InvalidInput(
+                        "grid axes must be strictly increasing".into(),
+                    ));
+                }
+            }
+        }
+        Ok(Grid2 { xs, ys, data })
+    }
+
+    /// The x-axis samples.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y-axis samples.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Number of points along x.
+    pub fn nx(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Number of points along y.
+    pub fn ny(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Sample value at grid indices `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn value(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx() && iy < self.ny(), "grid index out of bounds");
+        self.data[iy * self.xs.len() + ix]
+    }
+
+    /// Bilinear interpolation at `(x, y)`, clamped to the grid domain.
+    pub fn bilinear(&self, x: f64, y: f64) -> f64 {
+        let (ix, tx) = locate_uniformish(&self.xs, x);
+        let (iy, ty) = locate_uniformish(&self.ys, y);
+        let v00 = self.value(ix, iy);
+        let v10 = self.value(ix + 1, iy);
+        let v01 = self.value(ix, iy + 1);
+        let v11 = self.value(ix + 1, iy + 1);
+        v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty
+    }
+
+    /// Central-difference gradient `(∂z/∂x, ∂z/∂y)` at grid indices.
+    ///
+    /// One-sided differences are used at the boundary.
+    pub fn gradient_at(&self, ix: usize, iy: usize) -> (f64, f64) {
+        let nx = self.nx();
+        let ny = self.ny();
+        let gx = if ix == 0 {
+            (self.value(1, iy) - self.value(0, iy)) / (self.xs[1] - self.xs[0])
+        } else if ix == nx - 1 {
+            (self.value(nx - 1, iy) - self.value(nx - 2, iy)) / (self.xs[nx - 1] - self.xs[nx - 2])
+        } else {
+            (self.value(ix + 1, iy) - self.value(ix - 1, iy)) / (self.xs[ix + 1] - self.xs[ix - 1])
+        };
+        let gy = if iy == 0 {
+            (self.value(ix, 1) - self.value(ix, 0)) / (self.ys[1] - self.ys[0])
+        } else if iy == ny - 1 {
+            (self.value(ix, ny - 1) - self.value(ix, ny - 2)) / (self.ys[ny - 1] - self.ys[ny - 2])
+        } else {
+            (self.value(ix, iy + 1) - self.value(ix, iy - 1)) / (self.ys[iy + 1] - self.ys[iy - 1])
+        };
+        (gx, gy)
+    }
+
+    /// Minimum and maximum sample values (ignoring NaN samples).
+    pub fn range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.data {
+            if v.is_nan() {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+}
+
+/// Locates `x` in the (sorted) axis, returning the interval index and the
+/// normalized coordinate within it, clamping out-of-range queries.
+fn locate_uniformish(axis: &[f64], x: f64) -> (usize, f64) {
+    let n = axis.len();
+    if x <= axis[0] {
+        return (0, 0.0);
+    }
+    if x >= axis[n - 1] {
+        return (n - 2, 1.0);
+    }
+    let i = match axis.binary_search_by(|v| v.partial_cmp(&x).expect("NaN in axis")) {
+        Ok(i) => i.min(n - 2),
+        Err(i) => i - 1,
+    };
+    let t = (x - axis[i]) / (axis[i + 1] - axis[i]);
+    (i, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_samples_correctly() {
+        let g = Grid2::from_fn(0.0, 2.0, 3, 10.0, 12.0, 3, |x, y| 100.0 * x + y).unwrap();
+        assert_eq!(g.value(0, 0), 10.0);
+        assert_eq!(g.value(2, 0), 210.0);
+        assert_eq!(g.value(1, 2), 112.0);
+        assert_eq!(g.nx(), 3);
+        assert_eq!(g.ny(), 3);
+    }
+
+    #[test]
+    fn bilinear_is_exact_for_bilinear_fields() {
+        let g = Grid2::from_fn(0.0, 1.0, 5, 0.0, 1.0, 5, |x, y| 2.0 + 3.0 * x - y + 4.0 * x * y)
+            .unwrap();
+        for &(x, y) in &[(0.13, 0.4), (0.77, 0.91), (0.5, 0.5)] {
+            let expect = 2.0 + 3.0 * x - y + 4.0 * x * y;
+            assert!((g.bilinear(x, y) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bilinear_clamps_outside_domain() {
+        let g = Grid2::from_fn(0.0, 1.0, 2, 0.0, 1.0, 2, |x, _| x).unwrap();
+        assert_eq!(g.bilinear(-5.0, 0.5), 0.0);
+        assert_eq!(g.bilinear(5.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn gradient_of_linear_field() {
+        let g = Grid2::from_fn(0.0, 1.0, 11, 0.0, 1.0, 11, |x, y| 3.0 * x - 2.0 * y).unwrap();
+        for (ix, iy) in [(0, 0), (5, 5), (10, 10), (0, 10)] {
+            let (gx, gy) = g.gradient_at(ix, iy);
+            assert!((gx - 3.0).abs() < 1e-12);
+            assert!((gy + 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn range_ignores_nan() {
+        let g = Grid2::from_data(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, f64::NAN, -3.0, 2.0],
+        )
+        .unwrap();
+        assert_eq!(g.range(), (-3.0, 2.0));
+    }
+
+    #[test]
+    fn from_data_validates() {
+        assert!(Grid2::from_data(vec![0.0], vec![0.0, 1.0], vec![0.0, 0.0]).is_err());
+        assert!(Grid2::from_data(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0]).is_err());
+        assert!(
+            Grid2::from_data(vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0, 0.0, 0.0]).is_err()
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! One-dimensional interpolation: linear and PCHIP (monotone cubic).
+//!
+//! The SHIL tool pre-characterizes nonlinearities from DC-sweep data (the
+//! `i = f(v)` extraction of §IV of the paper). PCHIP is used there because a
+//! shape-preserving interpolant keeps the negative-resistance region of the
+//! extracted curve free of spurious oscillation — overshoot in a plain cubic
+//! spline would manufacture artificial equilibria in the Newton solves.
+
+use crate::error::NumericsError;
+
+/// How an interpolant behaves outside its abscissa range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Extrapolation {
+    /// Clamp to the boundary value.
+    Clamp,
+    /// Continue with the boundary slope (default; physical for I–V curves
+    /// whose tails are ohmic/saturated).
+    #[default]
+    Linear,
+    /// Return an error instead of extrapolating.
+    Error,
+}
+
+fn check_axis(x: &[f64], y: &[f64]) -> Result<(), NumericsError> {
+    if x.len() != y.len() {
+        return Err(NumericsError::InvalidInput(format!(
+            "x and y length mismatch ({} vs {})",
+            x.len(),
+            y.len()
+        )));
+    }
+    if x.len() < 2 {
+        return Err(NumericsError::InvalidInput(
+            "need at least two points".into(),
+        ));
+    }
+    for w in x.windows(2) {
+        if !(w[1] > w[0]) {
+            return Err(NumericsError::InvalidInput(
+                "abscissae must be strictly increasing".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Index of the interval containing `xq` (clamped to valid intervals).
+fn locate(x: &[f64], xq: f64) -> usize {
+    match x.binary_search_by(|v| v.partial_cmp(&xq).expect("NaN in abscissae")) {
+        Ok(i) => i.min(x.len() - 2),
+        Err(i) => i.clamp(1, x.len() - 1) - 1,
+    }
+}
+
+/// Piecewise-linear interpolant over strictly increasing abscissae.
+///
+/// ```
+/// use shil_numerics::interp::LinearInterp;
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// let li = LinearInterp::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0])?;
+/// assert_eq!(li.eval(0.5)?, 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterp {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    extrapolation: Extrapolation,
+}
+
+impl LinearInterp {
+    /// Creates an interpolant with [`Extrapolation::Linear`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] if the axes mismatch, contain
+    /// fewer than two points, or are not strictly increasing.
+    pub fn new(x: Vec<f64>, y: Vec<f64>) -> Result<Self, NumericsError> {
+        check_axis(&x, &y)?;
+        Ok(LinearInterp {
+            x,
+            y,
+            extrapolation: Extrapolation::Linear,
+        })
+    }
+
+    /// Sets the extrapolation policy.
+    #[must_use]
+    pub fn with_extrapolation(mut self, e: Extrapolation) -> Self {
+        self.extrapolation = e;
+        self
+    }
+
+    /// Domain of the interpolant (first and last abscissa).
+    pub fn domain(&self) -> (f64, f64) {
+        (self.x[0], *self.x.last().expect("non-empty by invariant"))
+    }
+
+    /// Evaluates the interpolant at `xq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] when `xq` is outside the
+    /// domain and the policy is [`Extrapolation::Error`].
+    pub fn eval(&self, xq: f64) -> Result<f64, NumericsError> {
+        let (lo, hi) = self.domain();
+        if xq < lo || xq > hi {
+            match self.extrapolation {
+                Extrapolation::Error => {
+                    return Err(NumericsError::InvalidInput(format!(
+                        "query {xq} outside domain [{lo}, {hi}]"
+                    )))
+                }
+                Extrapolation::Clamp => {
+                    return Ok(if xq < lo {
+                        self.y[0]
+                    } else {
+                        *self.y.last().expect("non-empty")
+                    })
+                }
+                Extrapolation::Linear => {} // fall through: segment formula extends
+            }
+        }
+        let i = locate(&self.x, xq);
+        let t = (xq - self.x[i]) / (self.x[i + 1] - self.x[i]);
+        Ok(self.y[i] + t * (self.y[i + 1] - self.y[i]))
+    }
+
+    /// Piecewise-constant derivative at `xq` (boundary slope outside).
+    pub fn derivative(&self, xq: f64) -> f64 {
+        let i = locate(&self.x, xq.clamp(self.x[0], *self.x.last().expect("non-empty")));
+        (self.y[i + 1] - self.y[i]) / (self.x[i + 1] - self.x[i])
+    }
+}
+
+/// PCHIP: piecewise cubic Hermite interpolation with Fritsch–Carlson
+/// monotone slope limiting.
+///
+/// C¹-continuous, shape preserving (no overshoot between data points), with
+/// an analytic derivative — exactly what tabulated `i = f(v)` device curves
+/// need inside Newton loops.
+///
+/// ```
+/// use shil_numerics::interp::Pchip;
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// let p = Pchip::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 1.0, 2.0])?;
+/// // Monotone data stays monotone: no overshoot above 1.0 in [1, 2].
+/// assert!(p.eval(1.5)? <= 1.0 + 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pchip {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    /// Nodal derivatives chosen by the Fritsch–Carlson limiter.
+    d: Vec<f64>,
+    extrapolation: Extrapolation,
+}
+
+impl Pchip {
+    /// Creates a PCHIP interpolant with [`Extrapolation::Linear`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearInterp::new`].
+    pub fn new(x: Vec<f64>, y: Vec<f64>) -> Result<Self, NumericsError> {
+        check_axis(&x, &y)?;
+        let n = x.len();
+        let mut delta = vec![0.0; n - 1];
+        for i in 0..n - 1 {
+            delta[i] = (y[i + 1] - y[i]) / (x[i + 1] - x[i]);
+        }
+        let mut d = vec![0.0; n];
+        if n == 2 {
+            d[0] = delta[0];
+            d[1] = delta[0];
+        } else {
+            // Interior nodes: weighted harmonic mean when the secants agree
+            // in sign, zero otherwise (Fritsch–Carlson).
+            for i in 1..n - 1 {
+                if delta[i - 1] * delta[i] > 0.0 {
+                    let h0 = x[i] - x[i - 1];
+                    let h1 = x[i + 1] - x[i];
+                    let w1 = 2.0 * h1 + h0;
+                    let w2 = h1 + 2.0 * h0;
+                    d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+                } else {
+                    d[i] = 0.0;
+                }
+            }
+            // One-sided endpoint formulas with monotonicity clamping.
+            d[0] = Self::edge_slope(x[1] - x[0], x[2] - x[1], delta[0], delta[1]);
+            d[n - 1] = Self::edge_slope(
+                x[n - 1] - x[n - 2],
+                x[n - 2] - x[n - 3],
+                delta[n - 2],
+                delta[n - 3],
+            );
+        }
+        Ok(Pchip {
+            x,
+            y,
+            d,
+            extrapolation: Extrapolation::Linear,
+        })
+    }
+
+    fn edge_slope(h0: f64, h1: f64, del0: f64, del1: f64) -> f64 {
+        let d = ((2.0 * h0 + h1) * del0 - h0 * del1) / (h0 + h1);
+        if d * del0 <= 0.0 {
+            0.0
+        } else if del0 * del1 < 0.0 && d.abs() > 3.0 * del0.abs() {
+            3.0 * del0
+        } else {
+            d
+        }
+    }
+
+    /// Sets the extrapolation policy.
+    #[must_use]
+    pub fn with_extrapolation(mut self, e: Extrapolation) -> Self {
+        self.extrapolation = e;
+        self
+    }
+
+    /// Domain of the interpolant.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.x[0], *self.x.last().expect("non-empty by invariant"))
+    }
+
+    /// Evaluates the interpolant at `xq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] under [`Extrapolation::Error`]
+    /// for out-of-domain queries.
+    pub fn eval(&self, xq: f64) -> Result<f64, NumericsError> {
+        let (lo, hi) = self.domain();
+        if xq < lo || xq > hi {
+            match self.extrapolation {
+                Extrapolation::Error => {
+                    return Err(NumericsError::InvalidInput(format!(
+                        "query {xq} outside domain [{lo}, {hi}]"
+                    )))
+                }
+                Extrapolation::Clamp => {
+                    return Ok(if xq < lo {
+                        self.y[0]
+                    } else {
+                        *self.y.last().expect("non-empty")
+                    })
+                }
+                Extrapolation::Linear => {
+                    return Ok(if xq < lo {
+                        self.y[0] + self.d[0] * (xq - lo)
+                    } else {
+                        self.y[self.y.len() - 1] + self.d[self.d.len() - 1] * (xq - hi)
+                    })
+                }
+            }
+        }
+        let i = locate(&self.x, xq);
+        let h = self.x[i + 1] - self.x[i];
+        let t = (xq - self.x[i]) / h;
+        let (h00, h10, h01, h11) = hermite_basis(t);
+        Ok(h00 * self.y[i] + h10 * h * self.d[i] + h01 * self.y[i + 1] + h11 * h * self.d[i + 1])
+    }
+
+    /// Analytic derivative of the interpolant at `xq` (boundary slope
+    /// outside the domain).
+    pub fn derivative(&self, xq: f64) -> f64 {
+        let (lo, hi) = self.domain();
+        if xq <= lo {
+            return self.d[0];
+        }
+        if xq >= hi {
+            return self.d[self.d.len() - 1];
+        }
+        let i = locate(&self.x, xq);
+        let h = self.x[i + 1] - self.x[i];
+        let t = (xq - self.x[i]) / h;
+        let dh00 = (6.0 * t * t - 6.0 * t) / h;
+        let dh10 = 3.0 * t * t - 4.0 * t + 1.0;
+        let dh01 = -dh00;
+        let dh11 = 3.0 * t * t - 2.0 * t;
+        dh00 * self.y[i] + dh10 * self.d[i] + dh01 * self.y[i + 1] + dh11 * self.d[i + 1]
+    }
+}
+
+fn hermite_basis(t: f64) -> (f64, f64, f64, f64) {
+    let t2 = t * t;
+    let t3 = t2 * t;
+    (
+        2.0 * t3 - 3.0 * t2 + 1.0,
+        t3 - 2.0 * t2 + t,
+        -2.0 * t3 + 3.0 * t2,
+        t3 - t2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interpolates_nodes_exactly() {
+        let li = LinearInterp::new(vec![0.0, 1.0, 3.0], vec![1.0, -1.0, 5.0]).unwrap();
+        assert_eq!(li.eval(0.0).unwrap(), 1.0);
+        assert_eq!(li.eval(1.0).unwrap(), -1.0);
+        assert_eq!(li.eval(3.0).unwrap(), 5.0);
+        assert_eq!(li.eval(2.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn linear_extrapolation_policies() {
+        let base = LinearInterp::new(vec![0.0, 1.0], vec![0.0, 2.0]).unwrap();
+        assert_eq!(
+            base.clone()
+                .with_extrapolation(Extrapolation::Clamp)
+                .eval(2.0)
+                .unwrap(),
+            2.0
+        );
+        assert_eq!(
+            base.clone()
+                .with_extrapolation(Extrapolation::Linear)
+                .eval(2.0)
+                .unwrap(),
+            4.0
+        );
+        assert!(base
+            .with_extrapolation(Extrapolation::Error)
+            .eval(2.0)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_axes() {
+        assert!(LinearInterp::new(vec![0.0], vec![1.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn pchip_reproduces_nodes() {
+        let x: Vec<f64> = vec![-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y: Vec<f64> = x.iter().map(|v| v.tanh()).collect();
+        let p = Pchip::new(x.clone(), y.clone()).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((p.eval(*xi).unwrap() - yi).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn pchip_is_monotone_on_monotone_data() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64 * 0.25).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v - 2.0).tanh()).collect();
+        let p = Pchip::new(x, y).unwrap();
+        let mut prev = p.eval(0.0).unwrap();
+        let mut q = 0.01;
+        while q < 4.75 {
+            let v = p.eval(q).unwrap();
+            assert!(v >= prev - 1e-12, "non-monotone at {q}");
+            prev = v;
+            q += 0.01;
+        }
+    }
+
+    #[test]
+    fn pchip_no_overshoot_on_step_data() {
+        let p = Pchip::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 0.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let mut q = 0.0;
+        while q <= 4.0 {
+            let v = p.eval(q).unwrap();
+            assert!((-1e-12..=1.0 + 1e-12).contains(&v), "overshoot {v} at {q}");
+            q += 0.01;
+        }
+    }
+
+    #[test]
+    fn pchip_derivative_matches_finite_difference() {
+        let x: Vec<f64> = (0..30).map(|i| -3.0 + i as f64 * 0.2).collect();
+        let y: Vec<f64> = x.iter().map(|v| (2.0 * v).tanh() * -1.5).collect();
+        let p = Pchip::new(x, y).unwrap();
+        for &q in &[-2.5, -1.0, 0.05, 1.3, 2.4] {
+            let h = 1e-6;
+            let fd = (p.eval(q + h).unwrap() - p.eval(q - h).unwrap()) / (2.0 * h);
+            assert!(
+                (p.derivative(q) - fd).abs() < 1e-5,
+                "derivative mismatch at {q}: {} vs {}",
+                p.derivative(q),
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn pchip_accuracy_on_smooth_function() {
+        let x: Vec<f64> = (0..=40).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.sin()).collect();
+        let p = Pchip::new(x, y).unwrap();
+        let mut q = 0.0;
+        while q <= 4.0 {
+            assert!((p.eval(q).unwrap() - q.sin()).abs() < 2e-3, "error at {q}");
+            q += 0.013;
+        }
+    }
+
+    #[test]
+    fn pchip_two_point_degenerates_to_line() {
+        let p = Pchip::new(vec![0.0, 2.0], vec![1.0, 5.0]).unwrap();
+        assert!((p.eval(1.0).unwrap() - 3.0).abs() < 1e-14);
+        assert!((p.derivative(1.0) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pchip_linear_extrapolation_uses_edge_slope() {
+        let x: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let p = Pchip::new(x, y).unwrap();
+        assert!((p.eval(12.0).unwrap() - 25.0).abs() < 1e-10);
+        assert!((p.eval(-2.0).unwrap() + 3.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,449 @@
+//! Dense row-major matrices and LU factorization with partial pivoting.
+//!
+//! MNA systems in the circuit simulator and Jacobians in the SHIL solver are
+//! small (a handful to a few dozen unknowns), so a straightforward dense LU
+//! is both simpler and faster than a sparse solver at this scale. The
+//! factorization is generic over a [`Scalar`] trait implemented for `f64`
+//! and [`Complex64`] (the latter used by AC analysis).
+
+use crate::complex::Complex64;
+use crate::error::NumericsError;
+
+/// Scalar field over which [`Dense`] matrices can be factorized.
+///
+/// This trait is sealed in spirit: the workspace only ever needs `f64` and
+/// [`Complex64`], and the dense kernels are written against exactly the
+/// operations listed here.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// A non-negative magnitude used for pivot selection.
+    fn modulus(self) -> f64;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex64 {
+    #[inline]
+    fn zero() -> Self {
+        Complex64::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex64::ONE
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+}
+
+/// A dense, row-major, square-or-rectangular matrix over a [`Scalar`].
+///
+/// ```
+/// use shil_numerics::Matrix;
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let x = a.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+/// Real dense matrix (`f64` entries).
+pub type Matrix = Dense<f64>;
+/// Complex dense matrix ([`Complex64`] entries), used by AC analysis.
+pub type CMatrix = Dense<Complex64>;
+
+impl<T: Scalar> Dense<T> {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Dense {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Dense::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        assert!(!rows.is_empty(), "at least one row required");
+        let cols = rows[0].len();
+        assert!(cols > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Dense {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    ///
+    /// The MNA assembly loop re-stamps the matrix on every Newton iteration,
+    /// so avoiding reallocation matters in the transient inner loop.
+    pub fn clear(&mut self) {
+        for v in &mut self.data {
+            *v = T::zero();
+        }
+    }
+
+    /// Adds `value` to entry `(i, j)` (the MNA "stamp" operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, value: T) {
+        let c = self.cols;
+        self.data[i * c + j] = self.data[i * c + j] + value;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut y = vec![T::zero(); self.rows];
+        for i in 0..self.rows {
+            let mut acc = T::zero();
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (a, xv) in row.iter().zip(x) {
+                acc = acc + *a * *xv;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Factorizes a square matrix in place as `P·A = L·U` and solves `A·x = b`.
+    ///
+    /// Consumes a copy of the matrix; use [`Lu::factorize`] to reuse a
+    /// factorization across multiple right-hand sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot is exactly zero
+    /// or smaller than `1e-300` in magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumericsError> {
+        let lu = Lu::factorize(self.clone())?;
+        Ok(lu.solve(b))
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize)> for Dense<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Dense<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// An LU factorization with partial pivoting, reusable across right-hand sides.
+///
+/// ```
+/// use shil_numerics::linalg::Lu;
+/// use shil_numerics::Matrix;
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let lu = Lu::factorize(a)?;
+/// let x = lu.solve(&[10.0, 12.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu<T: Scalar> {
+    lu: Dense<T>,
+    perm: Vec<usize>,
+    sign_flips: usize,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Factorizes `a` (consumed) with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] when the best available
+    /// pivot in some column has magnitude below `1e-300`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factorize(mut a: Dense<T>) -> Result<Self, NumericsError> {
+        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
+        let n = a.rows;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign_flips = 0usize;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest-magnitude entry in column k.
+            let mut pivot_row = k;
+            let mut pivot_mag = a[(k, k)].modulus();
+            for i in (k + 1)..n {
+                let mag = a[(i, k)].modulus();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if !(pivot_mag > 1e-300) {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign_flips += 1;
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let m = a[(i, k)] / pivot;
+                a[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let akj = a[(k, j)];
+                    a[(i, j)] = a[(i, j)] - m * akj;
+                }
+            }
+        }
+        Ok(Lu {
+            lu: a,
+            perm,
+            sign_flips,
+        })
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n, "dimension mismatch in solve");
+        // Apply permutation.
+        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-lower-triangular L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc = acc - self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc = acc - self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> T {
+        let n = self.lu.rows;
+        let mut d = T::one();
+        for i in 0..n {
+            d = d * self.lu[(i, i)];
+        }
+        if self.sign_flips % 2 == 1 {
+            d = -d;
+        }
+        d
+    }
+
+    /// Matrix dimension `n` of the factorized `n × n` system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = a.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-15);
+        assert!((x[1] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = a.solve(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, NumericsError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn residual_is_small_for_well_conditioned_system() {
+        let a = Matrix::from_rows(&[
+            &[10.0, -1.0, 2.0, 0.0],
+            &[-1.0, 11.0, -1.0, 3.0],
+            &[2.0, -1.0, 10.0, -1.0],
+            &[0.0, 3.0, -1.0, 8.0],
+        ]);
+        let b = [6.0, 25.0, -11.0, 15.0];
+        let x = a.solve(&b).unwrap();
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn determinant_with_pivots() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 4.0]]);
+        let lu = Lu::factorize(a).unwrap();
+        assert!((lu.det() + 6.0).abs() < 1e-12);
+        assert_eq!(lu.dim(), 2);
+    }
+
+    #[test]
+    fn complex_solve_matches_hand_computation() {
+        use crate::complex::Complex64 as C;
+        // (1+i)·x = 2  =>  x = 1 - i
+        let a = CMatrix::from_rows(&[&[C::new(1.0, 1.0)]]);
+        let x = a.solve(&[C::new(2.0, 0.0)]).unwrap();
+        assert!((x[0] - C::new(1.0, -1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complex_system_residual() {
+        use crate::complex::Complex64 as C;
+        let a = CMatrix::from_rows(&[
+            &[C::new(2.0, 1.0), C::new(-1.0, 0.5)],
+            &[C::new(0.0, -1.0), C::new(3.0, 0.0)],
+        ]);
+        let b = [C::new(1.0, 0.0), C::new(0.0, 2.0)];
+        let x = a.solve(&b).unwrap();
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((*ri - *bi).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn add_at_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_at(0, 0, 1.5);
+        a.add_at(0, 0, 2.5);
+        assert_eq!(a[(0, 0)], 4.0);
+        a.clear();
+        assert_eq!(a[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn lu_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        let _ = Lu::factorize(a);
+    }
+
+    #[test]
+    fn mul_vec_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let y = a.mul_vec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+}

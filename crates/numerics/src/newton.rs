@@ -1,0 +1,310 @@
+//! Damped Newton iteration for small nonlinear systems.
+//!
+//! Two consumers in the workspace:
+//!
+//! 1. The SHIL solver refines graphical `(φ, A)` intersections by solving the
+//!    2×2 system of eqs. (3)–(4) of the paper.
+//! 2. The circuit simulator's operating-point and transient solves, where the
+//!    residual is the KCL mismatch and the Jacobian is assembled analytically
+//!    (see `shil-circuit`); that path uses [`newton_system_with_jacobian`].
+//!
+//! The dense Jacobians here are tiny, so finite-difference Jacobians are
+//! perfectly adequate for consumer (1).
+
+use crate::error::NumericsError;
+use crate::linalg::{Lu, Matrix};
+
+/// Options controlling [`newton_system`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Residual infinity-norm at which the iteration is declared converged.
+    pub tol_residual: f64,
+    /// Step infinity-norm at which the iteration is declared converged.
+    pub tol_step: f64,
+    /// Maximum number of Newton iterations.
+    pub max_iter: usize,
+    /// Relative perturbation for finite-difference Jacobians.
+    pub fd_eps: f64,
+    /// Maximum number of step halvings in the damping line search.
+    pub max_halvings: usize,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            tol_residual: 1e-10,
+            tol_step: 1e-12,
+            max_iter: 60,
+            fd_eps: 1e-7,
+            max_halvings: 12,
+        }
+    }
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Solves `F(x) = 0` by damped Newton with a finite-difference Jacobian.
+///
+/// The residual function `f` writes its output into the provided buffer so
+/// the hot loop performs no allocation. Damping halves the step until the
+/// residual norm decreases (or `max_halvings` is reached), which keeps the
+/// iteration stable when the initial guess from the graphical pass is crude.
+///
+/// # Errors
+///
+/// - [`NumericsError::SingularMatrix`] if the Jacobian becomes singular.
+/// - [`NumericsError::NoConvergence`] on iteration exhaustion.
+///
+/// ```
+/// use shil_numerics::newton::{newton_system, NewtonOptions};
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// // Intersection of a circle and a line.
+/// let sol = newton_system(
+///     |x, r| {
+///         r[0] = x[0] * x[0] + x[1] * x[1] - 4.0;
+///         r[1] = x[1] - x[0];
+///     },
+///     &[1.0, 0.5],
+///     &NewtonOptions::default(),
+/// )?;
+/// assert!((sol[0] - 2f64.sqrt()).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn newton_system<F>(
+    mut f: F,
+    x0: &[f64],
+    opts: &NewtonOptions,
+) -> Result<Vec<f64>, NumericsError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let n = x0.len();
+    assert!(n > 0, "empty system");
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; n];
+    let mut r_trial = vec![0.0; n];
+    let mut xp = vec![0.0; n];
+    let mut jac = Matrix::zeros(n, n);
+
+    f(&x, &mut r);
+    let mut rnorm = inf_norm(&r);
+
+    for iter in 0..opts.max_iter {
+        if rnorm < opts.tol_residual {
+            return Ok(x);
+        }
+        // Finite-difference Jacobian, column by column.
+        for j in 0..n {
+            xp.copy_from_slice(&x);
+            let h = opts.fd_eps * (1.0 + x[j].abs());
+            xp[j] += h;
+            f(&xp, &mut r_trial);
+            for i in 0..n {
+                jac[(i, j)] = (r_trial[i] - r[i]) / h;
+            }
+        }
+        let lu = Lu::factorize(jac.clone())?;
+        let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
+        let dx = lu.solve(&neg_r);
+        let step_norm = inf_norm(&dx);
+        if step_norm < opts.tol_step {
+            return Ok(x);
+        }
+        // Damped line search: halve until the residual norm decreases.
+        let mut lambda = 1.0;
+        let mut accepted = false;
+        for _ in 0..=opts.max_halvings {
+            for i in 0..n {
+                xp[i] = x[i] + lambda * dx[i];
+            }
+            f(&xp, &mut r_trial);
+            let trial_norm = inf_norm(&r_trial);
+            if trial_norm.is_finite() && trial_norm < rnorm {
+                x.copy_from_slice(&xp);
+                r.copy_from_slice(&r_trial);
+                rnorm = trial_norm;
+                accepted = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            // Accept the smallest step anyway (may help escape flat regions),
+            // but if this happens on the last iteration we will error out below.
+            for i in 0..n {
+                x[i] += lambda * dx[i];
+            }
+            f(&x, &mut r);
+            rnorm = inf_norm(&r);
+        }
+        let _ = iter;
+    }
+    if rnorm < opts.tol_residual {
+        Ok(x)
+    } else {
+        Err(NumericsError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: rnorm,
+        })
+    }
+}
+
+/// Solves `F(x) = 0` given a caller-assembled residual *and* Jacobian.
+///
+/// The closure fills `r` with the residual and `jac` with `∂F/∂x` at `x`.
+/// Used by the circuit simulator, whose device stamps produce the Jacobian
+/// analytically during assembly.
+///
+/// # Errors
+///
+/// Same failure modes as [`newton_system`].
+pub fn newton_system_with_jacobian<F>(
+    mut f: F,
+    x0: &[f64],
+    opts: &NewtonOptions,
+) -> Result<Vec<f64>, NumericsError>
+where
+    F: FnMut(&[f64], &mut [f64], &mut Matrix),
+{
+    let n = x0.len();
+    assert!(n > 0, "empty system");
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; n];
+    let mut r_trial = vec![0.0; n];
+    let mut xp = vec![0.0; n];
+    let mut jac = Matrix::zeros(n, n);
+    let mut jac_trial = Matrix::zeros(n, n);
+
+    f(&x, &mut r, &mut jac);
+    let mut rnorm = inf_norm(&r);
+
+    for _ in 0..opts.max_iter {
+        if rnorm < opts.tol_residual {
+            return Ok(x);
+        }
+        let lu = Lu::factorize(jac.clone())?;
+        let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
+        let dx = lu.solve(&neg_r);
+        if inf_norm(&dx) < opts.tol_step {
+            return Ok(x);
+        }
+        let mut lambda = 1.0;
+        let mut accepted = false;
+        for _ in 0..=opts.max_halvings {
+            for i in 0..n {
+                xp[i] = x[i] + lambda * dx[i];
+            }
+            f(&xp, &mut r_trial, &mut jac_trial);
+            let trial_norm = inf_norm(&r_trial);
+            if trial_norm.is_finite() && trial_norm < rnorm {
+                x.copy_from_slice(&xp);
+                r.copy_from_slice(&r_trial);
+                std::mem::swap(&mut jac, &mut jac_trial);
+                rnorm = trial_norm;
+                accepted = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !accepted {
+            for i in 0..n {
+                x[i] += lambda * dx[i];
+            }
+            f(&x, &mut r, &mut jac);
+            rnorm = inf_norm(&r);
+        }
+    }
+    if rnorm < opts.tol_residual {
+        Ok(x)
+    } else {
+        Err(NumericsError::NoConvergence {
+            iterations: opts.max_iter,
+            residual: rnorm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_system_matches_brent() {
+        let sol = newton_system(
+            |x, r| r[0] = x[0] * x[0] - 2.0,
+            &[1.0],
+            &NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!((sol[0] - 2f64.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn two_by_two_nonlinear() {
+        // Rosenbrock-style stationarity system: x = y², y = x² has the
+        // nontrivial solution (1, 1).
+        let sol = newton_system(
+            |x, r| {
+                r[0] = x[0] - x[1] * x[1];
+                r[1] = x[1] - x[0] * x[0];
+            },
+            &[0.8, 1.2],
+            &NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!((sol[0] - 1.0).abs() < 1e-8);
+        assert!((sol[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn damping_rescues_bad_initial_guess() {
+        // exp(x) - 1 = 0 from a large positive start needs damping.
+        let sol = newton_system(
+            |x, r| r[0] = x[0].exp() - 1.0,
+            &[5.0],
+            &NewtonOptions {
+                max_iter: 200,
+                ..NewtonOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(sol[0].abs() < 1e-8);
+    }
+
+    #[test]
+    fn with_jacobian_variant_agrees() {
+        let sol = newton_system_with_jacobian(
+            |x, r, j| {
+                r[0] = x[0] * x[0] + x[1] * x[1] - 4.0;
+                r[1] = x[1] - x[0];
+                j[(0, 0)] = 2.0 * x[0];
+                j[(0, 1)] = 2.0 * x[1];
+                j[(1, 0)] = -1.0;
+                j[(1, 1)] = 1.0;
+            },
+            &[1.0, 0.5],
+            &NewtonOptions::default(),
+        )
+        .unwrap();
+        assert!((sol[0] - 2f64.sqrt()).abs() < 1e-8);
+        assert!((sol[1] - 2f64.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reports_no_convergence_for_rootless_residual() {
+        let e = newton_system(
+            |x, r| r[0] = x[0] * x[0] + 1.0,
+            &[3.0],
+            &NewtonOptions {
+                max_iter: 25,
+                ..NewtonOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, NumericsError::NoConvergence { .. }));
+    }
+}

@@ -1,0 +1,171 @@
+//! Quadrature rules.
+//!
+//! The harmonic pre-characterization of a memoryless nonlinearity integrates
+//! `f(A·cosθ + 2V_i·cos(nθ + φ))·e^{−jkθ}` over one period. For smooth
+//! periodic integrands the composite trapezoid rule converges *spectrally*
+//! (faster than any polynomial order), which is why [`periodic_mean`]
+//! is the workhorse of `shil-core::harmonics`.
+
+use crate::complex::Complex64;
+
+/// Composite trapezoid rule on `[a, b]` with `n` uniform subintervals.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// ```
+/// use shil_numerics::quad::trapezoid;
+///
+/// let approx = trapezoid(|x: f64| x * x, 0.0, 1.0, 1000);
+/// assert!((approx - 1.0 / 3.0).abs() < 1e-6);
+/// ```
+pub fn trapezoid<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 1, "at least one subinterval required");
+    let h = (b - a) / n as f64;
+    let mut acc = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        acc += f(a + h * i as f64);
+    }
+    acc * h
+}
+
+/// Composite Simpson rule on `[a, b]` with `n` (even) subintervals.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or odd.
+pub fn simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 2 && n % 2 == 0, "simpson requires an even n >= 2");
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(a + h * i as f64);
+    }
+    acc * h / 3.0
+}
+
+/// Mean of a periodic function over one period `[0, 2π)` using `n` samples.
+///
+/// For `f` smooth and 2π-periodic this is the spectrally accurate periodic
+/// trapezoid rule (the endpoint sample is implied by periodicity).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn periodic_mean<F: FnMut(f64) -> f64>(mut f: F, n: usize) -> f64 {
+    assert!(n >= 1, "at least one sample required");
+    let h = std::f64::consts::TAU / n as f64;
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += f(h * i as f64);
+    }
+    acc / n as f64
+}
+
+/// `k`-th complex Fourier coefficient of a real 2π-periodic function:
+/// `c_k = (1/2π) ∫₀^{2π} f(θ) e^{−jkθ} dθ`, by the periodic trapezoid rule.
+///
+/// This is exactly the `I_k` of eq. (1) in the paper when `f` is the current
+/// waveform of the nonlinearity sampled over one period.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// ```
+/// use shil_numerics::quad::fourier_coefficient;
+///
+/// // f(θ) = cos θ has c₁ = 1/2.
+/// let c1 = fourier_coefficient(|t: f64| t.cos(), 1, 256);
+/// assert!((c1.re - 0.5).abs() < 1e-12);
+/// assert!(c1.im.abs() < 1e-12);
+/// ```
+pub fn fourier_coefficient<F: FnMut(f64) -> f64>(mut f: F, k: i32, n: usize) -> Complex64 {
+    assert!(n >= 1, "at least one sample required");
+    let h = std::f64::consts::TAU / n as f64;
+    let mut acc = Complex64::ZERO;
+    for i in 0..n {
+        let theta = h * i as f64;
+        let phase = -(k as f64) * theta;
+        acc += Complex64::from_polar(f(theta), phase);
+    }
+    acc / n as f64
+}
+
+/// Composite trapezoid integral of uniformly sampled data with spacing `dt`.
+///
+/// # Panics
+///
+/// Panics if `samples.len() < 2`.
+pub fn trapezoid_samples(samples: &[f64], dt: f64) -> f64 {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let inner: f64 = samples[1..samples.len() - 1].iter().sum();
+    dt * (0.5 * (samples[0] + samples[samples.len() - 1]) + inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{PI, TAU};
+
+    #[test]
+    fn trapezoid_exact_for_linear() {
+        let v = trapezoid(|x| 3.0 * x + 1.0, 0.0, 2.0, 1);
+        assert!((v - 8.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn simpson_exact_for_cubic() {
+        let v = simpson(|x| x * x * x, 0.0, 1.0, 2);
+        assert!((v - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn periodic_trapezoid_is_spectrally_accurate() {
+        // ∫ e^{cos θ} dθ / 2π = I₀(1) (modified Bessel) ≈ 1.2660658777520084
+        let v = periodic_mean(|t: f64| t.cos().exp(), 32);
+        assert!((v - 1.266_065_877_752_008_4).abs() < 1e-13);
+    }
+
+    #[test]
+    fn fourier_coefficient_of_pure_harmonics() {
+        // f = 2cos(3θ) + sin(θ): c₃ = 1, c₁ = −j/2, c₂ = 0.
+        let f = |t: f64| 2.0 * (3.0 * t).cos() + t.sin();
+        let c3 = fourier_coefficient(f, 3, 128);
+        assert!((c3.re - 1.0).abs() < 1e-12 && c3.im.abs() < 1e-12);
+        let c1 = fourier_coefficient(f, 1, 128);
+        assert!(c1.re.abs() < 1e-12 && (c1.im + 0.5).abs() < 1e-12);
+        let c2 = fourier_coefficient(f, 2, 128);
+        assert!(c2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn fourier_negative_index_is_conjugate_for_real_signal() {
+        let f = |t: f64| (t.cos() * 2.0).tanh();
+        let c1 = fourier_coefficient(f, 1, 512);
+        let cm1 = fourier_coefficient(f, -1, 512);
+        assert!((c1.conj() - cm1).abs() < 1e-13);
+    }
+
+    #[test]
+    fn clipped_cosine_fundamental_matches_theory() {
+        // Hard limiter sgn(cos θ): fundamental cosine amplitude is 4/π,
+        // so c₁ = 2/π. This is the saturated-oscillator describing function.
+        let c1 = fourier_coefficient(|t: f64| t.cos().signum(), 1, 4096);
+        assert!((c1.re - 2.0 / PI).abs() < 5e-3);
+        // The discontinuity sampling leaves O(1/N) asymmetry in the
+        // imaginary part.
+        assert!(c1.im.abs() < 1e-3);
+    }
+
+    #[test]
+    fn trapezoid_samples_matches_function_version() {
+        let n = 100;
+        let dt = TAU / n as f64;
+        let samples: Vec<f64> = (0..=n).map(|i| (dt * i as f64).sin().powi(2)).collect();
+        let v = trapezoid_samples(&samples, dt);
+        assert!((v - PI).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,378 @@
+//! One-dimensional root finding: bracketing, bisection, Brent and Newton.
+//!
+//! The describing-function solvers reduce to scalar root problems —
+//! `T_f(A) − 1 = 0` for the natural-oscillation amplitude, and the lock-range
+//! boundary search in `|φ_d|` — so robust bracketing methods are the
+//! workhorses here. Brent's method is the default; Newton is provided for
+//! polishing with analytic derivatives.
+
+use crate::error::NumericsError;
+
+/// Scans `[a, b]` with `n` uniform subintervals and returns every
+/// subinterval across which `f` changes sign.
+///
+/// This is the standard "one pass" sweep that the paper's graphical method
+/// performs implicitly when it draws a curve and reads off intersections:
+/// every sign change of the residual corresponds to a crossing.
+///
+/// Intervals where either endpoint is non-finite are skipped. An exact zero
+/// at a sample point is returned as a degenerate bracket `(x, x)`.
+///
+/// ```
+/// use shil_numerics::roots::bracket_scan;
+///
+/// let brackets = bracket_scan(|x: f64| x.sin(), -0.5, 7.0, 100);
+/// assert_eq!(brackets.len(), 3); // roots at 0, π, 2π
+/// ```
+pub fn bracket_scan<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> Vec<(f64, f64)> {
+    assert!(n >= 1, "at least one subinterval required");
+    assert!(b > a, "bracket_scan requires b > a");
+    let mut out = Vec::new();
+    let h = (b - a) / n as f64;
+    let mut x0 = a;
+    let mut f0 = f(a);
+    for i in 1..=n {
+        let x1 = a + h * i as f64;
+        let f1 = f(x1);
+        if f0.is_finite() && f1.is_finite() {
+            if f0 == 0.0 {
+                out.push((x0, x0));
+            } else if f0 * f1 < 0.0 {
+                out.push((x0, x1));
+            }
+        }
+        x0 = x1;
+        f0 = f1;
+    }
+    if f0 == 0.0 {
+        out.push((x0, x0));
+    }
+    out
+}
+
+/// Bisection on a sign-changing bracket.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidBracket`] if `f(a)` and `f(b)` have the same sign.
+/// - [`NumericsError::NoConvergence`] if the interval does not shrink below
+///   `tol` within `max_iter` halvings.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericsError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumericsError::InvalidBracket { a, b });
+    }
+    for _ in 0..max_iter {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(m);
+        }
+        if fa * fm < 0.0 {
+            b = m;
+        } else {
+            a = m;
+            fa = fm;
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: max_iter,
+        residual: (b - a).abs(),
+    })
+}
+
+/// Brent's method: inverse-quadratic/secant steps guarded by bisection.
+///
+/// The default scalar solver of the workspace — superlinear on smooth
+/// residuals (like `T_f(A) − 1`) yet guaranteed to converge on any valid
+/// bracket.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidBracket`] if `[a, b]` does not bracket a root.
+/// - [`NumericsError::NoConvergence`] on iteration exhaustion.
+///
+/// ```
+/// use shil_numerics::roots::brent;
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// let r = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-14, 100)?;
+/// assert!((r - 2f64.sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericsError> {
+    let mut xa = a;
+    let mut xb = b;
+    let mut fa = f(xa);
+    let mut fb = f(xb);
+    if fa == 0.0 {
+        return Ok(xa);
+    }
+    if fb == 0.0 {
+        return Ok(xb);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumericsError::InvalidBracket { a, b });
+    }
+    // Ensure |f(xb)| <= |f(xa)|: xb is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut xa, &mut xb);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut xc = xa;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut xd = xa; // previous xc; only read after first iteration
+    for _ in 0..max_iter {
+        if fb == 0.0 || (xb - xa).abs() < tol {
+            return Ok(xb);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            xa * fb * fc / ((fa - fb) * (fa - fc))
+                + xb * fa * fc / ((fb - fa) * (fb - fc))
+                + xc * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant step.
+            xb - fb * (xb - xa) / (fb - fa)
+        };
+
+        let lo = (3.0 * xa + xb) / 4.0;
+        let hi = xb;
+        let (lo, hi) = if lo < hi { (lo, hi) } else { (hi, lo) };
+        let cond1 = s < lo || s > hi;
+        let cond2 = mflag && (s - xb).abs() >= (xb - xc).abs() / 2.0;
+        let cond3 = !mflag && (s - xb).abs() >= (xc - xd).abs() / 2.0;
+        let cond4 = mflag && (xb - xc).abs() < tol;
+        let cond5 = !mflag && (xc - xd).abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (xa + xb);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        xd = xc;
+        xc = xb;
+        fc = fb;
+        if fa * fs < 0.0 {
+            xb = s;
+            fb = fs;
+        } else {
+            xa = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut xa, &mut xb);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: max_iter,
+        residual: fb.abs(),
+    })
+}
+
+/// Newton's method with a caller-provided derivative.
+///
+/// Steps are clamped to the optional `bounds` interval if given. Used to
+/// polish solutions found by the graphical (grid) pass.
+///
+/// # Errors
+///
+/// - [`NumericsError::NoConvergence`] on iteration exhaustion or when the
+///   derivative vanishes.
+pub fn newton<F, D>(
+    mut f: F,
+    mut df: D,
+    x0: f64,
+    tol: f64,
+    max_iter: usize,
+    bounds: Option<(f64, f64)>,
+) -> Result<f64, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+    D: FnMut(f64) -> f64,
+{
+    let mut x = x0;
+    for i in 0..max_iter {
+        let fx = f(x);
+        if fx.abs() < tol {
+            return Ok(x);
+        }
+        let dfx = df(x);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(NumericsError::NoConvergence {
+                iterations: i,
+                residual: fx.abs(),
+            });
+        }
+        let mut xn = x - fx / dfx;
+        if let Some((lo, hi)) = bounds {
+            xn = xn.clamp(lo, hi);
+        }
+        if (xn - x).abs() < tol * (1.0 + x.abs()) {
+            return Ok(xn);
+        }
+        x = xn;
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: max_iter,
+        residual: f(x).abs(),
+    })
+}
+
+/// Finds **all** roots of `f` on `[a, b]` by a scan-then-Brent sweep.
+///
+/// This mirrors the paper's "exactly one pass" graphical philosophy: a
+/// uniform scan finds every sign change, then each bracket is polished.
+/// Roots closer together than the scan resolution `(b − a)/n` may be missed;
+/// choose `n` from problem knowledge (the DF curves here are smooth and have
+/// a small number of crossings).
+///
+/// # Errors
+///
+/// Propagates failures from [`brent`] on any bracket (the scan itself cannot
+/// fail).
+pub fn all_roots<F: FnMut(f64) -> f64 + Copy>(
+    f: F,
+    a: f64,
+    b: f64,
+    n: usize,
+    tol: f64,
+) -> Result<Vec<f64>, NumericsError> {
+    let mut roots = Vec::new();
+    for (lo, hi) in bracket_scan(f, a, b, n) {
+        if lo == hi {
+            roots.push(lo);
+        } else {
+            roots.push(brent(f, lo, hi, tol, 200)?);
+        }
+    }
+    Ok(roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(e, NumericsError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn brent_converges_fast_on_smooth_function() {
+        let mut evals = 0usize;
+        let r = brent(
+            |x| {
+                evals += 1;
+                x.exp() - 2.0
+            },
+            0.0,
+            1.0,
+            1e-14,
+            100,
+        )
+        .unwrap();
+        assert!((r - 2f64.ln()).abs() < 1e-12);
+        assert!(evals < 20, "brent took {evals} evaluations");
+    }
+
+    #[test]
+    fn brent_handles_root_at_endpoint() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-14, 100).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-14, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn brent_flat_tail_function() {
+        // tanh-style saturation, the shape of T_f(A) − 1 for LC oscillators.
+        let r = brent(|x: f64| (2.0 * (1.0 - x)).tanh(), 0.0, 3.0, 1e-13, 100).unwrap();
+        assert!((r - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_with_derivative() {
+        let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, 1e-14, 50, None).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_respects_bounds() {
+        // Without bounds Newton from x0=0.1 on 1/x - 1 overshoots; with a
+        // clamp to [0.05, 10] it still converges to x = 1.
+        let r = newton(
+            |x| 1.0 / x - 1.0,
+            |x| -1.0 / (x * x),
+            0.1,
+            1e-13,
+            200,
+            Some((0.05, 10.0)),
+        )
+        .unwrap();
+        assert!((r - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn newton_zero_derivative_errors() {
+        let e = newton(|_| 1.0, |_| 0.0, 0.0, 1e-12, 10, None).unwrap_err();
+        assert!(matches!(e, NumericsError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn all_roots_of_sine() {
+        let roots = all_roots(|x: f64| x.sin(), 0.5, 10.0, 400, 1e-13).unwrap();
+        assert_eq!(roots.len(), 3);
+        for (k, r) in roots.iter().enumerate() {
+            assert!((r - PI * (k + 1) as f64).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bracket_scan_detects_exact_zero_sample() {
+        let brackets = bracket_scan(|x| x, -1.0, 1.0, 2);
+        // x = 0 is a sample point and must be reported (as a degenerate bracket).
+        assert!(brackets.iter().any(|&(a, b)| a == b && a == 0.0));
+    }
+
+    #[test]
+    fn bracket_scan_skips_nan_regions() {
+        let brackets = bracket_scan(
+            |x: f64| if x.abs() < 0.1 { f64::NAN } else { x },
+            -1.0,
+            1.0,
+            10,
+        );
+        // The sign change is hidden inside the NaN region; no false bracket.
+        assert!(brackets.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based invariants for the numerical kernels.
+
+use proptest::prelude::*;
+use shil_numerics::complex::Complex64;
+use shil_numerics::contour::marching_squares;
+use shil_numerics::fft::{fft_in_place, ifft_in_place};
+use shil_numerics::grid::Grid2;
+use shil_numerics::interp::Pchip;
+use shil_numerics::linalg::{Lu, Matrix};
+use shil_numerics::roots::brent;
+use shil_numerics::wrap_angle;
+
+proptest! {
+    #[test]
+    fn wrap_angle_always_in_principal_range(theta in -1e6f64..1e6f64) {
+        let w = wrap_angle(theta);
+        prop_assert!(w > -std::f64::consts::PI - 1e-9);
+        prop_assert!(w <= std::f64::consts::PI + 1e-9);
+    }
+
+    #[test]
+    fn wrap_angle_is_periodic(theta in -100.0f64..100.0f64) {
+        let a = wrap_angle(theta);
+        let b = wrap_angle(theta + std::f64::consts::TAU);
+        // Compare as complex phases to avoid branch-point flakiness.
+        let za = Complex64::from_polar(1.0, a);
+        let zb = Complex64::from_polar(1.0, b);
+        prop_assert!((za - zb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_field_axioms(
+        ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+        br in -10.0f64..10.0, bi in -10.0f64..10.0,
+        cr in -10.0f64..10.0, ci in -10.0f64..10.0,
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let c = Complex64::new(cr, ci);
+        // Distributivity.
+        prop_assert!((a * (b + c) - (a * b + a * c)).abs() < 1e-9);
+        // Commutativity.
+        prop_assert!((a * b - b * a).abs() == 0.0);
+        // |ab| = |a||b| (up to rounding).
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + a.abs() * b.abs()));
+    }
+
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(
+        seed in prop::array::uniform32(-1.0f64..1.0),
+        rhs in prop::array::uniform4(-10.0f64..10.0),
+    ) {
+        // Build a 4x4 strictly diagonally dominant (hence nonsingular) matrix.
+        let mut a = Matrix::zeros(4, 4);
+        let mut idx = 0;
+        for i in 0..4 {
+            let mut row_sum = 0.0;
+            for j in 0..4 {
+                if i != j {
+                    a[(i, j)] = seed[idx % 32];
+                    row_sum += a[(i, j)].abs();
+                }
+                idx += 1;
+            }
+            a[(i, i)] = row_sum + 1.0;
+        }
+        let x = a.solve(&rhs).expect("dominant matrix is nonsingular");
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&rhs) {
+            prop_assert!((ri - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lu_determinant_of_permuted_identity_is_unit(perm in 0usize..24) {
+        // Generate one of the 24 permutations of 4 indices.
+        let mut items = vec![0usize, 1, 2, 3];
+        let mut p = perm;
+        let mut order = Vec::new();
+        for k in (1..=4).rev() {
+            order.push(items.remove(p % k));
+            p /= k;
+        }
+        let mut a = Matrix::zeros(4, 4);
+        for (i, &j) in order.iter().enumerate() {
+            a[(i, j)] = 1.0;
+        }
+        let lu = Lu::factorize(a).expect("permutation matrix is nonsingular");
+        prop_assert!((lu.det().abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_signal(values in prop::collection::vec(-100.0f64..100.0, 32)) {
+        let orig: Vec<Complex64> = values.iter().map(|&v| Complex64::new(v, -0.5 * v)).collect();
+        let mut x = orig.clone();
+        fft_in_place(&mut x).expect("length 32 is a power of two");
+        ifft_in_place(&mut x).expect("length 32 is a power of two");
+        let scale = values.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-10 * scale);
+        }
+    }
+
+    #[test]
+    fn pchip_stays_within_data_hull_on_monotone_data(
+        mut ys in prop::collection::vec(-5.0f64..5.0, 6..12),
+        q in 0.0f64..1.0,
+    ) {
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Deduplicate to keep the data strictly usable (equal values are fine
+        // for y, only x must be strictly increasing).
+        let n = ys.len();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let p = Pchip::new(xs, ys.clone()).expect("valid axes");
+        let xq = q * (n - 1) as f64;
+        let v = p.eval(xq).expect("inside domain");
+        prop_assert!(v >= ys[0] - 1e-9 && v <= ys[n - 1] + 1e-9,
+            "interpolant {v} escapes hull [{}, {}]", ys[0], ys[n - 1]);
+    }
+
+    #[test]
+    fn brent_finds_root_of_odd_cubic(a in 0.1f64..5.0, b in -2.0f64..2.0) {
+        // f(x) = a(x − b)³ + (x − b): odd around b, strictly increasing.
+        let f = |x: f64| a * (x - b).powi(3) + (x - b);
+        let r = brent(f, b - 10.0, b + 10.0, 1e-13, 200).expect("bracketed");
+        prop_assert!((r - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn marching_squares_points_lie_on_level(
+        ax in -3.0f64..3.0,
+        by in -3.0f64..3.0,
+        level in -1.0f64..1.0,
+    ) {
+        prop_assume!(ax.abs() + by.abs() > 0.1);
+        let g = Grid2::from_fn(-1.0, 1.0, 41, -1.0, 1.0, 41, |x, y| ax * x + by * y)
+            .expect("valid grid");
+        let curves = marching_squares(&g, level).expect("level is finite");
+        for c in &curves {
+            for p in &c.points {
+                // Linear fields are reproduced exactly by linear edge
+                // interpolation.
+                prop_assert!((ax * p.x + by * p.y - level).abs() < 1e-9);
+            }
+        }
+    }
+}

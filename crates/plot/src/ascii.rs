@@ -1,0 +1,169 @@
+//! ASCII rendering for terminal previews.
+
+use crate::figure::{Figure, SeriesKind};
+
+/// Glyph cycle for line series (scatter series use their own markers).
+const LINE_GLYPHS: [char; 6] = ['#', '+', '.', '%', '@', '='];
+
+/// Renders the figure onto a `width × height` character canvas with a
+/// simple frame, axis ranges and a legend.
+///
+/// Series are drawn in order, later series overwriting earlier ones where
+/// they collide (markers always win over lines).
+pub fn render(fig: &Figure, width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(6);
+    let mut out = String::new();
+    out.push_str(&fig.title);
+    out.push('\n');
+
+    let Some((x0, x1, y0, y1)) = fig.bounds() else {
+        out.push_str("(no data)\n");
+        return out;
+    };
+
+    let mut canvas = vec![vec![' '; width]; height];
+    let to_col = |x: f64| -> Option<usize> {
+        let t = (x - x0) / (x1 - x0);
+        if !(0.0..=1.0).contains(&t) {
+            return None;
+        }
+        Some(((t * (width - 1) as f64).round() as usize).min(width - 1))
+    };
+    let to_row = |y: f64| -> Option<usize> {
+        let t = (y - y0) / (y1 - y0);
+        if !(0.0..=1.0).contains(&t) {
+            return None;
+        }
+        Some(height - 1 - ((t * (height - 1) as f64).round() as usize).min(height - 1))
+    };
+
+    // Lines first, markers on top.
+    for (si, s) in fig.series.iter().enumerate() {
+        if s.kind != SeriesKind::Line {
+            continue;
+        }
+        let glyph = LINE_GLYPHS[si % LINE_GLYPHS.len()];
+        for w in s.x.windows(2).zip(s.y.windows(2)) {
+            let ((xa, xb), (ya, yb)) = ((w.0[0], w.0[1]), (w.1[0], w.1[1]));
+            if ![xa, xb, ya, yb].iter().all(|v| v.is_finite()) {
+                continue;
+            }
+            // Sample along the segment at sub-cell resolution.
+            let steps = 2 * width.max(height);
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let x = xa + t * (xb - xa);
+                let y = ya + t * (yb - ya);
+                if let (Some(c), Some(r)) = (to_col(x), to_row(y)) {
+                    canvas[r][c] = glyph;
+                }
+            }
+        }
+    }
+    for s in &fig.series {
+        if s.kind != SeriesKind::Scatter {
+            continue;
+        }
+        for (&x, &y) in s.x.iter().zip(&s.y) {
+            if let (Some(c), Some(r)) = (to_col(x), to_row(y)) {
+                canvas[r][c] = s.marker.glyph();
+            }
+        }
+    }
+
+    // Frame + canvas.
+    let hline: String = std::iter::repeat('-').take(width).collect();
+    out.push_str(&format!("{y1:>12.5e} +{hline}+\n", y1 = y1));
+    for (r, row) in canvas.iter().enumerate() {
+        let label = if r == height - 1 {
+            format!("{y0:>12.5e}")
+        } else {
+            " ".repeat(12)
+        };
+        out.push_str(&format!("{label} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("{:>13}+{hline}+\n", " "));
+    out.push_str(&format!(
+        "{:>14}{x0:<.5e}{:>pad$}{x1:.5e}   ({x_label})\n",
+        "",
+        "",
+        pad = width.saturating_sub(24),
+        x0 = x0,
+        x1 = x1,
+        x_label = fig.x_label,
+    ));
+    // Legend.
+    for (si, s) in fig.series.iter().enumerate() {
+        let glyph = match s.kind {
+            SeriesKind::Line => LINE_GLYPHS[si % LINE_GLYPHS.len()],
+            SeriesKind::Scatter => s.marker.glyph(),
+        };
+        out.push_str(&format!("  {glyph} {}\n", s.label));
+    }
+    if !fig.y_label.is_empty() {
+        out.push_str(&format!("  (y: {})\n", fig.y_label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::figure::{Figure, Marker, Series};
+
+    #[test]
+    fn renders_title_legend_and_frame() {
+        let fig = Figure::new("demo figure")
+            .with_axis_labels("x", "y")
+            .with_series(Series::line(
+                "ramp",
+                vec![0.0, 1.0, 2.0],
+                vec![0.0, 1.0, 2.0],
+            ));
+        let art = fig.render_ascii(40, 10);
+        assert!(art.contains("demo figure"));
+        assert!(art.contains("ramp"));
+        assert!(art.contains('#'));
+        assert!(art.contains("(y: y)"));
+    }
+
+    #[test]
+    fn empty_figure_says_no_data() {
+        let fig = Figure::new("empty");
+        assert!(fig.render_ascii(40, 10).contains("(no data)"));
+    }
+
+    #[test]
+    fn scatter_markers_overwrite_lines() {
+        let fig = Figure::new("t")
+            .with_series(Series::line("l", vec![0.0, 1.0], vec![0.0, 0.0]))
+            .with_series(Series::scatter("s", vec![0.5], vec![0.0], Marker::Star));
+        let art = fig.render_ascii(30, 8);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn diagonal_line_occupies_both_corners() {
+        let fig = Figure::new("t").with_series(Series::line(
+            "d",
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ));
+        let art = fig.render_ascii(30, 10);
+        let rows: Vec<&str> = art
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        // First canvas row holds the top-right end, last the bottom-left.
+        assert!(rows.first().expect("rows").trim_end().ends_with("#|"));
+        assert!(rows.last().expect("rows").contains("|#"));
+    }
+
+    #[test]
+    fn minimum_canvas_is_enforced() {
+        let fig = Figure::new("t").with_series(Series::line("l", vec![0.0, 1.0], vec![0.0, 1.0]));
+        // Tiny requested sizes are clamped rather than panicking.
+        let art = fig.render_ascii(1, 1);
+        assert!(art.contains('#'));
+    }
+}

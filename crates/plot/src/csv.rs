@@ -1,0 +1,71 @@
+//! CSV export of figure series.
+
+use std::fmt::Write as _;
+
+use crate::figure::Figure;
+use crate::{PlotError, Result};
+
+/// Renders all series of a figure into long-format CSV:
+/// `series,x,y` with one row per point.
+///
+/// Long format keeps series of different lengths (e.g. a contour polyline
+/// next to a handful of solution markers) in one self-describing file.
+///
+/// # Errors
+///
+/// Returns [`PlotError::EmptyFigure`] when no series contains any points.
+pub fn render(fig: &Figure) -> Result<String> {
+    if fig.series.iter().all(|s| s.x.is_empty()) {
+        return Err(PlotError::EmptyFigure);
+    }
+    let mut out = String::from("series,x,y\n");
+    for s in &fig.series {
+        let label = s.label.replace(',', ";");
+        for (&x, &y) in s.x.iter().zip(&s.y) {
+            let _ = writeln!(out, "{label},{x:.12e},{y:.12e}");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure::{Figure, Series};
+
+    #[test]
+    fn long_format_rows() {
+        let fig = Figure::new("t")
+            .with_series(Series::line("a,b", vec![1.0, 2.0], vec![3.0, 4.0]))
+            .with_series(Series::line("c", vec![5.0], vec![6.0]));
+        let csv = render(&fig).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,y");
+        assert_eq!(lines.len(), 4);
+        // Commas in labels are sanitized.
+        assert!(lines[1].starts_with("a;b,"));
+        assert!(lines[3].starts_with("c,"));
+    }
+
+    #[test]
+    fn empty_figure_is_an_error() {
+        let fig = Figure::new("t").with_series(Series::line("a", vec![], vec![]));
+        assert!(matches!(render(&fig), Err(PlotError::EmptyFigure)));
+    }
+
+    #[test]
+    fn values_roundtrip_through_parse() {
+        let fig = Figure::new("t").with_series(Series::line(
+            "a",
+            vec![1.234567890123e-7],
+            vec![-9.87e3],
+        ));
+        let csv = render(&fig).unwrap();
+        let row = csv.lines().nth(1).unwrap();
+        let cols: Vec<&str> = row.split(',').collect();
+        let x: f64 = cols[1].parse().unwrap();
+        let y: f64 = cols[2].parse().unwrap();
+        assert!((x - 1.234567890123e-7).abs() < 1e-18);
+        assert!((y + 9.87e3).abs() < 1e-6);
+    }
+}

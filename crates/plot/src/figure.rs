@@ -1,0 +1,262 @@
+//! The backend-independent figure model.
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeriesKind {
+    /// Points joined in order.
+    #[default]
+    Line,
+    /// Individual markers (e.g. lock solutions).
+    Scatter,
+}
+
+/// Marker glyph for scatter series (and ASCII rendering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Marker {
+    /// A filled circle (`o` in ASCII).
+    Circle,
+    /// A cross (`x` in ASCII) — used for unstable solutions.
+    Cross,
+    /// A star (`*` in ASCII).
+    Star,
+}
+
+impl Marker {
+    /// ASCII glyph for this marker.
+    pub fn glyph(self) -> char {
+        match self {
+            Marker::Circle => 'o',
+            Marker::Cross => 'x',
+            Marker::Star => '*',
+        }
+    }
+}
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// X coordinates.
+    pub x: Vec<f64>,
+    /// Y coordinates.
+    pub y: Vec<f64>,
+    /// Line or scatter.
+    pub kind: SeriesKind,
+    /// Marker for scatter series.
+    pub marker: Marker,
+}
+
+impl Series {
+    /// A line series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ.
+    pub fn line(label: &str, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series length mismatch");
+        Series {
+            label: label.to_string(),
+            x,
+            y,
+            kind: SeriesKind::Line,
+            marker: Marker::Circle,
+        }
+    }
+
+    /// A scatter series with the given marker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ.
+    pub fn scatter(label: &str, x: Vec<f64>, y: Vec<f64>, marker: Marker) -> Self {
+        assert_eq!(x.len(), y.len(), "series length mismatch");
+        Series {
+            label: label.to_string(),
+            x,
+            y,
+            kind: SeriesKind::Scatter,
+            marker,
+        }
+    }
+
+    /// Finite-sample bounding box `(x_min, x_max, y_min, y_max)`, if any
+    /// finite points exist.
+    pub fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut b: Option<(f64, f64, f64, f64)> = None;
+        for (&x, &y) in self.x.iter().zip(&self.y) {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            b = Some(match b {
+                None => (x, x, y, y),
+                Some((x0, x1, y0, y1)) => (x0.min(x), x1.max(x), y0.min(y), y1.max(y)),
+            });
+        }
+        b
+    }
+}
+
+/// A titled collection of series with axis labels.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Figure {
+    /// Figure title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series, in draw order.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(title: &str) -> Self {
+        Figure {
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the axis labels.
+    #[must_use]
+    pub fn with_axis_labels(mut self, x: &str, y: &str) -> Self {
+        self.x_label = x.to_string();
+        self.y_label = y.to_string();
+        self
+    }
+
+    /// Appends a series.
+    #[must_use]
+    pub fn with_series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Appends a series in place.
+    pub fn push_series(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Joint bounding box of all series (None when nothing is drawable).
+    pub fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut acc: Option<(f64, f64, f64, f64)> = None;
+        for s in &self.series {
+            if let Some((x0, x1, y0, y1)) = s.bounds() {
+                acc = Some(match acc {
+                    None => (x0, x1, y0, y1),
+                    Some((a0, a1, b0, b1)) => (a0.min(x0), a1.max(x1), b0.min(y0), b1.max(y1)),
+                });
+            }
+        }
+        // Degenerate ranges get padded so the mapping stays invertible.
+        acc.map(|(x0, x1, y0, y1)| {
+            let (x0, x1) = pad_if_flat(x0, x1);
+            let (y0, y1) = pad_if_flat(y0, y1);
+            (x0, x1, y0, y1)
+        })
+    }
+
+    /// Renders to an ASCII canvas (see [`crate::ascii`]).
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        crate::ascii::render(self, width, height)
+    }
+
+    /// Renders to an SVG document string (see [`crate::svg`]).
+    pub fn render_svg(&self, width: usize, height: usize) -> String {
+        crate::svg::render(self, width, height)
+    }
+
+    /// Writes the SVG rendering to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures from writing the file.
+    pub fn save_svg(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        width: usize,
+        height: usize,
+    ) -> crate::Result<()> {
+        std::fs::write(path, self.render_svg(width, height))?;
+        Ok(())
+    }
+
+    /// Writes all series to a CSV file (see [`crate::csv`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PlotError::EmptyFigure`] when there is nothing to
+    /// write, or I/O failures.
+    pub fn save_csv(&self, path: impl AsRef<std::path::Path>) -> crate::Result<()> {
+        std::fs::write(path, crate::csv::render(self)?)?;
+        Ok(())
+    }
+}
+
+fn pad_if_flat(lo: f64, hi: f64) -> (f64, f64) {
+    if hi > lo {
+        (lo, hi)
+    } else {
+        let pad = if lo == 0.0 { 1.0 } else { lo.abs() * 0.1 };
+        (lo - pad, hi + pad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_bounds_skip_non_finite() {
+        let s = Series::line(
+            "a",
+            vec![0.0, 1.0, f64::NAN, 2.0],
+            vec![5.0, f64::INFINITY, 1.0, -1.0],
+        );
+        assert_eq!(s.bounds(), Some((0.0, 2.0, -1.0, 5.0)));
+    }
+
+    #[test]
+    fn empty_series_has_no_bounds() {
+        let s = Series::line("a", vec![], vec![]);
+        assert_eq!(s.bounds(), None);
+        let f = Figure::new("t").with_series(s);
+        assert_eq!(f.bounds(), None);
+    }
+
+    #[test]
+    fn figure_bounds_union() {
+        let f = Figure::new("t")
+            .with_series(Series::line("a", vec![0.0, 1.0], vec![0.0, 1.0]))
+            .with_series(Series::scatter(
+                "b",
+                vec![-2.0],
+                vec![5.0],
+                Marker::Cross,
+            ));
+        assert_eq!(f.bounds(), Some((-2.0, 1.0, 0.0, 5.0)));
+    }
+
+    #[test]
+    fn flat_ranges_are_padded() {
+        let f = Figure::new("t").with_series(Series::line("a", vec![1.0, 1.0], vec![2.0, 2.0]));
+        let (x0, x1, y0, y1) = f.bounds().unwrap();
+        assert!(x1 > x0);
+        assert!(y1 > y0);
+    }
+
+    #[test]
+    fn marker_glyphs() {
+        assert_eq!(Marker::Circle.glyph(), 'o');
+        assert_eq!(Marker::Cross.glyph(), 'x');
+        assert_eq!(Marker::Star.glyph(), '*');
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        let _ = Series::line("a", vec![0.0], vec![]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Plot rendering for the graphical SHIL procedure.
+//!
+//! The paper's method is deliberately *graphical* — curves whose
+//! intersections are the answers. This crate renders those curves three
+//! ways, with no external dependencies:
+//!
+//! - [`ascii`] — quick terminal previews from the experiment binaries;
+//! - [`svg`] — publication-style SVG files regenerating the paper figures;
+//! - [`csv`] — raw series export for any external plotting tool.
+//!
+//! The shared [`Figure`] model holds titled line/scatter series in data
+//! coordinates; each backend consumes it unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use shil_plot::{Figure, Series};
+//!
+//! let xs: Vec<f64> = (0..100).map(|k| k as f64 * 0.1).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
+//! let fig = Figure::new("sine")
+//!     .with_axis_labels("t", "v")
+//!     .with_series(Series::line("sin(t)", xs, ys));
+//! let art = fig.render_ascii(60, 16);
+//! assert!(art.contains("sine"));
+//! let svg = fig.render_svg(640, 480);
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+pub mod ascii;
+pub mod csv;
+pub mod svg;
+
+mod figure;
+
+pub use figure::{Figure, Marker, Series, SeriesKind};
+
+/// Errors produced when writing plot files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PlotError {
+    /// Figure contained no drawable data.
+    EmptyFigure,
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PlotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlotError::EmptyFigure => write!(f, "figure contains no data"),
+            PlotError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlotError::Io(e) => Some(e),
+            PlotError::EmptyFigure => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PlotError {
+    fn from(e: std::io::Error) -> Self {
+        PlotError::Io(e)
+    }
+}
+
+/// Result alias for plot operations.
+pub type Result<T> = std::result::Result<T, PlotError>;

@@ -1,0 +1,284 @@
+//! Minimal SVG backend.
+
+use std::fmt::Write as _;
+
+use crate::figure::{Figure, Marker, SeriesKind};
+
+/// Color cycle (hex) for series strokes.
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+const MARGIN_LEFT: f64 = 72.0;
+const MARGIN_RIGHT: f64 = 24.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 56.0;
+
+/// Renders the figure as a standalone SVG document.
+///
+/// Data coordinates are mapped linearly into the plot area; each series
+/// becomes a `<polyline>` (line kind) or a set of marker glyphs (scatter
+/// kind); five ticks per axis and a legend are emitted.
+pub fn render(fig: &Figure, width: usize, height: usize) -> String {
+    let width = width.max(160) as f64;
+    let height = height.max(120) as f64;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = write!(
+        s,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
+    let _ = write!(
+        s,
+        r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+        width / 2.0,
+        escape(&fig.title)
+    );
+
+    let Some((x0, x1, y0, y1)) = fig.bounds() else {
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="14" text-anchor="middle">(no data)</text></svg>"#,
+            width / 2.0,
+            height / 2.0
+        );
+        return s;
+    };
+
+    let plot_w = width - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = height - MARGIN_TOP - MARGIN_BOTTOM;
+    let px = |x: f64| MARGIN_LEFT + (x - x0) / (x1 - x0) * plot_w;
+    let py = |y: f64| MARGIN_TOP + (1.0 - (y - y0) / (y1 - y0)) * plot_h;
+
+    // Axes frame.
+    let _ = write!(
+        s,
+        r#"<rect x="{}" y="{}" width="{}" height="{}" fill="none" stroke="black"/>"#,
+        MARGIN_LEFT, MARGIN_TOP, plot_w, plot_h
+    );
+    // Ticks and grid.
+    for k in 0..=4 {
+        let t = k as f64 / 4.0;
+        let xv = x0 + t * (x1 - x0);
+        let yv = y0 + t * (y1 - y0);
+        let xs = px(xv);
+        let ys = py(yv);
+        let _ = write!(
+            s,
+            r##"<line x1="{xs}" y1="{}" x2="{xs}" y2="{}" stroke="#dddddd"/>"##,
+            MARGIN_TOP,
+            MARGIN_TOP + plot_h
+        );
+        let _ = write!(
+            s,
+            r##"<line x1="{}" y1="{ys}" x2="{}" y2="{ys}" stroke="#dddddd"/>"##,
+            MARGIN_LEFT,
+            MARGIN_LEFT + plot_w
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{xs}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+            MARGIN_TOP + plot_h + 16.0,
+            format_tick(xv)
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{}</text>"#,
+            MARGIN_LEFT - 6.0,
+            ys + 4.0,
+            format_tick(yv)
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        s,
+        r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        height - 12.0,
+        escape(&fig.x_label)
+    );
+    let _ = write!(
+        s,
+        r#"<text x="16" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        escape(&fig.y_label)
+    );
+
+    // Series.
+    for (si, series) in fig.series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        match series.kind {
+            SeriesKind::Line => {
+                // Break the polyline at non-finite samples.
+                let mut run: Vec<(f64, f64)> = Vec::new();
+                let flush = |run: &mut Vec<(f64, f64)>, s: &mut String| {
+                    if run.len() >= 2 {
+                        let pts: Vec<String> = run
+                            .iter()
+                            .map(|(x, y)| format!("{:.2},{:.2}", px(*x), py(*y)))
+                            .collect();
+                        let _ = write!(
+                            s,
+                            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+                            pts.join(" ")
+                        );
+                    }
+                    run.clear();
+                };
+                for (&x, &y) in series.x.iter().zip(&series.y) {
+                    if x.is_finite() && y.is_finite() {
+                        run.push((x, y));
+                    } else {
+                        flush(&mut run, &mut s);
+                    }
+                }
+                flush(&mut run, &mut s);
+            }
+            SeriesKind::Scatter => {
+                for (&x, &y) in series.x.iter().zip(&series.y) {
+                    if !(x.is_finite() && y.is_finite()) {
+                        continue;
+                    }
+                    let (cx, cy) = (px(x), py(y));
+                    match series.marker {
+                        Marker::Circle => {
+                            let _ = write!(
+                                s,
+                                r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="4" fill="{color}"/>"#
+                            );
+                        }
+                        Marker::Cross => {
+                            let _ = write!(
+                                s,
+                                r#"<path d="M {x0:.2} {y0:.2} L {x1:.2} {y1:.2} M {x0:.2} {y1:.2} L {x1:.2} {y0:.2}" stroke="{color}" stroke-width="2" fill="none"/>"#,
+                                x0 = cx - 4.0,
+                                x1 = cx + 4.0,
+                                y0 = cy - 4.0,
+                                y1 = cy + 4.0
+                            );
+                        }
+                        Marker::Star => {
+                            let _ = write!(
+                                s,
+                                r#"<path d="M {cx:.2} {:.2} L {cx:.2} {:.2} M {:.2} {cy:.2} L {:.2} {cy:.2} M {:.2} {:.2} L {:.2} {:.2} M {:.2} {:.2} L {:.2} {:.2}" stroke="{color}" stroke-width="1.5" fill="none"/>"#,
+                                cy - 5.0,
+                                cy + 5.0,
+                                cx - 5.0,
+                                cx + 5.0,
+                                cx - 3.5,
+                                cy - 3.5,
+                                cx + 3.5,
+                                cy + 3.5,
+                                cx - 3.5,
+                                cy + 3.5,
+                                cx + 3.5,
+                                cy - 3.5
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Legend.
+    for (si, series) in fig.series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let ly = MARGIN_TOP + 14.0 + 16.0 * si as f64;
+        let lx = MARGIN_LEFT + plot_w - 150.0;
+        let _ = write!(
+            s,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11">{}</text>"#,
+            lx + 24.0,
+            ly + 4.0,
+            escape(&series.label)
+        );
+    }
+
+    s.push_str("</svg>");
+    s
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-2 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::figure::{Figure, Marker, Series};
+
+    #[test]
+    fn svg_structure() {
+        let fig = Figure::new("lock range")
+            .with_axis_labels("phi", "A")
+            .with_series(Series::line("Tf=1", vec![0.0, 1.0], vec![1.0, 2.0]))
+            .with_series(Series::scatter(
+                "stable",
+                vec![0.5],
+                vec![1.5],
+                Marker::Circle,
+            ))
+            .with_series(Series::scatter(
+                "unstable",
+                vec![0.7],
+                vec![1.7],
+                Marker::Cross,
+            ))
+            .with_series(Series::scatter("peak", vec![0.2], vec![1.2], Marker::Star));
+        let svg = fig.render_svg(640, 480);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("lock range"));
+        assert!(svg.contains("stable"));
+        // Balanced document heuristic: no stray unclosed text nodes.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn non_finite_points_break_polylines() {
+        let fig = Figure::new("t").with_series(Series::line(
+            "broken",
+            vec![0.0, 1.0, f64::NAN, 2.0, 3.0],
+            vec![0.0, 1.0, 1.0, 2.0, 3.0],
+        ));
+        let svg = fig.render_svg(640, 480);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn empty_figure_renders_placeholder() {
+        let svg = Figure::new("nothing").render_svg(640, 480);
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let fig = Figure::new("a < b & c")
+            .with_series(Series::line("s", vec![0.0, 1.0], vec![0.0, 1.0]));
+        let svg = fig.render_svg(640, 480);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

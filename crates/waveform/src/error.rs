@@ -1,0 +1,38 @@
+use std::fmt;
+
+/// Errors produced by waveform analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WaveformError {
+    /// Input data violated a precondition (documented per function).
+    InvalidInput(String),
+    /// The signal did not contain the requested feature (e.g. no zero
+    /// crossings when estimating a frequency).
+    FeatureNotFound(String),
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            WaveformError::FeatureNotFound(msg) => write!(f, "feature not found: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(WaveformError::InvalidInput("x".into())
+            .to_string()
+            .contains("invalid input"));
+        assert!(WaveformError::FeatureNotFound("no crossings".into())
+            .to_string()
+            .contains("no crossings"));
+    }
+}

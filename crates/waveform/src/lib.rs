@@ -1,0 +1,181 @@
+//! Post-processing of transient waveforms.
+//!
+//! The "Simulation" rows of the paper's validation tables come from
+//! inspecting NGSPICE output: did the oscillator settle, at what amplitude,
+//! at what frequency, is it locked to the injection, and (for Figs. 15/19)
+//! which of the `n` sub-harmonic states is it in? This crate implements
+//! those measurements over uniformly sampled traces:
+//!
+//! - [`measure`] — amplitude, frequency (interpolated zero crossings),
+//!   single-bin fundamental phasors, settling detection.
+//! - [`spectrum`] — DFT magnitude spectra and dominant-tone estimation.
+//! - [`lock`] — injection-lock detection by phase-drift analysis.
+//! - [`states`] — SHIL state classification against a reference signal
+//!   (the paper's "signal at 1/n-th of the injection frequency and phase
+//!   locked with the injection signal").
+
+pub mod lock;
+pub mod measure;
+pub mod spectrum;
+pub mod states;
+
+mod error;
+
+pub use error::WaveformError;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, WaveformError>;
+
+/// A borrowed view of a uniformly sampled signal.
+///
+/// All analyses in this crate operate on uniform sampling; transient
+/// results from `shil-circuit` with a fixed step satisfy this directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled<'a> {
+    /// Start time of the first sample.
+    pub t0: f64,
+    /// Sample spacing (must be positive).
+    pub dt: f64,
+    /// The samples.
+    pub values: &'a [f64],
+}
+
+impl<'a> Sampled<'a> {
+    /// Creates a sampled view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidInput`] if `dt ≤ 0` or fewer than two
+    /// samples are provided.
+    pub fn new(t0: f64, dt: f64, values: &'a [f64]) -> Result<Self> {
+        if !(dt > 0.0) {
+            return Err(WaveformError::InvalidInput(format!(
+                "sample spacing must be positive, got {dt}"
+            )));
+        }
+        if values.len() < 2 {
+            return Err(WaveformError::InvalidInput(
+                "need at least two samples".into(),
+            ));
+        }
+        Ok(Sampled { t0, dt, values })
+    }
+
+    /// Builds a view from parallel time/value slices, checking uniformity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidInput`] if the time axis is not
+    /// uniform to within 1 ppm of the mean step.
+    pub fn from_time_series(time: &[f64], values: &'a [f64]) -> Result<Self> {
+        if time.len() != values.len() {
+            return Err(WaveformError::InvalidInput(
+                "time and value lengths differ".into(),
+            ));
+        }
+        if time.len() < 2 {
+            return Err(WaveformError::InvalidInput(
+                "need at least two samples".into(),
+            ));
+        }
+        let dt = (time[time.len() - 1] - time[0]) / (time.len() - 1) as f64;
+        if !(dt > 0.0) {
+            return Err(WaveformError::InvalidInput(
+                "time axis must be increasing".into(),
+            ));
+        }
+        for (k, w) in time.windows(2).enumerate() {
+            let step = w[1] - w[0];
+            if (step - dt).abs() > 1e-6 * dt.abs() {
+                return Err(WaveformError::InvalidInput(format!(
+                    "non-uniform sampling at index {k}: step {step} vs mean {dt}"
+                )));
+            }
+        }
+        Sampled::new(time[0], dt, values)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the view is empty (never true for a constructed view).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Time of sample `k`.
+    pub fn time_at(&self, k: usize) -> f64 {
+        self.t0 + self.dt * k as f64
+    }
+
+    /// Total duration covered.
+    pub fn duration(&self) -> f64 {
+        self.dt * (self.values.len() - 1) as f64
+    }
+
+    /// Sub-view covering `t ∈ [t_from, t_to]` (clamped to the data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::InvalidInput`] if the window contains fewer
+    /// than two samples.
+    pub fn window(&self, t_from: f64, t_to: f64) -> Result<Sampled<'a>> {
+        let i0 = (((t_from - self.t0) / self.dt).ceil().max(0.0)) as usize;
+        let i1 = ((((t_to - self.t0) / self.dt).floor()) as usize).min(self.values.len() - 1);
+        if i1 <= i0 + 1 {
+            return Err(WaveformError::InvalidInput(format!(
+                "window [{t_from}, {t_to}] contains too few samples"
+            )));
+        }
+        Sampled::new(self.time_at(i0), self.dt, &self.values[i0..=i1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_view_basics() {
+        let vals = [0.0, 1.0, 2.0, 3.0];
+        let s = Sampled::new(1.0, 0.5, &vals).unwrap();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.time_at(2), 2.0);
+        assert_eq!(s.duration(), 1.5);
+    }
+
+    #[test]
+    fn rejects_bad_spacing() {
+        let vals = [0.0, 1.0];
+        assert!(Sampled::new(0.0, 0.0, &vals).is_err());
+        assert!(Sampled::new(0.0, -1.0, &vals).is_err());
+        let one = [0.0];
+        assert!(Sampled::new(0.0, 1.0, &one).is_err());
+    }
+
+    #[test]
+    fn from_time_series_checks_uniformity() {
+        let t = [0.0, 0.1, 0.2, 0.3];
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let s = Sampled::from_time_series(&t, &v).unwrap();
+        assert!((s.dt - 0.1).abs() < 1e-12);
+        let t_bad = [0.0, 0.1, 0.25, 0.3];
+        assert!(Sampled::from_time_series(&t_bad, &v).is_err());
+        let t_short = [0.0];
+        let v_short = [0.0];
+        assert!(Sampled::from_time_series(&t_short, &v_short).is_err());
+    }
+
+    #[test]
+    fn window_extraction() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = Sampled::new(0.0, 0.1, &vals).unwrap();
+        let w = s.window(2.0, 5.0).unwrap();
+        assert!((w.t0 - 2.0).abs() < 1e-12);
+        assert_eq!(w.len(), 31);
+        assert!(s.window(9.89, 9.9).is_err());
+    }
+}

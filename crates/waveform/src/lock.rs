@@ -1,0 +1,306 @@
+//! Injection-lock detection.
+//!
+//! An oscillator is locked to `f_lock` when its fundamental maintains a
+//! constant phase relative to `e^{j2πf_lock t}`. Under injection *pulling*
+//! (outside the lock range) the relative phase rotates continuously (a beat
+//! note), so the robust discriminator is the phase drift across successive
+//! measurement windows.
+
+use shil_numerics::angle_diff;
+
+use crate::measure::phasor_at;
+use crate::{Result, Sampled, WaveformError};
+
+/// Options for [`lock_analysis`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockOptions {
+    /// Number of analysis windows across the view.
+    pub windows: usize,
+    /// Periods of the lock frequency per window.
+    pub periods_per_window: usize,
+    /// Maximum tolerated phase drift per window (radians) for a lock
+    /// verdict.
+    pub max_drift: f64,
+    /// Minimum amplitude (relative to the largest window amplitude) below
+    /// which the oscillation is considered dead rather than locked.
+    pub min_relative_amplitude: f64,
+}
+
+impl Default for LockOptions {
+    fn default() -> Self {
+        LockOptions {
+            windows: 8,
+            periods_per_window: 20,
+            max_drift: 0.05,
+            min_relative_amplitude: 0.05,
+        }
+    }
+}
+
+/// Outcome of a lock test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockAnalysis {
+    /// Whether the oscillator is phase-locked at the probe frequency.
+    pub locked: bool,
+    /// Phase of the fundamental in each window (radians).
+    pub window_phases: Vec<f64>,
+    /// Amplitude of the fundamental in each window.
+    pub window_amplitudes: Vec<f64>,
+    /// Largest |phase step| between consecutive windows (radians).
+    pub max_phase_step: f64,
+    /// Mean amplitude across windows.
+    pub mean_amplitude: f64,
+}
+
+/// Tests whether the signal is phase-locked at `f_lock`.
+///
+/// The view is split into `opts.windows` windows of
+/// `opts.periods_per_window` periods each (taken from the *end* of the view
+/// so start-up transients are ignored). The fundamental phasor at `f_lock`
+/// is measured in each; the signal is locked iff every window-to-window
+/// phase step stays below `opts.max_drift` and the amplitude stays alive.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::InvalidInput`] if the view is too short for the
+/// requested windows.
+pub fn lock_analysis(s: &Sampled<'_>, f_lock: f64, opts: &LockOptions) -> Result<LockAnalysis> {
+    if !(f_lock > 0.0) {
+        return Err(WaveformError::InvalidInput(format!(
+            "lock frequency must be positive, got {f_lock}"
+        )));
+    }
+    let period = 1.0 / f_lock;
+    let window_dur = period * opts.periods_per_window as f64;
+    let need = window_dur * opts.windows as f64;
+    if s.duration() < need {
+        return Err(WaveformError::InvalidInput(format!(
+            "view of {:.3e}s too short for {} windows of {:.3e}s",
+            s.duration(),
+            opts.windows,
+            window_dur
+        )));
+    }
+    let t_end = s.time_at(s.len() - 1);
+    let mut phases = Vec::with_capacity(opts.windows);
+    let mut amps = Vec::with_capacity(opts.windows);
+    for w in 0..opts.windows {
+        let t1 = t_end - window_dur * (opts.windows - 1 - w) as f64;
+        let t0 = t1 - window_dur;
+        let view = s.window(t0, t1)?;
+        let p = phasor_at(&view, f_lock)?;
+        phases.push(p.arg());
+        amps.push(p.abs());
+    }
+    let max_amp = amps.iter().cloned().fold(0.0f64, f64::max);
+    let mean_amplitude = amps.iter().sum::<f64>() / amps.len() as f64;
+    let mut max_phase_step = 0.0f64;
+    for w in phases.windows(2) {
+        max_phase_step = max_phase_step.max(angle_diff(w[1], w[0]).abs());
+    }
+    let alive = amps
+        .iter()
+        .all(|&a| a >= opts.min_relative_amplitude * max_amp);
+    let locked = alive && max_amp > 0.0 && max_phase_step <= opts.max_drift;
+    Ok(LockAnalysis {
+        locked,
+        window_phases: phases,
+        window_amplitudes: amps,
+        max_phase_step,
+        mean_amplitude,
+    })
+}
+
+/// Estimates the beat (phase-slip) frequency of a *pulled* oscillator.
+///
+/// The fundamental's phase relative to `f_probe` is measured in
+/// consecutive windows, unwrapped, and fitted with a least-squares line;
+/// the slope (radians/second) over 2π is the slip frequency. Under lock
+/// this returns ≈ 0; under pulling it returns the sideband spacing
+/// predicted by `shil-core::pulling`.
+///
+/// The window must be short enough that the phase moves less than π per
+/// window (`|f_beat| < f_probe/(2·periods_per_window)`), or unwrapping
+/// aliases.
+///
+/// # Errors
+///
+/// Same conditions as [`lock_analysis`].
+pub fn beat_frequency_estimate(
+    s: &Sampled<'_>,
+    f_probe: f64,
+    opts: &LockOptions,
+) -> Result<f64> {
+    let r = lock_analysis(s, f_probe, opts)?;
+    // Unwrap the window phases.
+    let mut unwrapped = Vec::with_capacity(r.window_phases.len());
+    let mut acc = r.window_phases[0];
+    unwrapped.push(acc);
+    for w in r.window_phases.windows(2) {
+        acc += angle_diff(w[1], w[0]);
+        unwrapped.push(acc);
+    }
+    // Least-squares slope against window index, then convert to time.
+    let n = unwrapped.len() as f64;
+    let window_dur = opts.periods_per_window as f64 / f_probe;
+    let mean_i = (n - 1.0) / 2.0;
+    let mean_p: f64 = unwrapped.iter().sum::<f64>() / n;
+    let (mut num, mut den) = (0.0, 0.0);
+    for (i, &p) in unwrapped.iter().enumerate() {
+        let di = i as f64 - mean_i;
+        num += di * (p - mean_p);
+        den += di * di;
+    }
+    let slope = num / den; // radians per window
+    Ok(slope / (std::f64::consts::TAU * window_dur))
+}
+
+/// Convenience wrapper: is the oscillator locked to the `n`-th sub-harmonic
+/// of an injection at `f_injection` (i.e. oscillating at `f_injection/n`)?
+///
+/// # Errors
+///
+/// Same as [`lock_analysis`].
+pub fn is_subharmonic_locked(
+    s: &Sampled<'_>,
+    f_injection: f64,
+    n: u32,
+    opts: &LockOptions,
+) -> Result<bool> {
+    if n == 0 {
+        return Err(WaveformError::InvalidInput("n must be ≥ 1".into()));
+    }
+    Ok(lock_analysis(s, f_injection / n as f64, opts)?.locked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn lock_opts() -> LockOptions {
+        LockOptions::default()
+    }
+
+    #[test]
+    fn pure_tone_is_locked_at_its_own_frequency() {
+        let f = 1e6;
+        let dt = 1.0 / (f * 50.0);
+        let vals: Vec<f64> = (0..120_000)
+            .map(|k| 0.4 * (TAU * f * k as f64 * dt + 0.3).cos())
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let r = lock_analysis(&s, f, &lock_opts()).unwrap();
+        assert!(r.locked, "max step {}", r.max_phase_step);
+        assert!((r.mean_amplitude - 0.4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn detuned_tone_is_not_locked() {
+        // 0.3 % detuning: relative phase rotates ≈ 2π·0.003·20 ≈ 0.38 rad
+        // per 20-period window — far above the drift gate.
+        let f = 1e6;
+        let dt = 1.0 / (f * 50.0);
+        let vals: Vec<f64> = (0..120_000)
+            .map(|k| (TAU * f * 1.003 * k as f64 * dt).cos())
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let r = lock_analysis(&s, f, &lock_opts()).unwrap();
+        assert!(!r.locked, "max step {}", r.max_phase_step);
+    }
+
+    #[test]
+    fn dead_signal_is_not_locked() {
+        let f = 1e6;
+        let dt = 1.0 / (f * 50.0);
+        // Exponentially dying oscillation.
+        let vals: Vec<f64> = (0..120_000)
+            .map(|k| {
+                let t = k as f64 * dt;
+                (-t * 8e5).exp() * (TAU * f * t).cos()
+            })
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let r = lock_analysis(&s, f, &lock_opts()).unwrap();
+        assert!(!r.locked);
+    }
+
+    #[test]
+    fn subharmonic_lock_wrapper() {
+        let f_inj = 1.5e6;
+        let f_osc = f_inj / 3.0;
+        let dt = 1.0 / (f_osc * 60.0);
+        let vals: Vec<f64> = (0..150_000)
+            .map(|k| {
+                let t = k as f64 * dt;
+                // Locked oscillator with a small injection-frequency ripple.
+                (TAU * f_osc * t + 0.5).cos() + 0.05 * (TAU * f_inj * t).cos()
+            })
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        assert!(is_subharmonic_locked(&s, f_inj, 3, &lock_opts()).unwrap());
+        assert!(is_subharmonic_locked(&s, 0.97 * f_inj, 3, &lock_opts()).is_ok());
+        assert!(!is_subharmonic_locked(&s, 0.97 * f_inj, 3, &lock_opts()).unwrap());
+        assert!(is_subharmonic_locked(&s, f_inj, 0, &lock_opts()).is_err());
+    }
+
+    #[test]
+    fn beat_estimate_recovers_known_offset() {
+        // A tone 800 Hz above the probe frequency slips 800 cycles/s.
+        let f_probe = 1e6;
+        let f_real = f_probe + 800.0;
+        let dt = 1.0 / (f_probe * 50.0);
+        let vals: Vec<f64> = (0..400_000)
+            .map(|k| (std::f64::consts::TAU * f_real * k as f64 * dt).cos())
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let opts = LockOptions {
+            windows: 16,
+            periods_per_window: 20,
+            ..LockOptions::default()
+        };
+        let beat = beat_frequency_estimate(&s, f_probe, &opts).unwrap();
+        assert!((beat - 800.0).abs() < 10.0, "beat = {beat}");
+    }
+
+    #[test]
+    fn beat_estimate_is_zero_under_lock() {
+        let f = 1e6;
+        let dt = 1.0 / (f * 50.0);
+        let vals: Vec<f64> = (0..200_000)
+            .map(|k| (std::f64::consts::TAU * f * k as f64 * dt + 0.4).cos())
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let beat = beat_frequency_estimate(&s, f, &LockOptions::default()).unwrap();
+        assert!(beat.abs() < 1.0, "beat = {beat}");
+    }
+
+    #[test]
+    fn too_short_view_is_rejected() {
+        let f = 1e6;
+        let dt = 1.0 / (f * 50.0);
+        let vals: Vec<f64> = (0..1000).map(|k| (TAU * f * k as f64 * dt).cos()).collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        assert!(lock_analysis(&s, f, &lock_opts()).is_err());
+        assert!(lock_analysis(&s, -1.0, &lock_opts()).is_err());
+    }
+
+    #[test]
+    fn beat_note_from_pulling_is_rejected() {
+        // Injection pulling produces a quasi-periodic waveform: model as a
+        // tone whose phase advances then slips (sawtooth phase).
+        let f = 1e6;
+        let dt = 1.0 / (f * 50.0);
+        let f_beat = 2.5e3;
+        let vals: Vec<f64> = (0..200_000)
+            .map(|k| {
+                let t = k as f64 * dt;
+                let slip = TAU * f_beat * t; // continuous phase rotation
+                (TAU * f * t + slip).cos()
+            })
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let r = lock_analysis(&s, f, &lock_opts()).unwrap();
+        assert!(!r.locked);
+    }
+}

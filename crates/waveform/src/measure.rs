@@ -1,0 +1,243 @@
+//! Scalar measurements on sampled waveforms: amplitude, frequency, phasors,
+//! settling detection.
+
+use shil_numerics::Complex64;
+
+use crate::{Result, Sampled, WaveformError};
+
+/// Peak amplitude `(max − min)/2` over the view.
+///
+/// For a settled sinusoid this is the oscillation amplitude `A` of the
+/// paper's describing-function analysis.
+pub fn peak_amplitude(s: &Sampled<'_>) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in s.values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    0.5 * (hi - lo)
+}
+
+/// RMS value over the view (after removing the mean).
+pub fn rms(s: &Sampled<'_>) -> f64 {
+    let n = s.values.len() as f64;
+    let mean: f64 = s.values.iter().sum::<f64>() / n;
+    let ss: f64 = s.values.iter().map(|v| (v - mean) * (v - mean)).sum();
+    (ss / n).sqrt()
+}
+
+/// Mean value over the view.
+pub fn mean(s: &Sampled<'_>) -> f64 {
+    s.values.iter().sum::<f64>() / s.values.len() as f64
+}
+
+/// Times of rising zero crossings of `v(t) − level`, each located by linear
+/// interpolation between the bracketing samples.
+pub fn rising_crossings(s: &Sampled<'_>, level: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (k, w) in s.values.windows(2).enumerate() {
+        let (a, b) = (w[0] - level, w[1] - level);
+        if a < 0.0 && b >= 0.0 {
+            let frac = a / (a - b);
+            out.push(s.time_at(k) + frac * s.dt);
+        }
+    }
+    out
+}
+
+/// Estimates the fundamental frequency from interpolated rising zero
+/// crossings of the mean-removed signal.
+///
+/// Averaging over all full cycles in the view gives sub-sample resolution
+/// (the estimator error scales as `dt²/T·1/cycles` for smooth signals).
+///
+/// # Errors
+///
+/// Returns [`WaveformError::FeatureNotFound`] if the view contains fewer
+/// than two rising crossings.
+pub fn estimate_frequency(s: &Sampled<'_>) -> Result<f64> {
+    let m = mean(s);
+    let crossings = rising_crossings(s, m);
+    if crossings.len() < 2 {
+        return Err(WaveformError::FeatureNotFound(
+            "fewer than two rising crossings".into(),
+        ));
+    }
+    let cycles = (crossings.len() - 1) as f64;
+    let span = crossings[crossings.len() - 1] - crossings[0];
+    Ok(cycles / span)
+}
+
+/// Complex fundamental phasor of the signal at a known frequency:
+/// `P = (2/N)·Σ v(tₖ)·e^{−j2πf·tₖ}`, so that `v(t) ≈ Re(P) cos(2πft) −
+/// Im(P) sin(2πft) = |P|·cos(2πft + arg P)`.
+///
+/// The correlation window is truncated to an integer number of periods to
+/// suppress spectral leakage; at least one full period must fit.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::InvalidInput`] if less than one period of `f`
+/// fits in the view.
+pub fn phasor_at(s: &Sampled<'_>, freq_hz: f64) -> Result<Complex64> {
+    if !(freq_hz > 0.0) {
+        return Err(WaveformError::InvalidInput(format!(
+            "frequency must be positive, got {freq_hz}"
+        )));
+    }
+    let period = 1.0 / freq_hz;
+    let samples_per_period = period / s.dt;
+    let full_periods = (s.duration() / period).floor();
+    if full_periods < 1.0 {
+        return Err(WaveformError::InvalidInput(
+            "view shorter than one period".into(),
+        ));
+    }
+    let n_used = (full_periods * samples_per_period).round() as usize;
+    let n_used = n_used.min(s.values.len());
+    let m: f64 = s.values[..n_used].iter().sum::<f64>() / n_used as f64;
+    let mut acc = Complex64::ZERO;
+    for (k, &v) in s.values[..n_used].iter().enumerate() {
+        let t = s.time_at(k);
+        acc += Complex64::from_polar(v - m, -std::f64::consts::TAU * freq_hz * t);
+    }
+    Ok(acc * (2.0 / n_used as f64))
+}
+
+/// Detects whether the envelope has settled: the peak amplitude of the last
+/// `tail_fraction` of the view differs from the preceding window of the same
+/// length by less than `rel_tol`.
+pub fn is_settled(s: &Sampled<'_>, tail_fraction: f64, rel_tol: f64) -> bool {
+    let n = s.values.len();
+    let tail = ((n as f64 * tail_fraction) as usize).clamp(2, n / 2);
+    let last = Sampled {
+        t0: 0.0,
+        dt: s.dt,
+        values: &s.values[n - tail..],
+    };
+    let prev = Sampled {
+        t0: 0.0,
+        dt: s.dt,
+        values: &s.values[n - 2 * tail..n - tail],
+    };
+    let a1 = peak_amplitude(&last);
+    let a0 = peak_amplitude(&prev);
+    (a1 - a0).abs() <= rel_tol * a1.abs().max(1e-30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn sine(f: f64, amp: f64, phase: f64, dt: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|k| amp * (TAU * f * (k as f64 * dt) + phase).cos())
+            .collect()
+    }
+
+    #[test]
+    fn peak_amplitude_of_offset_sine() {
+        let vals: Vec<f64> = sine(50.0, 2.0, 0.3, 1e-4, 2000)
+            .iter()
+            .map(|v| v + 5.0)
+            .collect();
+        let s = Sampled::new(0.0, 1e-4, &vals).unwrap();
+        assert!((peak_amplitude(&s) - 2.0).abs() < 1e-3);
+        assert!((mean(&s) - 5.0).abs() < 2e-2);
+        assert!((rms(&s) - 2.0 / 2f64.sqrt()).abs() < 2e-3);
+    }
+
+    #[test]
+    fn frequency_estimate_is_accurate() {
+        let f = 503.3e3;
+        let dt = 1.0 / (f * 187.3); // deliberately incommensurate sampling
+        let vals = sine(f, 1.0, 0.7, dt, 50_000);
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let fe = estimate_frequency(&s).unwrap();
+        assert!(
+            ((fe - f) / f).abs() < 1e-6,
+            "estimated {fe}, expected {f}"
+        );
+    }
+
+    #[test]
+    fn frequency_estimate_needs_crossings() {
+        let vals = vec![1.0; 100];
+        let s = Sampled::new(0.0, 1.0, &vals).unwrap();
+        assert!(estimate_frequency(&s).is_err());
+    }
+
+    #[test]
+    fn phasor_recovers_amplitude_and_phase() {
+        let f = 1e6;
+        let dt = 1.0 / (f * 64.0);
+        for &phase in &[0.0, 0.4, -1.2, 2.9] {
+            let vals = sine(f, 0.505, phase, dt, 64 * 25);
+            let s = Sampled::new(0.0, dt, &vals).unwrap();
+            let p = phasor_at(&s, f).unwrap();
+            assert!((p.abs() - 0.505).abs() < 1e-6, "amp {}", p.abs());
+            assert!(
+                shil_numerics::angle_diff(p.arg(), phase).abs() < 1e-6,
+                "phase {} vs {phase}",
+                p.arg()
+            );
+        }
+    }
+
+    #[test]
+    fn phasor_rejects_too_short_view() {
+        let vals = sine(10.0, 1.0, 0.0, 1e-3, 50); // 0.05 s < one period
+        let s = Sampled::new(0.0, 1e-3, &vals).unwrap();
+        assert!(phasor_at(&s, 10.0).is_err());
+        assert!(phasor_at(&s, 0.0).is_err());
+    }
+
+    #[test]
+    fn phasor_with_dc_offset_is_unaffected() {
+        let f = 1e3;
+        let dt = 1.0 / (f * 40.0);
+        let vals: Vec<f64> = sine(f, 1.5, 0.9, dt, 4000)
+            .iter()
+            .map(|v| v + 3.0)
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let p = phasor_at(&s, f).unwrap();
+        assert!((p.abs() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn settling_detection() {
+        // Exponentially growing then saturated envelope.
+        let f = 100.0;
+        let dt = 1e-4;
+        let vals: Vec<f64> = (0..20_000)
+            .map(|k| {
+                let t = k as f64 * dt;
+                let env = (1.0 - (-t * 8.0).exp()).min(1.0);
+                env * (TAU * f * t).sin()
+            })
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        assert!(is_settled(&s, 0.1, 0.01));
+        // First quarter only: still growing.
+        let head = Sampled::new(0.0, dt, &vals[..5000]).unwrap();
+        assert!(!is_settled(&head, 0.25, 0.01));
+    }
+
+    #[test]
+    fn rising_crossings_locations() {
+        let f = 10.0;
+        let dt = 1e-3;
+        let vals: Vec<f64> = (0..1000)
+            .map(|k| (TAU * f * (k as f64 * dt)).sin())
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let c = rising_crossings(&s, 0.0);
+        // sin crosses upward at t = 0.1, 0.2, ... (excluding t = 0 itself).
+        assert!(!c.is_empty());
+        for (k, t) in c.iter().enumerate() {
+            assert!((t - 0.1 * (k + 1) as f64).abs() < 1e-4, "t = {t}");
+        }
+    }
+}

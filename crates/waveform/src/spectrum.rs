@@ -1,0 +1,193 @@
+//! DFT spectra and dominant-tone estimation.
+
+use shil_numerics::fft::fft_in_place;
+use shil_numerics::Complex64;
+
+use crate::{Result, Sampled, WaveformError};
+
+/// One-sided magnitude spectrum of a sampled signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    /// Bin frequencies in hertz.
+    pub freq_hz: Vec<f64>,
+    /// Normalized magnitudes (a full-scale sinusoid → 1.0 at its bin).
+    pub magnitude: Vec<f64>,
+}
+
+impl Spectrum {
+    /// Index and frequency of the largest non-DC bin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::FeatureNotFound`] on an all-zero spectrum.
+    pub fn dominant(&self) -> Result<(usize, f64)> {
+        let mut best = None;
+        let mut best_mag = 0.0;
+        for (k, &m) in self.magnitude.iter().enumerate().skip(1) {
+            if m > best_mag {
+                best_mag = m;
+                best = Some(k);
+            }
+        }
+        match best {
+            Some(k) if best_mag > 0.0 => Ok((k, self.freq_hz[k])),
+            _ => Err(WaveformError::FeatureNotFound(
+                "no non-zero spectral bin".into(),
+            )),
+        }
+    }
+}
+
+/// Computes a one-sided magnitude spectrum with a Hann window.
+///
+/// The signal is truncated to the largest power-of-two length. The Hann
+/// window trades main-lobe width for sidelobe suppression, which matters
+/// when hunting the oscillator fundamental next to injection spurs.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::InvalidInput`] if fewer than 8 samples remain.
+pub fn spectrum(s: &Sampled<'_>) -> Result<Spectrum> {
+    let n = s.values.len();
+    let pow2 = 1usize << (usize::BITS - 1 - n.leading_zeros());
+    if pow2 < 8 {
+        return Err(WaveformError::InvalidInput(
+            "need at least 8 samples for a spectrum".into(),
+        ));
+    }
+    let mean: f64 = s.values[..pow2].iter().sum::<f64>() / pow2 as f64;
+    let mut buf: Vec<Complex64> = (0..pow2)
+        .map(|k| {
+            let w = 0.5
+                - 0.5
+                    * (std::f64::consts::TAU * k as f64 / pow2 as f64)
+                        .cos();
+            Complex64::new((s.values[k] - mean) * w, 0.0)
+        })
+        .collect();
+    fft_in_place(&mut buf).map_err(|e| WaveformError::InvalidInput(e.to_string()))?;
+    // Hann coherent gain is 0.5; one-sided doubling restores amplitude.
+    let scale = 2.0 / (0.5 * pow2 as f64) / 2.0 * 2.0;
+    let half = pow2 / 2;
+    let df = 1.0 / (pow2 as f64 * s.dt);
+    Ok(Spectrum {
+        freq_hz: (0..half).map(|k| k as f64 * df).collect(),
+        magnitude: buf[..half].iter().map(|c| c.abs() * scale).collect(),
+    })
+}
+
+/// Estimates the dominant tone frequency with parabolic interpolation of the
+/// log-magnitude around the spectral peak.
+///
+/// # Errors
+///
+/// Propagates spectrum construction failures and
+/// [`WaveformError::FeatureNotFound`] for silent signals.
+pub fn dominant_frequency(s: &Sampled<'_>) -> Result<f64> {
+    let sp = spectrum(s)?;
+    let (k, f) = sp.dominant()?;
+    if k == 0 || k + 1 >= sp.magnitude.len() {
+        return Ok(f);
+    }
+    let (a, b, c) = (
+        sp.magnitude[k - 1].max(1e-300).ln(),
+        sp.magnitude[k].max(1e-300).ln(),
+        sp.magnitude[k + 1].max(1e-300).ln(),
+    );
+    let denom = a - 2.0 * b + c;
+    let delta = if denom.abs() > 1e-12 {
+        (0.5 * (a - c) / denom).clamp(-0.5, 0.5)
+    } else {
+        0.0
+    };
+    let df = sp.freq_hz[1] - sp.freq_hz[0];
+    Ok(f + delta * df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn spectrum_peaks_at_tone() {
+        let f = 1000.0;
+        let dt = 1.0 / 32768.0;
+        let vals: Vec<f64> = (0..4096)
+            .map(|k| (TAU * f * k as f64 * dt).sin())
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let sp = spectrum(&s).unwrap();
+        let (_, fpk) = sp.dominant().unwrap();
+        assert!((fpk - f).abs() <= 8.0 + 1e-9); // within one bin
+    }
+
+    #[test]
+    fn dominant_frequency_interpolates_between_bins() {
+        // Tone deliberately placed off-bin.
+        let dt = 1.0 / 10000.0;
+        let f = 1234.567;
+        let vals: Vec<f64> = (0..8192)
+            .map(|k| (TAU * f * k as f64 * dt).sin())
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let fe = dominant_frequency(&s).unwrap();
+        let bin = 10000.0 / 8192.0;
+        assert!((fe - f).abs() < 0.2 * bin, "fe = {fe}");
+    }
+
+    #[test]
+    fn spectrum_amplitude_calibration() {
+        let dt = 1.0 / 8192.0;
+        // Tone exactly on a bin: Hann-windowed amplitude is recovered.
+        let f = 512.0;
+        let amp = 0.505;
+        let vals: Vec<f64> = (0..8192)
+            .map(|k| amp * (TAU * f * k as f64 * dt).cos())
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let sp = spectrum(&s).unwrap();
+        let (k, _) = sp.dominant().unwrap();
+        assert!(
+            (sp.magnitude[k] - amp).abs() < 0.01 * amp,
+            "peak magnitude {}",
+            sp.magnitude[k]
+        );
+    }
+
+    #[test]
+    fn silent_signal_has_no_dominant_tone() {
+        let vals = vec![0.0; 1024];
+        let s = Sampled::new(0.0, 1e-3, &vals).unwrap();
+        let sp = spectrum(&s).unwrap();
+        assert!(sp.dominant().is_err());
+    }
+
+    #[test]
+    fn too_short_signal_is_rejected() {
+        let vals = vec![0.0; 7];
+        let s = Sampled::new(0.0, 1e-3, &vals).unwrap();
+        assert!(spectrum(&s).is_err());
+    }
+
+    #[test]
+    fn subharmonic_content_visible_next_to_injection() {
+        // Oscillator at f0 with a weak 3f0 injection spur — the dominant
+        // tone must still be f0.
+        let dt = 1.0 / 65536.0;
+        let f0 = 1024.0;
+        let vals: Vec<f64> = (0..16384)
+            .map(|k| {
+                let t = k as f64 * dt;
+                (TAU * f0 * t).cos() + 0.06 * (TAU * 3.0 * f0 * t).cos()
+            })
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let fe = dominant_frequency(&s).unwrap();
+        assert!((fe - f0).abs() < 4.0, "fe = {fe}");
+        // And the spur is visible at 3f0.
+        let sp = spectrum(&s).unwrap();
+        let bin3 = (3.0 * f0 * (16384.0 * dt)).round() as usize;
+        assert!(sp.magnitude[bin3] > 0.03);
+    }
+}

@@ -1,0 +1,232 @@
+//! SHIL state classification.
+//!
+//! For `n`-th sub-harmonic locking the paper shows (§VI-B4) that every lock
+//! comes in `n` copies spaced by `2π/n` in phase. Figs. 15 and 19
+//! demonstrate all three `n = 3` states by kicking the oscillator with
+//! pulses and watching its phase relative to a *reference signal* at
+//! `f_inj/n` that is phase-locked to the injection. This module reproduces
+//! that measurement: window the waveform, extract the phase at the
+//! sub-harmonic frequency, and quantize the phase difference into `n` bins.
+
+use shil_numerics::wrap_angle;
+
+use crate::measure::phasor_at;
+use crate::{Result, Sampled, WaveformError};
+
+/// One classified time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateWindow {
+    /// Window center time (seconds).
+    pub t_center: f64,
+    /// Phase relative to the reference, radians in `(−π, π]`.
+    pub relative_phase: f64,
+    /// The state index `k ∈ 0..n`, i.e. the nearest `φ₀ + 2πk/n`.
+    pub state: u32,
+    /// Distance (radians) from the exact state phase — small when locked.
+    pub phase_error: f64,
+}
+
+/// Result of a state-classification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateTrajectory {
+    /// Sub-harmonic order `n`.
+    pub n: u32,
+    /// The base phase `φ₀` (state 0's relative phase, radians).
+    pub base_phase: f64,
+    /// Classified windows in time order.
+    pub windows: Vec<StateWindow>,
+}
+
+impl StateTrajectory {
+    /// Distinct states visited, in order of first appearance.
+    pub fn visited_states(&self) -> Vec<u32> {
+        let mut seen = Vec::new();
+        for w in &self.windows {
+            if !seen.contains(&w.state) {
+                seen.push(w.state);
+            }
+        }
+        seen
+    }
+
+    /// Times at which the classified state changes.
+    pub fn transition_times(&self) -> Vec<f64> {
+        self.windows
+            .windows(2)
+            .filter(|w| w[0].state != w[1].state)
+            .map(|w| 0.5 * (w[0].t_center + w[1].t_center))
+            .collect()
+    }
+}
+
+/// Classifies the SHIL state over time.
+///
+/// The waveform is split into consecutive windows of `periods_per_window`
+/// sub-harmonic periods. In each, the phase of the fundamental at
+/// `f_injection/n` is measured and referenced to an ideal reference signal
+/// `cos(2π(f_inj/n)·t)` (the paper's reference is any signal at `f_inj/n`
+/// phase-locked to the injection — a pure cosine at that frequency is the
+/// canonical choice). The first window defines state 0 (`base_phase`);
+/// subsequent windows are assigned to the nearest of the `n` phases
+/// `base_phase + 2πk/n`.
+///
+/// # Errors
+///
+/// - [`WaveformError::InvalidInput`] for `n = 0`, non-positive frequency, or
+///   a view shorter than two windows.
+pub fn classify_states(
+    s: &Sampled<'_>,
+    f_injection: f64,
+    n: u32,
+    periods_per_window: usize,
+) -> Result<StateTrajectory> {
+    if n == 0 {
+        return Err(WaveformError::InvalidInput("n must be ≥ 1".into()));
+    }
+    if !(f_injection > 0.0) {
+        return Err(WaveformError::InvalidInput(
+            "injection frequency must be positive".into(),
+        ));
+    }
+    let f_sub = f_injection / n as f64;
+    let window_dur = periods_per_window as f64 / f_sub;
+    let total = s.duration();
+    let count = (total / window_dur).floor() as usize;
+    if count < 2 {
+        return Err(WaveformError::InvalidInput(format!(
+            "view of {total:.3e}s holds fewer than two {window_dur:.3e}s windows"
+        )));
+    }
+
+    let mut raw = Vec::with_capacity(count);
+    for w in 0..count {
+        let t0 = s.t0 + w as f64 * window_dur;
+        let t1 = t0 + window_dur;
+        let view = s.window(t0, t1)?;
+        let p = phasor_at(&view, f_sub)?;
+        // phasor_at measures phase relative to cos(2πf t) with t the
+        // absolute sample times, which *is* the reference-signal phase.
+        raw.push((0.5 * (t0 + t1), p.arg()));
+    }
+
+    let base_phase = raw[0].1;
+    let sector = std::f64::consts::TAU / n as f64;
+    let windows = raw
+        .into_iter()
+        .map(|(t_center, phi)| {
+            let rel = wrap_angle(phi - base_phase);
+            // Nearest multiple of 2π/n.
+            let k_signed = (rel / sector).round() as i64;
+            let state = k_signed.rem_euclid(n as i64) as u32;
+            let phase_error = wrap_angle(rel - k_signed as f64 * sector);
+            StateWindow {
+                t_center,
+                relative_phase: wrap_angle(phi),
+                state,
+                phase_error,
+            }
+        })
+        .collect();
+    Ok(StateTrajectory {
+        n,
+        base_phase,
+        windows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    /// Builds a locked sub-harmonic waveform whose phase jumps by
+    /// `2π/3`-steps at the given times, imitating the pulse kicks of
+    /// Fig. 15/19.
+    fn three_state_waveform(
+        f_inj: f64,
+        dt: f64,
+        t_stop: f64,
+        jumps: &[(f64, f64)],
+    ) -> Vec<f64> {
+        let f_sub = f_inj / 3.0;
+        let n = (t_stop / dt) as usize;
+        (0..n)
+            .map(|k| {
+                let t = k as f64 * dt;
+                let mut phase = 0.4; // arbitrary lock phase
+                for &(tj, dphi) in jumps {
+                    if t >= tj {
+                        phase += dphi;
+                    }
+                }
+                (TAU * f_sub * t + phase).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_three_states_are_observed() {
+        let f_inj = 1.5e6;
+        let dt = 1.0 / (f_inj / 3.0) / 64.0;
+        let t_stop = 6e-3;
+        let jumps = [(2e-3, TAU / 3.0), (4e-3, TAU / 3.0)];
+        let vals = three_state_waveform(f_inj, dt, t_stop, &jumps);
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let traj = classify_states(&s, f_inj, 3, 40).unwrap();
+        assert_eq!(traj.n, 3);
+        assert_eq!(traj.visited_states(), vec![0, 1, 2]);
+        let transitions = traj.transition_times();
+        assert_eq!(transitions.len(), 2);
+        assert!((transitions[0] - 2e-3).abs() < 3e-4);
+        assert!((transitions[1] - 4e-3).abs() < 3e-4);
+        // Away from transitions the phase error must be tiny (locked).
+        for w in &traj.windows {
+            if (w.t_center - 2e-3).abs() > 3e-4 && (w.t_center - 4e-3).abs() > 3e-4 {
+                assert!(w.phase_error.abs() < 0.05, "error {} at {}", w.phase_error, w.t_center);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_phase_stays_in_state_zero() {
+        let f_inj = 9e5;
+        let dt = 1.0 / (f_inj / 3.0) / 50.0;
+        let vals = three_state_waveform(f_inj, dt, 3e-3, &[]);
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let traj = classify_states(&s, f_inj, 3, 30).unwrap();
+        assert_eq!(traj.visited_states(), vec![0]);
+        assert!(traj.transition_times().is_empty());
+    }
+
+    #[test]
+    fn backward_jump_wraps_to_last_state() {
+        let f_inj = 1.5e6;
+        let dt = 1.0 / (f_inj / 3.0) / 64.0;
+        let jumps = [(2e-3, -TAU / 3.0)];
+        let vals = three_state_waveform(f_inj, dt, 4e-3, &jumps);
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let traj = classify_states(&s, f_inj, 3, 40).unwrap();
+        assert_eq!(traj.visited_states(), vec![0, 2]);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let vals = vec![0.0; 64];
+        let s = Sampled::new(0.0, 1e-6, &vals).unwrap();
+        assert!(classify_states(&s, 1e6, 0, 10).is_err());
+        assert!(classify_states(&s, -1.0, 3, 10).is_err());
+        assert!(classify_states(&s, 1e2, 3, 10).is_err()); // too short
+    }
+
+    #[test]
+    fn n_equals_one_has_single_state() {
+        let f = 1e6;
+        let dt = 1.0 / (f * 40.0);
+        let vals: Vec<f64> = (0..80_000)
+            .map(|k| (TAU * f * k as f64 * dt + 1.0).cos())
+            .collect();
+        let s = Sampled::new(0.0, dt, &vals).unwrap();
+        let traj = classify_states(&s, f, 1, 20).unwrap();
+        assert_eq!(traj.visited_states(), vec![0]);
+    }
+}

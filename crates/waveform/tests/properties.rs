@@ -1,0 +1,86 @@
+//! Property-based invariants for the waveform measurements.
+
+use proptest::prelude::*;
+use shil_waveform::lock::{lock_analysis, LockOptions};
+use shil_waveform::measure::{estimate_frequency, peak_amplitude, phasor_at, rms};
+use shil_waveform::Sampled;
+use std::f64::consts::TAU;
+
+fn sine(f: f64, amp: f64, phase: f64, offset: f64, dt: f64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|k| offset + amp * (TAU * f * k as f64 * dt + phase).cos())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Amplitude, RMS and frequency estimators recover a random sinusoid.
+    #[test]
+    fn estimators_recover_random_sinusoids(
+        amp in 0.01f64..10.0,
+        phase in 0.0f64..TAU,
+        offset in -5.0f64..5.0,
+        cycles_per_sample in 0.002f64..0.02,
+    ) {
+        let f = 1e6;
+        let dt = cycles_per_sample / f;
+        let n = (40.0 / cycles_per_sample) as usize; // ~40 periods
+        let vals = sine(f, amp, phase, offset, dt, n);
+        let s = Sampled::new(0.0, dt, &vals).expect("sampled");
+
+        prop_assert!((peak_amplitude(&s) - amp).abs() < 0.01 * amp + 1e-9);
+        prop_assert!((rms(&s) - amp / 2f64.sqrt()).abs() < 0.02 * amp + 1e-9);
+        let fe = estimate_frequency(&s).expect("frequency");
+        prop_assert!(((fe - f) / f).abs() < 1e-3, "f = {fe}");
+        let p = phasor_at(&s, f).expect("phasor");
+        prop_assert!((p.abs() - amp).abs() < 0.01 * amp + 1e-9);
+        prop_assert!(
+            shil_numerics::angle_diff(p.arg(), phase).abs() < 0.02,
+            "phase {} vs {phase}",
+            p.arg()
+        );
+    }
+
+    /// The lock verdict is scale invariant: multiplying the waveform by a
+    /// positive constant never changes it.
+    #[test]
+    fn lock_verdict_is_scale_invariant(
+        scale in 0.001f64..1000.0,
+        detune_ppm in 0.0f64..3000.0,
+    ) {
+        let f = 1e6;
+        let dt = 1.0 / (f * 40.0);
+        let f_real = f * (1.0 + detune_ppm * 1e-6);
+        let n = 200_000;
+        let base = sine(f_real, 1.0, 0.3, 0.0, dt, n);
+        let scaled: Vec<f64> = base.iter().map(|v| v * scale).collect();
+        let sa = Sampled::new(0.0, dt, &base).expect("sampled");
+        let sb = Sampled::new(0.0, dt, &scaled).expect("sampled");
+        let opts = LockOptions::default();
+        let ra = lock_analysis(&sa, f, &opts).expect("a");
+        let rb = lock_analysis(&sb, f, &opts).expect("b");
+        prop_assert_eq!(ra.locked, rb.locked);
+        prop_assert!((ra.max_phase_step - rb.max_phase_step).abs() < 1e-9);
+    }
+
+    /// Windowing a trace never invents samples outside the parent range.
+    #[test]
+    fn window_is_contained(
+        t0 in -1.0f64..1.0,
+        dt in 1e-6f64..1e-3,
+        from_frac in 0.0f64..0.9,
+        span_frac in 0.05f64..0.5,
+    ) {
+        let vals: Vec<f64> = (0..5000).map(|k| (k as f64).sin()).collect();
+        let s = Sampled::new(t0, dt, &vals).expect("sampled");
+        let dur = s.duration();
+        let t_from = t0 + from_frac * dur;
+        let t_to = (t_from + span_frac * dur).min(t0 + dur);
+        if let Ok(w) = s.window(t_from, t_to) {
+            prop_assert!(w.t0 >= t_from - 1e-12);
+            prop_assert!(w.time_at(w.len() - 1) <= t_to + dt);
+            prop_assert!(w.len() >= 2);
+        }
+    }
+}

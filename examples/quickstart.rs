@@ -1,0 +1,65 @@
+//! Quickstart: analyze sub-harmonic injection locking of a textbook
+//! negative-resistance LC oscillator in a few lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::oscillator::Oscillator;
+use shil::core::tank::{ParallelRlc, Tank};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The oscillator: i = -1 mA * tanh(20 v) across a parallel RLC tank.
+    let osc = Oscillator::new(
+        NegativeTanh::new(1e-3, 20.0),
+        ParallelRlc::new(1000.0, 10e-6, 10e-9)?,
+    );
+    println!(
+        "tank: f_c = {:.2} kHz, Q = {:.1}, small-signal loop gain = {:.1}",
+        osc.tank().center_frequency_hz() / 1e3,
+        osc.tank().q(),
+        osc.small_signal_loop_gain()
+    );
+
+    // 1. Does it oscillate, and at what amplitude? (paper §II, Fig. 3)
+    let natural = osc.natural_oscillation()?;
+    println!(
+        "natural oscillation: A = {:.4} V at {:.2} kHz ({})",
+        natural.amplitude,
+        natural.frequency_hz / 1e3,
+        if natural.stable { "stable" } else { "unstable" }
+    );
+
+    // 2. Inject at ~3x the oscillation frequency: where does it lock?
+    //    (paper §III-C, Figs. 7-10)
+    let analysis = osc.shil(3, 0.03)?; // n = 3, |V_i| = 30 mV
+    let lock = analysis.lock_range()?;
+    println!(
+        "3rd-sub-harmonic lock range: injection in [{:.4}, {:.4}] MHz (span {:.2} kHz)",
+        lock.lower_injection_hz / 1e6,
+        lock.upper_injection_hz / 1e6,
+        lock.injection_span_hz / 1e3
+    );
+
+    // 3. Inspect the lock solutions at the center frequency.
+    let solutions = analysis.solutions_at_phase(0.0)?;
+    for s in &solutions {
+        println!(
+            "  solution: phi = {:+.3} rad, A = {:.4} V -> {}",
+            s.phase,
+            s.amplitude,
+            if s.stable { "stable lock" } else { "unstable" }
+        );
+    }
+
+    // 4. The n distinct states a locked oscillator can sit in (Fig. 9).
+    let stable = solutions.iter().find(|s| s.stable).expect("stable lock");
+    println!(
+        "the n = 3 lock states sit at {:?} rad relative to the reference",
+        analysis
+            .state_phases(stable)
+            .iter()
+            .map(|p| (p * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -1,0 +1,194 @@
+//! `shil-cli` — run circuit analyses on SPICE-flavoured netlist files.
+//!
+//! ```text
+//! shil-cli op <file.cir>
+//! shil-cli tran <file.cir> --dt 2e-8 --stop 2e-4 --probe <node> [--probe <node>] [--csv out.csv]
+//! shil-cli ac <file.cir> --port <node-a> <node-b> --from 1e5 --to 1e6 --points 200 [--csv out.csv]
+//! ```
+//!
+//! See `shil_circuit::netlist` for the accepted netlist cards.
+
+use std::process::ExitCode;
+
+use shil::circuit::analysis::{
+    ac_impedance, operating_point, transient, AcOptions, OpOptions, TranOptions,
+};
+use shil::circuit::{netlist, Circuit};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  shil-cli op <file.cir>\n  shil-cli tran <file.cir> --dt <s> --stop <s> \
+         --probe <node> [--probe <node>] [--csv <out>]\n  shil-cli ac <file.cir> --port <a> <b> \
+         --from <hz> --to <hz> [--points <n>] [--csv <out>]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut iter = args.iter().enumerate();
+    while let Some((i, a)) = iter.next() {
+        if a == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+fn load(path: &str) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    netlist::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(file)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let ckt = match load(file) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rest = &args[2..];
+    match cmd.as_str() {
+        "op" => {
+            let op = match operating_point(&ckt, &OpOptions::default()) {
+                Ok(op) => op,
+                Err(e) => {
+                    eprintln!("operating point failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("node voltages:");
+            for id in 1..ckt.num_nodes() {
+                println!("  {:>12} = {:.9e} V", ckt.node_name(id), op.node_voltage(id));
+            }
+            ExitCode::SUCCESS
+        }
+        "tran" => {
+            let (Some(dt), Some(stop)) = (
+                flag_value(rest, "--dt").and_then(|v| v.parse::<f64>().ok()),
+                flag_value(rest, "--stop").and_then(|v| v.parse::<f64>().ok()),
+            ) else {
+                return usage();
+            };
+            let probes: Vec<String> = flag_values(rest, "--probe");
+            if probes.is_empty() {
+                eprintln!("tran needs at least one --probe <node>");
+                return ExitCode::from(2);
+            }
+            let mut probe_ids = Vec::new();
+            for p in &probes {
+                match ckt.find_node(p) {
+                    Some(id) => probe_ids.push(id),
+                    None => {
+                        eprintln!("unknown probe node `{p}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let res = match transient(&ckt, &TranOptions::new(dt, stop)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("transient failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut out = String::from("t");
+            for p in &probes {
+                out.push(',');
+                out.push_str(p);
+            }
+            out.push('\n');
+            for k in 0..res.time.len() {
+                out.push_str(&format!("{:e}", res.time[k]));
+                for &id in &probe_ids {
+                    let v = res.node_voltage(id).expect("probed node");
+                    out.push_str(&format!(",{:e}", v[k]));
+                }
+                out.push('\n');
+            }
+            emit(rest, &out)
+        }
+        "ac" => {
+            let ports = flag_values(rest, "--port");
+            let port_b = rest
+                .iter()
+                .position(|a| a == "--port")
+                .and_then(|i| rest.get(i + 2))
+                .cloned();
+            let (Some(pa), Some(pb)) = (ports.first().cloned(), port_b) else {
+                eprintln!("ac needs --port <node-a> <node-b>");
+                return ExitCode::from(2);
+            };
+            let (Some(from), Some(to)) = (
+                flag_value(rest, "--from").and_then(|v| v.parse::<f64>().ok()),
+                flag_value(rest, "--to").and_then(|v| v.parse::<f64>().ok()),
+            ) else {
+                return usage();
+            };
+            let points = flag_value(rest, "--points")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(100)
+                .max(2);
+            let node = |name: &str| {
+                if name == "0" {
+                    Some(Circuit::GROUND)
+                } else {
+                    ckt.find_node(name)
+                }
+            };
+            let (Some(a), Some(b)) = (node(&pa), node(&pb)) else {
+                eprintln!("unknown port node");
+                return ExitCode::FAILURE;
+            };
+            let freqs: Vec<f64> = (0..points)
+                .map(|k| from * (to / from).powf(k as f64 / (points - 1) as f64))
+                .collect();
+            let z = match ac_impedance(&ckt, a, b, &freqs, &AcOptions::default()) {
+                Ok(z) => z,
+                Err(e) => {
+                    eprintln!("ac analysis failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut out = String::from("f_hz,mag_ohm,phase_rad\n");
+            for (f, zk) in freqs.iter().zip(&z) {
+                out.push_str(&format!("{:e},{:e},{:e}\n", f, zk.abs(), zk.arg()));
+            }
+            emit(rest, &out)
+        }
+        _ => usage(),
+    }
+}
+
+fn emit(rest: &[String], content: &str) -> ExitCode {
+    match flag_value(rest, "--csv") {
+        Some(path) => match std::fs::write(&path, content) {
+            Ok(()) => {
+                println!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{content}");
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Umbrella crate for the `shil` workspace — a Rust reproduction of
+//! *"A Rigorous Graphical Technique for Predicting Sub-harmonic Injection
+//! Locking in LC Oscillators"* (DAC 2014).
+//!
+//! This crate re-exports the workspace members under stable module names so
+//! that examples and downstream users need a single dependency:
+//!
+//! - [`core`] — the analysis engine (describing functions, SHIL solver,
+//!   lock-range prediction). This is the paper's contribution.
+//! - [`circuit`] — a SPICE-like MNA transient/DC/AC simulator used as the
+//!   validation substrate (the paper used NGSPICE).
+//! - [`waveform`] — post-processing of transient waveforms (amplitude,
+//!   frequency, lock detection, SHIL state classification).
+//! - [`numerics`] — the shared numerical kernel.
+//! - [`plot`] — ASCII/SVG/CSV rendering of the graphical procedure.
+//!
+//! # Quickstart
+//!
+//! Predict the natural oscillation amplitude and the 3rd-subharmonic lock
+//! range of a `−tanh` negative-resistance LC oscillator:
+//!
+//! ```
+//! use shil::core::nonlinearity::NegativeTanh;
+//! use shil::core::tank::ParallelRlc;
+//! use shil::core::oscillator::Oscillator;
+//!
+//! # fn main() -> Result<(), shil::core::ShilError> {
+//! let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9)?; // R = 1 kΩ, L = 10 µH, C = 10 nF
+//! let osc = Oscillator::new(NegativeTanh::new(1e-3, 20.0), tank);
+//!
+//! let natural = osc.natural_oscillation()?;
+//! assert!(natural.amplitude > 0.0);
+//!
+//! let lock = osc.shil_lock_range(3, 0.03)?; // n = 3, |V_i| = 30 mV
+//! assert!(lock.upper_injection_hz > lock.lower_injection_hz);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod repro;
+
+pub use shil_circuit as circuit;
+pub use shil_core as core;
+pub use shil_numerics as numerics;
+pub use shil_plot as plot;
+pub use shil_waveform as waveform;

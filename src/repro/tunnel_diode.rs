@@ -1,0 +1,204 @@
+//! The tunnel-diode oscillator of §IV-B.
+//!
+//! Topology (Fig. 16a): the tunnel diode of appendix §VI-C biased at
+//! 0.25 V (the center of its negative-resistance valley) through the tank
+//! inductor, with the tank R and C across the diode. At DC the inductor
+//! shorts the bias source onto the diode; at RF the bias source is ground,
+//! so the diode sees a parallel RLC tank — the exact structure the analysis
+//! assumes after the Fig. 16 bias-shift normalization.
+
+use shil_circuit::iv::TunnelDiodeModel;
+use shil_circuit::{Circuit, CircuitError, DeviceId, IvCurve, NodeId, SourceWave};
+use shil_core::nonlinearity::{Biased, TunnelDiode};
+use shil_core::tank::ParallelRlc;
+use shil_core::ShilError;
+
+/// Component values of the tunnel-diode oscillator.
+///
+/// `L` and `C` give `f_c = 503.29 MHz` (the paper's 0.5033 GHz); `r_tank`
+/// defaults to the value calibrated for the paper's 0.199 V natural
+/// amplitude (see [`TunnelDiodeParams::calibrated`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunnelDiodeParams {
+    /// Bias voltage (paper: 0.25 V).
+    pub v_bias: f64,
+    /// Tank resistance (Ω).
+    pub r_tank: f64,
+    /// Tank inductance (H).
+    pub l_tank: f64,
+    /// Tank capacitance (F).
+    pub c_tank: f64,
+    /// Diode model (paper appendix §VI-C defaults).
+    pub model: TunnelDiodeModel,
+}
+
+impl Default for TunnelDiodeParams {
+    fn default() -> Self {
+        TunnelDiodeParams {
+            v_bias: 0.25,
+            r_tank: 4000.0, // placeholder; see `calibrated`
+            l_tank: 10e-9,
+            c_tank: 10e-12,
+            model: TunnelDiodeModel::default(),
+        }
+    }
+}
+
+impl TunnelDiodeParams {
+    /// Parameters with `r_tank` calibrated so the predicted natural
+    /// amplitude equals `target_amplitude` (0.199 V reproduces the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn calibrated(target_amplitude: f64) -> Result<Self, ShilError> {
+        let mut p = TunnelDiodeParams::default();
+        let f = p.biased_nonlinearity();
+        p.r_tank = crate::repro::calibrate_tank_resistance(
+            &f,
+            p.l_tank,
+            p.c_tank,
+            target_amplitude,
+            1000.0,
+            100_000.0,
+        )?;
+        Ok(p)
+    }
+
+    /// The analysis-side nonlinearity: the §VI-C diode re-centered at the
+    /// bias point (the Fig. 16 shift).
+    pub fn biased_nonlinearity(&self) -> Biased<TunnelDiode> {
+        TunnelDiode { model: self.model }.biased_at(self.v_bias)
+    }
+
+    /// The analysis-side tank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShilError::InvalidParameter`] for non-physical values.
+    pub fn tank(&self) -> Result<ParallelRlc, ShilError> {
+        ParallelRlc::new(self.r_tank, self.l_tank, self.c_tank)
+    }
+
+    /// The tank center frequency (hertz).
+    pub fn center_frequency_hz(&self) -> f64 {
+        1.0 / (std::f64::consts::TAU * (self.l_tank * self.c_tank).sqrt())
+    }
+}
+
+/// A built tunnel-diode oscillator ready for transient analysis.
+#[derive(Debug, Clone)]
+pub struct TunnelDiodeOscillator {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// The diode node (oscillation observed here, around the bias).
+    pub n_diode: NodeId,
+    /// The tank node (before the series injection source).
+    pub n_tank: NodeId,
+    /// The series injection source.
+    pub injection: DeviceId,
+    /// The state-kick current source.
+    pub kick: DeviceId,
+    /// The parameters used.
+    pub params: TunnelDiodeParams,
+}
+
+impl TunnelDiodeOscillator {
+    /// Builds the oscillator (Fig. 16a plus series injection and kick
+    /// sources).
+    pub fn build(params: TunnelDiodeParams) -> Self {
+        let mut ckt = Circuit::new();
+        let nb = ckt.node("bias");
+        let nt = ckt.node("tank");
+        let nd = ckt.node("diode");
+        ckt.vsource(nb, Circuit::GROUND, SourceWave::Dc(params.v_bias));
+        // Bias feed / tank inductor.
+        ckt.inductor(nb, nt, params.l_tank);
+        // Tank R and C across the diode side.
+        ckt.resistor(nt, Circuit::GROUND, params.r_tank);
+        ckt.capacitor(nt, Circuit::GROUND, params.c_tank);
+        // Series injection between the tank and the diode: the diode sees
+        // v_tank + v_inj, the Fig. 8a summing junction.
+        let injection = ckt.vsource(nt, nd, SourceWave::Dc(0.0));
+        ckt.nonlinear(nd, Circuit::GROUND, IvCurve::TunnelDiode(params.model));
+        // Kick source for the Fig. 19 state changes.
+        let kick = ckt.isource(Circuit::GROUND, nt, SourceWave::Dc(0.0));
+        TunnelDiodeOscillator {
+            circuit: ckt,
+            n_diode: nd,
+            n_tank: nt,
+            injection,
+            kick,
+            params,
+        }
+    }
+
+    /// Sets the injection waveform.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a circuit built by [`Self::build`].
+    pub fn set_injection(&mut self, wave: SourceWave) -> Result<(), CircuitError> {
+        self.circuit.set_source_wave(self.injection, wave)
+    }
+
+    /// Sets the kick waveform.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a circuit built by [`Self::build`].
+    pub fn set_kick(&mut self, wave: SourceWave) -> Result<(), CircuitError> {
+        self.circuit.set_source_wave(self.kick, wave)
+    }
+
+    /// The paper's injection waveform (peak `2·vi` at `f_injection`,
+    /// enabled at `delay`).
+    pub fn injection_wave(vi: f64, f_injection: f64, delay: f64) -> SourceWave {
+        SourceWave::sine(2.0 * vi, f_injection, delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shil_circuit::analysis::{operating_point, OpOptions};
+    use shil_core::Nonlinearity;
+
+    #[test]
+    fn center_frequency_matches_paper() {
+        let p = TunnelDiodeParams::default();
+        assert!((p.center_frequency_hz() - 503.292e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn biased_nonlinearity_is_negative_resistance_at_origin() {
+        let p = TunnelDiodeParams::default();
+        let f = p.biased_nonlinearity();
+        assert!(f.current(0.0).abs() < 1e-18);
+        assert!(f.conductance(0.0) < 0.0);
+    }
+
+    #[test]
+    fn operating_point_sits_at_bias() {
+        let osc = TunnelDiodeOscillator::build(TunnelDiodeParams::default());
+        let op = operating_point(&osc.circuit, &OpOptions::default()).unwrap();
+        // The inductor shorts the bias onto the tank at DC; the tank R to
+        // ground draws current through the inductor... the diode node sees
+        // the bias minus nothing (series source is 0 V).
+        let vd = op.node_voltage(osc.n_diode);
+        assert!(
+            (vd - 0.25).abs() < 1e-6,
+            "diode DC voltage {vd} (expected 0.25)"
+        );
+    }
+
+    #[test]
+    fn netlist_shape_and_wave_setters() {
+        let mut osc = TunnelDiodeOscillator::build(TunnelDiodeParams::default());
+        assert_eq!(osc.circuit.devices().len(), 7);
+        assert!(osc
+            .set_injection(TunnelDiodeOscillator::injection_wave(0.03, 1.51e9, 0.0))
+            .is_ok());
+        assert!(osc.set_kick(SourceWave::Dc(0.0)).is_ok());
+    }
+}

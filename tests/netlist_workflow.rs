@@ -1,0 +1,100 @@
+//! Netlist-driven workflow: define the oscillator as text, simulate it, and
+//! feed the same definition through the analysis pipeline.
+
+use shil::circuit::analysis::{transient, TranOptions};
+use shil::circuit::netlist;
+use shil::core::describing::{natural_oscillation, NaturalOptions};
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::tank::{ParallelRlc, Tank};
+use shil::waveform::measure::{estimate_frequency, peak_amplitude};
+use shil::waveform::Sampled;
+
+const TANH_OSC: &str = "* negative-tanh LC oscillator\n\
+     R1 top 0 1k\n\
+     L1 top 0 10u\n\
+     C1 top 0 10n\n\
+     G1 top 0 TANH(-1m 20)\n\
+     .end\n";
+
+#[test]
+fn netlist_oscillator_matches_the_analytic_prediction() {
+    let ckt = netlist::parse(TANH_OSC).expect("parse");
+    let top = ckt.find_node("top").expect("node");
+
+    // Analysis side, from the equivalent analytic definition.
+    let f = NegativeTanh::new(1e-3, 20.0);
+    let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("tank");
+    let nat = natural_oscillation(&f, &tank, &NaturalOptions::default()).expect("oscillates");
+
+    // Simulation side, from the parsed netlist.
+    let fc = tank.center_frequency_hz();
+    let period = 1.0 / fc;
+    let opts = TranOptions::new(period / 128.0, 500.0 * period)
+        .with_ic(top, 0.01)
+        .record_after(350.0 * period);
+    let res = transient(&ckt, &opts).expect("transient");
+    let tr = res.voltage_between(top, 0).expect("trace");
+    let s = Sampled::from_time_series(&tr.time, &tr.values).expect("sampled");
+
+    let amp = peak_amplitude(&s);
+    let freq = estimate_frequency(&s).expect("frequency");
+    assert!(
+        (amp - nat.amplitude).abs() / nat.amplitude < 0.01,
+        "sim A = {amp} vs predicted {}",
+        nat.amplitude
+    );
+    assert!((freq - fc).abs() / fc < 1e-3, "sim f = {freq} vs {fc}");
+}
+
+#[test]
+fn write_then_parse_preserves_transient_behaviour() {
+    let ckt = netlist::parse(TANH_OSC).expect("parse");
+    let rendered = netlist::write(&ckt).expect("write");
+    let again = netlist::parse(&rendered).expect("reparse");
+
+    let run = |c: &shil::circuit::Circuit| {
+        let top = c.find_node("top").expect("node");
+        let period = 1.0 / 503.292e3;
+        let opts = TranOptions::new(period / 96.0, 200.0 * period)
+            .with_ic(top, 0.01)
+            .record_after(150.0 * period);
+        let res = transient(c, &opts).expect("transient");
+        let tr = res.voltage_between(top, 0).expect("trace");
+        tr.values
+    };
+    let a = run(&ckt);
+    let b = run(&again);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-12, "waveforms diverge: {x} vs {y}");
+    }
+}
+
+#[test]
+fn parsed_pulse_kick_changes_shil_state() {
+    // The full Fig. 15-style experiment defined purely as a netlist.
+    let fc = 503.292e3;
+    let f_inj = 3.0 * fc;
+    let text = format!(
+        "R1 top 0 1k\n\
+         L1 top 0 10u\n\
+         C1 top 0 10n\n\
+         V1 top nl SIN(0 0.06 {f_inj} 0 0)\n\
+         G1 nl 0 TANH(-1m 20)\n\
+         I1 0 top PULSE(0 60m 2m 100n 100n 1.5u 1g)\n"
+    );
+    let ckt = netlist::parse(&text).expect("parse");
+    let top = ckt.find_node("top").expect("node");
+    let opts = TranOptions::new(1.0 / fc / 96.0, 3.6e-3)
+        .with_ic(top, 0.01)
+        .record_after(0.5e-3);
+    let res = transient(&ckt, &opts).expect("transient");
+    let tr = res.voltage_between(top, 0).expect("trace");
+    let s = Sampled::from_time_series(&tr.time, &tr.values).expect("sampled");
+    let traj = shil::waveform::states::classify_states(&s, f_inj, 3, 40).expect("classify");
+    assert!(
+        traj.visited_states().len() >= 2,
+        "kick should change the state: {:?}",
+        traj.visited_states()
+    );
+}

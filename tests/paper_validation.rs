@@ -1,0 +1,203 @@
+//! End-to-end validation against the paper's §IV numbers.
+//!
+//! These tests tie all five crates together: circuits are built and swept
+//! with `shil-circuit`, curves flow into `shil-core`, predictions are
+//! checked against both transient simulation (via `shil-waveform`) and the
+//! paper's reported values.
+
+use shil::core::describing::{natural_oscillation, NaturalOptions};
+use shil::core::shil::{ShilAnalysis, ShilOptions};
+use shil::core::tank::Tank;
+use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
+use shil::repro::simlock::{measure_natural, probe_lock, simulated_lock_range, SimOptions};
+use shil::repro::tunnel_diode::TunnelDiodeParams;
+
+const N: u32 = 3;
+const VI: f64 = 0.03;
+
+#[test]
+fn diff_pair_natural_oscillation_matches_simulation_and_paper() {
+    let params = DiffPairParams::calibrated(0.505).expect("calibration");
+    let f = params.extract_iv_curve().expect("extraction");
+    let tank = params.tank().expect("tank");
+    let nat = natural_oscillation(&f, &tank, &NaturalOptions::default()).expect("oscillates");
+
+    // Calibration target: the paper's Fig. 12b prediction.
+    assert!((nat.amplitude - 0.505).abs() < 1e-3, "A = {}", nat.amplitude);
+    // Oscillation frequency = tank center = 0.5033 MHz (paper Fig. 13).
+    assert!((nat.frequency_hz - 503.29e3).abs() < 50.0);
+
+    let osc = DiffPairOscillator::build(params);
+    let sim = measure_natural(
+        &osc.circuit,
+        osc.ncl,
+        osc.ncr,
+        nat.frequency_hz,
+        &SimOptions::default(),
+        &[(osc.ncl, params.vcc + 0.05)],
+    )
+    .expect("simulation");
+    // "Essentially perfect match" (§IV): amplitude within 1 %, frequency
+    // within 0.2 % (fixed-step integrator dispersion dominates the latter).
+    assert!(
+        (sim.amplitude - nat.amplitude).abs() / nat.amplitude < 0.01,
+        "sim A = {} vs pred {}",
+        sim.amplitude,
+        nat.amplitude
+    );
+    assert!(
+        (sim.frequency_hz - nat.frequency_hz).abs() / nat.frequency_hz < 2e-3,
+        "sim f = {} vs pred {}",
+        sim.frequency_hz,
+        nat.frequency_hz
+    );
+}
+
+#[test]
+fn tunnel_diode_natural_oscillation_matches_simulation_and_paper() {
+    let params = TunnelDiodeParams::calibrated(0.199).expect("calibration");
+    let f = params.biased_nonlinearity();
+    let tank = params.tank().expect("tank");
+    let nat = natural_oscillation(&f, &tank, &NaturalOptions::default()).expect("oscillates");
+    assert!((nat.amplitude - 0.199).abs() < 1e-3);
+    assert!((nat.frequency_hz - 503.29e6).abs() < 5e4);
+
+    let osc = shil::repro::tunnel_diode::TunnelDiodeOscillator::build(params);
+    let sim = measure_natural(
+        &osc.circuit,
+        osc.n_diode,
+        0,
+        nat.frequency_hz,
+        &SimOptions::default(),
+        &[
+            (osc.n_tank, params.v_bias + 0.02),
+            (osc.n_diode, params.v_bias + 0.02),
+        ],
+    )
+    .expect("simulation");
+    assert!((sim.amplitude - nat.amplitude).abs() / nat.amplitude < 0.01);
+    assert!((sim.frequency_hz - nat.frequency_hz).abs() / nat.frequency_hz < 2e-3);
+}
+
+/// The strongest reproduction check in the suite: with R calibrated only
+/// to the paper's *natural amplitude* (0.199 V), the predicted Table 2
+/// lock limits land on the paper's predicted values to ~5 significant
+/// digits.
+#[test]
+fn tunnel_diode_lock_range_prediction_matches_paper_table2() {
+    let params = TunnelDiodeParams::calibrated(0.199).expect("calibration");
+    let f = params.biased_nonlinearity();
+    let tank = params.tank().expect("tank");
+    let lock = ShilAnalysis::new(&f, &tank, N, VI, ShilOptions::default())
+        .expect("analysis")
+        .lock_range()
+        .expect("lock range");
+
+    let paper_lower = 1.507320e9;
+    let paper_upper = 1.512429e9;
+    assert!(
+        (lock.lower_injection_hz - paper_lower).abs() / paper_lower < 2e-5,
+        "lower {} vs paper {paper_lower}",
+        lock.lower_injection_hz
+    );
+    assert!(
+        (lock.upper_injection_hz - paper_upper).abs() / paper_upper < 2e-5,
+        "upper {} vs paper {paper_upper}",
+        lock.upper_injection_hz
+    );
+    let paper_span = paper_upper - paper_lower;
+    assert!(
+        (lock.injection_span_hz - paper_span).abs() / paper_span < 5e-3,
+        "span {} vs paper {paper_span}",
+        lock.injection_span_hz
+    );
+}
+
+#[test]
+fn diff_pair_lock_range_prediction_agrees_with_simulation() {
+    let params = DiffPairParams::calibrated(0.505).expect("calibration");
+    let f = params.extract_iv_curve().expect("extraction");
+    let tank = params.tank().expect("tank");
+    let lock = ShilAnalysis::new(&f, &tank, N, VI, ShilOptions::default())
+        .expect("analysis")
+        .lock_range()
+        .expect("lock range");
+    // Sanity on the shape: a few-kHz range bracketing 3 f_c.
+    let fc = tank.center_frequency_hz();
+    assert!(lock.lower_injection_hz < 3.0 * fc && 3.0 * fc < lock.upper_injection_hz);
+    assert!(lock.injection_span_hz > 5e3 && lock.injection_span_hz < 50e3);
+
+    // Fast simulated search with a loose gate: spans agree within 15 %.
+    let opts = SimOptions::default();
+    let sim = simulated_lock_range(
+        |f_inj| {
+            let mut o = DiffPairOscillator::build(params);
+            o.set_injection(DiffPairOscillator::injection_wave(VI, f_inj, 0.0))
+                .expect("injection");
+            probe_lock(
+                &o.circuit,
+                o.ncl,
+                o.ncr,
+                f_inj,
+                N,
+                &opts,
+                &[(o.ncl, params.vcc + 0.05)],
+            )
+        },
+        3.0 * fc,
+        3.0 * fc * 1.5e-3,
+        3.0 * fc * 5e-5,
+    )
+    .expect("simulated lock range");
+    assert!(
+        (sim.injection_span_hz - lock.injection_span_hz).abs() / lock.injection_span_hz < 0.15,
+        "sim span {} vs predicted {}",
+        sim.injection_span_hz,
+        lock.injection_span_hz
+    );
+    // Edges within 0.2 % of each other.
+    assert!(
+        (sim.lower_injection_hz - lock.lower_injection_hz).abs() / lock.lower_injection_hz
+            < 2e-3
+    );
+    assert!(
+        (sim.upper_injection_hz - lock.upper_injection_hz).abs() / lock.upper_injection_hz
+            < 2e-3
+    );
+}
+
+/// Fig. 14/18: "A (and φ) decreases with increasing |ω_c − ω_i| till a
+/// cut-off point is reached" — the dome shape of the lock amplitude across
+/// the lock range, checked on the tunnel diode.
+///
+/// (The paper also remarks that the SHIL amplitude sits below the natural
+/// one; for the fully specified §VI-C tunnel diode at |V_i| = 30 mV our
+/// prediction *and* simulation both put the center-lock amplitude ~8 %
+/// above natural — the 60 mV peak injection is 30 % of the swing and adds
+/// to it. The monotone decrease toward the edges is the robust, testable
+/// shape; see EXPERIMENTS.md "known deviations".)
+#[test]
+fn shil_amplitude_decreases_monotonically_toward_the_band_edges() {
+    let params = TunnelDiodeParams::calibrated(0.199).expect("calibration");
+    let f = params.biased_nonlinearity();
+    let tank = params.tank().expect("tank");
+    let an = ShilAnalysis::new(&f, &tank, N, VI, ShilOptions::default()).expect("analysis");
+    let lr = an.lock_range().expect("lock range");
+    let amp_at = |frac: f64| {
+        an.solutions_at_phase(frac * lr.phi_d_max)
+            .expect("solutions")
+            .into_iter()
+            .find(|s| s.stable)
+            .expect("stable lock")
+            .amplitude
+    };
+    let a0 = amp_at(0.0);
+    let a1 = amp_at(0.45);
+    let a2 = amp_at(0.9);
+    assert!(a0 > a1 && a1 > a2, "not monotone: {a0}, {a1}, {a2}");
+    // And the same on the negative-detuning side (±φ_d symmetry, §VI-B3).
+    let b1 = amp_at(-0.45);
+    let b2 = amp_at(-0.9);
+    assert!(a0 > b1 && b1 > b2, "not monotone: {a0}, {b1}, {b2}");
+    assert!((a1 - b1).abs() < 1e-6 && (a2 - b2).abs() < 1e-6, "asymmetric");
+}

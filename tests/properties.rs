@@ -1,0 +1,119 @@
+//! Property-based invariants spanning the analysis pipeline.
+
+use proptest::prelude::*;
+
+use shil::core::describing::{natural_oscillation, NaturalOptions};
+use shil::core::harmonics::{i1_injected, HarmonicOptions};
+use shil::core::nonlinearity::{NegativeTanh, Nonlinearity, Polynomial};
+use shil::core::tank::{ParallelRlc, Tank};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The circle property (§VI-B1): |H(jω)| = R·cos(∠H(jω)) for any
+    /// physical parallel RLC at any frequency.
+    #[test]
+    fn circle_property_for_random_tanks(
+        r in 10.0f64..100e3,
+        l in 1e-9f64..1e-3,
+        c in 1e-12f64..1e-6,
+        x in 0.3f64..3.0,
+    ) {
+        let tank = ParallelRlc::new(r, l, c).expect("valid tank");
+        let w = x * tank.center_omega();
+        let z = tank.impedance(w);
+        prop_assert!(
+            (z.abs() - r * z.arg().cos()).abs() < 1e-6 * r,
+            "R = {r}, x = {x}: |Z| = {}, R cos = {}",
+            z.abs(),
+            r * z.arg().cos()
+        );
+    }
+
+    /// Tank phase inversion is exact for any attainable phase.
+    #[test]
+    fn omega_for_phase_roundtrip(
+        r in 100.0f64..10e3,
+        phi in -1.4f64..1.4,
+    ) {
+        let tank = ParallelRlc::new(r, 10e-6, 10e-9).expect("valid tank");
+        let w = tank.omega_for_phase(phi).expect("attainable");
+        prop_assert!((tank.phase(w) - phi).abs() < 1e-9);
+    }
+
+    /// I₁ conjugate symmetry in φ (§VI-B3) holds for any (A, V_i, n).
+    #[test]
+    fn i1_conjugate_symmetry(
+        a in 0.05f64..2.0,
+        vi in 0.001f64..0.2,
+        phi in 0.0f64..std::f64::consts::PI,
+        n in 1u32..6,
+    ) {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        let o = HarmonicOptions { samples: 256 };
+        let plus = i1_injected(&f, a, vi, phi, n, &o);
+        let minus = i1_injected(&f, a, vi, -phi, n, &o);
+        prop_assert!((plus.conj() - minus).abs() < 1e-12);
+    }
+
+    /// The natural-oscillation solve satisfies its own fixed point:
+    /// T_f(A*) = 1, and scaling R scales the saturated tanh amplitude
+    /// monotonically.
+    #[test]
+    fn natural_amplitude_is_a_fixed_point_and_monotone_in_r(
+        r in 300.0f64..5e3,
+        i0 in 0.2e-3f64..5e-3,
+    ) {
+        let f = NegativeTanh::new(i0, 20.0);
+        let tank = ParallelRlc::new(r, 10e-6, 10e-9).expect("valid tank");
+        prop_assume!(r * i0 * 20.0 > 1.5); // comfortably oscillating
+        let nat = natural_oscillation(&f, &tank, &NaturalOptions::default())
+            .expect("oscillates");
+        let tf = shil::core::harmonics::t_f_single(
+            &f,
+            r,
+            nat.amplitude,
+            &HarmonicOptions::default(),
+        );
+        prop_assert!((tf - 1.0).abs() < 1e-8, "T_f(A*) = {tf}");
+
+        let bigger = ParallelRlc::new(1.5 * r, 10e-6, 10e-9).expect("valid tank");
+        let nat2 = natural_oscillation(&f, &bigger, &NaturalOptions::default())
+            .expect("oscillates");
+        prop_assert!(nat2.amplitude > nat.amplitude);
+    }
+
+    /// Van der Pol closed form: A* = 2√((g₁ − 1/R)/(3 g₃ /... )) — checked
+    /// against the solver for random parameters.
+    #[test]
+    fn van_der_pol_closed_form(
+        g1_scale in 1.2f64..10.0,
+        g3 in 1e-4f64..1e-2,
+    ) {
+        let r = 1000.0;
+        let g1 = g1_scale / r; // loop gain = g1·R = g1_scale > 1.2
+        let f = Polynomial::van_der_pol(g1, g3).expect("valid");
+        let tank = ParallelRlc::new(r, 10e-6, 10e-9).expect("valid tank");
+        let nat = natural_oscillation(&f, &tank, &NaturalOptions::default())
+            .expect("oscillates");
+        let expect = ((g1 - 1.0 / r) * 4.0 / (3.0 * g3)).sqrt();
+        prop_assert!(
+            (nat.amplitude - expect).abs() < 1e-5 * expect.max(1.0),
+            "A = {} vs closed form {expect}",
+            nat.amplitude
+        );
+    }
+
+    /// Bias-shifting a curve never changes its differential conductance
+    /// profile, only re-centers it.
+    #[test]
+    fn biased_adapter_preserves_shape(
+        bias in -0.5f64..0.5,
+        v in -1.0f64..1.0,
+    ) {
+        let raw = shil::core::nonlinearity::TunnelDiode::new();
+        let shifted = shil::core::nonlinearity::TunnelDiode::new().biased_at(bias);
+        prop_assert!((shifted.conductance(v) - raw.conductance(v + bias)).abs() < 1e-15);
+        prop_assert!(shifted.current(0.0).abs() < 1e-16);
+    }
+}
