@@ -48,8 +48,8 @@ fn bench_circuit(c: &mut Criterion) {
     // The full diff-pair oscillator (8 unknowns, 2 BJTs).
     let dp = DiffPairOscillator::build(params);
     let dp_period = 1.0 / params.center_frequency_hz();
-    let dp_opts = TranOptions::new(dp_period / 128.0, 20.0 * dp_period)
-        .with_ic(dp.ncl, params.vcc + 0.05);
+    let dp_opts =
+        TranOptions::new(dp_period / 128.0, 20.0 * dp_period).with_ic(dp.ncl, params.vcc + 0.05);
     g.bench_function("diff_pair_2560_steps", |b| {
         b.iter(|| transient(black_box(&dp.circuit), &dp_opts).expect("tran"))
     });
@@ -65,7 +65,9 @@ fn bench_circuit(c: &mut Criterion) {
         (ckt, top)
     };
     let fc = 1.0 / (std::f64::consts::TAU * (10e-6f64 * 10e-9).sqrt());
-    let freqs: Vec<f64> = (0..200).map(|k| fc * (0.8 + 0.4 * k as f64 / 199.0)).collect();
+    let freqs: Vec<f64> = (0..200)
+        .map(|k| fc * (0.8 + 0.4 * k as f64 / 199.0))
+        .collect();
     c.bench_function("ac_impedance/200_points", |b| {
         b.iter(|| {
             ac_impedance(

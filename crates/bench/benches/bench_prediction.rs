@@ -22,12 +22,8 @@ fn bench_prediction(c: &mut Criterion) {
 
     c.bench_function("natural_oscillation/diff_pair", |b| {
         b.iter(|| {
-            natural_oscillation(
-                black_box(&dp_curve),
-                &dp_tank,
-                &NaturalOptions::default(),
-            )
-            .expect("oscillates")
+            natural_oscillation(black_box(&dp_curve), &dp_tank, &NaturalOptions::default())
+                .expect("oscillates")
         })
     });
 
@@ -47,10 +43,14 @@ fn bench_prediction(c: &mut Criterion) {
     });
     g.finish();
 
-    let analysis = ShilAnalysis::new(&dp_curve, &dp_tank, 3, 0.03, ShilOptions::default())
-        .expect("analysis");
+    let analysis =
+        ShilAnalysis::new(&dp_curve, &dp_tank, 3, 0.03, ShilOptions::default()).expect("analysis");
     c.bench_function("solutions_at_phase/diff_pair", |b| {
-        b.iter(|| analysis.solutions_at_phase(black_box(0.1)).expect("solutions"))
+        b.iter(|| {
+            analysis
+                .solutions_at_phase(black_box(0.1))
+                .expect("solutions")
+        })
     });
 
     let mut g = c.benchmark_group("lock_range_prediction");

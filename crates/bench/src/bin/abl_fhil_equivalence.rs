@@ -5,8 +5,8 @@
 //! across injection strengths and compares against the classical Adler
 //! closed form, which is exact in the weak-injection limit.
 
-use shil::core::fhil::{adler_lock_range, adler_span_estimate};
 use shil::core::describing::{natural_oscillation, NaturalOptions};
+use shil::core::fhil::{adler_lock_range, adler_span_estimate};
 use shil::core::nonlinearity::NegativeTanh;
 use shil::core::shil::{ShilAnalysis, ShilOptions};
 use shil::core::tank::{ParallelRlc, Tank};

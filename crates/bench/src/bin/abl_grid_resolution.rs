@@ -43,16 +43,21 @@ fn main() {
     println!("grid      | build time | |dphi|    | |dA|      | span rel err | solutions found");
     println!("----------+------------+-----------+-----------+--------------+----------------");
 
-    for (pp, ap) in [(31usize, 21usize), (61, 41), (121, 81), (161, 101), (241, 141)] {
+    for (pp, ap) in [
+        (31usize, 21usize),
+        (61, 41),
+        (121, 81),
+        (161, 101),
+        (241, 141),
+    ] {
         let opts = ShilOptions {
             phase_points: pp,
             amplitude_points: ap,
             harmonics: HarmonicOptions { samples: 256 },
             ..Default::default()
         };
-        let (an, t_build) = timed(|| {
-            ShilAnalysis::new(&f, &tank, paper::N, paper::VI, opts).expect("analysis")
-        });
+        let (an, t_build) =
+            timed(|| ShilAnalysis::new(&f, &tank, paper::N, paper::VI, opts).expect("analysis"));
         let sols = an.solutions_at_phase(0.02).expect("solutions");
         let found = sols.len();
         let err = sols
@@ -65,7 +70,10 @@ fn main() {
                 )
             })
             .unwrap_or((f64::NAN, f64::NAN));
-        let span = an.lock_range().map(|l| l.injection_span_hz).unwrap_or(f64::NAN);
+        let span = an
+            .lock_range()
+            .map(|l| l.injection_span_hz)
+            .unwrap_or(f64::NAN);
         println!(
             "{:>4}x{:<4} | {:>10.1?} | {:>9.2e} | {:>9.2e} | {:>12.3e} | {found}",
             pp,

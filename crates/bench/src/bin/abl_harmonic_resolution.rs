@@ -29,11 +29,9 @@ fn main() {
     println!("--------+-------------------+---------------------------------");
     for samples in [16usize, 32, 64, 128, 256, 512, 1024, 4096] {
         let o = HarmonicOptions { samples };
-        let e_tanh = (i1_injected(&tanh, 1.27, paper::VI, 0.8, paper::N, &o) - i1_ref_tanh)
-            .abs()
+        let e_tanh = (i1_injected(&tanh, 1.27, paper::VI, 0.8, paper::N, &o) - i1_ref_tanh).abs()
             / i1_ref_tanh.abs();
-        let e_tab = (i1_injected(&table, 0.50, paper::VI, 0.8, paper::N, &o) - i1_ref_tab)
-            .abs()
+        let e_tab = (i1_injected(&table, 0.50, paper::VI, 0.8, paper::N, &o) - i1_ref_tab).abs()
             / i1_ref_tab.abs();
         println!("{samples:>7} | {e_tanh:>17.3e} | {e_tab:>20.3e}");
     }

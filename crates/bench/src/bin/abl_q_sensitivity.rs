@@ -23,7 +23,11 @@ fn build(r: f64, vi: f64, f_inj: f64) -> (Circuit, usize, usize) {
     ckt.inductor(top, Circuit::GROUND, 10e-6);
     ckt.capacitor(top, Circuit::GROUND, 10e-9);
     // Series injection between tank and the nonlinearity, as in Fig. 8a.
-    ckt.vsource(top, nl, shil::circuit::SourceWave::sine(2.0 * vi, f_inj, 0.0));
+    ckt.vsource(
+        top,
+        nl,
+        shil::circuit::SourceWave::sine(2.0 * vi, f_inj, 0.0),
+    );
     ckt.nonlinear(nl, Circuit::GROUND, IvCurve::tanh(-1e-3, 20.0));
     (ckt, top, nl)
 }

@@ -39,9 +39,8 @@ fn main() {
     let vco = CmosVco::build(params);
     let opts = accurate_sim_options();
     let ic = [(vco.dl, params.vdd + 0.05)];
-    let sim =
-        measure_natural(&vco.circuit, vco.dl, vco.dr, nat.frequency_hz, &opts, &ic)
-            .expect("simulation");
+    let sim = measure_natural(&vco.circuit, vco.dl, vco.dr, nat.frequency_hz, &opts, &ic)
+        .expect("simulation");
     println!(
         "simulated: A = {:.4} V at {}  (amplitude err {:.2}%)",
         sim.amplitude,
@@ -67,12 +66,8 @@ fn main() {
         simulated_lock_range(
             |f_inj| {
                 let mut v = CmosVco::build(params);
-                v.set_injection(shil::circuit::SourceWave::sine(
-                    2.0 * paper::VI,
-                    f_inj,
-                    0.0,
-                ))
-                .expect("injection");
+                v.set_injection(shil::circuit::SourceWave::sine(2.0 * paper::VI, f_inj, 0.0))
+                    .expect("injection");
                 probe_lock(
                     &v.circuit,
                     v.dl,
@@ -93,8 +88,9 @@ fn main() {
         "simulated 3rd-SHIL lock range: [{}, {}] span {}  ({} probes, {t_sim:?})",
         fmt_hz(sim_lock.lower_injection_hz),
         fmt_hz(sim_lock.upper_injection_hz),
-        fmt_hz(sim_lock.injection_span_hz)
-    , sim_lock.probes);
+        fmt_hz(sim_lock.injection_span_hz),
+        sim_lock.probes
+    );
     println!(
         "span deviation {:.2}%, speedup {:.1}x",
         100.0 * rel_err(lock.injection_span_hz, sim_lock.injection_span_hz),

@@ -60,9 +60,7 @@ fn main() {
     )
     .expect("free-running measurement");
     let sim_center_shift = paper::N as f64 * free.frequency_hz - center;
-    println!(
-        "simulated free-running center offset: {sim_center_shift:+.1} Hz (applied to probes)"
-    );
+    println!("simulated free-running center offset: {sim_center_shift:+.1} Hz (applied to probes)");
     println!();
     println!("detuning/half | predicted beat (Hz) | Adler beat (Hz) | simulated beat (Hz)");
     println!("--------------+---------------------+-----------------+--------------------");
@@ -104,9 +102,7 @@ fn main() {
         // relative to the reference).
         let measured =
             beat_frequency_estimate(&s, f_osc, &opts.lock).expect("beat") * -(paper::N as f64);
-        println!(
-            "{excess:>13} | {predicted:>19.1} | {adler:>15.1} | {measured:>18.1}"
-        );
+        println!("{excess:>13} | {predicted:>19.1} | {adler:>15.1} | {measured:>18.1}");
     }
     println!();
     println!("the quasi-static model tracks both the simulation and the Adler");

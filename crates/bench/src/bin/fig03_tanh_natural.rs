@@ -13,9 +13,7 @@ fn main() {
     header("Fig. 3 — natural oscillation of the negative-tanh LC oscillator");
     let f = NegativeTanh::new(1e-3, 20.0);
     let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("valid tank");
-    println!(
-        "oscillator: f(v) = -1 mA * tanh(20 v),  R = 1 kOhm, L = 10 uH, C = 10 nF"
-    );
+    println!("oscillator: f(v) = -1 mA * tanh(20 v),  R = 1 kOhm, L = 10 uH, C = 10 nF");
     println!(
         "tank: f_c = {:.2} kHz, Q = {:.2}",
         tank.center_frequency_hz() / 1e3,

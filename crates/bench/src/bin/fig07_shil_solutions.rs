@@ -58,7 +58,13 @@ fn main() {
             c.points.iter().map(|p| p.y).collect(),
         ));
     }
-    let to_plot_phi = |p: f64| if p < 0.0 { p + std::f64::consts::TAU } else { p };
+    let to_plot_phi = |p: f64| {
+        if p < 0.0 {
+            p + std::f64::consts::TAU
+        } else {
+            p
+        }
+    };
     let stable: Vec<&_> = g.solutions.iter().filter(|s| s.stable).collect();
     let unstable: Vec<&_> = g.solutions.iter().filter(|s| !s.stable).collect();
     fig.push_series(Series::scatter(

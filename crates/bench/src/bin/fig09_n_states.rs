@@ -22,7 +22,10 @@ fn main() {
         "lock solution: phi_s = {:+.4} rad, A_s = {:.4} V",
         stable.phase, stable.amplitude
     );
-    println!("the {} states (oscillator phase vs reference at f_inj/n):", paper::N);
+    println!(
+        "the {} states (oscillator phase vs reference at f_inj/n):",
+        paper::N
+    );
     for (k, p) in phases.iter().enumerate() {
         println!("  state {k}: {:+.6} rad  ({:+.2} deg)", p, p.to_degrees());
     }
@@ -31,7 +34,9 @@ fn main() {
 
     // Phasor picture: the A/2 phasor head at each state angle.
     let r = stable.amplitude / 2.0;
-    let circle: Vec<f64> = (0..=128).map(|k| k as f64 * std::f64::consts::TAU / 128.0).collect();
+    let circle: Vec<f64> = (0..=128)
+        .map(|k| k as f64 * std::f64::consts::TAU / 128.0)
+        .collect();
     let mut fig = Figure::new("Fig. 9: phasor picture of the n = 3 SHIL states")
         .with_axis_labels("Re", "Im")
         .with_series(Series::line(
@@ -57,6 +62,7 @@ fn main() {
     let dir = results_dir();
     fig.save_svg(dir.join("fig09_n_states.svg"), 620, 620)
         .expect("write svg");
-    fig.save_csv(dir.join("fig09_n_states.csv")).expect("write csv");
+    fig.save_csv(dir.join("fig09_n_states.csv"))
+        .expect("write csv");
     println!("artifacts: results/fig09_n_states.{{svg,csv}}");
 }

@@ -2,6 +2,7 @@
 //! over the invariant `C_{T_f,1}` curve. The largest `|−φ_d|` isoline that
 //! still crosses `C_{T_f,1}` with a stable intersection marks the boundary.
 
+use shil::core::cache::PrecharCache;
 use shil::core::nonlinearity::NegativeTanh;
 use shil::core::shil::{ShilAnalysis, ShilOptions};
 use shil::core::tank::ParallelRlc;
@@ -12,8 +13,16 @@ fn main() {
     header("Fig. 10 — lock-range prediction via angle isolines (tanh oscillator)");
     let f = NegativeTanh::new(1e-3, 20.0);
     let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("valid tank");
-    let an = ShilAnalysis::new(&f, &tank, paper::N, paper::VI, ShilOptions::default())
-        .expect("analysis");
+    let cache = PrecharCache::new();
+    let an = ShilAnalysis::new_cached(
+        &f,
+        &tank,
+        paper::N,
+        paper::VI,
+        ShilOptions::default(),
+        &cache,
+    )
+    .expect("analysis");
 
     let lr = an.lock_range().expect("lock range");
     println!("boundary tank phase: -phi_d = {:.4} rad", -lr.phi_d_max);
@@ -33,6 +42,11 @@ fn main() {
     let fracs = [0.0, 0.35, 0.7, 0.95, 1.15];
     let levels: Vec<f64> = fracs.iter().map(|t| -t * lr.phi_d_max).collect();
     let isolines = an.angle_isolines(&levels).expect("isolines");
+    println!(
+        "pre-characterization cache: {} grid build(s), {} reuse(s)",
+        cache.grid_builds(),
+        cache.grid_hits()
+    );
 
     let mut fig = Figure::new("Fig. 10: isolines of angle(-I1) over C_{T_f,1}")
         .with_axis_labels("phi (rad)", "A (V)");
@@ -59,11 +73,23 @@ fn main() {
     }
     // Mark the boundary solution.
     if let Ok(sols) = an.solutions_at_phase(0.999 * lr.phi_d_max) {
-        let to_plot = |p: f64| if p < 0.0 { p + std::f64::consts::TAU } else { p };
+        let to_plot = |p: f64| {
+            if p < 0.0 {
+                p + std::f64::consts::TAU
+            } else {
+                p
+            }
+        };
         fig.push_series(Series::scatter(
             "boundary lock",
-            sols.iter().filter(|s| s.stable).map(|s| to_plot(s.phase)).collect(),
-            sols.iter().filter(|s| s.stable).map(|s| s.amplitude).collect(),
+            sols.iter()
+                .filter(|s| s.stable)
+                .map(|s| to_plot(s.phase))
+                .collect(),
+            sols.iter()
+                .filter(|s| s.stable)
+                .map(|s| s.amplitude)
+                .collect(),
             Marker::Star,
         ));
     }
@@ -72,6 +98,7 @@ fn main() {
     let dir = results_dir();
     fig.save_svg(dir.join("fig10_lock_range.svg"), 840, 560)
         .expect("write svg");
-    fig.save_csv(dir.join("fig10_lock_range.csv")).expect("write csv");
+    fig.save_csv(dir.join("fig10_lock_range.csv"))
+        .expect("write csv");
     println!("artifacts: results/fig10_lock_range.{{svg,csv}}");
 }

@@ -1,8 +1,8 @@
 //! E05 — Fig. 12a: extracting the differential `i = f(v)` curve of the
 //! cross-coupled BJT pair by DC sweep (the Fig. 11b probe circuit).
 
-use shil::repro::diff_pair::DiffPairParams;
 use shil::plot::{Figure, Series};
+use shil::repro::diff_pair::DiffPairParams;
 use shil_bench::{header, results_dir};
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
     // Key markers of the curve.
     let mid = v.len() / 2;
     let g0 = (i[mid + 1] - i[mid - 1]) / (v[mid + 1] - v[mid - 1]);
-    println!("f(0) = {:.3e} A, f'(0) = {:.4e} S (negative resistance)", i[mid], g0);
+    println!(
+        "f(0) = {:.3e} A, f'(0) = {:.4e} S (negative resistance)",
+        i[mid], g0
+    );
     let ideal_g0 = -(p.i_tail / 2.0) / (2.0 * 0.025);
     println!("ideal diff-pair slope  -I_EE/(4 V_T) = {ideal_g0:.4e} S");
     let k03 = v.iter().position(|&x| x >= 0.3).expect("in range");
@@ -55,8 +58,8 @@ fn main() {
     fig.save_svg(dir.join("fig12_diff_pair_iv.svg"), 800, 520)
         .expect("write svg");
     // Full-range CSV including the saturation tails.
-    let full = Figure::new("diff pair i=f(v), full extraction")
-        .with_series(Series::line("f(v)", v, i));
+    let full =
+        Figure::new("diff pair i=f(v), full extraction").with_series(Series::line("f(v)", v, i));
     full.save_csv(dir.join("fig12_diff_pair_iv.csv"))
         .expect("write csv");
     println!("artifacts: results/fig12_diff_pair_iv.{{svg,csv}}");

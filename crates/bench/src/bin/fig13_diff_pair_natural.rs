@@ -15,9 +15,8 @@ use shil_bench::{accurate_sim_options, header, paper, rel_err, results_dir, time
 
 fn main() {
     header("Fig. 12b + 13 — diff-pair natural oscillation: prediction vs transient");
-    let (params, t_cal) = timed(|| {
-        DiffPairParams::calibrated(paper::DIFF_PAIR_AMPLITUDE).expect("calibration")
-    });
+    let (params, t_cal) =
+        timed(|| DiffPairParams::calibrated(paper::DIFF_PAIR_AMPLITUDE).expect("calibration"));
     println!(
         "calibrated R_tank = {:.2} Ohm (target A = {} V, took {t_cal:?})",
         params.r_tank,
@@ -78,8 +77,7 @@ fn main() {
 
     // Fig. 13: a snippet of the settled waveform.
     let (time, values) =
-        settled_trace(&osc.circuit, osc.ncl, osc.ncr, nat.frequency_hz, &opts, &ic)
-            .expect("trace");
+        settled_trace(&osc.circuit, osc.ncl, osc.ncr, nat.frequency_hz, &opts, &ic).expect("trace");
     let keep = (8.0 / nat.frequency_hz / (time[1] - time[0])) as usize;
     let fig_w = Figure::new("Fig. 13: settled diff-pair waveform (8 periods)")
         .with_axis_labels("t (s)", "v_out (V)")

@@ -12,8 +12,7 @@ use shil_bench::{header, paper, results_dir};
 
 fn main() {
     header("Fig. 15 — the three SHIL states of the diff pair");
-    let params =
-        DiffPairParams::calibrated(paper::DIFF_PAIR_AMPLITUDE).expect("calibration");
+    let params = DiffPairParams::calibrated(paper::DIFF_PAIR_AMPLITUDE).expect("calibration");
     let fc = params.center_frequency_hz();
     let f_inj = 3.0 * fc;
     let (kick_amp, kick_width) = paper::DIFF_PAIR_KICK;
@@ -53,9 +52,7 @@ fn main() {
     let max_err = traj
         .windows
         .iter()
-        .filter(|w| {
-            (w.t_center - 2e-3).abs() > 2e-4 && (w.t_center - 4e-3).abs() > 2e-4
-        })
+        .filter(|w| (w.t_center - 2e-3).abs() > 2e-4 && (w.t_center - 4e-3).abs() > 2e-4)
         .map(|w| w.phase_error.abs())
         .fold(0.0f64, f64::max);
     println!("max |phase error| away from the kicks: {max_err:.4} rad (locked)");

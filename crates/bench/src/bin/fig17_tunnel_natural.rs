@@ -13,15 +13,16 @@ use shil_bench::{accurate_sim_options, header, paper, rel_err, results_dir, time
 
 fn main() {
     header("Fig. 16 + 17 — tunnel-diode natural oscillation: prediction vs transient");
-    let params =
-        TunnelDiodeParams::calibrated(paper::TUNNEL_AMPLITUDE).expect("calibration");
+    let params = TunnelDiodeParams::calibrated(paper::TUNNEL_AMPLITUDE).expect("calibration");
     println!(
         "calibrated R_tank = {:.2} Ohm (bias {} V, L = 10 nH, C = 10 pF)",
         params.r_tank, params.v_bias
     );
 
     // Fig. 16b: the device curve with the negative-resistance valley.
-    let raw = shil::core::nonlinearity::TunnelDiode { model: params.model };
+    let raw = shil::core::nonlinearity::TunnelDiode {
+        model: params.model,
+    };
     let vs: Vec<f64> = (0..=240).map(|k| -0.1 + 0.7 * k as f64 / 240.0).collect();
     let is: Vec<f64> = vs.iter().map(|&v| raw.current(v)).collect();
     let fig_iv = Figure::new("Fig. 16b: tunnel diode i = f(v) (appendix VI-C model)")
@@ -97,8 +98,7 @@ fn main() {
 
     // Fig. 17: settled waveform snippet.
     let (time, values) =
-        settled_trace(&osc.circuit, osc.n_diode, 0, nat.frequency_hz, &opts, &ic)
-            .expect("trace");
+        settled_trace(&osc.circuit, osc.n_diode, 0, nat.frequency_hz, &opts, &ic).expect("trace");
     let keep = (8.0 / nat.frequency_hz / (time[1] - time[0])) as usize;
     let fig_w = Figure::new("Fig. 17: settled tunnel-diode waveform (8 periods)")
         .with_axis_labels("t (s)", "v_diode (V)")

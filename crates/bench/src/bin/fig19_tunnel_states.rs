@@ -11,8 +11,7 @@ use shil_bench::{header, paper, results_dir};
 
 fn main() {
     header("Fig. 19 — the three SHIL states of the tunnel-diode oscillator");
-    let params =
-        TunnelDiodeParams::calibrated(paper::TUNNEL_AMPLITUDE).expect("calibration");
+    let params = TunnelDiodeParams::calibrated(paper::TUNNEL_AMPLITUDE).expect("calibration");
     let fc = params.center_frequency_hz();
     let f_inj = 3.0 * fc;
     let (kick_amp, kick_width) = paper::TUNNEL_KICK;

@@ -1,0 +1,151 @@
+//! P01 — performance harness for the pre-characterization engine.
+//!
+//! Measures, on the default-resolution grid of the tanh reference
+//! oscillator:
+//!
+//! - the original per-cell scalar fill (trig re-derived per integrand
+//!   evaluation) vs the batched twiddle-table fill, serial and parallel;
+//! - a 25-point injection-frequency sweep constructing one analysis per
+//!   point, uncached vs served from a [`PrecharCache`] (the cache must
+//!   build the grid exactly once).
+//!
+//! Writes `results/BENCH_precharacterize.json` for regression tracking.
+
+use std::time::Duration;
+
+use shil::core::cache::PrecharCache;
+use shil::core::harmonics::{i1_injected, HarmonicTable};
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::shil::{effective_parallelism, precharacterize, ShilAnalysis, ShilOptions};
+use shil::core::tank::{ParallelRlc, Tank};
+use shil_bench::{header, results_dir, timed};
+
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<Duration> = (0..reps).map(|_| timed(&mut f).1).collect();
+    times.sort();
+    times[reps / 2].as_secs_f64()
+}
+
+fn main() {
+    header("perf — batched/parallel/memoized pre-characterization");
+    let f = NegativeTanh::new(1e-3, 20.0);
+    let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("tank");
+    let opts = ShilOptions::default();
+    let (n, vi, r) = (3u32, 0.03, 1000.0);
+    let cores = effective_parallelism(None);
+    println!(
+        "grid {}x{} at {} samples/period, {} core(s)",
+        opts.phase_points, opts.amplitude_points, opts.harmonics.samples, cores
+    );
+
+    let phis: Vec<f64> = (0..opts.phase_points)
+        .map(|i| std::f64::consts::TAU * i as f64 / (opts.phase_points - 1) as f64)
+        .collect();
+    let amps: Vec<f64> = (0..opts.amplitude_points)
+        .map(|j| 0.06 + 0.015 * j as f64)
+        .collect();
+    let table = HarmonicTable::new(n, 1, &opts.harmonics);
+
+    let reps = 5;
+    let t_scalar = median_secs(reps, || {
+        let mut acc = 0.0;
+        for &a in &amps {
+            for &phi in &phis {
+                let i1 = i1_injected(&f, a, vi, phi, n, &opts.harmonics);
+                acc += -r * i1.re / (a / 2.0) + (-i1).arg();
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let t_serial = median_secs(reps, || {
+        std::hint::black_box(precharacterize(&f, r, vi, &phis, &amps, &table, 1).expect("grids"));
+    });
+    let t_parallel = median_secs(reps, || {
+        std::hint::black_box(
+            precharacterize(&f, r, vi, &phis, &amps, &table, cores).expect("grids"),
+        );
+    });
+    println!("grid fill, median of {reps}:");
+    println!(
+        "  scalar per-cell (seed engine) : {:>9.3} ms",
+        1e3 * t_scalar
+    );
+    println!(
+        "  batched serial                : {:>9.3} ms  ({:.2}x vs scalar)",
+        1e3 * t_serial,
+        t_scalar / t_serial
+    );
+    println!(
+        "  batched parallel (x{cores})        : {:>9.3} ms  ({:.2}x vs scalar)",
+        1e3 * t_parallel,
+        t_scalar / t_parallel
+    );
+
+    // 25-point injection-frequency sweep, one analysis per point (the
+    // Tab. 1 / Fig. 14 access pattern).
+    let fc = tank.center_frequency_hz();
+    let sweep: Vec<f64> = (0..25)
+        .map(|k| 3.0 * fc * (1.0 + 2e-5 * (k as f64 - 12.0)))
+        .collect();
+    let (count_uncached, t_uncached) = timed(|| {
+        let mut found = 0usize;
+        for &fi in &sweep {
+            let an = ShilAnalysis::new(&f, &tank, n, vi, opts).expect("analysis");
+            found += an.solutions_at_injection(fi).expect("solutions").len();
+        }
+        found
+    });
+    let cache = PrecharCache::new();
+    let (count_cached, t_cached) = timed(|| {
+        let mut found = 0usize;
+        for &fi in &sweep {
+            let an = ShilAnalysis::new_cached(&f, &tank, n, vi, opts, &cache).expect("analysis");
+            found += an.solutions_at_injection(fi).expect("solutions").len();
+        }
+        found
+    });
+    assert_eq!(count_uncached, count_cached, "cache changed the results");
+    assert_eq!(
+        cache.grid_builds(),
+        1,
+        "cached sweep must build the grid exactly once"
+    );
+    println!("25-point sweep (one analysis per point):");
+    println!(
+        "  uncached: {:>9.3} ms  (25 grid builds)",
+        1e3 * t_uncached.as_secs_f64()
+    );
+    println!(
+        "  cached  : {:>9.3} ms  ({} build, {} hits) -> {:.1}x",
+        1e3 * t_cached.as_secs_f64(),
+        cache.grid_builds(),
+        cache.grid_hits(),
+        t_uncached.as_secs_f64() / t_cached.as_secs_f64()
+    );
+
+    let json = format!(
+        "{{\n  \"grid\": [{}, {}],\n  \"samples_per_period\": {},\n  \"cores\": {},\n  \
+         \"grid_fill_median_s\": {{\n    \"scalar_per_cell\": {:.6e},\n    \
+         \"batched_serial\": {:.6e},\n    \"batched_parallel\": {:.6e}\n  }},\n  \
+         \"speedup_batched_serial_vs_scalar\": {:.3},\n  \
+         \"speedup_batched_parallel_vs_scalar\": {:.3},\n  \
+         \"sweep25_uncached_s\": {:.6e},\n  \"sweep25_cached_s\": {:.6e},\n  \
+         \"sweep25_cached_grid_builds\": {},\n  \"sweep25_cached_grid_hits\": {}\n}}\n",
+        opts.phase_points,
+        opts.amplitude_points,
+        opts.harmonics.samples,
+        cores,
+        t_scalar,
+        t_serial,
+        t_parallel,
+        t_scalar / t_serial,
+        t_scalar / t_parallel,
+        t_uncached.as_secs_f64(),
+        t_cached.as_secs_f64(),
+        cache.grid_builds(),
+        cache.grid_hits(),
+    );
+    let path = results_dir().join("BENCH_precharacterize.json");
+    std::fs::write(&path, json).expect("write json");
+    println!("artifacts: results/BENCH_precharacterize.json");
+}

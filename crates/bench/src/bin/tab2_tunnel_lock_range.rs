@@ -1,6 +1,7 @@
 //! E10 — Fig. 18 + Table 2: the tunnel-diode 3rd-sub-harmonic lock range,
 //! prediction vs brute-force simulation, with the speedup measurement.
 
+use shil::core::cache::PrecharCache;
 use shil::core::shil::{ShilAnalysis, ShilOptions};
 use shil::core::tank::Tank;
 use shil::plot::{Figure, Marker, Series};
@@ -10,8 +11,7 @@ use shil_bench::{accurate_sim_options, fmt_hz, header, paper, results_dir, timed
 
 fn main() {
     header("Table 2 + Fig. 18 — tunnel-diode 3rd SHIL lock range");
-    let params =
-        TunnelDiodeParams::calibrated(paper::TUNNEL_AMPLITUDE).expect("calibration");
+    let params = TunnelDiodeParams::calibrated(paper::TUNNEL_AMPLITUDE).expect("calibration");
     let f = params.biased_nonlinearity();
     let tank = params.tank().expect("tank");
     let fc = tank.center_frequency_hz();
@@ -23,11 +23,18 @@ fn main() {
     );
     println!("injection: n = {}, |V_i| = {} V", paper::N, paper::VI);
 
-    let ((analysis, lock), t_pred) = timed(|| {
-        let an = ShilAnalysis::new(&f, &tank, paper::N, paper::VI, ShilOptions::default())
-            .expect("analysis");
-        let lr = an.lock_range().expect("lock range");
-        (an, lr)
+    let cache = PrecharCache::new();
+    let (lock, t_pred) = timed(|| {
+        let an = ShilAnalysis::new_cached(
+            &f,
+            &tank,
+            paper::N,
+            paper::VI,
+            ShilOptions::default(),
+            &cache,
+        )
+        .expect("analysis");
+        an.lock_range().expect("lock range")
     });
 
     // Q ≈ 316 here: beats near the band edge are slow, so the lock gate
@@ -106,26 +113,38 @@ fn main() {
         paper::table2::SPEEDUP
     );
 
-    // Fig. 18: stable-lock amplitude across the lock range.
+    // Fig. 18: stable-lock amplitude across the lock range. Per-point
+    // analyses hit the cache; no point re-characterizes the grid.
     let mut amp_curve: (Vec<f64>, Vec<f64>) = (vec![], vec![]);
     for k in 0..=24 {
         let phi_d = lock.phi_d_max * (k as f64 / 24.0 - 0.5) * 2.0 * 0.98;
-        if let Ok(sols) = analysis.solutions_at_phase(phi_d) {
+        let point = ShilAnalysis::new_cached(
+            &f,
+            &tank,
+            paper::N,
+            paper::VI,
+            ShilOptions::default(),
+            &cache,
+        )
+        .expect("cached analysis");
+        if let Ok(sols) = point.solutions_at_phase(phi_d) {
             if let Some(s) = sols.iter().find(|s| s.stable) {
-                let f_inj = 3.0 * tank.omega_for_phase(phi_d).expect("in range")
-                    / std::f64::consts::TAU;
+                let f_inj =
+                    3.0 * tank.omega_for_phase(phi_d).expect("in range") / std::f64::consts::TAU;
                 amp_curve.0.push(f_inj);
                 amp_curve.1.push(s.amplitude);
             }
         }
     }
+    println!(
+        "sweep cache: {} grid build(s), {} reuse(s) across {} analyses",
+        cache.grid_builds(),
+        cache.grid_hits(),
+        cache.grid_builds() + cache.grid_hits()
+    );
     let fig = Figure::new("Fig. 18: tunnel-diode stable-lock amplitude across the range")
         .with_axis_labels("f_injection (Hz)", "A (V)")
-        .with_series(Series::line(
-            "A(f_inj)",
-            amp_curve.0,
-            amp_curve.1,
-        ))
+        .with_series(Series::line("A(f_inj)", amp_curve.0, amp_curve.1))
         .with_series(Series::scatter(
             "boundaries",
             vec![lock.lower_injection_hz, lock.upper_injection_hz],

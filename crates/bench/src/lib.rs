@@ -103,7 +103,7 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
 
 /// Prints a boxed experiment header.
 pub fn header(title: &str) {
-    let bar: String = std::iter::repeat('=').take(title.len() + 4).collect();
+    let bar: String = "=".repeat(title.len() + 4);
     println!("{bar}\n| {title} |\n{bar}");
 }
 
@@ -150,6 +150,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // sanity-checking the paper constants is the point
     fn paper_constants_are_consistent() {
         use paper::*;
         assert!(table1::SIM_UPPER > table1::SIM_LOWER);

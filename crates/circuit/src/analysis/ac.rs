@@ -83,12 +83,8 @@ pub fn ac_impedance(
             rhs[rb] -= Complex64::ONE;
         }
         let x = m.solve(&rhs)?;
-        let va = structure
-            .node_index(a)
-            .map_or(Complex64::ZERO, |i| x[i]);
-        let vb = structure
-            .node_index(b)
-            .map_or(Complex64::ZERO, |i| x[i]);
+        let va = structure.node_index(a).map_or(Complex64::ZERO, |i| x[i]);
+        let vb = structure.node_index(b).map_or(Complex64::ZERO, |i| x[i]);
         out.push(va - vb);
     }
     Ok(out)
@@ -236,9 +232,13 @@ fn stamp_linearized(
                 let v = op.node_voltage(*a) - op.node_voltage(*b);
                 g_stamp(m, *a, *b, Complex64::new(curve.conductance(v), 0.0));
             }
-            Device::InjectedNonlinear { a, b, curve, injection } => {
-                let v =
-                    op.node_voltage(*a) - op.node_voltage(*b) + injection.dc_value();
+            Device::InjectedNonlinear {
+                a,
+                b,
+                curve,
+                injection,
+            } => {
+                let v = op.node_voltage(*a) - op.node_voltage(*b) + injection.dc_value();
                 g_stamp(m, *a, *b, Complex64::new(curve.conductance(v), 0.0));
             }
         }

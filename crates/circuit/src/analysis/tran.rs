@@ -225,7 +225,16 @@ fn advance(
             }
             let half = dt * 0.5;
             advance(
-                ckt, structure, x, state, next_state, t0, half, method, opts, ws,
+                ckt,
+                structure,
+                x,
+                state,
+                next_state,
+                t0,
+                half,
+                method,
+                opts,
+                ws,
                 depth + 1,
             )?;
             advance(
@@ -327,10 +336,7 @@ fn seed_state(ckt: &Circuit, structure: &MnaStructure, x: &[f64], state: &mut Dy
             }
             Device::Inductor { a, b, .. } => {
                 state.ind_v[di] = structure.voltage(x, *a) - structure.voltage(x, *b);
-                state.ind_i[di] = structure
-                    .branch_index(di)
-                    .map(|i| x[i])
-                    .unwrap_or_default();
+                state.ind_i[di] = structure.branch_index(di).map(|i| x[i]).unwrap_or_default();
             }
             _ => {}
         }
@@ -457,7 +463,10 @@ mod tests {
         let tail_max = v[v.len() - 400..]
             .iter()
             .fold(0.0f64, |m, x| m.max(x.abs()));
-        assert!(tail_max > 10.0 * early_max, "no growth: {early_max} → {tail_max}");
+        assert!(
+            tail_max > 10.0 * early_max,
+            "no growth: {early_max} → {tail_max}"
+        );
         assert!(tail_max < 10.0, "unbounded growth: {tail_max}");
         // The oscillation frequency must be the tank resonance.
         let crossings = v[v.len() / 2..]

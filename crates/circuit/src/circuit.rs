@@ -227,7 +227,13 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics if parameters are non-positive or the nodes are unknown.
-    pub fn diode(&mut self, a: NodeId, b: NodeId, saturation_current: f64, ideality: f64) -> DeviceId {
+    pub fn diode(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        saturation_current: f64,
+        ideality: f64,
+    ) -> DeviceId {
         assert!(saturation_current > 0.0, "Is must be positive");
         assert!(ideality > 0.0, "ideality must be positive");
         self.check_node(a).expect("known node");
@@ -391,14 +397,11 @@ mod tests {
     fn set_injection_wave_guards_kind() {
         let mut c = Circuit::new();
         let n = c.node("n");
-        let inj = c.injected_nonlinear(
-            n,
-            0,
-            IvCurve::tanh(-1e-3, 20.0),
-            SourceWave::Dc(0.0),
-        );
+        let inj = c.injected_nonlinear(n, 0, IvCurve::tanh(-1e-3, 20.0), SourceWave::Dc(0.0));
         let r = c.resistor(n, 0, 50.0);
-        assert!(c.set_injection_wave(inj, SourceWave::sine(0.03, 1e6, 0.0)).is_ok());
+        assert!(c
+            .set_injection_wave(inj, SourceWave::sine(0.03, 1e6, 0.0))
+            .is_ok());
         assert!(c.set_injection_wave(r, SourceWave::Dc(0.0)).is_err());
     }
 

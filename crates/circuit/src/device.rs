@@ -94,8 +94,7 @@ impl MosfetModel {
             // Triode.
             let id = beta * (vov * vds - 0.5 * vds * vds) * clm;
             let gm = beta * vds * clm;
-            let gds = beta * ((vov - vds) * clm
-                + (vov * vds - 0.5 * vds * vds) * self.lambda);
+            let gds = beta * ((vov - vds) * clm + (vov * vds - 0.5 * vds * vds) * self.lambda);
             (id, gm, gds)
         } else {
             // Saturation.
@@ -309,8 +308,14 @@ mod tests {
             let (i0, gm, gds) = m.evaluate(vgs, vds);
             let (ip, _, _) = m.evaluate(vgs + h, vds);
             let (iq, _, _) = m.evaluate(vgs, vds + h);
-            assert!(((ip - i0) / h - gm).abs() < 1e-4 * (1.0 + gm), "gm at {vgs},{vds}");
-            assert!(((iq - i0) / h - gds).abs() < 1e-4 * (1.0 + gds), "gds at {vgs},{vds}");
+            assert!(
+                ((ip - i0) / h - gm).abs() < 1e-4 * (1.0 + gm),
+                "gm at {vgs},{vds}"
+            );
+            assert!(
+                ((iq - i0) / h - gds).abs() < 1e-4 * (1.0 + gds),
+                "gds at {vgs},{vds}"
+            );
         }
     }
 

@@ -109,11 +109,9 @@ impl IvCurve {
                 coeffs.iter().rev().fold(0.0, |acc, &c| acc * v + c)
             }
             IvCurve::TunnelDiode(model) => model.current(v),
-            IvCurve::Table(pchip) => pchip.eval(v).unwrap_or_else(|_| {
-                // Linear extrapolation policy never errors; this branch is
-                // unreachable but kept total.
-                0.0
-            }),
+            // Linear extrapolation policy never errors; the fallback is
+            // unreachable but kept total.
+            IvCurve::Table(pchip) => pchip.eval(v).unwrap_or(0.0),
             IvCurve::Shifted {
                 inner,
                 v_offset,
@@ -139,7 +137,9 @@ impl IvCurve {
             }
             IvCurve::TunnelDiode(model) => model.conductance(v),
             IvCurve::Table(pchip) => pchip.derivative(v),
-            IvCurve::Shifted { inner, v_offset, .. } => inner.conductance(v + v_offset),
+            IvCurve::Shifted {
+                inner, v_offset, ..
+            } => inner.conductance(v + v_offset),
         }
     }
 }
@@ -198,7 +198,11 @@ mod tests {
     fn tunnel_diode_has_negative_resistance_region() {
         let f = IvCurve::TunnelDiode(TunnelDiodeModel::default());
         // The paper bias point: ~0.25 V sits in the negative-slope valley.
-        assert!(f.conductance(0.25) < 0.0, "g(0.25) = {}", f.conductance(0.25));
+        assert!(
+            f.conductance(0.25) < 0.0,
+            "g(0.25) = {}",
+            f.conductance(0.25)
+        );
         // Peak occurs below 0.2 V, positive slope near zero.
         assert!(f.conductance(0.05) > 0.0);
         // Past the valley the junction term restores positive slope.

@@ -437,13 +437,7 @@ fn stamp_conductance(structure: &MnaStructure, jac: &mut Matrix, a: usize, b: us
 }
 
 /// Stamps `∂(v_a − v_b)/∂x` into branch row `bi`.
-fn stamp_branch_voltage(
-    structure: &MnaStructure,
-    jac: &mut Matrix,
-    bi: usize,
-    a: usize,
-    b: usize,
-) {
+fn stamp_branch_voltage(structure: &MnaStructure, jac: &mut Matrix, bi: usize, a: usize, b: usize) {
     if let Some(ra) = structure.node_index(a) {
         jac.add_at(bi, ra, 1.0);
     }

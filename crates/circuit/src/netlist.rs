@@ -174,8 +174,7 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         let name = fields[0];
-        let bad =
-            |msg: String| CircuitError::InvalidParameter(format!("line {line_no}: {msg}"));
+        let bad = |msg: String| CircuitError::InvalidParameter(format!("line {line_no}: {msg}"));
         let kind = name
             .chars()
             .next()
@@ -196,7 +195,8 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
                 let a = node(fields[1]);
                 let b = node(fields[2]);
                 let v = parse_value(fields[3])?;
-                if !(v > 0.0) {
+                // NaN-rejecting positivity check.
+                if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                     return Err(bad(format!("{name}: value must be positive")));
                 }
                 match kind {
@@ -355,9 +355,7 @@ pub fn write(ckt: &Circuit) -> Result<String, CircuitError> {
                 fall,
                 width,
                 period,
-            } => format!(
-                "PULSE({v1:e} {v2:e} {delay:e} {rise:e} {fall:e} {width:e} {period:e})"
-            ),
+            } => format!("PULSE({v1:e} {v2:e} {delay:e} {rise:e} {fall:e} {width:e} {period:e})"),
             _ => return Err(unsupported("PWL/Sum source")),
         })
     };

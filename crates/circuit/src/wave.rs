@@ -76,8 +76,7 @@ impl SourceWave {
                     *offset
                 } else {
                     offset
-                        + amplitude
-                            * (std::f64::consts::TAU * freq_hz * (t - delay) + phase).sin()
+                        + amplitude * (std::f64::consts::TAU * freq_hz * (t - delay) + phase).sin()
                 }
             }
             SourceWave::Pulse {

@@ -149,10 +149,10 @@ fn direct_transfer(ckt: &Circuit, inject: usize, read: usize, f: f64) -> Complex
     // three driving-point measurements: for a reciprocal network,
     // Z_t = (Z_joint − Z_i − Z_r)/−2 where Z_joint is measured between the
     // two ports.
-    let z_ii = ac_impedance(ckt, inject, Circuit::GROUND, &[f], &AcOptions::default())
-        .expect("ac")[0];
-    let z_rr = ac_impedance(ckt, read, Circuit::GROUND, &[f], &AcOptions::default())
-        .expect("ac")[0];
+    let z_ii =
+        ac_impedance(ckt, inject, Circuit::GROUND, &[f], &AcOptions::default()).expect("ac")[0];
+    let z_rr =
+        ac_impedance(ckt, read, Circuit::GROUND, &[f], &AcOptions::default()).expect("ac")[0];
     let z_ir = ac_impedance(ckt, inject, read, &[f], &AcOptions::default()).expect("ac")[0];
     // Z_between = Z_ii + Z_rr − 2 Z_t  ⇒  Z_t = (Z_ii + Z_rr − Z_between)/2.
     (z_ii + z_rr - z_ir) * 0.5

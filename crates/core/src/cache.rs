@@ -1,0 +1,303 @@
+//! Memoized pre-characterization cache for SHIL sweeps.
+//!
+//! The expensive artifacts of a [`crate::shil::ShilAnalysis`] — the natural
+//! oscillation solve and the `(φ, A)` grid pair with its `C_{T_f,1}` level
+//! set — depend only on the *value* of the oscillator (nonlinearity + tank
+//! parameters), the injection `(n, V_i)` and the grid/sampling options, not
+//! on which `ShilAnalysis` instance asked for them. A [`PrecharCache`]
+//! keys them by those values so that sweeps (the Tab. 1/2 frequency sweeps,
+//! Fig. 10's isoline families, Fig. 14's amplitude-vs-detuning curve)
+//! re-analyzing the same oscillator reuse one grid build instead of
+//! repeating it per sweep point.
+//!
+//! Elements identify themselves through
+//! [`Nonlinearity::fingerprint`](crate::nonlinearity::Nonlinearity::fingerprint)
+//! and [`Tank::fingerprint`](crate::tank::Tank::fingerprint) — a stable
+//! 64-bit digest of their parameters. Elements that cannot be identified by
+//! value (arbitrary closures) return `None` and bypass the cache safely.
+//!
+//! The natural-oscillation solve is cached under a *coarser* key than the
+//! grids: it does not depend on `(n, V_i)` or the grid spec, so a `V_i`
+//! sweep at fixed oscillator re-solves it exactly once.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use shil_numerics::contour::Polyline;
+use shil_numerics::Grid2;
+
+use crate::describing::NaturalOscillation;
+use crate::error::ShilError;
+use crate::harmonics::HarmonicTable;
+
+/// FNV-1a digest of a tag string plus a parameter list.
+///
+/// The tag separates element types with coincidentally equal parameters
+/// (`NegativeTanh{1e-3, 20}` vs a polynomial starting with the same
+/// numbers). Parameters hash by their exact bit patterns, so two elements
+/// collide only when they are numerically identical — which is exactly when
+/// sharing a cache entry is correct.
+pub fn fingerprint(tag: &str, params: &[f64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in tag.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(PRIME);
+    }
+    for p in params {
+        for b in p.to_bits().to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Folds a child digest into a parent digest (for wrapper elements like
+/// `Biased<N>`).
+pub fn combine(parent: u64, child: u64) -> u64 {
+    // splitmix64-style finalizer keeps the combination well mixed.
+    let mut z = parent ^ child.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Everything a [`crate::shil::ShilAnalysis`] computes up front that depends
+/// only on (oscillator, `n`, `V_i`, grid spec): the natural oscillation, the
+/// sampling tables, both pre-characterization grids and the
+/// injection-frequency-invariant `C_{T_f,1}` level set.
+#[derive(Debug, Clone)]
+pub struct Precharacterization {
+    /// The natural oscillation the grid axes were scaled from.
+    pub natural: NaturalOscillation,
+    /// Tank peak resistance `R` used in `T_f`.
+    pub r: f64,
+    /// Sampling/twiddle tables for the exact residual evaluations.
+    pub table: HarmonicTable,
+    /// `T_f(φ, A)` over the grid (x = φ, y = A).
+    pub tf_grid: Grid2,
+    /// `∠−I₁(φ, A)` over the grid, wrapped to `(−π, π]`.
+    pub angle_grid: Grid2,
+    /// The `C_{T_f,1}` level set (independent of injection frequency).
+    pub tf_unity: Vec<Polyline>,
+}
+
+/// Cache key for a full grid pre-characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrecharKey {
+    /// Nonlinearity parameter digest.
+    pub nonlinearity: u64,
+    /// Tank parameter digest.
+    pub tank: u64,
+    /// Sub-harmonic order.
+    pub n: u32,
+    /// Injection magnitude bit pattern.
+    pub vi_bits: u64,
+    /// Digest of the grid/sampling options.
+    pub options: u64,
+}
+
+/// Cache key for a natural-oscillation solve (no injection dependence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NaturalKey {
+    /// Nonlinearity parameter digest.
+    pub nonlinearity: u64,
+    /// Tank parameter digest.
+    pub tank: u64,
+    /// Digest of the natural-solve options.
+    pub options: u64,
+}
+
+/// Thread-safe memoization of pre-characterizations and natural solves.
+///
+/// Entries are shared via [`Arc`]; hit/miss counters expose the reuse a
+/// sweep achieved (the `perf_precharacterize` harness reports them).
+/// Lookups never hold a lock across a build, so concurrent sweeps can
+/// (rarely) race to build the same entry — the first insert wins and both
+/// callers receive the canonical `Arc`.
+#[derive(Debug, Default)]
+pub struct PrecharCache {
+    grids: Mutex<HashMap<PrecharKey, Arc<Precharacterization>>>,
+    naturals: Mutex<HashMap<NaturalKey, NaturalOscillation>>,
+    grid_hits: AtomicU64,
+    grid_misses: AtomicU64,
+    natural_hits: AtomicU64,
+    natural_misses: AtomicU64,
+    uncacheable: AtomicU64,
+}
+
+impl PrecharCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grid lookups served from memory.
+    pub fn grid_hits(&self) -> u64 {
+        self.grid_hits.load(Ordering::Relaxed)
+    }
+
+    /// Grid builds actually performed (cache misses).
+    pub fn grid_builds(&self) -> u64 {
+        self.grid_misses.load(Ordering::Relaxed)
+    }
+
+    /// Natural-oscillation lookups served from memory.
+    pub fn natural_hits(&self) -> u64 {
+        self.natural_hits.load(Ordering::Relaxed)
+    }
+
+    /// Natural-oscillation solves actually performed.
+    pub fn natural_builds(&self) -> u64 {
+        self.natural_misses.load(Ordering::Relaxed)
+    }
+
+    /// Analyses that bypassed the cache because an element had no
+    /// fingerprint.
+    pub fn uncacheable(&self) -> u64 {
+        self.uncacheable.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct grid entries held.
+    pub fn len(&self) -> usize {
+        self.grids.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache holds no grid entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters are preserved).
+    pub fn clear(&self) {
+        self.grids.lock().expect("cache poisoned").clear();
+        self.naturals.lock().expect("cache poisoned").clear();
+    }
+
+    /// Records a cache bypass (missing fingerprint).
+    pub(crate) fn note_uncacheable(&self) {
+        self.uncacheable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns the cached pre-characterization for `key`, building it with
+    /// `build` on a miss.
+    pub(crate) fn grid_or_insert(
+        &self,
+        key: PrecharKey,
+        build: impl FnOnce() -> Result<Precharacterization, ShilError>,
+    ) -> Result<Arc<Precharacterization>, ShilError> {
+        if let Some(hit) = self.grids.lock().expect("cache poisoned").get(&key) {
+            self.grid_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.grid_misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build()?);
+        Ok(Arc::clone(
+            self.grids
+                .lock()
+                .expect("cache poisoned")
+                .entry(key)
+                .or_insert(built),
+        ))
+    }
+
+    /// Returns the cached natural oscillation for `key`, solving on a miss.
+    pub(crate) fn natural_or_insert(
+        &self,
+        key: NaturalKey,
+        solve: impl FnOnce() -> Result<NaturalOscillation, ShilError>,
+    ) -> Result<NaturalOscillation, ShilError> {
+        if let Some(hit) = self.naturals.lock().expect("cache poisoned").get(&key) {
+            self.natural_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*hit);
+        }
+        self.natural_misses.fetch_add(1, Ordering::Relaxed);
+        let solved = solve()?;
+        Ok(*self
+            .naturals
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert(solved))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_tags_and_params() {
+        let a = fingerprint("negative-tanh", &[1e-3, 20.0]);
+        let b = fingerprint("polynomial", &[1e-3, 20.0]);
+        let c = fingerprint("negative-tanh", &[1e-3, 20.000001]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, fingerprint("negative-tanh", &[1e-3, 20.0]));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_signed_zero_but_not_value() {
+        // Bit-pattern hashing: −0.0 and +0.0 key differently, which only
+        // ever costs a redundant build, never a wrong reuse.
+        assert_ne!(fingerprint("t", &[0.0]), fingerprint("t", &[-0.0]));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let (a, b) = (fingerprint("x", &[1.0]), fingerprint("y", &[2.0]));
+        assert_ne!(combine(a, b), combine(b, a));
+    }
+
+    #[test]
+    fn natural_cache_counts_hits_and_misses() {
+        let cache = PrecharCache::new();
+        let key = NaturalKey {
+            nonlinearity: 1,
+            tank: 2,
+            options: 3,
+        };
+        let natural = NaturalOscillation {
+            amplitude: 1.0,
+            frequency_hz: 5e5,
+            stable: true,
+            t_f_slope: -1.0,
+        };
+        let mut solves = 0;
+        for _ in 0..3 {
+            let got = cache
+                .natural_or_insert(key, || {
+                    solves += 1;
+                    Ok(natural)
+                })
+                .unwrap();
+            assert_eq!(got, natural);
+        }
+        assert_eq!(solves, 1);
+        assert_eq!(cache.natural_builds(), 1);
+        assert_eq!(cache.natural_hits(), 2);
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let cache = PrecharCache::new();
+        let key = NaturalKey {
+            nonlinearity: 9,
+            tank: 9,
+            options: 9,
+        };
+        assert!(cache
+            .natural_or_insert(key, || Err(ShilError::NoLock))
+            .is_err());
+        // A later successful solve still runs and is then cached.
+        let natural = NaturalOscillation {
+            amplitude: 2.0,
+            frequency_hz: 1e6,
+            stable: true,
+            t_f_slope: -0.5,
+        };
+        assert!(cache.natural_or_insert(key, || Ok(natural)).is_ok());
+        assert_eq!(cache.natural_builds(), 2);
+    }
+}

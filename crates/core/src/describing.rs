@@ -10,7 +10,7 @@
 use shil_numerics::roots::{bracket_scan, brent};
 
 use crate::error::ShilError;
-use crate::harmonics::{t_f_single, HarmonicOptions};
+use crate::harmonics::{HarmonicOptions, HarmonicTable};
 use crate::nonlinearity::Nonlinearity;
 use crate::tank::Tank;
 
@@ -70,9 +70,13 @@ pub fn t_f_curve<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
     opts: &HarmonicOptions,
 ) -> Vec<f64> {
     let r = tank.peak_resistance();
+    // One table + scratch buffer for the whole curve (bit-identical to the
+    // scalar t_f_single per point, minus its per-point trigonometry).
+    let table = HarmonicTable::new(1, 1, opts);
+    let mut buf = table.scratch();
     amplitudes
         .iter()
-        .map(|&a| t_f_single(nonlinearity, r, a, opts))
+        .map(|&a| -r * table.i1_single(nonlinearity, a, &mut buf).re / (a / 2.0))
         .collect()
 }
 
@@ -93,11 +97,16 @@ pub fn natural_oscillations<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
 ) -> Result<Vec<NaturalOscillation>, ShilError> {
     let r = tank.peak_resistance();
     let fc = tank.center_frequency_hz();
-    let tf = |a: f64| t_f_single(nonlinearity, r, a, &opts.harmonics);
+    // The scan + Brent refinement evaluates T_f hundreds of times; hold one
+    // sampling table and scratch buffer across all of them.
+    let table = HarmonicTable::new(1, 1, &opts.harmonics);
+    let mut buf = table.scratch();
+    let mut tf = |a: f64| -r * table.i1_single(nonlinearity, a, &mut buf).re / (a / 2.0);
 
     let a_max = match opts.a_max {
         Some(a) => {
-            if !(a > 0.0) {
+            // NaN-rejecting positivity check.
+            if a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(ShilError::InvalidParameter(format!(
                     "a_max must be positive, got {a}"
                 )));
@@ -177,6 +186,7 @@ pub fn natural_oscillation<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::harmonics::t_f_single;
     use crate::nonlinearity::{NegativeTanh, Polynomial};
     use crate::tank::ParallelRlc;
     use std::f64::consts::PI;

@@ -46,7 +46,8 @@ pub fn adler_lock_range<N: Nonlinearity + ?Sized>(
     tank: &ParallelRlc,
     vi: f64,
 ) -> Result<AdlerLockRange, ShilError> {
-    if !(vi > 0.0) {
+    // NaN-rejecting positivity check.
+    if vi.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(ShilError::InvalidParameter(format!(
             "injection magnitude must be positive, got {vi}"
         )));

@@ -24,7 +24,7 @@
 //! `f_c` — see the `abl_groszkowski` experiment.
 
 use shil_numerics::newton::{newton_system, NewtonOptions};
-use shil_numerics::quad::fourier_coefficient;
+use shil_numerics::quad::TwiddleTable;
 use shil_numerics::Complex64;
 
 use crate::describing::{natural_oscillation, NaturalOptions};
@@ -140,6 +140,15 @@ pub fn solve_oscillator<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
     x0[0] = 1.0;
     x0[1] = seed.amplitude / 2.0;
 
+    // One twiddle table serves both directions of every residual
+    // evaluation: synthesis of the trial waveform on the sample grid
+    // (`v(θ_i) = Σ_k 2[Re V_k cos kθ_i − Im V_k sin kθ_i]`) and analysis of
+    // the resulting current (`I_k` for all k from one buffer). The old path
+    // re-evaluated the K-term waveform once per extracted harmonic and paid
+    // a `sin_cos` per sample per term — O(K²·samples) transcendentals per
+    // residual; this is zero.
+    let twiddle = TwiddleTable::new(opts.samples, k_max);
+    let mut buf = vec![0.0; opts.samples];
     let residual = |x: &[f64], r: &mut [f64]| {
         let omega = x[0] * w0;
         let mut v = vec![Complex64::ZERO; k_max];
@@ -147,31 +156,27 @@ pub fn solve_oscillator<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
         for k in 1..k_max {
             v[k] = Complex64::new(x[2 * k], x[2 * k + 1]);
         }
-        // Time-domain waveform and its current's Fourier coefficients.
-        let wave = |theta: f64| -> f64 {
-            let mut acc = 0.0;
-            for (i, vk) in v.iter().enumerate() {
-                acc += 2.0 * (*vk * Complex64::from_polar(1.0, (i + 1) as f64 * theta)).re;
+        // Synthesize the waveform, then overwrite the buffer with the
+        // nonlinearity's current on the same grid.
+        buf.fill(0.0);
+        for (i, vk) in v.iter().enumerate() {
+            let cos = twiddle.cos_row(i + 1);
+            let sin = twiddle.sin_row(i + 1);
+            for (j, b) in buf.iter_mut().enumerate() {
+                *b += 2.0 * (vk.re * cos[j] - vk.im * sin[j]);
             }
-            acc
-        };
+        }
+        for b in buf.iter_mut() {
+            *b = nonlinearity.current(*b);
+        }
         // Balance V_k + Z(jkω)·I_k = 0. Scale rows to volts.
         let mut idx = 0;
         for k in 1..=k_max {
-            let ik = fourier_coefficient(
-                |theta| nonlinearity.current(wave(theta)),
-                k as i32,
-                opts.samples,
-            );
+            let ik = twiddle.coefficient(&buf, k);
             let z = tank.impedance(k as f64 * omega);
             let res = v[k - 1] + z * ik;
-            if k == 1 {
-                r[idx] = res.re;
-                r[idx + 1] = res.im;
-            } else {
-                r[idx] = res.re;
-                r[idx + 1] = res.im;
-            }
+            r[idx] = res.re;
+            r[idx + 1] = res.im;
             idx += 2;
         }
     };
@@ -246,7 +251,11 @@ mod tests {
         // The high-Q tank filters the (heavily distorted) current, so the
         // *voltage* THD stays small — but clearly above the weak-nonlinearity
         // case.
-        assert!(hb.thd > 2e-3, "hard limiter should distort, thd = {}", hb.thd);
+        assert!(
+            hb.thd > 2e-3,
+            "hard limiter should distort, thd = {}",
+            hb.thd
+        );
         // Odd nonlinearity: even harmonics vanish.
         assert!(hb.harmonics[1].abs() < 1e-9 * hb.harmonics[0].abs());
         assert!(hb.harmonics[2].abs() > 1e-3 * hb.harmonics[0].abs());
@@ -258,14 +267,18 @@ mod tests {
         let t = tank();
         let opts = HbOptions::default();
         let hb = solve_oscillator(&f, &t, &opts).unwrap();
-        // Re-evaluate the balance equations directly.
+        // Re-evaluate the balance equations directly, through the
+        // independent `waveform` reconstruction rather than the solver's
+        // batched synthesis.
         let omega = hb.frequency_hz * std::f64::consts::TAU;
+        let mut samples = Vec::new();
+        shil_numerics::quad::sample_periodic(
+            |theta| f.current(hb.waveform(theta)),
+            opts.samples,
+            &mut samples,
+        );
         for (k, vk) in hb.harmonics.iter().enumerate() {
-            let ik = fourier_coefficient(
-                |theta| f.current(hb.waveform(theta)),
-                (k + 1) as i32,
-                opts.samples,
-            );
+            let ik = shil_numerics::quad::buffer_coefficient(&samples, (k + 1) as i32);
             let z = t.impedance((k + 1) as f64 * omega);
             let res = *vk + z * ik;
             assert!(

@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod describing;
 pub mod fhil;
 pub mod harmonics;

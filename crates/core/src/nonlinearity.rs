@@ -57,6 +57,17 @@ pub trait Nonlinearity {
         let h = 1e-6 * (1.0 + v.abs());
         (self.current(v + h) - self.current(v - h)) / (2.0 * h)
     }
+
+    /// A stable 64-bit digest of this element's parameters, or `None` when
+    /// the element cannot be identified by value (e.g. arbitrary closures).
+    ///
+    /// Equal fingerprints must imply numerically identical `current`
+    /// curves — the pre-characterization cache
+    /// ([`crate::cache::PrecharCache`]) shares grids between elements with
+    /// equal fingerprints.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<N: Nonlinearity + ?Sized> Nonlinearity for &N {
@@ -65,6 +76,9 @@ impl<N: Nonlinearity + ?Sized> Nonlinearity for &N {
     }
     fn conductance(&self, v: f64) -> f64 {
         (**self).conductance(v)
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        (**self).fingerprint()
     }
 }
 
@@ -108,6 +122,12 @@ impl Nonlinearity for NegativeTanh {
     fn conductance(&self, v: f64) -> f64 {
         let c = (self.gain * v).cosh();
         -self.i0 * self.gain / (c * c)
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        Some(crate::cache::fingerprint(
+            "negative-tanh",
+            &[self.i0, self.gain],
+        ))
     }
 }
 
@@ -171,6 +191,9 @@ impl Nonlinearity for Polynomial {
             acc = acc * v + c * k as f64;
         }
         acc
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        Some(crate::cache::fingerprint("polynomial", &self.coeffs))
     }
 }
 
@@ -262,6 +285,20 @@ impl Nonlinearity for TunnelDiode {
     fn conductance(&self, v: f64) -> f64 {
         self.model.conductance(v)
     }
+    fn fingerprint(&self) -> Option<u64> {
+        let m = &self.model;
+        Some(crate::cache::fingerprint(
+            "tunnel-diode",
+            &[
+                m.saturation_current,
+                m.ideality,
+                m.thermal_voltage,
+                m.m,
+                m.v0,
+                m.r0,
+            ],
+        ))
+    }
 }
 
 /// Bias-shifting adapter: `i = inner(v + v_bias) − inner(v_bias)`.
@@ -304,6 +341,15 @@ impl<N: Nonlinearity> Nonlinearity for Biased<N> {
     fn conductance(&self, v: f64) -> f64 {
         self.inner.conductance(v + self.v_bias)
     }
+    fn fingerprint(&self) -> Option<u64> {
+        // Cacheable only when the wrapped element is.
+        self.inner.fingerprint().map(|inner| {
+            crate::cache::combine(
+                inner,
+                crate::cache::fingerprint("biased", &[self.v_bias, self.i_bias]),
+            )
+        })
+    }
 }
 
 /// Tabulated `i = f(v)` data interpolated with shape-preserving PCHIP.
@@ -314,6 +360,9 @@ impl<N: Nonlinearity> Nonlinearity for Biased<N> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tabulated {
     pchip: Pchip,
+    /// Digest of the `(v, i)` samples, captured at construction (the
+    /// interpolant itself does not expose its knots).
+    fp: u64,
 }
 
 impl Tabulated {
@@ -325,9 +374,13 @@ impl Tabulated {
     /// Returns [`ShilError::InvalidParameter`] for fewer than two points or
     /// a non-increasing voltage axis.
     pub fn new(v: Vec<f64>, i: Vec<f64>) -> Result<Self, ShilError> {
+        let fp = crate::cache::combine(
+            crate::cache::fingerprint("tabulated-v", &v),
+            crate::cache::fingerprint("tabulated-i", &i),
+        );
         let pchip = Pchip::new(v, i)
             .map_err(|e| ShilError::InvalidParameter(format!("bad i(v) table: {e}")))?;
-        Ok(Tabulated { pchip })
+        Ok(Tabulated { pchip, fp })
     }
 
     /// The valid voltage range of the table (queries outside extrapolate
@@ -343,6 +396,9 @@ impl Nonlinearity for Tabulated {
     }
     fn conductance(&self, v: f64) -> f64 {
         self.pchip.derivative(v)
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        Some(self.fp)
     }
 }
 

@@ -1,5 +1,6 @@
 //! High-level façade tying a nonlinearity and a tank together.
 
+use crate::cache::PrecharCache;
 use crate::describing::{
     natural_oscillation, natural_oscillations, small_signal_loop_gain, NaturalOptions,
     NaturalOscillation,
@@ -102,6 +103,23 @@ impl<N: Nonlinearity, T: Tank> Oscillator<N, T> {
         natural_oscillations(&self.nonlinearity, &self.tank, &self.natural_opts)
     }
 
+    /// Multi-harmonic (harmonic-balance) steady state: refines the
+    /// describing-function answer with waveform distortion and the
+    /// Groszkowski frequency shift.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve_oscillator`].
+    pub fn harmonic_balance(&self, opts: &HbOptions) -> Result<HbSolution, ShilError> {
+        solve_oscillator(&self.nonlinearity, &self.tank, opts)
+    }
+}
+
+// The SHIL entry points additionally require `Sync` elements: the grid
+// pre-characterization and solution refinement fan out across scoped
+// threads that share the nonlinearity and tank (see
+// [`ShilOptions::parallelism`]).
+impl<N: Nonlinearity + Sync, T: Tank + Sync> Oscillator<N, T> {
     /// Prepares the full SHIL analysis for order `n` and injection phasor
     /// magnitude `vi` (physical injection amplitude `2·vi`).
     ///
@@ -110,6 +128,21 @@ impl<N: Nonlinearity, T: Tank> Oscillator<N, T> {
     /// See [`ShilAnalysis::new`].
     pub fn shil(&self, n: u32, vi: f64) -> Result<ShilAnalysis<'_, N, T>, ShilError> {
         ShilAnalysis::new(&self.nonlinearity, &self.tank, n, vi, self.shil_opts)
+    }
+
+    /// Like [`Self::shil`], but serving the natural solve and grid
+    /// pre-characterization from `cache` (see [`ShilAnalysis::new_cached`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ShilAnalysis::new`].
+    pub fn shil_cached(
+        &self,
+        n: u32,
+        vi: f64,
+        cache: &PrecharCache,
+    ) -> Result<ShilAnalysis<'_, N, T>, ShilError> {
+        ShilAnalysis::new_cached(&self.nonlinearity, &self.tank, n, vi, self.shil_opts, cache)
     }
 
     /// Convenience: the `n`-th sub-harmonic lock range at injection `vi`.
@@ -130,20 +163,18 @@ impl<N: Nonlinearity, T: Tank> Oscillator<N, T> {
         n: u32,
         vis: &[f64],
     ) -> Vec<(f64, Result<LockRange, ShilError>)> {
+        // The grids differ per injection strength, but the natural solve is
+        // injection-independent — the sweep-local cache runs it once.
+        let cache = PrecharCache::new();
         vis.iter()
-            .map(|&vi| (vi, self.shil_lock_range(n, vi)))
+            .map(|&vi| {
+                (
+                    vi,
+                    self.shil_cached(n, vi, &cache)
+                        .and_then(|an| an.lock_range()),
+                )
+            })
             .collect()
-    }
-
-    /// Multi-harmonic (harmonic-balance) steady state: refines the
-    /// describing-function answer with waveform distortion and the
-    /// Groszkowski frequency shift.
-    ///
-    /// # Errors
-    ///
-    /// See [`solve_oscillator`].
-    pub fn harmonic_balance(&self, opts: &HbOptions) -> Result<HbSolution, ShilError> {
-        solve_oscillator(&self.nonlinearity, &self.tank, opts)
     }
 
     /// Lock-or-pull verdict at one injection frequency: `Locked` inside the
@@ -159,7 +190,13 @@ impl<N: Nonlinearity, T: Tank> Oscillator<N, T> {
         f_injection_hz: f64,
     ) -> Result<PullingState, ShilError> {
         let analysis = self.shil(n, vi)?;
-        pulling_state(&analysis, &self.nonlinearity, &self.tank, f_injection_hz, 256)
+        pulling_state(
+            &analysis,
+            &self.nonlinearity,
+            &self.tank,
+            f_injection_hz,
+            256,
+        )
     }
 }
 

@@ -54,14 +54,15 @@ pub enum PullingState {
 /// - [`ShilError::InvalidParameter`] for non-positive frequency or a
 ///   detuning so large the required tank phase leaves `(−π/2, π/2)`.
 /// - Root-finding failures from the amplitude solve.
-pub fn pulling_state<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
+pub fn pulling_state<N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized>(
     analysis: &ShilAnalysis<'_, N, T>,
     nonlinearity: &N,
     tank: &T,
     f_injection_hz: f64,
     steps: usize,
 ) -> Result<PullingState, ShilError> {
-    if !(f_injection_hz > 0.0) {
+    // NaN-rejecting positivity check.
+    if f_injection_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(ShilError::InvalidParameter(format!(
             "injection frequency must be positive, got {f_injection_hz}"
         )));

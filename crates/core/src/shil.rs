@@ -26,13 +26,17 @@
 //! is exposed through [`GraphicalCurves`] so the figures of the paper can
 //! be re-rendered from this crate's output.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use shil_numerics::contour::{marching_squares, polyline_intersections, Point, Polyline};
 use shil_numerics::newton::{newton_system, NewtonOptions};
 use shil_numerics::{wrap_angle, Grid2};
 
+use crate::cache::{self, NaturalKey, PrecharCache, PrecharKey, Precharacterization};
 use crate::describing::{natural_oscillation, NaturalOptions, NaturalOscillation};
 use crate::error::ShilError;
-use crate::harmonics::{i1_injected, HarmonicOptions};
+use crate::harmonics::{HarmonicOptions, HarmonicTable};
 use crate::nonlinearity::Nonlinearity;
 use crate::tank::Tank;
 
@@ -55,6 +59,12 @@ pub struct ShilOptions {
     pub lock_range_scan: usize,
     /// Natural-oscillation solve options (used for grid scaling).
     pub natural: NaturalOptions,
+    /// Worker threads for the grid fill and related fan-out work:
+    /// `None` = one per available core, `Some(1)` = fully serial,
+    /// `Some(k)` = exactly `k`. Results are **bit-for-bit identical**
+    /// regardless of the setting (rows are partitioned, never reduced
+    /// across threads).
+    pub parallelism: Option<usize>,
 }
 
 impl Default for ShilOptions {
@@ -71,8 +81,120 @@ impl Default for ShilOptions {
             lock_range_iters: 36,
             lock_range_scan: 16,
             natural: NaturalOptions::default(),
+            parallelism: None,
         }
     }
+}
+
+/// Resolves a [`ShilOptions::parallelism`] request to a concrete thread
+/// count (`None` → available cores, floor of 1).
+pub fn effective_parallelism(requested: Option<usize>) -> usize {
+    requested
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Digest of the options that influence a natural-oscillation solve.
+fn natural_options_fingerprint(opts: &NaturalOptions) -> u64 {
+    cache::fingerprint(
+        "natural-options",
+        &[
+            opts.a_max.unwrap_or(-1.0),
+            opts.scan_points as f64,
+            opts.harmonics.samples as f64,
+        ],
+    )
+}
+
+/// Digest of the options that influence the grid pre-characterization.
+/// Excludes the lock-range iteration counts (query-time knobs) and
+/// `parallelism` (the fill is bit-identical at any thread count).
+fn grid_options_fingerprint(opts: &ShilOptions) -> u64 {
+    cache::combine(
+        cache::fingerprint(
+            "grid-options",
+            &[
+                opts.phase_points as f64,
+                opts.amplitude_points as f64,
+                opts.a_min_factor,
+                opts.a_max_factor,
+                opts.harmonics.samples as f64,
+            ],
+        ),
+        natural_options_fingerprint(&opts.natural),
+    )
+}
+
+/// Fills the `T_f(φ, A)` and `∠−I₁(φ, A)` grids for the given axes using
+/// `threads` workers.
+///
+/// This is the hot loop of [`ShilAnalysis::new`], exposed so sweeps and
+/// benchmarks can drive it directly. Each grid cell costs one batched
+/// two-tone sampling pass of `table` (no trigonometric calls; see
+/// [`HarmonicTable`]). Rows are partitioned into disjoint contiguous chunks,
+/// one scoped thread per chunk, every cell computed by the same expressions
+/// in the same order — so serial (`threads == 1`) and parallel fills return
+/// **bit-for-bit identical** grids.
+///
+/// # Errors
+///
+/// Propagates grid-construction failures (non-monotonic axes).
+pub fn precharacterize<N: Nonlinearity + Sync + ?Sized>(
+    nonlinearity: &N,
+    r: f64,
+    vi: f64,
+    phis: &[f64],
+    amps: &[f64],
+    table: &HarmonicTable,
+    threads: usize,
+) -> Result<(Grid2, Grid2), ShilError> {
+    let nx = phis.len();
+    let ny = amps.len();
+    let mut tf_data = vec![0.0; nx * ny];
+    let mut angle_data = vec![0.0; nx * ny];
+
+    // `j0` is the absolute index of the first row in the chunk; each worker
+    // owns a disjoint &mut window of both data vectors.
+    let fill = |j0: usize, tf_rows: &mut [f64], angle_rows: &mut [f64]| {
+        let mut buf = table.scratch();
+        for (dj, (tf_row, angle_row)) in tf_rows
+            .chunks_mut(nx)
+            .zip(angle_rows.chunks_mut(nx))
+            .enumerate()
+        {
+            let a = amps[j0 + dj];
+            for (i, &phi) in phis.iter().enumerate() {
+                let i1 = table.i1(nonlinearity, a, vi, phi, &mut buf);
+                tf_row[i] = -r * i1.re / (a / 2.0);
+                angle_row[i] = (-i1).arg();
+            }
+        }
+    };
+
+    let threads = threads.clamp(1, ny.max(1));
+    if threads == 1 {
+        fill(0, &mut tf_data, &mut angle_data);
+    } else {
+        let rows_per = ny.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk, (tf_chunk, angle_chunk)) in tf_data
+                .chunks_mut(rows_per * nx)
+                .zip(angle_data.chunks_mut(rows_per * nx))
+                .enumerate()
+            {
+                let fill = &fill;
+                scope.spawn(move || fill(chunk * rows_per, tf_chunk, angle_chunk));
+            }
+        });
+    }
+
+    let tf_grid = Grid2::from_data(phis.to_vec(), amps.to_vec(), tf_data)?;
+    let angle_grid = Grid2::from_data(phis.to_vec(), amps.to_vec(), angle_data)?;
+    Ok((tf_grid, angle_grid))
 }
 
 /// One lock solution `(φ_s, A_s)` of the SHIL equations.
@@ -136,17 +258,18 @@ pub struct ShilAnalysis<'a, N: ?Sized, T: ?Sized> {
     n: u32,
     vi: f64,
     opts: ShilOptions,
-    natural: NaturalOscillation,
-    r: f64,
-    /// `T_f(φ, A)` over the grid (x = φ, y = A).
-    tf_grid: Grid2,
-    /// `∠−I₁(φ, A)` over the grid, wrapped to `(−π, π]`.
-    angle_grid: Grid2,
-    /// The injection-invariant level set `C_{T_f,1}`.
-    tf_unity: Vec<Polyline>,
+    /// Grids, level set, natural solve and sampling tables — possibly
+    /// shared with other analyses through a [`PrecharCache`].
+    prechar: Arc<Precharacterization>,
+    /// Resolved worker-thread count (from [`ShilOptions::parallelism`]).
+    threads: usize,
+    /// Memoized `∠−I₁` isolines keyed by the level's bit pattern; repeat
+    /// queries at the same tank phase (bisections, figure sweeps) skip the
+    /// marching-squares re-extraction.
+    iso_cache: Mutex<HashMap<u64, Arc<Vec<Polyline>>>>,
 }
 
-impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
+impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<'a, N, T> {
     /// Pre-characterizes the oscillator for `n`-th sub-harmonic injection
     /// with phasor magnitude `vi` (the physical injection waveform is
     /// `2·vi·cos(nω_i t + φ)`).
@@ -163,6 +286,91 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
         vi: f64,
         opts: ShilOptions,
     ) -> Result<Self, ShilError> {
+        Self::validate(n, vi)?;
+        let natural = natural_oscillation(nonlinearity, tank, &opts.natural)?;
+        let threads = effective_parallelism(opts.parallelism);
+        let prechar = Arc::new(Self::build_prechar(
+            nonlinearity,
+            tank,
+            natural,
+            n,
+            vi,
+            &opts,
+            threads,
+        )?);
+        Ok(ShilAnalysis {
+            nonlinearity,
+            tank,
+            n,
+            vi,
+            opts,
+            prechar,
+            threads,
+            iso_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Like [`Self::new`], but serving the natural solve and the grid
+    /// pre-characterization from `cache` when the oscillator's elements
+    /// carry fingerprints (falling back to an uncached build otherwise).
+    ///
+    /// A sweep that constructs many analyses over the same oscillator —
+    /// e.g. one per injection frequency, as the Tab. 1/Fig. 14 experiments
+    /// do — pays for a single grid build; every further construction is a
+    /// lookup.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn new_cached(
+        nonlinearity: &'a N,
+        tank: &'a T,
+        n: u32,
+        vi: f64,
+        opts: ShilOptions,
+        cache: &PrecharCache,
+    ) -> Result<Self, ShilError> {
+        Self::validate(n, vi)?;
+        let threads = effective_parallelism(opts.parallelism);
+        let (nl_fp, tank_fp) = match (nonlinearity.fingerprint(), tank.fingerprint()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                cache.note_uncacheable();
+                return Self::new(nonlinearity, tank, n, vi, opts);
+            }
+        };
+        let natural_fp = natural_options_fingerprint(&opts.natural);
+        let natural = cache.natural_or_insert(
+            NaturalKey {
+                nonlinearity: nl_fp,
+                tank: tank_fp,
+                options: natural_fp,
+            },
+            || natural_oscillation(nonlinearity, tank, &opts.natural),
+        )?;
+        let key = PrecharKey {
+            nonlinearity: nl_fp,
+            tank: tank_fp,
+            n,
+            vi_bits: vi.to_bits(),
+            options: grid_options_fingerprint(&opts),
+        };
+        let prechar = cache.grid_or_insert(key, || {
+            Self::build_prechar(nonlinearity, tank, natural, n, vi, &opts, threads)
+        })?;
+        Ok(ShilAnalysis {
+            nonlinearity,
+            tank,
+            n,
+            vi,
+            opts,
+            prechar,
+            threads,
+            iso_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn validate(n: u32, vi: f64) -> Result<(), ShilError> {
         if n == 0 {
             return Err(ShilError::InvalidParameter(
                 "sub-harmonic order n must be ≥ 1".into(),
@@ -173,41 +381,38 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
                 "injection magnitude must be positive and finite, got {vi}"
             )));
         }
-        let natural = natural_oscillation(nonlinearity, tank, &opts.natural)?;
-        let r = tank.peak_resistance();
+        Ok(())
+    }
 
+    fn build_prechar(
+        nonlinearity: &N,
+        tank: &T,
+        natural: NaturalOscillation,
+        n: u32,
+        vi: f64,
+        opts: &ShilOptions,
+        threads: usize,
+    ) -> Result<Precharacterization, ShilError> {
+        let r = tank.peak_resistance();
         let a_lo = opts.a_min_factor * natural.amplitude;
         let a_hi = opts.a_max_factor * natural.amplitude;
         let (nx, ny) = (opts.phase_points, opts.amplitude_points);
 
-        // One harmonic integral per grid point yields both fields.
+        // One batched sampling pass per grid point yields both fields.
         let phis: Vec<f64> = (0..nx)
             .map(|i| std::f64::consts::TAU * i as f64 / (nx - 1) as f64)
             .collect();
         let amps: Vec<f64> = (0..ny)
             .map(|j| a_lo + (a_hi - a_lo) * j as f64 / (ny - 1) as f64)
             .collect();
-        let mut tf_data = Vec::with_capacity(nx * ny);
-        let mut angle_data = Vec::with_capacity(nx * ny);
-        for &a in &amps {
-            for &phi in &phis {
-                let i1 = i1_injected(nonlinearity, a, vi, phi, n, &opts.harmonics);
-                tf_data.push(-r * i1.re / (a / 2.0));
-                angle_data.push((-i1).arg());
-            }
-        }
-        let tf_grid = Grid2::from_data(phis.clone(), amps.clone(), tf_data)?;
-        let angle_grid = Grid2::from_data(phis, amps, angle_data)?;
+        let table = HarmonicTable::new(n, 1, &opts.harmonics);
+        let (tf_grid, angle_grid) =
+            precharacterize(nonlinearity, r, vi, &phis, &amps, &table, threads)?;
         let tf_unity = marching_squares(&tf_grid, 1.0)?;
-
-        Ok(ShilAnalysis {
-            nonlinearity,
-            tank,
-            n,
-            vi,
-            opts,
+        Ok(Precharacterization {
             natural,
             r,
+            table,
             tf_grid,
             angle_grid,
             tf_unity,
@@ -216,7 +421,7 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
 
     /// The natural oscillation the grids were scaled from.
     pub fn natural(&self) -> NaturalOscillation {
-        self.natural
+        self.prechar.natural
     }
 
     /// Sub-harmonic order `n`.
@@ -231,28 +436,39 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
 
     /// The pre-characterized `T_f(φ, A)` grid (x = φ, y = A).
     pub fn tf_grid(&self) -> &Grid2 {
-        &self.tf_grid
+        &self.prechar.tf_grid
     }
 
     /// The pre-characterized `∠−I₁(φ, A)` grid, wrapped to `(−π, π]`.
     pub fn angle_grid(&self) -> &Grid2 {
-        &self.angle_grid
+        &self.prechar.angle_grid
     }
 
     /// The injection-frequency-invariant level set `C_{T_f,1}`.
     pub fn tf_unity_curve(&self) -> &[Polyline] {
-        &self.tf_unity
+        &self.prechar.tf_unity
     }
 
     /// Extracts the isoline `∠−I₁ = level` from the angle grid, masking the
-    /// wrap-around branch cut.
-    fn angle_isoline(&self, level: f64) -> Result<Vec<Polyline>, ShilError> {
-        let nx = self.angle_grid.nx();
-        let ny = self.angle_grid.ny();
+    /// wrap-around branch cut. Memoized per level (sweeps and bisections
+    /// revisit levels; the marching-squares pass runs once each).
+    fn angle_isoline(&self, level: f64) -> Result<Arc<Vec<Polyline>>, ShilError> {
+        let key = level.to_bits();
+        if let Some(hit) = self
+            .iso_cache
+            .lock()
+            .expect("isoline cache poisoned")
+            .get(&key)
+        {
+            return Ok(Arc::clone(hit));
+        }
+        let angle_grid = &self.prechar.angle_grid;
+        let nx = angle_grid.nx();
+        let ny = angle_grid.ny();
         let mut data = Vec::with_capacity(nx * ny);
         for j in 0..ny {
             for i in 0..nx {
-                let d = wrap_angle(self.angle_grid.value(i, j) - level);
+                let d = wrap_angle(angle_grid.value(i, j) - level);
                 // Mask the half of the circle nearest the branch cut so
                 // marching squares never sees the ±π jump.
                 data.push(if d.abs() > std::f64::consts::FRAC_PI_2 {
@@ -262,27 +478,45 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
                 });
             }
         }
-        let g = Grid2::from_data(
-            self.angle_grid.xs().to_vec(),
-            self.angle_grid.ys().to_vec(),
-            data,
-        )?;
-        Ok(marching_squares(&g, 0.0)?)
+        let g = Grid2::from_data(angle_grid.xs().to_vec(), angle_grid.ys().to_vec(), data)?;
+        let iso = Arc::new(marching_squares(&g, 0.0)?);
+        Ok(Arc::clone(
+            self.iso_cache
+                .lock()
+                .expect("isoline cache poisoned")
+                .entry(key)
+                .or_insert(iso),
+        ))
     }
 
-    /// Exact residuals of the lock equations at `(φ, A)`.
-    fn residuals(&self, phi: f64, a: f64, neg_phi_d: f64) -> (f64, f64) {
-        let i1 = i1_injected(self.nonlinearity, a, self.vi, phi, self.n, &self.opts.harmonics);
-        let tf = -self.r * i1.re / (a / 2.0);
+    /// Exact residuals of the lock equations at `(φ, A)`, batched through
+    /// the caller's scratch buffer.
+    fn residuals_with(&self, phi: f64, a: f64, neg_phi_d: f64, buf: &mut Vec<f64>) -> (f64, f64) {
+        let i1 = self
+            .prechar
+            .table
+            .i1(self.nonlinearity, a, self.vi, phi, buf);
+        let tf = -self.prechar.r * i1.re / (a / 2.0);
         let ang = wrap_angle((-i1).arg() - neg_phi_d);
         (tf - 1.0, ang)
     }
 
+    /// Exact residuals of the lock equations at `(φ, A)`:
+    /// `(T_f − 1, ∠−I₁ − (−φ_d))`. Both vanish at a lock solution — useful
+    /// for validating refined solutions against the non-gridded equations.
+    pub fn residuals(&self, phi: f64, a: f64, neg_phi_d: f64) -> (f64, f64) {
+        let mut buf = self.prechar.table.scratch();
+        self.residuals_with(phi, a, neg_phi_d, &mut buf)
+    }
+
     /// Effective loop gain `T_F` (paper eq. 5) at `(φ, A)` for tank phase
     /// `φ_d` — the quantity whose excess over 1 drives amplitude growth.
-    fn t_f_gain(&self, phi: f64, a: f64, phi_d: f64) -> f64 {
-        let i1 = i1_injected(self.nonlinearity, a, self.vi, phi, self.n, &self.opts.harmonics);
-        self.r * i1.abs() * phi_d.cos().abs() / (a / 2.0)
+    fn t_f_gain(&self, phi: f64, a: f64, phi_d: f64, buf: &mut Vec<f64>) -> f64 {
+        let i1 = self
+            .prechar
+            .table
+            .i1(self.nonlinearity, a, self.vi, phi, buf);
+        self.prechar.r * i1.abs() * phi_d.cos().abs() / (a / 2.0)
     }
 
     /// Classifies the stability of a refined solution from the local
@@ -292,15 +526,19 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
     /// `dφ/dt ∝ −(∠−I₁ + φ_d)`. The solution is stable iff the 2×2
     /// Jacobian of this field has positive determinant and negative trace.
     fn classify(&self, phi: f64, a: f64, phi_d: f64) -> (bool, f64, f64) {
-        let ha = 1e-5 * self.natural.amplitude;
+        let ha = 1e-5 * self.prechar.natural.amplitude;
         let hp = 1e-5;
-        let gain = |p: f64, aa: f64| self.t_f_gain(p, aa, phi_d) - 1.0;
-        let pha = |p: f64, aa: f64| {
-            let i1 = i1_injected(self.nonlinearity, aa, self.vi, p, self.n, &self.opts.harmonics);
-            wrap_angle((-i1).arg() + phi_d)
-        };
+        let mut buf = self.prechar.table.scratch();
+        let mut gain = |p: f64, aa: f64| self.t_f_gain(p, aa, phi_d, &mut buf) - 1.0;
         let dga = (gain(phi, a + ha) - gain(phi, a - ha)) / (2.0 * ha);
         let dgp = (gain(phi + hp, a) - gain(phi - hp, a)) / (2.0 * hp);
+        let mut pha = |p: f64, aa: f64| {
+            let i1 = self
+                .prechar
+                .table
+                .i1(self.nonlinearity, aa, self.vi, p, &mut buf);
+            wrap_angle((-i1).arg() + phi_d)
+        };
         let dpa = (pha(phi, a + ha) - pha(phi, a - ha)) / (2.0 * ha);
         let dpp = (pha(phi + hp, a) - pha(phi - hp, a)) / (2.0 * hp);
         // J = [[∂Ȧ/∂A, ∂Ȧ/∂φ], [∂φ̇/∂A, ∂φ̇/∂φ]] with Ȧ = (T_F−1)A, φ̇ = −(∠−I₁+φ_d).
@@ -328,12 +566,17 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
         }
         let neg_phi_d = -phi_d;
         let isoline = self.angle_isoline(neg_phi_d)?;
-        let merge_tol = 1e-3 * (self.tf_grid.ys()[self.tf_grid.ny() - 1]);
-        let raw = polyline_intersections(&self.tf_unity, &isoline, merge_tol);
+        let tf_grid = &self.prechar.tf_grid;
+        let merge_tol = 1e-3 * (tf_grid.ys()[tf_grid.ny() - 1]);
+        let raw = polyline_intersections(&self.prechar.tf_unity, &isoline, merge_tol);
+
+        // Newton-polish every graphical intersection (parallel when the
+        // analysis has workers), then dedup + classify serially in the
+        // original order — identical results at any thread count.
+        let refined = self.refine_all(&raw, neg_phi_d);
 
         let mut solutions: Vec<ShilSolution> = Vec::new();
-        for p in raw {
-            let refined = self.refine(p, neg_phi_d);
+        for refined in refined {
             let (phi, a) = match refined {
                 Some(pa) => pa,
                 None => continue,
@@ -342,7 +585,7 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
             // Deduplicate (graphical intersections can converge together).
             let dup = solutions.iter().any(|s| {
                 shil_numerics::angle_diff(s.phase, phi_wrapped).abs() < 1e-4
-                    && (s.amplitude - a).abs() < 1e-6 * self.natural.amplitude.max(1.0)
+                    && (s.amplitude - a).abs() < 1e-6 * self.prechar.natural.amplitude.max(1.0)
             });
             if dup {
                 continue;
@@ -360,15 +603,43 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
         Ok(solutions)
     }
 
+    /// Newton-polishes each graphical intersection, fanning the (mutually
+    /// independent) polishes across the analysis' worker threads. Output
+    /// order matches input order, and each polish runs the same expressions
+    /// regardless of the partition, so the result is independent of the
+    /// thread count.
+    fn refine_all(&self, raw: &[Point], neg_phi_d: f64) -> Vec<Option<(f64, f64)>> {
+        if self.threads <= 1 || raw.len() < 2 {
+            let mut buf = self.prechar.table.scratch();
+            return raw
+                .iter()
+                .map(|&p| self.refine(p, neg_phi_d, &mut buf))
+                .collect();
+        }
+        let mut refined: Vec<Option<(f64, f64)>> = vec![None; raw.len()];
+        let per = raw.len().div_ceil(self.threads);
+        std::thread::scope(|scope| {
+            for (points, out) in raw.chunks(per).zip(refined.chunks_mut(per)) {
+                scope.spawn(move || {
+                    let mut buf = self.prechar.table.scratch();
+                    for (p, slot) in points.iter().zip(out.iter_mut()) {
+                        *slot = self.refine(*p, neg_phi_d, &mut buf);
+                    }
+                });
+            }
+        });
+        refined
+    }
+
     /// Newton-polishes a graphical intersection against the exact
     /// residuals. Returns `None` when the polish diverges (spurious
     /// intersection from grid artifacts).
-    fn refine(&self, p: Point, neg_phi_d: f64) -> Option<(f64, f64)> {
-        let a_lo = self.tf_grid.ys()[0];
-        let a_hi = self.tf_grid.ys()[self.tf_grid.ny() - 1];
+    fn refine(&self, p: Point, neg_phi_d: f64, buf: &mut Vec<f64>) -> Option<(f64, f64)> {
+        let a_lo = self.prechar.tf_grid.ys()[0];
+        let a_hi = self.prechar.tf_grid.ys()[self.prechar.tf_grid.ny() - 1];
         let res = newton_system(
             |x, r| {
-                let (r0, r1) = self.residuals(x[0], x[1], neg_phi_d);
+                let (r0, r1) = self.residuals_with(x[0], x[1], neg_phi_d, buf);
                 r[0] = r0;
                 r[1] = r1;
             },
@@ -393,8 +664,12 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
     /// # Errors
     ///
     /// - [`ShilError::InvalidParameter`] for a non-positive frequency.
-    pub fn solutions_at_injection(&self, f_injection_hz: f64) -> Result<Vec<ShilSolution>, ShilError> {
-        if !(f_injection_hz > 0.0) {
+    pub fn solutions_at_injection(
+        &self,
+        f_injection_hz: f64,
+    ) -> Result<Vec<ShilSolution>, ShilError> {
+        // NaN-rejecting positivity check.
+        if f_injection_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(ShilError::InvalidParameter(format!(
                 "injection frequency must be positive, got {f_injection_hz}"
             )));
@@ -414,8 +689,8 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
         let solutions = self.solutions_at_phase(phi_d)?;
         Ok(GraphicalCurves {
             neg_phi_d: -phi_d,
-            tf_unity: self.tf_unity.clone(),
-            angle_isoline: self.angle_isoline(-phi_d)?,
+            tf_unity: self.prechar.tf_unity.clone(),
+            angle_isoline: self.angle_isoline(-phi_d)?.as_ref().clone(),
             solutions,
         })
     }
@@ -428,7 +703,7 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
     pub fn angle_isolines(&self, levels: &[f64]) -> Result<Vec<(f64, Vec<Polyline>)>, ShilError> {
         levels
             .iter()
-            .map(|&lv| Ok((lv, self.angle_isoline(lv)?)))
+            .map(|&lv| Ok((lv, self.angle_isoline(lv)?.as_ref().clone())))
             .collect()
     }
 
@@ -482,18 +757,45 @@ impl<'a, N: Nonlinearity + ?Sized, T: Tank + ?Sized> ShilAnalysis<'a, N, T> {
             })
             .ok_or(ShilError::NoLock)?;
 
-        // Coarse forward scan for the first failing phase.
+        // Coarse forward scan for the first failing phase. With workers
+        // available, evaluate every scan point concurrently and then derive
+        // the bracket from the *first* failure — the same (lo, hi) the
+        // serial early-exit scan produces.
         let cap = std::f64::consts::FRAC_PI_2 * 0.999;
         let steps = self.opts.lock_range_scan.max(4);
+        let scan_phis: Vec<f64> = (1..=steps).map(|k| cap * k as f64 / steps as f64).collect();
+        let locked: Vec<bool> = if self.threads <= 1 {
+            let mut flags = Vec::with_capacity(steps);
+            for &phi in &scan_phis {
+                let ok = self.has_stable_lock(phi);
+                flags.push(ok);
+                if !ok {
+                    break;
+                }
+            }
+            flags
+        } else {
+            let mut flags = vec![false; steps];
+            let per = steps.div_ceil(self.threads);
+            std::thread::scope(|scope| {
+                for (phis, out) in scan_phis.chunks(per).zip(flags.chunks_mut(per)) {
+                    scope.spawn(move || {
+                        for (&phi, slot) in phis.iter().zip(out.iter_mut()) {
+                            *slot = self.has_stable_lock(phi);
+                        }
+                    });
+                }
+            });
+            flags
+        };
         let mut lo = 0.0;
         let mut hi = cap;
         let mut found_fail = false;
-        for k in 1..=steps {
-            let phi = cap * k as f64 / steps as f64;
-            if self.has_stable_lock(phi) {
-                lo = phi;
+        for (k, &ok) in locked.iter().enumerate() {
+            if ok {
+                lo = scan_phis[k];
             } else {
-                hi = phi;
+                hi = scan_phis[k];
                 found_fail = true;
                 break;
             }
@@ -538,8 +840,12 @@ impl<N: ?Sized, T: ?Sized> std::fmt::Debug for ShilAnalysis<'_, N, T> {
         f.debug_struct("ShilAnalysis")
             .field("n", &self.n)
             .field("vi", &self.vi)
-            .field("natural", &self.natural)
-            .field("grid", &(self.tf_grid.nx(), self.tf_grid.ny()))
+            .field("natural", &self.prechar.natural)
+            .field(
+                "grid",
+                &(self.prechar.tf_grid.nx(), self.prechar.tf_grid.ny()),
+            )
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -590,11 +896,7 @@ mod tests {
         let unstable: Vec<_> = sols.iter().filter(|s| !s.stable).collect();
         assert_eq!(stable.len(), 1, "stable: {stable:?}");
         assert_eq!(unstable.len(), 1, "unstable: {unstable:?}");
-        assert!(
-            shil_numerics::angle_diff(stable[0].phase, std::f64::consts::PI)
-                .abs()
-                < 1e-3
-        );
+        assert!(shil_numerics::angle_diff(stable[0].phase, std::f64::consts::PI).abs() < 1e-3);
         assert!(unstable[0].phase.abs() < 1e-3);
     }
 
@@ -668,10 +970,9 @@ mod tests {
         assert!(lr.phi_d_max > 0.0 && lr.phi_d_max < std::f64::consts::FRAC_PI_2);
         assert!(lr.lower_oscillator_hz < fc && fc < lr.upper_oscillator_hz);
         assert!((lr.lower_injection_hz - 3.0 * lr.lower_oscillator_hz).abs() < 1e-6);
-        assert!((lr.injection_span_hz
-            - (lr.upper_injection_hz - lr.lower_injection_hz))
-            .abs()
-            < 1e-9);
+        assert!(
+            (lr.injection_span_hz - (lr.upper_injection_hz - lr.lower_injection_hz)).abs() < 1e-9
+        );
         assert!(lr.amplitude_at_center > 0.0);
         // Locking inside the range, no stable lock outside.
         assert!(an.has_stable_lock(0.5 * lr.phi_d_max));

@@ -76,6 +76,14 @@ pub trait Tank {
     fn center_frequency_hz(&self) -> f64 {
         self.center_omega() / std::f64::consts::TAU
     }
+
+    /// A stable 64-bit digest of this tank's parameters, or `None` when the
+    /// tank cannot be identified by value. Equal fingerprints must imply
+    /// identical impedance curves — see
+    /// [`Nonlinearity::fingerprint`](crate::nonlinearity::Nonlinearity::fingerprint).
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<T: Tank + ?Sized> Tank for &T {
@@ -93,6 +101,9 @@ impl<T: Tank + ?Sized> Tank for &T {
     }
     fn omega_for_phase(&self, phi_d: f64) -> Result<f64, ShilError> {
         (**self).omega_for_phase(phi_d)
+    }
+    fn fingerprint(&self) -> Option<u64> {
+        (**self).fingerprint()
     }
 }
 
@@ -186,6 +197,13 @@ impl Tank for ParallelRlc {
         let t = phi_d.tan() / self.q();
         let x = 0.5 * (-t + (t * t + 4.0).sqrt());
         Ok(x * self.center_omega())
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(crate::cache::fingerprint(
+            "parallel-rlc",
+            &[self.r, self.l, self.c],
+        ))
     }
 }
 
@@ -329,10 +347,7 @@ mod tests {
         for &x in &[0.9, 0.95, 0.99, 1.0, 1.01, 1.05, 1.12] {
             let w = wc * x;
             let z = t.impedance(w);
-            assert!(
-                (z.abs() - 1000.0 * z.arg().cos()).abs() < 1e-6,
-                "x = {x}"
-            );
+            assert!((z.abs() - 1000.0 * z.arg().cos()).abs() < 1e-6, "x = {x}");
         }
     }
 
@@ -369,10 +384,7 @@ mod tests {
         for &phi in &[-0.9, -0.2, 0.3, 1.0] {
             let wa = t.omega_for_phase(phi).unwrap();
             let wd = w.omega_for_phase(phi).unwrap();
-            assert!(
-                ((wa - wd) / wa).abs() < 1e-10,
-                "phi = {phi}: {wa} vs {wd}"
-            );
+            assert!(((wa - wd) / wa).abs() < 1e-10, "phi = {phi}: {wa} vs {wd}");
         }
     }
 
@@ -413,15 +425,10 @@ mod tests {
     #[test]
     fn tabulated_tank_validates_inputs() {
         assert!(TabulatedTank::from_samples(vec![1.0, 2.0], vec![Complex64::ONE; 2]).is_err());
-        assert!(
-            TabulatedTank::from_samples(vec![1.0, 2.0, 3.0], vec![Complex64::ONE; 2]).is_err()
-        );
+        assert!(TabulatedTank::from_samples(vec![1.0, 2.0, 3.0], vec![Complex64::ONE; 2]).is_err());
         // Peak on the edge: monotone magnitude data.
         let freqs: Vec<f64> = (1..=6).map(|k| k as f64).collect();
-        let z: Vec<Complex64> = freqs
-            .iter()
-            .map(|f| Complex64::new(*f, 0.0))
-            .collect();
+        let z: Vec<Complex64> = freqs.iter().map(|f| Complex64::new(*f, 0.0)).collect();
         assert!(TabulatedTank::from_samples(freqs, z).is_err());
     }
 

@@ -40,10 +40,7 @@ pub struct Polyline {
 impl Polyline {
     /// Total arc length.
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 
     /// Whether the polyline is (numerically) closed.

@@ -50,7 +50,10 @@ impl Grid2 {
                 "grid axes need at least two points".into(),
             ));
         }
-        if !(x1 > x0) || !(y1 > y0) {
+        // `partial_cmp` keeps the NaN-rejecting behaviour of `!(a > b)`.
+        if x1.partial_cmp(&x0) != Some(std::cmp::Ordering::Greater)
+            || y1.partial_cmp(&y0) != Some(std::cmp::Ordering::Greater)
+        {
             return Err(NumericsError::InvalidInput(
                 "grid extents must be positive".into(),
             ));
@@ -92,7 +95,8 @@ impl Grid2 {
         }
         for axis in [&xs, &ys] {
             for w in axis.windows(2) {
-                if !(w[1] > w[0]) {
+                // NaN-rejecting strict-increase check.
+                if w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater) {
                     return Err(NumericsError::InvalidInput(
                         "grid axes must be strictly increasing".into(),
                     ));
@@ -141,7 +145,10 @@ impl Grid2 {
         let v10 = self.value(ix + 1, iy);
         let v01 = self.value(ix, iy + 1);
         let v11 = self.value(ix + 1, iy + 1);
-        v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty
+        v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v11 * tx * ty
     }
 
     /// Central-difference gradient `(∂z/∂x, ∂z/∂y)` at grid indices.
@@ -216,8 +223,10 @@ mod tests {
 
     #[test]
     fn bilinear_is_exact_for_bilinear_fields() {
-        let g = Grid2::from_fn(0.0, 1.0, 5, 0.0, 1.0, 5, |x, y| 2.0 + 3.0 * x - y + 4.0 * x * y)
-            .unwrap();
+        let g = Grid2::from_fn(0.0, 1.0, 5, 0.0, 1.0, 5, |x, y| {
+            2.0 + 3.0 * x - y + 4.0 * x * y
+        })
+        .unwrap();
         for &(x, y) in &[(0.13, 0.4), (0.77, 0.91), (0.5, 0.5)] {
             let expect = 2.0 + 3.0 * x - y + 4.0 * x * y;
             assert!((g.bilinear(x, y) - expect).abs() < 1e-12);

@@ -35,7 +35,8 @@ fn check_axis(x: &[f64], y: &[f64]) -> Result<(), NumericsError> {
         ));
     }
     for w in x.windows(2) {
-        if !(w[1] > w[0]) {
+        // NaN-rejecting strict-increase check.
+        if w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater) {
             return Err(NumericsError::InvalidInput(
                 "abscissae must be strictly increasing".into(),
             ));
@@ -130,7 +131,10 @@ impl LinearInterp {
 
     /// Piecewise-constant derivative at `xq` (boundary slope outside).
     pub fn derivative(&self, xq: f64) -> f64 {
-        let i = locate(&self.x, xq.clamp(self.x[0], *self.x.last().expect("non-empty")));
+        let i = locate(
+            &self.x,
+            xq.clamp(self.x[0], *self.x.last().expect("non-empty")),
+        );
         (self.y[i + 1] - self.y[i]) / (self.x[i + 1] - self.x[i])
     }
 }
@@ -373,11 +377,7 @@ mod tests {
 
     #[test]
     fn pchip_no_overshoot_on_step_data() {
-        let p = Pchip::new(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 0.0, 1.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let p = Pchip::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
         let mut q = 0.0;
         while q <= 4.0 {
             let v = p.eval(q).unwrap();

@@ -173,13 +173,13 @@ impl<T: Scalar> Dense<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
         let mut y = vec![T::zero(); self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = T::zero();
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (a, xv) in row.iter().zip(x) {
                 acc = acc + *a * *xv;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -268,7 +268,8 @@ impl<T: Scalar> Lu<T> {
                     pivot_row = i;
                 }
             }
-            if !(pivot_mag > 1e-300) {
+            // `partial_cmp` keeps the NaN-rejecting behaviour of `!(a > b)`.
+            if pivot_mag.partial_cmp(&1e-300) != Some(std::cmp::Ordering::Greater) {
                 return Err(NumericsError::SingularMatrix { pivot: k });
             }
             if pivot_row != k {
@@ -310,16 +311,18 @@ impl<T: Scalar> Lu<T> {
         // Forward substitution with unit-lower-triangular L.
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc = acc - self.lu[(i, j)] * x[j];
+            let row = &self.lu.data[i * n..(i + 1) * n];
+            for (l, xj) in row[..i].iter().zip(&x[..i]) {
+                acc = acc - *l * *xj;
             }
             x[i] = acc;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc = acc - self.lu[(i, j)] * x[j];
+            let row = &self.lu.data[i * n..(i + 1) * n];
+            for (u, xj) in row[i + 1..].iter().zip(&x[i + 1..]) {
+                acc = acc - *u * *xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }

@@ -36,7 +36,10 @@ pub fn trapezoid<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f6
 ///
 /// Panics if `n` is zero or odd.
 pub fn simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f64 {
-    assert!(n >= 2 && n % 2 == 0, "simpson requires an even n >= 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "simpson requires an even n >= 2"
+    );
     let h = (b - a) / n as f64;
     let mut acc = f(a) + f(b);
     for i in 1..n {
@@ -64,6 +67,188 @@ pub fn periodic_mean<F: FnMut(f64) -> f64>(mut f: F, n: usize) -> f64 {
     acc / n as f64
 }
 
+/// Samples a 2π-periodic function at the `n` uniform angles `θ_i = 2πi/n`
+/// into `buf` (cleared first).
+///
+/// This is the sampling half of the periodic trapezoid rule: every Fourier
+/// coefficient of `f` up to the Nyquist order can then be extracted from the
+/// one buffer with [`TwiddleTable::coefficient`], without re-evaluating `f`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sample_periodic<F: FnMut(f64) -> f64>(mut f: F, n: usize, buf: &mut Vec<f64>) {
+    assert!(n >= 1, "at least one sample required");
+    buf.clear();
+    buf.reserve(n);
+    let h = std::f64::consts::TAU / n as f64;
+    for i in 0..n {
+        buf.push(f(h * i as f64));
+    }
+}
+
+/// Precomputed `cos(kθ_i)` / `sin(kθ_i)` rows for extracting Fourier
+/// coefficients `k = 0..=max_k` from a length-`samples` periodic buffer.
+///
+/// Building the table costs `(max_k+1)·samples` sine/cosine evaluations
+/// *once*; afterwards each [`coefficient`](Self::coefficient) call is a pair
+/// of dot products with no transcendental functions at all. Re-evaluating
+/// the integrand per harmonic (the old [`fourier_coefficient`] path) pays
+/// those transcendentals on every call, which dominated the SHIL grid fill.
+///
+/// ```
+/// use shil_numerics::quad::{sample_periodic, TwiddleTable};
+///
+/// let table = TwiddleTable::new(256, 3);
+/// let mut buf = Vec::new();
+/// sample_periodic(|t: f64| 2.0 * (3.0 * t).cos() + t.sin(), 256, &mut buf);
+/// let c3 = table.coefficient(&buf, 3); // = 1
+/// let c1 = table.coefficient(&buf, 1); // = −j/2
+/// assert!((c3.re - 1.0).abs() < 1e-12 && c3.im.abs() < 1e-12);
+/// assert!(c1.re.abs() < 1e-12 && (c1.im + 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwiddleTable {
+    samples: usize,
+    max_k: usize,
+    /// `cos(kθ_i)`, row-major by `k`.
+    cos: Vec<f64>,
+    /// `sin(kθ_i)`, row-major by `k`.
+    sin: Vec<f64>,
+}
+
+impl TwiddleTable {
+    /// Builds the twiddle rows for `k = 0..=max_k` over `samples` uniform
+    /// angles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn new(samples: usize, max_k: usize) -> Self {
+        assert!(samples >= 1, "at least one sample required");
+        let h = std::f64::consts::TAU / samples as f64;
+        let len = (max_k + 1) * samples;
+        let mut cos = Vec::with_capacity(len);
+        let mut sin = Vec::with_capacity(len);
+        for k in 0..=max_k {
+            let kf = k as f64;
+            for i in 0..samples {
+                let (s, c) = (kf * (h * i as f64)).sin_cos();
+                cos.push(c);
+                sin.push(s);
+            }
+        }
+        TwiddleTable {
+            samples,
+            max_k,
+            cos,
+            sin,
+        }
+    }
+
+    /// Number of angular samples per period.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Highest harmonic order the table can extract.
+    pub fn max_k(&self) -> usize {
+        self.max_k
+    }
+
+    /// `c_k = (1/n) Σ_i f_i e^{−jkθ_i}` from a pre-sampled buffer — the
+    /// periodic-trapezoid Fourier coefficient, identical in value to
+    /// [`fourier_coefficient`] on the same samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != self.samples()` or `k > self.max_k()`.
+    pub fn coefficient(&self, samples: &[f64], k: usize) -> Complex64 {
+        assert_eq!(samples.len(), self.samples, "buffer length mismatch");
+        assert!(
+            k <= self.max_k,
+            "harmonic {k} beyond table max {}",
+            self.max_k
+        );
+        let row = k * self.samples..(k + 1) * self.samples;
+        let (cos, sin) = (&self.cos[row.clone()], &self.sin[row]);
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for i in 0..self.samples {
+            re += samples[i] * cos[i];
+            im -= samples[i] * sin[i];
+        }
+        Complex64::new(re / self.samples as f64, im / self.samples as f64)
+    }
+
+    /// All coefficients `c_0..=c_max_k` from one buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != self.samples()`.
+    pub fn coefficients(&self, samples: &[f64]) -> Vec<Complex64> {
+        (0..=self.max_k)
+            .map(|k| self.coefficient(samples, k))
+            .collect()
+    }
+
+    /// The raw `cos(kθ_i)` row — also usable for *synthesis* (evaluating a
+    /// trigonometric series on the sample grid), as harmonic balance does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.max_k()`.
+    pub fn cos_row(&self, k: usize) -> &[f64] {
+        assert!(
+            k <= self.max_k,
+            "harmonic {k} beyond table max {}",
+            self.max_k
+        );
+        &self.cos[k * self.samples..(k + 1) * self.samples]
+    }
+
+    /// The raw `sin(kθ_i)` row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > self.max_k()`.
+    pub fn sin_row(&self, k: usize) -> &[f64] {
+        assert!(
+            k <= self.max_k,
+            "harmonic {k} beyond table max {}",
+            self.max_k
+        );
+        &self.sin[k * self.samples..(k + 1) * self.samples]
+    }
+}
+
+/// `k`-th Fourier coefficient of an already-sampled periodic buffer
+/// (uniform angles `θ_i = 2πi/len` implied): `c_k = (1/n) Σ f_i e^{−jkθ_i}`.
+///
+/// One-shot companion to [`TwiddleTable::coefficient`] for callers that need
+/// a single harmonic from a buffer once — it pays the `sin_cos` per sample
+/// that the table would amortize, but skips materializing any rows.
+///
+/// Negative `k` is allowed (for a real buffer, `c_{−k} = conj(c_k)`).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn buffer_coefficient(samples: &[f64], k: i32) -> Complex64 {
+    assert!(!samples.is_empty(), "at least one sample required");
+    let n = samples.len();
+    let h = std::f64::consts::TAU / n as f64;
+    let kf = k as f64;
+    let mut re = 0.0;
+    let mut im = 0.0;
+    for (i, &v) in samples.iter().enumerate() {
+        let (s, c) = (kf * (h * i as f64)).sin_cos();
+        re += v * c;
+        im -= v * s;
+    }
+    Complex64::new(re / n as f64, im / n as f64)
+}
+
 /// `k`-th complex Fourier coefficient of a real 2π-periodic function:
 /// `c_k = (1/2π) ∫₀^{2π} f(θ) e^{−jkθ} dθ`, by the periodic trapezoid rule.
 ///
@@ -78,20 +263,20 @@ pub fn periodic_mean<F: FnMut(f64) -> f64>(mut f: F, n: usize) -> f64 {
 /// use shil_numerics::quad::fourier_coefficient;
 ///
 /// // f(θ) = cos θ has c₁ = 1/2.
+/// # #[allow(deprecated)]
 /// let c1 = fourier_coefficient(|t: f64| t.cos(), 1, 256);
 /// assert!((c1.re - 0.5).abs() < 1e-12);
 /// assert!(c1.im.abs() < 1e-12);
 /// ```
-pub fn fourier_coefficient<F: FnMut(f64) -> f64>(mut f: F, k: i32, n: usize) -> Complex64 {
-    assert!(n >= 1, "at least one sample required");
-    let h = std::f64::consts::TAU / n as f64;
-    let mut acc = Complex64::ZERO;
-    for i in 0..n {
-        let theta = h * i as f64;
-        let phase = -(k as f64) * theta;
-        acc += Complex64::from_polar(f(theta), phase);
-    }
-    acc / n as f64
+#[deprecated(
+    since = "0.1.0",
+    note = "re-evaluates the integrand per harmonic; use `sample_periodic` \
+            once plus `TwiddleTable::coefficient` per harmonic instead"
+)]
+pub fn fourier_coefficient<F: FnMut(f64) -> f64>(f: F, k: i32, n: usize) -> Complex64 {
+    let mut buf = Vec::new();
+    sample_periodic(f, n, &mut buf);
+    buffer_coefficient(&buf, k)
 }
 
 /// Composite trapezoid integral of uniformly sampled data with spacing `dt`.
@@ -106,9 +291,58 @@ pub fn trapezoid_samples(samples: &[f64], dt: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // fourier_coefficient stays covered until removal
 mod tests {
     use super::*;
     use std::f64::consts::{PI, TAU};
+
+    #[test]
+    fn twiddle_coefficient_matches_direct_fourier() {
+        let f = |t: f64| (t.cos() * 1.7 + 0.3 * (2.0 * t).cos()).tanh();
+        let n = 256;
+        let table = TwiddleTable::new(n, 4);
+        let mut buf = Vec::new();
+        sample_periodic(f, n, &mut buf);
+        for k in 0..=4usize {
+            let batched = table.coefficient(&buf, k);
+            let direct = fourier_coefficient(f, k as i32, n);
+            assert!(
+                (batched - direct).abs() < 1e-15,
+                "k={k}: batched {batched:?} vs direct {direct:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn twiddle_coefficients_vector_agrees_with_scalar() {
+        let n = 64;
+        let table = TwiddleTable::new(n, 3);
+        let mut buf = Vec::new();
+        sample_periodic(|t: f64| (3.0 * t).cos() - 2.0 * t.sin(), n, &mut buf);
+        let all = table.coefficients(&buf);
+        assert_eq!(all.len(), 4);
+        for (k, &c) in all.iter().enumerate() {
+            assert_eq!(c, table.coefficient(&buf, k));
+        }
+        assert!((all[3].re - 0.5).abs() < 1e-12);
+        assert!((all[1].im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_periodic_reuses_buffer() {
+        let mut buf = vec![999.0; 7];
+        sample_periodic(|t| t, 4, &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert!((buf[1] - TAU / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond table max")]
+    fn twiddle_rejects_out_of_range_harmonic() {
+        let table = TwiddleTable::new(8, 1);
+        let buf = vec![0.0; 8];
+        let _ = table.coefficient(&buf, 2);
+    }
 
     #[test]
     fn trapezoid_exact_for_linear() {

@@ -73,7 +73,7 @@ pub fn render(fig: &Figure, width: usize, height: usize) -> String {
     }
 
     // Frame + canvas.
-    let hline: String = std::iter::repeat('-').take(width).collect();
+    let hline: String = "-".repeat(width);
     out.push_str(&format!("{y1:>12.5e} +{hline}+\n", y1 = y1));
     for (r, row) in canvas.iter().enumerate() {
         let label = if r == height - 1 {
@@ -144,16 +144,9 @@ mod tests {
 
     #[test]
     fn diagonal_line_occupies_both_corners() {
-        let fig = Figure::new("t").with_series(Series::line(
-            "d",
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-        ));
+        let fig = Figure::new("t").with_series(Series::line("d", vec![0.0, 1.0], vec![0.0, 1.0]));
         let art = fig.render_ascii(30, 10);
-        let rows: Vec<&str> = art
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let rows: Vec<&str> = art.lines().filter(|l| l.contains('|')).collect();
         // First canvas row holds the top-right end, last the bottom-left.
         assert!(rows.first().expect("rows").trim_end().ends_with("#|"));
         assert!(rows.last().expect("rows").contains("|#"));

@@ -55,11 +55,8 @@ mod tests {
 
     #[test]
     fn values_roundtrip_through_parse() {
-        let fig = Figure::new("t").with_series(Series::line(
-            "a",
-            vec![1.234567890123e-7],
-            vec![-9.87e3],
-        ));
+        let fig =
+            Figure::new("t").with_series(Series::line("a", vec![1.234567890123e-7], vec![-9.87e3]));
         let csv = render(&fig).unwrap();
         let row = csv.lines().nth(1).unwrap();
         let cols: Vec<&str> = row.split(',').collect();

@@ -230,12 +230,7 @@ mod tests {
     fn figure_bounds_union() {
         let f = Figure::new("t")
             .with_series(Series::line("a", vec![0.0, 1.0], vec![0.0, 1.0]))
-            .with_series(Series::scatter(
-                "b",
-                vec![-2.0],
-                vec![5.0],
-                Marker::Cross,
-            ));
+            .with_series(Series::scatter("b", vec![-2.0], vec![5.0], Marker::Cross));
         assert_eq!(f.bounds(), Some((-2.0, 1.0, 0.0, 5.0)));
     }
 

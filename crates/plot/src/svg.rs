@@ -276,8 +276,8 @@ mod tests {
 
     #[test]
     fn title_is_escaped() {
-        let fig = Figure::new("a < b & c")
-            .with_series(Series::line("s", vec![0.0, 1.0], vec![0.0, 1.0]));
+        let fig =
+            Figure::new("a < b & c").with_series(Series::line("s", vec![0.0, 1.0], vec![0.0, 1.0]));
         let svg = fig.render_svg(640, 480);
         assert!(svg.contains("a &lt; b &amp; c"));
     }

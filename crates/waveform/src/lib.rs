@@ -48,7 +48,8 @@ impl<'a> Sampled<'a> {
     /// Returns [`WaveformError::InvalidInput`] if `dt ≤ 0` or fewer than two
     /// samples are provided.
     pub fn new(t0: f64, dt: f64, values: &'a [f64]) -> Result<Self> {
-        if !(dt > 0.0) {
+        // NaN-rejecting positivity check.
+        if dt.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(WaveformError::InvalidInput(format!(
                 "sample spacing must be positive, got {dt}"
             )));
@@ -79,7 +80,8 @@ impl<'a> Sampled<'a> {
             ));
         }
         let dt = (time[time.len() - 1] - time[0]) / (time.len() - 1) as f64;
-        if !(dt > 0.0) {
+        // NaN-rejecting positivity check.
+        if dt.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(WaveformError::InvalidInput(
                 "time axis must be increasing".into(),
             ));

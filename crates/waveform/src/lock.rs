@@ -65,7 +65,8 @@ pub struct LockAnalysis {
 /// Returns [`WaveformError::InvalidInput`] if the view is too short for the
 /// requested windows.
 pub fn lock_analysis(s: &Sampled<'_>, f_lock: f64, opts: &LockOptions) -> Result<LockAnalysis> {
-    if !(f_lock > 0.0) {
+    // NaN-rejecting positivity check.
+    if f_lock.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(WaveformError::InvalidInput(format!(
             "lock frequency must be positive, got {f_lock}"
         )));
@@ -126,11 +127,7 @@ pub fn lock_analysis(s: &Sampled<'_>, f_lock: f64, opts: &LockOptions) -> Result
 /// # Errors
 ///
 /// Same conditions as [`lock_analysis`].
-pub fn beat_frequency_estimate(
-    s: &Sampled<'_>,
-    f_probe: f64,
-    opts: &LockOptions,
-) -> Result<f64> {
+pub fn beat_frequency_estimate(s: &Sampled<'_>, f_probe: f64, opts: &LockOptions) -> Result<f64> {
     let r = lock_analysis(s, f_probe, opts)?;
     // Unwrap the window phases.
     let mut unwrapped = Vec::with_capacity(r.window_phases.len());

@@ -80,7 +80,8 @@ pub fn estimate_frequency(s: &Sampled<'_>) -> Result<f64> {
 /// Returns [`WaveformError::InvalidInput`] if less than one period of `f`
 /// fits in the view.
 pub fn phasor_at(s: &Sampled<'_>, freq_hz: f64) -> Result<Complex64> {
-    if !(freq_hz > 0.0) {
+    // NaN-rejecting positivity check.
+    if freq_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(WaveformError::InvalidInput(format!(
             "frequency must be positive, got {freq_hz}"
         )));
@@ -155,10 +156,7 @@ mod tests {
         let vals = sine(f, 1.0, 0.7, dt, 50_000);
         let s = Sampled::new(0.0, dt, &vals).unwrap();
         let fe = estimate_frequency(&s).unwrap();
-        assert!(
-            ((fe - f) / f).abs() < 1e-6,
-            "estimated {fe}, expected {f}"
-        );
+        assert!(((fe - f) / f).abs() < 1e-6, "estimated {fe}, expected {f}");
     }
 
     #[test]

@@ -58,10 +58,7 @@ pub fn spectrum(s: &Sampled<'_>) -> Result<Spectrum> {
     let mean: f64 = s.values[..pow2].iter().sum::<f64>() / pow2 as f64;
     let mut buf: Vec<Complex64> = (0..pow2)
         .map(|k| {
-            let w = 0.5
-                - 0.5
-                    * (std::f64::consts::TAU * k as f64 / pow2 as f64)
-                        .cos();
+            let w = 0.5 - 0.5 * (std::f64::consts::TAU * k as f64 / pow2 as f64).cos();
             Complex64::new((s.values[k] - mean) * w, 0.0)
         })
         .collect();
@@ -113,9 +110,7 @@ mod tests {
     fn spectrum_peaks_at_tone() {
         let f = 1000.0;
         let dt = 1.0 / 32768.0;
-        let vals: Vec<f64> = (0..4096)
-            .map(|k| (TAU * f * k as f64 * dt).sin())
-            .collect();
+        let vals: Vec<f64> = (0..4096).map(|k| (TAU * f * k as f64 * dt).sin()).collect();
         let s = Sampled::new(0.0, dt, &vals).unwrap();
         let sp = spectrum(&s).unwrap();
         let (_, fpk) = sp.dominant().unwrap();
@@ -127,9 +122,7 @@ mod tests {
         // Tone deliberately placed off-bin.
         let dt = 1.0 / 10000.0;
         let f = 1234.567;
-        let vals: Vec<f64> = (0..8192)
-            .map(|k| (TAU * f * k as f64 * dt).sin())
-            .collect();
+        let vals: Vec<f64> = (0..8192).map(|k| (TAU * f * k as f64 * dt).sin()).collect();
         let s = Sampled::new(0.0, dt, &vals).unwrap();
         let fe = dominant_frequency(&s).unwrap();
         let bin = 10000.0 / 8192.0;

@@ -83,7 +83,8 @@ pub fn classify_states(
     if n == 0 {
         return Err(WaveformError::InvalidInput("n must be ≥ 1".into()));
     }
-    if !(f_injection > 0.0) {
+    // NaN-rejecting positivity check.
+    if f_injection.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(WaveformError::InvalidInput(
             "injection frequency must be positive".into(),
         ));
@@ -142,12 +143,7 @@ mod tests {
     /// Builds a locked sub-harmonic waveform whose phase jumps by
     /// `2π/3`-steps at the given times, imitating the pulse kicks of
     /// Fig. 15/19.
-    fn three_state_waveform(
-        f_inj: f64,
-        dt: f64,
-        t_stop: f64,
-        jumps: &[(f64, f64)],
-    ) -> Vec<f64> {
+    fn three_state_waveform(f_inj: f64, dt: f64, t_stop: f64, jumps: &[(f64, f64)]) -> Vec<f64> {
         let f_sub = f_inj / 3.0;
         let n = (t_stop / dt) as usize;
         (0..n)
@@ -182,7 +178,12 @@ mod tests {
         // Away from transitions the phase error must be tiny (locked).
         for w in &traj.windows {
             if (w.t_center - 2e-3).abs() > 3e-4 && (w.t_center - 4e-3).abs() > 3e-4 {
-                assert!(w.phase_error.abs() < 0.05, "error {} at {}", w.phase_error, w.t_center);
+                assert!(
+                    w.phase_error.abs() < 0.05,
+                    "error {} at {}",
+                    w.phase_error,
+                    w.t_center
+                );
             }
         }
     }

@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     report("van der Pol cubic", &vdp, &tank)?;
 
     // 2. An arbitrary closure: a soft-clipping arctangent element.
-    let atan = FnNonlinearity::new(|v: f64| -1.2e-3 * (18.0 * v).atan() * 2.0 / std::f64::consts::PI);
+    let atan =
+        FnNonlinearity::new(|v: f64| -1.2e-3 * (18.0 * v).atan() * 2.0 / std::f64::consts::PI);
     report("arctangent closure", &atan, &tank)?;
 
     // 3. Tabulated measurement data (here synthesized, in practice a DC
@@ -62,8 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 fn report<N, T>(name: &str, f: &N, tank: &T) -> Result<(), Box<dyn std::error::Error>>
 where
-    N: shil::core::Nonlinearity,
-    T: Tank,
+    N: shil::core::Nonlinearity + Sync,
+    T: Tank + Sync,
 {
     match natural_oscillation(f, tank, &NaturalOptions::default()) {
         Ok(nat) => {

@@ -62,8 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fc = tank.center_frequency_hz();
     for (label, f_inj) in [
         ("center        ", 3.0 * fc),
-        ("inside  upper ", lock.upper_injection_hz - 0.2 * lock.injection_span_hz),
-        ("outside upper ", lock.upper_injection_hz + 0.5 * lock.injection_span_hz),
+        (
+            "inside  upper ",
+            lock.upper_injection_hz - 0.2 * lock.injection_span_hz,
+        ),
+        (
+            "outside upper ",
+            lock.upper_injection_hz + 0.5 * lock.injection_span_hz,
+        ),
     ] {
         let mut o = DiffPairOscillator::build(params);
         o.set_injection(DiffPairOscillator::injection_wave(0.03, f_inj, 0.0))?;

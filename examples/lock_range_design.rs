@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ParallelRlc::new(1000.0, 10e-6, 10e-9)?,
     );
     let fc = osc.tank().center_frequency_hz();
-    println!("oscillator: f_c = {:.1} kHz, Q = {:.1}", fc / 1e3, osc.tank().q());
+    println!(
+        "oscillator: f_c = {:.1} kHz, Q = {:.1}",
+        fc / 1e3,
+        osc.tank().q()
+    );
 
     // Sweep injection strength at n = 3 (divider-by-3 sizing curve).
     println!("\nlock range vs injection strength (n = 3):");

@@ -33,8 +33,7 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 fn flag_values(args: &[String], flag: &str) -> Vec<String> {
     let mut out = Vec::new();
-    let mut iter = args.iter().enumerate();
-    while let Some((i, a)) = iter.next() {
+    for (i, a) in args.iter().enumerate() {
         if a == flag {
             if let Some(v) = args.get(i + 1) {
                 out.push(v.clone());
@@ -73,7 +72,11 @@ fn main() -> ExitCode {
             };
             println!("node voltages:");
             for id in 1..ckt.num_nodes() {
-                println!("  {:>12} = {:.9e} V", ckt.node_name(id), op.node_voltage(id));
+                println!(
+                    "  {:>12} = {:.9e} V",
+                    ckt.node_name(id),
+                    op.node_voltage(id)
+                );
             }
             ExitCode::SUCCESS
         }

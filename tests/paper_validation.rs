@@ -23,7 +23,11 @@ fn diff_pair_natural_oscillation_matches_simulation_and_paper() {
     let nat = natural_oscillation(&f, &tank, &NaturalOptions::default()).expect("oscillates");
 
     // Calibration target: the paper's Fig. 12b prediction.
-    assert!((nat.amplitude - 0.505).abs() < 1e-3, "A = {}", nat.amplitude);
+    assert!(
+        (nat.amplitude - 0.505).abs() < 1e-3,
+        "A = {}",
+        nat.amplitude
+    );
     // Oscillation frequency = tank center = 0.5033 MHz (paper Fig. 13).
     assert!((nat.frequency_hz - 503.29e3).abs() < 50.0);
 
@@ -157,12 +161,10 @@ fn diff_pair_lock_range_prediction_agrees_with_simulation() {
     );
     // Edges within 0.2 % of each other.
     assert!(
-        (sim.lower_injection_hz - lock.lower_injection_hz).abs() / lock.lower_injection_hz
-            < 2e-3
+        (sim.lower_injection_hz - lock.lower_injection_hz).abs() / lock.lower_injection_hz < 2e-3
     );
     assert!(
-        (sim.upper_injection_hz - lock.upper_injection_hz).abs() / lock.upper_injection_hz
-            < 2e-3
+        (sim.upper_injection_hz - lock.upper_injection_hz).abs() / lock.upper_injection_hz < 2e-3
     );
 }
 
@@ -199,5 +201,8 @@ fn shil_amplitude_decreases_monotonically_toward_the_band_edges() {
     let b1 = amp_at(-0.45);
     let b2 = amp_at(-0.9);
     assert!(a0 > b1 && b1 > b2, "not monotone: {a0}, {b1}, {b2}");
-    assert!((a1 - b1).abs() < 1e-6 && (a2 - b2).abs() < 1e-6, "asymmetric");
+    assert!(
+        (a1 - b1).abs() < 1e-6 && (a2 - b2).abs() < 1e-6,
+        "asymmetric"
+    );
 }

@@ -91,14 +91,17 @@ fn ac_extracted_tank_reproduces_analytic_predictions() {
     let (ckt, top) = parallel_rlc_circuit(r, l, c);
     let analytic = ParallelRlc::new(r, l, c).expect("tank");
     let fc = analytic.center_frequency_hz();
-    let freqs: Vec<f64> = (0..501).map(|k| fc * (0.7 + 0.6 * k as f64 / 500.0)).collect();
-    let z = ac_impedance(&ckt, top, Circuit::GROUND, &freqs, &AcOptions::default())
-        .expect("ac sweep");
+    let freqs: Vec<f64> = (0..501)
+        .map(|k| fc * (0.7 + 0.6 * k as f64 / 500.0))
+        .collect();
+    let z =
+        ac_impedance(&ckt, top, Circuit::GROUND, &freqs, &AcOptions::default()).expect("ac sweep");
     let tabulated = TabulatedTank::from_samples(freqs, z).expect("tank fit");
 
-    assert!(((tabulated.center_omega() - analytic.center_omega()) / analytic.center_omega())
-        .abs()
-        < 1e-6);
+    assert!(
+        ((tabulated.center_omega() - analytic.center_omega()) / analytic.center_omega()).abs()
+            < 1e-6
+    );
     assert!((tabulated.peak_resistance() - r).abs() < 0.5);
 
     let f = NegativeTanh::new(1e-3, 20.0);
@@ -139,8 +142,7 @@ fn dc_extraction_roundtrip_recovers_analytic_nonlinearity() {
 
     let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("tank");
     let reference = NegativeTanh::new(1e-3, 20.0);
-    let nat_ref =
-        natural_oscillation(&reference, &tank, &NaturalOptions::default()).expect("ref");
+    let nat_ref = natural_oscillation(&reference, &tank, &NaturalOptions::default()).expect("ref");
     let nat_tab = natural_oscillation(&table, &tank, &NaturalOptions::default()).expect("tab");
     assert!(
         (nat_ref.amplitude - nat_tab.amplitude).abs() / nat_ref.amplitude < 1e-4,

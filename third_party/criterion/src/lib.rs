@@ -1,0 +1,272 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment for this workspace has no network access, so the
+//! real criterion cannot be fetched. This crate implements the subset of
+//! its API the workspace's benches use — `Criterion`, benchmark groups,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!` and `Bencher::iter`
+//! — on top of a plain wall-clock measurement loop:
+//!
+//! 1. one warm-up call of the routine;
+//! 2. a calibration call to pick a batch size so each sample spans at least
+//!    ~2 ms (keeps timer quantization out of fast kernels);
+//! 3. `sample_size` samples of that batch, reporting the median per-call
+//!    time.
+//!
+//! Results print to stdout as `name  median  (samples × batch)` lines, and
+//! when the `CRITERION_STUB_JSON` environment variable names a file every
+//! result is appended there as one JSON object per line — the hook the
+//! workspace's perf-tracking harness uses.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock span of one sample; calls faster than this are
+/// batched.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Top-level benchmark driver, the stub of `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion defaults to 100 samples; 15 keeps the full suite
+        // tractable on small CI machines while the median stays stable.
+        Criterion {
+            default_sample_size: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one routine under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into().0, self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _parent: self,
+        }
+    }
+
+    /// No-op in the stub (kept for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks one routine under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks one routine that takes a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate in the stub, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, `function` or `function/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    mode: Mode,
+    /// Median per-call time, filled in measurement mode.
+    result: Option<Duration>,
+    sample_size: usize,
+}
+
+enum Mode {
+    /// One untimed call (warm-up / dead-code keep-alive).
+    Warmup,
+    /// Calibrate batch size, then time samples.
+    Measure,
+}
+
+impl Bencher {
+    /// Runs `routine` under the active mode, recording the median per-call
+    /// wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Warmup => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                // Calibrate: how many calls fit in MIN_SAMPLE?
+                let t0 = Instant::now();
+                black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let batch = (MIN_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+                let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+                for _ in 0..self.sample_size {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    samples.push(t.elapsed() / batch);
+                }
+                samples.sort_unstable();
+                self.result = Some(samples[samples.len() / 2]);
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    let mut warm = Bencher {
+        mode: Mode::Warmup,
+        result: None,
+        sample_size,
+    };
+    f(&mut warm);
+    let mut bench = Bencher {
+        mode: Mode::Measure,
+        result: None,
+        sample_size,
+    };
+    f(&mut bench);
+    let median = bench
+        .result
+        .expect("benchmark closure never called Bencher::iter");
+    println!("bench {name:<52} median {}", fmt_duration(median));
+    if let Ok(path) = std::env::var("CRITERION_STUB_JSON") {
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{}\",\"median_ns\":{},\"samples\":{}}}",
+                name.replace('"', "'"),
+                median.as_nanos(),
+                sample_size
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_a_median() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("with", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+        c.bench_function("top-level", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 128).0, "f/128");
+        assert_eq!(BenchmarkId::from_parameter("64x64").0, "64x64");
+    }
+}

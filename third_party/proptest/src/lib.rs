@@ -1,0 +1,400 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment for this workspace has no network access, so the
+//! real proptest cannot be fetched. This crate implements the small subset
+//! of its API that the workspace's property tests use — the `proptest!`
+//! macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, numeric range
+//! strategies, `prop::array::uniformN` and `prop::collection::vec` — with a
+//! deterministic splitmix/xorshift generator instead of proptest's
+//! shrinking test runner.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the message; reproduce it by re-running (generation is deterministic,
+//!   seeded from the test name).
+//! - **No persistence** (`proptest-regressions` files are neither read nor
+//!   written).
+//! - Strategies are plain value generators (`Strategy::generate`), not lazy
+//!   value trees.
+
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep that so coverage is
+        // comparable when tests rely on the default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded, not a failure.
+    Reject,
+    /// `prop_assert!`-family macro failed with this message.
+    Fail(String),
+}
+
+/// Result type threaded through a generated test body by the macros.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic 64-bit generator (splitmix64 seeding + xorshift64* core).
+///
+/// Quality is far beyond what tolerance-checked numerical property tests
+/// need, and determinism makes every failure reproducible from the test
+/// name alone.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from raw state (zero is remapped to a fixed odd constant).
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        // splitmix64 scramble so similar seeds diverge immediately.
+        s = s.wrapping_add(0x9e3779b97f4a7c15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94d049bb133111eb);
+        s ^= s >> 31;
+        TestRng {
+            state: if s == 0 { 0x853c49e6748fea9b } else { s },
+        }
+    }
+
+    /// Seeds deterministically from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator. The stub equivalent of proptest's `Strategy`, without
+/// value trees or shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        debug_assert!(self.end > self.start, "empty f64 range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against rounding up onto the (exclusive) upper endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                debug_assert!(self.end > self.start, "empty integer range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                debug_assert!(self.end > self.start, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+/// Strategy combinators and collection generators, mirroring `proptest::prop`.
+pub mod prop {
+    /// Fixed-size array strategies (`uniform2(s)` … `uniform32(s)`).
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        /// Generates `[S::Value; N]` by drawing `N` independent values.
+        #[derive(Debug, Clone)]
+        pub struct UniformArrayStrategy<S, const N: usize> {
+            element: S,
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+            type Value = [S::Value; N];
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                std::array::from_fn(|_| self.element.generate(rng))
+            }
+        }
+
+        macro_rules! uniform_fns {
+            ($($name:ident => $n:literal),* $(,)?) => {$(
+                /// Array strategy drawing each element from `element`.
+                pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                    UniformArrayStrategy { element }
+                }
+            )*};
+        }
+        uniform_fns! {
+            uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform5 => 5,
+            uniform6 => 6, uniform7 => 7, uniform8 => 8, uniform12 => 12,
+            uniform16 => 16, uniform24 => 24, uniform32 => 32,
+        }
+    }
+
+    /// Collection strategies (`vec`).
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Inclusive-lower, exclusive-upper length range for [`vec`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.end > r.start, "empty vec length range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        /// Generates `Vec<S::Value>` with a length drawn from the size range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo + (rng.next_u64() % span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vec strategy with per-element strategy and a length (or length
+        /// range).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// The `proptest!` item macro: wraps `fn name(arg in strategy, ...) { .. }`
+/// items into `#[test]`-style functions that loop over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                if attempts > config.cases.saturating_mul(20).max(2000) {
+                    panic!(
+                        "proptest stub: {} rejected too many cases (prop_assume too strict?)",
+                        stringify!($name)
+                    );
+                }
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed in {} (case {} of {}): {}",
+                            stringify!($name),
+                            accepted + 1,
+                            config.cases,
+                            msg
+                        )
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (not a failure) when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        let mut c = crate::TestRng::from_name("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = crate::TestRng::from_name("bounds");
+        let s = -2.0f64..3.0;
+        for _ in 0..10_000 {
+            let v = s.generate(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_vecs_respect_length_ranges(
+            xs in prop::collection::vec(0.0f64..1.0, 3..7),
+            k in 1u32..5,
+        ) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 7);
+            prop_assert!((1..5).contains(&k));
+            prop_assume!(!xs.is_empty());
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+}
