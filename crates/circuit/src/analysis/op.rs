@@ -5,12 +5,15 @@
 //! (solve with a large shunt conductance on every node, then relax it to
 //! zero) and **source stepping** (ramp all independent sources from zero).
 
+use std::time::Instant;
+
 use shil_numerics::linalg::Lu;
-use shil_numerics::Matrix;
+use shil_numerics::{Matrix, NumericsError};
 
 use crate::circuit::{Circuit, DeviceId, NodeId};
 use crate::error::CircuitError;
 use crate::mna::{assemble, MnaStructure, StampMode};
+use crate::report::{FallbackKind, SolveReport};
 
 /// Options for [`operating_point`].
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +46,8 @@ pub struct OpSolution {
     pub(crate) structure: MnaStructure,
     /// The full unknown vector `[v₁…, i_b…]`.
     pub x: Vec<f64>,
+    /// How the solve went: attempts, fallbacks taken, wall time.
+    pub report: SolveReport,
 }
 
 impl OpSolution {
@@ -67,8 +72,17 @@ impl OpSolution {
     }
 }
 
+/// NaN-propagating infinity norm: `f64::max` would silently discard NaN
+/// entries and report a poisoned residual as converged.
 fn inf_norm(v: &[f64]) -> f64 {
-    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+    let mut m = 0.0f64;
+    for x in v {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        m = m.max(x.abs());
+    }
+    m
 }
 
 /// One damped Newton solve at fixed `gmin` and `source_scale`.
@@ -91,6 +105,15 @@ pub(crate) fn newton_dc(
 
     assemble(ckt, structure, &x, mode, gmin, &mut r, &mut jac);
     let mut rnorm = inf_norm(&r);
+    // A non-finite starting residual can only get worse: the line search
+    // rejects every trial against a NaN baseline, so fail fast with the
+    // offending iterate instead of spinning through max_iter.
+    if !rnorm.is_finite() {
+        return Err(CircuitError::Numerics(NumericsError::NonFinite {
+            context: "dc residual at initial iterate".into(),
+            at: x,
+        }));
+    }
 
     for _ in 0..opts.max_iter {
         if rnorm < opts.abstol {
@@ -159,10 +182,24 @@ pub fn operating_point_with_guess(
         structure.size(),
         "guess size does not match circuit unknowns"
     );
+    let start = Instant::now();
     if let Ok(x) = newton_dc(ckt, &structure, guess, 0.0, 1.0, opts) {
-        return Ok(OpSolution { structure, x });
+        let report = SolveReport {
+            attempts: 1,
+            wall_time: start.elapsed(),
+            ..Default::default()
+        };
+        return Ok(OpSolution {
+            structure,
+            x,
+            report,
+        });
     }
-    operating_point(ckt, opts)
+    let mut sol = operating_point(ckt, opts)?;
+    // Account for the failed warm start and the time it consumed.
+    sol.report.attempts += 1;
+    sol.report.wall_time = start.elapsed();
+    Ok(sol)
 }
 
 /// Computes the DC operating point of a circuit.
@@ -190,19 +227,29 @@ pub fn operating_point_with_guess(
 /// # }
 /// ```
 pub fn operating_point(ckt: &Circuit, opts: &OpOptions) -> Result<OpSolution, CircuitError> {
+    let start = Instant::now();
     let structure = MnaStructure::new(ckt);
     let x0 = vec![0.0; structure.size()];
+    let mut report = SolveReport::new();
 
     // 1. Plain Newton from a cold start.
+    report.attempts += 1;
     if let Ok(x) = newton_dc(ckt, &structure, &x0, 0.0, 1.0, opts) {
-        return Ok(OpSolution { structure, x });
+        report.wall_time = start.elapsed();
+        return Ok(OpSolution {
+            structure,
+            x,
+            report,
+        });
     }
 
     // 2. gmin stepping: relax the shunt conductance toward zero, warm-starting
     //    each stage from the previous one.
+    report.note_fallback(FallbackKind::GminStepping);
     let mut guess = x0.clone();
     let mut ok = true;
     for &gmin in &opts.gmin_steps {
+        report.attempts += 1;
         match newton_dc(ckt, &structure, &guess, gmin, 1.0, opts) {
             Ok(x) => guess = x,
             Err(_) => {
@@ -212,20 +259,30 @@ pub fn operating_point(ckt: &Circuit, opts: &OpOptions) -> Result<OpSolution, Ci
         }
     }
     if ok {
+        report.attempts += 1;
         if let Ok(x) = newton_dc(ckt, &structure, &guess, 0.0, 1.0, opts) {
-            return Ok(OpSolution { structure, x });
+            report.wall_time = start.elapsed();
+            return Ok(OpSolution {
+                structure,
+                x,
+                report,
+            });
         }
     }
 
     // 3. Source stepping from zero excitation.
+    report.note_fallback(FallbackKind::SourceStepping);
     let mut guess = x0;
     for k in 1..=opts.source_steps {
         let scale = k as f64 / opts.source_steps as f64;
+        report.attempts += 1;
         guess = newton_dc(ckt, &structure, &guess, 0.0, scale, opts)?;
     }
+    report.wall_time = start.elapsed();
     Ok(OpSolution {
         structure,
         x: guess,
+        report,
     })
 }
 
@@ -360,6 +417,58 @@ mod tests {
         let op = operating_point(&ckt, &OpOptions::default()).unwrap();
         let v = op.node_voltage(n2);
         assert!(v > 0.0 && v < 0.25, "v = {v}");
+    }
+
+    #[test]
+    fn report_clean_solve_has_no_fallbacks() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.vsource(n1, 0, SourceWave::Dc(1.0));
+        ckt.resistor(n1, 0, 1e3);
+        let op = operating_point(&ckt, &OpOptions::default()).unwrap();
+        assert_eq!(op.report.attempts, 1);
+        assert!(!op.report.escalated());
+        assert_eq!(op.report.halvings, 0);
+    }
+
+    #[test]
+    fn report_surfaces_homotopy_fallbacks() {
+        // Starve Newton of iterations so the cold start fails and the
+        // homotopy ladder must engage.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.vsource(n1, 0, SourceWave::Dc(5.0));
+        ckt.resistor(n1, n2, 1e3);
+        ckt.diode(n2, 0, 1e-12, 1.0);
+        let opts = OpOptions {
+            max_iter: 2,
+            gmin_steps: vec![1e-3],
+            source_steps: 40,
+            ..Default::default()
+        };
+        match operating_point(&ckt, &opts) {
+            Ok(op) => {
+                assert!(op.report.escalated());
+                assert!(op.report.attempts > 1);
+            }
+            // Total failure is acceptable for this starved configuration —
+            // the point is that escalation was attempted, not that it wins.
+            Err(CircuitError::ConvergenceFailure { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_report_counts_single_attempt() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.vsource(n1, 0, SourceWave::Dc(2.0));
+        ckt.resistor(n1, 0, 1e3);
+        let cold = operating_point(&ckt, &OpOptions::default()).unwrap();
+        let warm = operating_point_with_guess(&ckt, &cold.x, &OpOptions::default()).unwrap();
+        assert_eq!(warm.report.attempts, 1);
+        assert!(!warm.report.escalated());
     }
 
     #[test]

@@ -6,14 +6,17 @@
 //! trapezoidal history; steps that fail to converge are retried with
 //! recursive halving (the recorded output stays on the uniform grid).
 
+use std::time::Instant;
+
 use shil_numerics::linalg::Lu;
-use shil_numerics::Matrix;
+use shil_numerics::{Matrix, NumericsError};
 
 use crate::circuit::{Circuit, NodeId};
 use crate::error::CircuitError;
 use crate::mna::{
     assemble, update_dynamic_state, DynamicState, Integrator, MnaStructure, StampMode,
 };
+use crate::report::{FallbackKind, SolveReport};
 use crate::trace::TranResult;
 
 use super::op::{operating_point, OpOptions};
@@ -43,6 +46,12 @@ pub struct TranOptions {
     pub max_newton_iter: usize,
     /// Maximum recursive step halvings before giving up.
     pub max_halvings: usize,
+    /// Total step rejections allowed across the whole run. Each rejected
+    /// step costs a wasted Newton solve plus two half-steps; this budget
+    /// bounds the worst-case slowdown of a pathologically stiff (or
+    /// fault-injected) circuit before the analysis gives up with the last
+    /// step's diagnostics.
+    pub retry_budget: usize,
     /// Options for the initial operating-point solve.
     pub op: OpOptions,
 }
@@ -53,10 +62,28 @@ impl TranOptions {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < dt < t_stop`.
+    /// Panics unless `0 < dt < t_stop` with both finite; use
+    /// [`TranOptions::try_new`] for a non-panicking variant.
     pub fn new(dt: f64, t_stop: f64) -> Self {
-        assert!(dt > 0.0 && t_stop > dt, "need 0 < dt < t_stop");
-        TranOptions {
+        Self::try_new(dt, t_stop).expect("need finite 0 < dt < t_stop")
+    }
+
+    /// Creates options like [`TranOptions::new`], returning
+    /// [`CircuitError::InvalidParameter`] instead of panicking on a bad
+    /// (non-finite, non-positive or inverted) time axis.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidParameter`] unless `0 < dt < t_stop` with
+    /// both values finite.
+    pub fn try_new(dt: f64, t_stop: f64) -> Result<Self, CircuitError> {
+        // NaN-rejecting form: any NaN fails the conjunction.
+        if !(dt > 0.0 && t_stop > dt && dt.is_finite() && t_stop.is_finite()) {
+            return Err(CircuitError::InvalidParameter(format!(
+                "need finite 0 < dt < t_stop, got dt = {dt}, t_stop = {t_stop}"
+            )));
+        }
+        Ok(TranOptions {
             dt,
             t_stop,
             t_record_start: 0.0,
@@ -67,8 +94,9 @@ impl TranOptions {
             abstol: 1e-9,
             max_newton_iter: 80,
             max_halvings: 14,
+            retry_budget: 1000,
             op: OpOptions::default(),
-        }
+        })
     }
 
     /// Adds an initial-condition override for a node voltage.
@@ -100,8 +128,17 @@ impl TranOptions {
     }
 }
 
+/// NaN-propagating infinity norm: `f64::max` would silently discard NaN
+/// entries and report a poisoned residual as converged.
 fn inf_norm(v: &[f64]) -> f64 {
-    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+    let mut m = 0.0f64;
+    for x in v {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        m = m.max(x.abs());
+    }
+    m
 }
 
 /// Workspace reused across all Newton solves of a transient run.
@@ -148,6 +185,15 @@ fn newton_tran(
     let mut x = x0.to_vec();
     assemble(ckt, structure, &x, mode, 0.0, &mut ws.r, &mut ws.jac);
     let mut rnorm = inf_norm(&ws.r);
+    // A non-finite starting residual cannot improve — the line search
+    // rejects every trial against a NaN baseline — so fail fast and let the
+    // step-halving ladder retry from a shorter step.
+    if !rnorm.is_finite() {
+        return Err(CircuitError::Numerics(NumericsError::NonFinite {
+            context: format!("transient residual at t = {t:.6e}"),
+            at: x,
+        }));
+    }
 
     for _ in 0..opts.max_newton_iter {
         if rnorm < opts.abstol {
@@ -198,6 +244,10 @@ fn newton_tran(
 }
 
 /// Advances from `t0` to `t0 + dt`, recursively halving on Newton failure.
+///
+/// Every rejection is charged against `opts.retry_budget`; once the run has
+/// spent it, the failure propagates with the diagnostics of the step that
+/// exhausted it instead of retrying indefinitely.
 #[allow(clippy::too_many_arguments)]
 fn advance(
     ckt: &Circuit,
@@ -211,7 +261,9 @@ fn advance(
     opts: &TranOptions,
     ws: &mut Workspace,
     depth: usize,
+    report: &mut SolveReport,
 ) -> Result<(), CircuitError> {
+    report.attempts += 1;
     match newton_tran(ckt, structure, x, t0 + dt, dt, method, state, opts, ws) {
         Ok(xn) => {
             update_dynamic_state(ckt, structure, &xn, dt, method, state, next_state);
@@ -220,9 +272,11 @@ fn advance(
             Ok(())
         }
         Err(e) => {
-            if depth >= opts.max_halvings {
+            if depth >= opts.max_halvings || report.halvings >= opts.retry_budget {
                 return Err(e);
             }
+            report.halvings += 1;
+            report.note_fallback(FallbackKind::StepHalving);
             let half = dt * 0.5;
             advance(
                 ckt,
@@ -236,6 +290,7 @@ fn advance(
                 opts,
                 ws,
                 depth + 1,
+                report,
             )?;
             advance(
                 ckt,
@@ -249,6 +304,7 @@ fn advance(
                 opts,
                 ws,
                 depth + 1,
+                report,
             )
         }
     }
@@ -256,22 +312,64 @@ fn advance(
 
 /// Runs a transient analysis.
 ///
+/// The returned [`TranResult::report`] records solver effort: total Newton
+/// attempts, step halvings, fallbacks engaged (including those of the
+/// initial operating-point solve) and wall time.
+///
 /// # Errors
 ///
+/// - [`CircuitError::InvalidParameter`] for a non-finite or non-positive
+///   time axis or non-finite initial conditions.
 /// - [`CircuitError::ConvergenceFailure`] if a step cannot be solved even
-///   after `max_halvings` recursive halvings.
+///   after `max_halvings` recursive halvings, or once the run's
+///   `retry_budget` of step rejections is spent.
 /// - Errors from the initial operating-point solve (unless `use_ic`).
 ///
 /// See the crate-level example for typical usage.
 pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, CircuitError> {
+    // Options may be built by struct update rather than `try_new`, so the
+    // time axis is re-validated here — the analysis entry point is the
+    // chokepoint every construction path goes through.
+    if !(opts.dt > 0.0 && opts.t_stop > opts.dt && opts.dt.is_finite() && opts.t_stop.is_finite()) {
+        return Err(CircuitError::InvalidParameter(format!(
+            "need finite 0 < dt < t_stop, got dt = {}, t_stop = {}",
+            opts.dt, opts.t_stop
+        )));
+    }
+    if !opts.t_record_start.is_finite() {
+        return Err(CircuitError::InvalidParameter(format!(
+            "t_record_start must be finite, got {}",
+            opts.t_record_start
+        )));
+    }
+    if opts.record_every == 0 {
+        return Err(CircuitError::InvalidParameter(
+            "record_every must be at least 1".into(),
+        ));
+    }
+    if let Some((node, v)) = opts.initial_conditions.iter().find(|(_, v)| !v.is_finite()) {
+        return Err(CircuitError::InvalidParameter(format!(
+            "non-finite initial condition {v} on node {node}"
+        )));
+    }
+
+    let start = Instant::now();
     let structure = MnaStructure::new(ckt);
     let n = structure.size();
+    let mut report = SolveReport::new();
 
     // Initial state.
     let mut x = if opts.use_ic {
         vec![0.0; n]
     } else {
-        operating_point(ckt, &opts.op)?.x
+        let op = operating_point(ckt, &opts.op)?;
+        // Fold the operating point's effort into the transient's report so
+        // the full story travels with the result.
+        report.attempts += op.report.attempts;
+        for &k in &op.report.fallbacks {
+            report.note_fallback(k);
+        }
+        op.x
     };
     for &(node, v) in &opts.initial_conditions {
         if node >= ckt.num_nodes() {
@@ -315,12 +413,15 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Circui
             opts,
             &mut ws,
             0,
+            &mut report,
         )?;
         let t1 = (k + 1) as f64 * opts.dt;
         if t1 >= opts.t_record_start && (k + 1) % opts.record_every == 0 {
             result.push(t1, &x);
         }
     }
+    report.wall_time = start.elapsed();
+    result.report = report;
     Ok(result)
 }
 
@@ -492,6 +593,89 @@ mod tests {
         let res = transient(&ckt, &opts).unwrap();
         assert!(res.time[0] >= 0.5e-3);
         assert!(!res.is_empty());
+    }
+
+    #[test]
+    fn try_new_validates_time_axis() {
+        assert!(TranOptions::try_new(1e-6, 1e-3).is_ok());
+        for (dt, t_stop) in [
+            (0.0, 1e-3),
+            (-1e-6, 1e-3),
+            (1e-3, 1e-6),
+            (f64::NAN, 1e-3),
+            (1e-6, f64::NAN),
+            (1e-6, f64::INFINITY),
+        ] {
+            assert!(
+                matches!(
+                    TranOptions::try_new(dt, t_stop),
+                    Err(CircuitError::InvalidParameter(_))
+                ),
+                "dt = {dt}, t_stop = {t_stop}"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_revalidates_struct_built_options() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.vsource(n1, 0, SourceWave::Dc(1.0));
+        ckt.resistor(n1, 0, 1e3);
+        let mut opts = TranOptions::new(1e-6, 1e-3);
+        opts.dt = f64::NAN;
+        assert!(matches!(
+            transient(&ckt, &opts),
+            Err(CircuitError::InvalidParameter(_))
+        ));
+        let mut opts = TranOptions::new(1e-6, 1e-3);
+        opts.record_every = 0;
+        assert!(matches!(
+            transient(&ckt, &opts),
+            Err(CircuitError::InvalidParameter(_))
+        ));
+        let opts = TranOptions::new(1e-6, 1e-3).with_ic(n1, f64::INFINITY);
+        assert!(matches!(
+            transient(&ckt, &opts),
+            Err(CircuitError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn clean_run_report_has_no_halvings() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.vsource(n1, 0, SourceWave::Dc(1.0));
+        ckt.resistor(n1, 0, 1e3);
+        let res = transient(&ckt, &TranOptions::new(1e-6, 1e-4)).unwrap();
+        assert_eq!(res.report.halvings, 0);
+        assert!(!res.report.escalated());
+        // One OP attempt + one Newton attempt per step.
+        assert_eq!(res.report.attempts, 1 + 100);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_with_diagnostics() {
+        // A nonlinearity that is NaN beyond ±0.5 V driven by a 2 V step:
+        // every step fails no matter how small, so halving only burns the
+        // budget. The run must terminate with a typed error, not hang.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.vsource(n1, 0, SourceWave::Dc(2.0));
+        ckt.resistor(n1, n2, 1e3);
+        ckt.nonlinear(
+            n2,
+            0,
+            IvCurve::function(|v: f64| if v.abs() > 0.5 { f64::NAN } else { 1e-3 * v }),
+        );
+        let mut opts = TranOptions::new(1e-6, 1e-3).use_ic();
+        opts.retry_budget = 8;
+        opts.max_halvings = 40;
+        match transient(&ckt, &opts) {
+            Err(CircuitError::ConvergenceFailure { .. }) | Err(CircuitError::Numerics(_)) => {}
+            other => panic!("expected typed failure, got {other:?}"),
+        }
     }
 
     #[test]

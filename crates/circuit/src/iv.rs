@@ -6,11 +6,37 @@
 //! stamping. The tunnel-diode variant implements the exact equations of the
 //! paper's appendix §VI-C.
 
+use std::fmt;
+use std::sync::Arc;
+
 use shil_numerics::interp::Pchip;
 
 use crate::error::CircuitError;
 
 pub use shil_core::nonlinearity::{limexp, limexp_deriv, TunnelDiodeModel};
+
+/// A shared arbitrary `i = f(v)` closure, cloneable and debuggable so the
+/// containing [`IvCurve`] can keep its derives.
+#[derive(Clone)]
+pub struct FnCurve(Arc<dyn Fn(f64) -> f64 + Send + Sync>);
+
+impl FnCurve {
+    /// Wraps a closure.
+    pub fn new(f: impl Fn(f64) -> f64 + Send + Sync + 'static) -> Self {
+        FnCurve(Arc::new(f))
+    }
+
+    /// Evaluates the closure.
+    pub fn call(&self, v: f64) -> f64 {
+        (self.0)(v)
+    }
+}
+
+impl fmt::Debug for FnCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FnCurve(..)")
+    }
+}
 
 /// A memoryless `i = f(v)` characteristic with analytic derivative.
 ///
@@ -56,12 +82,23 @@ pub enum IvCurve {
         /// Current subtracted from the result.
         i_offset: f64,
     },
+    /// An arbitrary closure `i = f(v)` with finite-difference conductance.
+    /// The escape hatch for curves with no closed form — including the
+    /// fault-injection wrappers of the resilience test harness, which
+    /// deliberately return NaN/Inf to exercise solver fallbacks.
+    Function(FnCurve),
 }
 
 impl IvCurve {
     /// Creates a tanh curve `i = i_sat·tanh(gain·v)`.
     pub fn tanh(i_sat: f64, gain: f64) -> Self {
         IvCurve::Tanh { i_sat, gain }
+    }
+
+    /// Creates a curve from an arbitrary closure; the conductance is a
+    /// central finite difference.
+    pub fn function(f: impl Fn(f64) -> f64 + Send + Sync + 'static) -> Self {
+        IvCurve::Function(FnCurve::new(f))
     }
 
     /// Creates a tabulated curve from `(v, i)` samples (strictly increasing
@@ -117,6 +154,7 @@ impl IvCurve {
                 v_offset,
                 i_offset,
             } => inner.current(v + v_offset) - i_offset,
+            IvCurve::Function(f) => f.call(v),
         }
     }
 
@@ -140,6 +178,10 @@ impl IvCurve {
             IvCurve::Shifted {
                 inner, v_offset, ..
             } => inner.conductance(v + v_offset),
+            IvCurve::Function(f) => {
+                let h = 1e-7 * (1.0 + v.abs());
+                (f.call(v + h) - f.call(v - h)) / (2.0 * h)
+            }
         }
     }
 }
@@ -247,6 +289,20 @@ mod tests {
     fn table_rejects_bad_data() {
         assert!(IvCurve::table(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
         assert!(IvCurve::table(vec![0.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn function_curve_matches_closure() {
+        let f = IvCurve::function(|v: f64| -1e-3 * (15.0 * v).tanh());
+        let exact = IvCurve::tanh(-1e-3, 15.0);
+        for &q in &[-0.4, -0.12, 0.0, 0.07, 0.33] {
+            assert!((f.current(q) - exact.current(q)).abs() < 1e-15);
+            assert!((f.conductance(q) - exact.conductance(q)).abs() < 1e-5);
+        }
+        // Clones share the closure; Debug is total.
+        let c = f.clone();
+        assert_eq!(c.current(0.1), f.current(0.1));
+        assert!(format!("{f:?}").contains("FnCurve"));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod device;
 pub mod iv;
 pub mod mna;
 pub mod netlist;
+pub mod report;
 pub mod trace;
 pub mod wave;
 
@@ -52,6 +53,7 @@ mod error;
 pub use circuit::{Circuit, DeviceId, NodeId};
 pub use error::CircuitError;
 pub use iv::IvCurve;
+pub use report::{FallbackKind, SolveReport};
 pub use trace::{Trace, TranResult};
 pub use wave::SourceWave;
 

@@ -1,0 +1,142 @@
+//! Solver effort and fallback diagnostics.
+//!
+//! Every analysis that can escalate — the operating point through its
+//! gmin/source-stepping homotopies, the transient through recursive step
+//! halving — records *how hard it had to work* in a [`SolveReport`]
+//! attached to the result. A clean run reports one attempt and no
+//! fallbacks; a report with entries in [`SolveReport::fallbacks`] tells the
+//! caller the circuit is near the edge of what the solver handles, which
+//! usually deserves a second look (tighter tolerances, better initial
+//! conditions, smaller steps) even though the numbers returned are valid.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A fallback strategy an analysis resorted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FallbackKind {
+    /// DC operating point: gmin stepping (shunt-conductance homotopy).
+    GminStepping,
+    /// DC operating point: source stepping (excitation ramp homotopy).
+    SourceStepping,
+    /// Transient: a step was rejected and retried at half the size.
+    StepHalving,
+}
+
+impl fmt::Display for FallbackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallbackKind::GminStepping => write!(f, "gmin stepping"),
+            FallbackKind::SourceStepping => write!(f, "source stepping"),
+            FallbackKind::StepHalving => write!(f, "step halving"),
+        }
+    }
+}
+
+/// How a solve went: attempts spent, fallbacks taken, wall time.
+///
+/// Returned attached to results (`OpSolution::report`,
+/// `TranResult::report`) so that diagnostics travel with the numbers they
+/// describe.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveReport {
+    /// Newton solves attempted, including failed ones (for the transient,
+    /// one per time-step attempt, so retried steps count repeatedly).
+    pub attempts: usize,
+    /// Total step halvings performed (transient only; 0 for DC).
+    pub halvings: usize,
+    /// Each distinct fallback strategy that was engaged, in order.
+    pub fallbacks: Vec<FallbackKind>,
+    /// Wall-clock time of the whole analysis.
+    pub wall_time: Duration,
+}
+
+impl SolveReport {
+    /// A fresh report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fallback strategy was needed (the plain solver did not
+    /// succeed on its own).
+    pub fn escalated(&self) -> bool {
+        !self.fallbacks.is_empty()
+    }
+
+    /// Records a fallback, deduplicating repeats: `fallbacks` lists each
+    /// *strategy* once, while [`SolveReport::halvings`] and
+    /// [`SolveReport::attempts`] carry the repeat counts.
+    pub(crate) fn note_fallback(&mut self, kind: FallbackKind) {
+        if !self.fallbacks.contains(&kind) {
+            self.fallbacks.push(kind);
+        }
+    }
+}
+
+impl fmt::Display for SolveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempt{} in {:.3?}",
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.wall_time
+        )?;
+        if self.halvings > 0 {
+            write!(
+                f,
+                ", {} halving{}",
+                self.halvings,
+                if self.halvings == 1 { "" } else { "s" }
+            )?;
+        }
+        if self.fallbacks.is_empty() {
+            write!(f, ", no fallbacks")
+        } else {
+            write!(f, ", fallbacks: ")?;
+            for (i, k) in self.fallbacks.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " → ")?;
+                }
+                write!(f, "{k}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_is_not_escalated() {
+        let r = SolveReport {
+            attempts: 1,
+            ..Default::default()
+        };
+        assert!(!r.escalated());
+        let s = r.to_string();
+        assert!(s.contains("1 attempt"), "{s}");
+        assert!(s.contains("no fallbacks"), "{s}");
+    }
+
+    #[test]
+    fn fallbacks_deduplicate_but_counters_accumulate() {
+        let mut r = SolveReport::new();
+        r.note_fallback(FallbackKind::StepHalving);
+        r.note_fallback(FallbackKind::StepHalving);
+        r.note_fallback(FallbackKind::GminStepping);
+        r.halvings = 5;
+        assert_eq!(
+            r.fallbacks,
+            vec![FallbackKind::StepHalving, FallbackKind::GminStepping]
+        );
+        assert!(r.escalated());
+        let s = r.to_string();
+        assert!(s.contains("5 halvings"), "{s}");
+        assert!(s.contains("step halving"), "{s}");
+        assert!(s.contains("gmin stepping"), "{s}");
+    }
+}

@@ -3,6 +3,7 @@
 use crate::circuit::{Circuit, DeviceId, NodeId};
 use crate::error::CircuitError;
 use crate::mna::MnaStructure;
+use crate::report::SolveReport;
 
 /// A single scalar signal sampled over time.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -55,6 +56,9 @@ pub struct TranResult {
     pub time: Vec<f64>,
     /// `columns[k]` is the trajectory of unknown `k`.
     pub(crate) columns: Vec<Vec<f64>>,
+    /// Solver-effort diagnostics for the run (attempts, halvings,
+    /// fallbacks, wall time).
+    pub report: SolveReport,
 }
 
 impl TranResult {
@@ -64,6 +68,7 @@ impl TranResult {
             structure,
             time: Vec::new(),
             columns: vec![Vec::new(); size],
+            report: SolveReport::new(),
         }
     }
 

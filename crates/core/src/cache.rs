@@ -81,6 +81,13 @@ pub struct Precharacterization {
     pub angle_grid: Grid2,
     /// The `C_{T_f,1}` level set (independent of injection frequency).
     pub tf_unity: Vec<Polyline>,
+    /// Number of grid nodes where `T_f` or `∠−I₁` evaluated non-finite.
+    ///
+    /// Marching squares masks the surrounding cells, so a nonzero count
+    /// means the graphical curves (and everything derived from them) only
+    /// cover part of the `(φ, A)` plane — queries against this
+    /// pre-characterization report their solutions as degraded.
+    pub non_finite_cells: usize,
 }
 
 /// Cache key for a full grid pre-characterization.
@@ -161,7 +168,10 @@ impl PrecharCache {
 
     /// Number of distinct grid entries held.
     pub fn len(&self) -> usize {
-        self.grids.lock().expect("cache poisoned").len()
+        self.grids
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the cache holds no grid entries.
@@ -171,8 +181,14 @@ impl PrecharCache {
 
     /// Drops all entries (counters are preserved).
     pub fn clear(&self) {
-        self.grids.lock().expect("cache poisoned").clear();
-        self.naturals.lock().expect("cache poisoned").clear();
+        self.grids
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.naturals
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 
     /// Records a cache bypass (missing fingerprint).
@@ -187,7 +203,12 @@ impl PrecharCache {
         key: PrecharKey,
         build: impl FnOnce() -> Result<Precharacterization, ShilError>,
     ) -> Result<Arc<Precharacterization>, ShilError> {
-        if let Some(hit) = self.grids.lock().expect("cache poisoned").get(&key) {
+        if let Some(hit) = self
+            .grids
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             self.grid_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
@@ -196,7 +217,7 @@ impl PrecharCache {
         Ok(Arc::clone(
             self.grids
                 .lock()
-                .expect("cache poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .entry(key)
                 .or_insert(built),
         ))
@@ -208,7 +229,12 @@ impl PrecharCache {
         key: NaturalKey,
         solve: impl FnOnce() -> Result<NaturalOscillation, ShilError>,
     ) -> Result<NaturalOscillation, ShilError> {
-        if let Some(hit) = self.naturals.lock().expect("cache poisoned").get(&key) {
+        if let Some(hit) = self
+            .naturals
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             self.natural_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(*hit);
         }
@@ -217,7 +243,7 @@ impl PrecharCache {
         Ok(*self
             .naturals
             .lock()
-            .expect("cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(key)
             .or_insert(solved))
     }

@@ -7,7 +7,8 @@
 //! same crossings numerically (scan + Brent) and classifies each with the
 //! paper's rule: stable iff the curve cuts `y = 1` from above.
 
-use shil_numerics::roots::{bracket_scan, brent};
+use shil_numerics::fallback::solve_1d_escalating;
+use shil_numerics::roots::bracket_scan;
 
 use crate::error::ShilError;
 use crate::harmonics::{HarmonicOptions, HarmonicTable};
@@ -85,11 +86,17 @@ pub fn t_f_curve<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
 /// The zero amplitude equilibrium is not reported (it is unstable whenever
 /// the small-signal gain exceeds one, which is the interesting case).
 ///
+/// Each bracketed crossing is refined with the escalating 1-D policy
+/// (Brent, then bisection on the same bracket). A crossing whose
+/// refinement still fails — e.g. the describing function evaluates
+/// non-finite throughout the bracket — is skipped rather than failing the
+/// whole solve, so one poisoned crossing cannot hide the healthy ones.
+///
 /// # Errors
 ///
 /// - [`ShilError::InvalidParameter`] if the automatic amplitude cap fails
-///   to bracket saturation (pathological `f` that never saturates).
-/// - Root-refinement failures from the numerics layer.
+///   to bracket saturation (pathological `f` that never saturates), or if
+///   a non-finite `a_max` is supplied.
 pub fn natural_oscillations<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
     nonlinearity: &N,
     tank: &T,
@@ -105,10 +112,11 @@ pub fn natural_oscillations<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
 
     let a_max = match opts.a_max {
         Some(a) => {
-            // NaN-rejecting positivity check.
-            if a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            // NaN-rejecting positivity check; infinities are equally unusable
+            // as a scan cap.
+            if a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !a.is_finite() {
                 return Err(ShilError::InvalidParameter(format!(
-                    "a_max must be positive, got {a}"
+                    "a_max must be positive and finite, got {a}"
                 )));
             }
             a
@@ -137,9 +145,17 @@ pub fn natural_oscillations<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
         let amplitude = if lo == hi {
             lo
         } else {
-            brent(|a| tf(a) - 1.0, lo, hi, a_max * 1e-14, 200)?
+            match solve_1d_escalating(|a| tf(a) - 1.0, lo, hi, a_max * 1e-14, 200) {
+                Ok((a, _method)) => a,
+                // Both Brent and bisection failed on this bracket (the DF
+                // evaluated non-finite everywhere that matters): skip this
+                // crossing and keep the rest.
+                Err(_) => continue,
+            }
         };
-        // Slope by central difference on the smooth DF curve.
+        // Slope by central difference on the smooth DF curve. A non-finite
+        // slope (sample landed on a poisoned point) classifies as unstable:
+        // `slope < 0.0` is false for NaN, which is the conservative answer.
         let h = a_max * 1e-6;
         let slope = (tf(amplitude + h) - tf(amplitude - h)) / (2.0 * h);
         out.push(NaturalOscillation {
@@ -172,12 +188,8 @@ pub fn natural_oscillation<N: Nonlinearity + ?Sized, T: Tank + ?Sized>(
     }
     let all = natural_oscillations(nonlinearity, tank, opts)?;
     all.into_iter()
-        .filter(|o| o.stable)
-        .max_by(|a, b| {
-            a.amplitude
-                .partial_cmp(&b.amplitude)
-                .expect("finite amplitudes")
-        })
+        .filter(|o| o.stable && o.amplitude.is_finite())
+        .max_by(|a, b| a.amplitude.total_cmp(&b.amplitude))
         .ok_or(ShilError::NoOscillation {
             small_signal_gain: gain,
         })
@@ -282,6 +294,52 @@ mod tests {
             ..Default::default()
         };
         assert!(natural_oscillations(&f, &tank(), &bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_a_max_is_rejected() {
+        let f = NegativeTanh::new(1e-3, 20.0);
+        for bad in [f64::NAN, f64::INFINITY] {
+            let opts = NaturalOptions {
+                a_max: Some(bad),
+                ..Default::default()
+            };
+            assert!(matches!(
+                natural_oscillations(&f, &tank(), &opts),
+                Err(ShilError::InvalidParameter(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn poisoned_amplitude_region_degrades_without_panicking() {
+        // The element evaluates NaN beyond |v| = 1 V, which poisons T_f(A)
+        // for every amplitude reaching into that region — including the
+        // crossing near A ≈ 1.27 V. The scan must neither panic nor
+        // manufacture a crossing; the element simply reports no stable
+        // oscillation.
+        let f = crate::nonlinearity::FnNonlinearity::new(|v: f64| {
+            if v.abs() > 1.0 {
+                f64::NAN
+            } else {
+                -1e-3 * (20.0 * v / 1e-3).tanh()
+            }
+        });
+        let opts = NaturalOptions {
+            a_max: Some(2.0),
+            ..Default::default()
+        };
+        let oscs = natural_oscillations(&f, &tank(), &opts).unwrap();
+        assert!(
+            oscs.iter().all(|o| o.amplitude.is_finite()),
+            "no non-finite amplitudes may escape: {oscs:?}"
+        );
+        let single = natural_oscillation(&f, &tank(), &opts);
+        match single {
+            Ok(o) => assert!(o.amplitude.is_finite()),
+            Err(ShilError::NoOscillation { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -30,7 +30,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use shil_numerics::contour::{marching_squares, polyline_intersections, Point, Polyline};
-use shil_numerics::newton::{newton_system, NewtonOptions};
+use shil_numerics::fallback::{newton_with_restarts, FallbackOptions};
+use shil_numerics::newton::NewtonOptions;
 use shil_numerics::{wrap_angle, Grid2};
 
 use crate::cache::{self, NaturalKey, PrecharCache, PrecharKey, Precharacterization};
@@ -212,6 +213,13 @@ pub struct ShilSolution {
     pub jacobian_det: f64,
     /// Trace of the perturbation Jacobian (negative for stable equilibria).
     pub jacobian_trace: f64,
+    /// Whether an escalation fallback produced this solution.
+    ///
+    /// `true` means the Newton polish (and its restarts) failed and the
+    /// coarse graphical intersection was accepted instead, or the stability
+    /// classification hit non-finite derivatives — the numbers are grid-
+    /// resolution accurate, not solver-tolerance accurate.
+    pub degraded: bool,
 }
 
 /// The predicted lock range (paper Fig. 10 / Tables 1–2).
@@ -231,6 +239,10 @@ pub struct LockRange {
     pub injection_span_hz: f64,
     /// Amplitude of the stable lock at center frequency (`φ_d = 0`).
     pub amplitude_at_center: f64,
+    /// Whether any solution consulted while locating the boundary was
+    /// itself degraded (see [`ShilSolution::degraded`]) — the range is then
+    /// grid-resolution accurate rather than solver-tolerance accurate.
+    pub degraded: bool,
 }
 
 /// The raw curves of the graphical procedure at one injection frequency —
@@ -286,7 +298,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         vi: f64,
         opts: ShilOptions,
     ) -> Result<Self, ShilError> {
-        Self::validate(n, vi)?;
+        Self::validate(n, vi, &opts)?;
         let natural = natural_oscillation(nonlinearity, tank, &opts.natural)?;
         let threads = effective_parallelism(opts.parallelism);
         let prechar = Arc::new(Self::build_prechar(
@@ -330,7 +342,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         opts: ShilOptions,
         cache: &PrecharCache,
     ) -> Result<Self, ShilError> {
-        Self::validate(n, vi)?;
+        Self::validate(n, vi, &opts)?;
         let threads = effective_parallelism(opts.parallelism);
         let (nl_fp, tank_fp) = match (nonlinearity.fingerprint(), tank.fingerprint()) {
             (Some(a), Some(b)) => (a, b),
@@ -370,7 +382,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         })
     }
 
-    fn validate(n: u32, vi: f64) -> Result<(), ShilError> {
+    fn validate(n: u32, vi: f64, opts: &ShilOptions) -> Result<(), ShilError> {
         if n == 0 {
             return Err(ShilError::InvalidParameter(
                 "sub-harmonic order n must be ≥ 1".into(),
@@ -380,6 +392,29 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
             return Err(ShilError::InvalidParameter(format!(
                 "injection magnitude must be positive and finite, got {vi}"
             )));
+        }
+        if opts.phase_points < 2 || opts.amplitude_points < 2 {
+            return Err(ShilError::InvalidParameter(format!(
+                "grid needs at least 2 points per axis, got {}×{}",
+                opts.phase_points, opts.amplitude_points
+            )));
+        }
+        // NaN fails all of these comparisons, so non-finite factors are
+        // rejected here instead of producing NaN grid axes downstream.
+        if !(opts.a_min_factor > 0.0
+            && opts.a_max_factor > opts.a_min_factor
+            && opts.a_max_factor.is_finite())
+        {
+            return Err(ShilError::InvalidParameter(format!(
+                "amplitude bounds must satisfy 0 < a_min_factor < a_max_factor < ∞, \
+                 got [{}, {}]",
+                opts.a_min_factor, opts.a_max_factor
+            )));
+        }
+        if opts.harmonics.samples == 0 {
+            return Err(ShilError::InvalidParameter(
+                "harmonic sampling needs at least one sample".into(),
+            ));
         }
         Ok(())
     }
@@ -408,6 +443,22 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         let table = HarmonicTable::new(n, 1, &opts.harmonics);
         let (tf_grid, angle_grid) =
             precharacterize(nonlinearity, r, vi, &phis, &amps, &table, threads)?;
+        // Non-finite nodes are tolerated — marching squares masks the cells
+        // around them — but their count is kept so every downstream query
+        // can flag its answers as degraded.
+        let non_finite_cells = (0..ny)
+            .flat_map(|j| (0..nx).map(move |i| (i, j)))
+            .filter(|&(i, j)| {
+                !tf_grid.value(i, j).is_finite() || !angle_grid.value(i, j).is_finite()
+            })
+            .count();
+        if non_finite_cells == nx * ny {
+            return Err(ShilError::InvalidParameter(
+                "pre-characterization produced no finite grid values \
+                 (nonlinearity non-finite over the whole (φ, A) plane)"
+                    .into(),
+            ));
+        }
         let tf_unity = marching_squares(&tf_grid, 1.0)?;
         Ok(Precharacterization {
             natural,
@@ -416,6 +467,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
             tf_grid,
             angle_grid,
             tf_unity,
+            non_finite_cells,
         })
     }
 
@@ -457,7 +509,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         if let Some(hit) = self
             .iso_cache
             .lock()
-            .expect("isoline cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
             return Ok(Arc::clone(hit));
@@ -483,7 +535,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         Ok(Arc::clone(
             self.iso_cache
                 .lock()
-                .expect("isoline cache poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .entry(key)
                 .or_insert(iso),
         ))
@@ -559,7 +611,9 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
     ///
     /// - [`ShilError::InvalidParameter`] if `|φ_d| ≥ π/2`.
     pub fn solutions_at_phase(&self, phi_d: f64) -> Result<Vec<ShilSolution>, ShilError> {
-        if phi_d.abs() >= std::f64::consts::FRAC_PI_2 {
+        // The explicit NaN branch matters: NaN sails through a plain `>=`
+        // comparison and would poison the isoline level.
+        if phi_d.is_nan() || phi_d.abs() >= std::f64::consts::FRAC_PI_2 {
             return Err(ShilError::InvalidParameter(format!(
                 "tank phase must lie in (−π/2, π/2), got {phi_d}"
             )));
@@ -575,9 +629,13 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         // original order — identical results at any thread count.
         let refined = self.refine_all(&raw, neg_phi_d);
 
+        // A partially masked grid means some intersections may simply be
+        // missing; anything we do find is at best grid-accurate.
+        let grid_degraded = self.prechar.non_finite_cells > 0;
+
         let mut solutions: Vec<ShilSolution> = Vec::new();
         for refined in refined {
-            let (phi, a) = match refined {
+            let (phi, a, fell_back) = match refined {
                 Some(pa) => pa,
                 None => continue,
             };
@@ -591,15 +649,20 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
                 continue;
             }
             let (stable, det, trace) = self.classify(phi, a, phi_d);
+            // Non-finite classification derivatives (fault injection, grid
+            // edges): report the solution as unstable and degraded rather
+            // than leaking NaN into user-facing fields.
+            let classify_poisoned = !det.is_finite() || !trace.is_finite();
             solutions.push(ShilSolution {
                 amplitude: a,
                 phase: phi_wrapped,
-                stable,
-                jacobian_det: det,
-                jacobian_trace: trace,
+                stable: stable && !classify_poisoned,
+                jacobian_det: if classify_poisoned { 0.0 } else { det },
+                jacobian_trace: if classify_poisoned { 0.0 } else { trace },
+                degraded: fell_back || classify_poisoned || grid_degraded,
             });
         }
-        solutions.sort_by(|a, b| a.phase.partial_cmp(&b.phase).expect("finite phases"));
+        solutions.sort_by(|a, b| a.phase.total_cmp(&b.phase));
         Ok(solutions)
     }
 
@@ -608,7 +671,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
     /// order matches input order, and each polish runs the same expressions
     /// regardless of the partition, so the result is independent of the
     /// thread count.
-    fn refine_all(&self, raw: &[Point], neg_phi_d: f64) -> Vec<Option<(f64, f64)>> {
+    fn refine_all(&self, raw: &[Point], neg_phi_d: f64) -> Vec<Option<(f64, f64, bool)>> {
         if self.threads <= 1 || raw.len() < 2 {
             let mut buf = self.prechar.table.scratch();
             return raw
@@ -616,7 +679,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
                 .map(|&p| self.refine(p, neg_phi_d, &mut buf))
                 .collect();
         }
-        let mut refined: Vec<Option<(f64, f64)>> = vec![None; raw.len()];
+        let mut refined: Vec<Option<(f64, f64, bool)>> = vec![None; raw.len()];
         let per = raw.len().div_ceil(self.threads);
         std::thread::scope(|scope| {
             for (points, out) in raw.chunks(per).zip(refined.chunks_mut(per)) {
@@ -631,31 +694,75 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         refined
     }
 
-    /// Newton-polishes a graphical intersection against the exact
-    /// residuals. Returns `None` when the polish diverges (spurious
-    /// intersection from grid artifacts).
-    fn refine(&self, p: Point, neg_phi_d: f64, buf: &mut Vec<f64>) -> Option<(f64, f64)> {
-        let a_lo = self.prechar.tf_grid.ys()[0];
-        let a_hi = self.prechar.tf_grid.ys()[self.prechar.tf_grid.ny() - 1];
-        let res = newton_system(
+    /// Polishes a graphical intersection against the exact residuals with
+    /// the escalation ladder: damped Newton from the intersection, then
+    /// Newton restarted from the four grid-neighbor seeds and deterministic
+    /// perturbations, then — if every solve fails but the exact residuals at
+    /// the raw intersection are finite and small — the coarse graphical
+    /// answer itself, flagged as degraded (`true` in the returned triple).
+    ///
+    /// Returns `None` only for genuinely spurious intersections: polish
+    /// lands out of the amplitude range, or the raw point's residuals are
+    /// non-finite/large.
+    fn refine(&self, p: Point, neg_phi_d: f64, buf: &mut Vec<f64>) -> Option<(f64, f64, bool)> {
+        let tf_grid = &self.prechar.tf_grid;
+        let a_lo = tf_grid.ys()[0];
+        let a_hi = tf_grid.ys()[tf_grid.ny() - 1];
+        let in_range = |phi: f64, a: f64| {
+            a.is_finite() && phi.is_finite() && a >= 0.25 * a_lo && a <= 1.2 * a_hi
+        };
+        // Grid-neighbor seeds: one cell spacing away along each axis.
+        let dphi = (tf_grid.xs()[tf_grid.nx() - 1] - tf_grid.xs()[0]) / (tf_grid.nx() - 1) as f64;
+        let da = (a_hi - a_lo) / (tf_grid.ny() - 1) as f64;
+        let neighbor_seeds = [
+            vec![p.x + dphi, p.y],
+            vec![p.x - dphi, p.y],
+            vec![p.x, p.y + da],
+            vec![p.x, p.y - da],
+        ];
+        let fallback_opts = FallbackOptions {
+            newton: NewtonOptions {
+                tol_residual: 1e-11,
+                max_iter: 60,
+                ..NewtonOptions::default()
+            },
+            random_restarts: 2,
+            perturbation: 0.02,
+            ..FallbackOptions::default()
+        };
+        if let Ok(sol) = newton_with_restarts(
             |x, r| {
                 let (r0, r1) = self.residuals_with(x[0], x[1], neg_phi_d, buf);
                 r[0] = r0;
                 r[1] = r1;
             },
             &[p.x, p.y],
-            &NewtonOptions {
-                tol_residual: 1e-11,
-                max_iter: 60,
-                ..NewtonOptions::default()
-            },
-        )
-        .ok()?;
-        let (phi, a) = (res[0], res[1]);
-        if !(a.is_finite() && phi.is_finite()) || a < 0.25 * a_lo || a > 1.2 * a_hi {
+            &neighbor_seeds,
+            &fallback_opts,
+        ) {
+            let (phi, a) = (sol.x[0], sol.x[1]);
+            if in_range(phi, a) {
+                return Some((phi, a, false));
+            }
+            // A converged polish outside the range means the intersection
+            // was a grid artifact; do not resurrect it via the coarse rung.
             return None;
         }
-        Some((phi, a))
+        // Terminal rung: accept the coarse graphical intersection when the
+        // exact equations nearly hold there. The tolerance is grid-scale
+        // loose on purpose — this is the "degrade to the graphical answer"
+        // path, not a convergence claim — and it still rejects spurious
+        // intersections, whose residuals are far from zero.
+        let (r0, r1) = self.residuals_with(p.x, p.y, neg_phi_d, buf);
+        if r0.is_finite()
+            && r1.is_finite()
+            && r0.abs() < 0.05
+            && r1.abs() < 0.05
+            && in_range(p.x, p.y)
+        {
+            return Some((p.x, p.y, true));
+        }
+        None
     }
 
     /// All lock solutions at a given **injection** frequency (hertz); the
@@ -725,9 +832,21 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
 
     /// Whether a stable lock exists at tank phase `φ_d`.
     fn has_stable_lock(&self, phi_d: f64) -> bool {
+        self.stable_lock_probe(phi_d).0
+    }
+
+    /// `(stable lock exists, any solution was degraded)` at `φ_d` — the
+    /// lock-range search needs both, so the boundary it reports can carry
+    /// the degradation of the solutions it was derived from.
+    fn stable_lock_probe(&self, phi_d: f64) -> (bool, bool) {
         self.solutions_at_phase(phi_d)
-            .map(|sols| sols.iter().any(|s| s.stable))
-            .unwrap_or(false)
+            .map(|sols| {
+                (
+                    sols.iter().any(|s| s.stable),
+                    sols.iter().any(|s| s.degraded),
+                )
+            })
+            .unwrap_or((false, false))
     }
 
     /// Predicts the lock range (paper §III-C, Fig. 10; validated against
@@ -750,12 +869,9 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
             .solutions_at_phase(0.0)?
             .into_iter()
             .filter(|s| s.stable)
-            .max_by(|a, b| {
-                a.amplitude
-                    .partial_cmp(&b.amplitude)
-                    .expect("finite amplitudes")
-            })
+            .max_by(|a, b| a.amplitude.total_cmp(&b.amplitude))
             .ok_or(ShilError::NoLock)?;
+        let mut degraded = center.degraded;
 
         // Coarse forward scan for the first failing phase. With workers
         // available, evaluate every scan point concurrently and then derive
@@ -764,24 +880,24 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         let cap = std::f64::consts::FRAC_PI_2 * 0.999;
         let steps = self.opts.lock_range_scan.max(4);
         let scan_phis: Vec<f64> = (1..=steps).map(|k| cap * k as f64 / steps as f64).collect();
-        let locked: Vec<bool> = if self.threads <= 1 {
+        let locked: Vec<(bool, bool)> = if self.threads <= 1 {
             let mut flags = Vec::with_capacity(steps);
             for &phi in &scan_phis {
-                let ok = self.has_stable_lock(phi);
-                flags.push(ok);
-                if !ok {
+                let probe = self.stable_lock_probe(phi);
+                flags.push(probe);
+                if !probe.0 {
                     break;
                 }
             }
             flags
         } else {
-            let mut flags = vec![false; steps];
+            let mut flags = vec![(false, false); steps];
             let per = steps.div_ceil(self.threads);
             std::thread::scope(|scope| {
                 for (phis, out) in scan_phis.chunks(per).zip(flags.chunks_mut(per)) {
                     scope.spawn(move || {
                         for (&phi, slot) in phis.iter().zip(out.iter_mut()) {
-                            *slot = self.has_stable_lock(phi);
+                            *slot = self.stable_lock_probe(phi);
                         }
                     });
                 }
@@ -791,7 +907,8 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
         let mut lo = 0.0;
         let mut hi = cap;
         let mut found_fail = false;
-        for (k, &ok) in locked.iter().enumerate() {
+        for (k, &(ok, deg)) in locked.iter().enumerate() {
+            degraded |= deg;
             if ok {
                 lo = scan_phis[k];
             } else {
@@ -806,7 +923,9 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
             let mut hi = hi;
             for _ in 0..self.opts.lock_range_iters {
                 let mid = 0.5 * (lo + hi);
-                if self.has_stable_lock(mid) {
+                let (ok, deg) = self.stable_lock_probe(mid);
+                degraded |= deg;
+                if ok {
                     lo = mid;
                 } else {
                     hi = mid;
@@ -831,6 +950,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
             upper_injection_hz: nf * upper_oscillator_hz,
             injection_span_hz: nf * (upper_oscillator_hz - lower_oscillator_hz),
             amplitude_at_center: center.amplitude,
+            degraded,
         })
     }
 }

@@ -45,10 +45,10 @@ pub trait Tank {
     ///
     /// # Errors
     ///
-    /// Returns [`ShilError::InvalidParameter`] if `|phi_d| ≥ π/2` or the
-    /// phase is not attained within `ω_c/64 .. 64·ω_c`.
+    /// Returns [`ShilError::InvalidParameter`] if `|phi_d| ≥ π/2` (or is
+    /// NaN) or the phase is not attained within `ω_c/64 .. 64·ω_c`.
     fn omega_for_phase(&self, phi_d: f64) -> Result<f64, ShilError> {
-        if phi_d.abs() >= std::f64::consts::FRAC_PI_2 {
+        if phi_d.is_nan() || phi_d.abs() >= std::f64::consts::FRAC_PI_2 {
             return Err(ShilError::InvalidParameter(format!(
                 "tank phase must lie in (−π/2, π/2), got {phi_d}"
             )));
@@ -188,7 +188,7 @@ impl Tank for ParallelRlc {
     }
 
     fn omega_for_phase(&self, phi_d: f64) -> Result<f64, ShilError> {
-        if phi_d.abs() >= std::f64::consts::FRAC_PI_2 {
+        if phi_d.is_nan() || phi_d.abs() >= std::f64::consts::FRAC_PI_2 {
             return Err(ShilError::InvalidParameter(format!(
                 "tank phase must lie in (−π/2, π/2), got {phi_d}"
             )));
@@ -227,9 +227,9 @@ impl TabulatedTank {
     /// # Errors
     ///
     /// Returns [`ShilError::InvalidParameter`] if fewer than 5 samples are
-    /// given, the frequency axis is not strictly increasing, or the
-    /// magnitude peak sits on the boundary of the sampled band (resonance
-    /// not covered).
+    /// given, any sample is non-finite, the frequency axis is not strictly
+    /// increasing, or the magnitude peak sits on the boundary of the
+    /// sampled band (resonance not covered).
     pub fn from_samples(freq_hz: Vec<f64>, z: Vec<Complex64>) -> Result<Self, ShilError> {
         if freq_hz.len() != z.len() {
             return Err(ShilError::InvalidParameter(
@@ -241,15 +241,31 @@ impl TabulatedTank {
                 "need at least 5 impedance samples".into(),
             ));
         }
+        if let Some(k) = freq_hz.iter().position(|f| !f.is_finite()) {
+            return Err(ShilError::InvalidParameter(format!(
+                "non-finite frequency sample {} at index {k}",
+                freq_hz[k]
+            )));
+        }
+        if let Some(k) = z
+            .iter()
+            .position(|z| !z.re.is_finite() || !z.im.is_finite())
+        {
+            return Err(ShilError::InvalidParameter(format!(
+                "non-finite impedance sample {:?} at index {k}",
+                z[k]
+            )));
+        }
         let omega: Vec<f64> = freq_hz.iter().map(|f| f * std::f64::consts::TAU).collect();
         let mags: Vec<f64> = z.iter().map(|z| z.abs()).collect();
         let phases: Vec<f64> = z.iter().map(|z| z.arg()).collect();
-        // Peak must be interior.
+        // Peak must be interior. The samples are all finite by the guard
+        // above, so `total_cmp` orders them exactly as `partial_cmp` would.
         let (kpk, _) = mags
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite magnitudes"))
-            .expect("non-empty");
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .ok_or_else(|| ShilError::InvalidParameter("no impedance samples".into()))?;
         if kpk == 0 || kpk == mags.len() - 1 {
             return Err(ShilError::InvalidParameter(
                 "impedance peak on band edge: widen the sampled frequency range".into(),
@@ -430,6 +446,45 @@ mod tests {
         let freqs: Vec<f64> = (1..=6).map(|k| k as f64).collect();
         let z: Vec<Complex64> = freqs.iter().map(|f| Complex64::new(*f, 0.0)).collect();
         assert!(TabulatedTank::from_samples(freqs, z).is_err());
+    }
+
+    #[test]
+    fn tabulated_tank_rejects_non_finite_samples() {
+        let freqs: Vec<f64> = (1..=7).map(|k| k as f64).collect();
+        let peaked = |f: f64| Complex64::new(10.0 - (f - 4.0) * (f - 4.0), 0.0);
+        // Healthy peaked data is accepted…
+        let z: Vec<Complex64> = freqs.iter().map(|f| peaked(*f)).collect();
+        assert!(TabulatedTank::from_samples(freqs.clone(), z.clone()).is_ok());
+        // …but one NaN frequency or one non-finite impedance poisons it.
+        let mut bad_f = freqs.clone();
+        bad_f[3] = f64::NAN;
+        assert!(matches!(
+            TabulatedTank::from_samples(bad_f, z.clone()),
+            Err(ShilError::InvalidParameter(_))
+        ));
+        let mut bad_z = z;
+        bad_z[2] = Complex64::new(f64::INFINITY, 0.0);
+        assert!(matches!(
+            TabulatedTank::from_samples(freqs, bad_z),
+            Err(ShilError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn omega_for_phase_rejects_nan() {
+        let t = tank();
+        assert!(t.omega_for_phase(f64::NAN).is_err());
+        // Through the trait default too.
+        struct Wrap(ParallelRlc);
+        impl Tank for Wrap {
+            fn impedance(&self, w: f64) -> Complex64 {
+                self.0.impedance(w)
+            }
+            fn center_omega(&self) -> f64 {
+                self.0.center_omega()
+            }
+        }
+        assert!(Wrap(t).omega_for_phase(f64::NAN).is_err());
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Fault-injection test support for the `shil` workspace.
+//!
+//! The resilience layer (non-finite guards, escalating fallbacks, degraded
+//! results) is only trustworthy if it is exercised: this crate wraps any
+//! [`Nonlinearity`] or [`IvCurve`] in a deterministic fault injector that
+//! returns NaN, ±Inf or a large discontinuous jump at configurable rates,
+//! so tests can prove that every public solver entry point returns a typed
+//! error or a degraded-but-finite result — never a panic — when the device
+//! model misbehaves.
+//!
+//! # Determinism
+//!
+//! Fault decisions are a **pure function** of the evaluation voltage's bit
+//! pattern and the spec's seed — no interior mutability, no call counters.
+//! That makes injectors `Sync` (the SHIL grid build fans out across
+//! threads), makes runs independent of thread count and evaluation order,
+//! and makes every failure reproducible from `(seed, rates)` alone.
+//!
+//! ```
+//! use shil_fault::{FaultSpec, FaultyNonlinearity};
+//! use shil_core::nonlinearity::{NegativeTanh, Nonlinearity};
+//!
+//! let spec = FaultSpec::nan(0.01, 42); // 1 % NaN rate, seed 42
+//! let faulty = FaultyNonlinearity::new(NegativeTanh::new(1e-3, 20.0), spec);
+//! // Roughly 1 % of evaluations are poisoned, the rest pass through.
+//! let poisoned = (0..10_000)
+//!     .filter(|k| faulty.current(*k as f64 * 1e-4).is_nan())
+//!     .count();
+//! assert!(poisoned > 20 && poisoned < 500, "poisoned = {poisoned}");
+//! ```
+
+use shil_circuit::IvCurve;
+use shil_core::nonlinearity::Nonlinearity;
+
+/// The kind of fault injected at one evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The evaluation returns NaN.
+    Nan,
+    /// The evaluation returns ±Inf (sign follows the input voltage).
+    Inf,
+    /// A large constant is added — a discontinuity in an otherwise smooth
+    /// curve, the classic table-lookup-off-by-one failure mode.
+    Jump,
+}
+
+/// Fault rates and the seed of the deterministic decision stream.
+///
+/// Rates are probabilities per evaluation; they are tested in the order
+/// NaN → Inf → jump against one uniform draw, so their sum should stay at
+/// or below one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability of returning NaN.
+    pub nan_rate: f64,
+    /// Probability of returning ±Inf.
+    pub inf_rate: f64,
+    /// Probability of adding [`FaultSpec::jump_size`] to the result.
+    pub jump_rate: f64,
+    /// Magnitude of the discontinuous jump (amperes).
+    pub jump_size: f64,
+    /// Seed of the decision stream; two specs with equal rates but
+    /// different seeds poison different voltages.
+    pub seed: u64,
+}
+
+impl Default for FaultSpec {
+    /// No faults at all — the wrapper becomes a transparent pass-through.
+    fn default() -> Self {
+        FaultSpec {
+            nan_rate: 0.0,
+            inf_rate: 0.0,
+            jump_rate: 0.0,
+            jump_size: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A NaN-only injector at the given rate.
+    pub fn nan(rate: f64, seed: u64) -> Self {
+        FaultSpec {
+            nan_rate: rate,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// An injector mixing all three fault kinds at the same rate each.
+    pub fn mixed(rate: f64, seed: u64) -> Self {
+        FaultSpec {
+            nan_rate: rate,
+            inf_rate: rate,
+            jump_rate: rate,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The fault (if any) injected at evaluation voltage `v`.
+    ///
+    /// Pure in `(v, self)`: the same voltage always gets the same verdict,
+    /// regardless of thread, call order or call count.
+    pub fn fault_at(&self, v: f64) -> Option<FaultKind> {
+        let u = unit(splitmix64(v.to_bits() ^ self.seed));
+        if u < self.nan_rate {
+            Some(FaultKind::Nan)
+        } else if u < self.nan_rate + self.inf_rate {
+            Some(FaultKind::Inf)
+        } else if u < self.nan_rate + self.inf_rate + self.jump_rate {
+            Some(FaultKind::Jump)
+        } else {
+            None
+        }
+    }
+
+    /// Applies the fault decision for `v` to a healthy current `i`.
+    pub fn apply(&self, v: f64, i: f64) -> f64 {
+        match self.fault_at(v) {
+            None => i,
+            Some(FaultKind::Nan) => f64::NAN,
+            Some(FaultKind::Inf) => f64::INFINITY.copysign(if v < 0.0 { -1.0 } else { 1.0 }),
+            Some(FaultKind::Jump) => i + self.jump_size,
+        }
+    }
+}
+
+/// splitmix64 finalizer — enough mixing that adjacent voltage bit patterns
+/// get independent fault verdicts.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from the top 53 bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A [`Nonlinearity`] wrapper that injects faults per [`FaultSpec`].
+///
+/// The differential conductance is *not* overridden, so the trait's default
+/// finite difference runs through the faulty `current` — a NaN at either
+/// probe point poisons the derivative too, exactly as a buggy device model
+/// would.
+#[derive(Debug, Clone)]
+pub struct FaultyNonlinearity<N> {
+    inner: N,
+    spec: FaultSpec,
+}
+
+impl<N> FaultyNonlinearity<N> {
+    /// Wraps `inner` with the given fault spec.
+    pub fn new(inner: N, spec: FaultSpec) -> Self {
+        FaultyNonlinearity { inner, spec }
+    }
+
+    /// The wrapped element.
+    pub fn inner(&self) -> &N {
+        &self.inner
+    }
+
+    /// The fault spec.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+}
+
+impl<N: Nonlinearity> Nonlinearity for FaultyNonlinearity<N> {
+    fn current(&self, v: f64) -> f64 {
+        self.spec.apply(v, self.inner.current(v))
+    }
+
+    /// Never identifiable by value: the injected faults depend on the seed
+    /// and rates, and sharing a cached pre-characterization between two
+    /// different fault configurations would silently mix their grids.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Wraps an [`IvCurve`] in a fault injector, for poisoning circuit-level
+/// devices (`Circuit::nonlinear`) the same way [`FaultyNonlinearity`]
+/// poisons analysis-level elements.
+pub fn faulty_iv(inner: IvCurve, spec: FaultSpec) -> IvCurve {
+    IvCurve::function(move |v| spec.apply(v, inner.current(v)))
+}
+
+/// Transient options tuned for chaos testing: small bounded budgets so an
+/// unsolvable (fault-saturated) circuit fails fast with diagnostics
+/// instead of grinding through the full default retry ladder.
+///
+/// # Panics
+///
+/// Panics unless `0 < dt < t_stop` (delegates to
+/// [`shil_circuit::analysis::TranOptions::new`]).
+pub fn chaos_tran_options(dt: f64, t_stop: f64) -> shil_circuit::analysis::TranOptions {
+    let mut opts = shil_circuit::analysis::TranOptions::new(dt, t_stop);
+    opts.max_halvings = 6;
+    opts.retry_budget = 64;
+    opts.max_newton_iter = 30;
+    opts.op.max_iter = 40;
+    opts.op.source_steps = 4;
+    opts.op.gmin_steps.truncate(3);
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shil_core::nonlinearity::NegativeTanh;
+
+    #[test]
+    fn zero_rate_spec_is_transparent() {
+        let f = FaultyNonlinearity::new(NegativeTanh::new(1e-3, 20.0), FaultSpec::default());
+        let clean = NegativeTanh::new(1e-3, 20.0);
+        for k in -100..=100 {
+            let v = k as f64 * 0.01;
+            assert_eq!(f.current(v), clean.current(v));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_dependent() {
+        let a = FaultSpec::nan(0.05, 1);
+        let b = FaultSpec::nan(0.05, 2);
+        let mut differs = false;
+        for k in 0..10_000 {
+            let v = k as f64 * 1e-3;
+            assert_eq!(a.fault_at(v), a.fault_at(v));
+            if a.fault_at(v) != b.fault_at(v) {
+                differs = true;
+            }
+        }
+        assert!(differs, "different seeds must poison different points");
+    }
+
+    #[test]
+    fn rates_are_approximately_honoured() {
+        let spec = FaultSpec::nan(0.01, 7);
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|k| spec.fault_at(*k as f64 * 1e-4 - 3.0).is_some())
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (0.005..0.02).contains(&rate),
+            "observed rate {rate} far from 1 %"
+        );
+    }
+
+    #[test]
+    fn mixed_faults_produce_all_kinds() {
+        let spec = FaultSpec::mixed(0.05, 3);
+        let mut seen = [false; 3];
+        for k in 0..10_000 {
+            match spec.fault_at(k as f64 * 1e-3) {
+                Some(FaultKind::Nan) => seen[0] = true,
+                Some(FaultKind::Inf) => seen[1] = true,
+                Some(FaultKind::Jump) => seen[2] = true,
+                None => {}
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn faulty_wrapper_bypasses_the_cache() {
+        let f = FaultyNonlinearity::new(NegativeTanh::new(1e-3, 20.0), FaultSpec::nan(0.01, 1));
+        assert!(f.fingerprint().is_none());
+    }
+
+    #[test]
+    fn faulty_iv_poisons_circuit_curves() {
+        let iv = faulty_iv(IvCurve::tanh(-1e-3, 20.0), FaultSpec::nan(0.05, 11));
+        let poisoned = (0..10_000)
+            .filter(|k| iv.current(*k as f64 * 1e-4).is_nan())
+            .count();
+        assert!(poisoned > 100, "poisoned = {poisoned}");
+    }
+
+    #[test]
+    fn injector_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<FaultyNonlinearity<NegativeTanh>>();
+    }
+}

@@ -113,13 +113,15 @@ fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
 
 /// Extracts the level set `z = level` from a sampled grid as polylines.
 ///
-/// Cells containing NaN samples are skipped, which lets callers mask out
-/// invalid regions (e.g. `A → 0` where the describing function is
-/// undefined). Saddle cells are disambiguated with the cell-center average.
+/// Cells containing non-finite samples (NaN or ±Inf) are skipped, which lets
+/// callers mask out invalid regions (e.g. `A → 0` where the describing
+/// function is undefined) — an Inf corner would otherwise produce garbage
+/// edge-interpolation coordinates. Saddle cells are disambiguated with the
+/// cell-center average.
 ///
 /// # Errors
 ///
-/// Returns [`NumericsError::InvalidInput`] if `level` is NaN.
+/// Returns [`NumericsError::InvalidInput`] if `level` is not finite.
 ///
 /// ```
 /// use shil_numerics::contour::marching_squares;
@@ -135,8 +137,8 @@ fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
 /// # }
 /// ```
 pub fn marching_squares(grid: &Grid2, level: f64) -> Result<Vec<Polyline>, NumericsError> {
-    if level.is_nan() {
-        return Err(NumericsError::InvalidInput("level must not be NaN".into()));
+    if !level.is_finite() {
+        return Err(NumericsError::InvalidInput("level must be finite".into()));
     }
     let mut segments: Vec<(Point, Point)> = Vec::new();
     let xs = grid.xs();
@@ -156,7 +158,7 @@ pub fn marching_squares(grid: &Grid2, level: f64) -> Result<Vec<Polyline>, Numer
                 grid.value(ix + 1, iy + 1) - level,
                 grid.value(ix, iy + 1) - level,
             ];
-            if v.iter().any(|x| x.is_nan()) {
+            if v.iter().any(|x| !x.is_finite()) {
                 continue;
             }
             // Corners exactly on the level produce degenerate topology
@@ -388,6 +390,32 @@ mod tests {
         }
         let total: f64 = curves.iter().map(|c| c.length()).sum();
         assert!((total - std::f64::consts::PI * 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn infinite_cells_are_masked_like_nan() {
+        let g = Grid2::from_fn(-1.0, 1.0, 41, -1.0, 1.0, 41, |x, y| {
+            if x < 0.0 {
+                f64::INFINITY
+            } else {
+                x * x + y * y - 0.25
+            }
+        })
+        .unwrap();
+        let curves = marching_squares(&g, 0.0).unwrap();
+        for c in &curves {
+            for p in &c.points {
+                assert!(p.x.is_finite() && p.y.is_finite());
+                assert!(p.x >= -0.05, "point in masked region: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_level_is_rejected() {
+        let g = Grid2::from_fn(0.0, 1.0, 3, 0.0, 1.0, 3, |x, _| x).unwrap();
+        assert!(marching_squares(&g, f64::NAN).is_err());
+        assert!(marching_squares(&g, f64::INFINITY).is_err());
     }
 
     #[test]

@@ -25,6 +25,40 @@ pub enum NumericsError {
     },
     /// Input data violated a structural precondition (documented per function).
     InvalidInput(String),
+    /// A residual, Jacobian entry, or sample evaluated to NaN/±Inf.
+    ///
+    /// Carried diagnostics let callers report *where* the model blew up
+    /// instead of silently propagating NaN through downstream grids.
+    NonFinite {
+        /// Which computation detected the non-finite value
+        /// (e.g. `"newton residual"`, `"jacobian column 1"`).
+        context: String,
+        /// The evaluation point (solver state) at which it was detected.
+        at: Vec<f64>,
+    },
+    /// An iterative method exhausted its budget; unlike [`NoConvergence`]
+    /// this variant carries the best iterate seen, so callers can degrade
+    /// to a partial answer instead of discarding all the work.
+    ///
+    /// [`NoConvergence`]: NumericsError::NoConvergence
+    NotConverged {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Smallest finite residual norm observed.
+        residual: f64,
+        /// Iterate achieving that residual.
+        best_x: Vec<f64>,
+    },
+}
+
+impl NumericsError {
+    /// The best iterate recovered from a failed solve, when one exists.
+    pub fn best_iterate(&self) -> Option<&[f64]> {
+        match self {
+            NumericsError::NotConverged { best_x, .. } => Some(best_x),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for NumericsError {
@@ -44,6 +78,18 @@ impl fmt::Display for NumericsError {
                 "no convergence after {iterations} iterations (residual {residual:.3e})"
             ),
             NumericsError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            NumericsError::NonFinite { context, at } => {
+                write!(f, "non-finite value in {context} at x = {at:?}")
+            }
+            NumericsError::NotConverged {
+                iterations,
+                residual,
+                best_x,
+            } => write!(
+                f,
+                "not converged after {iterations} iterations \
+                 (best residual {residual:.3e} at x = {best_x:?})"
+            ),
         }
     }
 }
@@ -67,6 +113,31 @@ mod tests {
         assert!(e.to_string().contains("7 iterations"));
         let e = NumericsError::InvalidInput("empty grid".into());
         assert!(e.to_string().contains("empty grid"));
+        let e = NumericsError::NonFinite {
+            context: "newton residual".into(),
+            at: vec![1.0, 2.0],
+        };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains("newton residual"));
+        let e = NumericsError::NotConverged {
+            iterations: 9,
+            residual: 2e-4,
+            best_x: vec![0.5],
+        };
+        assert!(e.to_string().contains("9 iterations"));
+        assert!(e.to_string().contains("2.000e-4"));
+    }
+
+    #[test]
+    fn best_iterate_recovers_partial_answer() {
+        let e = NumericsError::NotConverged {
+            iterations: 3,
+            residual: 0.1,
+            best_x: vec![1.5, -0.5],
+        };
+        assert_eq!(e.best_iterate(), Some(&[1.5, -0.5][..]));
+        let e = NumericsError::InvalidInput("nope".into());
+        assert_eq!(e.best_iterate(), None);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Escalating solver fallbacks.
+//!
+//! The graphical SHIL pipeline sits on top of solvers that can fail in
+//! benign ways: a Newton polish started from a crude grid intersection may
+//! wander into a non-finite region of the describing function, and the
+//! 1-D natural-oscillation closure can defeat Brent's interpolation steps
+//! on nearly flat `T_f(A) − 1` tails. Rather than dropping the answer, the
+//! workspace escalates:
+//!
+//! 1. plain damped Newton from the caller's seed,
+//! 2. damped Newton restarted from grid-neighbor seeds and deterministic
+//!    pseudo-random perturbations of the original seed,
+//! 3. (1-D closures) bracketed bisection, which only needs sign information,
+//! 4. accepting the coarse-grid (graphical) answer, flagged as degraded.
+//!
+//! Each rung is recorded in [`SolveMethod`] so callers can surface *how* a
+//! number was obtained, not just the number.
+
+use crate::error::NumericsError;
+use crate::newton::{newton_system, NewtonOptions};
+use crate::roots::{bisect, brent};
+
+/// Which rung of the escalation ladder produced a solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// Plain damped Newton from the caller's seed.
+    Newton,
+    /// Damped Newton after restarting from an alternative seed; `restart` is
+    /// the index (0-based) of the seed that succeeded.
+    RestartedNewton {
+        /// Index of the successful restart seed.
+        restart: usize,
+    },
+    /// Bracketed bisection, the sign-only terminal rung for 1-D closures.
+    Bisection,
+    /// The coarse-grid (graphical) answer was accepted without refinement.
+    CoarseGrid,
+}
+
+/// A solution together with the method that produced it and the number of
+/// solver attempts spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// The escalation rung that succeeded.
+    pub method: SolveMethod,
+    /// Total solver attempts, including the failed ones.
+    pub attempts: usize,
+}
+
+impl FallbackSolution {
+    /// Whether the solution came from anything other than the first-choice
+    /// Newton solve (i.e. an escalation rung was needed).
+    pub fn escalated(&self) -> bool {
+        self.method != SolveMethod::Newton
+    }
+}
+
+/// Options controlling [`newton_with_restarts`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FallbackOptions {
+    /// Options forwarded to every Newton attempt.
+    pub newton: NewtonOptions,
+    /// Number of deterministic pseudo-random perturbations of the original
+    /// seed to try after the explicit neighbor seeds are exhausted.
+    pub random_restarts: usize,
+    /// Relative scale of the pseudo-random perturbations
+    /// (`x_j ← x_j · (1 + scale·u) + scale·u`, `u ∈ [−1, 1]`).
+    pub perturbation: f64,
+    /// Seed for the deterministic perturbation stream. Fixed by default so
+    /// repeated runs escalate identically.
+    pub seed: u64,
+}
+
+impl Default for FallbackOptions {
+    fn default() -> Self {
+        FallbackOptions {
+            newton: NewtonOptions::default(),
+            random_restarts: 4,
+            perturbation: 0.05,
+            seed: 0x5_8117,
+        }
+    }
+}
+
+/// Deterministic xorshift64* stream used for restart perturbations.
+///
+/// Not a statistical RNG — it only needs to scatter restart seeds around the
+/// original guess reproducibly, without pulling in a dependency.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Uniform sample in `[−1, 1]` from the perturbation stream.
+fn uniform_pm1(state: &mut u64) -> f64 {
+    ((xorshift(state) >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+/// Damped Newton with an escalation ladder of restart seeds.
+///
+/// Tries `x0` first; on failure walks the explicit `neighbor_seeds`
+/// (typically the surrounding grid nodes of a graphical intersection), then
+/// `opts.random_restarts` deterministic perturbations of `x0`. The first
+/// converged attempt wins and reports which rung succeeded.
+///
+/// # Errors
+///
+/// If every attempt fails, returns the error whose diagnostics are most
+/// useful: a [`NumericsError::NotConverged`] with the smallest residual if
+/// any attempt produced one, otherwise the error from the last attempt.
+pub fn newton_with_restarts<F>(
+    mut f: F,
+    x0: &[f64],
+    neighbor_seeds: &[Vec<f64>],
+    opts: &FallbackOptions,
+) -> Result<FallbackSolution, NumericsError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let mut attempts = 0usize;
+    let mut best_err: Option<NumericsError> = None;
+
+    let try_seed = |seed: &[f64],
+                    f: &mut F,
+                    attempts: &mut usize,
+                    best_err: &mut Option<NumericsError>|
+     -> Option<Vec<f64>> {
+        *attempts += 1;
+        match newton_system(|x, r| f(x, r), seed, &opts.newton) {
+            Ok(x) => Some(x),
+            Err(e) => {
+                let better = match (&e, best_err.as_ref()) {
+                    (_, None) => true,
+                    (
+                        NumericsError::NotConverged { residual: new, .. },
+                        Some(NumericsError::NotConverged { residual: old, .. }),
+                    ) => new < old,
+                    // A NotConverged (with a best iterate) beats any
+                    // diagnostics-free failure mode.
+                    (NumericsError::NotConverged { .. }, Some(_)) => true,
+                    _ => false,
+                };
+                if better {
+                    *best_err = Some(e);
+                }
+                None
+            }
+        }
+    };
+
+    if let Some(x) = try_seed(x0, &mut f, &mut attempts, &mut best_err) {
+        return Ok(FallbackSolution {
+            x,
+            method: SolveMethod::Newton,
+            attempts,
+        });
+    }
+
+    for (i, seed) in neighbor_seeds.iter().enumerate() {
+        if seed.len() != x0.len() || seed.iter().any(|v| !v.is_finite()) {
+            continue;
+        }
+        if let Some(x) = try_seed(seed, &mut f, &mut attempts, &mut best_err) {
+            return Ok(FallbackSolution {
+                x,
+                method: SolveMethod::RestartedNewton { restart: i },
+                attempts,
+            });
+        }
+    }
+
+    let mut state = opts.seed | 1;
+    let mut perturbed = x0.to_vec();
+    for i in 0..opts.random_restarts {
+        for (p, &orig) in perturbed.iter_mut().zip(x0) {
+            let u = uniform_pm1(&mut state);
+            *p = orig * (1.0 + opts.perturbation * u) + opts.perturbation * u;
+        }
+        if let Some(x) = try_seed(&perturbed, &mut f, &mut attempts, &mut best_err) {
+            return Ok(FallbackSolution {
+                x,
+                method: SolveMethod::RestartedNewton {
+                    restart: neighbor_seeds.len() + i,
+                },
+                attempts,
+            });
+        }
+    }
+
+    Err(best_err.unwrap_or(NumericsError::NotConverged {
+        iterations: 0,
+        residual: f64::INFINITY,
+        best_x: x0.to_vec(),
+    }))
+}
+
+/// 1-D root solve with a Brent → bisection escalation on a fixed bracket.
+///
+/// Brent's interpolation steps are the fast path; if they fail (including on
+/// non-finite interpolated evaluations that happen to miss in bisection's
+/// midpoint sequence), plain bisection retries with only sign information.
+///
+/// # Errors
+///
+/// Propagates the bisection error if both rungs fail, or
+/// [`NumericsError::InvalidBracket`] immediately when the bracket has no
+/// sign change (escalation cannot fix a bad bracket).
+pub fn solve_1d_escalating<F>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<(f64, SolveMethod), NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    match brent(&mut f, a, b, tol, max_iter) {
+        Ok(x) => Ok((x, SolveMethod::Newton)),
+        Err(e @ NumericsError::InvalidBracket { .. }) => Err(e),
+        Err(_) => {
+            let x = bisect(&mut f, a, b, tol, max_iter.max(128))?;
+            Ok((x, SolveMethod::Bisection))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_problem_stays_on_plain_newton() {
+        let sol = newton_with_restarts(
+            |x, r| {
+                r[0] = x[0] * x[0] - 4.0;
+            },
+            &[1.0],
+            &[],
+            &FallbackOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sol.method, SolveMethod::Newton);
+        assert_eq!(sol.attempts, 1);
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn neighbor_seed_rescues_non_finite_start() {
+        // The residual is NaN for x < 0, so the initial seed at −1 fails
+        // immediately; the neighbor seed at +1 converges.
+        let sol = newton_with_restarts(
+            |x, r| {
+                r[0] = x[0].sqrt() - 2.0;
+            },
+            &[-1.0],
+            &[vec![1.0]],
+            &FallbackOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sol.method, SolveMethod::RestartedNewton { restart: 0 });
+        assert!(sol.attempts >= 2);
+        assert!((sol.x[0] - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn random_restarts_are_deterministic() {
+        let run = || {
+            newton_with_restarts(
+                |x, r| {
+                    // Fails from the poisoned seed; succeeds only once a
+                    // perturbed restart lands in x > 0.
+                    r[0] = if x[0] <= 0.0 { f64::NAN } else { x[0].ln() };
+                },
+                &[0.0],
+                &[],
+                &FallbackOptions {
+                    random_restarts: 8,
+                    perturbation: 0.5,
+                    ..FallbackOptions::default()
+                },
+            )
+        };
+        let a = run().unwrap();
+        let b = run().unwrap();
+        assert_eq!(a, b);
+        assert!(matches!(a.method, SolveMethod::RestartedNewton { .. }));
+        assert!((a.x[0] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn total_failure_reports_best_diagnostics() {
+        let e = newton_with_restarts(
+            |x, r| {
+                r[0] = x[0] * x[0] + 1.0; // no real root
+            },
+            &[2.0],
+            &[vec![5.0]],
+            &FallbackOptions {
+                random_restarts: 1,
+                newton: NewtonOptions {
+                    max_iter: 10,
+                    ..NewtonOptions::default()
+                },
+                ..FallbackOptions::default()
+            },
+        )
+        .unwrap_err();
+        match e {
+            NumericsError::NotConverged {
+                residual, best_x, ..
+            } => {
+                assert!(residual.is_finite());
+                assert!(!best_x.is_empty());
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_malformed_neighbor_seeds() {
+        let sol = newton_with_restarts(
+            |x, r| r[0] = x[0].sqrt() - 1.0,
+            &[-1.0],
+            &[vec![f64::NAN], vec![1.0, 2.0], vec![2.0]],
+            &FallbackOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sol.method, SolveMethod::RestartedNewton { restart: 2 });
+        assert!((sol.x[0] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn one_d_escalates_to_bisection() {
+        // Brent's first secant step on x³ − 0.3 over [0, 1] lands at
+        // x = 0.3, inside the NaN hole; bisection's dyadic midpoints
+        // converge to the root near 0.669 without ever entering it.
+        let f = |x: f64| {
+            if (x - 0.3).abs() < 0.02 {
+                f64::NAN
+            } else {
+                x * x * x - 0.3
+            }
+        };
+        let (x, method) = solve_1d_escalating(f, 0.0, 1.0, 1e-10, 100).unwrap();
+        assert_eq!(method, SolveMethod::Bisection);
+        assert!((x - 0.3f64.cbrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn one_d_bad_bracket_fails_fast() {
+        let e = solve_1d_escalating(|x| x * x + 1.0, -1.0, 1.0, 1e-10, 100).unwrap_err();
+        assert!(matches!(e, NumericsError::InvalidBracket { .. }));
+    }
+}

@@ -15,6 +15,7 @@
 //!   `f64` and [`complex::Complex64`].
 //! - [`roots`] — bracketing, bisection, Brent and 1-D Newton root finding.
 //! - [`newton`] — small damped Newton systems with numerical Jacobians.
+//! - [`fallback`] — escalating solve policies (Newton → restarts → bisection).
 //! - [`quad`] — trapezoid/Simpson quadrature and periodic trapezoid rules.
 //! - [`fft`] — iterative radix-2 FFT and Fourier-series helpers.
 //! - [`interp`] — linear and PCHIP (monotone cubic) interpolation.
@@ -36,6 +37,7 @@
 
 pub mod complex;
 pub mod contour;
+pub mod fallback;
 pub mod fft;
 pub mod grid;
 pub mod interp;

@@ -144,6 +144,15 @@ impl<T: Scalar> Dense<T> {
         self.cols
     }
 
+    /// Read-only view of the row-major entry storage.
+    ///
+    /// Exists so callers can scan all entries at once (e.g. the non-finite
+    /// guards in [`crate::newton`]) without a doubly indexed loop.
+    #[inline]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
     /// Resets every entry to zero, keeping the allocation.
     ///
     /// The MNA assembly loop re-stamps the matrix on every Newton iteration,

@@ -41,8 +41,20 @@ impl Default for NewtonOptions {
     }
 }
 
+/// NaN-propagating infinity norm.
+///
+/// `f64::max` silently discards NaN operands, so a naive fold would report a
+/// NaN residual vector as norm 0.0 — i.e. *converged*. Any NaN entry must
+/// instead poison the norm so the guards below can detect it.
 fn inf_norm(v: &[f64]) -> f64 {
-    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+    let mut m = 0.0f64;
+    for &x in v {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        m = m.max(x.abs());
+    }
+    m
 }
 
 /// Solves `F(x) = 0` by damped Newton with a finite-difference Jacobian.
@@ -55,7 +67,12 @@ fn inf_norm(v: &[f64]) -> f64 {
 /// # Errors
 ///
 /// - [`NumericsError::SingularMatrix`] if the Jacobian becomes singular.
-/// - [`NumericsError::NoConvergence`] on iteration exhaustion.
+/// - [`NumericsError::NonFinite`] the moment a residual or Jacobian entry
+///   evaluates to NaN/±Inf, with the offending evaluation point attached —
+///   the iteration does not grind on to `max_iter` through poisoned state.
+/// - [`NumericsError::NotConverged`] on iteration exhaustion, carrying the
+///   best (lowest finite residual) iterate seen so callers can degrade
+///   gracefully instead of discarding all the work.
 ///
 /// ```
 /// use shil_numerics::newton::{newton_system, NewtonOptions};
@@ -83,7 +100,15 @@ where
     F: FnMut(&[f64], &mut [f64]),
 {
     let n = x0.len();
-    assert!(n > 0, "empty system");
+    if n == 0 {
+        return Err(NumericsError::InvalidInput("empty system".into()));
+    }
+    if x0.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::NonFinite {
+            context: "newton initial guess".into(),
+            at: x0.to_vec(),
+        });
+    }
     let mut x = x0.to_vec();
     let mut r = vec![0.0; n];
     let mut r_trial = vec![0.0; n];
@@ -92,29 +117,54 @@ where
 
     f(&x, &mut r);
     let mut rnorm = inf_norm(&r);
+    if !rnorm.is_finite() {
+        return Err(NumericsError::NonFinite {
+            context: "newton residual at initial guess".into(),
+            at: x,
+        });
+    }
+    let mut best_x = x.clone();
+    let mut best_rnorm = rnorm;
 
     for iter in 0..opts.max_iter {
         if rnorm < opts.tol_residual {
             return Ok(x);
         }
-        // Finite-difference Jacobian, column by column.
+        // Finite-difference Jacobian, column by column, with an immediate
+        // bail-out if any entry is non-finite: iterating further would only
+        // propagate the poison through LU and the line search.
         for j in 0..n {
             xp.copy_from_slice(&x);
             let h = opts.fd_eps * (1.0 + x[j].abs());
             xp[j] += h;
             f(&xp, &mut r_trial);
             for i in 0..n {
-                jac[(i, j)] = (r_trial[i] - r[i]) / h;
+                let d = (r_trial[i] - r[i]) / h;
+                if !d.is_finite() {
+                    return Err(NumericsError::NonFinite {
+                        context: format!("finite-difference jacobian column {j}"),
+                        at: x,
+                    });
+                }
+                jac[(i, j)] = d;
             }
         }
         let lu = Lu::factorize(jac.clone())?;
         let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
         let dx = lu.solve(&neg_r);
         let step_norm = inf_norm(&dx);
+        if !step_norm.is_finite() {
+            return Err(NumericsError::NonFinite {
+                context: "newton step".into(),
+                at: x,
+            });
+        }
         if step_norm < opts.tol_step {
             return Ok(x);
         }
         // Damped line search: halve until the residual norm decreases.
+        // Non-finite trial residuals are rejected exactly like increases,
+        // so the search also backs away from NaN/Inf regions.
         let mut lambda = 1.0;
         let mut accepted = false;
         for _ in 0..=opts.max_halvings {
@@ -140,15 +190,28 @@ where
             }
             f(&x, &mut r);
             rnorm = inf_norm(&r);
+            if !rnorm.is_finite() {
+                // The forced step landed in a non-finite region: stop now and
+                // hand back the best iterate instead of looping to max_iter.
+                return Err(NumericsError::NotConverged {
+                    iterations: iter + 1,
+                    residual: best_rnorm,
+                    best_x,
+                });
+            }
         }
-        let _ = iter;
+        if rnorm < best_rnorm {
+            best_rnorm = rnorm;
+            best_x.copy_from_slice(&x);
+        }
     }
     if rnorm < opts.tol_residual {
         Ok(x)
     } else {
-        Err(NumericsError::NoConvergence {
+        Err(NumericsError::NotConverged {
             iterations: opts.max_iter,
-            residual: rnorm,
+            residual: best_rnorm,
+            best_x,
         })
     }
 }
@@ -171,7 +234,15 @@ where
     F: FnMut(&[f64], &mut [f64], &mut Matrix),
 {
     let n = x0.len();
-    assert!(n > 0, "empty system");
+    if n == 0 {
+        return Err(NumericsError::InvalidInput("empty system".into()));
+    }
+    if x0.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::NonFinite {
+            context: "newton initial guess".into(),
+            at: x0.to_vec(),
+        });
+    }
     let mut x = x0.to_vec();
     let mut r = vec![0.0; n];
     let mut r_trial = vec![0.0; n];
@@ -181,15 +252,36 @@ where
 
     f(&x, &mut r, &mut jac);
     let mut rnorm = inf_norm(&r);
+    if !rnorm.is_finite() {
+        return Err(NumericsError::NonFinite {
+            context: "newton residual at initial guess".into(),
+            at: x,
+        });
+    }
+    let mut best_x = x.clone();
+    let mut best_rnorm = rnorm;
 
-    for _ in 0..opts.max_iter {
+    for iter in 0..opts.max_iter {
         if rnorm < opts.tol_residual {
             return Ok(x);
+        }
+        if !jac.data().iter().all(|v| v.is_finite()) {
+            return Err(NumericsError::NonFinite {
+                context: "assembled jacobian".into(),
+                at: x,
+            });
         }
         let lu = Lu::factorize(jac.clone())?;
         let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
         let dx = lu.solve(&neg_r);
-        if inf_norm(&dx) < opts.tol_step {
+        let step_norm = inf_norm(&dx);
+        if !step_norm.is_finite() {
+            return Err(NumericsError::NonFinite {
+                context: "newton step".into(),
+                at: x,
+            });
+        }
+        if step_norm < opts.tol_step {
             return Ok(x);
         }
         let mut lambda = 1.0;
@@ -216,14 +308,26 @@ where
             }
             f(&x, &mut r, &mut jac);
             rnorm = inf_norm(&r);
+            if !rnorm.is_finite() {
+                return Err(NumericsError::NotConverged {
+                    iterations: iter + 1,
+                    residual: best_rnorm,
+                    best_x,
+                });
+            }
+        }
+        if rnorm < best_rnorm {
+            best_rnorm = rnorm;
+            best_x.copy_from_slice(&x);
         }
     }
     if rnorm < opts.tol_residual {
         Ok(x)
     } else {
-        Err(NumericsError::NoConvergence {
+        Err(NumericsError::NotConverged {
             iterations: opts.max_iter,
-            residual: rnorm,
+            residual: best_rnorm,
+            best_x,
         })
     }
 }
@@ -295,7 +399,7 @@ mod tests {
     }
 
     #[test]
-    fn reports_no_convergence_for_rootless_residual() {
+    fn reports_not_converged_with_best_iterate_for_rootless_residual() {
         let e = newton_system(
             |x, r| r[0] = x[0] * x[0] + 1.0,
             &[3.0],
@@ -305,6 +409,90 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(e, NumericsError::NoConvergence { .. }));
+        match e {
+            NumericsError::NotConverged {
+                iterations,
+                residual,
+                best_x,
+            } => {
+                assert_eq!(iterations, 25);
+                assert!(residual.is_finite());
+                // x² + 1 has its minimum at x = 0; the best iterate should
+                // have migrated toward it from the start at 3.0.
+                assert_eq!(best_x.len(), 1);
+                assert!(best_x[0].abs() < 3.0);
+                assert!((best_x[0] * best_x[0] + 1.0 - residual).abs() < 1e-12);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_initial_residual_is_detected_immediately() {
+        let e = newton_system(
+            |x, r| r[0] = (x[0] - 1.0).ln(), // ln(negative) = NaN at x0 = 0
+            &[0.0],
+            &NewtonOptions::default(),
+        )
+        .unwrap_err();
+        match e {
+            NumericsError::NonFinite { context, at } => {
+                assert!(context.contains("residual"));
+                assert_eq!(at, vec![0.0]);
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_initial_guess_is_rejected() {
+        let e =
+            newton_system(|x, r| r[0] = x[0], &[f64::NAN], &NewtonOptions::default()).unwrap_err();
+        assert!(matches!(e, NumericsError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn non_finite_jacobian_is_detected_immediately() {
+        // Residual is finite at x = 0 but NaN for any x > 0, so the forward
+        // FD probe lands in the invalid region and poisons the column.
+        let mut evals = 0usize;
+        let e = newton_system(
+            |x, r| {
+                evals += 1;
+                r[0] = (-x[0]).sqrt() - 0.5;
+            },
+            &[0.0],
+            &NewtonOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(e, NumericsError::NonFinite { ref context, .. } if context.contains("jacobian")),
+            "got {e:?}"
+        );
+        // Immediate bail-out: initial residual + one FD probe, not max_iter's worth.
+        assert!(evals <= 3, "expected early exit, saw {evals} evaluations");
+    }
+
+    #[test]
+    fn with_jacobian_rejects_non_finite_assembly() {
+        let e = newton_system_with_jacobian(
+            |x, r, j| {
+                r[0] = x[0] - 2.0;
+                j[(0, 0)] = f64::NAN;
+            },
+            &[0.0],
+            &NewtonOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            NumericsError::NonFinite { ref context, .. } if context.contains("jacobian")
+        ));
+    }
+
+    #[test]
+    fn empty_system_is_an_error_not_a_panic() {
+        let e = newton_system(|_x, _r| {}, &[], &NewtonOptions::default()).unwrap_err();
+        assert!(matches!(e, NumericsError::InvalidInput(_)));
     }
 }

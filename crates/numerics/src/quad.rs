@@ -7,6 +7,7 @@
 //! is the workhorse of `shil-core::harmonics`.
 
 use crate::complex::Complex64;
+use crate::error::NumericsError;
 
 /// Composite trapezoid rule on `[a, b]` with `n` uniform subintervals.
 ///
@@ -85,6 +86,77 @@ pub fn sample_periodic<F: FnMut(f64) -> f64>(mut f: F, n: usize, buf: &mut Vec<f
     for i in 0..n {
         buf.push(f(h * i as f64));
     }
+}
+
+/// Like [`sample_periodic`], but fails fast on the first non-finite sample.
+///
+/// The plain sampler lets NaN/Inf flow into the buffer (downstream grid
+/// consumers mask poisoned cells); this variant is for callers that need a
+/// hard guarantee — e.g. the natural-oscillation solve, where one NaN sample
+/// would silently corrupt every Fourier coefficient extracted from the
+/// buffer.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidInput`] if `n == 0`.
+/// - [`NumericsError::NonFinite`] at the first angle where `f` is NaN/±Inf;
+///   the angle is reported in `at`.
+pub fn sample_periodic_checked<F: FnMut(f64) -> f64>(
+    mut f: F,
+    n: usize,
+    buf: &mut Vec<f64>,
+) -> Result<(), NumericsError> {
+    if n == 0 {
+        return Err(NumericsError::InvalidInput(
+            "at least one sample required".into(),
+        ));
+    }
+    buf.clear();
+    buf.reserve(n);
+    let h = std::f64::consts::TAU / n as f64;
+    for i in 0..n {
+        let theta = h * i as f64;
+        let v = f(theta);
+        if !v.is_finite() {
+            return Err(NumericsError::NonFinite {
+                context: "periodic sample".into(),
+                at: vec![theta],
+            });
+        }
+        buf.push(v);
+    }
+    Ok(())
+}
+
+/// Checked companion to [`periodic_mean`]: same spectral accuracy, but a
+/// non-finite sample becomes a typed error instead of a NaN mean.
+///
+/// # Errors
+///
+/// Same failure modes as [`sample_periodic_checked`].
+pub fn periodic_mean_checked<F: FnMut(f64) -> f64>(
+    mut f: F,
+    n: usize,
+) -> Result<f64, NumericsError> {
+    if n == 0 {
+        return Err(NumericsError::InvalidInput(
+            "at least one sample required".into(),
+        ));
+    }
+    let h = std::f64::consts::TAU / n as f64;
+    let mut acc = 0.0;
+    for i in 0..n {
+        let theta = h * i as f64;
+        let v = f(theta);
+        if !v.is_finite() {
+            return Err(NumericsError::NonFinite {
+                context: "periodic sample".into(),
+                at: vec![theta],
+            });
+        }
+        acc += v;
+    }
+    Ok(acc / n as f64)
 }
 
 /// Precomputed `cos(kθ_i)` / `sin(kθ_i)` rows for extracting Fourier
@@ -342,6 +414,44 @@ mod tests {
         let table = TwiddleTable::new(8, 1);
         let buf = vec![0.0; 8];
         let _ = table.coefficient(&buf, 2);
+    }
+
+    #[test]
+    fn sample_periodic_checked_matches_unchecked_on_finite_input() {
+        let f = |t: f64| (2.0 * t).cos();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        sample_periodic(f, 16, &mut a);
+        sample_periodic_checked(f, 16, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_periodic_checked_reports_poisoned_angle() {
+        let mut buf = Vec::new();
+        let e = sample_periodic_checked(
+            |t: f64| if t > 3.0 { f64::NAN } else { t.cos() },
+            64,
+            &mut buf,
+        )
+        .unwrap_err();
+        match e {
+            NumericsError::NonFinite { context, at } => {
+                assert!(context.contains("periodic sample"));
+                assert!(at[0] > 3.0 && at[0] < TAU);
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn periodic_mean_checked_agrees_and_guards() {
+        let v = periodic_mean_checked(|t: f64| t.cos().exp(), 32).unwrap();
+        assert!((v - 1.266_065_877_752_008_4).abs() < 1e-13);
+        let e = periodic_mean_checked(|_| f64::INFINITY, 8).unwrap_err();
+        assert!(matches!(e, NumericsError::NonFinite { .. }));
+        let e = periodic_mean_checked(|t| t, 0).unwrap_err();
+        assert!(matches!(e, NumericsError::InvalidInput(_)));
     }
 
     #[test]

@@ -18,6 +18,10 @@ use crate::error::NumericsError;
 /// Intervals where either endpoint is non-finite are skipped. An exact zero
 /// at a sample point is returned as a degenerate bracket `(x, x)`.
 ///
+/// Degenerate requests — `n == 0`, a non-finite bound, or `b ≤ a` — return
+/// an empty list rather than panicking, so callers upstream of user-supplied
+/// sweep ranges degrade to "no crossings found".
+///
 /// ```
 /// use shil_numerics::roots::bracket_scan;
 ///
@@ -25,8 +29,9 @@ use crate::error::NumericsError;
 /// assert_eq!(brackets.len(), 3); // roots at 0, π, 2π
 /// ```
 pub fn bracket_scan<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> Vec<(f64, f64)> {
-    assert!(n >= 1, "at least one subinterval required");
-    assert!(b > a, "bracket_scan requires b > a");
+    if n == 0 || !a.is_finite() || !b.is_finite() || b <= a {
+        return Vec::new();
+    }
     let mut out = Vec::new();
     let h = (b - a) / n as f64;
     let mut x0 = a;
@@ -55,8 +60,11 @@ pub fn bracket_scan<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) ->
 /// # Errors
 ///
 /// - [`NumericsError::InvalidBracket`] if `f(a)` and `f(b)` have the same sign.
-/// - [`NumericsError::NoConvergence`] if the interval does not shrink below
-///   `tol` within `max_iter` halvings.
+/// - [`NumericsError::NonFinite`] if `f` evaluates to NaN/±Inf at an endpoint
+///   or any midpoint — without the guard a NaN midpoint silently steers every
+///   subsequent halving toward `b`.
+/// - [`NumericsError::NotConverged`] if the interval does not shrink below
+///   `tol` within `max_iter` halvings; carries the interval midpoint.
 pub fn bisect<F: FnMut(f64) -> f64>(
     mut f: F,
     mut a: f64,
@@ -66,6 +74,12 @@ pub fn bisect<F: FnMut(f64) -> f64>(
 ) -> Result<f64, NumericsError> {
     let mut fa = f(a);
     let fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(NumericsError::NonFinite {
+            context: "bisect endpoint".into(),
+            at: vec![if fa.is_finite() { b } else { a }],
+        });
+    }
     if fa == 0.0 {
         return Ok(a);
     }
@@ -78,6 +92,12 @@ pub fn bisect<F: FnMut(f64) -> f64>(
     for _ in 0..max_iter {
         let m = 0.5 * (a + b);
         let fm = f(m);
+        if !fm.is_finite() {
+            return Err(NumericsError::NonFinite {
+                context: "bisect midpoint".into(),
+                at: vec![m],
+            });
+        }
         if fm == 0.0 || (b - a).abs() < tol {
             return Ok(m);
         }
@@ -88,9 +108,10 @@ pub fn bisect<F: FnMut(f64) -> f64>(
             fa = fm;
         }
     }
-    Err(NumericsError::NoConvergence {
+    Err(NumericsError::NotConverged {
         iterations: max_iter,
         residual: (b - a).abs(),
+        best_x: vec![0.5 * (a + b)],
     })
 }
 
@@ -103,7 +124,10 @@ pub fn bisect<F: FnMut(f64) -> f64>(
 /// # Errors
 ///
 /// - [`NumericsError::InvalidBracket`] if `[a, b]` does not bracket a root.
-/// - [`NumericsError::NoConvergence`] on iteration exhaustion.
+/// - [`NumericsError::NonFinite`] if `f` returns NaN/±Inf at an endpoint or
+///   at any interpolated point.
+/// - [`NumericsError::NotConverged`] on iteration exhaustion, carrying the
+///   best bracketing iterate.
 ///
 /// ```
 /// use shil_numerics::roots::brent;
@@ -125,6 +149,12 @@ pub fn brent<F: FnMut(f64) -> f64>(
     let mut xb = b;
     let mut fa = f(xa);
     let mut fb = f(xb);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(NumericsError::NonFinite {
+            context: "brent endpoint".into(),
+            at: vec![if fa.is_finite() { xb } else { xa }],
+        });
+    }
     if fa == 0.0 {
         return Ok(xa);
     }
@@ -172,6 +202,12 @@ pub fn brent<F: FnMut(f64) -> f64>(
             mflag = false;
         }
         let fs = f(s);
+        if !fs.is_finite() {
+            return Err(NumericsError::NonFinite {
+                context: "brent interpolated point".into(),
+                at: vec![s],
+            });
+        }
         xd = xc;
         xc = xb;
         fc = fb;
@@ -187,9 +223,10 @@ pub fn brent<F: FnMut(f64) -> f64>(
             std::mem::swap(&mut fa, &mut fb);
         }
     }
-    Err(NumericsError::NoConvergence {
+    Err(NumericsError::NotConverged {
         iterations: max_iter,
         residual: fb.abs(),
+        best_x: vec![xb],
     })
 }
 
@@ -200,8 +237,9 @@ pub fn brent<F: FnMut(f64) -> f64>(
 ///
 /// # Errors
 ///
-/// - [`NumericsError::NoConvergence`] on iteration exhaustion or when the
-///   derivative vanishes.
+/// - [`NumericsError::NonFinite`] if the residual evaluates to NaN/±Inf.
+/// - [`NumericsError::NotConverged`] on iteration exhaustion or when the
+///   derivative vanishes; carries the best iterate seen so far.
 pub fn newton<F, D>(
     mut f: F,
     mut df: D,
@@ -215,16 +253,29 @@ where
     D: FnMut(f64) -> f64,
 {
     let mut x = x0;
+    let mut best_x = x0;
+    let mut best_res = f64::INFINITY;
     for i in 0..max_iter {
         let fx = f(x);
+        if !fx.is_finite() {
+            return Err(NumericsError::NonFinite {
+                context: "newton 1-d residual".into(),
+                at: vec![x],
+            });
+        }
+        if fx.abs() < best_res {
+            best_res = fx.abs();
+            best_x = x;
+        }
         if fx.abs() < tol {
             return Ok(x);
         }
         let dfx = df(x);
         if dfx == 0.0 || !dfx.is_finite() {
-            return Err(NumericsError::NoConvergence {
+            return Err(NumericsError::NotConverged {
                 iterations: i,
-                residual: fx.abs(),
+                residual: best_res,
+                best_x: vec![best_x],
             });
         }
         let mut xn = x - fx / dfx;
@@ -236,9 +287,10 @@ where
         }
         x = xn;
     }
-    Err(NumericsError::NoConvergence {
+    Err(NumericsError::NotConverged {
         iterations: max_iter,
-        residual: f(x).abs(),
+        residual: best_res,
+        best_x: vec![best_x],
     })
 }
 
@@ -345,7 +397,63 @@ mod tests {
     #[test]
     fn newton_zero_derivative_errors() {
         let e = newton(|_| 1.0, |_| 0.0, 0.0, 1e-12, 10, None).unwrap_err();
-        assert!(matches!(e, NumericsError::NoConvergence { .. }));
+        assert!(matches!(e, NumericsError::NotConverged { .. }));
+    }
+
+    #[test]
+    fn bisect_detects_nan_midpoint() {
+        let e = bisect(
+            |x: f64| if x.abs() < 0.3 { f64::NAN } else { x },
+            -1.0,
+            1.0,
+            1e-12,
+            100,
+        )
+        .unwrap_err();
+        match e {
+            NumericsError::NonFinite { context, at } => {
+                assert!(context.contains("bisect"));
+                assert!(at[0].abs() < 0.3);
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn brent_detects_nan_endpoint() {
+        let e = brent(
+            |x: f64| if x < 0.0 { f64::NAN } else { x - 0.5 },
+            -1.0,
+            1.0,
+            1e-12,
+            100,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            NumericsError::NonFinite { ref context, ref at }
+                if context.contains("brent") && at == &vec![-1.0]
+        ));
+    }
+
+    #[test]
+    fn bisect_exhaustion_reports_midpoint_iterate() {
+        // tol = 0 can never be reached; the error must carry a point inside
+        // the original bracket.
+        let e = bisect(|x| x - 0.3, -1.0, 1.0, 0.0, 8).unwrap_err();
+        match e {
+            NumericsError::NotConverged { best_x, .. } => {
+                assert!(best_x[0] > -1.0 && best_x[0] < 1.0);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bracket_scan_tolerates_degenerate_ranges() {
+        assert!(bracket_scan(|x| x, f64::NAN, 1.0, 10).is_empty());
+        assert!(bracket_scan(|x| x, 1.0, -1.0, 10).is_empty());
+        assert!(bracket_scan(|x| x, -1.0, 1.0, 0).is_empty());
     }
 
     #[test]

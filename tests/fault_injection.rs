@@ -1,0 +1,207 @@
+//! Resilience acceptance tests: every public solver entry point must
+//! return a typed error (with populated diagnostics) or a degraded-but-
+//! finite result — never panic — when the device model injects NaN, Inf
+//! or discontinuities.
+//!
+//! The injectors come from `shil-fault`; fault decisions are a pure
+//! function of `(voltage bits, seed)`, so every trial here is reproducible
+//! from its seed alone.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use shil::circuit::analysis::{operating_point, transient, OpOptions};
+use shil::circuit::{Circuit, IvCurve, SourceWave};
+use shil::core::harmonics::HarmonicOptions;
+use shil::core::nonlinearity::NegativeTanh;
+use shil::core::shil::{ShilAnalysis, ShilOptions};
+use shil::core::tank::ParallelRlc;
+use shil_fault::{chaos_tran_options, faulty_iv, FaultSpec, FaultyNonlinearity};
+
+/// Small grids keep 1000 trials fast; the escalation ladder and degraded
+/// paths do not depend on resolution.
+fn small_opts() -> ShilOptions {
+    ShilOptions {
+        phase_points: 41,
+        amplitude_points: 31,
+        harmonics: HarmonicOptions { samples: 64 },
+        lock_range_iters: 10,
+        lock_range_scan: 8,
+        parallelism: Some(1),
+        ..Default::default()
+    }
+}
+
+fn tank() -> ParallelRlc {
+    ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("valid tank")
+}
+
+fn faulty_element(spec: FaultSpec) -> FaultyNonlinearity<NegativeTanh> {
+    FaultyNonlinearity::new(NegativeTanh::new(1e-3, 20.0), spec)
+}
+
+/// A driven circuit with a fault-injected nonlinear element.
+fn faulty_circuit(spec: FaultSpec) -> Circuit {
+    let mut ckt = Circuit::new();
+    let n1 = ckt.node("n1");
+    let n2 = ckt.node("n2");
+    ckt.vsource(n1, 0, SourceWave::sine(0.5, 1e5, 0.0));
+    ckt.resistor(n1, n2, 1e3);
+    ckt.capacitor(n2, 0, 1e-9);
+    ckt.nonlinear(n2, 0, faulty_iv(IvCurve::tanh(-1e-3, 20.0), spec));
+    ckt
+}
+
+/// Runs one entry point under fault injection and checks the outcome
+/// contract: `Ok` results must be finite (degraded or not), `Err` results
+/// must carry a non-empty diagnostic message. Panics propagate to the
+/// caller's `catch_unwind`.
+fn run_trial(entry: usize, spec: FaultSpec) {
+    let t = tank();
+    match entry {
+        // operating_point
+        0 => match operating_point(&faulty_circuit(spec), &OpOptions::default()) {
+            Ok(op) => assert!(
+                op.x.iter().all(|v| v.is_finite()),
+                "non-finite OP escaped: {:?}",
+                op.x
+            ),
+            Err(e) => assert!(!e.to_string().is_empty()),
+        },
+        // transient
+        1 => {
+            let opts = chaos_tran_options(1e-7, 2e-5);
+            match transient(&faulty_circuit(spec), &opts) {
+                Ok(res) => {
+                    for col in (0..1).flat_map(|_| res.node_voltage(2).ok()) {
+                        assert!(
+                            col.iter().all(|v| v.is_finite()),
+                            "non-finite transient sample escaped"
+                        );
+                    }
+                }
+                Err(e) => assert!(!e.to_string().is_empty()),
+            }
+        }
+        // precharacterize (runs inside ShilAnalysis::new)
+        2 => match ShilAnalysis::new(&faulty_element(spec), &t, 3, 0.03, small_opts()) {
+            Ok(an) => {
+                assert!(an.natural().amplitude.is_finite());
+            }
+            Err(e) => assert!(!e.to_string().is_empty()),
+        },
+        // solutions_at_phase
+        3 => {
+            if let Ok(an) = ShilAnalysis::new(&faulty_element(spec), &t, 3, 0.03, small_opts()) {
+                match an.solutions_at_phase(0.01) {
+                    Ok(sols) => {
+                        for s in &sols {
+                            assert!(
+                                s.amplitude.is_finite()
+                                    && s.phase.is_finite()
+                                    && s.jacobian_det.is_finite()
+                                    && s.jacobian_trace.is_finite(),
+                                "non-finite solution escaped: {s:?}"
+                            );
+                        }
+                    }
+                    Err(e) => assert!(!e.to_string().is_empty()),
+                }
+            }
+        }
+        // lock_range
+        _ => {
+            if let Ok(an) = ShilAnalysis::new(&faulty_element(spec), &t, 3, 0.03, small_opts()) {
+                match an.lock_range() {
+                    Ok(lr) => assert!(
+                        lr.phi_d_max.is_finite() && lr.injection_span_hz.is_finite(),
+                        "non-finite lock range escaped: {lr:?}"
+                    ),
+                    Err(e) => assert!(!e.to_string().is_empty()),
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance criterion: 1000 seeded trials at 1 % NaN injection,
+/// round-robin over the five public entry points, zero panics.
+#[test]
+fn no_entry_point_panics_across_1000_seeded_nan_trials() {
+    let mut failures = Vec::new();
+    for seed in 0..1000u64 {
+        let spec = FaultSpec::nan(0.01, seed);
+        let entry = (seed % 5) as usize;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_trial(entry, spec))) {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            failures.push((seed, entry, msg));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} trials panicked; first: seed {} entry {}: {}",
+        failures.len(),
+        failures[0].0,
+        failures[0].1,
+        failures[0].2
+    );
+}
+
+/// Mixed NaN/Inf/jump faults at a harsher rate must also never panic.
+#[test]
+fn mixed_fault_kinds_never_panic() {
+    for seed in 0..50u64 {
+        let spec = FaultSpec::mixed(0.03, seed);
+        for entry in 0..5 {
+            let result = catch_unwind(AssertUnwindSafe(|| run_trial(entry, spec)));
+            assert!(result.is_ok(), "panic at seed {seed}, entry {entry}");
+        }
+    }
+}
+
+/// A healthy element wrapped with a zero-rate spec must behave exactly like
+/// the unwrapped pipeline — the injector itself adds no perturbation.
+#[test]
+fn zero_rate_injection_is_transparent() {
+    let t = tank();
+    let healthy = NegativeTanh::new(1e-3, 20.0);
+    let transparent = faulty_element(FaultSpec::default());
+    let clean = ShilAnalysis::new(&healthy, &t, 3, 0.03, small_opts()).unwrap();
+    let wrapped = ShilAnalysis::new(&transparent, &t, 3, 0.03, small_opts()).unwrap();
+    let a = clean.lock_range().unwrap();
+    let b = wrapped.lock_range().unwrap();
+    assert_eq!(a.phi_d_max, b.phi_d_max);
+    assert!(!b.degraded, "zero-rate wrapper must not degrade results");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property form of the acceptance criterion: random fault rates and
+    /// seeds across all entry points, no panics anywhere.
+    #[test]
+    fn solvers_survive_random_fault_rates(
+        nan_rate in 0.0f64..0.15,
+        inf_rate in 0.0f64..0.05,
+        jump_rate in 0.0f64..0.05,
+        seed in 0u64..u64::MAX,
+        entry in 0usize..5,
+    ) {
+        let spec = FaultSpec {
+            nan_rate,
+            inf_rate,
+            jump_rate,
+            ..FaultSpec::nan(0.0, seed)
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_trial(entry, spec)));
+        prop_assert!(
+            outcome.is_ok(),
+            "panic at entry {entry}, seed {seed}, rates ({nan_rate}, {inf_rate}, {jump_rate})"
+        );
+    }
+}
