@@ -1,0 +1,96 @@
+//! Linear-solver backends and the sweep engine on the transient hot path.
+//!
+//! Complements `perf_tran` (which writes the tracked BENCH_tran.json): this
+//! is the statistically sampled view of the same configurations — dense
+//! without factorization reuse (the seed engine's per-iteration cost),
+//! dense and sparse with the bypass certificate, and a short frequency
+//! sweep serial vs parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shil::circuit::analysis::{transient, SolverKind, SweepEngine, TranOptions};
+use shil::circuit::{Circuit, NodeId};
+use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
+
+const VI: f64 = 0.03;
+
+/// Injected diff pair with an RC parasitic ladder off each collector.
+fn loaded_diff_pair(params: DiffPairParams, f_inj: f64, sections: usize) -> (Circuit, NodeId) {
+    let mut osc = DiffPairOscillator::build(params);
+    osc.set_injection(DiffPairOscillator::injection_wave(VI, f_inj, 0.0))
+        .expect("injection");
+    let mut ckt = osc.circuit;
+    for (side, start) in [("l", osc.ncl), ("r", osc.ncr)] {
+        let mut prev = start;
+        for k in 0..sections {
+            let node = ckt.node(&format!("par_{side}{k}"));
+            ckt.resistor(prev, node, 10e3);
+            ckt.capacitor(node, Circuit::GROUND, 10e-15);
+            prev = node;
+        }
+    }
+    (ckt, osc.ncl)
+}
+
+fn options(
+    params: DiffPairParams,
+    f_inj: f64,
+    kick: NodeId,
+    periods: f64,
+    solver: SolverKind,
+    reuse: bool,
+) -> TranOptions {
+    let period = 3.0 / f_inj;
+    let mut opts =
+        TranOptions::new(period / 96.0, periods * period).with_ic(kick, params.vcc + 0.05);
+    opts.solver = solver;
+    if !reuse {
+        opts.reuse_tolerance = 0.0;
+    }
+    opts
+}
+
+fn bench_tran(c: &mut Criterion) {
+    let params = DiffPairParams::calibrated(0.505).expect("calibration");
+    let f_inj = 3.0 * params.center_frequency_hz();
+    let (ckt, node) = loaded_diff_pair(params, f_inj, 60);
+
+    let mut g = c.benchmark_group("tran_solver");
+    g.sample_size(10);
+    let configs = [
+        ("dense_noreuse", SolverKind::Dense, false),
+        ("dense_reuse", SolverKind::Dense, true),
+        ("sparse_reuse", SolverKind::Sparse, true),
+    ];
+    for (name, kind, reuse) in configs {
+        let opts = options(params, f_inj, node, 10.0, kind, reuse);
+        g.bench_function(name, |b| {
+            b.iter(|| transient(black_box(&ckt), &opts).expect("transient"))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("tran_sweep");
+    g.sample_size(10);
+    let freqs: Vec<f64> = (0..8)
+        .map(|k| f_inj * (1.0 + 2e-5 * (k as f64 - 4.0)))
+        .collect();
+    let setup = |_: usize, &fi: &f64| {
+        let (ckt, node) = loaded_diff_pair(params, fi, 60);
+        (
+            ckt,
+            options(params, fi, node, 5.0, SolverKind::Sparse, true),
+        )
+    };
+    g.bench_function("serial_8pt", |b| {
+        b.iter(|| SweepEngine::serial().transient_sweep(black_box(&freqs), setup))
+    });
+    g.bench_function("parallel_8pt", |b| {
+        b.iter(|| SweepEngine::new(None).transient_sweep(black_box(&freqs), setup))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tran);
+criterion_main!(benches);

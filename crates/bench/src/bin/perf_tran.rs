@@ -1,0 +1,274 @@
+//! P02 — performance harness for the transient solver core.
+//!
+//! Two circuits: the paper's calibrated diff pair carrying its §IV
+//! injection (9 unknowns — the scale where *any* linear-solver trick is a
+//! wash because Jacobian assembly dominates), and the same oscillator
+//! loaded with an RC parasitic ladder on each tank node (129 unknowns —
+//! the post-layout scale where LU factorization is the step cost and the
+//! sparse kernel + factorization bypass pay off).
+//!
+//! For each circuit, measures per-step transient solve time for three
+//! solver configurations — dense without factorization reuse (the seed
+//! engine's behaviour), dense with the bypass certificate, sparse with the
+//! bypass certificate — asserting sparse and dense produce bit-identical
+//! waveforms, and reports the factorization / reuse split. Then times a
+//! 25-point injection-frequency sweep of the loaded oscillator: serial
+//! dense without reuse vs the parallel sparse sweep engine.
+//!
+//! Writes `results/BENCH_tran.json` for regression tracking. Pass
+//! `--quick` for a seconds-scale smoke run (same fields, shorter
+//! transients) — used by the CI bench-smoke job.
+
+use std::time::Duration;
+
+use shil::circuit::analysis::{transient, SolverKind, SweepEngine, TranOptions};
+use shil::circuit::mna::MnaStructure;
+use shil::circuit::{Circuit, NodeId, TranResult};
+use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
+use shil_bench::{header, paper, results_dir, timed};
+
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<Duration> = (0..reps).map(|_| timed(&mut f).1).collect();
+    times.sort();
+    times[reps / 2].as_secs_f64()
+}
+
+/// Builds the injected diff pair; with `ladder_sections > 0`, hangs an RC
+/// parasitic ladder (series 10 kΩ, shunt 10 fF — too light to move the
+/// tank) off each collector node, the way extracted post-layout parasitics
+/// bloat an MNA system without changing the electrical story.
+fn injected_diff_pair(
+    params: DiffPairParams,
+    f_inj: f64,
+    ladder_sections: usize,
+) -> (Circuit, NodeId) {
+    let mut osc = DiffPairOscillator::build(params);
+    osc.set_injection(DiffPairOscillator::injection_wave(paper::VI, f_inj, 0.0))
+        .expect("injection");
+    let mut ckt = osc.circuit;
+    for (side, start) in [("l", osc.ncl), ("r", osc.ncr)] {
+        let mut prev = start;
+        for k in 0..ladder_sections {
+            let node = ckt.node(&format!("par_{side}{k}"));
+            ckt.resistor(prev, node, 10e3);
+            ckt.capacitor(node, Circuit::GROUND, 10e-15);
+            prev = node;
+        }
+    }
+    (ckt, osc.ncl)
+}
+
+fn tran_options(
+    params: DiffPairParams,
+    f_inj: f64,
+    kick_node: NodeId,
+    periods: f64,
+    solver: SolverKind,
+    reuse: bool,
+) -> TranOptions {
+    let period = paper::N as f64 / f_inj;
+    let mut opts =
+        TranOptions::new(period / 96.0, periods * period).with_ic(kick_node, params.vcc + 0.05);
+    opts.solver = solver;
+    if !reuse {
+        opts.reuse_tolerance = 0.0;
+    }
+    opts
+}
+
+/// Max pointwise deviation between two runs of the same circuit.
+fn max_deviation(a: &TranResult, b: &TranResult, node: NodeId) -> f64 {
+    let (va, vb) = (a.node_voltage(node).unwrap(), b.node_voltage(node).unwrap());
+    va.iter()
+        .zip(vb)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+struct CircuitBench {
+    unknowns: usize,
+    steps: usize,
+    /// Seconds per accepted step: [dense_noreuse, dense_reuse, sparse_reuse].
+    per_step: [f64; 3],
+    factorizations: usize,
+    reuses: usize,
+    reuse_rate: f64,
+}
+
+fn bench_circuit(
+    label: &str,
+    params: DiffPairParams,
+    f_inj: f64,
+    ladder_sections: usize,
+    periods: f64,
+    reps: usize,
+) -> CircuitBench {
+    let configs = [
+        ("dense_noreuse", SolverKind::Dense, false),
+        ("dense_reuse", SolverKind::Dense, true),
+        ("sparse_reuse", SolverKind::Sparse, true),
+    ];
+    let (ckt, node) = injected_diff_pair(params, f_inj, ladder_sections);
+    let unknowns = MnaStructure::new(&ckt).size();
+    let mut runs = Vec::new();
+    let mut per_step = [0.0; 3];
+    for (slot, &(_, kind, reuse)) in configs.iter().enumerate() {
+        let opts = tran_options(params, f_inj, node, periods, kind, reuse);
+        let res = transient(&ckt, &opts).expect("transient");
+        let t = median_secs(reps, || {
+            std::hint::black_box(transient(&ckt, &opts).expect("transient"));
+        });
+        per_step[slot] = t / res.report.attempts as f64;
+        runs.push(res);
+    }
+    // Sparse and dense are bit-identical at the same reuse setting; the
+    // bypass itself is inexact-Newton (per-step residual still gated by
+    // abstol), so against the no-reuse baseline we bound the deviation.
+    assert_eq!(runs[1].time, runs[2].time, "{label}: time axes differ");
+    assert_eq!(
+        runs[1].node_voltage(node).unwrap(),
+        runs[2].node_voltage(node).unwrap(),
+        "{label}: sparse and dense waveforms differ"
+    );
+    let dev = max_deviation(&runs[0], &runs[1], node);
+    assert!(
+        dev < 0.05,
+        "{label}: reuse deviated {dev} V from the exact baseline"
+    );
+
+    let report = &runs[2].report;
+    println!(
+        "{label} ({unknowns} unknowns), {} steps, median of {reps}, per step:",
+        report.attempts
+    );
+    for (&(name, _, _), &t) in configs.iter().zip(&per_step) {
+        println!(
+            "  {name:>14}: {:>8.2} us/step  ({:.2}x vs dense_noreuse)",
+            1e6 * t,
+            per_step[0] / t
+        );
+    }
+    println!(
+        "  bypass: {} factorizations / {} reuses ({:.1}% reused)",
+        report.factorizations,
+        report.reuses,
+        1e2 * report.reuse_rate()
+    );
+    CircuitBench {
+        unknowns,
+        steps: report.attempts,
+        per_step,
+        factorizations: report.factorizations,
+        reuses: report.reuses,
+        reuse_rate: report.reuse_rate(),
+    }
+}
+
+fn json_circuit(b: &CircuitBench) -> String {
+    format!(
+        "{{\n    \"unknowns\": {},\n    \"steps\": {},\n    \"per_step_us\": {{\n      \
+         \"dense_noreuse\": {:.4},\n      \"dense_reuse\": {:.4},\n      \
+         \"sparse_reuse\": {:.4}\n    }},\n    \
+         \"speedup_sparse_reuse_vs_dense_noreuse\": {:.3},\n    \
+         \"factorizations\": {},\n    \"reuses\": {},\n    \"reuse_rate\": {:.4}\n  }}",
+        b.unknowns,
+        b.steps,
+        1e6 * b.per_step[0],
+        1e6 * b.per_step[1],
+        1e6 * b.per_step[2],
+        b.per_step[0] / b.per_step[2],
+        b.factorizations,
+        b.reuses,
+        b.reuse_rate,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    header("perf — sparse MNA kernel, factorization bypass, sweep engine");
+    let params = DiffPairParams::calibrated(paper::DIFF_PAIR_AMPLITUDE).expect("calibration");
+    let f_inj = 3.0 * params.center_frequency_hz();
+    let cores = shil::core::shil::effective_parallelism(None);
+    let (periods, sweep_periods, reps, sections) = if quick {
+        (40.0, 10.0, 3, 60)
+    } else {
+        (300.0, 120.0, 5, 60)
+    };
+
+    let paper_bench = bench_circuit("diff pair", params, f_inj, 0, periods, reps);
+    assert!(
+        paper_bench.reuse_rate > 0.5,
+        "expected most Newton iterations served by reuse, got {}",
+        paper_bench.reuse_rate
+    );
+    let loaded_bench = bench_circuit("loaded diff pair", params, f_inj, sections, periods, reps);
+
+    // --- 25-point lock sweep of the loaded oscillator ---------------------
+    // Serial dense without reuse (the seed engine one frequency at a time)
+    // vs the parallel sparse sweep engine with the bypass on.
+    let sweep: Vec<f64> = (0..25)
+        .map(|k| f_inj * (1.0 + 2e-5 * (k as f64 - 12.0)))
+        .collect();
+    // Like a real lock probe: settle, then record only the measurement
+    // window (the last fifth of the run).
+    let setup = |kind: SolverKind, reuse: bool| {
+        move |_: usize, &fi: &f64| {
+            let (ckt, node) = injected_diff_pair(params, fi, sections);
+            let opts = tran_options(params, fi, node, sweep_periods, kind, reuse);
+            let settle = 0.8 * opts.t_stop;
+            (ckt, opts.record_after(settle))
+        }
+    };
+    let (serial_sweep, t_serial) =
+        timed(|| SweepEngine::serial().transient_sweep(&sweep, setup(SolverKind::Dense, false)));
+    let (parallel_sweep, t_parallel) =
+        timed(|| SweepEngine::new(None).transient_sweep(&sweep, setup(SolverKind::Sparse, true)));
+    // Determinism gate: re-running the fast configuration serially must
+    // reproduce the parallel results bit for bit.
+    let replay = SweepEngine::serial().transient_sweep(&sweep, setup(SolverKind::Sparse, true));
+    let node = injected_diff_pair(params, f_inj, sections).1;
+    for (i, (a, b)) in replay.runs.iter().zip(&parallel_sweep.runs).enumerate() {
+        let a = a.as_ref().expect("serial replay run");
+        let b = b.as_ref().expect("parallel run");
+        assert_eq!(a.time, b.time, "sweep point {i}: time axes differ");
+        assert_eq!(
+            a.node_voltage(node).unwrap(),
+            b.node_voltage(node).unwrap(),
+            "sweep point {i}: serial and parallel waveforms differ"
+        );
+    }
+    for r in &serial_sweep.runs {
+        assert!(r.is_ok(), "serial baseline run failed");
+    }
+    let t_serial = t_serial.as_secs_f64();
+    let t_parallel = t_parallel.as_secs_f64();
+    println!(
+        "25-point lock sweep, loaded diff pair ({} unknowns), {cores} core(s):",
+        loaded_bench.unknowns
+    );
+    println!("  serial dense, no reuse : {:>9.3} ms", 1e3 * t_serial);
+    println!(
+        "  parallel sparse, reuse : {:>9.3} ms  -> {:.2}x",
+        1e3 * t_parallel,
+        t_serial / t_parallel
+    );
+    println!("    serial   aggregate: {}", serial_sweep.aggregate);
+    println!("    parallel aggregate: {}", parallel_sweep.aggregate);
+
+    let json = format!(
+        "{{\n  \"cores\": {},\n  \"quick\": {},\n  \"diff_pair\": {},\n  \
+         \"loaded_diff_pair\": {},\n  \"sweep25_points\": 25,\n  \
+         \"sweep25_serial_dense_s\": {:.6e},\n  \
+         \"sweep25_parallel_sparse_s\": {:.6e},\n  \"sweep25_speedup\": {:.3}\n}}\n",
+        cores,
+        quick,
+        json_circuit(&paper_bench),
+        json_circuit(&loaded_bench),
+        t_serial,
+        t_parallel,
+        t_serial / t_parallel,
+    );
+    let path = results_dir().join("BENCH_tran.json");
+    std::fs::write(&path, json).expect("write json");
+    println!("artifacts: results/BENCH_tran.json");
+}

@@ -3,9 +3,11 @@
 mod ac;
 mod dc;
 mod op;
+mod sweep;
 mod tran;
 
 pub use ac::{ac_impedance, AcOptions};
 pub use dc::{dc_sweep, DcSweep};
 pub use op::{operating_point, operating_point_with_guess, OpOptions, OpSolution};
-pub use tran::{transient, TranOptions};
+pub use sweep::{SweepEngine, TranSweep};
+pub use tran::{transient, SolverKind, TranOptions};

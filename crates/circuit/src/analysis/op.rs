@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use shil_numerics::linalg::Lu;
+use shil_numerics::solver::{DenseSolver, LinearSolver};
 use shil_numerics::{Matrix, NumericsError};
 
 use crate::circuit::{Circuit, DeviceId, NodeId};
@@ -100,8 +100,10 @@ pub(crate) fn newton_dc(
     let mut r = vec![0.0; n];
     let mut r_trial = vec![0.0; n];
     let mut xt = vec![0.0; n];
+    let mut dx = vec![0.0; n];
     let mut jac = Matrix::zeros(n, n);
     let mut scratch = Matrix::zeros(n, n);
+    let mut solver = DenseSolver::new(n);
 
     assemble(ckt, structure, &x, mode, gmin, &mut r, &mut jac);
     let mut rnorm = inf_norm(&r);
@@ -119,9 +121,11 @@ pub(crate) fn newton_dc(
         if rnorm < opts.abstol {
             return Ok(x);
         }
-        let lu = Lu::factorize(jac.clone())?;
-        let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
-        let dx = lu.solve(&neg_r);
+        solver.refactorize(&jac)?;
+        for (d, v) in dx.iter_mut().zip(&r) {
+            *d = -v;
+        }
+        solver.solve_in_place(&mut dx);
         // Damped line search.
         let mut lambda = 1.0;
         let mut improved = false;

@@ -1,0 +1,227 @@
+//! Parallel validation sweeps over independent transient runs.
+//!
+//! The paper's validation story (§IV) is a *sweep*: one transient per
+//! injection frequency (or per `n`, per `V_i`) with a lock / no-lock verdict
+//! extracted from each. The runs share nothing, so they fan out across the
+//! same scoped-thread pool the SHIL grid fill uses — with **deterministic
+//! result ordering**: outputs come back keyed by input index, so a sweep is
+//! bit-for-bit identical at any thread count (including 1).
+//!
+//! ```
+//! use shil_circuit::analysis::{SweepEngine, TranOptions};
+//! use shil_circuit::{Circuit, SourceWave};
+//!
+//! // Amplitude sweep of an RC settle, 4 ways in parallel.
+//! let amplitudes = [0.5, 1.0, 1.5, 2.0];
+//! let sweep = SweepEngine::new(Some(4)).transient_sweep(&amplitudes, |_, &a| {
+//!     let mut ckt = Circuit::new();
+//!     let n1 = ckt.node("in");
+//!     let n2 = ckt.node("out");
+//!     ckt.vsource(n1, Circuit::GROUND, SourceWave::Dc(a));
+//!     ckt.resistor(n1, n2, 1e3);
+//!     ckt.capacitor(n2, Circuit::GROUND, 1e-7);
+//!     (ckt, TranOptions::new(1e-5, 1e-3))
+//! });
+//! assert_eq!(sweep.runs.len(), 4);
+//! assert!(sweep.aggregate.attempts > 0);
+//! ```
+
+use shil_numerics::parallel::{effective_parallelism, ordered_map};
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::report::SolveReport;
+use crate::trace::TranResult;
+
+use super::tran::{transient, TranOptions};
+
+/// Fans independent analyses across scoped worker threads with
+/// deterministic, input-ordered results.
+///
+/// The engine is a thin policy object (just a thread count), cheap to build
+/// per sweep. Construction never spawns anything; threads live only for the
+/// duration of each call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepEngine {
+    threads: usize,
+}
+
+impl SweepEngine {
+    /// An engine with the requested worker count (`None` → one per
+    /// available core, floor of 1).
+    pub fn new(threads: Option<usize>) -> Self {
+        SweepEngine {
+            threads: effective_parallelism(threads),
+        }
+    }
+
+    /// A strictly serial engine — the reference every parallel sweep must
+    /// match bit-for-bit.
+    pub fn serial() -> Self {
+        SweepEngine { threads: 1 }
+    }
+
+    /// The worker count this engine fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Order-preserving parallel map: applies `f` to every item and returns
+    /// the outputs in input order, identical to the serial map at any
+    /// thread count.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        ordered_map(items, self.threads, f)
+    }
+
+    /// Runs one transient per item: `setup` builds the circuit and options
+    /// for item `i`, the engine runs them across the pool and aggregates
+    /// every per-run [`SolveReport`] into [`TranSweep::aggregate`].
+    ///
+    /// A run that fails keeps its error in place (at its input index)
+    /// without poisoning the others — a lock-range sweep *expects* the
+    /// unlocked edge points to behave differently from the locked middle.
+    pub fn transient_sweep<I, F>(&self, items: &[I], setup: F) -> TranSweep
+    where
+        I: Sync,
+        F: Fn(usize, &I) -> (Circuit, TranOptions) + Sync,
+    {
+        let runs = self.map(items, |i, item| {
+            let (ckt, opts) = setup(i, item);
+            transient(&ckt, &opts)
+        });
+        let mut aggregate = SolveReport::new();
+        for r in runs.iter().flatten() {
+            aggregate.absorb(&r.report);
+        }
+        TranSweep { runs, aggregate }
+    }
+}
+
+impl Default for SweepEngine {
+    /// One worker per available core.
+    fn default() -> Self {
+        Self::new(None)
+    }
+}
+
+/// The outcome of a [`SweepEngine::transient_sweep`]: per-run results in
+/// input order plus the whole-sweep effort aggregate.
+#[derive(Debug)]
+pub struct TranSweep {
+    /// One result per input item, in input order.
+    pub runs: Vec<Result<TranResult, CircuitError>>,
+    /// All successful runs' reports folded together
+    /// (see [`SolveReport::absorb`]).
+    pub aggregate: SolveReport,
+}
+
+impl TranSweep {
+    /// Number of runs that completed.
+    pub fn ok_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Unwraps every run, surfacing the first failure.
+    ///
+    /// # Errors
+    ///
+    /// The first per-run error, when any run failed.
+    pub fn into_results(self) -> Result<Vec<TranResult>, CircuitError> {
+        self.runs.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::SourceWave;
+    use crate::IvCurve;
+
+    fn oscillator_setup(freq_scale: &f64) -> (Circuit, TranOptions) {
+        let (r, l, c) = (1000.0, 10e-6, 10e-9);
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.resistor(top, 0, r);
+        ckt.inductor(top, 0, l * freq_scale);
+        ckt.capacitor(top, 0, c);
+        ckt.nonlinear(top, 0, IvCurve::tanh(-1e-3, 2.0 / (r * 1e-3)));
+        let f0 = 1.0 / (std::f64::consts::TAU * (l * freq_scale * c).sqrt());
+        let period = 1.0 / f0;
+        let opts = TranOptions::new(period / 120.0, 6.0 * period)
+            .use_ic()
+            .with_ic(top, 1e-3);
+        (ckt, opts)
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial_at_any_thread_count() {
+        let scales: Vec<f64> = (0..7).map(|k| 0.7 + 0.1 * k as f64).collect();
+        let reference = SweepEngine::serial().transient_sweep(&scales, |_, s| oscillator_setup(s));
+        for threads in [2usize, 3, 5, 16] {
+            let sweep = SweepEngine::new(Some(threads))
+                .transient_sweep(&scales, |_, s| oscillator_setup(s));
+            assert_eq!(sweep.runs.len(), reference.runs.len());
+            for (i, (a, b)) in reference.runs.iter().zip(&sweep.runs).enumerate() {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.time, b.time, "time axis, run {i}, threads {threads}");
+                assert_eq!(
+                    a.columns, b.columns,
+                    "trace data, run {i}, threads {threads}"
+                );
+            }
+            // Everything except wall time is deterministic.
+            let (a, b) = (&sweep.aggregate, &reference.aggregate);
+            assert_eq!(a.attempts, b.attempts, "attempts, threads {threads}");
+            assert_eq!(a.halvings, b.halvings, "halvings, threads {threads}");
+            assert_eq!(a.fallbacks, b.fallbacks, "fallbacks, threads {threads}");
+            assert_eq!(
+                a.factorizations, b.factorizations,
+                "factorizations, threads {threads}"
+            );
+            assert_eq!(a.reuses, b.reuses, "reuses, threads {threads}");
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_per_run_reports() {
+        let scales = [1.0f64, 1.1, 0.9];
+        let sweep = SweepEngine::serial().transient_sweep(&scales, |_, s| oscillator_setup(s));
+        assert_eq!(sweep.ok_count(), 3);
+        let sum: usize = sweep
+            .runs
+            .iter()
+            .map(|r| r.as_ref().unwrap().report.attempts)
+            .sum();
+        assert_eq!(sweep.aggregate.attempts, sum);
+        let results = sweep.into_results().unwrap();
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn failed_runs_stay_in_place_without_poisoning_the_rest() {
+        // Item 1 builds an invalid time axis; 0 and 2 are fine.
+        let items = [1.0f64, f64::NAN, 2.0];
+        let sweep = SweepEngine::new(Some(2)).transient_sweep(&items, |_, &v| {
+            let mut ckt = Circuit::new();
+            let n1 = ckt.node("n1");
+            ckt.vsource(n1, 0, SourceWave::Dc(1.0));
+            ckt.resistor(n1, 0, 1e3);
+            let mut opts = TranOptions::new(1e-6, 1e-4);
+            opts.dt *= v; // NaN for item 1
+            (ckt, opts)
+        });
+        assert!(sweep.runs[0].is_ok());
+        assert!(matches!(
+            sweep.runs[1],
+            Err(CircuitError::InvalidParameter(_))
+        ));
+        assert!(sweep.runs[2].is_ok());
+        assert_eq!(sweep.ok_count(), 2);
+        assert!(sweep.into_results().is_err());
+    }
+}

@@ -6,20 +6,56 @@
 //! trapezoidal history; steps that fail to converge are retried with
 //! recursive halving (the recorded output stays on the uniform grid).
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use shil_numerics::linalg::Lu;
+use shil_numerics::solver::{BypassSolver, DenseSolver, LinearSolver};
+use shil_numerics::sparse::{SparseMatrix, SparseSolver};
 use shil_numerics::{Matrix, NumericsError};
 
 use crate::circuit::{Circuit, NodeId};
 use crate::error::CircuitError;
 use crate::mna::{
-    assemble, update_dynamic_state, DynamicState, Integrator, MnaStructure, StampMode,
+    assemble, sparse_pattern, update_dynamic_state, DynamicState, Integrator, MnaStructure,
+    StampMode,
 };
 use crate::report::{FallbackKind, SolveReport};
 use crate::trace::TranResult;
 
 use super::op::{operating_point, OpOptions};
+
+/// Linear-solver backend for the transient Newton loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Sparse for systems with more than a few dozen unknowns, dense
+    /// otherwise. Both backends produce bit-identical solutions (they share
+    /// the same elimination kernel and pivot order), so this is purely a
+    /// performance choice.
+    #[default]
+    Auto,
+    /// Always the preallocated dense LU.
+    Dense,
+    /// Always the CSR-stamped solver with symbolic-pattern reuse.
+    Sparse,
+}
+
+impl SolverKind {
+    /// The backend actually used for an `n`-unknown system.
+    ///
+    /// The crossover is empirical (`perf_tran`): at ~10 unknowns Jacobian
+    /// assembly dominates and the CSR indirection is pure overhead, while by
+    /// ~70 unknowns the sparse kernel with compressed triangular solves is
+    /// already >2× faster per step. `32` splits that measured gap.
+    pub fn resolve(self, n: usize) -> SolverKind {
+        match self {
+            SolverKind::Auto if n > 32 => SolverKind::Sparse,
+            SolverKind::Auto => SolverKind::Dense,
+            // The sparse pattern is undefined for an empty system.
+            SolverKind::Sparse if n == 0 => SolverKind::Dense,
+            k => k,
+        }
+    }
+}
 
 /// Options for [`transient`].
 #[derive(Debug, Clone)]
@@ -52,6 +88,16 @@ pub struct TranOptions {
     /// fault-injected) circuit before the analysis gives up with the last
     /// step's diagnostics.
     pub retry_budget: usize,
+    /// Linear-solver backend ([`SolverKind::Auto`] picks sparse beyond a
+    /// handful of unknowns; the choice never changes results, only speed).
+    pub solver: SolverKind,
+    /// Relative tolerance for the factorization-bypass certificate: a
+    /// previous LU is reused for a Newton step only when the *linear*
+    /// residual against the freshly assembled Jacobian stays below
+    /// `reuse_tolerance·‖rhs‖∞` (after at most two refinement passes).
+    /// `0.0` disables reuse entirely — every iteration refactorizes, as the
+    /// pre-sparse engine did. A non-finite value also disables reuse.
+    pub reuse_tolerance: f64,
     /// Options for the initial operating-point solve.
     pub op: OpOptions,
 }
@@ -95,6 +141,8 @@ impl TranOptions {
             max_newton_iter: 80,
             max_halvings: 14,
             retry_budget: 1000,
+            solver: SolverKind::default(),
+            reuse_tolerance: BypassSolver::<DenseSolver>::DEFAULT_ETA,
             op: OpOptions::default(),
         })
     }
@@ -141,30 +189,46 @@ fn inf_norm(v: &[f64]) -> f64 {
     m
 }
 
-/// Workspace reused across all Newton solves of a transient run.
-struct Workspace {
+/// Workspace reused across all Newton solves of a transient run: every
+/// buffer the inner loop touches is allocated here **once**, so an accepted
+/// step performs zero heap allocation (the pre-sparse engine cloned the
+/// Jacobian and allocated the step vector on every Newton iteration).
+struct Workspace<S: LinearSolver> {
     r: Vec<f64>,
     r_trial: Vec<f64>,
     xt: Vec<f64>,
-    jac: Matrix,
-    scratch: Matrix,
+    /// Newton iterate for the step in flight; copied out only on success so
+    /// a failed step leaves the caller's state untouched for the retry.
+    x_new: Vec<f64>,
+    neg_r: Vec<f64>,
+    dx: Vec<f64>,
+    jac: S::Matrix,
+    jac_trial: S::Matrix,
+    solver: BypassSolver<S>,
 }
 
-impl Workspace {
-    fn new(n: usize) -> Self {
+impl<S: LinearSolver> Workspace<S> {
+    fn new(n: usize, jac: S::Matrix, jac_trial: S::Matrix, solver: BypassSolver<S>) -> Self {
         Workspace {
             r: vec![0.0; n],
             r_trial: vec![0.0; n],
             xt: vec![0.0; n],
-            jac: Matrix::zeros(n, n),
-            scratch: Matrix::zeros(n, n),
+            x_new: vec![0.0; n],
+            neg_r: vec![0.0; n],
+            dx: vec![0.0; n],
+            jac,
+            jac_trial,
+            solver,
         }
     }
 }
 
 /// One Newton solve for the step ending at `t` with history `prev`.
+///
+/// On success the converged solution is left in `ws.x_new`; on failure the
+/// caller's state is untouched (everything mutated lives in the workspace).
 #[allow(clippy::too_many_arguments)]
-fn newton_tran(
+fn newton_tran<S: LinearSolver>(
     ckt: &Circuit,
     structure: &MnaStructure,
     x0: &[f64],
@@ -173,8 +237,8 @@ fn newton_tran(
     method: Integrator,
     prev: &DynamicState,
     opts: &TranOptions,
-    ws: &mut Workspace,
-) -> Result<Vec<f64>, CircuitError> {
+    ws: &mut Workspace<S>,
+) -> Result<(), CircuitError> {
     let n = structure.size();
     let mode = StampMode::Transient {
         t,
@@ -182,8 +246,8 @@ fn newton_tran(
         method,
         prev,
     };
-    let mut x = x0.to_vec();
-    assemble(ckt, structure, &x, mode, 0.0, &mut ws.r, &mut ws.jac);
+    ws.x_new.copy_from_slice(x0);
+    assemble(ckt, structure, &ws.x_new, mode, 0.0, &mut ws.r, &mut ws.jac);
     let mut rnorm = inf_norm(&ws.r);
     // A non-finite starting residual cannot improve — the line search
     // rejects every trial against a NaN baseline — so fail fast and let the
@@ -191,22 +255,27 @@ fn newton_tran(
     if !rnorm.is_finite() {
         return Err(CircuitError::Numerics(NumericsError::NonFinite {
             context: format!("transient residual at t = {t:.6e}"),
-            at: x,
+            at: ws.x_new.clone(),
         }));
     }
 
     for _ in 0..opts.max_newton_iter {
         if rnorm < opts.abstol {
-            return Ok(x);
+            return Ok(());
         }
-        let lu = Lu::factorize(ws.jac.clone())?;
-        let neg_r: Vec<f64> = ws.r.iter().map(|v| -v).collect();
-        let dx = lu.solve(&neg_r);
+        for (d, v) in ws.neg_r.iter_mut().zip(&ws.r) {
+            *d = -v;
+        }
+        // The bypass solver reuses the previous LU whenever the refreshed
+        // Jacobian certifies against it (see `BypassSolver`); a NaN stamped
+        // anywhere in `jac` surfaces as `NonFinite` *before* any stale
+        // factorization is consulted, never as a silently wrong reuse.
+        ws.solver.solve_step(&ws.jac, &ws.neg_r, &mut ws.dx)?;
         let mut lambda = 1.0;
         let mut improved = false;
         for _ in 0..20 {
             for i in 0..n {
-                ws.xt[i] = x[i] + lambda * dx[i];
+                ws.xt[i] = ws.x_new[i] + lambda * ws.dx[i];
             }
             assemble(
                 ckt,
@@ -215,13 +284,13 @@ fn newton_tran(
                 mode,
                 0.0,
                 &mut ws.r_trial,
-                &mut ws.scratch,
+                &mut ws.jac_trial,
             );
             let tn = inf_norm(&ws.r_trial);
             if tn.is_finite() && tn < rnorm {
-                x.copy_from_slice(&ws.xt);
+                std::mem::swap(&mut ws.x_new, &mut ws.xt);
                 std::mem::swap(&mut ws.r, &mut ws.r_trial);
-                std::mem::swap(&mut ws.jac, &mut ws.scratch);
+                std::mem::swap(&mut ws.jac, &mut ws.jac_trial);
                 rnorm = tn;
                 improved = true;
                 break;
@@ -233,7 +302,7 @@ fn newton_tran(
         }
     }
     if rnorm < opts.abstol {
-        Ok(x)
+        Ok(())
     } else {
         Err(CircuitError::ConvergenceFailure {
             analysis: "tran",
@@ -249,26 +318,26 @@ fn newton_tran(
 /// spent it, the failure propagates with the diagnostics of the step that
 /// exhausted it instead of retrying indefinitely.
 #[allow(clippy::too_many_arguments)]
-fn advance(
+fn advance<S: LinearSolver>(
     ckt: &Circuit,
     structure: &MnaStructure,
-    x: &mut Vec<f64>,
+    x: &mut [f64],
     state: &mut DynamicState,
     next_state: &mut DynamicState,
     t0: f64,
     dt: f64,
     method: Integrator,
     opts: &TranOptions,
-    ws: &mut Workspace,
+    ws: &mut Workspace<S>,
     depth: usize,
     report: &mut SolveReport,
 ) -> Result<(), CircuitError> {
     report.attempts += 1;
     match newton_tran(ckt, structure, x, t0 + dt, dt, method, state, opts, ws) {
-        Ok(xn) => {
-            update_dynamic_state(ckt, structure, &xn, dt, method, state, next_state);
+        Ok(()) => {
+            update_dynamic_state(ckt, structure, &ws.x_new, dt, method, state, next_state);
             std::mem::swap(state, next_state);
-            *x = xn;
+            x.copy_from_slice(&ws.x_new);
             Ok(())
         }
         Err(e) => {
@@ -314,7 +383,8 @@ fn advance(
 ///
 /// The returned [`TranResult::report`] records solver effort: total Newton
 /// attempts, step halvings, fallbacks engaged (including those of the
-/// initial operating-point solve) and wall time.
+/// initial operating-point solve), the split of linear solves into full
+/// factorizations vs. certified reuses, and wall time.
 ///
 /// # Errors
 ///
@@ -356,6 +426,45 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Circui
     let start = Instant::now();
     let structure = MnaStructure::new(ckt);
     let n = structure.size();
+    // A non-finite reuse tolerance must fail safe: disable reuse rather
+    // than certify everything against an infinite threshold.
+    let eta = if opts.reuse_tolerance.is_finite() {
+        opts.reuse_tolerance
+    } else {
+        0.0
+    };
+    match opts.solver.resolve(n) {
+        SolverKind::Sparse => {
+            let pattern = Arc::new(sparse_pattern(ckt, &structure));
+            let ws = Workspace::new(
+                n,
+                SparseMatrix::zeros(pattern.clone()),
+                SparseMatrix::zeros(pattern.clone()),
+                BypassSolver::new(SparseSolver::new(pattern)).with_tolerance(eta),
+            );
+            transient_impl(ckt, opts, structure, ws, start)
+        }
+        _ => {
+            let ws = Workspace::new(
+                n,
+                Matrix::zeros(n, n),
+                Matrix::zeros(n, n),
+                BypassSolver::new(DenseSolver::new(n)).with_tolerance(eta),
+            );
+            transient_impl(ckt, opts, structure, ws, start)
+        }
+    }
+}
+
+/// The transient main loop, generic over the linear-solver backend.
+fn transient_impl<S: LinearSolver>(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    structure: MnaStructure,
+    mut ws: Workspace<S>,
+    start: Instant,
+) -> Result<TranResult, CircuitError> {
+    let n = structure.size();
     let mut report = SolveReport::new();
 
     // Initial state.
@@ -392,7 +501,6 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Circui
         result.push(0.0, &x);
     }
 
-    let mut ws = Workspace::new(n);
     for k in 0..steps {
         let t0 = k as f64 * opts.dt;
         // Bootstrap the trapezoidal history with one backward-Euler step.
@@ -420,6 +528,8 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Circui
             result.push(t1, &x);
         }
     }
+    report.factorizations = ws.solver.factorizations();
+    report.reuses = ws.solver.reuses();
     report.wall_time = start.elapsed();
     result.report = report;
     Ok(result)
@@ -676,6 +786,81 @@ mod tests {
             Err(CircuitError::ConvergenceFailure { .. }) | Err(CircuitError::Numerics(_)) => {}
             other => panic!("expected typed failure, got {other:?}"),
         }
+    }
+
+    /// The tanh negative-resistance LC oscillator used across the
+    /// validation suite — exercises R, L, C and the nonlinearity.
+    fn tanh_oscillator() -> (Circuit, NodeId, TranOptions) {
+        let (r, l, c) = (1000.0, 10e-6, 10e-9);
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.resistor(top, 0, r);
+        ckt.inductor(top, 0, l);
+        ckt.capacitor(top, 0, c);
+        ckt.nonlinear(top, 0, IvCurve::tanh(-1e-3, 2.0 / (r * 1e-3)));
+        let f0 = 1.0 / (std::f64::consts::TAU * (l * c).sqrt());
+        let period = 1.0 / f0;
+        let opts = TranOptions::new(period / 150.0, 8.0 * period)
+            .use_ic()
+            .with_ic(top, 1e-3);
+        (ckt, top, opts)
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_are_bit_identical() {
+        let (ckt, top, base) = tanh_oscillator();
+        let mut dense_opts = base.clone();
+        dense_opts.solver = SolverKind::Dense;
+        let mut sparse_opts = base;
+        sparse_opts.solver = SolverKind::Sparse;
+        let rd = transient(&ckt, &dense_opts).unwrap();
+        let rs = transient(&ckt, &sparse_opts).unwrap();
+        assert_eq!(rd.time, rs.time);
+        assert_eq!(
+            rd.node_voltage(top).unwrap(),
+            rs.node_voltage(top).unwrap(),
+            "sparse and dense transients diverged"
+        );
+        // Identical trajectories imply identical solver effort too.
+        assert_eq!(rd.report.attempts, rs.report.attempts);
+        assert_eq!(rd.report.factorizations, rs.report.factorizations);
+        assert_eq!(rd.report.reuses, rs.report.reuses);
+    }
+
+    #[test]
+    fn factorization_reuse_dominates_and_changes_nothing() {
+        let (ckt, top, base) = tanh_oscillator();
+        let with_reuse = transient(&ckt, &base).unwrap();
+        assert!(
+            with_reuse.report.reuses > with_reuse.report.factorizations,
+            "expected reuse to dominate: {}",
+            with_reuse.report
+        );
+
+        let mut no_reuse_opts = base;
+        no_reuse_opts.reuse_tolerance = 0.0;
+        let no_reuse = transient(&ckt, &no_reuse_opts).unwrap();
+        assert_eq!(no_reuse.report.reuses, 0);
+        assert!(no_reuse.report.factorizations > 0);
+        // Reuse is an inexact-Newton strategy: each step still converges to
+        // the same abstol, so the trajectories agree far inside the signal
+        // amplitude (the slack covers per-step phase drift accumulating over
+        // the run, not any per-step error).
+        let va = with_reuse.node_voltage(top).unwrap();
+        let vb = no_reuse.node_voltage(top).unwrap();
+        for (a, b) in va.iter().zip(vb) {
+            assert!((a - b).abs() < 0.02, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn auto_solver_resolution() {
+        assert_eq!(SolverKind::Auto.resolve(3), SolverKind::Dense);
+        assert_eq!(SolverKind::Auto.resolve(12), SolverKind::Dense);
+        assert_eq!(SolverKind::Auto.resolve(33), SolverKind::Sparse);
+        assert_eq!(SolverKind::Sparse.resolve(0), SolverKind::Dense);
+        assert_eq!(SolverKind::Dense.resolve(100), SolverKind::Dense);
+        assert_eq!(SolverKind::Sparse.resolve(2), SolverKind::Sparse);
     }
 
     #[test]

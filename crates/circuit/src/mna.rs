@@ -11,7 +11,8 @@
 //!
 //! with the Jacobian assembled analytically from device derivatives.
 
-use shil_numerics::Matrix;
+use shil_numerics::solver::Stamp;
+use shil_numerics::sparse::{PatternBuilder, SparsePattern};
 
 use crate::circuit::Circuit;
 use crate::device::{BjtPolarity, Device, MosPolarity};
@@ -146,22 +147,27 @@ pub enum StampMode<'a> {
 /// `gmin` adds a conductance from every non-ground node to ground — the
 /// classic convergence aid (0.0 disables it).
 ///
+/// Generic over the Jacobian target: a dense [`shil_numerics::Matrix`], a
+/// [`shil_numerics::sparse::SparseMatrix`] stamped over the pattern from
+/// [`sparse_pattern`], or a recording
+/// [`shil_numerics::sparse::PatternBuilder`].
+///
 /// # Panics
 ///
 /// Panics if buffer sizes disagree with `structure.size()`.
-pub fn assemble(
+pub fn assemble<J: Stamp>(
     ckt: &Circuit,
     structure: &MnaStructure,
     x: &[f64],
     mode: StampMode<'_>,
     gmin: f64,
     residual: &mut [f64],
-    jac: &mut Matrix,
+    jac: &mut J,
 ) {
     let n = structure.size();
     assert_eq!(x.len(), n, "state size mismatch");
     assert_eq!(residual.len(), n, "residual size mismatch");
-    assert_eq!(jac.rows(), n, "jacobian size mismatch");
+    assert_eq!(jac.dim(), n, "jacobian size mismatch");
 
     residual.fill(0.0);
     jac.clear();
@@ -419,7 +425,7 @@ pub fn assemble(
 }
 
 /// Stamps a conductance `g` between nodes `a` and `b` into the Jacobian.
-fn stamp_conductance(structure: &MnaStructure, jac: &mut Matrix, a: usize, b: usize, g: f64) {
+fn stamp_conductance<J: Stamp>(structure: &MnaStructure, jac: &mut J, a: usize, b: usize, g: f64) {
     let ia = structure.node_index(a);
     let ib = structure.node_index(b);
     if let Some(ra) = ia {
@@ -437,7 +443,13 @@ fn stamp_conductance(structure: &MnaStructure, jac: &mut Matrix, a: usize, b: us
 }
 
 /// Stamps `∂(v_a − v_b)/∂x` into branch row `bi`.
-fn stamp_branch_voltage(structure: &MnaStructure, jac: &mut Matrix, bi: usize, a: usize, b: usize) {
+fn stamp_branch_voltage<J: Stamp>(
+    structure: &MnaStructure,
+    jac: &mut J,
+    bi: usize,
+    a: usize,
+    b: usize,
+) {
     if let Some(ra) = structure.node_index(a) {
         jac.add_at(bi, ra, 1.0);
     }
@@ -481,10 +493,67 @@ pub fn update_dynamic_state(
     }
 }
 
+/// Computes the symbolic sparsity pattern of a circuit's MNA Jacobian.
+///
+/// The pattern is recorded by running the real [`assemble`] routine against a
+/// [`PatternBuilder`] in both DC and transient modes (their stamp sets
+/// differ: capacitors only stamp in transient, inductor branch rows gain a
+/// diagonal there), so it can never drift from the stamping code. The full
+/// diagonal is always included — gmin shunts and the LU pivot search touch
+/// it — which costs a handful of structurally-zero slots on voltage-source
+/// branch rows.
+///
+/// Compute this **once** per circuit and share it (via `Arc`) across every
+/// stamped matrix and solver.
+///
+/// # Panics
+///
+/// Panics if the circuit has no unknowns.
+pub fn sparse_pattern(ckt: &Circuit, structure: &MnaStructure) -> SparsePattern {
+    let n = structure.size();
+    assert!(n > 0, "circuit has no unknowns");
+    let mut builder = PatternBuilder::new(n);
+    let mut residual = vec![0.0; n];
+    // An off-origin probe point only steers value-dependent *orientation*
+    // choices (e.g. the MOSFET source/drain swap); the recorded position set
+    // is identical for any probe because every stamp position is symmetric
+    // under those choices.
+    let x = vec![0.01; n];
+    assemble(
+        ckt,
+        structure,
+        &x,
+        StampMode::Dc { source_scale: 1.0 },
+        1.0,
+        &mut residual,
+        &mut builder,
+    );
+    let prev = DynamicState::for_circuit(ckt);
+    assemble(
+        ckt,
+        structure,
+        &x,
+        StampMode::Transient {
+            t: 0.0,
+            dt: 1.0,
+            method: Integrator::Trapezoidal,
+            prev: &prev,
+        },
+        1.0,
+        &mut residual,
+        &mut builder,
+    );
+    for i in 0..n {
+        builder.insert(i, i);
+    }
+    builder.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::wave::SourceWave;
+    use shil_numerics::Matrix;
 
     /// Finite-difference check of the assembled Jacobian on a nonlinear
     /// circuit exercising most device kinds.
@@ -602,6 +671,66 @@ mod tests {
         assert_eq!(structure.branch_index(v.index()), Some(2));
         assert_eq!(structure.branch_index(l.index()), Some(3));
         assert_eq!(structure.branch_index(0), None); // the resistor
+    }
+
+    #[test]
+    fn sparse_pattern_covers_dense_assembly() {
+        use shil_numerics::sparse::SparseMatrix;
+        use std::sync::Arc;
+
+        // Every device kind, both modes: sparse assembly must reproduce the
+        // dense Jacobian entry-for-entry (and never panic on a missing slot).
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        let n3 = ckt.node("n3");
+        ckt.vsource(n1, 0, SourceWave::sine(2.0, 1e3, 0.0));
+        ckt.resistor(n1, n2, 1e3);
+        ckt.capacitor(n2, 0, 1e-6);
+        ckt.inductor(n2, n3, 1e-3);
+        ckt.diode(n2, 0, 1e-12, 1.0);
+        ckt.npn(n2, n3, 0, Default::default());
+        ckt.nmos(n3, n2, 0, Default::default());
+        ckt.nonlinear(n2, n3, crate::IvCurve::tanh(-1e-3, 10.0));
+        ckt.isource(n1, n3, SourceWave::Dc(1e-4));
+
+        let structure = MnaStructure::new(&ckt);
+        let n = structure.size();
+        let pattern = Arc::new(sparse_pattern(&ckt, &structure));
+        let x: Vec<f64> = (0..n).map(|i| 0.2 - 0.07 * i as f64).collect();
+        let mut prev = DynamicState::for_circuit(&ckt);
+        prev.cap_v.fill(0.1);
+        prev.ind_i.fill(1e-3);
+
+        let modes = [
+            StampMode::Dc { source_scale: 0.7 },
+            StampMode::Transient {
+                t: 2e-4,
+                dt: 1e-6,
+                method: Integrator::Trapezoidal,
+                prev: &prev,
+            },
+            StampMode::Transient {
+                t: 2e-4,
+                dt: 1e-6,
+                method: Integrator::BackwardEuler,
+                prev: &prev,
+            },
+        ];
+        for mode in modes {
+            let mut rd = vec![0.0; n];
+            let mut rs = vec![0.0; n];
+            let mut dense = Matrix::zeros(n, n);
+            let mut sparse = SparseMatrix::zeros(pattern.clone());
+            assemble(&ckt, &structure, &x, mode, 1e-9, &mut rd, &mut dense);
+            assemble(&ckt, &structure, &x, mode, 1e-9, &mut rs, &mut sparse);
+            assert_eq!(rd, rs);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(dense[(i, j)], sparse.get(i, j), "entry ({i}, {j})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct SolveReport {
     pub halvings: usize,
     /// Each distinct fallback strategy that was engaged, in order.
     pub fallbacks: Vec<FallbackKind>,
+    /// Newton iterations that paid a full LU refactorization (transient
+    /// only; 0 for DC).
+    pub factorizations: usize,
+    /// Newton iterations served by reusing a previous factorization, with
+    /// the iterative-refinement certificate passing (transient only).
+    pub reuses: usize,
     /// Wall-clock time of the whole analysis.
     pub wall_time: Duration,
 }
@@ -72,6 +78,35 @@ impl SolveReport {
             self.fallbacks.push(kind);
         }
     }
+
+    /// Fraction of linear solves served by factorization reuse, in `[0, 1]`
+    /// (0.0 when no solves were counted).
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.factorizations + self.reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / total as f64
+        }
+    }
+
+    /// Folds another report into this one: counters add, fallback
+    /// strategies union (preserving first-seen order), wall times sum.
+    ///
+    /// Used by sweep drivers to aggregate per-run reports into one
+    /// whole-sweep view.
+    pub fn absorb(&mut self, other: &SolveReport) {
+        self.attempts += other.attempts;
+        self.halvings += other.halvings;
+        self.factorizations += other.factorizations;
+        self.reuses += other.reuses;
+        self.wall_time += other.wall_time;
+        for &k in &other.fallbacks {
+            if !self.fallbacks.contains(&k) {
+                self.fallbacks.push(k);
+            }
+        }
+    }
 }
 
 impl fmt::Display for SolveReport {
@@ -89,6 +124,16 @@ impl fmt::Display for SolveReport {
                 ", {} halving{}",
                 self.halvings,
                 if self.halvings == 1 { "" } else { "s" }
+            )?;
+        }
+        if self.factorizations + self.reuses > 0 {
+            write!(
+                f,
+                ", {} factorization{} / {} reuse{}",
+                self.factorizations,
+                if self.factorizations == 1 { "" } else { "s" },
+                self.reuses,
+                if self.reuses == 1 { "" } else { "s" }
             )?;
         }
         if self.fallbacks.is_empty() {
@@ -120,6 +165,49 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("1 attempt"), "{s}");
         assert!(s.contains("no fallbacks"), "{s}");
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_unions_fallbacks() {
+        let mut total = SolveReport {
+            attempts: 3,
+            halvings: 1,
+            fallbacks: vec![FallbackKind::StepHalving],
+            factorizations: 10,
+            reuses: 5,
+            wall_time: Duration::from_millis(20),
+        };
+        let other = SolveReport {
+            attempts: 2,
+            halvings: 0,
+            fallbacks: vec![FallbackKind::StepHalving, FallbackKind::GminStepping],
+            factorizations: 4,
+            reuses: 12,
+            wall_time: Duration::from_millis(5),
+        };
+        total.absorb(&other);
+        assert_eq!(total.attempts, 5);
+        assert_eq!(total.halvings, 1);
+        assert_eq!(total.factorizations, 14);
+        assert_eq!(total.reuses, 17);
+        assert_eq!(total.wall_time, Duration::from_millis(25));
+        assert_eq!(
+            total.fallbacks,
+            vec![FallbackKind::StepHalving, FallbackKind::GminStepping]
+        );
+        assert!((total.reuse_rate() - 17.0 / 31.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reuse_rate_handles_zero_counts() {
+        assert_eq!(SolveReport::new().reuse_rate(), 0.0);
+        let s = SolveReport {
+            factorizations: 1,
+            reuses: 3,
+            ..Default::default()
+        }
+        .to_string();
+        assert!(s.contains("1 factorization / 3 reuses"), "{s}");
     }
 
     #[test]

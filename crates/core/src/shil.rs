@@ -89,14 +89,12 @@ impl Default for ShilOptions {
 
 /// Resolves a [`ShilOptions::parallelism`] request to a concrete thread
 /// count (`None` → available cores, floor of 1).
+///
+/// Delegates to [`shil_numerics::parallel::effective_parallelism`] so the
+/// grid fill and the circuit-level sweep engine share one policy;
+/// re-exported here to keep the historical path alive.
 pub fn effective_parallelism(requested: Option<usize>) -> usize {
-    requested
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .max(1)
+    shil_numerics::parallel::effective_parallelism(requested)
 }
 
 /// Digest of the options that influence a natural-oscillation solve.

@@ -85,7 +85,7 @@ pub fn ifft_in_place(x: &mut [Complex64]) -> Result<(), NumericsError> {
 ///
 /// Returns coefficients for `k = 0..=max_k`. For a real signal,
 /// `c_{−k} = conj(c_k)`, so the non-negative half suffices. This is the FFT
-/// counterpart of [`crate::quad::fourier_coefficient`] and is exact (to
+/// counterpart of [`crate::quad::buffer_coefficient`] and is exact (to
 /// rounding) whenever the signal is band-limited below the Nyquist index.
 ///
 /// # Errors

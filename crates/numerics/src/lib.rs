@@ -21,6 +21,13 @@
 //! - [`interp`] — linear and PCHIP (monotone cubic) interpolation.
 //! - [`grid`] — rectangular 2-D sampled scalar fields.
 //! - [`contour`] — marching-squares level sets and polyline intersection.
+//! - [`solver`] — the [`solver::LinearSolver`] abstraction: preallocated
+//!   dense LU and a factorization-bypass wrapper with iterative-refinement
+//!   certification.
+//! - [`sparse`] — CSR matrices with symbolic-analysis reuse
+//!   ([`sparse::SparsePattern`]) and a fill-reducing ordering.
+//! - [`parallel`] — deterministic scoped-thread fan-out
+//!   ([`parallel::ordered_map`]).
 //!
 //! # Example
 //!
@@ -43,8 +50,11 @@ pub mod grid;
 pub mod interp;
 pub mod linalg;
 pub mod newton;
+pub mod parallel;
 pub mod quad;
 pub mod roots;
+pub mod solver;
+pub mod sparse;
 
 mod error;
 

@@ -193,10 +193,16 @@ impl<T: Scalar> Dense<T> {
         y
     }
 
-    /// Factorizes a square matrix in place as `P·A = L·U` and solves `A·x = b`.
+    /// Solves `A·x = b` by Gaussian elimination with partial pivoting on an
+    /// augmented working copy.
     ///
-    /// Consumes a copy of the matrix; use [`Lu::factorize`] to reuse a
-    /// factorization across multiple right-hand sides.
+    /// The elimination runs on a flat copy of the entries with the
+    /// right-hand side carried along, so only the value buffer and the
+    /// solution vector are allocated — `self` is never cloned as a matrix
+    /// and no permutation vector is materialized. For repeated solves
+    /// against the same matrix use [`Lu::factorize`]; for repeated solves
+    /// against the same *structure* use [`crate::solver::DenseSolver`] or
+    /// [`crate::sparse::SparseSolver`].
     ///
     /// # Errors
     ///
@@ -207,8 +213,57 @@ impl<T: Scalar> Dense<T> {
     ///
     /// Panics if the matrix is not square or `b.len() != self.rows()`.
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumericsError> {
-        let lu = Lu::factorize(self.clone())?;
-        Ok(lu.solve(b))
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        let n = self.rows;
+        assert_eq!(b.len(), n, "dimension mismatch in solve");
+        let mut w: Vec<T> = self.data.clone();
+        let mut x: Vec<T> = b.to_vec();
+        for k in 0..n {
+            // Partial pivoting: pick the largest-magnitude entry in column k.
+            let mut pivot_row = k;
+            let mut pivot_mag = w[k * n + k].modulus();
+            for i in (k + 1)..n {
+                let mag = w[i * n + k].modulus();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            // `partial_cmp` keeps the NaN-rejecting behaviour of `!(a > b)`.
+            if pivot_mag.partial_cmp(&1e-300) != Some(std::cmp::Ordering::Greater) {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    w.swap(k * n + j, pivot_row * n + j);
+                }
+                x.swap(k, pivot_row);
+            }
+            let pivot = w[k * n + k];
+            for i in (k + 1)..n {
+                let m = w[i * n + k] / pivot;
+                w[i * n + k] = m;
+                for j in (k + 1)..n {
+                    let wkj = w[k * n + j];
+                    w[i * n + j] = w[i * n + j] - m * wkj;
+                }
+                // Forward substitution fused into the elimination: x[k] is
+                // final by the time column k is processed, and each x[i]
+                // receives its updates in the same increasing-k order the
+                // deferred substitution would use, so results are identical.
+                let xk = x[k];
+                x[i] = x[i] - m * xk;
+            }
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            let row = &w[i * n..(i + 1) * n];
+            for (u, xj) in row[i + 1..].iter().zip(&x[i + 1..]) {
+                acc = acc - *u * *xj;
+            }
+            x[i] = acc / w[i * n + i];
+        }
+        Ok(x)
     }
 }
 

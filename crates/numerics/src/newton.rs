@@ -12,7 +12,8 @@
 //! perfectly adequate for consumer (1).
 
 use crate::error::NumericsError;
-use crate::linalg::{Lu, Matrix};
+use crate::linalg::Matrix;
+use crate::solver::{DenseSolver, LinearSolver};
 
 /// Options controlling [`newton_system`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,6 +115,8 @@ where
     let mut r_trial = vec![0.0; n];
     let mut xp = vec![0.0; n];
     let mut jac = Matrix::zeros(n, n);
+    let mut dx = vec![0.0; n];
+    let mut solver = DenseSolver::new(n);
 
     f(&x, &mut r);
     let mut rnorm = inf_norm(&r);
@@ -149,9 +152,11 @@ where
                 jac[(i, j)] = d;
             }
         }
-        let lu = Lu::factorize(jac.clone())?;
-        let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
-        let dx = lu.solve(&neg_r);
+        solver.refactorize(&jac)?;
+        for (d, v) in dx.iter_mut().zip(&r) {
+            *d = -v;
+        }
+        solver.solve_in_place(&mut dx);
         let step_norm = inf_norm(&dx);
         if !step_norm.is_finite() {
             return Err(NumericsError::NonFinite {
@@ -249,6 +254,8 @@ where
     let mut xp = vec![0.0; n];
     let mut jac = Matrix::zeros(n, n);
     let mut jac_trial = Matrix::zeros(n, n);
+    let mut dx = vec![0.0; n];
+    let mut solver = DenseSolver::new(n);
 
     f(&x, &mut r, &mut jac);
     let mut rnorm = inf_norm(&r);
@@ -271,9 +278,11 @@ where
                 at: x,
             });
         }
-        let lu = Lu::factorize(jac.clone())?;
-        let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
-        let dx = lu.solve(&neg_r);
+        solver.refactorize(&jac)?;
+        for (d, v) in dx.iter_mut().zip(&r) {
+            *d = -v;
+        }
+        solver.solve_in_place(&mut dx);
         let step_norm = inf_norm(&dx);
         if !step_norm.is_finite() {
             return Err(NumericsError::NonFinite {

@@ -1,0 +1,123 @@
+//! Deterministic scoped-thread fan-out.
+//!
+//! The workspace parallelizes *embarrassingly independent* work — grid-fill
+//! rows in the SHIL pre-characterization, whole transient runs in a
+//! validation sweep — and never reduces across threads, so results are
+//! **bit-for-bit identical at any thread count**. This module centralizes
+//! the two pieces every such fan-out needs: resolving a requested
+//! parallelism to a concrete worker count, and an order-preserving parallel
+//! map over a slice.
+//!
+//! `std::thread::scope` is used instead of an external thread-pool crate
+//! because the build environment is offline (see the workspace manifest).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a parallelism request to a concrete thread count
+/// (`None` → available cores, floor of 1).
+pub fn effective_parallelism(requested: Option<usize>) -> usize {
+    requested
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Applies `f` to every item of `items` across up to `threads` scoped
+/// workers, returning outputs **in input order**.
+///
+/// Work is handed out through an atomic counter (dynamic load balancing:
+/// an expensive item does not stall the queue behind it), but each output
+/// is keyed by its input index, so the returned vector is identical to the
+/// serial `items.iter().enumerate().map(f).collect()` at any thread count.
+///
+/// `f` runs exactly once per item; panics in a worker propagate.
+pub fn ordered_map<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    // Reassemble in input order.
+    let mut out: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    for bucket in &mut buckets {
+        for (i, v) in bucket.drain(..) {
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_parallelism_floors_at_one() {
+        assert_eq!(effective_parallelism(Some(0)), 1);
+        assert_eq!(effective_parallelism(Some(3)), 3);
+        assert!(effective_parallelism(None) >= 1);
+    }
+
+    #[test]
+    fn ordered_map_preserves_order_at_any_thread_count() {
+        let items: Vec<f64> = (0..57).map(|k| k as f64 * 0.37).collect();
+        let serial = ordered_map(&items, 1, |i, x| (i, x.sin() * x.cos()));
+        for threads in [2, 3, 4, 7, 16] {
+            let parallel = ordered_map(&items, threads, |i, x| (i, x.sin() * x.cos()));
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn ordered_map_handles_empty_and_single() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(ordered_map(&empty, 4, |_, x| *x).is_empty());
+        assert_eq!(ordered_map(&[42], 4, |_, x| *x), vec![42]);
+    }
+
+    #[test]
+    fn ordered_map_runs_each_item_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = ordered_map(&items, 5, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x * 2
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -165,7 +165,7 @@ pub fn periodic_mean_checked<F: FnMut(f64) -> f64>(
 /// Building the table costs `(max_k+1)·samples` sine/cosine evaluations
 /// *once*; afterwards each [`coefficient`](Self::coefficient) call is a pair
 /// of dot products with no transcendental functions at all. Re-evaluating
-/// the integrand per harmonic (the old [`fourier_coefficient`] path) pays
+/// the integrand per harmonic (the removed scalar `fourier_coefficient`) pays
 /// those transcendentals on every call, which dominated the SHIL grid fill.
 ///
 /// ```
@@ -230,7 +230,7 @@ impl TwiddleTable {
 
     /// `c_k = (1/n) Σ_i f_i e^{−jkθ_i}` from a pre-sampled buffer — the
     /// periodic-trapezoid Fourier coefficient, identical in value to
-    /// [`fourier_coefficient`] on the same samples.
+    /// [`buffer_coefficient`] on the same samples.
     ///
     /// # Panics
     ///
@@ -321,36 +321,6 @@ pub fn buffer_coefficient(samples: &[f64], k: i32) -> Complex64 {
     Complex64::new(re / n as f64, im / n as f64)
 }
 
-/// `k`-th complex Fourier coefficient of a real 2π-periodic function:
-/// `c_k = (1/2π) ∫₀^{2π} f(θ) e^{−jkθ} dθ`, by the periodic trapezoid rule.
-///
-/// This is exactly the `I_k` of eq. (1) in the paper when `f` is the current
-/// waveform of the nonlinearity sampled over one period.
-///
-/// # Panics
-///
-/// Panics if `n == 0`.
-///
-/// ```
-/// use shil_numerics::quad::fourier_coefficient;
-///
-/// // f(θ) = cos θ has c₁ = 1/2.
-/// # #[allow(deprecated)]
-/// let c1 = fourier_coefficient(|t: f64| t.cos(), 1, 256);
-/// assert!((c1.re - 0.5).abs() < 1e-12);
-/// assert!(c1.im.abs() < 1e-12);
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "re-evaluates the integrand per harmonic; use `sample_periodic` \
-            once plus `TwiddleTable::coefficient` per harmonic instead"
-)]
-pub fn fourier_coefficient<F: FnMut(f64) -> f64>(f: F, k: i32, n: usize) -> Complex64 {
-    let mut buf = Vec::new();
-    sample_periodic(f, n, &mut buf);
-    buffer_coefficient(&buf, k)
-}
-
 /// Composite trapezoid integral of uniformly sampled data with spacing `dt`.
 ///
 /// # Panics
@@ -363,7 +333,6 @@ pub fn trapezoid_samples(samples: &[f64], dt: f64) -> f64 {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // fourier_coefficient stays covered until removal
 mod tests {
     use super::*;
     use std::f64::consts::{PI, TAU};
@@ -377,7 +346,7 @@ mod tests {
         sample_periodic(f, n, &mut buf);
         for k in 0..=4usize {
             let batched = table.coefficient(&buf, k);
-            let direct = fourier_coefficient(f, k as i32, n);
+            let direct = buffer_coefficient(&buf, k as i32);
             assert!(
                 (batched - direct).abs() < 1e-15,
                 "k={k}: batched {batched:?} vs direct {direct:?}"
@@ -476,20 +445,22 @@ mod tests {
     #[test]
     fn fourier_coefficient_of_pure_harmonics() {
         // f = 2cos(3θ) + sin(θ): c₃ = 1, c₁ = −j/2, c₂ = 0.
-        let f = |t: f64| 2.0 * (3.0 * t).cos() + t.sin();
-        let c3 = fourier_coefficient(f, 3, 128);
+        let mut buf = Vec::new();
+        sample_periodic(|t: f64| 2.0 * (3.0 * t).cos() + t.sin(), 128, &mut buf);
+        let c3 = buffer_coefficient(&buf, 3);
         assert!((c3.re - 1.0).abs() < 1e-12 && c3.im.abs() < 1e-12);
-        let c1 = fourier_coefficient(f, 1, 128);
+        let c1 = buffer_coefficient(&buf, 1);
         assert!(c1.re.abs() < 1e-12 && (c1.im + 0.5).abs() < 1e-12);
-        let c2 = fourier_coefficient(f, 2, 128);
+        let c2 = buffer_coefficient(&buf, 2);
         assert!(c2.abs() < 1e-12);
     }
 
     #[test]
     fn fourier_negative_index_is_conjugate_for_real_signal() {
-        let f = |t: f64| (t.cos() * 2.0).tanh();
-        let c1 = fourier_coefficient(f, 1, 512);
-        let cm1 = fourier_coefficient(f, -1, 512);
+        let mut buf = Vec::new();
+        sample_periodic(|t: f64| (t.cos() * 2.0).tanh(), 512, &mut buf);
+        let c1 = buffer_coefficient(&buf, 1);
+        let cm1 = buffer_coefficient(&buf, -1);
         assert!((c1.conj() - cm1).abs() < 1e-13);
     }
 
@@ -497,7 +468,9 @@ mod tests {
     fn clipped_cosine_fundamental_matches_theory() {
         // Hard limiter sgn(cos θ): fundamental cosine amplitude is 4/π,
         // so c₁ = 2/π. This is the saturated-oscillator describing function.
-        let c1 = fourier_coefficient(|t: f64| t.cos().signum(), 1, 4096);
+        let mut buf = Vec::new();
+        sample_periodic(|t: f64| t.cos().signum(), 4096, &mut buf);
+        let c1 = buffer_coefficient(&buf, 1);
         assert!((c1.re - 2.0 / PI).abs() < 5e-3);
         // The discontinuity sampling leaves O(1/N) asymmetry in the
         // imaginary part.

@@ -1,0 +1,767 @@
+//! Sparse MNA matrices with symbolic-analysis reuse.
+//!
+//! MNA Jacobians are structurally fixed for the lifetime of a circuit: the
+//! set of nonzero positions is determined by the netlist, only the *values*
+//! change per Newton iteration. This module splits those concerns:
+//!
+//! - [`SparsePattern`] — the symbolic analysis, computed **once** per
+//!   circuit: a CSR position index plus slot lookup. Building it is the
+//!   only allocation in the whole sparse pipeline.
+//! - [`PatternBuilder`] — a recording [`Stamp`] target: run the ordinary
+//!   assembly routine against it once and every stamped position is
+//!   captured, so the pattern can never drift from the stamping code.
+//! - [`SparseMatrix`] — CSR values over a shared pattern; clearing and
+//!   re-stamping touch `O(nnz)` memory instead of `O(n²)`.
+//! - [`SparseSolver`] — numeric refactorization into preallocated working
+//!   storage. Elimination mirrors the dense partial-pivot kernel exactly
+//!   while skipping exact-zero multiplier updates, so in natural ordering
+//!   its results agree with the dense path under `==` (pivot order is
+//!   identical; see [`factorize_dense_in_place`]). A Markowitz-style
+//!   min-degree ordering ([`min_degree_order`]) is available opt-in via
+//!   [`SparseSolver::with_min_degree`] for larger systems, at the cost of a
+//!   different (but equally valid) pivot sequence.
+
+use std::sync::Arc;
+
+use crate::error::NumericsError;
+use crate::solver::{factorize_dense_in_place, reject_non_finite, LinearSolver, Stamp};
+
+/// The symbolic structure of a sparse square matrix: which `(row, col)`
+/// positions can ever hold a value. Computed once, shared (via [`Arc`])
+/// between every [`SparseMatrix`] stamped for the same circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsePattern {
+    n: usize,
+    /// CSR row pointers, length `n + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row, length `nnz`.
+    col_idx: Vec<usize>,
+}
+
+impl SparsePattern {
+    /// Builds a pattern from explicit positions (duplicates are merged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or any index is out of range.
+    pub fn from_entries(n: usize, entries: &[(usize, usize)]) -> Self {
+        assert!(n > 0, "pattern dimension must be non-zero");
+        let mut sorted: Vec<(usize, usize)> = entries.to_vec();
+        for &(i, j) in &sorted {
+            assert!(i < n && j < n, "entry ({i}, {j}) out of range for n = {n}");
+        }
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        for &(i, j) in &sorted {
+            row_ptr[i + 1] += 1;
+            col_idx.push(j);
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        SparsePattern {
+            n,
+            row_ptr,
+            col_idx,
+        }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural nonzero positions.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Structural fill ratio `nnz / n²`.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.n * self.n) as f64
+    }
+
+    /// The storage slot of position `(i, j)`, if it is structural.
+    #[inline]
+    pub fn slot(&self, i: usize, j: usize) -> Option<usize> {
+        let row = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
+        // MNA rows hold a handful of entries; a linear scan beats binary
+        // search there (no branch mispredictions), which matters because
+        // every stamp of every Newton iteration lands here.
+        if row.len() <= 16 {
+            row.iter()
+                .position(|&c| c == j)
+                .map(|k| self.row_ptr[i] + k)
+        } else {
+            row.binary_search(&j).ok().map(|k| self.row_ptr[i] + k)
+        }
+    }
+
+    /// Iterates the structural positions of row `i` as `(col, slot)`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let start = self.row_ptr[i];
+        self.col_idx[start..self.row_ptr[i + 1]]
+            .iter()
+            .enumerate()
+            .map(move |(k, &j)| (j, start + k))
+    }
+}
+
+/// A [`Stamp`] implementation that records positions instead of values.
+///
+/// Run the normal assembly routine against a `PatternBuilder` once and the
+/// resulting [`SparsePattern`] is guaranteed to cover every position that
+/// assembly can ever write — the symbolic analysis is derived *from* the
+/// stamping code, not duplicated beside it.
+#[derive(Debug, Clone)]
+pub struct PatternBuilder {
+    n: usize,
+    entries: Vec<(usize, usize)>,
+}
+
+impl PatternBuilder {
+    /// A recorder for an `n × n` system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "pattern dimension must be non-zero");
+        PatternBuilder {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records a position directly (used e.g. to force the diagonal).
+    pub fn insert(&mut self, i: usize, j: usize) {
+        assert!(i < self.n && j < self.n, "entry ({i}, {j}) out of range");
+        self.entries.push((i, j));
+    }
+
+    /// Finalizes the recorded positions into a pattern.
+    pub fn build(&self) -> SparsePattern {
+        SparsePattern::from_entries(self.n, &self.entries)
+    }
+}
+
+impl Stamp for PatternBuilder {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn clear(&mut self) {
+        // Recording is cumulative across assembly passes: a transient-mode
+        // pass must not erase positions a DC-mode pass discovered.
+    }
+
+    fn add_at(&mut self, i: usize, j: usize, _v: f64) {
+        self.insert(i, j);
+    }
+
+    fn mul_vec_into(&self, _x: &[f64], y: &mut [f64]) {
+        // A recorder holds no values; the product of the implied all-zero
+        // matrix keeps this total rather than panicking.
+        y.fill(0.0);
+    }
+
+    fn find_non_finite(&self) -> Option<(usize, usize, f64)> {
+        None
+    }
+}
+
+/// CSR values over a shared [`SparsePattern`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use shil_numerics::sparse::{SparseMatrix, SparsePattern};
+/// use shil_numerics::solver::Stamp;
+///
+/// let pattern = Arc::new(SparsePattern::from_entries(
+///     2,
+///     &[(0, 0), (0, 1), (1, 1)],
+/// ));
+/// let mut a = SparseMatrix::zeros(pattern);
+/// a.add_at(0, 0, 2.0);
+/// a.add_at(0, 1, 1.0);
+/// a.add_at(1, 1, 3.0);
+/// let mut y = [0.0; 2];
+/// a.mul_vec_into(&[1.0, 1.0], &mut y);
+/// assert_eq!(y, [3.0, 3.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    pattern: Arc<SparsePattern>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// An all-zero matrix over `pattern`.
+    pub fn zeros(pattern: Arc<SparsePattern>) -> Self {
+        let nnz = pattern.nnz();
+        SparseMatrix {
+            pattern,
+            values: vec![0.0; nnz],
+        }
+    }
+
+    /// The shared symbolic structure.
+    pub fn pattern(&self) -> &Arc<SparsePattern> {
+        &self.pattern
+    }
+
+    /// The stored value at `(i, j)` (0.0 for non-structural positions).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.pattern.slot(i, j).map_or(0.0, |s| self.values[s])
+    }
+
+    /// Raw slot values in CSR order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Stamp for SparseMatrix {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.pattern.n
+    }
+
+    fn clear(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    #[inline]
+    fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        match self.pattern.slot(i, j) {
+            Some(s) => self.values[s] += v,
+            None => panic!("position ({i}, {j}) is not in the sparse pattern"),
+        }
+    }
+
+    fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.pattern.n;
+        assert_eq!(x.len(), n, "dimension mismatch in mul_vec_into");
+        assert_eq!(y.len(), n, "dimension mismatch in mul_vec_into");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.pattern.row_ptr[i]..self.pattern.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.pattern.col_idx[k]];
+            }
+            *yi = acc;
+        }
+    }
+
+    fn find_non_finite(&self) -> Option<(usize, usize, f64)> {
+        for i in 0..self.pattern.n {
+            for k in self.pattern.row_ptr[i]..self.pattern.row_ptr[i + 1] {
+                let v = self.values[k];
+                if !v.is_finite() {
+                    return Some((i, self.pattern.col_idx[k], v));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Greedy minimum-degree elimination ordering (AMD-lite / Markowitz for
+/// symmetric structure): repeatedly eliminate the vertex of smallest degree
+/// in the symmetrized adjacency graph, adding clique fill between its
+/// neighbours. Ties break toward the smallest index, so the ordering is
+/// deterministic.
+///
+/// Returns `order` with `order[k]` = the original index eliminated `k`-th.
+pub fn min_degree_order(pattern: &SparsePattern) -> Vec<usize> {
+    use std::collections::BTreeSet;
+    let n = pattern.dim();
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for i in 0..n {
+        for (j, _) in pattern.row(i) {
+            if i != j {
+                adj[i].insert(j);
+                adj[j].insert(i);
+            }
+        }
+    }
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&i| !eliminated[i])
+            .min_by_key(|&i| (adj[i].len(), i))
+            .expect("vertices remain");
+        let neighbours: Vec<usize> = adj[v].iter().copied().collect();
+        for &a in &neighbours {
+            adj[a].remove(&v);
+        }
+        for (ai, &a) in neighbours.iter().enumerate() {
+            for &b in &neighbours[ai + 1..] {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+        eliminated[v] = true;
+        adj[v].clear();
+        order.push(v);
+    }
+    order
+}
+
+/// Sparse-aware LU with symbolic reuse: the [`LinearSolver`] for MNA-sized
+/// systems.
+///
+/// Numeric refactorization scatters the CSR values into a preallocated
+/// working buffer and runs the shared partial-pivot elimination with
+/// exact-zero multiplier skipping — zero heap allocation per refactorize.
+/// In the default natural ordering the pivot sequence is identical to the
+/// dense solver's, so sparse and dense paths agree under `==`; with
+/// [`with_min_degree`](Self::with_min_degree) the system is symmetrically
+/// permuted to reduce fill before elimination (results then agree to
+/// rounding, not bitwise).
+#[derive(Debug, Clone)]
+pub struct SparseSolver {
+    pattern: Arc<SparsePattern>,
+    /// Dense row-major working buffer for the factor (fill-in lands here
+    /// without any symbolic bookkeeping; at MNA sizes the `O(n²)` storage
+    /// is a few kilobytes).
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    scratch: Vec<f64>,
+    /// Optional fill-reducing ordering: `(order, inverse)` with
+    /// `inverse[order[k]] = k`.
+    ordering: Option<(Vec<usize>, Vec<usize>)>,
+    /// Second scratch used only by the ordered solve path.
+    scratch2: Vec<f64>,
+    /// Nonzero entries of the factored buffer, rebuilt after each
+    /// factorization so the hot solves never touch the `O(n²)` buffer.
+    compressed: CompressedLu,
+    factorized: bool,
+}
+
+/// The nonzero L/U entries of a factored dense buffer, in exactly the
+/// order the dense substitution kernel visits them.
+///
+/// [`solve_factored_in_place`] already *arithmetically* skips zero factor
+/// entries, but it still streams the whole `n × n` buffer through the
+/// cache on every solve — which is the dominant per-iteration cost once
+/// the factorization itself is being bypassed. Enumerating just the
+/// nonzeros (same entries, same order) makes the triangular solves
+/// `O(nnz(LU))` in both arithmetic *and* memory traffic while staying
+/// bitwise identical to the dense kernel.
+#[derive(Debug, Clone)]
+struct CompressedLu {
+    /// Row start offsets into `l_idx`/`l_val`; length `n + 1`.
+    l_ptr: Vec<usize>,
+    l_idx: Vec<u32>,
+    l_val: Vec<f64>,
+    /// Row start offsets into `u_idx`/`u_val`; length `n + 1`.
+    u_ptr: Vec<usize>,
+    u_idx: Vec<u32>,
+    u_val: Vec<f64>,
+    /// `diag[i]` = `U[i][i]`.
+    diag: Vec<f64>,
+}
+
+impl CompressedLu {
+    fn with_dim(n: usize) -> Self {
+        CompressedLu {
+            l_ptr: vec![0; n + 1],
+            l_idx: Vec::new(),
+            l_val: Vec::new(),
+            u_ptr: vec![0; n + 1],
+            u_idx: Vec::new(),
+            u_val: Vec::new(),
+            diag: vec![0.0; n],
+        }
+    }
+
+    /// Harvests the nonzeros of a freshly factored buffer. The index/value
+    /// vectors keep their capacity across refactorizations, so this stops
+    /// allocating once the fill level stabilizes.
+    fn load(&mut self, lu: &[f64], n: usize) {
+        self.l_idx.clear();
+        self.l_val.clear();
+        self.u_idx.clear();
+        self.u_val.clear();
+        for i in 0..n {
+            self.l_ptr[i] = self.l_idx.len();
+            self.u_ptr[i] = self.u_idx.len();
+            let row = &lu[i * n..(i + 1) * n];
+            for (j, &v) in row[..i].iter().enumerate() {
+                if v != 0.0 {
+                    self.l_idx.push(j as u32);
+                    self.l_val.push(v);
+                }
+            }
+            self.diag[i] = row[i];
+            for (j, &v) in row[i + 1..].iter().enumerate() {
+                if v != 0.0 {
+                    self.u_idx.push((i + 1 + j) as u32);
+                    self.u_val.push(v);
+                }
+            }
+        }
+        self.l_ptr[n] = self.l_idx.len();
+        self.u_ptr[n] = self.u_idx.len();
+    }
+
+    /// Permute-forward-back substitution, mirroring
+    /// [`solve_factored_in_place`] operation for operation (the dense
+    /// kernel skips its zero entries, so the sums here accumulate the
+    /// identical terms in the identical order).
+    fn solve(&self, n: usize, perm: &[usize], scratch: &mut [f64], x: &mut [f64]) {
+        scratch.copy_from_slice(x);
+        for i in 0..n {
+            x[i] = scratch[perm[i]];
+        }
+        for i in 1..n {
+            let mut acc = x[i];
+            for (idx, v) in self.l_idx[self.l_ptr[i]..self.l_ptr[i + 1]]
+                .iter()
+                .zip(&self.l_val[self.l_ptr[i]..self.l_ptr[i + 1]])
+            {
+                acc -= *v * x[*idx as usize];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (idx, v) in self.u_idx[self.u_ptr[i]..self.u_ptr[i + 1]]
+                .iter()
+                .zip(&self.u_val[self.u_ptr[i]..self.u_ptr[i + 1]])
+            {
+                acc -= *v * x[*idx as usize];
+            }
+            x[i] = acc / self.diag[i];
+        }
+    }
+}
+
+impl SparseSolver {
+    /// A solver over `pattern` in natural ordering (bit-compatible with the
+    /// dense path).
+    pub fn new(pattern: Arc<SparsePattern>) -> Self {
+        let n = pattern.dim();
+        SparseSolver {
+            pattern,
+            lu: vec![0.0; n * n],
+            perm: (0..n).collect(),
+            scratch: vec![0.0; n],
+            ordering: None,
+            scratch2: vec![0.0; n],
+            compressed: CompressedLu::with_dim(n),
+            factorized: false,
+        }
+    }
+
+    /// A solver over `pattern` with the [`min_degree_order`] fill-reducing
+    /// permutation applied symmetrically before elimination.
+    pub fn with_min_degree(pattern: Arc<SparsePattern>) -> Self {
+        let order = min_degree_order(&pattern);
+        let mut inverse = vec![0usize; order.len()];
+        for (k, &v) in order.iter().enumerate() {
+            inverse[v] = k;
+        }
+        let mut solver = Self::new(pattern);
+        solver.ordering = Some((order, inverse));
+        solver
+    }
+
+    /// The fill-reducing ordering in use, if any.
+    pub fn ordering(&self) -> Option<&[usize]> {
+        self.ordering.as_ref().map(|(o, _)| o.as_slice())
+    }
+}
+
+impl LinearSolver for SparseSolver {
+    type Matrix = SparseMatrix;
+
+    fn dim(&self) -> usize {
+        self.pattern.dim()
+    }
+
+    fn refactorize(&mut self, a: &SparseMatrix) -> Result<(), NumericsError> {
+        let n = self.pattern.dim();
+        assert_eq!(a.dim(), n, "matrix dimension mismatch");
+        debug_assert!(
+            Arc::ptr_eq(&self.pattern, a.pattern()) || *a.pattern().as_ref() == *self.pattern,
+            "matrix stamped over a different pattern"
+        );
+        self.factorized = false;
+        // O(nnz) scan, not O(n²): the poisoned-stamp contract costs only
+        // the structural positions.
+        reject_non_finite(a, "sparse jacobian")?;
+        self.lu.fill(0.0);
+        match &self.ordering {
+            None => {
+                for i in 0..n {
+                    for (j, s) in self.pattern.row(i) {
+                        self.lu[i * n + j] = a.values()[s];
+                    }
+                }
+            }
+            Some((_, inverse)) => {
+                for i in 0..n {
+                    for (j, s) in self.pattern.row(i) {
+                        self.lu[inverse[i] * n + inverse[j]] = a.values()[s];
+                    }
+                }
+            }
+        }
+        factorize_dense_in_place(&mut self.lu, n, &mut self.perm)?;
+        self.compressed.load(&self.lu, n);
+        self.factorized = true;
+        Ok(())
+    }
+
+    fn solve_in_place(&mut self, x: &mut [f64]) {
+        assert!(self.factorized, "solve_in_place before refactorize");
+        let n = self.pattern.dim();
+        assert_eq!(x.len(), n, "rhs length mismatch");
+        match &self.ordering {
+            None => {
+                self.compressed.solve(n, &self.perm, &mut self.scratch, x);
+            }
+            Some((order, inverse)) => {
+                // Solve (P A Pᵀ)·z = P·b, then x = Pᵀ·z.
+                for i in 0..n {
+                    self.scratch2[inverse[i]] = x[i];
+                }
+                self.compressed
+                    .solve(n, &self.perm, &mut self.scratch, &mut self.scratch2);
+                for (k, &v) in order.iter().enumerate() {
+                    x[v] = self.scratch2[k];
+                }
+            }
+        }
+    }
+
+    fn is_factorized(&self) -> bool {
+        self.factorized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::{Lu, Matrix};
+    use crate::solver::DenseSolver;
+
+    /// An MNA-shaped test pattern: tridiagonal "conductance" block plus a
+    /// voltage-source-like branch row/column with a structurally zero
+    /// diagonal (forces pivoting, like real MNA).
+    fn mna_like_pattern(n: usize) -> SparsePattern {
+        let mut entries = Vec::new();
+        for i in 0..n - 1 {
+            entries.push((i, i));
+            if i + 1 < n - 1 {
+                entries.push((i, i + 1));
+                entries.push((i + 1, i));
+            }
+        }
+        // Branch row couples to node 0.
+        entries.push((n - 1, 0));
+        entries.push((0, n - 1));
+        SparsePattern::from_entries(n, &entries)
+    }
+
+    fn fill_pair(pattern: &Arc<SparsePattern>, seed: u64) -> (SparseMatrix, Matrix) {
+        let n = pattern.dim();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut sparse = SparseMatrix::zeros(pattern.clone());
+        let mut dense = Matrix::zeros(n, n);
+        for i in 0..n {
+            for (j, _) in pattern.row(i) {
+                let v = if i == j && i < n - 1 {
+                    next() + 3.0
+                } else {
+                    next()
+                };
+                sparse.add_at(i, j, v);
+                dense.add_at(i, j, v);
+            }
+        }
+        (sparse, dense)
+    }
+
+    #[test]
+    fn pattern_slots_are_sorted_and_queryable() {
+        let p = SparsePattern::from_entries(3, &[(2, 0), (0, 0), (0, 2), (1, 1), (0, 0)]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.nnz(), 4); // duplicate (0,0) merged
+        assert!(p.slot(0, 0).is_some());
+        assert!(p.slot(0, 1).is_none());
+        let row0: Vec<usize> = p.row(0).map(|(j, _)| j).collect();
+        assert_eq!(row0, vec![0, 2]);
+        assert!((p.density() - 4.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stamping_accumulates_and_clears() {
+        let p = Arc::new(SparsePattern::from_entries(2, &[(0, 0), (1, 0)]));
+        let mut m = SparseMatrix::zeros(p);
+        m.add_at(0, 0, 1.5);
+        m.add_at(0, 0, 2.5);
+        m.add_at(1, 0, -1.0);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the sparse pattern")]
+    fn stamping_outside_pattern_panics() {
+        let p = Arc::new(SparsePattern::from_entries(2, &[(0, 0)]));
+        let mut m = SparseMatrix::zeros(p);
+        m.add_at(1, 1, 1.0);
+    }
+
+    #[test]
+    fn sparse_solver_matches_dense_solver_bitwise() {
+        for n in [3usize, 5, 8, 12] {
+            let pattern = Arc::new(mna_like_pattern(n));
+            for seed in 0..10u64 {
+                let (sparse, dense) = fill_pair(&pattern, seed * 31 + n as u64);
+                let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) as f64 * 0.13).sin()).collect();
+
+                let mut ds = DenseSolver::new(n);
+                let mut ss = SparseSolver::new(pattern.clone());
+                match (ds.refactorize(&dense), ss.refactorize(&sparse)) {
+                    (Ok(()), Ok(())) => {
+                        let mut xd = b.clone();
+                        let mut xs = b.clone();
+                        ds.solve_in_place(&mut xd);
+                        ss.solve_in_place(&mut xs);
+                        assert_eq!(xd, xs, "n = {n}, seed = {seed}");
+                    }
+                    (Err(ed), Err(es)) => {
+                        assert_eq!(
+                            format!("{ed}"),
+                            format!("{es}"),
+                            "divergent failure, n = {n}, seed = {seed}"
+                        );
+                    }
+                    (d, s) => panic!("one path failed, the other not: {d:?} vs {s:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_solver_matches_legacy_lu_bitwise() {
+        let pattern = Arc::new(mna_like_pattern(7));
+        let (sparse, dense) = fill_pair(&pattern, 42);
+        let b = vec![1.0, -0.5, 0.25, 2.0, -1.5, 0.75, 0.1];
+        let reference = Lu::factorize(dense).unwrap().solve(&b);
+        let mut ss = SparseSolver::new(pattern);
+        ss.refactorize(&sparse).unwrap();
+        let mut x = b;
+        ss.solve_in_place(&mut x);
+        assert_eq!(x, reference);
+    }
+
+    #[test]
+    fn singular_sparse_matrix_is_rejected_like_dense() {
+        // A structurally present but numerically zero row.
+        let pattern = Arc::new(SparsePattern::from_entries(
+            3,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)],
+        ));
+        let mut m = SparseMatrix::zeros(pattern.clone());
+        m.add_at(0, 0, 1.0);
+        m.add_at(0, 1, 2.0);
+        m.add_at(1, 0, 2.0);
+        m.add_at(1, 1, 4.0); // row 1 = 2 × row 0
+        m.add_at(2, 2, 1.0);
+        let mut s = SparseSolver::new(pattern);
+        assert!(matches!(
+            s.refactorize(&m),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+        assert!(!s.is_factorized());
+    }
+
+    #[test]
+    fn non_finite_stamp_is_rejected_with_position() {
+        let pattern = Arc::new(mna_like_pattern(4));
+        let mut m = SparseMatrix::zeros(pattern.clone());
+        m.add_at(1, 2, f64::NAN);
+        let mut s = SparseSolver::new(pattern);
+        match s.refactorize(&m) {
+            Err(NumericsError::NonFinite { context, .. }) => {
+                assert!(context.contains("(1, 2)"), "{context}");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_degree_order_is_a_permutation() {
+        let pattern = mna_like_pattern(9);
+        let order = min_degree_order(&pattern);
+        let mut seen = [false; 9];
+        for &v in &order {
+            assert!(!seen[v], "duplicate vertex {v}");
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn min_degree_solver_is_accurate() {
+        let pattern = Arc::new(mna_like_pattern(10));
+        let order_len = min_degree_order(&pattern).len();
+        assert_eq!(order_len, 10);
+        let (sparse, dense) = fill_pair(&pattern, 77);
+        let b: Vec<f64> = (0..10).map(|i| (i as f64 - 4.5) * 0.3).collect();
+        let mut s = SparseSolver::with_min_degree(pattern);
+        assert!(s.ordering().is_some());
+        s.refactorize(&sparse).unwrap();
+        let mut x = b.clone();
+        s.solve_in_place(&mut x);
+        // Different pivot sequence ⇒ compare by residual, not bitwise.
+        let r = dense.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10, "{ri} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn pattern_builder_records_assembly_positions() {
+        let mut pb = PatternBuilder::new(3);
+        pb.add_at(0, 0, 1.0);
+        pb.add_at(0, 1, -1.0);
+        pb.add_at(2, 2, 0.0); // zero-valued stamps still record structure
+        pb.clear(); // must NOT erase recorded positions
+        pb.add_at(1, 1, 5.0);
+        let p = pb.build();
+        assert_eq!(p.nnz(), 4);
+        assert!(p.slot(0, 1).is_some());
+        assert!(p.slot(2, 2).is_some());
+        assert!(p.slot(1, 0).is_none());
+    }
+
+    #[test]
+    fn sparse_mul_vec_matches_dense() {
+        let pattern = Arc::new(mna_like_pattern(6));
+        let (sparse, dense) = fill_pair(&pattern, 5);
+        let x: Vec<f64> = (0..6).map(|i| 0.5 - 0.2 * i as f64).collect();
+        let mut ys = vec![0.0; 6];
+        sparse.mul_vec_into(&x, &mut ys);
+        let yd = dense.mul_vec(&x);
+        assert_eq!(ys, yd);
+    }
+}

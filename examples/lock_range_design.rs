@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example lock_range_design`
 
+use shil::circuit::analysis::SweepEngine;
 use shil::core::nonlinearity::NegativeTanh;
 use shil::core::oscillator::Oscillator;
 use shil::core::tank::{ParallelRlc, Tank};
@@ -22,13 +23,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         osc.tank().q()
     );
 
+    // Every point of a design sweep is an independent analysis, so fan
+    // them out across the validation-sweep engine (deterministic,
+    // input-ordered results at any thread count).
+    let engine = SweepEngine::default();
+    println!("sweeping on {} thread(s)", engine.threads());
+
     // Sweep injection strength at n = 3 (divider-by-3 sizing curve).
     println!("\nlock range vs injection strength (n = 3):");
     println!("  V_i (mV) | span (kHz) | span/V_i (kHz/V)");
     let vis = [0.005, 0.01, 0.02, 0.04, 0.08];
     let mut spans = Vec::new();
-    for &vi in &vis {
-        match osc.shil_lock_range(3, vi) {
+    for (&vi, lr) in vis
+        .iter()
+        .zip(engine.map(&vis, |_, &vi| osc.shil_lock_range(3, vi)))
+    {
+        match lr {
             Ok(lr) => {
                 println!(
                     "  {:>8} | {:>10.3} | {:>8.1}",
@@ -45,8 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sweep sub-harmonic order at fixed injection.
     println!("\nlock range vs sub-harmonic order (V_i = 30 mV):");
     println!("  n | injection near (MHz) | span (kHz)");
-    for n in [1u32, 2, 3, 4, 5] {
-        match osc.shil_lock_range(n, 0.03) {
+    let orders = [1u32, 2, 3, 4, 5];
+    for (&n, lr) in orders
+        .iter()
+        .zip(engine.map(&orders, |_, &n| osc.shil_lock_range(n, 0.03)))
+    {
+        match lr {
             Ok(lr) => println!(
                 "  {n} | {:>19.3} | {:>9.4}",
                 n as f64 * fc / 1e6,

@@ -8,8 +8,8 @@
 //! describing-function prediction — which is exactly the speedup the
 //! benchmark harness measures.
 
-use shil_circuit::analysis::{transient, TranOptions};
-use shil_circuit::{Circuit, CircuitError, NodeId};
+use shil_circuit::analysis::{transient, SweepEngine, TranOptions};
+use shil_circuit::{Circuit, CircuitError, NodeId, SolveReport};
 use shil_waveform::lock::{is_subharmonic_locked, LockOptions};
 use shil_waveform::measure::{estimate_frequency, peak_amplitude};
 use shil_waveform::{Sampled, WaveformError};
@@ -182,6 +182,79 @@ pub fn probe_lock(
     let (time, values) = settled_trace(circuit, a, b, f_osc, opts, ic)?;
     let s = Sampled::from_time_series(&time, &values)?;
     Ok(is_subharmonic_locked(&s, f_injection, n, &opts.lock)?)
+}
+
+/// Verdicts from a parallel lock sweep: one lock/no-lock answer per probed
+/// injection frequency, plus the aggregated transient solver effort.
+#[derive(Debug, Clone)]
+pub struct LockSweep {
+    /// The injection frequencies probed, in input order.
+    pub frequencies_hz: Vec<f64>,
+    /// `locked[i]` is the verdict at `frequencies_hz[i]`.
+    pub locked: Vec<bool>,
+    /// All per-run transient reports folded together.
+    pub report: SolveReport,
+}
+
+impl LockSweep {
+    /// Number of probed frequencies that locked.
+    pub fn locked_count(&self) -> usize {
+        self.locked.iter().filter(|&&l| l).count()
+    }
+}
+
+/// Probes lock at every frequency of a grid, fanning the transient runs
+/// across `parallelism` threads (`None` → available cores) with
+/// deterministic, input-ordered verdicts.
+///
+/// `build(f)` must construct the circuit already carrying its injection
+/// waveform at frequency `f` — each worker gets its own circuit, so the
+/// closure only needs `Sync` captures. This is the paper's §III-C
+/// brute-force validation scan as a single fan-out instead of a serial
+/// binary search: all probes are independent, so wall clock scales with
+/// the slowest run rather than the sum.
+///
+/// # Errors
+///
+/// Propagates the first simulation or measurement failure (all runs are
+/// still executed; verdicts before the failure are discarded).
+#[allow(clippy::too_many_arguments)]
+pub fn probe_lock_sweep<F>(
+    build: F,
+    a: NodeId,
+    b: NodeId,
+    frequencies: &[f64],
+    n: u32,
+    opts: &SimOptions,
+    ic: &[(NodeId, f64)],
+    parallelism: Option<usize>,
+) -> Result<LockSweep, SimError>
+where
+    F: Fn(f64) -> Circuit + Sync,
+{
+    let sweep = SweepEngine::new(parallelism).transient_sweep(frequencies, |_, &f_inj| {
+        let period = n as f64 / f_inj;
+        let dt = period / opts.steps_per_period as f64;
+        let t_stop = opts.total_periods() * period;
+        let t_record = opts.settle_periods * period;
+        let mut tran = TranOptions::new(dt, t_stop).record_after(t_record);
+        for &(node, v) in ic {
+            tran = tran.with_ic(node, v);
+        }
+        (build(f_inj), tran)
+    });
+    let report = sweep.aggregate.clone();
+    let mut locked = Vec::with_capacity(frequencies.len());
+    for (res, &f_inj) in sweep.runs.into_iter().zip(frequencies) {
+        let trace = res?.voltage_between(a, b)?;
+        let s = Sampled::from_time_series(&trace.time, &trace.values)?;
+        locked.push(is_subharmonic_locked(&s, f_inj, n, &opts.lock)?);
+    }
+    Ok(LockSweep {
+        frequencies_hz: frequencies.to_vec(),
+        locked,
+        report,
+    })
 }
 
 /// The simulated lock range found by expanding + bisecting on each side of

@@ -11,7 +11,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use proptest::prelude::*;
 
-use shil::circuit::analysis::{operating_point, transient, OpOptions};
+use shil::circuit::analysis::{operating_point, transient, OpOptions, SolverKind};
 use shil::circuit::{Circuit, IvCurve, SourceWave};
 use shil::core::harmonics::HarmonicOptions;
 use shil::core::nonlinearity::NegativeTanh;
@@ -111,7 +111,7 @@ fn run_trial(entry: usize, spec: FaultSpec) {
             }
         }
         // lock_range
-        _ => {
+        4 => {
             if let Ok(an) = ShilAnalysis::new(&faulty_element(spec), &t, 3, 0.03, small_opts()) {
                 match an.lock_range() {
                     Ok(lr) => assert!(
@@ -122,17 +122,47 @@ fn run_trial(entry: usize, spec: FaultSpec) {
                 }
             }
         }
+        // transient over the sparse kernel / factorization bypass: the new
+        // solver paths must honor exactly the same contract as the dense
+        // no-reuse engine — a fault is a typed error or a finite result,
+        // never a panic and never a poisoned sample served by a stale LU.
+        _ => {
+            let (kind, reuse) = match entry {
+                5 => (SolverKind::Sparse, true),
+                6 => (SolverKind::Sparse, false),
+                _ => (SolverKind::Dense, true),
+            };
+            let mut opts = chaos_tran_options(1e-7, 2e-5);
+            opts.solver = kind;
+            if !reuse {
+                opts.reuse_tolerance = 0.0;
+            }
+            match transient(&faulty_circuit(spec), &opts) {
+                Ok(res) => {
+                    for col in (0..1).flat_map(|_| res.node_voltage(2).ok()) {
+                        assert!(
+                            col.iter().all(|v| v.is_finite()),
+                            "non-finite sample escaped the {kind:?}/reuse={reuse} path"
+                        );
+                    }
+                }
+                Err(e) => assert!(!e.to_string().is_empty()),
+            }
+        }
     }
 }
 
+const ENTRY_POINTS: usize = 8;
+
 /// The acceptance criterion: 1000 seeded trials at 1 % NaN injection,
-/// round-robin over the five public entry points, zero panics.
+/// round-robin over the eight entry points (five public solvers plus the
+/// sparse/bypass transient configurations), zero panics.
 #[test]
 fn no_entry_point_panics_across_1000_seeded_nan_trials() {
     let mut failures = Vec::new();
     for seed in 0..1000u64 {
         let spec = FaultSpec::nan(0.01, seed);
-        let entry = (seed % 5) as usize;
+        let entry = (seed as usize) % ENTRY_POINTS;
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_trial(entry, spec))) {
             let msg = payload
                 .downcast_ref::<String>()
@@ -157,7 +187,7 @@ fn no_entry_point_panics_across_1000_seeded_nan_trials() {
 fn mixed_fault_kinds_never_panic() {
     for seed in 0..50u64 {
         let spec = FaultSpec::mixed(0.03, seed);
-        for entry in 0..5 {
+        for entry in 0..ENTRY_POINTS {
             let result = catch_unwind(AssertUnwindSafe(|| run_trial(entry, spec)));
             assert!(result.is_ok(), "panic at seed {seed}, entry {entry}");
         }
@@ -179,6 +209,86 @@ fn zero_rate_injection_is_transparent() {
     assert!(!b.degraded, "zero-rate wrapper must not degrade results");
 }
 
+/// The factorization bypass must never let a poisoned Jacobian ride on a
+/// stale LU: after a healthy solve establishes a reusable factorization,
+/// stamping NaN (or Inf) into the matrix must surface as a typed
+/// `NonFinite` from the very next `solve_step` — on both backends.
+#[test]
+fn poisoned_jacobian_is_never_served_by_a_stale_factorization() {
+    use shil::numerics::solver::{BypassSolver, DenseSolver, Stamp, StepKind};
+    use shil::numerics::sparse::{PatternBuilder, SparseMatrix, SparseSolver};
+    use shil::numerics::{Matrix, NumericsError};
+
+    let n = 3;
+    let stamp_good = |m: &mut dyn Stamp| {
+        m.clear();
+        for i in 0..n {
+            m.add_at(i, i, 4.0);
+            if i + 1 < n {
+                m.add_at(i, i + 1, -1.0);
+                m.add_at(i + 1, i, -1.0);
+            }
+        }
+    };
+
+    let mut builder = PatternBuilder::new(n);
+    for i in 0..n {
+        builder.insert(i, i);
+        if i + 1 < n {
+            builder.insert(i, i + 1);
+            builder.insert(i + 1, i);
+        }
+    }
+    let pattern = std::sync::Arc::new(builder.build());
+
+    let mut dense_a = Matrix::zeros(n, n);
+    let mut sparse_a = SparseMatrix::zeros(pattern.clone());
+    let mut dense = BypassSolver::new(DenseSolver::new(n));
+    let mut sparse = BypassSolver::new(SparseSolver::new(pattern));
+    let rhs = [1.0, -2.0, 0.5];
+
+    for poison in [f64::NAN, f64::INFINITY] {
+        stamp_good(&mut dense_a);
+        stamp_good(&mut sparse_a);
+        let mut dx = [0.0; 3];
+        // Establish healthy factorizations, then confirm the next identical
+        // step is served by reuse — the stale LU is live.
+        dense.solve_step(&dense_a, &rhs, &mut dx).expect("healthy");
+        sparse
+            .solve_step(&sparse_a, &rhs, &mut dx)
+            .expect("healthy");
+        assert_eq!(
+            dense.solve_step(&dense_a, &rhs, &mut dx).expect("healthy"),
+            StepKind::Reused
+        );
+        assert_eq!(
+            sparse
+                .solve_step(&sparse_a, &rhs, &mut dx)
+                .expect("healthy"),
+            StepKind::Reused
+        );
+
+        dense_a.add_at(1, 2, poison);
+        sparse_a.add_at(1, 2, poison);
+        let reuses_before = (dense.reuses(), sparse.reuses());
+        let ed = dense.solve_step(&dense_a, &rhs, &mut dx);
+        let es = sparse.solve_step(&sparse_a, &rhs, &mut dx);
+        assert!(
+            matches!(ed, Err(NumericsError::NonFinite { .. })),
+            "dense served a poisoned ({poison}) system: {ed:?}"
+        );
+        assert!(
+            matches!(es, Err(NumericsError::NonFinite { .. })),
+            "sparse served a poisoned ({poison}) system: {es:?}"
+        );
+        assert_eq!(
+            (dense.reuses(), sparse.reuses()),
+            reuses_before,
+            "a poisoned step must not count as a reuse"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -190,7 +300,7 @@ proptest! {
         inf_rate in 0.0f64..0.05,
         jump_rate in 0.0f64..0.05,
         seed in 0u64..u64::MAX,
-        entry in 0usize..5,
+        entry in 0usize..8,
     ) {
         let spec = FaultSpec {
             nan_rate,

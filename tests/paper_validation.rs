@@ -9,7 +9,9 @@ use shil::core::describing::{natural_oscillation, NaturalOptions};
 use shil::core::shil::{ShilAnalysis, ShilOptions};
 use shil::core::tank::Tank;
 use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
-use shil::repro::simlock::{measure_natural, probe_lock, simulated_lock_range, SimOptions};
+use shil::repro::simlock::{
+    measure_natural, probe_lock, probe_lock_sweep, simulated_lock_range, SimOptions,
+};
 use shil::repro::tunnel_diode::TunnelDiodeParams;
 
 const N: u32 = 3;
@@ -166,6 +168,84 @@ fn diff_pair_lock_range_prediction_agrees_with_simulation() {
     assert!(
         (sim.upper_injection_hz - lock.upper_injection_hz).abs() / lock.upper_injection_hz < 2e-3
     );
+}
+
+/// The §III-C validation scan as a parallel fan-out: probe a frequency
+/// grid bracketing the predicted lock range in one sweep and check the
+/// verdict pattern (unlocked – locked – unlocked) lands where the
+/// graphical prediction says it should.
+#[test]
+fn diff_pair_parallel_lock_sweep_brackets_the_predicted_range() {
+    let params = DiffPairParams::calibrated(0.505).expect("calibration");
+    let f = params.extract_iv_curve().expect("extraction");
+    let tank = params.tank().expect("tank");
+    let lock = ShilAnalysis::new(&f, &tank, N, VI, ShilOptions::default())
+        .expect("analysis")
+        .lock_range()
+        .expect("lock range");
+    let center = 0.5 * (lock.lower_injection_hz + lock.upper_injection_hz);
+    let half = 0.5 * lock.injection_span_hz;
+
+    // Two points clearly outside, three clearly inside the prediction
+    // (edges are excluded: simulation and prediction disagree by up to
+    // 0.2 % there, which is the existing binary-search test's business).
+    let freqs = [
+        center - 3.0 * half,
+        center - 0.5 * half,
+        center,
+        center + 0.5 * half,
+        center + 3.0 * half,
+    ];
+    let opts = SimOptions::default();
+    let sweep = probe_lock_sweep(
+        |f_inj| {
+            let mut o = DiffPairOscillator::build(params);
+            o.set_injection(DiffPairOscillator::injection_wave(VI, f_inj, 0.0))
+                .expect("injection");
+            o.circuit
+        },
+        // Node ids are stable across builds of the same params.
+        DiffPairOscillator::build(params).ncl,
+        DiffPairOscillator::build(params).ncr,
+        &freqs,
+        N,
+        &opts,
+        &[(DiffPairOscillator::build(params).ncl, params.vcc + 0.05)],
+        None,
+    )
+    .expect("lock sweep");
+
+    assert_eq!(sweep.locked, vec![false, true, true, true, false]);
+    assert_eq!(sweep.locked_count(), 3);
+    // The production transient path runs with factorization reuse on; a
+    // diff-pair run should serve most Newton iterations from stale LUs.
+    assert!(
+        sweep.report.reuse_rate() > 0.5,
+        "reuse rate {} from {}",
+        sweep.report.reuse_rate(),
+        sweep.report
+    );
+
+    // Determinism: a serial pass returns the identical verdict vector.
+    let serial = probe_lock_sweep(
+        |f_inj| {
+            let mut o = DiffPairOscillator::build(params);
+            o.set_injection(DiffPairOscillator::injection_wave(VI, f_inj, 0.0))
+                .expect("injection");
+            o.circuit
+        },
+        DiffPairOscillator::build(params).ncl,
+        DiffPairOscillator::build(params).ncr,
+        &freqs,
+        N,
+        &opts,
+        &[(DiffPairOscillator::build(params).ncl, params.vcc + 0.05)],
+        Some(1),
+    )
+    .expect("serial sweep");
+    assert_eq!(serial.locked, sweep.locked);
+    assert_eq!(serial.report.attempts, sweep.report.attempts);
+    assert_eq!(serial.report.reuses, sweep.report.reuses);
 }
 
 /// Fig. 14/18: "A (and φ) decreases with increasing |ω_c − ω_i| till a

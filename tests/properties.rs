@@ -117,3 +117,149 @@ proptest! {
         prop_assert!(shifted.current(0.0).abs() < 1e-16);
     }
 }
+
+// --- Linear-solver backends ---------------------------------------------
+
+use shil::numerics::solver::{DenseSolver, LinearSolver, Stamp};
+use shil::numerics::sparse::{PatternBuilder, SparseMatrix, SparseSolver};
+use shil::numerics::{Matrix, NumericsError};
+
+/// Stamps a random MNA-shaped system — symmetric two-terminal conductance
+/// stamps over `n` nodes plus a leak on every diagonal, exactly the
+/// structure the circuit layer produces — into both backends' matrix types.
+fn stamp_mna_system(
+    n: usize,
+    elements: &[(usize, usize, f64)],
+    leak: f64,
+) -> (Matrix, SparseMatrix) {
+    let mut builder = PatternBuilder::new(n);
+    for k in 0..n {
+        builder.insert(k, k);
+    }
+    for &(i, j, _) in elements {
+        let (i, j) = (i % n, j % n);
+        builder.insert(i, j);
+        builder.insert(j, i);
+    }
+    let mut dense = Matrix::zeros(n, n);
+    let mut sparse = SparseMatrix::zeros(std::sync::Arc::new(builder.build()));
+    for m in [&mut dense as &mut dyn Stamp, &mut sparse as &mut dyn Stamp] {
+        for k in 0..n {
+            m.add_at(k, k, leak);
+        }
+        for &(i, j, g) in elements {
+            let (i, j) = (i % n, j % n);
+            m.add_at(i, i, g);
+            m.add_at(j, j, g);
+            if i != j {
+                m.add_at(i, j, -g);
+                m.add_at(j, i, -g);
+            }
+        }
+    }
+    (dense, sparse)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sparse and dense LU agree *bitwise* on any MNA-shaped system: the
+    /// sparse solver scatters into the same kernel with the same pivot
+    /// order, so the backend choice may never change a single ulp.
+    #[test]
+    fn sparse_and_dense_lu_agree_bitwise(
+        n in 2usize..14,
+        elements in prop::collection::vec(
+            (0usize..14, 0usize..14, 0.05f64..20.0), 1..24),
+        leak in 1e-4f64..1.0,
+        rhs_seed in prop::collection::vec(-2.0f64..2.0, 14),
+    ) {
+        let (dense, sparse) = stamp_mna_system(n, &elements, leak);
+        let mut ds = DenseSolver::new(n);
+        let mut ss = SparseSolver::new(sparse.pattern().clone());
+        ds.refactorize(&dense).expect("diagonally loaded system");
+        ss.refactorize(&sparse).expect("diagonally loaded system");
+        let mut xd: Vec<f64> = rhs_seed[..n].to_vec();
+        let mut xs = xd.clone();
+        ds.solve_in_place(&mut xd);
+        ss.solve_in_place(&mut xs);
+        prop_assert_eq!(xd, xs);
+    }
+
+    /// A structurally singular system (an isolated, leak-free node) is
+    /// rejected by both backends with the same typed error — the sparse
+    /// path may not "succeed" where dense reports singularity.
+    #[test]
+    fn sparse_and_dense_reject_singular_systems_alike(
+        n in 3usize..10,
+        elements in prop::collection::vec(
+            (0usize..10, 0usize..10, 0.05f64..20.0), 1..16),
+        dead in 0usize..10,
+    ) {
+        let (mut dense, mut sparse) = stamp_mna_system(n, &elements, 1e-3);
+        // Sever row/column `dead`: zero every entry touching the node.
+        let dead = dead % n;
+        for j in 0..n {
+            let d = dense.data()[dead * n + j];
+            dense.add_at(dead, j, -d);
+            let d = dense.data()[j * n + dead];
+            dense.add_at(j, dead, -d);
+            let s = sparse.get(dead, j);
+            if s != 0.0 { sparse.add_at(dead, j, -s); }
+            let s = sparse.get(j, dead);
+            if s != 0.0 { sparse.add_at(j, dead, -s); }
+        }
+        let mut ds = DenseSolver::new(n);
+        let mut ss = SparseSolver::new(sparse.pattern().clone());
+        let ed = ds.refactorize(&dense);
+        let es = ss.refactorize(&sparse);
+        prop_assert!(matches!(ed, Err(NumericsError::SingularMatrix { .. })), "dense: {ed:?}");
+        prop_assert!(matches!(es, Err(NumericsError::SingularMatrix { .. })), "sparse: {es:?}");
+        prop_assert!(!ds.is_factorized());
+        prop_assert!(!ss.is_factorized());
+    }
+}
+
+// --- Sweep engine --------------------------------------------------------
+
+use shil::circuit::analysis::{transient, SweepEngine, TranOptions};
+use shil::circuit::Circuit;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The parallel sweep engine returns bit-identical trajectories to
+    /// one-at-a-time serial calls at *any* thread count, including thread
+    /// counts exceeding the run count.
+    #[test]
+    fn sweep_engine_is_deterministic_at_any_thread_count(
+        threads in 1usize..9,
+        resistances in prop::collection::vec(500.0f64..5e3, 1..5),
+    ) {
+        let (l, c) = (10e-6_f64, 10e-9_f64);
+        let period = std::f64::consts::TAU * (l * c).sqrt();
+        let setup = |_: usize, &r: &f64| {
+            let mut ckt = Circuit::new();
+            let top = ckt.node("top");
+            ckt.resistor(top, Circuit::GROUND, r);
+            ckt.inductor(top, Circuit::GROUND, l);
+            ckt.capacitor(top, Circuit::GROUND, c);
+            let opts = TranOptions::new(period / 64.0, 5.0 * period)
+                .use_ic()
+                .with_ic(top, 1.0);
+            (ckt, opts)
+        };
+        let sweep = SweepEngine::new(Some(threads)).transient_sweep(&resistances, setup);
+        prop_assert_eq!(sweep.runs.len(), resistances.len());
+        for (k, (run, &r)) in sweep.runs.iter().zip(&resistances).enumerate() {
+            let run = run.as_ref().expect("sweep run");
+            let (ckt, opts) = setup(k, &r);
+            let want = transient(&ckt, &opts).expect("serial run");
+            prop_assert_eq!(&run.time, &want.time);
+            prop_assert_eq!(
+                run.node_voltage(1).unwrap(),
+                want.node_voltage(1).unwrap()
+            );
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //! transient vs analytic RLC behaviour, AC extraction vs the analytic tank,
 //! and the extraction → tabulated-nonlinearity round trip.
 
-use shil::circuit::analysis::{ac_impedance, transient, AcOptions, TranOptions};
+use shil::circuit::analysis::{
+    ac_impedance, transient, AcOptions, SolverKind, SweepEngine, TranOptions,
+};
 use shil::circuit::{Circuit, IvCurve, SourceWave};
 use shil::core::describing::{natural_oscillation, NaturalOptions};
 use shil::core::nonlinearity::{NegativeTanh, Tabulated};
@@ -81,6 +83,53 @@ fn driven_rlc_steady_state_matches_impedance() {
         "arg V = {} vs {expect_phase}",
         v_phasor.arg()
     );
+}
+
+#[test]
+fn sweep_engine_matches_serial_transients_bit_for_bit() {
+    // A small damping sweep of the ringdown: the parallel engine must
+    // return, at any thread count and with either linear-solver backend,
+    // exactly the trajectories the one-at-a-time calls produce.
+    let resistances: Vec<f64> = (0..6).map(|k| 800.0 + 400.0 * k as f64).collect();
+    let (l, c) = (10e-6_f64, 10e-9_f64);
+    let period = std::f64::consts::TAU * (l * c).sqrt();
+    let setup = |kind: SolverKind| {
+        move |_: usize, &r: &f64| {
+            let (ckt, top) = parallel_rlc_circuit(r, l, c);
+            let mut opts = TranOptions::new(period / 128.0, 20.0 * period)
+                .use_ic()
+                .with_ic(top, 1.0);
+            opts.solver = kind;
+            (ckt, opts)
+        }
+    };
+
+    let reference: Vec<_> = resistances
+        .iter()
+        .map(|&r| {
+            let f = setup(SolverKind::Auto);
+            let (ckt, opts) = f(0, &r);
+            transient(&ckt, &opts).expect("serial transient")
+        })
+        .collect();
+
+    for threads in [1usize, 2, 4] {
+        for kind in [SolverKind::Auto, SolverKind::Dense, SolverKind::Sparse] {
+            let sweep = SweepEngine::new(Some(threads)).transient_sweep(&resistances, setup(kind));
+            for (i, (run, want)) in sweep.runs.iter().zip(&reference).enumerate() {
+                let run = run.as_ref().expect("sweep transient");
+                assert_eq!(run.time, want.time, "time axis, run {i}");
+                let top = 1; // first named node
+                assert_eq!(
+                    run.node_voltage(top).unwrap(),
+                    want.node_voltage(top).unwrap(),
+                    "trace, run {i}, threads {threads}, {kind:?}"
+                );
+            }
+            let want_attempts: usize = reference.iter().map(|r| r.report.attempts).sum();
+            assert_eq!(sweep.aggregate.attempts, want_attempts);
+        }
+    }
 }
 
 #[test]

@@ -157,6 +157,26 @@ macro_rules! signed_range_strategy {
 }
 signed_range_strategy!(i8, i16, i32, i64, isize);
 
+/// Tuples of strategies generate tuples of values, drawn left to right —
+/// mirrors proptest's built-in tuple support, used for composite cases
+/// like `(0usize..n, 0usize..n, 0.1f64..10.0)`.
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $v:ident),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (S0 / s0, S1 / s1),
+    (S0 / s0, S1 / s1, S2 / s2),
+    (S0 / s0, S1 / s1, S2 / s2, S3 / s3)
+);
+
 /// Strategy combinators and collection generators, mirroring `proptest::prop`.
 pub mod prop {
     /// Fixed-size array strategies (`uniform2(s)` … `uniform32(s)`).
