@@ -1,0 +1,71 @@
+//! Observability overhead on the transient hot loop.
+//!
+//! The disabled-registry fast path must make instrumentation free when
+//! nobody asked for metrics: every record site behind the global registry
+//! is one relaxed atomic load. This bench runs the same injected diff-pair
+//! transient with the registry disabled (the default) and enabled, plus
+//! the raw primitive costs — the companion `perf_observe` binary turns the
+//! same comparison into the tracked `BENCH_observe.json` artifact and
+//! asserts the <2% overhead budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shil::circuit::analysis::{transient, TranOptions};
+use shil::circuit::{Circuit, NodeId};
+use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
+
+const VI: f64 = 0.03;
+
+fn injected_diff_pair(params: DiffPairParams, f_inj: f64) -> (Circuit, NodeId) {
+    let mut osc = DiffPairOscillator::build(params);
+    osc.set_injection(DiffPairOscillator::injection_wave(VI, f_inj, 0.0))
+        .expect("injection");
+    (osc.circuit, osc.ncl)
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let params = DiffPairParams::calibrated(0.505).expect("calibration");
+    let f_inj = 3.0 * params.center_frequency_hz();
+    let (ckt, node) = injected_diff_pair(params, f_inj);
+    let period = 3.0 / f_inj;
+    let opts = TranOptions::new(period / 96.0, 20.0 * period).with_ic(node, params.vcc + 0.05);
+
+    let mut g = c.benchmark_group("observe_tran_overhead");
+    g.sample_size(10);
+    shil_observe::set_enabled(false);
+    g.bench_function("registry_disabled", |b| {
+        b.iter(|| transient(black_box(&ckt), &opts).expect("transient"))
+    });
+    shil_observe::set_enabled(true);
+    g.bench_function("registry_enabled", |b| {
+        b.iter(|| transient(black_box(&ckt), &opts).expect("transient"))
+    });
+    shil_observe::set_enabled(false);
+    shil_observe::reset();
+    g.finish();
+
+    // Raw primitive costs, for attributing any hot-loop regression.
+    let mut g = c.benchmark_group("observe_primitives");
+    shil_observe::set_enabled(false);
+    g.bench_function("counter_incr_disabled", |b| {
+        b.iter(|| shil_observe::incr(black_box("bench_counter_total")))
+    });
+    shil_observe::set_enabled(true);
+    g.bench_function("counter_incr_enabled", |b| {
+        b.iter(|| shil_observe::incr(black_box("bench_counter_total")))
+    });
+    g.bench_function("histogram_observe_enabled", |b| {
+        b.iter(|| shil_observe::observe(black_box("bench_hist_seconds"), black_box(1.25e-3)))
+    });
+    let handle = shil_observe::global().counter("bench_handle_total");
+    g.bench_function("counter_handle_add", |b| {
+        b.iter(|| handle.add(black_box(1)))
+    });
+    shil_observe::set_enabled(false);
+    shil_observe::reset();
+    g.finish();
+}
+
+criterion_group!(benches, bench_observe);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! P03 — overhead harness for the `shil-observe` instrumentation.
+//!
+//! Runs the injected diff-pair transient (the solver stack's hot loop)
+//! with the process-wide metric registry disabled — the default state,
+//! where every record site costs one relaxed atomic load — and enabled,
+//! comparing the **minimum** wall time over several repetitions. The min
+//! estimator is the right one for an overhead claim on a shared machine:
+//! noise only ever adds time, so min-vs-min isolates the code-path cost.
+//!
+//! Asserts the tentpole budget: enabling the registry costs < 2% on the
+//! transient hot loop. Writes `results/BENCH_observe.json` for regression
+//! tracking. Pass `--quick` for a seconds-scale smoke run.
+
+use shil::circuit::analysis::{transient, TranOptions};
+use shil::circuit::{Circuit, NodeId};
+use shil::observe::RunManifest;
+use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
+use shil_bench::{obs, paper, results_dir, timed};
+
+fn injected_diff_pair(params: DiffPairParams, f_inj: f64) -> (Circuit, NodeId) {
+    let mut osc = DiffPairOscillator::build(params);
+    osc.set_injection(DiffPairOscillator::injection_wave(paper::VI, f_inj, 0.0))
+        .expect("injection");
+    (osc.circuit, osc.ncl)
+}
+
+fn min_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| timed(&mut f).1.as_secs_f64())
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let obs = obs::init("perf_observe");
+    let log = &obs.log;
+    let params = DiffPairParams::calibrated(paper::DIFF_PAIR_AMPLITUDE).expect("calibration");
+    let f_inj = 3.0 * params.center_frequency_hz();
+    let (ckt, node) = injected_diff_pair(params, f_inj);
+    let period = paper::N as f64 / f_inj;
+    let (periods, reps) = if quick { (60.0, 5) } else { (300.0, 9) };
+    let opts = TranOptions::new(period / 96.0, periods * period).with_ic(node, params.vcc + 0.05);
+    log.info(
+        "perf_observe_started",
+        &[("quick", quick.into()), ("reps", (reps as u64).into())],
+    );
+    let mut manifest = RunManifest::start("perf_observe");
+    manifest.push_config("quick", quick);
+    manifest.push_config("periods", periods);
+    manifest.push_config("reps", reps as u64);
+
+    // The registry state during the measurement is the thing under test, so
+    // force it explicitly rather than inheriting `--metrics-out`'s enable.
+    let was_enabled = shil_observe::is_enabled();
+    shil_observe::set_enabled(false);
+    let warm = transient(&ckt, &opts).expect("transient");
+    let t_disabled = min_secs(reps, || {
+        std::hint::black_box(transient(&ckt, &opts).expect("transient"));
+    });
+    shil_observe::set_enabled(true);
+    let t_enabled = min_secs(reps, || {
+        std::hint::black_box(transient(&ckt, &opts).expect("transient"));
+    });
+    shil_observe::set_enabled(was_enabled);
+
+    let overhead = t_enabled / t_disabled - 1.0;
+    log.info(
+        "overhead_measured",
+        &[
+            ("steps", (warm.report.attempts as u64).into()),
+            ("disabled_min_s", t_disabled.into()),
+            ("enabled_min_s", t_enabled.into()),
+            ("overhead_pct", (1e2 * overhead).into()),
+        ],
+    );
+    assert!(
+        overhead < 0.02,
+        "enabled registry cost {:.2}% on the transient hot loop (budget 2%): \
+         disabled {t_disabled:.6}s vs enabled {t_enabled:.6}s",
+        1e2 * overhead
+    );
+
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \"reps\": {},\n  \"steps\": {},\n  \
+         \"tran_disabled_min_s\": {:.6e},\n  \"tran_enabled_min_s\": {:.6e},\n  \
+         \"overhead_fraction\": {:.6},\n  \"budget_fraction\": 0.02\n}}\n",
+        quick, reps, warm.report.attempts, t_disabled, t_enabled, overhead,
+    );
+    let path = results_dir().join("BENCH_observe.json");
+    std::fs::write(&path, json).expect("write json");
+    log.info(
+        "artifact_written",
+        &[("path", "results/BENCH_observe.json".into())],
+    );
+    obs.write_manifest(manifest);
+}

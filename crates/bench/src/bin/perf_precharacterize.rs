@@ -9,6 +9,11 @@
 //!   point, uncached vs served from a [`PrecharCache`] (the cache must
 //!   build the grid exactly once).
 //!
+//! Progress goes through structured `shil-observe` events (`--quiet`
+//! silences the human rendering; `--events-out [path]` mirrors them to
+//! JSONL). With `--metrics-out [path]` the process-wide metric registry is
+//! enabled and a run manifest lands next to the JSON artifact.
+//!
 //! Writes `results/BENCH_precharacterize.json` for regression tracking.
 
 use std::time::Duration;
@@ -18,7 +23,8 @@ use shil::core::harmonics::{i1_injected, HarmonicTable};
 use shil::core::nonlinearity::NegativeTanh;
 use shil::core::shil::{effective_parallelism, precharacterize, ShilAnalysis, ShilOptions};
 use shil::core::tank::{ParallelRlc, Tank};
-use shil_bench::{header, results_dir, timed};
+use shil::observe::RunManifest;
+use shil_bench::{obs, results_dir, timed};
 
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<Duration> = (0..reps).map(|_| timed(&mut f).1).collect();
@@ -27,16 +33,30 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    header("perf — batched/parallel/memoized pre-characterization");
+    let obs = obs::init("perf_precharacterize");
+    let log = &obs.log;
     let f = NegativeTanh::new(1e-3, 20.0);
     let tank = ParallelRlc::new(1000.0, 10e-6, 10e-9).expect("tank");
     let opts = ShilOptions::default();
     let (n, vi, r) = (3u32, 0.03, 1000.0);
     let cores = effective_parallelism(None);
-    println!(
-        "grid {}x{} at {} samples/period, {} core(s)",
-        opts.phase_points, opts.amplitude_points, opts.harmonics.samples, cores
+    log.info(
+        "perf_precharacterize_started",
+        &[
+            ("grid_phase_points", (opts.phase_points as u64).into()),
+            (
+                "grid_amplitude_points",
+                (opts.amplitude_points as u64).into(),
+            ),
+            ("samples_per_period", (opts.harmonics.samples as u64).into()),
+            ("cores", (cores as u64).into()),
+        ],
     );
+    let mut manifest = RunManifest::start("perf_precharacterize");
+    manifest.push_config("grid_phase_points", opts.phase_points as u64);
+    manifest.push_config("grid_amplitude_points", opts.amplitude_points as u64);
+    manifest.push_config("samples_per_period", opts.harmonics.samples as u64);
+    manifest.push_config("cores", cores as u64);
 
     let phis: Vec<f64> = (0..opts.phase_points)
         .map(|i| std::f64::consts::TAU * i as f64 / (opts.phase_points - 1) as f64)
@@ -65,20 +85,16 @@ fn main() {
             precharacterize(&f, r, vi, &phis, &amps, &table, cores).expect("grids"),
         );
     });
-    println!("grid fill, median of {reps}:");
-    println!(
-        "  scalar per-cell (seed engine) : {:>9.3} ms",
-        1e3 * t_scalar
-    );
-    println!(
-        "  batched serial                : {:>9.3} ms  ({:.2}x vs scalar)",
-        1e3 * t_serial,
-        t_scalar / t_serial
-    );
-    println!(
-        "  batched parallel (x{cores})        : {:>9.3} ms  ({:.2}x vs scalar)",
-        1e3 * t_parallel,
-        t_scalar / t_parallel
+    log.info(
+        "grid_fill_measured",
+        &[
+            ("reps", (reps as u64).into()),
+            ("scalar_per_cell_s", t_scalar.into()),
+            ("batched_serial_s", t_serial.into()),
+            ("batched_parallel_s", t_parallel.into()),
+            ("speedup_serial_vs_scalar", (t_scalar / t_serial).into()),
+            ("speedup_parallel_vs_scalar", (t_scalar / t_parallel).into()),
+        ],
     );
 
     // 25-point injection-frequency sweep, one analysis per point (the
@@ -110,17 +126,18 @@ fn main() {
         1,
         "cached sweep must build the grid exactly once"
     );
-    println!("25-point sweep (one analysis per point):");
-    println!(
-        "  uncached: {:>9.3} ms  (25 grid builds)",
-        1e3 * t_uncached.as_secs_f64()
-    );
-    println!(
-        "  cached  : {:>9.3} ms  ({} build, {} hits) -> {:.1}x",
-        1e3 * t_cached.as_secs_f64(),
-        cache.grid_builds(),
-        cache.grid_hits(),
-        t_uncached.as_secs_f64() / t_cached.as_secs_f64()
+    log.info(
+        "sweep25_measured",
+        &[
+            ("uncached_s", t_uncached.as_secs_f64().into()),
+            ("cached_s", t_cached.as_secs_f64().into()),
+            ("cached_grid_builds", cache.grid_builds().into()),
+            ("cached_grid_hits", cache.grid_hits().into()),
+            (
+                "speedup",
+                (t_uncached.as_secs_f64() / t_cached.as_secs_f64()).into(),
+            ),
+        ],
     );
 
     let json = format!(
@@ -147,5 +164,9 @@ fn main() {
     );
     let path = results_dir().join("BENCH_precharacterize.json");
     std::fs::write(&path, json).expect("write json");
-    println!("artifacts: results/BENCH_precharacterize.json");
+    log.info(
+        "artifact_written",
+        &[("path", "results/BENCH_precharacterize.json".into())],
+    );
+    obs.write_manifest(manifest);
 }

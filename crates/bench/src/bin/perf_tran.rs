@@ -15,6 +15,11 @@
 //! 25-point injection-frequency sweep of the loaded oscillator: serial
 //! dense without reuse vs the parallel sparse sweep engine.
 //!
+//! Progress goes through structured `shil-observe` events (`--quiet`
+//! silences the human rendering; `--events-out [path]` mirrors them to
+//! JSONL). With `--metrics-out [path]` the process-wide metric registry is
+//! enabled and a run manifest lands next to the JSON artifact.
+//!
 //! Writes `results/BENCH_tran.json` for regression tracking. Pass
 //! `--quick` for a seconds-scale smoke run (same fields, shorter
 //! transients) — used by the CI bench-smoke job.
@@ -24,8 +29,9 @@ use std::time::Duration;
 use shil::circuit::analysis::{transient, SolverKind, SweepEngine, TranOptions};
 use shil::circuit::mna::MnaStructure;
 use shil::circuit::{Circuit, NodeId, TranResult};
+use shil::observe::{EventLog, RunManifest};
 use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
-use shil_bench::{header, paper, results_dir, timed};
+use shil_bench::{obs, paper, results_dir, timed};
 
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<Duration> = (0..reps).map(|_| timed(&mut f).1).collect();
@@ -96,6 +102,7 @@ struct CircuitBench {
 }
 
 fn bench_circuit(
+    log: &EventLog,
     label: &str,
     params: DiffPairParams,
     f_inj: f64,
@@ -137,22 +144,20 @@ fn bench_circuit(
     );
 
     let report = &runs[2].report;
-    println!(
-        "{label} ({unknowns} unknowns), {} steps, median of {reps}, per step:",
-        report.attempts
-    );
-    for (&(name, _, _), &t) in configs.iter().zip(&per_step) {
-        println!(
-            "  {name:>14}: {:>8.2} us/step  ({:.2}x vs dense_noreuse)",
-            1e6 * t,
-            per_step[0] / t
-        );
-    }
-    println!(
-        "  bypass: {} factorizations / {} reuses ({:.1}% reused)",
-        report.factorizations,
-        report.reuses,
-        1e2 * report.reuse_rate()
+    log.info(
+        "circuit_benched",
+        &[
+            ("label", label.into()),
+            ("unknowns", (unknowns as u64).into()),
+            ("steps", (report.attempts as u64).into()),
+            ("reps", (reps as u64).into()),
+            ("dense_noreuse_us_per_step", (1e6 * per_step[0]).into()),
+            ("dense_reuse_us_per_step", (1e6 * per_step[1]).into()),
+            ("sparse_reuse_us_per_step", (1e6 * per_step[2]).into()),
+            ("factorizations", (report.factorizations as u64).into()),
+            ("reuses", (report.reuses as u64).into()),
+            ("reuse_rate", report.reuse_rate().into()),
+        ],
     );
     CircuitBench {
         unknowns,
@@ -185,7 +190,8 @@ fn json_circuit(b: &CircuitBench) -> String {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    header("perf — sparse MNA kernel, factorization bypass, sweep engine");
+    let obs = obs::init("perf_tran");
+    let log = &obs.log;
     let params = DiffPairParams::calibrated(paper::DIFF_PAIR_AMPLITUDE).expect("calibration");
     let f_inj = 3.0 * params.center_frequency_hz();
     let cores = shil::core::shil::effective_parallelism(None);
@@ -194,14 +200,31 @@ fn main() {
     } else {
         (300.0, 120.0, 5, 60)
     };
+    log.info(
+        "perf_tran_started",
+        &[("quick", quick.into()), ("cores", (cores as u64).into())],
+    );
+    let mut manifest = RunManifest::start("perf_tran");
+    manifest.push_config("quick", quick);
+    manifest.push_config("cores", cores as u64);
+    manifest.push_config("periods", periods);
+    manifest.push_config("sweep_periods", sweep_periods);
 
-    let paper_bench = bench_circuit("diff pair", params, f_inj, 0, periods, reps);
+    let paper_bench = bench_circuit(log, "diff pair", params, f_inj, 0, periods, reps);
     assert!(
         paper_bench.reuse_rate > 0.5,
         "expected most Newton iterations served by reuse, got {}",
         paper_bench.reuse_rate
     );
-    let loaded_bench = bench_circuit("loaded diff pair", params, f_inj, sections, periods, reps);
+    let loaded_bench = bench_circuit(
+        log,
+        "loaded diff pair",
+        params,
+        f_inj,
+        sections,
+        periods,
+        reps,
+    );
 
     // --- 25-point lock sweep of the loaded oscillator ---------------------
     // Serial dense without reuse (the seed engine one frequency at a time)
@@ -242,18 +265,24 @@ fn main() {
     }
     let t_serial = t_serial.as_secs_f64();
     let t_parallel = t_parallel.as_secs_f64();
-    println!(
-        "25-point lock sweep, loaded diff pair ({} unknowns), {cores} core(s):",
-        loaded_bench.unknowns
+    log.info(
+        "sweep25_measured",
+        &[
+            ("unknowns", (loaded_bench.unknowns as u64).into()),
+            ("cores", (cores as u64).into()),
+            ("serial_dense_s", t_serial.into()),
+            ("parallel_sparse_s", t_parallel.into()),
+            ("speedup", (t_serial / t_parallel).into()),
+            (
+                "serial_aggregate",
+                serial_sweep.aggregate.to_string().into(),
+            ),
+            (
+                "parallel_aggregate",
+                parallel_sweep.aggregate.to_string().into(),
+            ),
+        ],
     );
-    println!("  serial dense, no reuse : {:>9.3} ms", 1e3 * t_serial);
-    println!(
-        "  parallel sparse, reuse : {:>9.3} ms  -> {:.2}x",
-        1e3 * t_parallel,
-        t_serial / t_parallel
-    );
-    println!("    serial   aggregate: {}", serial_sweep.aggregate);
-    println!("    parallel aggregate: {}", parallel_sweep.aggregate);
 
     let json = format!(
         "{{\n  \"cores\": {},\n  \"quick\": {},\n  \"diff_pair\": {},\n  \
@@ -270,5 +299,9 @@ fn main() {
     );
     let path = results_dir().join("BENCH_tran.json");
     std::fs::write(&path, json).expect("write json");
-    println!("artifacts: results/BENCH_tran.json");
+    log.info(
+        "artifact_written",
+        &[("path", "results/BENCH_tran.json".into())],
+    );
+    obs.write_manifest(manifest);
 }

@@ -94,6 +94,79 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Observability wiring shared by the perf harnesses: parses the common
+/// `--quiet` / `--metrics-out [path]` / `--events-out [path]` flags,
+/// enables the process-wide metric registry when metrics are requested,
+/// and writes the run manifest next to the `BENCH_*.json` artifacts.
+pub mod obs {
+    use std::path::PathBuf;
+
+    use shil_observe::{EventLog, RunManifest};
+
+    use crate::results_dir;
+
+    /// Parsed observability flags plus the live event log.
+    pub struct Observability {
+        /// Manifest destination when `--metrics-out` was given.
+        pub metrics_out: Option<PathBuf>,
+        /// The `--quiet`-aware event log (JSONL sink when `--events-out`).
+        pub log: EventLog,
+    }
+
+    /// A flag whose value is optional: absent → `None`, `--flag` alone →
+    /// `Some(default)`, `--flag path` → `Some(path)`. A following token
+    /// that looks like another flag does not count as the value.
+    fn optional_path(args: &[String], flag: &str, default: PathBuf) -> Option<PathBuf> {
+        let i = args.iter().position(|a| a == flag)?;
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(PathBuf::from(v)),
+            _ => Some(default),
+        }
+    }
+
+    /// Wires observability up from the process arguments. `stem` names the
+    /// default artifact files (`manifest_<stem>.json` and
+    /// `events_<stem>.jsonl` under `results/`).
+    pub fn init(stem: &str) -> Observability {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quiet = args.iter().any(|a| a == "--quiet");
+        let metrics_out = optional_path(
+            &args,
+            "--metrics-out",
+            results_dir().join(format!("manifest_{stem}.json")),
+        );
+        let events_out = optional_path(
+            &args,
+            "--events-out",
+            results_dir().join(format!("events_{stem}.jsonl")),
+        );
+        if metrics_out.is_some() {
+            shil_observe::set_enabled(true);
+        }
+        let log = match &events_out {
+            Some(p) => EventLog::to_path(p, quiet).expect("open event log"),
+            None => EventLog::terminal(quiet),
+        };
+        Observability { metrics_out, log }
+    }
+
+    impl Observability {
+        /// Finalizes `manifest` against the global registry and writes it
+        /// when `--metrics-out` was requested.
+        pub fn write_manifest(&self, manifest: RunManifest) {
+            let Some(path) = &self.metrics_out else {
+                return;
+            };
+            let manifest = manifest.finish(shil_observe::global());
+            manifest.write(path).expect("write manifest");
+            self.log.info(
+                "manifest_written",
+                &[("path", path.display().to_string().into())],
+            );
+        }
+    }
+}
+
 /// Runs `f`, returning its output and wall-clock duration.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
     let t0 = Instant::now();

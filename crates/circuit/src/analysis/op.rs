@@ -13,7 +13,7 @@ use shil_numerics::{Matrix, NumericsError};
 use crate::circuit::{Circuit, DeviceId, NodeId};
 use crate::error::CircuitError;
 use crate::mna::{assemble, MnaStructure, StampMode};
-use crate::report::{FallbackKind, SolveReport};
+use crate::report::{Analysis, FallbackKind, SolveReport};
 
 /// Options for [`operating_point`].
 #[derive(Debug, Clone, PartialEq)]
@@ -193,16 +193,18 @@ pub fn operating_point_with_guess(
             wall_time: start.elapsed(),
             ..Default::default()
         };
+        report.publish(Analysis::Op);
         return Ok(OpSolution {
             structure,
             x,
             report,
         });
     }
-    let mut sol = operating_point(ckt, opts)?;
+    let mut sol = operating_point_inner(ckt, opts)?;
     // Account for the failed warm start and the time it consumed.
     sol.report.attempts += 1;
     sol.report.wall_time = start.elapsed();
+    sol.report.publish(Analysis::Op);
     Ok(sol)
 }
 
@@ -231,6 +233,19 @@ pub fn operating_point_with_guess(
 /// # }
 /// ```
 pub fn operating_point(ckt: &Circuit, opts: &OpOptions) -> Result<OpSolution, CircuitError> {
+    let sol = operating_point_inner(ckt, opts)?;
+    sol.report.publish(Analysis::Op);
+    Ok(sol)
+}
+
+/// [`operating_point`] without the metric publish — for callers (the
+/// transient, warm-start retries) that fold this solve's effort into a
+/// larger report and publish *that* exactly once, so no solve is ever
+/// double-counted in exported metrics.
+pub(crate) fn operating_point_inner(
+    ckt: &Circuit,
+    opts: &OpOptions,
+) -> Result<OpSolution, CircuitError> {
     let start = Instant::now();
     let structure = MnaStructure::new(ckt);
     let x0 = vec![0.0; structure.size()];

@@ -90,9 +90,24 @@ impl SweepEngine {
         I: Sync,
         F: Fn(usize, &I) -> (Circuit, TranOptions) + Sync,
     {
+        shil_observe::gauge_set("shil_sweep_threads", self.threads as f64);
+        let _sweep_span = shil_observe::span("shil_sweep");
         let runs = self.map(items, |i, item| {
+            let started = std::time::Instant::now();
             let (ckt, opts) = setup(i, item);
-            transient(&ckt, &opts)
+            let res = transient(&ckt, &opts);
+            // Per-item throughput, recorded from inside the worker thread.
+            // `shil_sweep_run_attempts` carries only integer-valued samples,
+            // so its aggregates are bit-deterministic at any thread count
+            // (see `tests/observe_metrics.rs`); the wall-time histogram is
+            // deterministic in count only.
+            shil_observe::incr("shil_sweep_items_total");
+            shil_observe::observe("shil_sweep_item_seconds", started.elapsed().as_secs_f64());
+            match &res {
+                Ok(r) => shil_observe::observe("shil_sweep_run_attempts", r.report.attempts as f64),
+                Err(_) => shil_observe::incr("shil_sweep_failures_total"),
+            }
+            res
         });
         let mut aggregate = SolveReport::new();
         for r in runs.iter().flatten() {

@@ -19,10 +19,10 @@ use crate::mna::{
     assemble, sparse_pattern, update_dynamic_state, DynamicState, Integrator, MnaStructure,
     StampMode,
 };
-use crate::report::{FallbackKind, SolveReport};
+use crate::report::{Analysis, FallbackKind, SolveReport};
 use crate::trace::TranResult;
 
-use super::op::{operating_point, OpOptions};
+use super::op::{operating_point_inner, OpOptions};
 
 /// Linear-solver backend for the transient Newton loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -471,7 +471,10 @@ fn transient_impl<S: LinearSolver>(
     let mut x = if opts.use_ic {
         vec![0.0; n]
     } else {
-        let op = operating_point(ckt, &opts.op)?;
+        // The un-publishing variant: this solve's effort is folded into
+        // the transient's own report, which is published once below —
+        // publishing here too would double-count it in exported metrics.
+        let op = operating_point_inner(ckt, &opts.op)?;
         // Fold the operating point's effort into the transient's report so
         // the full story travels with the result.
         report.attempts += op.report.attempts;
@@ -531,6 +534,7 @@ fn transient_impl<S: LinearSolver>(
     report.factorizations = ws.solver.factorizations();
     report.reuses = ws.solver.reuses();
     report.wall_time = start.elapsed();
+    report.publish(Analysis::Tran);
     result.report = report;
     Ok(result)
 }

@@ -53,7 +53,7 @@ mod error;
 pub use circuit::{Circuit, DeviceId, NodeId};
 pub use error::CircuitError;
 pub use iv::IvCurve;
-pub use report::{FallbackKind, SolveReport};
+pub use report::{Analysis, FallbackKind, SolveReport};
 pub use trace::{Trace, TranResult};
 pub use wave::SourceWave;
 

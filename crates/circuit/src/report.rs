@@ -12,6 +12,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use shil_observe::Registry;
+
 /// A fallback strategy an analysis resorted to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
@@ -30,6 +32,68 @@ impl fmt::Display for FallbackKind {
             FallbackKind::GminStepping => write!(f, "gmin stepping"),
             FallbackKind::SourceStepping => write!(f, "source stepping"),
             FallbackKind::StepHalving => write!(f, "step halving"),
+        }
+    }
+}
+
+impl FallbackKind {
+    /// Canonical counter name for this fallback strategy.
+    fn metric_name(self) -> &'static str {
+        match self {
+            FallbackKind::GminStepping => "shil_circuit_fallback_gmin_total",
+            FallbackKind::SourceStepping => "shil_circuit_fallback_source_total",
+            FallbackKind::StepHalving => "shil_circuit_fallback_step_halving_total",
+        }
+    }
+}
+
+/// Which analysis a [`SolveReport`] describes — selects the canonical
+/// metric names the report publishes under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Analysis {
+    /// DC operating point.
+    Op,
+    /// Transient (which may absorb the effort of its initial OP solve).
+    Tran,
+}
+
+/// One analysis' metric-name set; each variant of [`Analysis`] owns a
+/// static instance so the publish path never allocates.
+struct ReportMetricNames {
+    solves: &'static str,
+    attempts: &'static str,
+    halvings: &'static str,
+    factorizations: &'static str,
+    reuses: &'static str,
+    escalated: &'static str,
+    solve_seconds: &'static str,
+}
+
+static OP_METRICS: ReportMetricNames = ReportMetricNames {
+    solves: "shil_circuit_op_solves_total",
+    attempts: "shil_circuit_op_attempts_total",
+    halvings: "shil_circuit_op_halvings_total",
+    factorizations: "shil_circuit_op_factorizations_total",
+    reuses: "shil_circuit_op_reuses_total",
+    escalated: "shil_circuit_op_escalated_total",
+    solve_seconds: "shil_circuit_op_solve_seconds",
+};
+
+static TRAN_METRICS: ReportMetricNames = ReportMetricNames {
+    solves: "shil_circuit_tran_solves_total",
+    attempts: "shil_circuit_tran_attempts_total",
+    halvings: "shil_circuit_tran_halvings_total",
+    factorizations: "shil_circuit_tran_factorizations_total",
+    reuses: "shil_circuit_tran_reuses_total",
+    escalated: "shil_circuit_tran_escalated_total",
+    solve_seconds: "shil_circuit_tran_solve_seconds",
+};
+
+impl Analysis {
+    fn names(self) -> &'static ReportMetricNames {
+        match self {
+            Analysis::Op => &OP_METRICS,
+            Analysis::Tran => &TRAN_METRICS,
         }
     }
 }
@@ -88,6 +152,48 @@ impl SolveReport {
         } else {
             self.reuses as f64 / total as f64
         }
+    }
+
+    /// Publishes this report onto `registry` under the canonical
+    /// `shil_circuit_<analysis>_*` metric names (no-op while `registry`
+    /// is disabled).
+    ///
+    /// This is the **only** bridge between reports and exported metrics:
+    /// each analysis publishes its own report exactly once on success, so
+    /// the exported totals are sums of precisely the numbers the per-run
+    /// reports carry — the two can never disagree.
+    pub fn publish_to(&self, registry: &Registry, analysis: Analysis) {
+        if !registry.is_enabled() {
+            return;
+        }
+        let n = analysis.names();
+        registry.incr(n.solves);
+        registry.counter_add(n.attempts, self.attempts as u64);
+        registry.counter_add(n.halvings, self.halvings as u64);
+        registry.counter_add(n.factorizations, self.factorizations as u64);
+        registry.counter_add(n.reuses, self.reuses as u64);
+        if self.escalated() {
+            registry.incr(n.escalated);
+        }
+        for &k in &self.fallbacks {
+            registry.incr(k.metric_name());
+        }
+        if analysis == Analysis::Tran {
+            // The transient performs exactly one linear solve per Newton
+            // iteration, so the factorization/reuse split *is* the
+            // iteration count.
+            registry.counter_add(
+                "shil_circuit_tran_newton_iterations_total",
+                (self.factorizations + self.reuses) as u64,
+            );
+        }
+        registry.observe(n.solve_seconds, self.wall_time.as_secs_f64());
+    }
+
+    /// Publishes to the process-wide registry; see
+    /// [`SolveReport::publish_to`].
+    pub fn publish(&self, analysis: Analysis) {
+        self.publish_to(shil_observe::global(), analysis);
     }
 
     /// Folds another report into this one: counters add, fallback
@@ -208,6 +314,112 @@ mod tests {
         }
         .to_string();
         assert!(s.contains("1 factorization / 3 reuses"), "{s}");
+    }
+
+    #[test]
+    fn published_metrics_equal_report_fields_exactly() {
+        let registry = Registry::new(true);
+        let r = SolveReport {
+            attempts: 7,
+            halvings: 2,
+            fallbacks: vec![FallbackKind::StepHalving, FallbackKind::GminStepping],
+            factorizations: 11,
+            reuses: 30,
+            wall_time: Duration::from_millis(125),
+        };
+        r.publish_to(&registry, Analysis::Tran);
+        let s = registry.snapshot();
+        assert_eq!(s.counter("shil_circuit_tran_solves_total"), 1);
+        assert_eq!(
+            s.counter("shil_circuit_tran_attempts_total"),
+            r.attempts as u64
+        );
+        assert_eq!(
+            s.counter("shil_circuit_tran_halvings_total"),
+            r.halvings as u64
+        );
+        assert_eq!(
+            s.counter("shil_circuit_tran_factorizations_total"),
+            r.factorizations as u64
+        );
+        assert_eq!(s.counter("shil_circuit_tran_reuses_total"), r.reuses as u64);
+        assert_eq!(
+            s.counter("shil_circuit_tran_newton_iterations_total"),
+            (r.factorizations + r.reuses) as u64
+        );
+        assert_eq!(s.counter("shil_circuit_tran_escalated_total"), 1);
+        assert_eq!(s.counter("shil_circuit_fallback_step_halving_total"), 1);
+        assert_eq!(s.counter("shil_circuit_fallback_gmin_total"), 1);
+        let h = s.histogram("shil_circuit_tran_solve_seconds").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, r.wall_time.as_secs_f64());
+    }
+
+    #[test]
+    fn publishing_repeatedly_sums_like_absorb() {
+        // The exported totals of N individual publishes must equal one
+        // publish of the absorbed aggregate — the invariant that keeps
+        // sweep aggregates and exported metrics in agreement.
+        let per_run = Registry::new(true);
+        let absorbed = Registry::new(true);
+        let reports = [
+            SolveReport {
+                attempts: 3,
+                factorizations: 5,
+                reuses: 9,
+                ..Default::default()
+            },
+            SolveReport {
+                attempts: 4,
+                halvings: 1,
+                fallbacks: vec![FallbackKind::StepHalving],
+                factorizations: 2,
+                reuses: 20,
+                ..Default::default()
+            },
+        ];
+        let mut total = SolveReport::new();
+        for r in &reports {
+            r.publish_to(&per_run, Analysis::Tran);
+            total.absorb(r);
+        }
+        total.publish_to(&absorbed, Analysis::Tran);
+        let (a, b) = (per_run.snapshot(), absorbed.snapshot());
+        for name in [
+            "shil_circuit_tran_attempts_total",
+            "shil_circuit_tran_halvings_total",
+            "shil_circuit_tran_factorizations_total",
+            "shil_circuit_tran_reuses_total",
+            "shil_circuit_tran_newton_iterations_total",
+            "shil_circuit_fallback_step_halving_total",
+        ] {
+            assert_eq!(a.counter(name), b.counter(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn disabled_registry_receives_nothing_from_publish() {
+        let registry = Registry::new(false);
+        SolveReport {
+            attempts: 5,
+            ..Default::default()
+        }
+        .publish_to(&registry, Analysis::Op);
+        assert!(registry.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn op_and_tran_publish_under_distinct_names() {
+        let registry = Registry::new(true);
+        let r = SolveReport {
+            attempts: 2,
+            ..Default::default()
+        };
+        r.publish_to(&registry, Analysis::Op);
+        r.publish_to(&registry, Analysis::Tran);
+        let s = registry.snapshot();
+        assert_eq!(s.counter("shil_circuit_op_attempts_total"), 2);
+        assert_eq!(s.counter("shil_circuit_tran_attempts_total"), 2);
     }
 
     #[test]

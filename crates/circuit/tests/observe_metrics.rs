@@ -1,0 +1,151 @@
+//! Cross-thread metric determinism for the sweep engine (loom-free: real
+//! threads, exact assertions).
+//!
+//! The claim under test: every counter and every integer-valued histogram
+//! published while `SweepEngine` fans a sweep across worker threads is
+//! **identical** to the serial run's totals — same runs, same reports,
+//! same exported numbers, regardless of interleaving. Wall-time
+//! histograms are deterministic in sample count only.
+//!
+//! This file is its own test process, so enabling the process-wide
+//! registry here cannot leak into other tests; the `#[test]`s still
+//! serialize on a mutex because they share that one registry.
+
+use std::sync::Mutex;
+
+use shil_circuit::analysis::{SweepEngine, TranOptions};
+use shil_circuit::{Circuit, IvCurve};
+use shil_observe::Snapshot;
+
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn oscillator_setup(freq_scale: &f64) -> (Circuit, TranOptions) {
+    let (r, l, c) = (1000.0, 10e-6, 10e-9);
+    let mut ckt = Circuit::new();
+    let top = ckt.node("top");
+    ckt.resistor(top, 0, r);
+    ckt.inductor(top, 0, l * freq_scale);
+    ckt.capacitor(top, 0, c);
+    ckt.nonlinear(top, 0, IvCurve::tanh(-1e-3, 2.0 / (r * 1e-3)));
+    let f0 = 1.0 / (std::f64::consts::TAU * (l * freq_scale * c).sqrt());
+    let period = 1.0 / f0;
+    let opts = TranOptions::new(period / 100.0, 4.0 * period)
+        .use_ic()
+        .with_ic(top, 1e-3);
+    (ckt, opts)
+}
+
+/// Runs the reference sweep with `threads` workers against a clean global
+/// registry; returns the metric snapshot and the sweep aggregate.
+fn sweep_snapshot(threads: usize) -> (Snapshot, shil_circuit::SolveReport) {
+    let scales: Vec<f64> = (0..6).map(|k| 0.8 + 0.08 * k as f64).collect();
+    shil_observe::reset();
+    let sweep =
+        SweepEngine::new(Some(threads)).transient_sweep(&scales, |_, s| oscillator_setup(s));
+    assert_eq!(sweep.ok_count(), scales.len());
+    (shil_observe::snapshot(), sweep.aggregate)
+}
+
+#[test]
+fn parallel_sweep_metrics_equal_serial_totals() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    shil_observe::set_enabled(true);
+    let (serial, serial_agg) = sweep_snapshot(1);
+    for threads in [2usize, 4, 8] {
+        let (parallel, parallel_agg) = sweep_snapshot(threads);
+
+        // Every counter, bit for bit: per-run transient reports are
+        // deterministic, and counter addition commutes.
+        assert_eq!(
+            serial.counters, parallel.counters,
+            "counters diverged at {threads} threads"
+        );
+
+        // Integer-valued histograms are fully deterministic: f64 sums of
+        // integers below 2^53 are exact, so CAS ordering cannot matter.
+        assert_eq!(
+            serial.histogram("shil_sweep_run_attempts"),
+            parallel.histogram("shil_sweep_run_attempts"),
+            "run-attempts histogram diverged at {threads} threads"
+        );
+
+        // Wall-time histograms: deterministic in count, not in sum.
+        for name in [
+            "shil_sweep_item_seconds",
+            "shil_circuit_tran_solve_seconds",
+            "shil_sweep_seconds",
+        ] {
+            assert_eq!(
+                serial.histogram(name).map(|h| h.count),
+                parallel.histogram(name).map(|h| h.count),
+                "{name} sample count diverged at {threads} threads"
+            );
+        }
+
+        // The sweep aggregate is the same report either way…
+        assert_eq!(serial_agg.attempts, parallel_agg.attempts);
+        assert_eq!(serial_agg.factorizations, parallel_agg.factorizations);
+        assert_eq!(serial_agg.reuses, parallel_agg.reuses);
+
+        // …and the exported totals are exactly the aggregate's numbers
+        // (the satellite invariant: report and metrics cannot disagree).
+        assert_eq!(
+            parallel.counter("shil_circuit_tran_attempts_total"),
+            parallel_agg.attempts as u64
+        );
+        assert_eq!(
+            parallel.counter("shil_circuit_tran_factorizations_total"),
+            parallel_agg.factorizations as u64
+        );
+        assert_eq!(
+            parallel.counter("shil_circuit_tran_reuses_total"),
+            parallel_agg.reuses as u64
+        );
+        assert_eq!(parallel.gauge("shil_sweep_threads"), Some(threads as f64));
+    }
+    shil_observe::reset();
+    shil_observe::set_enabled(false);
+}
+
+#[test]
+fn disabled_registry_stays_empty_through_a_sweep() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    shil_observe::set_enabled(false);
+    shil_observe::reset();
+    let scales = [1.0f64, 1.1];
+    let sweep = SweepEngine::new(Some(2)).transient_sweep(&scales, |_, s| oscillator_setup(s));
+    assert_eq!(sweep.ok_count(), 2);
+    let s = shil_observe::snapshot();
+    assert!(
+        s.counters.is_empty() && s.histograms.is_empty() && s.gauges.is_empty(),
+        "disabled registry collected metrics: {s:?}"
+    );
+}
+
+#[test]
+fn sweep_failures_are_counted_without_poisoning_totals() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    shil_observe::set_enabled(true);
+    shil_observe::reset();
+    let items = [1.0f64, f64::NAN, 2.0];
+    let sweep = SweepEngine::new(Some(2)).transient_sweep(&items, |_, &v| {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        ckt.vsource(n1, 0, shil_circuit::SourceWave::Dc(1.0));
+        ckt.resistor(n1, 0, 1e3);
+        let mut opts = TranOptions::new(1e-6, 1e-4);
+        opts.dt *= v; // NaN for item 1
+        (ckt, opts)
+    });
+    assert_eq!(sweep.ok_count(), 2);
+    let s = shil_observe::snapshot();
+    assert_eq!(s.counter("shil_sweep_items_total"), 3);
+    assert_eq!(s.counter("shil_sweep_failures_total"), 1);
+    assert_eq!(s.histogram("shil_sweep_run_attempts").unwrap().count, 2);
+    assert_eq!(
+        s.counter("shil_circuit_tran_attempts_total"),
+        sweep.aggregate.attempts as u64
+    );
+    shil_observe::reset();
+    shil_observe::set_enabled(false);
+}

@@ -119,7 +119,9 @@ pub struct NaturalKey {
 /// Thread-safe memoization of pre-characterizations and natural solves.
 ///
 /// Entries are shared via [`Arc`]; hit/miss counters expose the reuse a
-/// sweep achieved (the `perf_precharacterize` harness reports them).
+/// sweep achieved (the `perf_precharacterize` harness reports them), and
+/// each event is mirrored to the process-wide `shil-observe` registry as
+/// the `shil_core_prechar_*` counters when it is enabled.
 /// Lookups never hold a lock across a build, so concurrent sweeps can
 /// (rarely) race to build the same entry — the first insert wins and both
 /// callers receive the canonical `Arc`.
@@ -194,6 +196,7 @@ impl PrecharCache {
     /// Records a cache bypass (missing fingerprint).
     pub(crate) fn note_uncacheable(&self) {
         self.uncacheable.fetch_add(1, Ordering::Relaxed);
+        shil_observe::incr("shil_core_prechar_uncacheable_total");
     }
 
     /// Returns the cached pre-characterization for `key`, building it with
@@ -210,9 +213,11 @@ impl PrecharCache {
             .get(&key)
         {
             self.grid_hits.fetch_add(1, Ordering::Relaxed);
+            shil_observe::incr("shil_core_prechar_grid_hits_total");
             return Ok(Arc::clone(hit));
         }
         self.grid_misses.fetch_add(1, Ordering::Relaxed);
+        shil_observe::incr("shil_core_prechar_grid_misses_total");
         let built = Arc::new(build()?);
         Ok(Arc::clone(
             self.grids
@@ -236,9 +241,11 @@ impl PrecharCache {
             .get(&key)
         {
             self.natural_hits.fetch_add(1, Ordering::Relaxed);
+            shil_observe::incr("shil_core_prechar_natural_hits_total");
             return Ok(*hit);
         }
         self.natural_misses.fetch_add(1, Ordering::Relaxed);
+        shil_observe::incr("shil_core_prechar_natural_misses_total");
         let solved = solve()?;
         Ok(*self
             .naturals

@@ -153,6 +153,8 @@ pub fn precharacterize<N: Nonlinearity + Sync + ?Sized>(
 ) -> Result<(Grid2, Grid2), ShilError> {
     let nx = phis.len();
     let ny = amps.len();
+    let _fill_span = shil_observe::span("shil_core_prechar_fill");
+    shil_observe::counter_add("shil_core_prechar_cells_total", (nx * ny) as u64);
     let mut tf_data = vec![0.0; nx * ny];
     let mut angle_data = vec![0.0; nx * ny];
 
@@ -837,6 +839,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
     /// lock-range search needs both, so the boundary it reports can carry
     /// the degradation of the solutions it was derived from.
     fn stable_lock_probe(&self, phi_d: f64) -> (bool, bool) {
+        shil_observe::incr("shil_core_lock_probes_total");
         self.solutions_at_phase(phi_d)
             .map(|sols| {
                 (
@@ -860,6 +863,7 @@ impl<'a, N: Nonlinearity + Sync + ?Sized, T: Tank + Sync + ?Sized> ShilAnalysis<
     /// - [`ShilError::NoLock`] when even `φ_d = 0` admits no stable
     ///   solution.
     pub fn lock_range(&self) -> Result<LockRange, ShilError> {
+        let _span = shil_observe::span("shil_core_lock_range");
         if !self.has_stable_lock(0.0) {
             return Err(ShilError::NoLock);
         }

@@ -161,6 +161,9 @@ where
             attempts,
         });
     }
+    // First-choice Newton failed: everything past this point is a rung of
+    // the escalation ladder.
+    shil_observe::incr("shil_numerics_fallback_escalations_total");
 
     for (i, seed) in neighbor_seeds.iter().enumerate() {
         if seed.len() != x0.len() || seed.iter().any(|v| !v.is_finite()) {
@@ -193,6 +196,7 @@ where
         }
     }
 
+    shil_observe::incr("shil_numerics_fallback_exhausted_total");
     Err(best_err.unwrap_or(NumericsError::NotConverged {
         iterations: 0,
         residual: f64::INFINITY,
@@ -225,6 +229,7 @@ where
         Ok(x) => Ok((x, SolveMethod::Newton)),
         Err(e @ NumericsError::InvalidBracket { .. }) => Err(e),
         Err(_) => {
+            shil_observe::incr("shil_numerics_fallback_escalations_total");
             let x = bisect(&mut f, a, b, tol, max_iter.max(128))?;
             Ok((x, SolveMethod::Bisection))
         }

@@ -58,6 +58,36 @@ fn inf_norm(v: &[f64]) -> f64 {
     m
 }
 
+/// Counts a tripped non-finite guard (free while the global metric
+/// registry is disabled).
+fn note_nonfinite() {
+    shil_observe::incr("shil_numerics_nonfinite_guards_total");
+}
+
+/// Publishes per-solve Newton telemetry once, on drop — every return path
+/// (converged, non-finite bail-out, exhaustion) reports through the same
+/// place, and the iteration loop itself carries no extra atomics.
+struct NewtonTally {
+    iterations: usize,
+    converged: bool,
+}
+
+impl Drop for NewtonTally {
+    fn drop(&mut self) {
+        if !shil_observe::is_enabled() {
+            return;
+        }
+        shil_observe::incr("shil_numerics_newton_solves_total");
+        shil_observe::counter_add(
+            "shil_numerics_newton_iterations_total",
+            self.iterations as u64,
+        );
+        if !self.converged {
+            shil_observe::incr("shil_numerics_newton_failures_total");
+        }
+    }
+}
+
 /// Solves `F(x) = 0` by damped Newton with a finite-difference Jacobian.
 ///
 /// The residual function `f` writes its output into the provided buffer so
@@ -105,6 +135,7 @@ where
         return Err(NumericsError::InvalidInput("empty system".into()));
     }
     if x0.iter().any(|v| !v.is_finite()) {
+        note_nonfinite();
         return Err(NumericsError::NonFinite {
             context: "newton initial guess".into(),
             at: x0.to_vec(),
@@ -121,6 +152,7 @@ where
     f(&x, &mut r);
     let mut rnorm = inf_norm(&r);
     if !rnorm.is_finite() {
+        note_nonfinite();
         return Err(NumericsError::NonFinite {
             context: "newton residual at initial guess".into(),
             at: x,
@@ -128,11 +160,17 @@ where
     }
     let mut best_x = x.clone();
     let mut best_rnorm = rnorm;
+    let mut tally = NewtonTally {
+        iterations: 0,
+        converged: false,
+    };
 
     for iter in 0..opts.max_iter {
         if rnorm < opts.tol_residual {
+            tally.converged = true;
             return Ok(x);
         }
+        tally.iterations = iter + 1;
         // Finite-difference Jacobian, column by column, with an immediate
         // bail-out if any entry is non-finite: iterating further would only
         // propagate the poison through LU and the line search.
@@ -144,6 +182,7 @@ where
             for i in 0..n {
                 let d = (r_trial[i] - r[i]) / h;
                 if !d.is_finite() {
+                    note_nonfinite();
                     return Err(NumericsError::NonFinite {
                         context: format!("finite-difference jacobian column {j}"),
                         at: x,
@@ -159,12 +198,14 @@ where
         solver.solve_in_place(&mut dx);
         let step_norm = inf_norm(&dx);
         if !step_norm.is_finite() {
+            note_nonfinite();
             return Err(NumericsError::NonFinite {
                 context: "newton step".into(),
                 at: x,
             });
         }
         if step_norm < opts.tol_step {
+            tally.converged = true;
             return Ok(x);
         }
         // Damped line search: halve until the residual norm decreases.
@@ -198,6 +239,7 @@ where
             if !rnorm.is_finite() {
                 // The forced step landed in a non-finite region: stop now and
                 // hand back the best iterate instead of looping to max_iter.
+                note_nonfinite();
                 return Err(NumericsError::NotConverged {
                     iterations: iter + 1,
                     residual: best_rnorm,
@@ -211,6 +253,7 @@ where
         }
     }
     if rnorm < opts.tol_residual {
+        tally.converged = true;
         Ok(x)
     } else {
         Err(NumericsError::NotConverged {
@@ -243,6 +286,7 @@ where
         return Err(NumericsError::InvalidInput("empty system".into()));
     }
     if x0.iter().any(|v| !v.is_finite()) {
+        note_nonfinite();
         return Err(NumericsError::NonFinite {
             context: "newton initial guess".into(),
             at: x0.to_vec(),
@@ -260,6 +304,7 @@ where
     f(&x, &mut r, &mut jac);
     let mut rnorm = inf_norm(&r);
     if !rnorm.is_finite() {
+        note_nonfinite();
         return Err(NumericsError::NonFinite {
             context: "newton residual at initial guess".into(),
             at: x,
@@ -267,12 +312,19 @@ where
     }
     let mut best_x = x.clone();
     let mut best_rnorm = rnorm;
+    let mut tally = NewtonTally {
+        iterations: 0,
+        converged: false,
+    };
 
     for iter in 0..opts.max_iter {
         if rnorm < opts.tol_residual {
+            tally.converged = true;
             return Ok(x);
         }
+        tally.iterations = iter + 1;
         if !jac.data().iter().all(|v| v.is_finite()) {
+            note_nonfinite();
             return Err(NumericsError::NonFinite {
                 context: "assembled jacobian".into(),
                 at: x,
@@ -285,12 +337,14 @@ where
         solver.solve_in_place(&mut dx);
         let step_norm = inf_norm(&dx);
         if !step_norm.is_finite() {
+            note_nonfinite();
             return Err(NumericsError::NonFinite {
                 context: "newton step".into(),
                 at: x,
             });
         }
         if step_norm < opts.tol_step {
+            tally.converged = true;
             return Ok(x);
         }
         let mut lambda = 1.0;
@@ -318,6 +372,7 @@ where
             f(&x, &mut r, &mut jac);
             rnorm = inf_norm(&r);
             if !rnorm.is_finite() {
+                note_nonfinite();
                 return Err(NumericsError::NotConverged {
                     iterations: iter + 1,
                     residual: best_rnorm,
@@ -331,6 +386,7 @@ where
         }
     }
     if rnorm < opts.tol_residual {
+        tally.converged = true;
         Ok(x)
     } else {
         Err(NumericsError::NotConverged {

@@ -1,0 +1,299 @@
+//! Structured event log: JSONL records plus a `--quiet`-aware
+//! human-readable echo.
+//!
+//! An [`EventLog`] replaces ad-hoc `println!` progress output: every event
+//! has a name and typed fields, so the same call can feed a machine-read
+//! `--events-out` file and a human watching the terminal. The human
+//! rendering is a formatter over the same structured record — the two can
+//! never drift apart.
+
+use std::fmt::Write as _;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::{fmt_f64, push_json_str};
+
+/// Severity of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Routine progress.
+    Info,
+    /// Degraded-but-continuing conditions (fallbacks, rejected steps).
+    Warn,
+    /// Failures worth surfacing even under `--quiet`.
+    Error,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Text.
+    Str(String),
+    /// Unsigned count.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point value (non-finite renders as JSON `null`).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Field {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Field::Str(s) => push_json_str(out, s),
+            Field::U64(v) => out.push_str(&v.to_string()),
+            Field::I64(v) => out.push_str(&v.to_string()),
+            Field::F64(v) => out.push_str(&fmt_f64(*v)),
+            Field::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+
+    fn human(&self) -> String {
+        match self {
+            Field::Str(s) => s.clone(),
+            Field::U64(v) => v.to_string(),
+            Field::I64(v) => v.to_string(),
+            Field::F64(v) => format!("{v:.6}"),
+            Field::Bool(v) => v.to_string(),
+        }
+    }
+}
+
+impl From<&str> for Field {
+    fn from(s: &str) -> Self {
+        Field::Str(s.to_string())
+    }
+}
+impl From<String> for Field {
+    fn from(s: String) -> Self {
+        Field::Str(s)
+    }
+}
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::I64(v)
+    }
+}
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+
+/// Destination and rendering policy for structured events.
+///
+/// Construction picks the sinks: an optional JSONL writer (one JSON
+/// object per line) and an echo policy for humans. With
+/// [`EventLog::quiet`], only [`Level::Error`] events reach the terminal;
+/// the JSONL stream always gets everything.
+pub struct EventLog {
+    sink: Option<Mutex<Box<dyn Write + Send>>>,
+    quiet: bool,
+    echo: bool,
+    start: Instant,
+}
+
+impl EventLog {
+    /// Events echo to stderr in human form; no JSONL sink.
+    pub fn terminal(quiet: bool) -> Self {
+        EventLog {
+            sink: None,
+            quiet,
+            echo: true,
+            start: Instant::now(),
+        }
+    }
+
+    /// Events go to a JSONL file at `path` *and* echo to stderr.
+    pub fn to_path(path: &Path, quiet: bool) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(EventLog {
+            sink: Some(Mutex::new(Box::new(std::io::BufWriter::new(file)))),
+            quiet,
+            echo: true,
+            start: Instant::now(),
+        })
+    }
+
+    /// Events go to an arbitrary writer (tests); no echo.
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
+        EventLog {
+            sink: Some(Mutex::new(w)),
+            quiet: true,
+            echo: false,
+            start: Instant::now(),
+        }
+    }
+
+    /// Discards everything. Useful as a default.
+    pub fn null() -> Self {
+        EventLog {
+            sink: None,
+            quiet: true,
+            echo: false,
+            start: Instant::now(),
+        }
+    }
+
+    /// Emits one event. `fields` are `(key, value)` pairs rendered in
+    /// order after the standard `ts_s` / `level` / `event` keys.
+    pub fn emit(&self, level: Level, event: &str, fields: &[(&str, Field)]) {
+        let ts = self.start.elapsed().as_secs_f64();
+        if let Some(sink) = &self.sink {
+            let mut line = String::new();
+            let _ = write!(line, "{{\"ts_s\":{},\"level\":", fmt_f64(ts));
+            push_json_str(&mut line, level.as_str());
+            line.push_str(",\"event\":");
+            push_json_str(&mut line, event);
+            for (k, v) in fields {
+                line.push(',');
+                push_json_str(&mut line, k);
+                line.push(':');
+                v.push_json(&mut line);
+            }
+            line.push_str("}\n");
+            let mut w = sink.lock().unwrap();
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.flush();
+        }
+        if self.echo && (!self.quiet || level >= Level::Error) {
+            let mut line = format!("[{:>9.3}s] {}", ts, event);
+            if level != Level::Info {
+                line = format!(
+                    "[{:>9.3}s] {}: {}",
+                    ts,
+                    level.as_str().to_uppercase(),
+                    event
+                );
+            }
+            for (k, v) in fields {
+                let _ = write!(line, "  {k}={}", v.human());
+            }
+            eprintln!("{line}");
+        }
+    }
+
+    /// [`Level::Info`] shorthand.
+    pub fn info(&self, event: &str, fields: &[(&str, Field)]) {
+        self.emit(Level::Info, event, fields);
+    }
+
+    /// [`Level::Warn`] shorthand.
+    pub fn warn(&self, event: &str, fields: &[(&str, Field)]) {
+        self.emit(Level::Warn, event, fields);
+    }
+
+    /// [`Level::Error`] shorthand.
+    pub fn error(&self, event: &str, fields: &[(&str, Field)]) {
+        self.emit(Level::Error, event, fields);
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("has_sink", &self.sink.is_some())
+            .field("quiet", &self.quiet)
+            .field("echo", &self.echo)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A Write that appends into shared memory, so tests can read back
+    /// what the log wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn captured(log_use: impl FnOnce(&EventLog)) -> String {
+        let buf = SharedBuf::default();
+        let log = EventLog::to_writer(Box::new(buf.clone()));
+        log_use(&log);
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn events_are_one_json_object_per_line() {
+        let out = captured(|log| {
+            log.info("sweep_start", &[("points", 25usize.into())]);
+            log.warn("fallback", &[("kind", "gmin".into()), ("ok", true.into())]);
+        });
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ts_s\":"));
+        assert!(lines[0].contains("\"event\":\"sweep_start\""));
+        assert!(lines[0].contains("\"points\":25"));
+        assert!(lines[1].contains("\"level\":\"warn\""));
+        assert!(lines[1].contains("\"kind\":\"gmin\""));
+        assert!(lines[1].contains("\"ok\":true"));
+        for l in &lines {
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn non_finite_field_values_render_as_null() {
+        let out = captured(|log| log.info("bad", &[("x", f64::NAN.into())]));
+        assert!(out.contains("\"x\":null"), "{out}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let out = captured(|log| log.info("msg", &[("text", "a\"b\nc".into())]));
+        assert!(out.contains("\"text\":\"a\\\"b\\nc\""), "{out}");
+    }
+
+    #[test]
+    fn null_log_discards_without_panicking() {
+        let log = EventLog::null();
+        log.info("nothing", &[]);
+        log.error("still nothing", &[("n", 1u64.into())]);
+    }
+}

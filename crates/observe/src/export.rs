@@ -1,0 +1,238 @@
+//! Exporters: registry snapshots to JSON and to the Prometheus text
+//! exposition format.
+//!
+//! Both exporters take a [`Snapshot`], so what they write is exactly what
+//! the registry held at one instant. They never emit NaN or infinities:
+//! histogram snapshots are finite by construction
+//! ([`crate::Histogram::record`] rejects non-finite samples) and the f64
+//! formatter degrades to `null` as a last line of defense.
+
+use crate::json::{fmt_f64, fmt_opt_f64, push_json_str};
+use crate::metrics::HistogramSnapshot;
+use crate::registry::Snapshot;
+
+/// Quantiles included in the JSON histogram export.
+const JSON_QUANTILES: [(f64, &str); 3] = [(0.50, "p50"), (0.90, "p90"), (0.99, "p99")];
+
+/// Renders a snapshot as a pretty-printed JSON object:
+///
+/// ```json
+/// {
+///   "counters": { "name": 3 },
+///   "gauges": { "name": 1.5 },
+///   "histograms": {
+///     "name": { "count": 2, "rejected": 0, "sum": 0.5, "min": 0.1,
+///               "max": 0.4, "mean": 0.25, "p50": 0.11, "p90": 0.42,
+///               "p99": 0.42, "underflow": 0, "overflow": 0 }
+///   }
+/// }
+/// ```
+///
+/// Empty histograms export `min`/`max`/`mean`/quantiles as `null`, never
+/// NaN.
+pub fn to_json(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"counters\": {");
+    push_map(&mut out, snapshot.counters.iter(), |out, v| {
+        out.push_str(&v.to_string())
+    });
+    out.push_str("},\n  \"gauges\": {");
+    push_map(&mut out, snapshot.gauges.iter(), |out, v| {
+        out.push_str(&fmt_f64(*v))
+    });
+    out.push_str("},\n  \"histograms\": {");
+    push_map(&mut out, snapshot.histograms.iter(), |out, h| {
+        out.push_str(&histogram_json(h, "      "))
+    });
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Renders one histogram snapshot as a JSON object (used by both the
+/// metrics export and the run manifest).
+pub(crate) fn histogram_json(h: &HistogramSnapshot, indent: &str) -> String {
+    let mut out = String::from("{\n");
+    let field = |out: &mut String, key: &str, val: String, last: bool| {
+        out.push_str(indent);
+        push_json_str(out, key);
+        out.push_str(": ");
+        out.push_str(&val);
+        out.push_str(if last { "\n" } else { ",\n" });
+    };
+    field(&mut out, "count", h.count.to_string(), false);
+    field(&mut out, "rejected", h.rejected.to_string(), false);
+    field(&mut out, "sum", fmt_f64(h.sum), false);
+    field(&mut out, "min", fmt_opt_f64(h.min), false);
+    field(&mut out, "max", fmt_opt_f64(h.max), false);
+    field(&mut out, "mean", fmt_opt_f64(h.mean()), false);
+    for (q, name) in JSON_QUANTILES {
+        field(&mut out, name, fmt_opt_f64(h.quantile(q)), false);
+    }
+    field(&mut out, "underflow", h.underflow.to_string(), false);
+    field(&mut out, "overflow", h.overflow.to_string(), true);
+    // Close at one indent level up.
+    out.push_str(&indent[..indent.len().saturating_sub(2)]);
+    out.push('}');
+    out
+}
+
+fn push_map<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut push_val: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (k, v) in entries {
+        out.push_str(if first { "\n    " } else { ",\n    " });
+        first = false;
+        push_json_str(out, k);
+        out.push_str(": ");
+        push_val(out, v);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format: counters
+/// as `<name> <value>`, gauges likewise, histograms as cumulative
+/// `<name>_bucket{le="..."}` series ending in the mandatory
+/// `le="+Inf"` bucket, plus `<name>_sum` and `<name>_count`.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snapshot.gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(*v)));
+    }
+    for (name, h) in &snapshot.histograms {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        // Cumulative counts: underflow samples sit below every finite
+        // bound, so they seed the running total.
+        let mut cum = h.underflow;
+        if h.underflow > 0 && h.buckets.is_empty() {
+            // No finite bucket to carry them; attach an explicit bound at
+            // the smallest observed value so the series stays cumulative.
+            let le = fmt_f64(h.max.unwrap_or(0.0));
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        for &(bound, c) in &h.buckets {
+            cum += c;
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                fmt_f64(bound)
+            ));
+        }
+        // The +Inf bucket always equals the total sample count, even for
+        // empty histograms and ones with overflow samples.
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum)));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn assert_no_nan(text: &str) {
+        assert!(
+            !text.contains("NaN") && !text.to_lowercase().contains("inf "),
+            "export leaked a non-finite number:\n{text}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let s = Registry::new(true).snapshot();
+        let json = to_json(&s);
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+        assert_eq!(to_prometheus(&s), "");
+    }
+
+    #[test]
+    fn empty_histogram_exports_null_quantiles_not_nan() {
+        let r = Registry::new(true);
+        r.histogram("h"); // registered, never recorded
+        let json = to_json(&r.snapshot());
+        assert!(json.contains("\"count\": 0"));
+        assert!(json.contains("\"p99\": null"));
+        assert!(json.contains("\"mean\": null"));
+        assert_no_nan(&json);
+    }
+
+    #[test]
+    fn single_sample_histogram_exports_the_sample_everywhere() {
+        let r = Registry::new(true);
+        r.observe("h", 0.125);
+        let json = to_json(&r.snapshot());
+        assert!(json.contains("\"p50\": 0.125"));
+        assert!(json.contains("\"p99\": 0.125"));
+        assert!(json.contains("\"mean\": 0.125"));
+        assert_no_nan(&json);
+    }
+
+    #[test]
+    fn rejected_non_finite_samples_never_reach_the_export() {
+        let r = Registry::new(true);
+        r.observe("h", f64::INFINITY);
+        r.observe("h", f64::NAN);
+        r.observe("h", 2.0);
+        let json = to_json(&r.snapshot());
+        assert!(json.contains("\"rejected\": 2"));
+        assert!(json.contains("\"count\": 1"));
+        assert_no_nan(&json);
+        assert_no_nan(&to_prometheus(&r.snapshot()));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_and_ends_at_inf() {
+        let r = Registry::new(true);
+        for v in [0.1, 0.1, 0.4, 1e300] {
+            r.observe("h", v); // 1e300 overflows the bucket range
+        }
+        let text = to_prometheus(&r.snapshot());
+        let bucket_lines: Vec<&str> = text.lines().filter(|l| l.contains("_bucket")).collect();
+        assert_eq!(*bucket_lines.last().unwrap(), "h_bucket{le=\"+Inf\"} 4");
+        // Cumulative counts must be non-decreasing.
+        let counts: Vec<u64> = bucket_lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert!(text.contains("h_count 4"));
+    }
+
+    #[test]
+    fn prometheus_underflow_only_histogram_stays_cumulative() {
+        let r = Registry::new(true);
+        r.observe("h", 0.0);
+        let text = to_prometheus(&r.snapshot());
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 1"));
+        assert_no_nan(&text);
+    }
+
+    #[test]
+    fn json_is_machine_checkable_shape() {
+        let r = Registry::new(true);
+        r.incr("runs_total");
+        r.gauge_set("threads", 4.0);
+        r.observe("latency_seconds", 0.01);
+        let json = to_json(&r.snapshot());
+        // Cheap structural checks (no JSON parser in a zero-dep crate):
+        // balanced braces and the three top-level sections in order.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        let ci = json.find("\"counters\"").unwrap();
+        let gi = json.find("\"gauges\"").unwrap();
+        let hi = json.find("\"histograms\"").unwrap();
+        assert!(ci < gi && gi < hi);
+    }
+}

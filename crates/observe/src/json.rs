@@ -1,0 +1,79 @@
+//! Minimal JSON writing helpers (std-only; this crate takes no
+//! dependencies). Writing only — nothing here parses JSON.
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an f64 as a JSON number. JSON has no NaN/Inf; snapshots are
+/// finite by construction, but guard anyway so a bug upstream degrades to
+/// `null` instead of emitting an unparseable document.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // Shortest roundtrip form; ensure it still parses as a JSON number.
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) || v == 0.0 {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Formats an `Option<f64>` as a JSON number or `null`.
+pub(crate) fn fmt_opt_f64(v: Option<f64>) -> String {
+    v.map(fmt_f64).unwrap_or_else(|| "null".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json_str(s: &str) -> String {
+        let mut out = String::new();
+        push_json_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_str("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn floats_round_trip_as_json_numbers() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(1e-9), "0.000000001");
+        // Whatever form Display picks, the result must round-trip.
+        for v in [1e22, 1e300, 5e-324, -7.25, 1234.0] {
+            let s = fmt_f64(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_opt_f64(None), "null");
+        assert_eq!(fmt_opt_f64(Some(2.5)), "2.5");
+    }
+}

@@ -1,0 +1,199 @@
+//! Run manifests: one JSON file that makes a run self-describing.
+//!
+//! A manifest records what was run (name, config, seed), when and for how
+//! long, and the full metric snapshot at the end — so a
+//! `results/BENCH_*.json` trajectory can always be traced back to the
+//! solver behavior that produced it.
+//!
+//! Schema (`"shil-observe/manifest/v1"`):
+//!
+//! ```json
+//! {
+//!   "schema": "shil-observe/manifest/v1",
+//!   "name": "lock_range_design",
+//!   "created_unix_s": 1754438400,
+//!   "wall_time_s": 1.25,
+//!   "seed": 42,
+//!   "config": { "orders": "1..5", "threads": 1 },
+//!   "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//! }
+//! ```
+//!
+//! `seed` is `null` for deterministic runs with no RNG; `config` values
+//! are typed [`Field`]s. `metrics` matches [`crate::export::to_json`].
+
+use std::path::Path;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::events::Field;
+use crate::json::{fmt_f64, push_json_str};
+use crate::registry::{Registry, Snapshot};
+
+/// Identifier of the manifest JSON layout this crate writes.
+pub const MANIFEST_SCHEMA: &str = "shil-observe/manifest/v1";
+
+/// Builder for a run manifest. Create it at the start of the run (it
+/// timestamps itself), fill in config as it becomes known, then
+/// [`finish`](RunManifest::finish) with a metric snapshot and write.
+#[derive(Debug)]
+pub struct RunManifest {
+    name: String,
+    created_unix_s: u64,
+    started: Instant,
+    seed: Option<u64>,
+    config: Vec<(String, Field)>,
+    finished: Option<(f64, Snapshot)>,
+}
+
+impl RunManifest {
+    /// Starts a manifest for a run called `name`; wall-time measurement
+    /// begins now.
+    pub fn start(name: &str) -> Self {
+        RunManifest {
+            name: name.to_string(),
+            created_unix_s: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            started: Instant::now(),
+            seed: None,
+            config: Vec::new(),
+            finished: None,
+        }
+    }
+
+    /// Records the RNG seed the run used.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Adds one config entry (kept in insertion order).
+    pub fn config(mut self, key: &str, value: impl Into<Field>) -> Self {
+        self.config.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Adds a config entry in place (for conditional config).
+    pub fn push_config(&mut self, key: &str, value: impl Into<Field>) {
+        self.config.push((key.to_string(), value.into()));
+    }
+
+    /// Stops the wall-time clock and captures `registry`'s metrics.
+    pub fn finish(mut self, registry: &Registry) -> Self {
+        self.finished = Some((self.started.elapsed().as_secs_f64(), registry.snapshot()));
+        self
+    }
+
+    /// Renders the manifest JSON document. If [`finish`](Self::finish)
+    /// was not called, wall-time is measured now against an empty
+    /// snapshot.
+    pub fn to_json(&self) -> String {
+        let fallback = (self.started.elapsed().as_secs_f64(), Snapshot::default());
+        let (wall, snapshot) = self.finished.as_ref().unwrap_or(&fallback);
+        let mut out = String::from("{\n  \"schema\": ");
+        push_json_str(&mut out, MANIFEST_SCHEMA);
+        out.push_str(",\n  \"name\": ");
+        push_json_str(&mut out, &self.name);
+        out.push_str(&format!(
+            ",\n  \"created_unix_s\": {},\n  \"wall_time_s\": {},\n  \"seed\": {},\n",
+            self.created_unix_s,
+            fmt_f64(*wall),
+            self.seed
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        ));
+        out.push_str("  \"config\": {");
+        let mut first = true;
+        for (k, v) in &self.config {
+            out.push_str(if first { "\n    " } else { ",\n    " });
+            first = false;
+            push_json_str(&mut out, k);
+            out.push_str(": ");
+            let mut val = String::new();
+            // Field's JSON rendering is private to events; route through
+            // a one-field event-style pair for consistency.
+            field_json(v, &mut val);
+            out.push_str(&val);
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"metrics\": ");
+        let metrics = crate::export::to_json(snapshot);
+        // Re-indent the metrics document under the top-level object.
+        let metrics = metrics.trim_end().replace('\n', "\n  ");
+        out.push_str(&metrics);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the manifest to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn field_json(f: &Field, out: &mut String) {
+    match f {
+        Field::Str(s) => push_json_str(out, s),
+        Field::U64(v) => out.push_str(&v.to_string()),
+        Field::I64(v) => out.push_str(&v.to_string()),
+        Field::F64(v) => out.push_str(&fmt_f64(*v)),
+        Field::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_contains_schema_config_and_metrics() {
+        let r = Registry::new(true);
+        r.incr("runs_total");
+        r.observe("step_seconds", 1e-4);
+        let m = RunManifest::start("unit_run")
+            .seed(7)
+            .config("points", 25usize)
+            .config("label", "quick")
+            .config("tol", 1e-9)
+            .finish(&r);
+        let json = m.to_json();
+        assert!(json.contains("\"schema\": \"shil-observe/manifest/v1\""));
+        assert!(json.contains("\"name\": \"unit_run\""));
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"points\": 25"));
+        assert!(json.contains("\"label\": \"quick\""));
+        assert!(json.contains("\"runs_total\": 1"));
+        assert!(json.contains("step_seconds"));
+        assert!(json.contains("\"wall_time_s\": "));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn seedless_manifest_writes_null_seed() {
+        let json = RunManifest::start("no_seed").to_json();
+        assert!(json.contains("\"seed\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let dir =
+            std::env::temp_dir().join(format!("shil_observe_manifest_{}", std::process::id()));
+        let path = dir.join("nested").join("manifest_test.json");
+        let r = Registry::new(true);
+        RunManifest::start("disk_run")
+            .finish(&r)
+            .write(&path)
+            .expect("write manifest");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("disk_run"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,387 @@
+//! The three metric primitives: counters, gauges and log-linear histograms.
+//!
+//! All three are lock-free (plain atomics; the histogram's floating-point
+//! aggregates use CAS loops) so worker threads of a sweep can hammer the
+//! same instrument without serializing. Integer-valued observations stay
+//! exact in the histogram's `sum` — f64 addition of integers below 2⁵³ never
+//! rounds — which is what makes parallel and serial sweeps aggregate to
+//! bit-identical totals (see the cross-thread stress tests).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Adds `v` to an f64 stored as bits in an atomic, via CAS.
+fn f64_fetch_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f64::from_bits(cur) + v;
+        match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Lowers the f64 stored in `cell` to `v` if `v` is smaller.
+fn f64_fetch_min(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while v < f64::from_bits(cur) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Raises the f64 stored in `cell` to `v` if `v` is larger.
+fn f64_fetch_max(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while v > f64::from_bits(cur) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value. Non-finite values are ignored so exporters
+    /// never have to serialize NaN/±Inf.
+    pub fn set(&self, v: f64) {
+        if v.is_finite() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Linear sub-buckets per power of two.
+const SUBS: usize = 4;
+/// Smallest bucketed exponent: values below `2^MIN_EXP` (≈ 0.93 ns as
+/// seconds) land in the underflow bucket.
+const MIN_EXP: i32 = -30;
+/// Largest bucketed exponent: values at or above `2^MAX_EXP` (≈ 1.7e10)
+/// land in the overflow bucket.
+const MAX_EXP: i32 = 34;
+/// Number of log-linear buckets between the two exponents.
+const NUM_BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUBS;
+
+/// Upper bound of log-linear bucket `i`.
+fn bucket_upper_bound(i: usize) -> f64 {
+    ((MIN_EXP as f64) + (i as f64 + 1.0) / SUBS as f64).exp2()
+}
+
+/// A log-linear histogram of positive measurements (durations, sizes,
+/// counts) with `SUBS` linear sub-buckets per octave — ≤ ~19% relative
+/// quantile error across ~19 decades, in a few hundred fixed buckets.
+///
+/// Non-finite samples are **rejected** (tallied separately, never mixed
+/// into `sum`/`min`/`max`), so snapshots and exporters are guaranteed to
+/// contain only finite numbers. Values ≤ 0 are tallied in the underflow
+/// bucket with their exact value still folded into `sum`/`min`/`max`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    rejected: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. NaN and ±Inf are rejected (tallied in
+    /// [`HistogramSnapshot::rejected`]), keeping every exported aggregate
+    /// finite.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        f64_fetch_add(&self.sum_bits, v);
+        f64_fetch_min(&self.min_bits, v);
+        f64_fetch_max(&self.max_bits, v);
+        if v <= 0.0 {
+            self.underflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = ((v.log2() - MIN_EXP as f64) * SUBS as f64).floor();
+        if idx < 0.0 {
+            self.underflow.fetch_add(1, Ordering::Relaxed);
+        } else if idx >= NUM_BUCKETS as f64 {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.buckets[idx as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of accepted samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy (individual fields are read
+    /// without a global lock; concurrent recording can skew aggregates by
+    /// the in-flight samples, which is fine for telemetry).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut nonzero = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                nonzero.push((bucket_upper_bound(i), c));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            sum: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+            },
+            min: (count > 0).then(|| f64::from_bits(self.min_bits.load(Ordering::Relaxed))),
+            max: (count > 0).then(|| f64::from_bits(self.max_bits.load(Ordering::Relaxed))),
+            underflow: self.underflow.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            buckets: nonzero,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], safe to export: every field is
+/// finite by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Accepted samples.
+    pub count: u64,
+    /// Non-finite samples that were refused.
+    pub rejected: u64,
+    /// Sum of accepted samples (0.0 when empty).
+    pub sum: f64,
+    /// Smallest accepted sample, `None` when empty.
+    pub min: Option<f64>,
+    /// Largest accepted sample, `None` when empty.
+    pub max: Option<f64>,
+    /// Samples at or below the lowest bucket bound (incl. values ≤ 0).
+    pub underflow: u64,
+    /// Samples above the highest bucket bound.
+    pub overflow: u64,
+    /// `(upper_bound, count)` for every non-empty log-linear bucket, in
+    /// ascending bound order. Counts are per-bucket, not cumulative.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the accepted samples, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`, clamped) estimated from the bucket
+    /// boundaries and clamped into the exact `[min, max]` envelope — so a
+    /// single-sample histogram reports that sample at every quantile, and
+    /// the result is always finite. `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let (min, max) = (self.min?, self.max?);
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we want, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(min);
+        }
+        for &(bound, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return Some(bound.clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_ignores_non_finite() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.set(f64::NAN);
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_finite_and_quantile_free() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        assert!(s.min.is_none() && s.max.is_none());
+        assert!(s.quantile(0.5).is_none());
+        assert!(s.mean().is_none());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(3.7e-3);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(3.7e-3), "q = {q}");
+        }
+        assert_eq!(s.mean(), Some(3.7e-3));
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_aggregated() {
+        let h = Histogram::new();
+        h.record(1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.rejected, 3);
+        assert_eq!(s.sum, 1.0);
+        assert_eq!(s.max, Some(1.0));
+        assert!(s.quantile(1.0).unwrap().is_finite());
+    }
+
+    #[test]
+    fn zero_and_negative_samples_land_in_underflow_with_exact_extremes() {
+        let h = Histogram::new();
+        h.record(0.0);
+        h.record(-2.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.underflow, 2);
+        assert_eq!(s.min, Some(-2.0));
+        assert_eq!(s.quantile(0.0), Some(-2.0));
+    }
+
+    #[test]
+    fn out_of_range_samples_hit_overflow_and_clamp_to_max() {
+        let h = Histogram::new();
+        h.record(1e300); // far beyond 2^34
+        h.record(1.0);
+        let s = h.snapshot();
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.quantile(1.0), Some(1e300));
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution_within_bucket_resolution() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3); // 1 ms … 1 s
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        let p50 = s.quantile(0.5).unwrap();
+        let p99 = s.quantile(0.99).unwrap();
+        // Log-linear buckets at 4/octave: ≤ 2^(1/4) ≈ 19% relative error.
+        assert!((0.4..=0.65).contains(&p50), "p50 = {p50}");
+        assert!((0.8..=1.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        assert!((s.mean().unwrap() - 0.5005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_valued_sums_are_exact() {
+        // The cross-thread determinism story rests on this: integer-valued
+        // samples sum exactly in f64, so accumulation order cannot matter.
+        let h = Histogram::new();
+        let mut expect = 0.0;
+        for i in 0..10_000u64 {
+            h.record((i % 97) as f64);
+            expect += (i % 97) as f64;
+        }
+        assert_eq!(h.snapshot().sum, expect);
+    }
+
+    #[test]
+    fn bucket_bounds_are_increasing() {
+        for i in 1..NUM_BUCKETS {
+            assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1));
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The metric registry: a named collection of counters, gauges and
+//! histograms with an enabled/disabled switch.
+//!
+//! A registry is `const`-constructible so it can live in a `static` (the
+//! crate's global registry) as well as on the stack of a test that wants
+//! isolated metrics. When disabled, every recording call is a single
+//! relaxed atomic load and an early return — cheap enough to leave the
+//! instrumentation compiled in everywhere.
+//!
+//! Metric names are `&'static str` by design: every instrumentation site
+//! names its metric with a literal, so the hot recording path never
+//! allocates, and the name doubles as the registry key.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A named collection of metrics behind an on/off switch.
+pub struct Registry {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A registry with no metrics, enabled or not. `const` so it can back
+    /// a `static`.
+    pub const fn new(enabled: bool) -> Self {
+        Registry {
+            enabled: AtomicBool::new(enabled),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns recording on or off. Disabling does not clear existing
+    /// metrics; see [`Registry::reset`].
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording calls currently do anything. One relaxed load —
+    /// this is the disabled fast path.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Handle to the counter `name`, creating it if needed. Handles stay
+    /// valid (and shared) for the life of the registry; hot loops can
+    /// cache one to skip the map lookup. Recording through a handle
+    /// bypasses the enabled switch — use the registry methods when the
+    /// switch should apply.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Handle to the gauge `name`, creating it if needed.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Handle to the histogram `name`, creating it if needed.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Adds `n` to counter `name`; no-op when disabled.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, n: u64) {
+        if self.is_enabled() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Adds one to counter `name`; no-op when disabled.
+    #[inline]
+    pub fn incr(&self, name: &'static str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Records `v` into histogram `name`; no-op when disabled.
+    #[inline]
+    pub fn observe(&self, name: &'static str, v: f64) {
+        if self.is_enabled() {
+            self.histogram(name).record(v);
+        }
+    }
+
+    /// Sets gauge `name` to `v`; no-op when disabled.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, v: f64) {
+        if self.is_enabled() {
+            self.gauge(name).set(v);
+        }
+    }
+
+    /// A point-in-time copy of every metric, for export.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Drops every metric (handles keep old instruments alive but the
+    /// registry forgets them). Leaves the enabled switch as is.
+    pub fn reset(&self) {
+        self.counters.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .field("counters", &self.counters.lock().unwrap().len())
+            .field("gauges", &self.gauges.lock().unwrap().len())
+            .field("histograms", &self.histograms.lock().unwrap().len())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s metrics, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name (always finite).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value, zero if absent — so assertions read naturally.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new(false);
+        r.incr("a");
+        r.observe("h", 1.0);
+        r.gauge_set("g", 2.0);
+        let s = r.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_records_and_snapshots() {
+        let r = Registry::new(true);
+        r.incr("a");
+        r.counter_add("a", 2);
+        r.observe("h", 0.25);
+        r.gauge_set("g", -1.5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 3);
+        assert_eq!(s.gauge("g"), Some(-1.5));
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn toggling_enabled_gates_recording() {
+        let r = Registry::new(true);
+        r.incr("a");
+        r.set_enabled(false);
+        r.incr("a");
+        r.set_enabled(true);
+        r.incr("a");
+        assert_eq!(r.snapshot().counter("a"), 2);
+    }
+
+    #[test]
+    fn handles_share_the_underlying_instrument() {
+        let r = Registry::new(true);
+        let h1 = r.counter("shared");
+        let h2 = r.counter("shared");
+        h1.incr();
+        h2.incr();
+        assert_eq!(r.snapshot().counter("shared"), 2);
+    }
+
+    #[test]
+    fn reset_clears_metrics_but_not_the_switch() {
+        let r = Registry::new(true);
+        r.incr("a");
+        r.reset();
+        assert!(r.snapshot().counters.is_empty());
+        assert!(r.is_enabled());
+        r.incr("a");
+        assert_eq!(r.snapshot().counter("a"), 1);
+    }
+
+    #[test]
+    fn const_construction_backs_a_static() {
+        static LOCAL: Registry = Registry::new(true);
+        LOCAL.incr("static_works");
+        assert_eq!(LOCAL.snapshot().counter("static_works"), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! RAII span timers: measure a scope, record its duration on drop.
+//!
+//! A span records into the histogram `"<name>_seconds"` of its registry.
+//! The enabled check happens **once, at entry** — if the registry is
+//! disabled the span carries no `Instant` at all, so a disabled span costs
+//! one relaxed load at construction and nothing on drop.
+
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// Times a scope and records the elapsed seconds into
+/// `"<name>_seconds"` when dropped.
+///
+/// ```
+/// let registry = shil_observe::Registry::new(true);
+/// {
+///     let _span = shil_observe::Span::enter(&registry, "demo_fill");
+///     // ... timed work ...
+/// }
+/// assert_eq!(
+///     registry.snapshot().histogram("demo_fill_seconds").unwrap().count,
+///     1
+/// );
+/// ```
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    registry: &'a Registry,
+    name: &'static str,
+    /// `None` when the registry was disabled at entry.
+    start: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing `name` against `registry`.
+    pub fn enter(registry: &'a Registry, name: &'static str) -> Self {
+        let start = registry.is_enabled().then(Instant::now);
+        Span {
+            registry,
+            name,
+            start,
+        }
+    }
+
+    /// Seconds elapsed so far, if the span is live (registry was enabled
+    /// at entry).
+    pub fn elapsed_seconds(&self) -> Option<f64> {
+        self.start.map(|s| s.elapsed().as_secs_f64())
+    }
+
+    /// Ends the span now, recording its duration. Equivalent to dropping.
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            // Record even if the registry was disabled mid-span: the
+            // measurement was paid for, and losing it would skew counts.
+            self.registry
+                .histogram_name_seconds(self.name)
+                .record(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+impl Registry {
+    /// The histogram a span named `name` records into. Interns the
+    /// `"<name>_seconds"` key once per distinct span name.
+    fn histogram_name_seconds(&self, name: &'static str) -> std::sync::Arc<crate::Histogram> {
+        use std::collections::BTreeMap;
+        use std::sync::{Mutex, OnceLock};
+        // Span names are 'static and few; leak one suffixed copy each so
+        // the histogram key can stay &'static str.
+        static INTERNED: OnceLock<Mutex<BTreeMap<&'static str, &'static str>>> = OnceLock::new();
+        let map = INTERNED.get_or_init(|| Mutex::new(BTreeMap::new()));
+        let key = *map
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_insert_with(|| Box::leak(format!("{name}_seconds").into_boxed_str()));
+        self.histogram(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_one_sample_on_drop() {
+        let r = Registry::new(true);
+        {
+            let span = Span::enter(&r, "unit_work");
+            assert!(span.elapsed_seconds().is_some());
+        }
+        let s = r.snapshot();
+        let h = s.histogram("unit_work_seconds").expect("span histogram");
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let r = Registry::new(false);
+        {
+            let span = Span::enter(&r, "dark_work");
+            assert!(span.elapsed_seconds().is_none());
+        }
+        assert!(r.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let r = Registry::new(true);
+        {
+            let _outer = Span::enter(&r, "outer");
+            for _ in 0..3 {
+                let _inner = Span::enter(&r, "inner");
+            }
+        }
+        let s = r.snapshot();
+        assert_eq!(s.histogram("outer_seconds").unwrap().count, 1);
+        assert_eq!(s.histogram("inner_seconds").unwrap().count, 3);
+    }
+
+    #[test]
+    fn finish_is_equivalent_to_drop() {
+        let r = Registry::new(true);
+        Span::enter(&r, "finished").finish();
+        assert_eq!(r.snapshot().histogram("finished_seconds").unwrap().count, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Global-registry behavior, isolated in its own test process (each
+//! integration-test binary is one process, so enabling the global here
+//! cannot leak into other tests).
+
+use std::sync::Mutex;
+
+/// All tests in this file share the global registry; serialize them.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_clean_global(f: impl FnOnce()) {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    shil_observe::set_enabled(true);
+    shil_observe::reset();
+    f();
+    shil_observe::reset();
+    shil_observe::set_enabled(false);
+}
+
+#[test]
+fn free_functions_record_into_the_global_registry() {
+    with_clean_global(|| {
+        shil_observe::incr("t_runs_total");
+        shil_observe::counter_add("t_runs_total", 2);
+        shil_observe::gauge_set("t_threads", 3.0);
+        shil_observe::observe("t_latency_seconds", 0.01);
+        {
+            let _span = shil_observe::span("t_phase");
+        }
+        let s = shil_observe::snapshot();
+        assert_eq!(s.counter("t_runs_total"), 3);
+        assert_eq!(s.gauge("t_threads"), Some(3.0));
+        assert_eq!(s.histogram("t_latency_seconds").unwrap().count, 1);
+        assert_eq!(s.histogram("t_phase_seconds").unwrap().count, 1);
+    });
+}
+
+#[test]
+fn disabling_makes_recording_free_and_silent() {
+    with_clean_global(|| {
+        shil_observe::set_enabled(false);
+        shil_observe::incr("t_dark_total");
+        shil_observe::observe("t_dark_seconds", 1.0);
+        {
+            let _span = shil_observe::span("t_dark_span");
+        }
+        shil_observe::set_enabled(true);
+        let s = shil_observe::snapshot();
+        assert_eq!(s.counter("t_dark_total"), 0);
+        assert!(s.histogram("t_dark_seconds").is_none());
+        assert!(s.histogram("t_dark_span_seconds").is_none());
+    });
+}
+
+#[test]
+fn snapshot_export_round_trip_is_well_formed() {
+    with_clean_global(|| {
+        shil_observe::incr("t_a_total");
+        shil_observe::observe("t_h_seconds", 0.5);
+        let s = shil_observe::snapshot();
+        let json = shil_observe::to_json(&s);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"t_a_total\": 1"));
+        let prom = shil_observe::to_prometheus(&s);
+        assert!(prom.contains("t_a_total 1"));
+        assert!(prom.contains("t_h_seconds_bucket{le=\"+Inf\"} 1"));
+    });
+}

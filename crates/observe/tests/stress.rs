@@ -1,0 +1,115 @@
+//! Cross-thread stress tests for the registry primitives: heavy
+//! contention must lose no updates, and integer-valued histogram sums
+//! must be bit-deterministic regardless of interleaving (the property the
+//! sweep-engine determinism test in `shil-circuit` builds on).
+
+use std::sync::Arc;
+use std::thread;
+
+use shil_observe::Registry;
+
+const THREADS: usize = 8;
+const OPS: usize = 5_000;
+
+#[test]
+fn contended_counters_lose_no_updates() {
+    let r = Arc::new(Registry::new(true));
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let r = Arc::clone(&r);
+            s.spawn(move || {
+                let handle = r.counter("stress_total");
+                for i in 0..OPS {
+                    if i % 2 == 0 {
+                        r.incr("stress_total");
+                    } else {
+                        handle.incr();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(r.snapshot().counter("stress_total"), (THREADS * OPS) as u64);
+}
+
+#[test]
+fn contended_histograms_lose_no_samples_and_sum_exactly() {
+    let r = Arc::new(Registry::new(true));
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let r = Arc::clone(&r);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    // Integer-valued samples: f64 addition is exact below
+                    // 2^53, so the sum is independent of CAS ordering.
+                    r.observe("stress_attempts", ((t * OPS + i) % 1024) as f64);
+                }
+            });
+        }
+    });
+    let h = r.snapshot().histogram("stress_attempts").unwrap().clone();
+    assert_eq!(h.count, (THREADS * OPS) as u64);
+
+    // Serial replay must agree bit-for-bit in count AND sum.
+    let serial = Registry::new(true);
+    for t in 0..THREADS {
+        for i in 0..OPS {
+            serial.observe("stress_attempts", ((t * OPS + i) % 1024) as f64);
+        }
+    }
+    let hs = serial
+        .snapshot()
+        .histogram("stress_attempts")
+        .unwrap()
+        .clone();
+    assert_eq!(h, hs, "parallel and serial histograms differ");
+}
+
+#[test]
+fn concurrent_snapshots_are_always_internally_finite() {
+    let r = Arc::new(Registry::new(true));
+    thread::scope(|s| {
+        for _ in 0..4 {
+            let r = Arc::clone(&r);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    r.observe("live_seconds", 1e-6 * (1 + i % 100) as f64);
+                }
+            });
+        }
+        // Reader thread: snapshots taken mid-flight must stay exportable.
+        let r2 = Arc::clone(&r);
+        s.spawn(move || {
+            for _ in 0..50 {
+                let snap = r2.snapshot();
+                let json = shil_observe::to_json(&snap);
+                assert!(!json.contains("NaN"));
+                if let Some(h) = snap.histogram("live_seconds") {
+                    if h.count > 0 {
+                        assert!(h.quantile(0.5).unwrap().is_finite());
+                    }
+                }
+            }
+        });
+    });
+    let h = r.snapshot().histogram("live_seconds").unwrap().clone();
+    assert_eq!(h.count, (4 * OPS) as u64);
+}
+
+#[test]
+fn gauge_last_write_wins_under_contention() {
+    let r = Arc::new(Registry::new(true));
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let r = Arc::clone(&r);
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    r.gauge_set("stress_gauge", t as f64);
+                }
+            });
+        }
+    });
+    let v = r.snapshot().gauge("stress_gauge").unwrap();
+    assert!((0.0..THREADS as f64).contains(&v));
+    assert_eq!(v, v.trunc(), "gauge holds a torn value: {v}");
+}

@@ -6,6 +6,15 @@
 //! shil-cli ac <file.cir> --port <node-a> <node-b> --from 1e5 --to 1e6 --points 200 [--csv out.csv]
 //! ```
 //!
+//! Global flags (any subcommand):
+//!
+//! - `--quiet` — suppress progress events on stderr (errors still show;
+//!   data output on stdout is unaffected).
+//! - `--metrics-out [path]` — enable the process-wide metric registry and
+//!   write a run manifest (default `results/manifest_shil_cli.json`).
+//! - `--events-out [path]` — additionally mirror every progress event to a
+//!   JSONL file (default `results/events_shil_cli.jsonl`).
+//!
 //! See `shil_circuit::netlist` for the accepted netlist cards.
 
 use std::process::ExitCode;
@@ -14,12 +23,14 @@ use shil::circuit::analysis::{
     ac_impedance, operating_point, transient, AcOptions, OpOptions, TranOptions,
 };
 use shil::circuit::{netlist, Circuit};
+use shil::observe::{self, EventLog, RunManifest};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  shil-cli op <file.cir>\n  shil-cli tran <file.cir> --dt <s> --stop <s> \
          --probe <node> [--probe <node>] [--csv <out>]\n  shil-cli ac <file.cir> --port <a> <b> \
-         --from <hz> --to <hz> [--points <n>] [--csv <out>]"
+         --from <hz> --to <hz> [--points <n>] [--csv <out>]\n\
+         global flags: [--quiet] [--metrics-out [path]] [--events-out [path]]"
     );
     ExitCode::from(2)
 }
@@ -43,33 +54,109 @@ fn flag_values(args: &[String], flag: &str) -> Vec<String> {
     out
 }
 
-fn load(path: &str) -> Result<Circuit, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    netlist::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+/// A flag whose value is optional: absent → `None`, `--flag` alone →
+/// `Some(default)`, `--flag path` → `Some(path)`. A following token that
+/// looks like another flag does not count as the value.
+fn optional_path(args: &[String], flag: &str, default: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => Some(default.to_string()),
+    }
+}
+
+fn load(path: &str, log: &EventLog) -> Result<Circuit, ()> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        log.error(
+            "netlist_read_failed",
+            &[("path", path.into()), ("error", e.to_string().into())],
+        );
+    })?;
+    netlist::parse(&text).map_err(|e| {
+        log.error(
+            "netlist_parse_failed",
+            &[("path", path.into()), ("error", e.to_string().into())],
+        );
+    })
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let metrics_out = optional_path(&args, "--metrics-out", "results/manifest_shil_cli.json");
+    let events_out = optional_path(&args, "--events-out", "results/events_shil_cli.jsonl");
+    if metrics_out.is_some() {
+        observe::set_enabled(true);
+    }
+    let log = match &events_out {
+        Some(path) => match EventLog::to_path(path.as_ref(), quiet) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("cannot open event log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => EventLog::terminal(quiet),
+    };
+
+    let mut manifest = RunManifest::start("shil-cli");
+    manifest.push_config("quiet", quiet);
+    if let Some(cmd) = args.first() {
+        manifest.push_config("command", cmd.as_str());
+    }
+    if let Some(file) = args.get(1) {
+        manifest.push_config("netlist", file.as_str());
+    }
+
+    let code = run(&args, &log);
+
+    if let Some(path) = &metrics_out {
+        let manifest = manifest.finish(observe::global());
+        match manifest.write(path.as_ref()) {
+            Ok(()) => log.info("manifest_written", &[("path", path.as_str().into())]),
+            Err(e) => {
+                log.error(
+                    "manifest_write_failed",
+                    &[
+                        ("path", path.as_str().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    code
+}
+
+fn run(args: &[String], log: &EventLog) -> ExitCode {
     let (Some(cmd), Some(file)) = (args.first(), args.get(1)) else {
         return usage();
     };
-    let ckt = match load(file) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+    let Ok(ckt) = load(file, log) else {
+        return ExitCode::FAILURE;
     };
+    log.info(
+        "netlist_loaded",
+        &[
+            ("path", file.as_str().into()),
+            ("nodes", (ckt.num_nodes() as u64).into()),
+        ],
+    );
     let rest = &args[2..];
     match cmd.as_str() {
         "op" => {
             let op = match operating_point(&ckt, &OpOptions::default()) {
                 Ok(op) => op,
                 Err(e) => {
-                    eprintln!("operating point failed: {e}");
+                    log.error("op_failed", &[("error", e.to_string().into())]);
                     return ExitCode::FAILURE;
                 }
             };
+            log.info(
+                "op_solved",
+                &[("attempts", (op.report.attempts as u64).into())],
+            );
             println!("node voltages:");
             for id in 1..ckt.num_nodes() {
                 println!(
@@ -89,7 +176,7 @@ fn main() -> ExitCode {
             };
             let probes: Vec<String> = flag_values(rest, "--probe");
             if probes.is_empty() {
-                eprintln!("tran needs at least one --probe <node>");
+                log.error("tran_needs_probe", &[]);
                 return ExitCode::from(2);
             }
             let mut probe_ids = Vec::new();
@@ -97,18 +184,30 @@ fn main() -> ExitCode {
                 match ckt.find_node(p) {
                     Some(id) => probe_ids.push(id),
                     None => {
-                        eprintln!("unknown probe node `{p}`");
+                        log.error("unknown_probe_node", &[("node", p.as_str().into())]);
                         return ExitCode::FAILURE;
                     }
                 }
             }
+            log.info(
+                "tran_started",
+                &[("dt_s", dt.into()), ("stop_s", stop.into())],
+            );
             let res = match transient(&ckt, &TranOptions::new(dt, stop)) {
                 Ok(r) => r,
                 Err(e) => {
-                    eprintln!("transient failed: {e}");
+                    log.error("tran_failed", &[("error", e.to_string().into())]);
                     return ExitCode::FAILURE;
                 }
             };
+            log.info(
+                "tran_finished",
+                &[
+                    ("steps", (res.time.len() as u64).into()),
+                    ("attempts", (res.report.attempts as u64).into()),
+                    ("reuses", (res.report.reuses as u64).into()),
+                ],
+            );
             let mut out = String::from("t");
             for p in &probes {
                 out.push(',');
@@ -123,7 +222,7 @@ fn main() -> ExitCode {
                 }
                 out.push('\n');
             }
-            emit(rest, &out)
+            emit(rest, &out, log)
         }
         "ac" => {
             let ports = flag_values(rest, "--port");
@@ -133,7 +232,7 @@ fn main() -> ExitCode {
                 .and_then(|i| rest.get(i + 2))
                 .cloned();
             let (Some(pa), Some(pb)) = (ports.first().cloned(), port_b) else {
-                eprintln!("ac needs --port <node-a> <node-b>");
+                log.error("ac_needs_port_pair", &[]);
                 return ExitCode::from(2);
             };
             let (Some(from), Some(to)) = (
@@ -154,16 +253,24 @@ fn main() -> ExitCode {
                 }
             };
             let (Some(a), Some(b)) = (node(&pa), node(&pb)) else {
-                eprintln!("unknown port node");
+                log.error("unknown_port_node", &[]);
                 return ExitCode::FAILURE;
             };
             let freqs: Vec<f64> = (0..points)
                 .map(|k| from * (to / from).powf(k as f64 / (points - 1) as f64))
                 .collect();
+            log.info(
+                "ac_started",
+                &[
+                    ("from_hz", from.into()),
+                    ("to_hz", to.into()),
+                    ("points", (points as u64).into()),
+                ],
+            );
             let z = match ac_impedance(&ckt, a, b, &freqs, &AcOptions::default()) {
                 Ok(z) => z,
                 Err(e) => {
-                    eprintln!("ac analysis failed: {e}");
+                    log.error("ac_failed", &[("error", e.to_string().into())]);
                     return ExitCode::FAILURE;
                 }
             };
@@ -171,21 +278,27 @@ fn main() -> ExitCode {
             for (f, zk) in freqs.iter().zip(&z) {
                 out.push_str(&format!("{:e},{:e},{:e}\n", f, zk.abs(), zk.arg()));
             }
-            emit(rest, &out)
+            emit(rest, &out, log)
         }
         _ => usage(),
     }
 }
 
-fn emit(rest: &[String], content: &str) -> ExitCode {
+fn emit(rest: &[String], content: &str, log: &EventLog) -> ExitCode {
     match flag_value(rest, "--csv") {
         Some(path) => match std::fs::write(&path, content) {
             Ok(()) => {
-                println!("wrote {path}");
+                log.info("csv_written", &[("path", path.as_str().into())]);
                 ExitCode::SUCCESS
             }
             Err(e) => {
-                eprintln!("cannot write {path}: {e}");
+                log.error(
+                    "csv_write_failed",
+                    &[
+                        ("path", path.as_str().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
                 ExitCode::FAILURE
             }
         },

@@ -12,6 +12,8 @@
 //! - [`waveform`] — post-processing of transient waveforms (amplitude,
 //!   frequency, lock detection, SHIL state classification).
 //! - [`numerics`] — the shared numerical kernel.
+//! - [`observe`] — zero-dependency metrics, span timers, structured events
+//!   and run manifests, wired through every layer above.
 //! - [`plot`] — ASCII/SVG/CSV rendering of the graphical procedure.
 //!
 //! # Quickstart
@@ -42,5 +44,6 @@ pub mod repro;
 pub use shil_circuit as circuit;
 pub use shil_core as core;
 pub use shil_numerics as numerics;
+pub use shil_observe as observe;
 pub use shil_plot as plot;
 pub use shil_waveform as waveform;
