@@ -22,7 +22,10 @@
 //!
 //! Writes `results/BENCH_tran.json` for regression tracking. Pass
 //! `--quick` for a seconds-scale smoke run (same fields, shorter
-//! transients) — used by the CI bench-smoke job.
+//! transients) — used by the CI bench-smoke job. `--timeout <s>` arms a
+//! whole-process deadline on every transient (via `shil_runtime::Budget`):
+//! a run that cannot finish in time aborts with a cancellation error
+//! instead of hanging the CI lane.
 
 use std::time::Duration;
 
@@ -31,6 +34,7 @@ use shil::circuit::mna::MnaStructure;
 use shil::circuit::{Circuit, NodeId, TranResult};
 use shil::observe::{EventLog, RunManifest};
 use shil::repro::diff_pair::{DiffPairOscillator, DiffPairParams};
+use shil::runtime::Budget;
 use shil_bench::{obs, paper, results_dir, timed};
 
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -73,13 +77,32 @@ fn tran_options(
     reuse: bool,
 ) -> TranOptions {
     let period = paper::N as f64 / f_inj;
-    let mut opts =
-        TranOptions::new(period / 96.0, periods * period).with_ic(kick_node, params.vcc + 0.05);
+    let mut opts = TranOptions::new(period / 96.0, periods * period)
+        .with_ic(kick_node, params.vcc + 0.05)
+        .with_budget(harness_budget());
     opts.solver = solver;
     if !reuse {
         opts.reuse_tolerance = 0.0;
     }
     opts
+}
+
+/// The whole-harness budget from `--timeout <s>` (unlimited when absent).
+/// Built once per call so every transient shares the same process deadline.
+fn harness_budget() -> Budget {
+    static DEADLINE: std::sync::OnceLock<Option<std::time::Instant>> = std::sync::OnceLock::new();
+    let deadline = *DEADLINE.get_or_init(|| {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--timeout")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|s| std::time::Instant::now() + Duration::from_secs_f64(s))
+    });
+    match deadline {
+        Some(at) => Budget::with_deadline(at.saturating_duration_since(std::time::Instant::now())),
+        None => Budget::unlimited(),
+    }
 }
 
 /// Max pointwise deviation between two runs of the same circuit.

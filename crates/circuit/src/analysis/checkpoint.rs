@@ -1,0 +1,117 @@
+//! Bridging [`SolveReport`] to durable checkpoint records.
+//!
+//! A sweep checkpoint (see `shil_runtime::checkpoint`) stores per-item
+//! solver-effort counters as **exact `u64`s** — never through an `f64` —
+//! so an aggregate folded from restored records is bit-identical to one
+//! folded from live runs. This module owns the two directions of that
+//! mapping plus the stable counter slugs.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::report::{FallbackKind, SolveReport};
+
+/// Stable checkpoint slug for a fallback strategy. The stored *value* is
+/// the strategy's 1-based position in [`SolveReport::fallbacks`], so the
+/// first-seen order (which [`SolveReport::absorb`] preserves when folding
+/// an aggregate) survives the round-trip.
+fn fallback_slug(kind: FallbackKind) -> &'static str {
+    match kind {
+        FallbackKind::GminStepping => "fallback_gmin",
+        FallbackKind::SourceStepping => "fallback_source",
+        FallbackKind::StepHalving => "fallback_step_halving",
+    }
+}
+
+/// Every (slug, kind) pair, for the decoding direction.
+const FALLBACK_SLUGS: [(&str, FallbackKind); 3] = [
+    ("fallback_gmin", FallbackKind::GminStepping),
+    ("fallback_source", FallbackKind::SourceStepping),
+    ("fallback_step_halving", FallbackKind::StepHalving),
+];
+
+/// Encodes a report as exact-integer checkpoint counters.
+///
+/// `wall_ns` is carried for diagnostics and wall-time aggregation on
+/// resume; like every wall-clock number in the sweep stack it is *excluded*
+/// from bit-identity claims.
+pub(crate) fn report_to_counters(report: &SolveReport) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    m.insert("attempts".to_string(), report.attempts as u64);
+    m.insert("halvings".to_string(), report.halvings as u64);
+    m.insert("factorizations".to_string(), report.factorizations as u64);
+    m.insert("reuses".to_string(), report.reuses as u64);
+    m.insert("wall_ns".to_string(), report.wall_time.as_nanos() as u64);
+    for (pos, &kind) in report.fallbacks.iter().enumerate() {
+        m.insert(fallback_slug(kind).to_string(), pos as u64 + 1);
+    }
+    m
+}
+
+/// Decodes checkpoint counters back into a report. Unknown slugs are
+/// ignored (forward compatibility); missing slugs read as zero/absent.
+pub(crate) fn counters_to_report(counters: &BTreeMap<String, u64>) -> SolveReport {
+    let get = |key: &str| counters.get(key).copied().unwrap_or(0) as usize;
+    let mut ordered: Vec<(u64, FallbackKind)> = FALLBACK_SLUGS
+        .iter()
+        .filter_map(|&(slug, kind)| counters.get(slug).map(|&pos| (pos, kind)))
+        .collect();
+    ordered.sort_by_key(|&(pos, _)| pos);
+    SolveReport {
+        attempts: get("attempts"),
+        halvings: get("halvings"),
+        factorizations: get("factorizations"),
+        reuses: get("reuses"),
+        wall_time: Duration::from_nanos(counters.get("wall_ns").copied().unwrap_or(0)),
+        fallbacks: ordered.into_iter().map(|(_, kind)| kind).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counters_round_trip_exactly() {
+        let report = SolveReport {
+            attempts: 12_345,
+            halvings: 7,
+            fallbacks: vec![FallbackKind::StepHalving, FallbackKind::GminStepping],
+            factorizations: 901,
+            reuses: 12_000,
+            wall_time: Duration::from_nanos(123_456_789),
+        };
+        let back = counters_to_report(&report_to_counters(&report));
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn fallback_order_survives_the_round_trip() {
+        for fallbacks in [
+            vec![],
+            vec![FallbackKind::GminStepping],
+            vec![FallbackKind::SourceStepping, FallbackKind::StepHalving],
+            vec![
+                FallbackKind::StepHalving,
+                FallbackKind::SourceStepping,
+                FallbackKind::GminStepping,
+            ],
+        ] {
+            let report = SolveReport {
+                fallbacks: fallbacks.clone(),
+                ..SolveReport::new()
+            };
+            assert_eq!(
+                counters_to_report(&report_to_counters(&report)).fallbacks,
+                fallbacks
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_counters_are_ignored() {
+        let mut counters = report_to_counters(&SolveReport::new());
+        counters.insert("from_the_future".to_string(), 99);
+        assert_eq!(counters_to_report(&counters), SolveReport::new());
+    }
+}

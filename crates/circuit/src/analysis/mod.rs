@@ -1,6 +1,7 @@
 //! Circuit analyses: operating point, DC sweep, AC small-signal, transient.
 
 mod ac;
+mod checkpoint;
 mod dc;
 mod op;
 mod sweep;
@@ -9,5 +10,5 @@ mod tran;
 pub use ac::{ac_impedance, AcOptions};
 pub use dc::{dc_sweep, DcSweep};
 pub use op::{operating_point, operating_point_with_guess, OpOptions, OpSolution};
-pub use sweep::{SweepEngine, TranSweep};
+pub use sweep::{PolicySweep, SweepEngine, SweepItem, TranSweep};
 pub use tran::{transient, SolverKind, TranOptions};

@@ -26,13 +26,21 @@
 //! assert!(sweep.aggregate.attempts > 0);
 //! ```
 
+use std::collections::BTreeMap;
+use std::time::Instant;
+
 use shil_numerics::parallel::{effective_parallelism, ordered_map};
+use shil_numerics::NumericsError;
+use shil_runtime::{
+    isolate, Budget, CancelToken, CheckpointFile, CheckpointRecord, ItemOutcome, SweepPolicy,
+};
 
 use crate::circuit::Circuit;
 use crate::error::CircuitError;
 use crate::report::SolveReport;
 use crate::trace::TranResult;
 
+use super::checkpoint::{counters_to_report, report_to_counters};
 use super::tran::{transient, TranOptions};
 
 /// Fans independent analyses across scoped worker threads with
@@ -117,10 +125,285 @@ impl SweepEngine {
     }
 }
 
+/// Canonical counter name for a per-item outcome.
+fn outcome_metric(outcome: ItemOutcome) -> &'static str {
+    match outcome {
+        ItemOutcome::Ok => "shil_sweep_outcome_ok_total",
+        ItemOutcome::Degraded => "shil_sweep_outcome_degraded_total",
+        ItemOutcome::Failed => "shil_sweep_outcome_failed_total",
+        ItemOutcome::TimedOut => "shil_sweep_outcome_timed_out_total",
+        ItemOutcome::Panicked => "shil_sweep_outcome_panicked_total",
+        ItemOutcome::Cancelled => "shil_sweep_outcome_cancelled_total",
+        // `ItemOutcome` is non_exhaustive in shil-runtime.
+        _ => "shil_sweep_outcome_other_total",
+    }
+}
+
+impl SweepEngine {
+    /// Policy-driven sweep: per-item panic isolation, bounded
+    /// retry-with-backoff, per-item timeouts and whole-sweep
+    /// deadline/cancellation, with every item ending in exactly one
+    /// classified [`ItemOutcome`].
+    ///
+    /// `run` receives the item's index, the item, and a per-attempt
+    /// [`Budget`] (the sweep budget narrowed by `policy.item_timeout`) that
+    /// it should thread into its solves; it returns the item's value plus
+    /// the [`SolveReport`] describing the effort spent.
+    pub fn run_with_policy<I, T, F>(
+        &self,
+        items: &[I],
+        policy: &SweepPolicy,
+        budget: &Budget,
+        run: F,
+    ) -> PolicySweep<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I, &Budget) -> Result<(T, SolveReport), CircuitError> + Sync,
+    {
+        self.run_checkpointed(
+            items,
+            policy,
+            budget,
+            None,
+            run,
+            |_| String::new(),
+            |_| None,
+        )
+    }
+
+    /// [`SweepEngine::run_with_policy`] with durable checkpoint/resume.
+    ///
+    /// When `checkpoint` is given, every completed item appends one flushed
+    /// JSONL record, and items already restored from a previous run of the
+    /// *same* sweep (successful outcome, decodable payload) are skipped —
+    /// their values and effort counters come from the file, so the resumed
+    /// sweep's deterministic aggregates are bit-identical to an
+    /// uninterrupted run's. Unsuccessful recorded items re-run.
+    ///
+    /// `encode`/`decode` serialize an item's value into the record payload;
+    /// use an exact encoding (e.g. hex `f64::to_bits`) to keep resumed
+    /// values bit-identical too.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_checkpointed<I, T, F, E, D>(
+        &self,
+        items: &[I],
+        policy: &SweepPolicy,
+        budget: &Budget,
+        checkpoint: Option<&CheckpointFile>,
+        run: F,
+        encode: E,
+        decode: D,
+    ) -> PolicySweep<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I, &Budget) -> Result<(T, SolveReport), CircuitError> + Sync,
+        E: Fn(&T) -> String + Sync,
+        D: Fn(&str) -> Option<T> + Sync,
+    {
+        shil_observe::gauge_set("shil_sweep_threads", self.threads as f64);
+        let _sweep_span = shil_observe::span("shil_policy_sweep");
+        // The sweep budget layers the policy deadline (clock restarts at
+        // sweep start) and, for fail-fast, an internal token on top of
+        // whatever tokens/deadline the caller provided.
+        let fail_token = CancelToken::new();
+        let mut sweep_budget = budget.child(policy.deadline);
+        if policy.fail_fast {
+            sweep_budget = sweep_budget.with_token(fail_token.clone());
+        }
+        let sweep_budget = &sweep_budget;
+        let fail_token = &fail_token;
+
+        let out = self.map(items, |i, item| {
+            let started = Instant::now();
+            // Resume path: a restored success short-circuits the run.
+            if let Some(cp) = checkpoint {
+                if let Some(rec) = cp.restored().get(&i) {
+                    if rec.outcome.is_success() {
+                        if let Some(value) = decode(&rec.payload) {
+                            shil_observe::incr("shil_sweep_restored_total");
+                            shil_observe::incr(outcome_metric(rec.outcome));
+                            return SweepItem {
+                                outcome: rec.outcome,
+                                tries: rec.tries,
+                                value: Some(value),
+                                report: counters_to_report(&rec.counters),
+                                error: None,
+                                restored: true,
+                            };
+                        }
+                    }
+                }
+            }
+
+            let mut tries: u32 = 0;
+            let mut last_error: Option<String> = None;
+            let (outcome, value, report) = loop {
+                if sweep_budget.cancelled().is_some() {
+                    break (ItemOutcome::Cancelled, None, SolveReport::new());
+                }
+                tries += 1;
+                let attempt_budget = sweep_budget.child(policy.item_timeout);
+                let may_retry = (tries as usize) <= policy.max_retries;
+                match isolate(|| run(i, item, &attempt_budget)) {
+                    Ok(Ok((value, report))) => {
+                        let outcome = if report.escalated() {
+                            ItemOutcome::Degraded
+                        } else {
+                            ItemOutcome::Ok
+                        };
+                        if outcome == ItemOutcome::Degraded && policy.retry_degraded && may_retry {
+                            shil_observe::incr("shil_sweep_retries_total");
+                            std::thread::sleep(policy.backoff(tries as usize - 1));
+                            continue;
+                        }
+                        break (outcome, Some(value), report);
+                    }
+                    Ok(Err(e)) => {
+                        let attempt_cancelled =
+                            matches!(&e, CircuitError::Numerics(NumericsError::Cancelled { .. }));
+                        if attempt_cancelled && sweep_budget.cancelled().is_some() {
+                            // The whole sweep stopped, not just this attempt.
+                            break (ItemOutcome::Cancelled, None, SolveReport::new());
+                        }
+                        last_error = Some(e.to_string());
+                        if may_retry {
+                            shil_observe::incr("shil_sweep_retries_total");
+                            std::thread::sleep(policy.backoff(tries as usize - 1));
+                            continue;
+                        }
+                        let outcome = if attempt_cancelled {
+                            ItemOutcome::TimedOut
+                        } else {
+                            ItemOutcome::Failed
+                        };
+                        break (outcome, None, SolveReport::new());
+                    }
+                    Err(panic_msg) => {
+                        shil_observe::incr("shil_sweep_panics_total");
+                        last_error = Some(panic_msg);
+                        if may_retry {
+                            shil_observe::incr("shil_sweep_retries_total");
+                            std::thread::sleep(policy.backoff(tries as usize - 1));
+                            continue;
+                        }
+                        break (ItemOutcome::Panicked, None, SolveReport::new());
+                    }
+                }
+            };
+            if policy.fail_fast && !outcome.is_success() {
+                fail_token.cancel();
+            }
+            shil_observe::incr(outcome_metric(outcome));
+            shil_observe::incr("shil_sweep_items_total");
+            shil_observe::observe("shil_sweep_item_seconds", started.elapsed().as_secs_f64());
+            let item_out = SweepItem {
+                outcome,
+                tries,
+                value,
+                report,
+                error: last_error,
+                restored: false,
+            };
+            if let Some(cp) = checkpoint {
+                let record = CheckpointRecord {
+                    index: i,
+                    outcome,
+                    tries,
+                    wall_s: started.elapsed().as_secs_f64(),
+                    counters: if outcome.is_success() {
+                        report_to_counters(&item_out.report)
+                    } else {
+                        BTreeMap::new()
+                    },
+                    payload: match (&item_out.value, &item_out.error) {
+                        (Some(v), _) => encode(v),
+                        (None, Some(e)) => e.clone(),
+                        _ => String::new(),
+                    },
+                };
+                // A checkpoint write failure degrades durability, never the
+                // sweep itself.
+                if cp.append(&record).is_err() {
+                    shil_observe::incr("shil_sweep_checkpoint_write_failures_total");
+                }
+            }
+            item_out
+        });
+
+        // Serial fold in input order: the aggregate (minus wall time, as
+        // everywhere in this module) is deterministic at any thread count,
+        // and restored items contribute their exact recorded counters.
+        let mut aggregate = SolveReport::new();
+        for item in &out {
+            if item.outcome.is_success() {
+                aggregate.absorb(&item.report);
+            }
+        }
+        let cancelled = sweep_budget.cancelled().is_some();
+        PolicySweep {
+            items: out,
+            aggregate,
+            cancelled,
+        }
+    }
+}
+
 impl Default for SweepEngine {
     /// One worker per available core.
     fn default() -> Self {
         Self::new(None)
+    }
+}
+
+/// One item of a policy-driven sweep: the classified outcome plus
+/// everything recovered from the attempt(s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepItem<T> {
+    /// How the item ended, after retries.
+    pub outcome: ItemOutcome,
+    /// Attempts spent (1 + retries; the recorded count when restored).
+    pub tries: u32,
+    /// The item's value, when [`ItemOutcome::is_success`].
+    pub value: Option<T>,
+    /// Solver effort behind the value (empty for unsuccessful items, whose
+    /// failed attempts report no effort).
+    pub report: SolveReport,
+    /// The last attempt's error or panic message, for diagnostics.
+    pub error: Option<String>,
+    /// Whether the value came from a checkpoint instead of a live run.
+    pub restored: bool,
+}
+
+/// The outcome of a policy-driven sweep.
+#[derive(Debug)]
+pub struct PolicySweep<T> {
+    /// One entry per input item, in input order.
+    pub items: Vec<SweepItem<T>>,
+    /// Successful items' reports folded in input order — deterministic
+    /// (minus wall time) at any thread count, and across kill/resume.
+    pub aggregate: SolveReport,
+    /// Whether the sweep budget was tripped (deadline, caller token, or a
+    /// fail-fast abort) while items were still outstanding.
+    pub cancelled: bool,
+}
+
+impl<T> PolicySweep<T> {
+    /// Number of items that produced a usable value.
+    pub fn ok_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|item| item.outcome.is_success())
+            .count()
+    }
+
+    /// Number of items that ended with the given outcome.
+    pub fn outcome_count(&self, outcome: ItemOutcome) -> usize {
+        self.items
+            .iter()
+            .filter(|item| item.outcome == outcome)
+            .count()
     }
 }
 
@@ -238,5 +521,252 @@ mod tests {
         assert!(sweep.runs[2].is_ok());
         assert_eq!(sweep.ok_count(), 2);
         assert!(sweep.into_results().is_err());
+    }
+
+    /// A policy-sweep runner over the tanh oscillator: value is the final
+    /// top-node voltage, exactly as bits.
+    fn oscillator_runner(
+        i: usize,
+        scale: &f64,
+        budget: &Budget,
+    ) -> Result<(f64, SolveReport), CircuitError> {
+        let _ = i;
+        let (ckt, opts) = oscillator_setup(scale);
+        let res = transient(&ckt, &opts.with_budget(budget.clone()))?;
+        let v = *res.node_voltage(1).unwrap().last().unwrap();
+        Ok((v, res.report))
+    }
+
+    #[test]
+    fn policy_sweep_classifies_every_item_and_matches_plain_sweep() {
+        let scales: Vec<f64> = (0..5).map(|k| 0.8 + 0.1 * k as f64).collect();
+        let engine = SweepEngine::new(Some(3));
+        let sweep = engine.run_with_policy(
+            &scales,
+            &SweepPolicy::default(),
+            &Budget::unlimited(),
+            oscillator_runner,
+        );
+        assert_eq!(sweep.items.len(), 5);
+        assert_eq!(sweep.ok_count(), 5);
+        assert!(!sweep.cancelled);
+        for item in &sweep.items {
+            assert!(item.outcome.is_success());
+            assert_eq!(item.tries, 1);
+            assert!(item.value.unwrap().is_finite());
+            assert!(!item.restored);
+        }
+        // Same work as the plain transient sweep → same deterministic
+        // aggregate (minus wall time).
+        let plain = SweepEngine::serial().transient_sweep(&scales, |_, s| oscillator_setup(s));
+        assert_eq!(sweep.aggregate.attempts, plain.aggregate.attempts);
+        assert_eq!(sweep.aggregate.halvings, plain.aggregate.halvings);
+        assert_eq!(sweep.aggregate.fallbacks, plain.aggregate.fallbacks);
+    }
+
+    #[test]
+    fn panicking_item_is_isolated_and_classified() {
+        let items: Vec<usize> = (0..6).collect();
+        let sweep = SweepEngine::new(Some(2)).run_with_policy(
+            &items,
+            &SweepPolicy::default(),
+            &Budget::unlimited(),
+            |_, &k, _| {
+                if k == 3 {
+                    panic!("deliberate test panic on item {k}");
+                }
+                Ok((k as f64, SolveReport::new()))
+            },
+        );
+        assert_eq!(sweep.ok_count(), 5);
+        assert_eq!(sweep.items[3].outcome, ItemOutcome::Panicked);
+        assert_eq!(sweep.items[3].value, None);
+        assert!(sweep.items[3]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("deliberate test panic"));
+        // Neighbors are untouched.
+        assert_eq!(sweep.items[2].value, Some(2.0));
+        assert_eq!(sweep.items[4].value, Some(4.0));
+    }
+
+    #[test]
+    fn retries_with_backoff_rescue_flaky_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let items = [0usize];
+        let policy = SweepPolicy {
+            max_retries: 3,
+            retry_backoff: std::time::Duration::from_millis(1),
+            ..SweepPolicy::default()
+        };
+        let sweep = SweepEngine::serial().run_with_policy(
+            &items,
+            &policy,
+            &Budget::unlimited(),
+            |_, _, _| {
+                // Panic once, fail once, then succeed.
+                match calls.fetch_add(1, Ordering::SeqCst) {
+                    0 => panic!("flaky"),
+                    1 => Err(CircuitError::InvalidParameter("flaky".into())),
+                    _ => Ok((42.0, SolveReport::new())),
+                }
+            },
+        );
+        assert_eq!(sweep.items[0].outcome, ItemOutcome::Ok);
+        assert_eq!(sweep.items[0].tries, 3);
+        assert_eq!(sweep.items[0].value, Some(42.0));
+    }
+
+    #[test]
+    fn zero_second_item_timeout_classifies_as_timed_out() {
+        let scales = [1.0f64];
+        let policy = SweepPolicy {
+            item_timeout: Some(std::time::Duration::ZERO),
+            ..SweepPolicy::default()
+        };
+        let sweep = SweepEngine::serial().run_with_policy(
+            &scales,
+            &policy,
+            &Budget::unlimited(),
+            oscillator_runner,
+        );
+        assert_eq!(sweep.items[0].outcome, ItemOutcome::TimedOut);
+        assert!(!sweep.cancelled, "only the item timed out, not the sweep");
+    }
+
+    #[test]
+    fn cancelled_sweep_budget_classifies_as_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        let scales = [1.0f64, 1.1];
+        let sweep = SweepEngine::serial().run_checkpointed(
+            &scales,
+            &SweepPolicy::default(),
+            &Budget::unlimited().with_token(token),
+            None,
+            oscillator_runner,
+            |v| format!("{:016x}", v.to_bits()),
+            |_| None,
+        );
+        assert!(sweep.cancelled);
+        for item in &sweep.items {
+            assert_eq!(item.outcome, ItemOutcome::Cancelled);
+            assert_eq!(item.tries, 0, "no attempt should start");
+        }
+    }
+
+    #[test]
+    fn fail_fast_cancels_the_remaining_items() {
+        // Serial engine, so the failure at index 0 is observed before the
+        // rest start: every later item must come back Cancelled.
+        let items: Vec<usize> = (0..4).collect();
+        let policy = SweepPolicy {
+            fail_fast: true,
+            ..SweepPolicy::default()
+        };
+        let sweep = SweepEngine::serial().run_with_policy(
+            &items,
+            &policy,
+            &Budget::unlimited(),
+            |_, &k, _| {
+                if k == 0 {
+                    Err(CircuitError::InvalidParameter("poison".into()))
+                } else {
+                    Ok((k as f64, SolveReport::new()))
+                }
+            },
+        );
+        assert_eq!(sweep.items[0].outcome, ItemOutcome::Failed);
+        for item in &sweep.items[1..] {
+            assert_eq!(item.outcome, ItemOutcome::Cancelled);
+        }
+        assert!(sweep.cancelled);
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("shil_sweep_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.jsonl");
+        std::fs::remove_file(&path).ok();
+
+        let scales: Vec<f64> = (0..6).map(|k| 0.8 + 0.08 * k as f64).collect();
+        let fp = shil_runtime::checkpoint::fingerprint("sweep-test", &scales);
+        let encode = |v: &f64| format!("{:016x}", v.to_bits());
+        let decode = |s: &str| u64::from_str_radix(s, 16).ok().map(f64::from_bits);
+
+        // Reference: uninterrupted, no checkpoint.
+        let reference = SweepEngine::serial().run_with_policy(
+            &scales,
+            &SweepPolicy::default(),
+            &Budget::unlimited(),
+            oscillator_runner,
+        );
+
+        // First run with checkpoint, then truncate the file mid-record to
+        // simulate a SIGKILL tearing the last line.
+        {
+            let cp = CheckpointFile::open(&path, &fp, scales.len()).unwrap();
+            SweepEngine::serial().run_checkpointed(
+                &scales,
+                &SweepPolicy::default(),
+                &Budget::unlimited(),
+                Some(&cp),
+                oscillator_runner,
+                encode,
+                decode,
+            );
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(4).collect(); // header + 3 records
+        let torn = format!(
+            "{}\n{}",
+            keep.join("\n"),
+            &text.lines().nth(4).unwrap()[..20]
+        );
+        std::fs::write(&path, torn).unwrap();
+
+        // Resume at various thread counts: restored + re-run must equal the
+        // uninterrupted reference exactly.
+        for threads in [1usize, 2, 3, 16] {
+            let work = std::path::PathBuf::from(format!("{}.t{threads}", path.display()));
+            std::fs::copy(&path, &work).unwrap();
+            let cp = CheckpointFile::open(&work, &fp, scales.len()).unwrap();
+            assert_eq!(cp.restored().len(), 3, "3 complete records survive");
+            let resumed = SweepEngine::new(Some(threads)).run_checkpointed(
+                &scales,
+                &SweepPolicy::default(),
+                &Budget::unlimited(),
+                Some(&cp),
+                oscillator_runner,
+                encode,
+                decode,
+            );
+            assert_eq!(resumed.items.len(), reference.items.len());
+            let mut restored_count = 0;
+            for (i, (a, b)) in reference.items.iter().zip(&resumed.items).enumerate() {
+                assert_eq!(a.outcome, b.outcome, "outcome, item {i}");
+                assert_eq!(
+                    a.value.map(f64::to_bits),
+                    b.value.map(f64::to_bits),
+                    "value bits, item {i}, threads {threads}"
+                );
+                restored_count += b.restored as usize;
+            }
+            assert_eq!(restored_count, 3, "threads {threads}");
+            // Aggregate bit-identity, wall time excluded as everywhere.
+            assert_eq!(resumed.aggregate.attempts, reference.aggregate.attempts);
+            assert_eq!(resumed.aggregate.halvings, reference.aggregate.halvings);
+            assert_eq!(resumed.aggregate.fallbacks, reference.aggregate.fallbacks);
+            assert_eq!(
+                resumed.aggregate.factorizations,
+                reference.aggregate.factorizations
+            );
+            assert_eq!(resumed.aggregate.reuses, reference.aggregate.reuses);
+            std::fs::remove_file(&work).ok();
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

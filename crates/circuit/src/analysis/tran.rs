@@ -12,6 +12,7 @@ use std::time::Instant;
 use shil_numerics::solver::{BypassSolver, DenseSolver, LinearSolver};
 use shil_numerics::sparse::{SparseMatrix, SparseSolver};
 use shil_numerics::{Matrix, NumericsError};
+use shil_runtime::{Budget, SweepPolicy};
 
 use crate::circuit::{Circuit, NodeId};
 use crate::error::CircuitError;
@@ -87,7 +88,18 @@ pub struct TranOptions {
     /// bounds the worst-case slowdown of a pathologically stiff (or
     /// fault-injected) circuit before the analysis gives up with the last
     /// step's diagnostics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TranOptions::with_step_retry_budget (or with_policy with a \
+                shil_runtime::SweepPolicy, whose step_retry_budget is the \
+                canonical home for this knob)"
+    )]
     pub retry_budget: usize,
+    /// Execution budget for the whole run: cancellation tokens and/or a
+    /// wall-clock deadline, checked cooperatively before the operating-point
+    /// solve, at every step boundary, and inside every Newton iteration.
+    /// Unlimited by default (one branch per check, no behavior change).
+    pub budget: Budget,
     /// Linear-solver backend ([`SolverKind::Auto`] picks sparse beyond a
     /// handful of unknowns; the choice never changes results, only speed).
     pub solver: SolverKind,
@@ -129,6 +141,7 @@ impl TranOptions {
                 "need finite 0 < dt < t_stop, got dt = {dt}, t_stop = {t_stop}"
             )));
         }
+        #[allow(deprecated)]
         Ok(TranOptions {
             dt,
             t_stop,
@@ -140,7 +153,8 @@ impl TranOptions {
             abstol: 1e-9,
             max_newton_iter: 80,
             max_halvings: 14,
-            retry_budget: 1000,
+            retry_budget: SweepPolicy::default().step_retry_budget,
+            budget: Budget::unlimited(),
             solver: SolverKind::default(),
             reuse_tolerance: BypassSolver::<DenseSolver>::DEFAULT_ETA,
             op: OpOptions::default(),
@@ -174,6 +188,52 @@ impl TranOptions {
         self.method = method;
         self
     }
+
+    /// Sets the execution budget (deadline and/or cancellation tokens) for
+    /// the run.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the total step-rejection budget for the run — the supported
+    /// replacement for writing the deprecated `retry_budget` field.
+    #[must_use]
+    pub fn with_step_retry_budget(mut self, budget: usize) -> Self {
+        #[allow(deprecated)]
+        {
+            self.retry_budget = budget;
+        }
+        self
+    }
+
+    /// Applies the retry knobs of a [`SweepPolicy`] — currently its
+    /// `step_retry_budget`, the canonical home for the per-run rejection
+    /// budget that the deprecated `retry_budget` field used to own.
+    #[must_use]
+    pub fn with_policy(self, policy: &SweepPolicy) -> Self {
+        self.with_step_retry_budget(policy.step_retry_budget)
+    }
+
+    /// The total step rejections allowed across the run (reads the
+    /// deprecated `retry_budget` field so struct-built options keep
+    /// working).
+    pub fn step_retry_budget(&self) -> usize {
+        #[allow(deprecated)]
+        self.retry_budget
+    }
+}
+
+/// Builds the typed cooperative-stop error for a tripped budget and counts
+/// it. The best iterate travels with the error so a deadline-bounded run
+/// still hands back where the solve got to.
+fn cancelled_err(budget: &Budget, best_iterate: Vec<f64>) -> CircuitError {
+    shil_observe::incr("shil_circuit_tran_cancellations_total");
+    CircuitError::Numerics(NumericsError::Cancelled {
+        best_iterate,
+        elapsed: budget.elapsed(),
+    })
 }
 
 /// NaN-propagating infinity norm: `f64::max` would silently discard NaN
@@ -263,6 +323,11 @@ fn newton_tran<S: LinearSolver>(
         if rnorm < opts.abstol {
             return Ok(());
         }
+        // Cooperative stop at the iteration boundary; convergence (checked
+        // above) wins a race with the deadline.
+        if opts.budget.cancelled().is_some() {
+            return Err(cancelled_err(&opts.budget, ws.x_new.clone()));
+        }
         for (d, v) in ws.neg_r.iter_mut().zip(&ws.r) {
             *d = -v;
         }
@@ -341,7 +406,13 @@ fn advance<S: LinearSolver>(
             Ok(())
         }
         Err(e) => {
-            if depth >= opts.max_halvings || report.halvings >= opts.retry_budget {
+            // A tripped budget is not a convergence failure: halving and
+            // retrying would just re-trip it, so propagate immediately.
+            let cancelled = matches!(&e, CircuitError::Numerics(NumericsError::Cancelled { .. }));
+            if cancelled
+                || depth >= opts.max_halvings
+                || report.halvings >= opts.step_retry_budget()
+            {
                 return Err(e);
             }
             report.halvings += 1;
@@ -467,6 +538,12 @@ fn transient_impl<S: LinearSolver>(
     let n = structure.size();
     let mut report = SolveReport::new();
 
+    // Prompt cancellation: an already-tripped budget (e.g. a zero-second
+    // deadline) returns before the operating-point solve even starts.
+    if opts.budget.cancelled().is_some() {
+        return Err(cancelled_err(&opts.budget, vec![0.0; n]));
+    }
+
     // Initial state.
     let mut x = if opts.use_ic {
         vec![0.0; n]
@@ -505,6 +582,12 @@ fn transient_impl<S: LinearSolver>(
     }
 
     for k in 0..steps {
+        // Step-boundary check: even if every Newton solve converges on its
+        // first iteration (and so never consults the budget itself), a
+        // deadline still stops the run within one step of expiring.
+        if opts.budget.cancelled().is_some() {
+            return Err(cancelled_err(&opts.budget, x));
+        }
         let t0 = k as f64 * opts.dt;
         // Bootstrap the trapezoidal history with one backward-Euler step.
         let method = if k == 0 {
@@ -783,13 +866,86 @@ mod tests {
             0,
             IvCurve::function(|v: f64| if v.abs() > 0.5 { f64::NAN } else { 1e-3 * v }),
         );
-        let mut opts = TranOptions::new(1e-6, 1e-3).use_ic();
-        opts.retry_budget = 8;
+        let mut opts = TranOptions::new(1e-6, 1e-3)
+            .use_ic()
+            .with_step_retry_budget(8);
         opts.max_halvings = 40;
         match transient(&ckt, &opts) {
             Err(CircuitError::ConvergenceFailure { .. }) | Err(CircuitError::Numerics(_)) => {}
             other => panic!("expected typed failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deprecated_retry_budget_field_and_builder_agree() {
+        // The deprecated field remains the storage; both write paths must
+        // be observable through the supported accessor.
+        let via_builder = TranOptions::new(1e-6, 1e-3).with_step_retry_budget(8);
+        let mut via_field = TranOptions::new(1e-6, 1e-3);
+        #[allow(deprecated)]
+        {
+            via_field.retry_budget = 8;
+        }
+        assert_eq!(via_builder.step_retry_budget(), 8);
+        assert_eq!(
+            via_builder.step_retry_budget(),
+            via_field.step_retry_budget()
+        );
+        let via_policy = TranOptions::new(1e-6, 1e-3).with_policy(&shil_runtime::SweepPolicy {
+            step_retry_budget: 8,
+            ..shil_runtime::SweepPolicy::default()
+        });
+        assert_eq!(via_policy.step_retry_budget(), 8);
+        // Default flows from the unified policy.
+        assert_eq!(
+            TranOptions::new(1e-6, 1e-3).step_retry_budget(),
+            shil_runtime::SweepPolicy::default().step_retry_budget
+        );
+    }
+
+    #[test]
+    fn zero_deadline_transient_cancels_promptly_with_diagnostics() {
+        let (ckt, _top, base) = tanh_oscillator();
+        let opts = base.with_budget(Budget::with_deadline(std::time::Duration::ZERO));
+        let started = Instant::now();
+        match transient(&ckt, &opts) {
+            Err(CircuitError::Numerics(NumericsError::Cancelled { best_iterate, .. })) => {
+                assert!(!best_iterate.is_empty());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // "Bounded time": nowhere near the cost of the full 8-period run.
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_the_op_solve() {
+        let (ckt, _top, base) = tanh_oscillator();
+        let token = shil_runtime::CancelToken::new();
+        token.cancel();
+        let opts = base.with_budget(Budget::unlimited().with_token(token));
+        match transient(&ckt, &opts) {
+            Err(CircuitError::Numerics(NumericsError::Cancelled { .. })) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let (ckt, top, base) = tanh_oscillator();
+        let plain = transient(&ckt, &base).unwrap();
+        let budgeted = transient(
+            &ckt,
+            &base
+                .clone()
+                .with_budget(Budget::with_deadline(std::time::Duration::from_secs(3600))),
+        )
+        .unwrap();
+        assert_eq!(
+            plain.node_voltage(top).unwrap(),
+            budgeted.node_voltage(top).unwrap(),
+            "a generous budget must not perturb the trajectory"
+        );
     }
 
     /// The tanh negative-resistance LC oscillator used across the

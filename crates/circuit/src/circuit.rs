@@ -149,6 +149,30 @@ impl Circuit {
         }
     }
 
+    /// Returns a copy of the circuit with every independent source waveform
+    /// (voltage and current sources, plus series-injection waveforms of
+    /// [`Device::InjectedNonlinear`]) multiplied by `factor`.
+    ///
+    /// This is the sweep-variable transform used by `shil-cli sweep` and the
+    /// perf harnesses: one netlist, many drive strengths. Passive devices and
+    /// nonlinearity curves are untouched.
+    #[must_use]
+    pub fn scale_sources(&self, factor: f64) -> Circuit {
+        let mut scaled = self.clone();
+        for d in &mut scaled.devices {
+            match d {
+                Device::Vsource { wave, .. } | Device::Isource { wave, .. } => {
+                    *wave = wave.scaled(factor);
+                }
+                Device::InjectedNonlinear { injection, .. } => {
+                    *injection = injection.scaled(factor);
+                }
+                _ => {}
+            }
+        }
+        scaled
+    }
+
     fn push(&mut self, d: Device) -> DeviceId {
         let id = DeviceId(self.devices.len());
         self.devices.push(d);
@@ -403,6 +427,38 @@ mod tests {
             .set_injection_wave(inj, SourceWave::sine(0.03, 1e6, 0.0))
             .is_ok());
         assert!(c.set_injection_wave(r, SourceWave::Dc(0.0)).is_err());
+    }
+
+    #[test]
+    fn scale_sources_touches_only_sources() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.resistor(n, 0, 50.0);
+        let v = c.vsource(n, 0, SourceWave::Dc(1.0));
+        let i = c.isource(n, 0, SourceWave::sine(2e-3, 1e6, 0.0));
+        let inj = c.injected_nonlinear(n, 0, IvCurve::tanh(-1e-3, 20.0), SourceWave::Dc(0.5));
+        let s = c.scale_sources(3.0);
+        assert!(matches!(
+            s.device(v).unwrap(),
+            Device::Vsource { wave: SourceWave::Dc(x), .. } if *x == 3.0
+        ));
+        assert!(matches!(
+            s.device(i).unwrap(),
+            Device::Isource { wave: SourceWave::Sin { amplitude, .. }, .. } if *amplitude == 6e-3
+        ));
+        assert!(matches!(
+            s.device(inj).unwrap(),
+            Device::InjectedNonlinear { injection: SourceWave::Dc(x), .. } if *x == 1.5
+        ));
+        assert!(matches!(
+            s.devices()[0],
+            Device::Resistor { ohms, .. } if ohms == 50.0
+        ));
+        // The original is untouched.
+        assert!(matches!(
+            c.device(v).unwrap(),
+            Device::Vsource { wave: SourceWave::Dc(x), .. } if *x == 1.0
+        ));
     }
 
     #[test]

@@ -135,6 +135,52 @@ impl SourceWave {
         }
     }
 
+    /// Returns the waveform with every output value multiplied by `k`.
+    ///
+    /// Scales offsets and amplitudes alike, so `scaled(k).value(t)` equals
+    /// `k * value(t)` at every `t`. Used by sweep drivers that re-run a
+    /// circuit at different drive strengths without rebuilding it.
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Self {
+        match self {
+            SourceWave::Dc(v) => SourceWave::Dc(v * k),
+            SourceWave::Sin {
+                offset,
+                amplitude,
+                freq_hz,
+                delay,
+                phase,
+            } => SourceWave::Sin {
+                offset: offset * k,
+                amplitude: amplitude * k,
+                freq_hz: *freq_hz,
+                delay: *delay,
+                phase: *phase,
+            },
+            SourceWave::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => SourceWave::Pulse {
+                v1: v1 * k,
+                v2: v2 * k,
+                delay: *delay,
+                rise: *rise,
+                fall: *fall,
+                width: *width,
+                period: *period,
+            },
+            SourceWave::Pwl(points) => {
+                SourceWave::Pwl(points.iter().map(|&(t, v)| (t, v * k)).collect())
+            }
+            SourceWave::Sum(a, b) => SourceWave::Sum(Box::new(a.scaled(k)), Box::new(b.scaled(k))),
+        }
+    }
+
     /// The DC (t → −∞ resting) value used by operating-point analysis.
     pub fn dc_value(&self) -> f64 {
         match self {
@@ -241,6 +287,36 @@ mod tests {
         );
         assert!((w.value(0.25) - 3.0).abs() < 1e-12);
         assert_eq!(w.dc_value(), 1.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_value() {
+        let base = SourceWave::Sum(
+            Box::new(SourceWave::Sin {
+                offset: 0.5,
+                amplitude: 2.0,
+                freq_hz: 3.0,
+                delay: 0.1,
+                phase: 0.2,
+            }),
+            Box::new(SourceWave::Pwl(vec![(0.0, 1.0), (1.0, -1.0)])),
+        );
+        let scaled = base.scaled(2.5);
+        for &t in &[0.0, 0.05, 0.1, 0.37, 1.0, 2.0] {
+            assert!((scaled.value(t) - 2.5 * base.value(t)).abs() < 1e-12);
+        }
+        assert!((scaled.dc_value() - 2.5 * base.dc_value()).abs() < 1e-12);
+        let pulse = SourceWave::Pulse {
+            v1: 0.25,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1e-6,
+            fall: 1e-6,
+            width: 0.1,
+            period: 1.0,
+        };
+        assert_eq!(pulse.scaled(4.0).value(0.05), 4.0);
+        assert_eq!(pulse.scaled(4.0).value(0.5), 1.0);
     }
 
     #[test]

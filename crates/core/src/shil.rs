@@ -33,6 +33,7 @@ use shil_numerics::contour::{marching_squares, polyline_intersections, Point, Po
 use shil_numerics::fallback::{newton_with_restarts, FallbackOptions};
 use shil_numerics::newton::NewtonOptions;
 use shil_numerics::{wrap_angle, Grid2};
+use shil_runtime::Budget;
 
 use crate::cache::{self, NaturalKey, PrecharCache, PrecharKey, Precharacterization};
 use crate::describing::{natural_oscillation, NaturalOptions, NaturalOscillation};
@@ -151,12 +152,62 @@ pub fn precharacterize<N: Nonlinearity + Sync + ?Sized>(
     table: &HarmonicTable,
     threads: usize,
 ) -> Result<(Grid2, Grid2), ShilError> {
+    precharacterize_budgeted(
+        nonlinearity,
+        r,
+        vi,
+        phis,
+        amps,
+        table,
+        threads,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`precharacterize`] under an execution [`Budget`].
+///
+/// Every worker checks the budget at each row boundary, so a deadline or a
+/// cancelled token stops the fill within one row per worker. A fill that
+/// ran to completion is returned even if the budget trips on the final
+/// check — completion wins the race.
+///
+/// # Errors
+///
+/// [`ShilError::Numerics`] with `NumericsError::Cancelled` once the budget
+/// trips (the partial grid is discarded: a grid with unfilled rows has no
+/// meaningful "best iterate"), plus every failure mode of
+/// [`precharacterize`].
+#[allow(clippy::too_many_arguments)]
+pub fn precharacterize_budgeted<N: Nonlinearity + Sync + ?Sized>(
+    nonlinearity: &N,
+    r: f64,
+    vi: f64,
+    phis: &[f64],
+    amps: &[f64],
+    table: &HarmonicTable,
+    threads: usize,
+    budget: &Budget,
+) -> Result<(Grid2, Grid2), ShilError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let cancelled = || {
+        shil_observe::incr("shil_core_prechar_cancellations_total");
+        ShilError::Numerics(shil_numerics::NumericsError::Cancelled {
+            best_iterate: Vec::new(),
+            elapsed: budget.elapsed(),
+        })
+    };
+    // Prompt cancellation: a pre-tripped budget computes no cell.
+    if budget.cancelled().is_some() {
+        return Err(cancelled());
+    }
     let nx = phis.len();
     let ny = amps.len();
     let _fill_span = shil_observe::span("shil_core_prechar_fill");
     shil_observe::counter_add("shil_core_prechar_cells_total", (nx * ny) as u64);
     let mut tf_data = vec![0.0; nx * ny];
     let mut angle_data = vec![0.0; nx * ny];
+    let aborted = AtomicBool::new(false);
 
     // `j0` is the absolute index of the first row in the chunk; each worker
     // owns a disjoint &mut window of both data vectors.
@@ -167,6 +218,13 @@ pub fn precharacterize<N: Nonlinearity + Sync + ?Sized>(
             .zip(angle_rows.chunks_mut(nx))
             .enumerate()
         {
+            // Row-boundary budget check; `aborted` (not the budget itself)
+            // is the authoritative flag, so a fill whose last row finishes
+            // just as the deadline passes still counts as complete.
+            if !budget.is_unlimited() && budget.cancelled().is_some() {
+                aborted.store(true, Ordering::Relaxed);
+                return;
+            }
             let a = amps[j0 + dj];
             for (i, &phi) in phis.iter().enumerate() {
                 let i1 = table.i1(nonlinearity, a, vi, phi, &mut buf);
@@ -193,6 +251,9 @@ pub fn precharacterize<N: Nonlinearity + Sync + ?Sized>(
         });
     }
 
+    if aborted.load(std::sync::atomic::Ordering::Relaxed) {
+        return Err(cancelled());
+    }
     let tf_grid = Grid2::from_data(phis.to_vec(), amps.to_vec(), tf_data)?;
     let angle_grid = Grid2::from_data(phis.to_vec(), amps.to_vec(), angle_data)?;
     Ok((tf_grid, angle_grid))
@@ -993,6 +1054,54 @@ mod tests {
             lock_range_iters: 30,
             lock_range_scan: 16,
             ..Default::default()
+        }
+    }
+
+    #[test]
+    fn precharacterize_budget_semantics() {
+        let (f, _t) = setup();
+        let phis: Vec<f64> = (0..32)
+            .map(|i| i as f64 * std::f64::consts::TAU / 31.0)
+            .collect();
+        let amps: Vec<f64> = (1..=16).map(|j| j as f64 * 0.1).collect();
+        let table = HarmonicTable::new(3, 1, &HarmonicOptions { samples: 64 });
+        // A generous budget changes nothing, bit for bit, at any threads.
+        let plain = precharacterize(&f, 1000.0, 0.03, &phis, &amps, &table, 2).unwrap();
+        let budgeted = precharacterize_budgeted(
+            &f,
+            1000.0,
+            0.03,
+            &phis,
+            &amps,
+            &table,
+            3,
+            &Budget::with_deadline(std::time::Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert_eq!(plain, budgeted);
+        // A pre-cancelled token stops the fill before any cell, serial and
+        // parallel alike.
+        for threads in [1usize, 4] {
+            let token = shil_runtime::CancelToken::new();
+            token.cancel();
+            let err = precharacterize_budgeted(
+                &f,
+                1000.0,
+                0.03,
+                &phis,
+                &amps,
+                &table,
+                threads,
+                &Budget::unlimited().with_token(token),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ShilError::Numerics(shil_numerics::NumericsError::Cancelled { .. })
+                ),
+                "threads {threads}: got {err:?}"
+            );
         }
     }
 

@@ -198,9 +198,8 @@ pub fn faulty_iv(inner: IvCurve, spec: FaultSpec) -> IvCurve {
 /// Panics unless `0 < dt < t_stop` (delegates to
 /// [`shil_circuit::analysis::TranOptions::new`]).
 pub fn chaos_tran_options(dt: f64, t_stop: f64) -> shil_circuit::analysis::TranOptions {
-    let mut opts = shil_circuit::analysis::TranOptions::new(dt, t_stop);
+    let mut opts = shil_circuit::analysis::TranOptions::new(dt, t_stop).with_step_retry_budget(64);
     opts.max_halvings = 6;
-    opts.retry_budget = 64;
     opts.max_newton_iter = 30;
     opts.op.max_iter = 40;
     opts.op.source_steps = 4;

@@ -49,6 +49,20 @@ pub enum NumericsError {
         /// Iterate achieving that residual.
         best_x: Vec<f64>,
     },
+    /// The solve was stopped cooperatively — its execution budget tripped
+    /// (cancellation requested or wall-clock deadline exceeded) at a loop
+    /// boundary. Like [`NotConverged`] it carries the best iterate seen,
+    /// so a bounded solve still hands back partial diagnostics instead of
+    /// nothing.
+    ///
+    /// [`NotConverged`]: NumericsError::NotConverged
+    Cancelled {
+        /// Best iterate reached before the budget tripped (the initial
+        /// guess if no iteration completed).
+        best_iterate: Vec<f64>,
+        /// Wall-clock time spent in the solve when it stopped.
+        elapsed: std::time::Duration,
+    },
 }
 
 impl NumericsError {
@@ -56,6 +70,7 @@ impl NumericsError {
     pub fn best_iterate(&self) -> Option<&[f64]> {
         match self {
             NumericsError::NotConverged { best_x, .. } => Some(best_x),
+            NumericsError::Cancelled { best_iterate, .. } => Some(best_iterate),
             _ => None,
         }
     }
@@ -89,6 +104,14 @@ impl fmt::Display for NumericsError {
                 f,
                 "not converged after {iterations} iterations \
                  (best residual {residual:.3e} at x = {best_x:?})"
+            ),
+            NumericsError::Cancelled {
+                best_iterate,
+                elapsed,
+            } => write!(
+                f,
+                "cancelled after {:.3} s (best iterate x = {best_iterate:?})",
+                elapsed.as_secs_f64()
             ),
         }
     }
@@ -126,6 +149,12 @@ mod tests {
         };
         assert!(e.to_string().contains("9 iterations"));
         assert!(e.to_string().contains("2.000e-4"));
+        let e = NumericsError::Cancelled {
+            best_iterate: vec![1.25],
+            elapsed: std::time::Duration::from_millis(1500),
+        };
+        assert!(e.to_string().contains("cancelled after 1.500 s"));
+        assert!(e.to_string().contains("1.25"));
     }
 
     #[test]
@@ -136,6 +165,11 @@ mod tests {
             best_x: vec![1.5, -0.5],
         };
         assert_eq!(e.best_iterate(), Some(&[1.5, -0.5][..]));
+        let e = NumericsError::Cancelled {
+            best_iterate: vec![2.0],
+            elapsed: std::time::Duration::ZERO,
+        };
+        assert_eq!(e.best_iterate(), Some(&[2.0][..]));
         let e = NumericsError::InvalidInput("nope".into());
         assert_eq!(e.best_iterate(), None);
     }

@@ -16,8 +16,10 @@
 //! Each rung is recorded in [`SolveMethod`] so callers can surface *how* a
 //! number was obtained, not just the number.
 
+use shil_runtime::Budget;
+
 use crate::error::NumericsError;
-use crate::newton::{newton_system, NewtonOptions};
+use crate::newton::{newton_system_budgeted, NewtonOptions};
 use crate::roots::{bisect, brent};
 
 /// Which rung of the escalation ladder produced a solution.
@@ -115,7 +117,7 @@ fn uniform_pm1(state: &mut u64) -> f64 {
 /// useful: a [`NumericsError::NotConverged`] with the smallest residual if
 /// any attempt produced one, otherwise the error from the last attempt.
 pub fn newton_with_restarts<F>(
-    mut f: F,
+    f: F,
     x0: &[f64],
     neighbor_seeds: &[Vec<f64>],
     opts: &FallbackOptions,
@@ -123,17 +125,47 @@ pub fn newton_with_restarts<F>(
 where
     F: FnMut(&[f64], &mut [f64]),
 {
+    newton_with_restarts_budgeted(f, x0, neighbor_seeds, opts, &Budget::unlimited())
+}
+
+/// [`newton_with_restarts`] under an execution [`Budget`].
+///
+/// The budget is threaded into every Newton attempt, so a tripped budget
+/// stops the ladder at the next iteration boundary — including *between*
+/// rungs, because each attempt re-checks the budget before evaluating the
+/// model even once.
+///
+/// # Errors
+///
+/// [`NumericsError::Cancelled`] as soon as the budget trips (the remaining
+/// rungs are not tried), plus every failure mode of
+/// [`newton_with_restarts`].
+pub fn newton_with_restarts_budgeted<F>(
+    mut f: F,
+    x0: &[f64],
+    neighbor_seeds: &[Vec<f64>],
+    opts: &FallbackOptions,
+    budget: &Budget,
+) -> Result<FallbackSolution, NumericsError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
     let mut attempts = 0usize;
     let mut best_err: Option<NumericsError> = None;
 
+    // `Err` aborts the whole ladder (cancellation); `Ok(None)` means "this
+    // seed failed, try the next rung".
     let try_seed = |seed: &[f64],
                     f: &mut F,
                     attempts: &mut usize,
                     best_err: &mut Option<NumericsError>|
-     -> Option<Vec<f64>> {
+     -> Result<Option<Vec<f64>>, NumericsError> {
         *attempts += 1;
-        match newton_system(|x, r| f(x, r), seed, &opts.newton) {
-            Ok(x) => Some(x),
+        match newton_system_budgeted(|x, r| f(x, r), seed, &opts.newton, budget) {
+            Ok(x) => Ok(Some(x)),
+            // Cancellation is not a rung failure: stop escalating and let
+            // the caller see the budget trip directly.
+            Err(e @ NumericsError::Cancelled { .. }) => Err(e),
             Err(e) => {
                 let better = match (&e, best_err.as_ref()) {
                     (_, None) => true,
@@ -149,12 +181,12 @@ where
                 if better {
                     *best_err = Some(e);
                 }
-                None
+                Ok(None)
             }
         }
     };
 
-    if let Some(x) = try_seed(x0, &mut f, &mut attempts, &mut best_err) {
+    if let Some(x) = try_seed(x0, &mut f, &mut attempts, &mut best_err)? {
         return Ok(FallbackSolution {
             x,
             method: SolveMethod::Newton,
@@ -169,7 +201,7 @@ where
         if seed.len() != x0.len() || seed.iter().any(|v| !v.is_finite()) {
             continue;
         }
-        if let Some(x) = try_seed(seed, &mut f, &mut attempts, &mut best_err) {
+        if let Some(x) = try_seed(seed, &mut f, &mut attempts, &mut best_err)? {
             return Ok(FallbackSolution {
                 x,
                 method: SolveMethod::RestartedNewton { restart: i },
@@ -185,7 +217,7 @@ where
             let u = uniform_pm1(&mut state);
             *p = orig * (1.0 + opts.perturbation * u) + opts.perturbation * u;
         }
-        if let Some(x) = try_seed(&perturbed, &mut f, &mut attempts, &mut best_err) {
+        if let Some(x) = try_seed(&perturbed, &mut f, &mut attempts, &mut best_err)? {
             return Ok(FallbackSolution {
                 x,
                 method: SolveMethod::RestartedNewton {
@@ -356,6 +388,59 @@ mod tests {
         let (x, method) = solve_1d_escalating(f, 0.0, 1.0, 1e-10, 100).unwrap();
         assert_eq!(method, SolveMethod::Bisection);
         assert!((x - 0.3f64.cbrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn tripped_budget_aborts_the_ladder_without_trying_more_rungs() {
+        let token = shil_runtime::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_token(token);
+        let mut evals = 0usize;
+        let e = newton_with_restarts_budgeted(
+            |x, r| {
+                evals += 1;
+                r[0] = x[0] * x[0] + 1.0; // would otherwise exhaust every rung
+            },
+            &[2.0],
+            &[vec![5.0], vec![-5.0]],
+            &FallbackOptions::default(),
+            &budget,
+        )
+        .unwrap_err();
+        assert!(matches!(e, NumericsError::Cancelled { .. }), "got {e:?}");
+        assert_eq!(evals, 0, "pre-cancelled ladder must not evaluate the model");
+    }
+
+    #[test]
+    fn mid_ladder_cancellation_stops_before_remaining_seeds() {
+        // Cancel during the first attempt; rung 2 (the neighbor seed that
+        // would converge) must never run.
+        let token = shil_runtime::CancelToken::new();
+        let budget = Budget::unlimited().with_token(token.clone());
+        let mut first_seed_evals = 0usize;
+        let mut rescue_seed_seen = false;
+        let e = newton_with_restarts_budgeted(
+            |x, r| {
+                if x[0] > 50.0 {
+                    rescue_seed_seen = true;
+                }
+                first_seed_evals += 1;
+                if first_seed_evals == 2 {
+                    token.cancel();
+                }
+                r[0] = x[0] * x[0] + 1.0;
+            },
+            &[2.0],
+            &[vec![100.0]],
+            &FallbackOptions::default(),
+            &budget,
+        )
+        .unwrap_err();
+        assert!(matches!(e, NumericsError::Cancelled { .. }), "got {e:?}");
+        assert!(
+            !rescue_seed_seen,
+            "cancelled ladder must not try more rungs"
+        );
     }
 
     #[test]

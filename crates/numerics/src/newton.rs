@@ -11,6 +11,8 @@
 //! The dense Jacobians here are tiny, so finite-difference Jacobians are
 //! perfectly adequate for consumer (1).
 
+use shil_runtime::Budget;
+
 use crate::error::NumericsError;
 use crate::linalg::Matrix;
 use crate::solver::{DenseSolver, LinearSolver};
@@ -62,6 +64,15 @@ fn inf_norm(v: &[f64]) -> f64 {
 /// registry is disabled).
 fn note_nonfinite() {
     shil_observe::incr("shil_numerics_nonfinite_guards_total");
+}
+
+/// Builds the typed cancellation error for a tripped budget and counts it.
+fn cancelled_err(budget: &Budget, best_iterate: Vec<f64>) -> NumericsError {
+    shil_observe::incr("shil_numerics_cancellations_total");
+    NumericsError::Cancelled {
+        best_iterate,
+        elapsed: budget.elapsed(),
+    }
 }
 
 /// Publishes per-solve Newton telemetry once, on drop — every return path
@@ -122,10 +133,29 @@ impl Drop for NewtonTally {
 /// # Ok(())
 /// # }
 /// ```
-pub fn newton_system<F>(
+pub fn newton_system<F>(f: F, x0: &[f64], opts: &NewtonOptions) -> Result<Vec<f64>, NumericsError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    newton_system_budgeted(f, x0, opts, &Budget::unlimited())
+}
+
+/// [`newton_system`] under an execution [`Budget`].
+///
+/// The budget is checked before the first residual evaluation and at the
+/// top of every iteration, so an already-tripped budget returns without
+/// completing (or even starting) an iteration, and a deadline stops the
+/// solve within one iteration of expiring.
+///
+/// # Errors
+///
+/// [`NumericsError::Cancelled`] with the best iterate seen so far once the
+/// budget trips, plus every failure mode of [`newton_system`].
+pub fn newton_system_budgeted<F>(
     mut f: F,
     x0: &[f64],
     opts: &NewtonOptions,
+    budget: &Budget,
 ) -> Result<Vec<f64>, NumericsError>
 where
     F: FnMut(&[f64], &mut [f64]),
@@ -140,6 +170,11 @@ where
             context: "newton initial guess".into(),
             at: x0.to_vec(),
         });
+    }
+    // Prompt-cancellation guarantee: a budget that is already tripped
+    // returns before the model is evaluated even once.
+    if budget.cancelled().is_some() {
+        return Err(cancelled_err(budget, x0.to_vec()));
     }
     let mut x = x0.to_vec();
     let mut r = vec![0.0; n];
@@ -169,6 +204,11 @@ where
         if rnorm < opts.tol_residual {
             tally.converged = true;
             return Ok(x);
+        }
+        // Convergence wins over cancellation (checked above); otherwise stop
+        // at the iteration boundary with the best iterate seen so far.
+        if budget.cancelled().is_some() {
+            return Err(cancelled_err(budget, best_x));
         }
         tally.iterations = iter + 1;
         // Finite-difference Jacobian, column by column, with an immediate
@@ -274,9 +314,30 @@ where
 ///
 /// Same failure modes as [`newton_system`].
 pub fn newton_system_with_jacobian<F>(
+    f: F,
+    x0: &[f64],
+    opts: &NewtonOptions,
+) -> Result<Vec<f64>, NumericsError>
+where
+    F: FnMut(&[f64], &mut [f64], &mut Matrix),
+{
+    newton_system_with_jacobian_budgeted(f, x0, opts, &Budget::unlimited())
+}
+
+/// [`newton_system_with_jacobian`] under an execution [`Budget`].
+///
+/// Budget placement matches [`newton_system_budgeted`]: one check before the
+/// first residual/Jacobian assembly, one at the top of every iteration.
+///
+/// # Errors
+///
+/// [`NumericsError::Cancelled`] with the best iterate seen so far once the
+/// budget trips, plus every failure mode of [`newton_system_with_jacobian`].
+pub fn newton_system_with_jacobian_budgeted<F>(
     mut f: F,
     x0: &[f64],
     opts: &NewtonOptions,
+    budget: &Budget,
 ) -> Result<Vec<f64>, NumericsError>
 where
     F: FnMut(&[f64], &mut [f64], &mut Matrix),
@@ -291,6 +352,9 @@ where
             context: "newton initial guess".into(),
             at: x0.to_vec(),
         });
+    }
+    if budget.cancelled().is_some() {
+        return Err(cancelled_err(budget, x0.to_vec()));
     }
     let mut x = x0.to_vec();
     let mut r = vec![0.0; n];
@@ -321,6 +385,9 @@ where
         if rnorm < opts.tol_residual {
             tally.converged = true;
             return Ok(x);
+        }
+        if budget.cancelled().is_some() {
+            return Err(cancelled_err(budget, best_x));
         }
         tally.iterations = iter + 1;
         if !jac.data().iter().all(|v| v.is_finite()) {
@@ -559,5 +626,116 @@ mod tests {
     fn empty_system_is_an_error_not_a_panic() {
         let e = newton_system(|_x, _r| {}, &[], &NewtonOptions::default()).unwrap_err();
         assert!(matches!(e, NumericsError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn pre_cancelled_budget_returns_without_evaluating_the_model() {
+        let token = shil_runtime::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_token(token);
+        let mut evals = 0usize;
+        let e = newton_system_budgeted(
+            |x, r| {
+                evals += 1;
+                r[0] = x[0] - 1.0;
+            },
+            &[3.0],
+            &NewtonOptions::default(),
+            &budget,
+        )
+        .unwrap_err();
+        match e {
+            NumericsError::Cancelled { best_iterate, .. } => {
+                assert_eq!(best_iterate, vec![3.0]);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(evals, 0, "pre-cancelled solve must not evaluate the model");
+    }
+
+    #[test]
+    fn zero_deadline_budget_cancels_promptly_with_best_iterate() {
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        let e = newton_system_budgeted(
+            |x, r| r[0] = x[0] * x[0] - 2.0,
+            &[1.0],
+            &NewtonOptions::default(),
+            &budget,
+        )
+        .unwrap_err();
+        assert!(matches!(e, NumericsError::Cancelled { .. }), "got {e:?}");
+        assert!(e.best_iterate().is_some());
+    }
+
+    #[test]
+    fn cancellation_mid_iteration_returns_best_iterate_so_far() {
+        // Cancel after the third residual evaluation; the solver must stop at
+        // the next iteration boundary and hand back a finite best iterate.
+        let token = shil_runtime::CancelToken::new();
+        let budget = Budget::unlimited().with_token(token.clone());
+        let mut evals = 0usize;
+        let e = newton_system_budgeted(
+            |x, r| {
+                evals += 1;
+                if evals == 3 {
+                    token.cancel();
+                }
+                r[0] = x[0].exp() - 1.0;
+            },
+            &[5.0],
+            &NewtonOptions {
+                max_iter: 200,
+                ..NewtonOptions::default()
+            },
+            &budget,
+        )
+        .unwrap_err();
+        match e {
+            NumericsError::Cancelled { best_iterate, .. } => {
+                assert!(best_iterate[0].is_finite());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(evals < 20, "cancellation must stop the iteration promptly");
+    }
+
+    #[test]
+    fn converged_solve_ignores_cancellation_raced_at_the_end() {
+        // Convergence is checked before the budget: a solve that has already
+        // met tolerance returns Ok even if the token trips on the same pass.
+        let token = shil_runtime::CancelToken::new();
+        let budget = Budget::unlimited().with_token(token.clone());
+        let sol = newton_system_budgeted(
+            |x, r| {
+                r[0] = x[0] - 2.0;
+                token.cancel();
+            },
+            &[2.0],
+            &NewtonOptions::default(),
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(sol, vec![2.0]);
+    }
+
+    #[test]
+    fn with_jacobian_pre_cancelled_budget_is_prompt() {
+        let token = shil_runtime::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_token(token);
+        let mut evals = 0usize;
+        let e = newton_system_with_jacobian_budgeted(
+            |x, r, j| {
+                evals += 1;
+                r[0] = x[0];
+                j[(0, 0)] = 1.0;
+            },
+            &[1.0],
+            &NewtonOptions::default(),
+            &budget,
+        )
+        .unwrap_err();
+        assert!(matches!(e, NumericsError::Cancelled { .. }), "got {e:?}");
+        assert_eq!(evals, 0);
     }
 }

@@ -40,6 +40,13 @@
 //! (counter), `shil_sweep_threads` (gauge),
 //! `shil_circuit_tran_solve_seconds` (span histogram). `_total` suffixes
 //! counters; histograms carry their unit (`_seconds`, `_attempts`).
+//! The execution-control layer records under the same scheme:
+//! per-layer `*_cancellations_total`, the sweep outcome taxonomy
+//! (`shil_sweep_outcome_<outcome>_total`, `shil_sweep_retries_total`,
+//! `shil_sweep_panics_total`) and checkpoint durability counters
+//! (`shil_runtime_checkpoint_records_total`,
+//! `shil_runtime_checkpoint_restored_total`,
+//! `shil_sweep_checkpoint_write_failures_total`).
 //! DESIGN.md's Observability section documents the full scheme.
 
 pub mod events;

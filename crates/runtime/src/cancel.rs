@@ -1,0 +1,225 @@
+//! Cooperative cancellation: tokens and wall-clock budgets.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation flag shared between a controller and the
+/// solve(s) it governs.
+///
+/// Cancellation is *cooperative*: setting the flag does nothing by itself;
+/// the solver checks its [`Budget`] at loop boundaries and unwinds with a
+/// typed error. Checking is one relaxed atomic load, cheap enough for a
+/// per-Newton-iteration check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; there is no un-cancel.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a [`Budget`] tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// A [`CancelToken`] was cancelled.
+    Requested,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for CancelCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelCause::Requested => write!(f, "cancellation requested"),
+            CancelCause::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// The execution budget of one solve: zero or more cancellation tokens
+/// plus an optional wall-clock deadline.
+///
+/// An unlimited budget (the default) checks nothing and costs nothing —
+/// [`Budget::cancelled`] is a branch on two empty `Option`/`Vec` fields —
+/// so pre-existing call sites pay no penalty. Budgets nest: a sweep derives
+/// a per-item budget via [`Budget::child`], which inherits every token and
+/// takes the *earlier* of the parent deadline and the item timeout.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Usually 0 (unlimited) or 1; a policy-driven sweep layers its
+    /// fail-fast token on top of the caller's, giving 2.
+    tokens: Vec<CancelToken>,
+    deadline: Option<Instant>,
+    started: Instant,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never trips.
+    pub fn unlimited() -> Self {
+        Budget {
+            tokens: Vec::new(),
+            deadline: None,
+            started: Instant::now(),
+        }
+    }
+
+    /// A budget that trips once `timeout` of wall-clock time has elapsed
+    /// (from now).
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Budget {
+            tokens: Vec::new(),
+            deadline: Some(Instant::now() + timeout),
+            started: Instant::now(),
+        }
+    }
+
+    /// Adds a cancellation token; the budget trips when *any* of its
+    /// tokens is cancelled.
+    #[must_use]
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.tokens.push(token);
+        self
+    }
+
+    /// Whether this budget can ever trip. `false` means
+    /// [`Budget::cancelled`] is a constant-time no-op.
+    pub fn is_unlimited(&self) -> bool {
+        self.tokens.is_empty() && self.deadline.is_none()
+    }
+
+    /// Wall-clock time since this budget was created (i.e. since the solve
+    /// it governs started).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The absolute deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Checks the budget: `Some(cause)` once cancellation has been
+    /// requested or the deadline has passed, `None` while the solve may
+    /// continue. Token checks come first — they are cheaper than reading
+    /// the clock and a request should win the race with a deadline.
+    pub fn cancelled(&self) -> Option<CancelCause> {
+        for t in &self.tokens {
+            if t.is_cancelled() {
+                return Some(CancelCause::Requested);
+            }
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelCause::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// Derives a child budget for one unit of work: inherits every token,
+    /// restarts the elapsed clock, and deadlines at the earlier of the
+    /// parent deadline and `timeout` from now.
+    #[must_use]
+    pub fn child(&self, timeout: Option<Duration>) -> Budget {
+        let now = Instant::now();
+        let item_deadline = timeout.map(|t| now + t);
+        let deadline = match (self.deadline, item_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Budget {
+            tokens: self.tokens.clone(),
+            deadline,
+            started: now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert_eq!(b.cancelled(), None);
+        assert_eq!(b.deadline(), None);
+    }
+
+    #[test]
+    fn token_cancellation_trips_immediately() {
+        let t = CancelToken::new();
+        let b = Budget::unlimited().with_token(t.clone());
+        assert!(!b.is_unlimited());
+        assert_eq!(b.cancelled(), None);
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(b.cancelled(), Some(CancelCause::Requested));
+        // Clones observe the same flag.
+        assert!(t.clone().is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_trips_at_once() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert_eq!(b.cancelled(), Some(CancelCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        assert_eq!(b.cancelled(), None);
+    }
+
+    #[test]
+    fn request_wins_over_expired_deadline() {
+        let t = CancelToken::new();
+        t.cancel();
+        let b = Budget::with_deadline(Duration::ZERO).with_token(t);
+        assert_eq!(b.cancelled(), Some(CancelCause::Requested));
+    }
+
+    #[test]
+    fn child_inherits_tokens_and_takes_earlier_deadline() {
+        let t = CancelToken::new();
+        let parent = Budget::with_deadline(Duration::from_secs(3600)).with_token(t.clone());
+        let child = parent.child(Some(Duration::ZERO));
+        // Item timeout (now) is earlier than the parent deadline (1 h).
+        assert_eq!(child.cancelled(), Some(CancelCause::DeadlineExceeded));
+        let lenient = parent.child(Some(Duration::from_secs(7200)));
+        assert_eq!(lenient.cancelled(), None);
+        assert!(lenient.deadline().unwrap() <= Instant::now() + Duration::from_secs(3601));
+        t.cancel();
+        assert_eq!(lenient.cancelled(), Some(CancelCause::Requested));
+        // A child of an unlimited parent with no timeout stays unlimited.
+        assert!(Budget::unlimited().child(None).is_unlimited());
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let b = Budget::unlimited();
+        let a = b.elapsed();
+        assert!(b.elapsed() >= a);
+    }
+}

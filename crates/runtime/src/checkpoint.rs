@@ -1,0 +1,390 @@
+//! Durable sweep checkpoints: append-only, schema-versioned JSONL.
+//!
+//! One line per event. The first line is a header binding the file to a
+//! specific sweep (schema version, caller-computed fingerprint of the
+//! inputs, item count); every following line is one completed item:
+//!
+//! ```json
+//! {"schema":"shil-runtime/checkpoint/v1","fingerprint":"a1b2c3","items":25}
+//! {"item":0,"outcome":"ok","tries":1,"wall_s":0.41,"counters":{"attempts":101,"halvings":0},"payload":"3fe0000000000000"}
+//! ```
+//!
+//! Design rules, in the order they matter:
+//!
+//! 1. **Append-only.** A record is written (and flushed) after each item
+//!    completes; nothing is ever rewritten, so a crash can only lose or
+//!    tear the *last* line.
+//! 2. **Torn lines read as absent.** The parser accepts a line only if it
+//!    is a complete JSON document; a half-written tail (the `SIGKILL`
+//!    signature) simply means that item re-runs on resume.
+//! 3. **Fingerprint-bound.** Resuming against a checkpoint whose header
+//!    fingerprint or item count does not match the sweep being run is an
+//!    error, not a silent mix of two different campaigns.
+//! 4. **Exact counters.** Per-item solver-effort counters are stored as
+//!    integers and re-read as `u64`, so a resumed sweep's aggregate is
+//!    bit-identical to an uninterrupted run's.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::{self, Json};
+use crate::policy::ItemOutcome;
+
+/// Identifier of the checkpoint JSONL layout this crate writes.
+pub const CHECKPOINT_SCHEMA: &str = "shil-runtime/checkpoint/v1";
+
+/// One completed sweep item, as stored in (and restored from) a
+/// checkpoint file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// Input index of the item within the sweep.
+    pub index: usize,
+    /// How the item ended.
+    pub outcome: ItemOutcome,
+    /// Attempts spent (1 + retries).
+    pub tries: u32,
+    /// Wall-clock seconds the item took (diagnostic only — excluded from
+    /// bit-identity claims).
+    pub wall_s: f64,
+    /// Named solver-effort counters (e.g. `attempts`, `halvings`); exact
+    /// integers so restored aggregates reproduce uninterrupted ones.
+    pub counters: BTreeMap<String, u64>,
+    /// Caller-encoded result payload (empty when the item produced no
+    /// value).
+    pub payload: String,
+}
+
+impl CheckpointRecord {
+    /// Renders the record as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::from("{\"item\":");
+        out.push_str(&self.index.to_string());
+        out.push_str(",\"outcome\":");
+        json::push_str(&mut out, self.outcome.as_str());
+        out.push_str(",\"tries\":");
+        out.push_str(&self.tries.to_string());
+        out.push_str(",\"wall_s\":");
+        out.push_str(&json::fmt_f64(self.wall_s));
+        out.push_str(",\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::push_str(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"payload\":");
+        json::push_str(&mut out, &self.payload);
+        out.push('}');
+        out
+    }
+
+    /// Parses a line written by [`CheckpointRecord::to_line`]; `None` for
+    /// torn or foreign lines.
+    pub fn from_line(line: &str) -> Option<Self> {
+        let v = json::parse(line.trim())?;
+        let index = v.get("item")?.as_u64()? as usize;
+        let outcome = ItemOutcome::parse(v.get("outcome")?.as_str()?)?;
+        let tries = u32::try_from(v.get("tries")?.as_u64()?).ok()?;
+        let wall_s = v.get("wall_s")?.as_f64()?;
+        let mut counters = BTreeMap::new();
+        for (k, c) in v.get("counters")?.entries()? {
+            counters.insert(k.clone(), c.as_u64()?);
+        }
+        let payload = v.get("payload")?.as_str()?.to_string();
+        Some(CheckpointRecord {
+            index,
+            outcome,
+            tries,
+            wall_s,
+            counters,
+            payload,
+        })
+    }
+}
+
+/// An open checkpoint file: records restored from any previous run of the
+/// same sweep, plus an append handle for this run.
+///
+/// [`CheckpointFile::open`] serves both the fresh and the resume path —
+/// a missing or empty file starts a new checkpoint, an existing one is
+/// validated against the header and its records exposed via
+/// [`CheckpointFile::restored`]. Appends are serialized behind a mutex and
+/// flushed per record, so concurrent sweep workers can share one handle.
+#[derive(Debug)]
+pub struct CheckpointFile {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    restored: BTreeMap<usize, CheckpointRecord>,
+}
+
+impl CheckpointFile {
+    /// Opens (or creates) the checkpoint for a sweep of `items` items
+    /// whose inputs hash to `fingerprint`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, and `InvalidData` when the file belongs to a
+    /// different sweep (schema, fingerprint or item-count mismatch).
+    pub fn open(path: &Path, fingerprint: &str, items: usize) -> io::Result<Self> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut restored = BTreeMap::new();
+        let mut lines = existing.lines().filter(|l| !l.trim().is_empty());
+        if let Some(header) = lines.next() {
+            validate_header(header, fingerprint, items)?;
+            for line in lines {
+                // Torn or foreign lines are skipped, not fatal: rule 2.
+                if let Some(rec) = CheckpointRecord::from_line(line) {
+                    if rec.index < items {
+                        // Later records win — a re-run item appends a
+                        // fresh record rather than rewriting the old one.
+                        restored.insert(rec.index, rec);
+                    }
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut writer = BufWriter::new(file);
+        if existing.trim().is_empty() {
+            let mut header = String::from("{\"schema\":");
+            json::push_str(&mut header, CHECKPOINT_SCHEMA);
+            header.push_str(",\"fingerprint\":");
+            json::push_str(&mut header, fingerprint);
+            header.push_str(&format!(",\"items\":{items}}}\n"));
+            writer.write_all(header.as_bytes())?;
+            writer.flush()?;
+        }
+        shil_observe::counter_add(
+            "shil_runtime_checkpoint_restored_total",
+            restored.len() as u64,
+        );
+        Ok(CheckpointFile {
+            path: path.to_path_buf(),
+            writer: Mutex::new(writer),
+            restored,
+        })
+    }
+
+    /// The records restored from previous runs, keyed by item index.
+    pub fn restored(&self) -> &BTreeMap<usize, CheckpointRecord> {
+        &self.restored
+    }
+
+    /// Where this checkpoint lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed item and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (a poisoned writer lock surfaces as `Other`).
+    pub fn append(&self, record: &CheckpointRecord) -> io::Result<()> {
+        let mut line = record.to_line();
+        line.push('\n');
+        let mut w = self
+            .writer
+            .lock()
+            .map_err(|_| io::Error::other("checkpoint writer poisoned"))?;
+        w.write_all(line.as_bytes())?;
+        w.flush()?;
+        shil_observe::incr("shil_runtime_checkpoint_records_total");
+        Ok(())
+    }
+}
+
+fn validate_header(line: &str, fingerprint: &str, items: usize) -> io::Result<()> {
+    let bad = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint header mismatch: {what}"),
+        )
+    };
+    let v = json::parse(line.trim()).ok_or_else(|| bad("unparseable header line"))?;
+    match v.get("schema").and_then(Json::as_str) {
+        Some(s) if s == CHECKPOINT_SCHEMA => {}
+        Some(s) => {
+            return Err(bad(&format!(
+                "schema {s:?}, expected {CHECKPOINT_SCHEMA:?}"
+            )))
+        }
+        None => return Err(bad("missing schema")),
+    }
+    match v.get("fingerprint").and_then(Json::as_str) {
+        Some(f) if f == fingerprint => {}
+        _ => {
+            return Err(bad(
+                "fingerprint differs — this checkpoint belongs to another sweep",
+            ))
+        }
+    }
+    match v.get("items").and_then(Json::as_u64) {
+        Some(n) if n as usize == items => Ok(()),
+        _ => Err(bad("item count differs")),
+    }
+}
+
+/// FNV-1a fingerprint of a sweep's identity: a label plus the exact bits
+/// of its numeric inputs. Rendered as fixed-width hex for the header.
+pub fn fingerprint(label: &str, values: &[f64]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in label.bytes() {
+        eat(b);
+    }
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            eat(b);
+        }
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(index: usize) -> CheckpointRecord {
+        CheckpointRecord {
+            index,
+            outcome: ItemOutcome::Ok,
+            tries: 1,
+            wall_s: 0.25,
+            counters: BTreeMap::from([("attempts".to_string(), 101), ("halvings".to_string(), 0)]),
+            payload: "3fe0000000000000".to_string(),
+        }
+    }
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("shil_runtime_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn record_line_round_trips() {
+        let rec = CheckpointRecord {
+            outcome: ItemOutcome::TimedOut,
+            payload: "weird \"quoted\"\npayload".to_string(),
+            ..sample(7)
+        };
+        let line = rec.to_line();
+        assert_eq!(CheckpointRecord::from_line(&line), Some(rec));
+    }
+
+    #[test]
+    fn torn_lines_parse_as_absent() {
+        let line = sample(3).to_line();
+        for cut in 1..line.len() {
+            assert_eq!(
+                CheckpointRecord::from_line(&line[..cut]),
+                None,
+                "prefix of length {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn open_append_reopen_restores_records() {
+        let path = temp("roundtrip.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[1.0, 2.0]);
+        {
+            let cp = CheckpointFile::open(&path, &fp, 5).unwrap();
+            assert!(cp.restored().is_empty());
+            cp.append(&sample(0)).unwrap();
+            cp.append(&sample(2)).unwrap();
+        }
+        let cp = CheckpointFile::open(&path, &fp, 5).unwrap();
+        assert_eq!(cp.restored().len(), 2);
+        assert_eq!(cp.restored()[&0], sample(0));
+        assert_eq!(cp.restored()[&2], sample(2));
+        assert_eq!(cp.path(), path.as_path());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn later_records_win_and_out_of_range_records_are_dropped() {
+        let path = temp("rewrite.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[]);
+        {
+            let cp = CheckpointFile::open(&path, &fp, 3).unwrap();
+            cp.append(&CheckpointRecord {
+                outcome: ItemOutcome::Failed,
+                ..sample(1)
+            })
+            .unwrap();
+            cp.append(&sample(1)).unwrap(); // retry succeeded
+            cp.append(&sample(9)).unwrap(); // out of range for items = 3
+        }
+        let cp = CheckpointFile::open(&path, &fp, 3).unwrap();
+        assert_eq!(cp.restored().len(), 1);
+        assert_eq!(cp.restored()[&1].outcome, ItemOutcome::Ok);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_on_open() {
+        let path = temp("torn.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[3.5]);
+        {
+            let cp = CheckpointFile::open(&path, &fp, 4).unwrap();
+            cp.append(&sample(0)).unwrap();
+        }
+        // Simulate a SIGKILL mid-write: half a record at the end.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let half = sample(1).to_line();
+        text.push_str(&half[..half.len() / 2]);
+        std::fs::write(&path, text).unwrap();
+        let cp = CheckpointFile::open(&path, &fp, 4).unwrap();
+        assert_eq!(cp.restored().len(), 1, "only the complete record survives");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_checkpoints_are_rejected() {
+        let path = temp("foreign.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[1.0]);
+        drop(CheckpointFile::open(&path, &fp, 2).unwrap());
+        // Different fingerprint.
+        let e = CheckpointFile::open(&path, &fingerprint("unit", &[2.0]), 2).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        // Different item count.
+        let e = CheckpointFile::open(&path, &fp, 3).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        // Not a checkpoint at all.
+        std::fs::write(&path, "plain text\n").unwrap();
+        let e = CheckpointFile::open(&path, &fp, 2).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let a = fingerprint("sweep", &[1.0, 2.0]);
+        assert_eq!(a, fingerprint("sweep", &[1.0, 2.0]));
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, fingerprint("sweep", &[2.0, 1.0]));
+        assert_ne!(a, fingerprint("other", &[1.0, 2.0]));
+        // Bit-exact sensitivity: -0.0 and 0.0 differ.
+        assert_ne!(fingerprint("s", &[0.0]), fingerprint("s", &[-0.0]));
+    }
+}

@@ -1,0 +1,335 @@
+//! Minimal JSON reading/writing for checkpoint lines (std-only; the
+//! workspace vendors no serialization crates — see the root manifest).
+//!
+//! The writer mirrors `shil-observe`'s hand-rolled JSON helpers; the
+//! parser is the piece `shil-observe` deliberately does not have. It is a
+//! strict recursive-descent parser for the subset checkpoint records use
+//! (objects with string keys, strings, unsigned integers, floats, bools,
+//! null) and **fails cleanly on truncated input** — a `SIGKILL` mid-write
+//! leaves a torn last line, which must read as "no record", never as a
+//! corrupted one.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (checkpoint subset).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    /// Object with string keys, insertion order irrelevant.
+    Obj(BTreeMap<String, Json>),
+    /// Array.
+    Arr(Vec<Json>),
+    /// String.
+    Str(String),
+    /// Integer that fits `u64` exactly (counters must not round-trip
+    /// through `f64`).
+    UInt(u64),
+    /// Any other number.
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+}
+
+impl Json {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn entries(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document; `None` on any syntax error or
+/// trailing garbage (torn lines must not half-parse).
+pub(crate) fn parse(text: &str) -> Option<Json> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => parse_object(b, pos),
+        b'[' => parse_array(b, pos),
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b't' => parse_lit(b, pos, b"true", Json::Bool(true)),
+        b'f' => parse_lit(b, pos, b"false", Json::Bool(false)),
+        b'n' => parse_lit(b, pos, b"null", Json::Null),
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8], v: Json) -> Option<Json> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if *b.get(*pos)? == b'}' {
+        *pos += 1;
+        return Some(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if *b.get(*pos)? != b':' {
+            return None;
+        }
+        *pos += 1;
+        let val = parse_value(b, pos)?;
+        map.insert(key, val);
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Json::Obj(map));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if *b.get(*pos)? == b']' {
+        *pos += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    if *b.get(*pos)? != b'"' {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match *b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match *b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).ok()?;
+    if text.is_empty() {
+        return None;
+    }
+    // Counters must survive exactly; only fall back to f64 for
+    // fractional/scientific forms.
+    if !text.contains(['.', 'e', 'E', '-', '+']) {
+        if let Ok(v) = text.parse::<u64>() {
+            return Some(Json::UInt(v));
+        }
+    }
+    let v: f64 = text.parse().ok()?;
+    if v.is_finite() {
+        Some(Json::Num(v))
+    } else {
+        None
+    }
+}
+
+/// Appends `s` as a JSON string literal (with quotes).
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) || v == 0.0 {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_record_shapes() {
+        let v = parse(r#"{"item":3,"outcome":"ok","wall_s":0.25,"counters":{"attempts":101},"payload":"1","flag":true,"nothing":null}"#).unwrap();
+        assert_eq!(v.get("item").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("wall_s").unwrap().as_f64(), Some(0.25));
+        assert_eq!(
+            v.get("counters").unwrap().get("attempts").unwrap().as_u64(),
+            Some(101)
+        );
+        assert_eq!(v.get("flag").unwrap(), &Json::Bool(true));
+        assert_eq!(v.get("nothing").unwrap(), &Json::Null);
+    }
+
+    #[test]
+    fn large_counters_round_trip_exactly() {
+        let big = u64::MAX - 1;
+        let v = parse(&format!("{{\"c\":{big}}}")).unwrap();
+        assert_eq!(v.get("c").unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected_not_half_parsed() {
+        for torn in [
+            "{\"item\":3,\"outcome\":\"o",
+            "{\"item\":3",
+            "{\"item\":",
+            "{",
+            "",
+            "{\"item\":3}garbage",
+            "{\"a\" 1}",
+        ] {
+            assert_eq!(parse(torn), None, "input: {torn:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut s = String::new();
+        push_str(&mut s, "a\"b\\c\nd\te\u{1}ü");
+        let doc = format!("{{\"k\":{s}}}");
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("a\"b\\c\nd\te\u{1}ü"));
+    }
+
+    #[test]
+    fn arrays_and_nested_objects_parse() {
+        let v = parse(r#"{"a":[1,2,{"b":"c"}],"d":[]}"#).unwrap();
+        match v.get("a").unwrap() {
+            Json::Arr(items) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[2].get("b").unwrap().as_str(), Some("c"));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(v.get("d").unwrap(), &Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn fmt_f64_matches_observe_conventions() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        for v in [1e22, 5e-324, -7.25, 0.125] {
+            assert_eq!(fmt_f64(v).parse::<f64>().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Execution control for long-running solves and sweeps.
+//!
+//! The solver stack above this crate is numerically resilient (PR 2), fast
+//! (PR 3) and observable (PR 4), but a production campaign also needs to be
+//! *controllable*: a runaway solve must be boundable in wall-clock time, a
+//! panic in one sweep item must not take down the other thousand, and a
+//! killed multi-hour sweep must resume instead of restarting. This crate is
+//! the bottom-of-the-graph layer (it depends only on `shil-observe`) that
+//! every solver crate threads through:
+//!
+//! - [`CancelToken`] / [`Budget`] — a cheap cooperative cancellation
+//!   handle (atomic flag + optional wall-clock deadline) checked at loop
+//!   boundaries inside the Newton iteration, the fallback ladder, the
+//!   transient step loop and the SHIL grid fill. Tripping it surfaces as
+//!   `NumericsError::Cancelled` upstream, carrying best-iterate
+//!   diagnostics instead of a hang.
+//! - [`SweepPolicy`] / [`ItemOutcome`] — per-item execution policy for
+//!   sweeps: whole-sweep deadline, per-item timeout, bounded
+//!   retry-with-exponential-backoff, fail-fast, and a classified outcome
+//!   (`Ok`/`Degraded`/`Failed`/`TimedOut`/`Panicked`/`Cancelled`) for
+//!   every item.
+//! - [`isolate`] — `catch_unwind`-based panic isolation returning the
+//!   panic message as data.
+//! - [`checkpoint`] — an append-only, schema-versioned JSONL checkpoint
+//!   file written after each completed sweep item, tolerant of the torn
+//!   last line a `SIGKILL` leaves behind, so a resumed sweep skips
+//!   completed items and reproduces the uninterrupted aggregate
+//!   bit-for-bit.
+
+#![warn(missing_docs)]
+
+mod cancel;
+pub mod checkpoint;
+mod json;
+mod panic;
+mod policy;
+
+pub use cancel::{Budget, CancelCause, CancelToken};
+pub use checkpoint::{CheckpointFile, CheckpointRecord, CHECKPOINT_SCHEMA};
+pub use panic::isolate;
+pub use policy::{ItemOutcome, SweepPolicy};

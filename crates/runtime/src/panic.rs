@@ -1,0 +1,55 @@
+//! Panic isolation for sweep workers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f`, converting a panic into `Err(message)` instead of unwinding
+/// into the caller.
+///
+/// The `AssertUnwindSafe` is sound for the sweep use case: a panicking
+/// item's partial state (its circuit clone, workspace buffers) is dropped
+/// with the unwound stack and never observed again — the item is retried
+/// from scratch or recorded as [`crate::ItemOutcome::Panicked`].
+///
+/// The message is the panic payload when it is a `&str`/`String` (the
+/// overwhelmingly common case: `panic!`, `assert!`, `unwrap`), or a
+/// placeholder otherwise.
+pub fn isolate<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else {
+            match payload.downcast::<String>() {
+                Ok(s) => *s,
+                Err(_) => "non-string panic payload".to_string(),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_passes_through() {
+        assert_eq!(isolate(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn str_panic_is_captured() {
+        let e = isolate(|| -> i32 { panic!("boom at step 7") }).unwrap_err();
+        assert_eq!(e, "boom at step 7");
+    }
+
+    #[test]
+    fn formatted_panic_is_captured() {
+        let e = isolate(|| -> i32 { panic!("bad index {}", 3) }).unwrap_err();
+        assert_eq!(e, "bad index 3");
+    }
+
+    #[test]
+    fn non_string_payload_is_classified() {
+        let e = isolate(|| std::panic::panic_any(7usize)).unwrap_err();
+        assert_eq!(e, "non-string panic payload");
+    }
+}

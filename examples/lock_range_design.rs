@@ -159,8 +159,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spans.iter().map(|p| p.0).collect(),
             spans.iter().map(|p| p.1).collect(),
         ));
-    fig.save_csv("lock_range_design.csv")?;
-    say!("\nwrote lock_range_design.csv");
+    std::fs::create_dir_all("results")?;
+    fig.save_csv("results/lock_range_design.csv")?;
+    say!("\nwrote results/lock_range_design.csv");
 
     if let Some(path) = &metrics_out {
         let manifest = manifest.finish(observe::global());

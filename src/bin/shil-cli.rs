@@ -2,9 +2,21 @@
 //!
 //! ```text
 //! shil-cli op <file.cir>
-//! shil-cli tran <file.cir> --dt 2e-8 --stop 2e-4 --probe <node> [--probe <node>] [--csv out.csv]
+//! shil-cli tran <file.cir> --dt 2e-8 --stop 2e-4 --probe <node> [--probe <node>]
+//!          [--timeout <s>] [--csv out.csv]
 //! shil-cli ac <file.cir> --port <node-a> <node-b> --from 1e5 --to 1e6 --points 200 [--csv out.csv]
+//! shil-cli sweep <file.cir> --dt 2e-8 --stop 2e-4 --probe <node> --scale 0.5,1,2
+//!          [--threads <n>] [--timeout <s>] [--item-timeout <s>] [--retries <n>]
+//!          [--checkpoint [path]] [--resume] [--csv out.csv]
 //! ```
+//!
+//! `sweep` re-runs the transient once per `--scale` factor, with every
+//! independent source scaled by that factor, and reports each probe's final
+//! voltage plus a deterministic whole-sweep aggregate. Execution is
+//! policy-driven (`shil_runtime`): `--timeout` bounds the whole sweep,
+//! `--item-timeout` each run, `--retries` grants extra attempts, and
+//! `--checkpoint`/`--resume` make the sweep durable — a killed run resumes
+//! where it stopped with bit-identical results.
 //!
 //! Global flags (any subcommand):
 //!
@@ -18,18 +30,23 @@
 //! See `shil_circuit::netlist` for the accepted netlist cards.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use shil::circuit::analysis::{
-    ac_impedance, operating_point, transient, AcOptions, OpOptions, TranOptions,
+    ac_impedance, operating_point, transient, AcOptions, OpOptions, SweepEngine, TranOptions,
 };
-use shil::circuit::{netlist, Circuit};
+use shil::circuit::{netlist, Circuit, SolveReport};
 use shil::observe::{self, EventLog, RunManifest};
+use shil::runtime::{checkpoint, Budget, CheckpointFile, SweepPolicy};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  shil-cli op <file.cir>\n  shil-cli tran <file.cir> --dt <s> --stop <s> \
-         --probe <node> [--probe <node>] [--csv <out>]\n  shil-cli ac <file.cir> --port <a> <b> \
-         --from <hz> --to <hz> [--points <n>] [--csv <out>]\n\
+         --probe <node> [--probe <node>] [--timeout <s>] [--csv <out>]\n  shil-cli ac <file.cir> \
+         --port <a> <b> --from <hz> --to <hz> [--points <n>] [--csv <out>]\n  shil-cli sweep \
+         <file.cir> --dt <s> --stop <s> --probe <node> [--probe <node>] --scale <k[,k...]> \
+         [--threads <n>] [--timeout <s>] [--item-timeout <s>] [--retries <n>] \
+         [--checkpoint [path]] [--resume] [--csv <out>]\n\
          global flags: [--quiet] [--metrics-out [path]] [--events-out [path]]"
     );
     ExitCode::from(2)
@@ -193,7 +210,11 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                 "tran_started",
                 &[("dt_s", dt.into()), ("stop_s", stop.into())],
             );
-            let res = match transient(&ckt, &TranOptions::new(dt, stop)) {
+            let mut opts = TranOptions::new(dt, stop);
+            if let Some(t) = flag_value(rest, "--timeout").and_then(|v| v.parse::<f64>().ok()) {
+                opts = opts.with_budget(Budget::with_deadline(Duration::from_secs_f64(t)));
+            }
+            let res = match transient(&ckt, &opts) {
                 Ok(r) => r,
                 Err(e) => {
                     log.error("tran_failed", &[("error", e.to_string().into())]);
@@ -223,6 +244,158 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                 out.push('\n');
             }
             emit(rest, &out, log)
+        }
+        "sweep" => {
+            let (Some(dt), Some(stop)) = (
+                flag_value(rest, "--dt").and_then(|v| v.parse::<f64>().ok()),
+                flag_value(rest, "--stop").and_then(|v| v.parse::<f64>().ok()),
+            ) else {
+                return usage();
+            };
+            let probes: Vec<String> = flag_values(rest, "--probe");
+            if probes.is_empty() {
+                log.error("sweep_needs_probe", &[]);
+                return ExitCode::from(2);
+            }
+            let mut probe_ids = Vec::new();
+            for p in &probes {
+                match ckt.find_node(p) {
+                    Some(id) => probe_ids.push(id),
+                    None => {
+                        log.error("unknown_probe_node", &[("node", p.as_str().into())]);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let scales: Vec<f64> = flag_values(rest, "--scale")
+                .iter()
+                .flat_map(|v| v.split(','))
+                .filter_map(|v| v.trim().parse::<f64>().ok())
+                .collect();
+            if scales.is_empty() {
+                log.error("sweep_needs_scale", &[]);
+                return ExitCode::from(2);
+            }
+            let threads = flag_value(rest, "--threads").and_then(|v| v.parse::<usize>().ok());
+            let secs = |flag: &str| {
+                flag_value(rest, flag)
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .map(Duration::from_secs_f64)
+            };
+            let policy = SweepPolicy {
+                deadline: secs("--timeout"),
+                item_timeout: secs("--item-timeout"),
+                max_retries: flag_value(rest, "--retries")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(0),
+                ..SweepPolicy::default()
+            };
+            let resume = rest.iter().any(|a| a == "--resume");
+            let checkpoint_path = optional_path(
+                rest,
+                "--checkpoint",
+                "results/checkpoint_shil_cli_sweep.jsonl",
+            );
+            let checkpoint_file = match &checkpoint_path {
+                Some(path) => {
+                    if !resume {
+                        // A fresh (non-resume) run must not inherit records.
+                        let _ = std::fs::remove_file(path);
+                    }
+                    // The checkpoint is bound to the sweep's exact inputs:
+                    // time grid and scale factors.
+                    let mut inputs = vec![dt, stop];
+                    inputs.extend_from_slice(&scales);
+                    let fp = checkpoint::fingerprint("shil-cli/sweep", &inputs);
+                    match CheckpointFile::open(path.as_ref(), &fp, scales.len()) {
+                        Ok(cp) => Some(cp),
+                        Err(e) => {
+                            log.error(
+                                "checkpoint_open_failed",
+                                &[
+                                    ("path", path.as_str().into()),
+                                    ("error", e.to_string().into()),
+                                ],
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
+            log.info(
+                "sweep_started",
+                &[
+                    ("points", (scales.len() as u64).into()),
+                    (
+                        "restored",
+                        (checkpoint_file.as_ref().map_or(0, |cp| cp.restored().len()) as u64)
+                            .into(),
+                    ),
+                ],
+            );
+            let sweep = SweepEngine::new(threads).run_checkpointed(
+                &scales,
+                &policy,
+                &Budget::unlimited(),
+                checkpoint_file.as_ref(),
+                |_, &scale, item_budget| {
+                    let scaled = ckt.scale_sources(scale);
+                    let opts = TranOptions::new(dt, stop)
+                        .with_budget(item_budget.clone())
+                        .with_step_retry_budget(policy.step_retry_budget);
+                    let res = transient(&scaled, &opts)?;
+                    let finals: Vec<f64> = probe_ids
+                        .iter()
+                        .map(|&id| *res.node_voltage(id).expect("probed node").last().unwrap())
+                        .collect();
+                    Ok((finals, res.report))
+                },
+                |finals: &Vec<f64>| encode_voltages(finals),
+                decode_voltages,
+            );
+            log.info(
+                "sweep_finished",
+                &[
+                    ("ok", (sweep.ok_count() as u64).into()),
+                    ("cancelled", sweep.cancelled.into()),
+                ],
+            );
+            let mut out = String::from("scale,outcome,tries,restored");
+            for p in &probes {
+                out.push_str(&format!(",v({p})"));
+            }
+            out.push('\n');
+            for (scale, item) in scales.iter().zip(&sweep.items) {
+                out.push_str(&format!(
+                    "{:e},{},{},{}",
+                    scale,
+                    item.outcome,
+                    item.tries,
+                    u8::from(item.restored)
+                ));
+                match &item.value {
+                    Some(finals) => {
+                        for v in finals {
+                            out.push_str(&format!(",{v:e}"));
+                        }
+                    }
+                    None => {
+                        for _ in &probes {
+                            out.push(',');
+                        }
+                    }
+                }
+                out.push('\n');
+            }
+            out.push_str(&aggregate_line(&sweep.aggregate, sweep.ok_count()));
+            let all_ok = sweep.ok_count() == scales.len() && !sweep.cancelled;
+            let emitted = emit(rest, &out, log);
+            if all_ok {
+                emitted
+            } else {
+                ExitCode::FAILURE
+            }
         }
         "ac" => {
             let ports = flag_values(rest, "--port");
@@ -282,6 +455,40 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// Checkpoint payload for a sweep item: the exact bits of each probe's
+/// final voltage, `:`-joined, so restored values are bit-identical.
+fn encode_voltages(finals: &[f64]) -> String {
+    finals
+        .iter()
+        .map(|v| format!("{:016x}", v.to_bits()))
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+fn decode_voltages(payload: &str) -> Option<Vec<f64>> {
+    payload
+        .split(':')
+        .map(|s| u64::from_str_radix(s, 16).ok().map(f64::from_bits))
+        .collect()
+}
+
+/// The deterministic whole-sweep footer: solver-effort counters that are
+/// identical at any thread count and across kill/resume (wall time is
+/// deliberately excluded). CI diffs this line between a clean run and a
+/// killed-and-resumed one.
+fn aggregate_line(report: &SolveReport, ok: usize) -> String {
+    let fallbacks: Vec<String> = report.fallbacks.iter().map(|f| f.to_string()).collect();
+    format!(
+        "# aggregate ok={} attempts={} halvings={} factorizations={} reuses={} fallbacks=[{}]\n",
+        ok,
+        report.attempts,
+        report.halvings,
+        report.factorizations,
+        report.reuses,
+        fallbacks.join("; ")
+    )
 }
 
 fn emit(rest: &[String], content: &str, log: &EventLog) -> ExitCode {

@@ -14,6 +14,9 @@
 //! - [`numerics`] — the shared numerical kernel.
 //! - [`observe`] — zero-dependency metrics, span timers, structured events
 //!   and run manifests, wired through every layer above.
+//! - [`runtime`] — execution control: deadlines and cooperative cancellation
+//!   ([`runtime::Budget`]), panic isolation, sweep retry policy, and durable
+//!   checkpoint/resume for long-running sweeps.
 //! - [`plot`] — ASCII/SVG/CSV rendering of the graphical procedure.
 //!
 //! # Quickstart
@@ -46,4 +49,5 @@ pub use shil_core as core;
 pub use shil_numerics as numerics;
 pub use shil_observe as observe;
 pub use shil_plot as plot;
+pub use shil_runtime as runtime;
 pub use shil_waveform as waveform;

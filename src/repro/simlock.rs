@@ -8,8 +8,9 @@
 //! describing-function prediction — which is exactly the speedup the
 //! benchmark harness measures.
 
-use shil_circuit::analysis::{transient, SweepEngine, TranOptions};
+use shil_circuit::analysis::{transient, PolicySweep, SweepEngine, TranOptions};
 use shil_circuit::{Circuit, CircuitError, NodeId, SolveReport};
+use shil_runtime::{Budget, CheckpointFile, SweepPolicy};
 use shil_waveform::lock::{is_subharmonic_locked, LockOptions};
 use shil_waveform::measure::{estimate_frequency, peak_amplitude};
 use shil_waveform::{Sampled, WaveformError};
@@ -255,6 +256,104 @@ where
         locked,
         report,
     })
+}
+
+/// A policy-driven, resumable lock sweep: one classified outcome per probed
+/// injection frequency.
+#[derive(Debug)]
+pub struct PolicyLockSweep {
+    /// The injection frequencies probed, in input order.
+    pub frequencies_hz: Vec<f64>,
+    /// Per-frequency outcomes, verdicts, and the deterministic aggregate.
+    pub sweep: PolicySweep<bool>,
+}
+
+impl PolicyLockSweep {
+    /// Number of probed frequencies with a positive lock verdict.
+    pub fn locked_count(&self) -> usize {
+        self.sweep
+            .items
+            .iter()
+            .filter(|item| item.value == Some(true))
+            .count()
+    }
+
+    /// The lock verdict at input index `i` (`None` if the probe did not
+    /// produce one — failed, timed out, panicked, or cancelled).
+    pub fn verdict(&self, i: usize) -> Option<bool> {
+        self.sweep.items.get(i).and_then(|item| item.value)
+    }
+}
+
+/// The checkpoint fingerprint binding a lock-sweep checkpoint file to its
+/// frequency grid and sub-harmonic order.
+pub fn lock_sweep_fingerprint(frequencies: &[f64], n: u32) -> String {
+    shil_runtime::checkpoint::fingerprint(&format!("simlock/lock-sweep/n{n}"), frequencies)
+}
+
+fn measure_err(e: WaveformError) -> CircuitError {
+    CircuitError::InvalidRequest(format!("lock measurement failed: {e}"))
+}
+
+/// [`probe_lock_sweep`] under execution control: per-item deadlines, retry
+/// with backoff, panic isolation, and durable checkpoint/resume.
+///
+/// Unlike [`probe_lock_sweep`], a failed probe does not fail the sweep —
+/// every frequency gets a classified [`shil_runtime::ItemOutcome`], and a
+/// sweep interrupted mid-run (deadline, kill) can be resumed from its
+/// checkpoint file with bit-identical verdicts and aggregate. Open the
+/// checkpoint with [`lock_sweep_fingerprint`] so stale files (different
+/// grid or `n`) are rejected.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_lock_sweep_checkpointed<F>(
+    build: F,
+    a: NodeId,
+    b: NodeId,
+    frequencies: &[f64],
+    n: u32,
+    opts: &SimOptions,
+    ic: &[(NodeId, f64)],
+    parallelism: Option<usize>,
+    policy: &SweepPolicy,
+    budget: &Budget,
+    checkpoint: Option<&CheckpointFile>,
+) -> PolicyLockSweep
+where
+    F: Fn(f64) -> Circuit + Sync,
+{
+    let sweep = SweepEngine::new(parallelism).run_checkpointed(
+        frequencies,
+        policy,
+        budget,
+        checkpoint,
+        |_, &f_inj, item_budget| {
+            let period = n as f64 / f_inj;
+            let dt = period / opts.steps_per_period as f64;
+            let t_stop = opts.total_periods() * period;
+            let t_record = opts.settle_periods * period;
+            let mut tran = TranOptions::new(dt, t_stop)
+                .record_after(t_record)
+                .with_budget(item_budget.clone());
+            for &(node, v) in ic {
+                tran = tran.with_ic(node, v);
+            }
+            let res = transient(&build(f_inj), &tran)?;
+            let trace = res.voltage_between(a, b)?;
+            let s = Sampled::from_time_series(&trace.time, &trace.values).map_err(measure_err)?;
+            let locked = is_subharmonic_locked(&s, f_inj, n, &opts.lock).map_err(measure_err)?;
+            Ok((locked, res.report))
+        },
+        |locked: &bool| if *locked { "1" } else { "0" }.to_string(),
+        |s: &str| match s {
+            "1" => Some(true),
+            "0" => Some(false),
+            _ => None,
+        },
+    );
+    PolicyLockSweep {
+        frequencies_hz: frequencies.to_vec(),
+        sweep,
+    }
 }
 
 /// The simulated lock range found by expanding + bisecting on each side of

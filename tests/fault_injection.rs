@@ -8,15 +8,17 @@
 //! from its seed alone.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 use proptest::prelude::*;
 
-use shil::circuit::analysis::{operating_point, transient, OpOptions, SolverKind};
+use shil::circuit::analysis::{operating_point, transient, OpOptions, SolverKind, SweepEngine};
 use shil::circuit::{Circuit, IvCurve, SourceWave};
 use shil::core::harmonics::HarmonicOptions;
 use shil::core::nonlinearity::NegativeTanh;
 use shil::core::shil::{ShilAnalysis, ShilOptions};
 use shil::core::tank::ParallelRlc;
+use shil::runtime::{Budget, SweepPolicy};
 use shil_fault::{chaos_tran_options, faulty_iv, FaultSpec, FaultyNonlinearity};
 
 /// Small grids keep 1000 trials fast; the escalation ladder and degraded
@@ -192,6 +194,70 @@ fn mixed_fault_kinds_never_panic() {
             assert!(result.is_ok(), "panic at seed {seed}, entry {entry}");
         }
     }
+}
+
+/// The policy-driven sweep under fault injection: 1000 seeded items with
+/// mixed NaN/Inf/jump faults, each granted a per-item timeout and one
+/// retry, must never panic the sweep — the engine isolates every failure
+/// mode — and every item must come back with exactly one classified
+/// outcome and a `Some` value iff that outcome is a success.
+#[test]
+fn policy_sweep_classifies_1000_faulty_items_without_panicking() {
+    let seeds: Vec<u64> = (0..1000).collect();
+    let policy = SweepPolicy {
+        item_timeout: Some(Duration::from_secs(30)),
+        max_retries: 1,
+        ..SweepPolicy::default()
+    };
+    let sweep = catch_unwind(AssertUnwindSafe(|| {
+        SweepEngine::new(None).run_with_policy(
+            &seeds,
+            &policy,
+            &Budget::unlimited(),
+            |_, &seed, budget| {
+                // Rate ladder 0 %, 1 %, 2 %, 3 %: the zero-rate quarter
+                // must succeed, the harsher tiers mostly produce typed
+                // failures — so both classification paths are exercised.
+                let spec = FaultSpec::mixed(0.01 * (seed % 4) as f64, seed);
+                let opts = chaos_tran_options(1e-7, 2e-5).with_budget(budget.clone());
+                let res = transient(&faulty_circuit(spec), &opts)?;
+                let v = *res.node_voltage(2).unwrap().last().unwrap();
+                Ok((v, res.report))
+            },
+        )
+    }))
+    .expect("the policy sweep must isolate every fault, not panic");
+    assert_eq!(sweep.items.len(), seeds.len());
+    for (seed, item) in seeds.iter().zip(&sweep.items) {
+        assert!(
+            item.tries >= 1,
+            "seed {seed}: an uncancelled item records its attempts"
+        );
+        if item.outcome.is_success() {
+            let v = item.value.expect("successful item carries a value");
+            assert!(v.is_finite(), "seed {seed}: non-finite value escaped");
+        } else {
+            assert!(item.value.is_none(), "seed {seed}: failed item with value");
+            assert!(
+                item.error.as_deref().is_some_and(|e| !e.is_empty()),
+                "seed {seed}: unsuccessful item must carry a diagnostic"
+            );
+        }
+    }
+    assert!(!sweep.cancelled, "no sweep-level deadline was set");
+    // Every zero-rate item (a quarter of the seeds) must succeed — the
+    // engine must not misclassify healthy work — and the harsher tiers
+    // must surface as classified failures, not silence.
+    assert!(
+        sweep.ok_count() >= seeds.len() / 4,
+        "only {}/{} items succeeded",
+        sweep.ok_count(),
+        seeds.len()
+    );
+    assert!(
+        sweep.items.iter().any(|i| !i.outcome.is_success()),
+        "the faulty tiers must produce classified failures"
+    );
 }
 
 /// A healthy element wrapped with a zero-rate spec must behave exactly like

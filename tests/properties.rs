@@ -263,3 +263,105 @@ proptest! {
         }
     }
 }
+
+// --- Execution control ---------------------------------------------------
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use shil::numerics::newton::{newton_system_budgeted, NewtonOptions};
+use shil::runtime::{Budget, CancelToken, CheckpointRecord, ItemOutcome};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Checkpoint JSONL round-trip: any record — arbitrary outcome, tries,
+    /// counters, and payload bytes (including quotes and newlines) — parses
+    /// back to exactly itself, and *no strict prefix* of its line parses at
+    /// all (the torn-tail-reads-as-absent rule the resume path relies on).
+    #[test]
+    fn checkpoint_record_round_trips_and_tears_cleanly(
+        index in 0usize..10_000,
+        outcome_pick in 0usize..6,
+        tries in 0u32..20,
+        wall_s in 0.0f64..1e4,
+        counter_vals in prop::collection::vec(0u64..u64::MAX, 0..6),
+        payload_points in prop::collection::vec(0u32..0xFFFF, 0..40),
+    ) {
+        let outcome = [
+            ItemOutcome::Ok,
+            ItemOutcome::Degraded,
+            ItemOutcome::Failed,
+            ItemOutcome::TimedOut,
+            ItemOutcome::Panicked,
+            ItemOutcome::Cancelled,
+        ][outcome_pick];
+        // Arbitrary unicode payload (quotes, newlines, controls included —
+        // unpaired surrogates excluded, as they are not Rust chars).
+        let payload: String = payload_points
+            .iter()
+            .filter_map(|&p| char::from_u32(p))
+            .collect();
+        let counters: BTreeMap<String, u64> = counter_vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("counter_{i}"), v))
+            .collect();
+        let rec = CheckpointRecord {
+            index,
+            outcome,
+            tries,
+            wall_s,
+            counters,
+            payload,
+        };
+        let line = rec.to_line();
+        let parsed = CheckpointRecord::from_line(&line);
+        prop_assert_eq!(parsed, Some(rec));
+        // Probe a spread of prefixes (every cut would be O(len²) per case);
+        // cuts inside a multi-byte char cannot even form a &str, which is
+        // its own kind of torn-line safety.
+        for cut in (1..line.len()).step_by(7).chain([line.len() - 1]) {
+            if !line.is_char_boundary(cut) {
+                continue;
+            }
+            prop_assert!(
+                CheckpointRecord::from_line(&line[..cut]).is_none(),
+                "torn prefix of length {} parsed", cut
+            );
+        }
+    }
+
+    /// Cancellation is prompt: a Newton solve handed an already-cancelled
+    /// token returns `Cancelled` without completing a single iteration —
+    /// the model is never evaluated — and the best iterate is the seed.
+    #[test]
+    fn pre_cancelled_newton_never_evaluates_the_model(
+        x0 in prop::collection::vec(-10.0f64..10.0, 1..6),
+    ) {
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_token(token);
+        let evals = std::sync::atomic::AtomicUsize::new(0);
+        let err = newton_system_budgeted(
+            |x, r| {
+                evals.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                for (ri, xi) in r.iter_mut().zip(x) {
+                    *ri = xi - 1.0;
+                }
+            },
+            &x0,
+            &NewtonOptions::default(),
+            &budget,
+        )
+        .unwrap_err();
+        prop_assert_eq!(evals.load(std::sync::atomic::Ordering::Relaxed), 0);
+        match err {
+            NumericsError::Cancelled { best_iterate, elapsed } => {
+                prop_assert_eq!(best_iterate, x0);
+                prop_assert!(elapsed < Duration::from_secs(600));
+            }
+            other => prop_assert!(false, "expected Cancelled, got {}", other),
+        }
+    }
+}
