@@ -20,6 +20,14 @@
 //! JSONL). With `--metrics-out [path]` the process-wide metric registry is
 //! enabled and a run manifest lands next to the JSON artifact.
 //!
+//! Two further stages: the same 25 points re-swept on a shared fixed grid
+//! (anchored at the center frequency, so lanes share a step schedule)
+//! under the scalar vs the batched sweep backend at equal cores, asserting
+//! bitwise identity between the two — `--lanes <k>` overrides the lane
+//! width; and a dense-vs-sparse per-step ladder across system sizes, the
+//! measurement behind `SolverKind::Auto`'s crossover. Both land in the
+//! JSON as `batched` and `auto_crossover`.
+//!
 //! Writes `results/BENCH_tran.json` for regression tracking. Pass
 //! `--quick` for a seconds-scale smoke run (same fields, shorter
 //! transients) — used by the CI bench-smoke job. `--timeout <s>` arms a
@@ -29,7 +37,7 @@
 
 use std::time::Duration;
 
-use shil::circuit::analysis::{transient, SolverKind, SweepEngine, TranOptions};
+use shil::circuit::analysis::{transient, BackendChoice, SolverKind, SweepEngine, TranOptions};
 use shil::circuit::mna::MnaStructure;
 use shil::circuit::{Circuit, NodeId, TranResult};
 use shil::observe::{EventLog, RunManifest};
@@ -192,6 +200,73 @@ fn bench_circuit(
     }
 }
 
+/// One rung of the `SolverKind::Auto` crossover ladder: per-step time of
+/// the dense and sparse backends (both with the production reuse setting)
+/// at one system size. This is the measurement behind the constant in
+/// `SolverKind::resolve` — the per-config story (reuse on/off) lives in the
+/// two `bench_circuit` calls; here both backends run the engine default so
+/// the numbers answer exactly the question `Auto` has to decide.
+struct CrossoverPoint {
+    unknowns: usize,
+    dense_us: f64,
+    sparse_us: f64,
+}
+
+fn bench_crossover(
+    log: &EventLog,
+    params: DiffPairParams,
+    f_inj: f64,
+    periods: f64,
+    reps: usize,
+) -> Vec<CrossoverPoint> {
+    // Ladder sections add two unknowns each: 9, 17, 33, 65, 129.
+    [0usize, 4, 12, 28, 60]
+        .iter()
+        .map(|&sections| {
+            let (ckt, node) = injected_diff_pair(params, f_inj, sections);
+            let unknowns = MnaStructure::new(&ckt).size();
+            let mut us = [0.0f64; 2];
+            for (slot, kind) in [SolverKind::Dense, SolverKind::Sparse]
+                .into_iter()
+                .enumerate()
+            {
+                let opts = tran_options(params, f_inj, node, periods, kind, true);
+                let res = transient(&ckt, &opts).expect("transient");
+                let t = median_secs(reps, || {
+                    std::hint::black_box(transient(&ckt, &opts).expect("transient"));
+                });
+                us[slot] = 1e6 * t / res.report.attempts as f64;
+            }
+            log.info(
+                "crossover_point",
+                &[
+                    ("unknowns", (unknowns as u64).into()),
+                    ("dense_us_per_step", us[0].into()),
+                    ("sparse_us_per_step", us[1].into()),
+                ],
+            );
+            CrossoverPoint {
+                unknowns,
+                dense_us: us[0],
+                sparse_us: us[1],
+            }
+        })
+        .collect()
+}
+
+fn json_crossover(points: &[CrossoverPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{ \"unknowns\": {}, \"dense_us\": {:.4}, \"sparse_us\": {:.4} }}",
+                p.unknowns, p.dense_us, p.sparse_us
+            )
+        })
+        .collect();
+    format!("[\n    {}\n  ]", rows.join(",\n    "))
+}
+
 fn json_circuit(b: &CircuitBench) -> String {
     format!(
         "{{\n    \"unknowns\": {},\n    \"steps\": {},\n    \"per_step_us\": {{\n      \
@@ -307,18 +382,106 @@ fn main() {
         ],
     );
 
+    // --- batched backend: the same 25 points on a shared fixed grid -------
+    // Lanes advance in lock-step only when they share a step schedule, so
+    // this sweep anchors every point's grid at the center frequency (the
+    // per-frequency grids above never share dt bits). Scalar vs batched on
+    // the same serial engine isolates the backend effect at equal cores,
+    // and the two sweeps must agree bit for bit.
+    let setup_fixed = |kind: SolverKind, reuse: bool| {
+        let period = paper::N as f64 / f_inj;
+        move |_: usize, &fi: &f64| {
+            let (ckt, node) = injected_diff_pair(params, fi, sections);
+            let mut opts = TranOptions::new(period / 96.0, sweep_periods * period)
+                .with_ic(node, params.vcc + 0.05)
+                .with_budget(harness_budget());
+            opts.solver = kind;
+            if !reuse {
+                opts.reuse_tolerance = 0.0;
+            }
+            let settle = 0.8 * opts.t_stop;
+            (ckt, opts.record_after(settle))
+        }
+    };
+    let lanes = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--lanes")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(BackendChoice::AUTO_LANES)
+    };
+    let (scalar_sweep25, t_scalar) = timed(|| {
+        SweepEngine::serial()
+            .with_backend(BackendChoice::Scalar)
+            .transient_sweep(&sweep, setup_fixed(SolverKind::Sparse, true))
+    });
+    let (batched_sweep25, t_batched) = timed(|| {
+        SweepEngine::serial()
+            .with_backend(BackendChoice::Batched { lanes })
+            .transient_sweep(&sweep, setup_fixed(SolverKind::Sparse, true))
+    });
+    for (i, (a, b)) in scalar_sweep25
+        .runs
+        .iter()
+        .zip(&batched_sweep25.runs)
+        .enumerate()
+    {
+        let a = a.as_ref().expect("scalar backend run");
+        let b = b.as_ref().expect("batched backend run");
+        assert_eq!(a.time, b.time, "batched point {i}: time axes differ");
+        assert_eq!(
+            a.node_voltage(node).unwrap(),
+            b.node_voltage(node).unwrap(),
+            "batched point {i}: scalar and batched waveforms differ"
+        );
+    }
+    let t_scalar = t_scalar.as_secs_f64();
+    let t_batched = t_batched.as_secs_f64();
+    let stats = batched_sweep25.batch;
+    let batched_per_step = 1e6 * t_batched / batched_sweep25.aggregate.attempts as f64;
+    log.info(
+        "batched_sweep25_measured",
+        &[
+            ("lanes", (lanes as u64).into()),
+            ("scalar_s", t_scalar.into()),
+            ("batched_s", t_batched.into()),
+            ("speedup", (t_scalar / t_batched).into()),
+            ("lanes_launched", (stats.lanes_launched as u64).into()),
+            ("lanes_retired", (stats.lanes_retired as u64).into()),
+            ("occupancy", stats.occupancy.into()),
+        ],
+    );
+
+    let crossover = bench_crossover(log, params, f_inj, periods.min(60.0), reps);
+
     let json = format!(
         "{{\n  \"cores\": {},\n  \"quick\": {},\n  \"diff_pair\": {},\n  \
-         \"loaded_diff_pair\": {},\n  \"sweep25_points\": 25,\n  \
+         \"loaded_diff_pair\": {},\n  \"auto_crossover\": {},\n  \"sweep25_points\": 25,\n  \
          \"sweep25_serial_dense_s\": {:.6e},\n  \
-         \"sweep25_parallel_sparse_s\": {:.6e},\n  \"sweep25_speedup\": {:.3}\n}}\n",
+         \"sweep25_parallel_sparse_s\": {:.6e},\n  \"sweep25_speedup\": {:.3},\n  \
+         \"batched\": {{\n    \"lanes\": {},\n    \"block_size\": {},\n    \
+         \"per_step_us\": {:.4},\n    \"lanes_launched\": {},\n    \
+         \"lanes_retired\": {},\n    \"occupancy\": {:.4},\n    \
+         \"sweep25_scalar_s\": {:.6e},\n    \"sweep25_batched_s\": {:.6e},\n    \
+         \"sweep25_speedup\": {:.3}\n  }}\n}}\n",
         cores,
         quick,
         json_circuit(&paper_bench),
         json_circuit(&loaded_bench),
+        json_crossover(&crossover),
         t_serial,
         t_parallel,
         t_serial / t_parallel,
+        lanes,
+        lanes,
+        batched_per_step,
+        stats.lanes_launched,
+        stats.lanes_retired,
+        stats.occupancy,
+        t_scalar,
+        t_batched,
+        t_scalar / t_batched,
     );
     let path = results_dir().join("BENCH_tran.json");
     std::fs::write(&path, json).expect("write json");

@@ -1,0 +1,1010 @@
+//! Lock-step batched transient analysis for parameter sweeps.
+//!
+//! A sweep runs K parameter variants of one topology. The scalar path
+//! simulates them one at a time, re-deriving everything per item; this
+//! module advances K *lanes* through the shared step schedule in lock-step
+//! instead, so per-step work that misses the factorization-bypass
+//! certificate is eliminated for all lanes at once through the
+//! structure-of-arrays kernel in [`shil_numerics::batch`], and Jacobian
+//! stamping replays a recorded slot schedule instead of re-searching the
+//! CSR pattern on every stamp.
+//!
+//! **Bit-identity contract.** Every lane produces the same bytes — solution
+//! trajectory, `SolveReport` counters, and error values — as a scalar
+//! [`transient`](super::tran::transient) run of the same job. This holds by
+//! construction:
+//!
+//! - lane initialization and the scalar continuation go through the *same*
+//!   `tran_init`/`advance`/`run_steps_from` code the scalar path uses;
+//! - the lock-step Newton below is an operation-for-operation transcription
+//!   of the scalar `newton_tran` with a per-lane convergence mask;
+//! - slot-schedule replay performs the identical `+=` accumulations in the
+//!   identical order (only the slot *lookup* is skipped), and is disabled
+//!   for circuits containing a MOSFET, whose stamp order is
+//!   operating-point-dependent;
+//! - the batched refactorization kernel is bit-identical per lane to the
+//!   scalar elimination, and the natural-ordering sparse solver used for
+//!   every lane is bit-identical to the dense solver the scalar path may
+//!   pick at small N (shared kernel, same pivot order).
+//!
+//! **Lane retirement.** Lanes diverge gracefully: a lane whose Newton solve
+//! fails at the shared step leaves the batch and finishes on the scalar
+//! step-halving ladder (`advance` at depth 1 plus `run_steps_from`),
+//! carrying its solver state and report with it — exactly the state a
+//! scalar run would have at that point. Cancellation, halving budgets and
+//! all error taxonomy therefore behave identically to the scalar path.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use shil_numerics::batch::{refactorize_lanes, BatchLane, BatchLuScratch};
+use shil_numerics::solver::{BypassSolver, Stamp};
+use shil_numerics::sparse::{SparseMatrix, SparsePattern, SparseSolver};
+use shil_numerics::NumericsError;
+
+use crate::circuit::Circuit;
+use crate::device::Device;
+use crate::error::CircuitError;
+use crate::mna::{
+    assemble, sparse_pattern, update_dynamic_state, DynamicState, Integrator, MnaStructure,
+    StampMode,
+};
+use crate::report::{Analysis, FallbackKind, SolveReport};
+use crate::trace::TranResult;
+
+use super::tran::{
+    advance, cancelled_err, inf_norm, run_steps_from, tran_init, transient, validate_options,
+    TranInit, TranOptions, Workspace,
+};
+
+/// Statistics of one batched block, surfaced as `shil_sweep_batch_*`
+/// metrics and in the bench harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Lanes that entered the lock-step loop.
+    pub lanes_launched: usize,
+    /// Lanes that left the batch mid-run and finished on the scalar path.
+    pub lanes_retired: usize,
+    /// Jobs that never entered the batch (incompatible shape or fewer than
+    /// two batchable jobs) and ran as plain scalar transients.
+    pub scalar_fallbacks: usize,
+    /// Mean fraction of launched lanes still active per lock-step step.
+    pub occupancy: f64,
+}
+
+impl BatchStats {
+    /// Folds another block's stats in (occupancy is lane-weighted, so
+    /// blocks of different widths average correctly).
+    pub fn absorb(&mut self, other: &BatchStats) {
+        let (w0, w1) = (self.lanes_launched as f64, other.lanes_launched as f64);
+        if w0 + w1 > 0.0 {
+            self.occupancy = (self.occupancy * w0 + other.occupancy * w1) / (w0 + w1);
+        }
+        self.lanes_launched += other.lanes_launched;
+        self.lanes_retired += other.lanes_retired;
+        self.scalar_fallbacks += other.scalar_fallbacks;
+    }
+}
+
+/// A [`Stamp`] over a [`SparseMatrix`] that replays a recorded slot
+/// schedule: the `k`-th `add_at` of an assembly pass accumulates into the
+/// `k`-th recorded slot directly, skipping the per-stamp CSR row scan.
+///
+/// The arithmetic is identical to stamping through the pattern lookup —
+/// same slots, same order, same `+=` — which debug builds verify stamp by
+/// stamp. With no schedule set, stamps fall through to the plain lookup.
+struct ScheduledMatrix {
+    inner: SparseMatrix,
+    sched: Option<Arc<Vec<u32>>>,
+    cursor: usize,
+}
+
+impl ScheduledMatrix {
+    fn new(pattern: Arc<SparsePattern>) -> Self {
+        ScheduledMatrix {
+            inner: SparseMatrix::zeros(pattern),
+            sched: None,
+            cursor: 0,
+        }
+    }
+
+    fn set_schedule(&mut self, sched: Option<Arc<Vec<u32>>>) {
+        self.sched = sched;
+    }
+
+    fn inner(&self) -> &SparseMatrix {
+        &self.inner
+    }
+}
+
+impl Stamp for ScheduledMatrix {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        match &self.sched {
+            Some(sched) => {
+                let slot = sched[self.cursor] as usize;
+                debug_assert_eq!(
+                    self.inner.pattern().slot(i, j),
+                    Some(slot),
+                    "stamp schedule drifted at ({i}, {j})"
+                );
+                self.inner.values_mut()[slot] += v;
+                self.cursor += 1;
+            }
+            None => self.inner.add_at(i, j, v),
+        }
+    }
+
+    fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.mul_vec_into(x, y);
+    }
+
+    fn find_non_finite(&self) -> Option<(usize, usize, f64)> {
+        self.inner.find_non_finite()
+    }
+}
+
+/// A [`Stamp`] that records the slot sequence of one assembly pass.
+struct SlotRecorder {
+    pattern: Arc<SparsePattern>,
+    sched: Vec<u32>,
+}
+
+impl Stamp for SlotRecorder {
+    fn dim(&self) -> usize {
+        self.pattern.dim()
+    }
+
+    fn clear(&mut self) {
+        self.sched.clear();
+    }
+
+    fn add_at(&mut self, i: usize, j: usize, _v: f64) {
+        let slot = self
+            .pattern
+            .slot(i, j)
+            .unwrap_or_else(|| panic!("stamp at ({i}, {j}) outside the sparse pattern"));
+        self.sched.push(slot as u32);
+    }
+
+    fn mul_vec_into(&self, _x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+    }
+
+    fn find_non_finite(&self) -> Option<(usize, usize, f64)> {
+        None
+    }
+}
+
+/// Whether the stamp call sequence of `ckt` is independent of the solution
+/// values. MOSFET stamps swap drain/source roles with the sign of `vds`, so
+/// their slot order can change between assemblies; every other device
+/// stamps a fixed sequence.
+fn replay_safe(ckt: &Circuit) -> bool {
+    !ckt.devices()
+        .iter()
+        .any(|d| matches!(d, Device::Mosfet { .. }))
+}
+
+/// One lane of a batched block: a full transient run mid-flight.
+struct Lane {
+    idx: usize,
+    ckt: Circuit,
+    opts: TranOptions,
+    structure: MnaStructure,
+    pattern: Arc<SparsePattern>,
+    start: Instant,
+    report: SolveReport,
+    // Run state (from `tran_init`, advanced step by step).
+    x: Vec<f64>,
+    state: DynamicState,
+    next_state: DynamicState,
+    result: TranResult,
+    // Newton workspace, mirroring the scalar `Workspace` field for field.
+    r: Vec<f64>,
+    r_trial: Vec<f64>,
+    xt: Vec<f64>,
+    x_new: Vec<f64>,
+    neg_r: Vec<f64>,
+    dx: Vec<f64>,
+    jac: ScheduledMatrix,
+    jac_trial: ScheduledMatrix,
+    solver: BypassSolver<SparseSolver>,
+    // Recorded stamp schedules per integrator (first step is always
+    // backward Euler; the rest use the configured method).
+    replay: bool,
+    sched_be: Option<Arc<Vec<u32>>>,
+    sched_main: Option<Arc<Vec<u32>>>,
+    // Per-step Newton mask state.
+    rnorm: f64,
+    iters: usize,
+    have_dx: bool,
+    needs_refactor: bool,
+    newton_done: Option<Result<(), CircuitError>>,
+}
+
+impl Lane {
+    /// The recorded schedule for `method`, recording it on first use with a
+    /// throwaway assembly pass over the lane's current state.
+    fn schedule_for(&mut self, method: Integrator) -> Option<Arc<Vec<u32>>> {
+        if !self.replay {
+            return None;
+        }
+        let slot = match method {
+            Integrator::BackwardEuler => &mut self.sched_be,
+            Integrator::Trapezoidal => &mut self.sched_main,
+        };
+        if slot.is_none() {
+            let mut rec = SlotRecorder {
+                pattern: self.pattern.clone(),
+                sched: Vec::new(),
+            };
+            let mut r = vec![0.0; self.structure.size()];
+            let mode = StampMode::Transient {
+                t: self.opts.dt,
+                dt: self.opts.dt,
+                method,
+                prev: &self.state,
+            };
+            assemble(
+                &self.ckt,
+                &self.structure,
+                &self.x,
+                mode,
+                0.0,
+                &mut r,
+                &mut rec,
+            );
+            *slot = Some(Arc::new(rec.sched));
+        }
+        slot.clone()
+    }
+
+    /// Publishes the lane's report and hands back its result — the tail of
+    /// the scalar `transient_impl`.
+    fn finish(mut self, factorizations: usize, reuses: usize) -> Result<TranResult, CircuitError> {
+        self.report.factorizations = factorizations;
+        self.report.reuses = reuses;
+        self.report.wall_time = self.start.elapsed();
+        self.report.publish(Analysis::Tran);
+        self.result.report = self.report;
+        Ok(self.result)
+    }
+
+    /// Retires the lane from the batch after a Newton failure at step `k`:
+    /// runs the two half-steps of the scalar halving ladder, then finishes
+    /// the remaining grid on the scalar main loop. This is the depth-0
+    /// failure arm of the scalar `advance`, with the lane's solver state
+    /// (and thus bypass behaviour) carried over intact.
+    fn retire(mut self, k: usize, t0: f64, method: Integrator) -> Result<TranResult, CircuitError> {
+        self.report.halvings += 1;
+        self.report.note_fallback(FallbackKind::StepHalving);
+        let n = self.structure.size();
+        let mut ws = Workspace::new(
+            n,
+            SparseMatrix::zeros(self.pattern.clone()),
+            SparseMatrix::zeros(self.pattern.clone()),
+            self.solver,
+        );
+        let half = self.opts.dt * 0.5;
+        advance(
+            &self.ckt,
+            &self.structure,
+            &mut self.x,
+            &mut self.state,
+            &mut self.next_state,
+            t0,
+            half,
+            method,
+            &self.opts,
+            &mut ws,
+            1,
+            &mut self.report,
+        )?;
+        advance(
+            &self.ckt,
+            &self.structure,
+            &mut self.x,
+            &mut self.state,
+            &mut self.next_state,
+            t0 + half,
+            half,
+            method,
+            &self.opts,
+            &mut ws,
+            1,
+            &mut self.report,
+        )?;
+        let t1 = (k + 1) as f64 * self.opts.dt;
+        if t1 >= self.opts.t_record_start && (k + 1).is_multiple_of(self.opts.record_every) {
+            self.result.push(t1, &self.x);
+        }
+        let steps = (self.opts.t_stop / self.opts.dt).round() as usize;
+        run_steps_from(
+            &self.ckt,
+            &self.opts,
+            &self.structure,
+            &mut ws,
+            &mut self.x,
+            &mut self.state,
+            &mut self.next_state,
+            &mut self.result,
+            &mut self.report,
+            k + 1,
+            steps,
+        )?;
+        let (factorizations, reuses) = (ws.solver.factorizations(), ws.solver.reuses());
+        self.solver = ws.solver;
+        self.finish(factorizations, reuses)
+    }
+}
+
+/// Runs a block of transient jobs, advancing compatible jobs in lock-step
+/// lanes and falling back to scalar [`transient`] runs for the rest.
+///
+/// Per-job results are returned in input order and are bit-identical to
+/// what `transient(&ckt, &opts)` would produce for each job (see the
+/// module docs for why). Jobs are batchable together when they validate,
+/// share the exact `dt`/`t_stop` bits (hence the step schedule) and have
+/// MNA systems of the same non-zero size.
+pub fn transient_batch(
+    jobs: Vec<(Circuit, TranOptions)>,
+) -> (Vec<Result<TranResult, CircuitError>>, BatchStats) {
+    let total = jobs.len();
+    let mut results: Vec<Option<Result<TranResult, CircuitError>>> =
+        (0..total).map(|_| None).collect();
+    let mut stats = BatchStats::default();
+
+    // Partition into the lock-step batch and scalar fallbacks. The first
+    // valid job anchors the shared step schedule and system size.
+    let mut anchor: Option<(u64, u64, usize)> = None;
+    let mut batch: Vec<(usize, Circuit, TranOptions, MnaStructure)> = Vec::new();
+    let mut scalar: Vec<(usize, Circuit, TranOptions)> = Vec::new();
+    for (idx, (ckt, opts)) in jobs.into_iter().enumerate() {
+        if let Err(e) = validate_options(&opts) {
+            results[idx] = Some(Err(e));
+            continue;
+        }
+        let structure = MnaStructure::new(&ckt);
+        let n = structure.size();
+        let key = (opts.dt.to_bits(), opts.t_stop.to_bits(), n);
+        let compatible = n > 0 && (anchor.is_none() || anchor == Some(key));
+        if compatible {
+            anchor = Some(key);
+            batch.push((idx, ckt, opts, structure));
+        } else {
+            scalar.push((idx, ckt, opts));
+        }
+    }
+    if batch.len() < 2 {
+        // Nothing to batch against: run everything scalar.
+        scalar.extend(batch.drain(..).map(|(idx, ckt, opts, _)| (idx, ckt, opts)));
+    }
+
+    stats.scalar_fallbacks = scalar.len();
+    for (idx, ckt, opts) in scalar {
+        results[idx] = Some(transient(&ckt, &opts));
+    }
+
+    if !batch.is_empty() {
+        stats.lanes_launched = batch.len();
+        run_lanes(batch, &mut results, &mut stats);
+    }
+
+    shil_observe::counter_add(
+        "shil_sweep_batch_lanes_launched_total",
+        stats.lanes_launched as u64,
+    );
+    shil_observe::counter_add(
+        "shil_sweep_batch_lanes_retired_total",
+        stats.lanes_retired as u64,
+    );
+    shil_observe::counter_add(
+        "shil_sweep_batch_scalar_fallbacks_total",
+        stats.scalar_fallbacks as u64,
+    );
+    if stats.lanes_launched > 0 {
+        shil_observe::observe("shil_sweep_batch_occupancy", stats.occupancy);
+    }
+
+    let out = results
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect();
+    (out, stats)
+}
+
+/// The lock-step loop over initialized lanes.
+fn run_lanes(
+    batch: Vec<(usize, Circuit, TranOptions, MnaStructure)>,
+    results: &mut [Option<Result<TranResult, CircuitError>>],
+    stats: &mut BatchStats,
+) {
+    let launched = batch.len();
+    let mut shared_pattern: Option<Arc<SparsePattern>> = None;
+    let mut steps_total = 0usize;
+    let mut lanes: Vec<Option<Lane>> = Vec::with_capacity(launched);
+
+    // Lane bring-up mirrors `transient` + `transient_impl` entry: pattern,
+    // reuse tolerance, workspace, then `tran_init`. Lanes whose init fails
+    // finish immediately with the identical error.
+    for (idx, ckt, opts, structure) in batch {
+        let start = Instant::now();
+        let n = structure.size();
+        let pattern = {
+            let p = Arc::new(sparse_pattern(&ckt, &structure));
+            match &shared_pattern {
+                Some(p0) if **p0 == *p => p0.clone(),
+                _ => {
+                    shared_pattern = Some(p.clone());
+                    p
+                }
+            }
+        };
+        let eta = if opts.reuse_tolerance.is_finite() {
+            opts.reuse_tolerance
+        } else {
+            0.0
+        };
+        let solver = BypassSolver::new(SparseSolver::new(pattern.clone())).with_tolerance(eta);
+        let mut report = SolveReport::new();
+        let init = match tran_init(&ckt, &opts, &structure, &mut report) {
+            Ok(init) => init,
+            Err(e) => {
+                results[idx] = Some(Err(e));
+                continue;
+            }
+        };
+        let TranInit {
+            x,
+            state,
+            next_state,
+            result,
+            steps,
+        } = init;
+        steps_total = steps;
+        let replay = replay_safe(&ckt);
+        lanes.push(Some(Lane {
+            idx,
+            ckt,
+            opts,
+            structure,
+            pattern: pattern.clone(),
+            start,
+            report,
+            x,
+            state,
+            next_state,
+            result,
+            r: vec![0.0; n],
+            r_trial: vec![0.0; n],
+            xt: vec![0.0; n],
+            x_new: vec![0.0; n],
+            neg_r: vec![0.0; n],
+            dx: vec![0.0; n],
+            jac: ScheduledMatrix::new(pattern.clone()),
+            jac_trial: ScheduledMatrix::new(pattern),
+            solver,
+            replay,
+            sched_be: None,
+            sched_main: None,
+            rnorm: 0.0,
+            iters: 0,
+            have_dx: false,
+            needs_refactor: false,
+            newton_done: None,
+        }));
+    }
+
+    let mut scratch = BatchLuScratch::new();
+    let mut active_lane_steps = 0usize;
+    let mut lockstep_steps = 0usize;
+
+    for k in 0..steps_total {
+        let mut any_active = false;
+
+        // Step boundary per lane: budget check, attempt accounting, stamp
+        // schedule selection and the initial Newton assembly — the entry of
+        // the scalar `run_steps_from` + `advance` + `newton_tran` sequence.
+        for slot in lanes.iter_mut() {
+            let Some(lane) = slot.as_mut() else { continue };
+            any_active = true;
+            active_lane_steps += 1;
+            if lane.opts.budget.cancelled().is_some() {
+                let lane = slot.take().expect("lane present");
+                let x = lane.x;
+                results[lane.idx] = Some(Err(cancelled_err(&lane.opts.budget, x)));
+                continue;
+            }
+            let method = if k == 0 {
+                Integrator::BackwardEuler
+            } else {
+                lane.opts.method
+            };
+            lane.report.attempts += 1;
+            let sched = lane.schedule_for(method);
+            lane.jac.set_schedule(sched.clone());
+            lane.jac_trial.set_schedule(sched);
+            let t0 = k as f64 * lane.opts.dt;
+            let t = t0 + lane.opts.dt;
+            let mode = StampMode::Transient {
+                t,
+                dt: lane.opts.dt,
+                method,
+                prev: &lane.state,
+            };
+            lane.x_new.copy_from_slice(&lane.x);
+            assemble(
+                &lane.ckt,
+                &lane.structure,
+                &lane.x_new,
+                mode,
+                0.0,
+                &mut lane.r,
+                &mut lane.jac,
+            );
+            lane.rnorm = inf_norm(&lane.r);
+            lane.iters = 0;
+            lane.have_dx = false;
+            lane.needs_refactor = false;
+            lane.newton_done = if !lane.rnorm.is_finite() {
+                Some(Err(CircuitError::Numerics(NumericsError::NonFinite {
+                    context: format!("transient residual at t = {t:.6e}"),
+                    at: lane.x_new.clone(),
+                })))
+            } else {
+                None
+            };
+        }
+        if !any_active {
+            break;
+        }
+        lockstep_steps += 1;
+
+        // Lock-step Newton: phase A decides each lane's next move (converged /
+        // reuse / needs refactorization), phase B eliminates all queued lanes
+        // through the batched kernel, phase C runs the damped line search.
+        loop {
+            let mut in_newton = false;
+            for slot in lanes.iter_mut() {
+                let Some(lane) = slot.as_mut() else { continue };
+                if lane.newton_done.is_some() {
+                    continue;
+                }
+                let t = (k as f64 * lane.opts.dt) + lane.opts.dt;
+                lane.have_dx = false;
+                lane.needs_refactor = false;
+                if lane.iters == lane.opts.max_newton_iter {
+                    // Scalar loop exhausted: final convergence verdict.
+                    lane.newton_done = Some(final_verdict(lane, t));
+                    continue;
+                }
+                if lane.rnorm < lane.opts.abstol {
+                    lane.newton_done = Some(Ok(()));
+                    continue;
+                }
+                if lane.opts.budget.cancelled().is_some() {
+                    lane.newton_done =
+                        Some(Err(cancelled_err(&lane.opts.budget, lane.x_new.clone())));
+                    continue;
+                }
+                for (d, v) in lane.neg_r.iter_mut().zip(&lane.r) {
+                    *d = -v;
+                }
+                match lane
+                    .solver
+                    .try_reuse(lane.jac.inner(), &lane.neg_r, &mut lane.dx)
+                {
+                    Ok(Some(_)) => lane.have_dx = true,
+                    Ok(None) => lane.needs_refactor = true,
+                    Err(e) => lane.newton_done = Some(Err(e.into())),
+                }
+                in_newton = true;
+            }
+
+            // Phase B: batched refactorization of every queued lane.
+            {
+                let mut queued: Vec<&mut Lane> = lanes
+                    .iter_mut()
+                    .filter_map(|slot| slot.as_mut())
+                    .filter(|lane| lane.needs_refactor)
+                    .collect();
+                if !queued.is_empty() {
+                    let mut lane_refs: Vec<BatchLane<'_>> = queued
+                        .iter_mut()
+                        .map(|lane| BatchLane {
+                            solver: &mut lane.solver,
+                            matrix: lane.jac.inner(),
+                        })
+                        .collect();
+                    let outcomes = refactorize_lanes(&mut scratch, &mut lane_refs);
+                    drop(lane_refs);
+                    for (lane, outcome) in queued.iter_mut().zip(outcomes) {
+                        lane.needs_refactor = false;
+                        match outcome {
+                            Ok(()) => {
+                                lane.solver
+                                    .solve_with_installed_factors(&lane.neg_r, &mut lane.dx);
+                                lane.have_dx = true;
+                            }
+                            Err(e) => lane.newton_done = Some(Err(e.into())),
+                        }
+                    }
+                }
+            }
+
+            // Phase C: the scalar damped line search, verbatim per lane.
+            for slot in lanes.iter_mut() {
+                let Some(lane) = slot.as_mut() else { continue };
+                if !lane.have_dx || lane.newton_done.is_some() {
+                    continue;
+                }
+                let method = if k == 0 {
+                    Integrator::BackwardEuler
+                } else {
+                    lane.opts.method
+                };
+                let t0 = k as f64 * lane.opts.dt;
+                let t = t0 + lane.opts.dt;
+                let n = lane.structure.size();
+                let mode = StampMode::Transient {
+                    t,
+                    dt: lane.opts.dt,
+                    method,
+                    prev: &lane.state,
+                };
+                let mut lambda = 1.0;
+                let mut improved = false;
+                for _ in 0..20 {
+                    for i in 0..n {
+                        lane.xt[i] = lane.x_new[i] + lambda * lane.dx[i];
+                    }
+                    assemble(
+                        &lane.ckt,
+                        &lane.structure,
+                        &lane.xt,
+                        mode,
+                        0.0,
+                        &mut lane.r_trial,
+                        &mut lane.jac_trial,
+                    );
+                    let tn = inf_norm(&lane.r_trial);
+                    if tn.is_finite() && tn < lane.rnorm {
+                        std::mem::swap(&mut lane.x_new, &mut lane.xt);
+                        std::mem::swap(&mut lane.r, &mut lane.r_trial);
+                        std::mem::swap(&mut lane.jac, &mut lane.jac_trial);
+                        lane.rnorm = tn;
+                        improved = true;
+                        break;
+                    }
+                    lambda *= 0.5;
+                }
+                lane.iters += 1;
+                if !improved {
+                    lane.newton_done = Some(final_verdict(lane, t));
+                }
+                lane.have_dx = false;
+            }
+
+            if !in_newton {
+                break;
+            }
+            let all_done = lanes
+                .iter()
+                .filter_map(|slot| slot.as_ref())
+                .all(|lane| lane.newton_done.is_some());
+            if all_done {
+                break;
+            }
+        }
+
+        // Step epilogue per lane: accept (the success arm of `advance`) or
+        // retire to the scalar halving ladder.
+        for slot in lanes.iter_mut() {
+            let Some(lane) = slot.as_mut() else { continue };
+            let method = if k == 0 {
+                Integrator::BackwardEuler
+            } else {
+                lane.opts.method
+            };
+            let t0 = k as f64 * lane.opts.dt;
+            match lane.newton_done.take().expect("newton verdict present") {
+                Ok(()) => {
+                    update_dynamic_state(
+                        &lane.ckt,
+                        &lane.structure,
+                        &lane.x_new,
+                        lane.opts.dt,
+                        method,
+                        &lane.state,
+                        &mut lane.next_state,
+                    );
+                    std::mem::swap(&mut lane.state, &mut lane.next_state);
+                    lane.x.copy_from_slice(&lane.x_new);
+                    let t1 = (k + 1) as f64 * lane.opts.dt;
+                    if t1 >= lane.opts.t_record_start
+                        && (k + 1).is_multiple_of(lane.opts.record_every)
+                    {
+                        lane.result.push(t1, &lane.x);
+                    }
+                }
+                Err(e) => {
+                    let cancelled =
+                        matches!(&e, CircuitError::Numerics(NumericsError::Cancelled { .. }));
+                    let lane = slot.take().expect("lane present");
+                    if cancelled
+                        || lane.opts.max_halvings == 0
+                        || lane.report.halvings >= lane.opts.step_retry_budget()
+                    {
+                        results[lane.idx] = Some(Err(e));
+                    } else {
+                        stats.lanes_retired += 1;
+                        let idx = lane.idx;
+                        results[idx] = Some(lane.retire(k, t0, method));
+                    }
+                }
+            }
+        }
+    }
+
+    // Lanes that completed every step finalize like the scalar epilogue.
+    for slot in lanes.iter_mut() {
+        if let Some(lane) = slot.take() {
+            let idx = lane.idx;
+            let (factorizations, reuses) = (lane.solver.factorizations(), lane.solver.reuses());
+            results[idx] = Some(lane.finish(factorizations, reuses));
+        }
+    }
+
+    stats.occupancy = if lockstep_steps > 0 {
+        active_lane_steps as f64 / (lockstep_steps * launched) as f64
+    } else {
+        0.0
+    };
+}
+
+/// The post-loop convergence verdict of the scalar `newton_tran`.
+fn final_verdict(lane: &Lane, t: f64) -> Result<(), CircuitError> {
+    if lane.rnorm < lane.opts.abstol {
+        Ok(())
+    } else {
+        Err(CircuitError::ConvergenceFailure {
+            analysis: "tran",
+            at: t,
+            residual: lane.rnorm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::SourceWave;
+    use crate::{Circuit, IvCurve};
+
+    /// Bitwise comparison of two transient results: identical recorded
+    /// times and trajectories down to the last ulp, and identical solver
+    /// effort counters (wall time excepted).
+    fn assert_bitwise_equal(a: &TranResult, b: &TranResult, what: &str) {
+        assert_eq!(a.time.len(), b.time.len(), "{what}: time length");
+        for (i, (ta, tb)) in a.time.iter().zip(&b.time).enumerate() {
+            assert_eq!(ta.to_bits(), tb.to_bits(), "{what}: time[{i}]");
+        }
+        assert_eq!(a.columns.len(), b.columns.len(), "{what}: column count");
+        for (c, (ca, cb)) in a.columns.iter().zip(&b.columns).enumerate() {
+            assert_eq!(ca.len(), cb.len(), "{what}: column {c} length");
+            for (i, (va, vb)) in ca.iter().zip(cb).enumerate() {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{what}: column {c}[{i}]");
+            }
+        }
+        assert_eq!(a.report.attempts, b.report.attempts, "{what}: attempts");
+        assert_eq!(a.report.halvings, b.report.halvings, "{what}: halvings");
+        assert_eq!(a.report.fallbacks, b.report.fallbacks, "{what}: fallbacks");
+        assert_eq!(
+            a.report.factorizations, b.report.factorizations,
+            "{what}: factorizations"
+        );
+        assert_eq!(a.report.reuses, b.report.reuses, "{what}: reuses");
+    }
+
+    fn rc_job(r: f64) -> (Circuit, TranOptions) {
+        let mut ckt = Circuit::new();
+        let n_in = ckt.node("in");
+        let n_out = ckt.node("out");
+        ckt.vsource(n_in, 0, SourceWave::Dc(1.0));
+        ckt.resistor(n_in, n_out, r);
+        ckt.capacitor(n_out, 0, 1e-6);
+        (ckt, TranOptions::new(1e-6, 2e-4).use_ic())
+    }
+
+    fn oscillator_job(gm_scale: f64) -> (Circuit, TranOptions) {
+        let (r, l, c) = (1000.0, 10e-6, 10e-9);
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.resistor(top, 0, r);
+        ckt.inductor(top, 0, l);
+        ckt.capacitor(top, 0, c);
+        ckt.nonlinear(top, 0, IvCurve::tanh(-1e-3, gm_scale * 2.0 / (r * 1e-3)));
+        let f0 = 1.0 / (std::f64::consts::TAU * (l * c).sqrt());
+        let period = 1.0 / f0;
+        let opts = TranOptions::new(period / 200.0, 10.0 * period)
+            .use_ic()
+            .with_ic(top, 1e-3);
+        (ckt, opts)
+    }
+
+    fn scalar_baseline(jobs: &[(Circuit, TranOptions)]) -> Vec<Result<TranResult, CircuitError>> {
+        jobs.iter()
+            .map(|(ckt, opts)| transient(ckt, opts))
+            .collect()
+    }
+
+    #[test]
+    fn batched_rc_sweep_is_bitwise_identical_to_scalar() {
+        let jobs: Vec<_> = [470.0, 1e3, 2.2e3, 4.7e3]
+            .iter()
+            .map(|&r| rc_job(r))
+            .collect();
+        let expected = scalar_baseline(&jobs);
+        let (got, stats) = transient_batch(jobs);
+        assert_eq!(stats.lanes_launched, 4);
+        assert_eq!(stats.lanes_retired, 0);
+        assert_eq!(stats.scalar_fallbacks, 0);
+        assert!((stats.occupancy - 1.0).abs() < 1e-12);
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            let (g, e) = (g.as_ref().unwrap(), e.as_ref().unwrap());
+            assert_bitwise_equal(g, e, &format!("rc lane {i}"));
+        }
+    }
+
+    #[test]
+    fn batched_nonlinear_sweep_is_bitwise_identical_to_scalar() {
+        // Different loop gains take different Newton iteration counts and
+        // line-search paths; each lane must still match its scalar twin.
+        let jobs: Vec<_> = [0.8, 1.0, 1.3, 1.7]
+            .iter()
+            .map(|&g| oscillator_job(g))
+            .collect();
+        let expected = scalar_baseline(&jobs);
+        let (got, stats) = transient_batch(jobs);
+        assert_eq!(stats.lanes_launched, 4);
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            let (g, e) = (g.as_ref().unwrap(), e.as_ref().unwrap());
+            assert!(!g.is_empty());
+            assert_bitwise_equal(g, e, &format!("osc lane {i}"));
+        }
+    }
+
+    #[test]
+    fn incompatible_step_schedule_falls_back_to_scalar() {
+        let mut jobs: Vec<_> = [470.0, 1e3, 2.2e3].iter().map(|&r| rc_job(r)).collect();
+        // Third job runs on a different grid: it cannot share the lock-step
+        // schedule and must fall back without disturbing the batch.
+        jobs[2].1.dt = 2e-6;
+        let expected = scalar_baseline(&jobs);
+        let (got, stats) = transient_batch(jobs);
+        assert_eq!(stats.lanes_launched, 2);
+        assert_eq!(stats.scalar_fallbacks, 1);
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            assert_bitwise_equal(
+                g.as_ref().unwrap(),
+                e.as_ref().unwrap(),
+                &format!("mixed-grid job {i}"),
+            );
+        }
+    }
+
+    #[test]
+    fn lone_job_runs_on_the_scalar_path() {
+        let jobs = vec![rc_job(1e3)];
+        let expected = scalar_baseline(&jobs);
+        let (got, stats) = transient_batch(jobs);
+        assert_eq!(stats.lanes_launched, 0);
+        assert_eq!(stats.scalar_fallbacks, 1);
+        assert_bitwise_equal(
+            got[0].as_ref().unwrap(),
+            expected[0].as_ref().unwrap(),
+            "lone job",
+        );
+    }
+
+    #[test]
+    fn invalid_job_reports_the_scalar_error_without_poisoning_the_batch() {
+        let mut jobs: Vec<_> = [470.0, 1e3, 2.2e3].iter().map(|&r| rc_job(r)).collect();
+        jobs[1].1.dt = f64::NAN;
+        let expected = scalar_baseline(&jobs);
+        let (got, stats) = transient_batch(jobs);
+        assert_eq!(stats.lanes_launched, 2);
+        assert!(matches!(got[1], Err(CircuitError::InvalidParameter(_))));
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            match (g, e) {
+                (Ok(g), Ok(e)) => assert_bitwise_equal(g, e, &format!("job {i}")),
+                (Err(g), Err(e)) => assert_eq!(format!("{g}"), format!("{e}"), "job {i}"),
+                _ => panic!("job {i}: outcome shape diverged from scalar"),
+            }
+        }
+    }
+
+    #[test]
+    fn failing_lane_retires_with_the_scalar_error_and_spares_siblings() {
+        // A lane that cannot converge (zero Newton iterations and no
+        // halvings allowed) must fail exactly like its scalar twin while
+        // sibling lanes complete bit-identically.
+        let mut jobs: Vec<_> = [470.0, 1e3, 2.2e3, 4.7e3]
+            .iter()
+            .map(|&r| rc_job(r))
+            .collect();
+        jobs[2].1.max_newton_iter = 0;
+        jobs[2].1.max_halvings = 0;
+        let expected = scalar_baseline(&jobs);
+        let (got, stats) = transient_batch(jobs);
+        assert_eq!(stats.lanes_launched, 4);
+        assert!(matches!(
+            got[2],
+            Err(CircuitError::ConvergenceFailure {
+                analysis: "tran",
+                ..
+            })
+        ));
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            match (g, e) {
+                (Ok(g), Ok(e)) => assert_bitwise_equal(g, e, &format!("job {i}")),
+                (Err(g), Err(e)) => assert_eq!(format!("{g}"), format!("{e}"), "job {i}"),
+                _ => panic!("job {i}: outcome shape diverged from scalar"),
+            }
+        }
+        // Occupancy dips below 1 once the failing lane leaves the block.
+        assert!(stats.occupancy < 1.0);
+    }
+
+    #[test]
+    fn step_halving_lane_retires_onto_the_scalar_ladder() {
+        // Constrain one lane's Newton iterations so the full step fails but
+        // the halved steps succeed: the lane retires mid-run, finishes on
+        // the scalar ladder, and must still match its scalar twin bit for
+        // bit — including the halving counters.
+        fn diode_job(amp: f64) -> (Circuit, TranOptions) {
+            let mut ckt = Circuit::new();
+            let n_in = ckt.node("in");
+            let n_out = ckt.node("out");
+            ckt.vsource(n_in, 0, SourceWave::sine(amp, 10e3, 0.0));
+            ckt.resistor(n_in, n_out, 100.0);
+            ckt.diode(n_out, 0, 1e-14, 1.0);
+            ckt.capacitor(n_out, 0, 1e-7);
+            (ckt, TranOptions::new(2e-6, 2e-4).use_ic())
+        }
+        let mut jobs: Vec<_> = [3.0, 4.0, 5.0].iter().map(|&a| diode_job(a)).collect();
+        for iters in (1..=8).rev() {
+            jobs[1].1.max_newton_iter = iters;
+            let expected = scalar_baseline(&jobs);
+            let (got, stats) = transient_batch(jobs.clone());
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                match (g, e) {
+                    (Ok(g), Ok(e)) => assert_bitwise_equal(g, e, &format!("iters {iters} job {i}")),
+                    (Err(g), Err(e)) => {
+                        assert_eq!(format!("{g}"), format!("{e}"), "iters {iters} job {i}")
+                    }
+                    _ => panic!("iters {iters} job {i}: outcome shape diverged"),
+                }
+            }
+            if expected[1]
+                .as_ref()
+                .map(|r| r.report.halvings > 0)
+                .unwrap_or(false)
+            {
+                assert_eq!(stats.lanes_retired, 1, "iters {iters}");
+                return;
+            }
+        }
+        panic!("no iteration cap produced a step-halving retirement");
+    }
+}

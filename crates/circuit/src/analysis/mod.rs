@@ -1,6 +1,7 @@
 //! Circuit analyses: operating point, DC sweep, AC small-signal, transient.
 
 mod ac;
+mod batch;
 mod checkpoint;
 mod dc;
 mod op;
@@ -8,7 +9,11 @@ mod sweep;
 mod tran;
 
 pub use ac::{ac_impedance, AcOptions};
+pub use batch::{transient_batch, BatchStats};
 pub use dc::{dc_sweep, DcSweep};
 pub use op::{operating_point, operating_point_with_guess, OpOptions, OpSolution};
-pub use sweep::{PolicySweep, SweepEngine, SweepItem, TranSweep};
+pub use sweep::{
+    BackendChoice, BatchedBackend, PolicySweep, ScalarBackend, SweepBackend, SweepEngine,
+    SweepItem, TranSweep,
+};
 pub use tran::{transient, SolverKind, TranOptions};

@@ -28,7 +28,7 @@ use super::op::{operating_point_inner, OpOptions};
 /// Linear-solver backend for the transient Newton loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverKind {
-    /// Sparse for systems with more than a few dozen unknowns, dense
+    /// Sparse for systems with more than a dozen unknowns, dense
     /// otherwise. Both backends produce bit-identical solutions (they share
     /// the same elimination kernel and pivot order), so this is purely a
     /// performance choice.
@@ -43,13 +43,17 @@ pub enum SolverKind {
 impl SolverKind {
     /// The backend actually used for an `n`-unknown system.
     ///
-    /// The crossover is empirical (`perf_tran`): at ~10 unknowns Jacobian
-    /// assembly dominates and the CSR indirection is pure overhead, while by
-    /// ~70 unknowns the sparse kernel with compressed triangular solves is
-    /// already >2× faster per step. `32` splits that measured gap.
+    /// The crossover is empirical — `perf_tran` emits the measurement
+    /// behind it as `auto_crossover` in `results/BENCH_tran.json`, per-step
+    /// times of both backends at the production reuse setting across a
+    /// parasitic-ladder size sweep. Dense only wins at the smallest rung
+    /// (9 unknowns, 2.6 µs vs 2.8 µs); by 17 unknowns sparse is already
+    /// ~1.6× faster (5.2 µs vs 8.5 µs) and the gap widens monotonically
+    /// (4.5× at 129). `12` keeps the paper's 9-unknown diff pair on the
+    /// dense path and hands everything measurably sparse-favored to CSR.
     pub fn resolve(self, n: usize) -> SolverKind {
         match self {
-            SolverKind::Auto if n > 32 => SolverKind::Sparse,
+            SolverKind::Auto if n > 12 => SolverKind::Sparse,
             SolverKind::Auto => SolverKind::Dense,
             // The sparse pattern is undefined for an empty system.
             SolverKind::Sparse if n == 0 => SolverKind::Dense,
@@ -101,7 +105,7 @@ pub struct TranOptions {
     /// Unlimited by default (one branch per check, no behavior change).
     pub budget: Budget,
     /// Linear-solver backend ([`SolverKind::Auto`] picks sparse beyond a
-    /// handful of unknowns; the choice never changes results, only speed).
+    /// dozen unknowns; the choice never changes results, only speed).
     pub solver: SolverKind,
     /// Relative tolerance for the factorization-bypass certificate: a
     /// previous LU is reused for a Newton step only when the *linear*
@@ -228,7 +232,7 @@ impl TranOptions {
 /// Builds the typed cooperative-stop error for a tripped budget and counts
 /// it. The best iterate travels with the error so a deadline-bounded run
 /// still hands back where the solve got to.
-fn cancelled_err(budget: &Budget, best_iterate: Vec<f64>) -> CircuitError {
+pub(crate) fn cancelled_err(budget: &Budget, best_iterate: Vec<f64>) -> CircuitError {
     shil_observe::incr("shil_circuit_tran_cancellations_total");
     CircuitError::Numerics(NumericsError::Cancelled {
         best_iterate,
@@ -238,7 +242,7 @@ fn cancelled_err(budget: &Budget, best_iterate: Vec<f64>) -> CircuitError {
 
 /// NaN-propagating infinity norm: `f64::max` would silently discard NaN
 /// entries and report a poisoned residual as converged.
-fn inf_norm(v: &[f64]) -> f64 {
+pub(crate) fn inf_norm(v: &[f64]) -> f64 {
     let mut m = 0.0f64;
     for x in v {
         if x.is_nan() {
@@ -253,22 +257,27 @@ fn inf_norm(v: &[f64]) -> f64 {
 /// buffer the inner loop touches is allocated here **once**, so an accepted
 /// step performs zero heap allocation (the pre-sparse engine cloned the
 /// Jacobian and allocated the step vector on every Newton iteration).
-struct Workspace<S: LinearSolver> {
-    r: Vec<f64>,
-    r_trial: Vec<f64>,
-    xt: Vec<f64>,
+pub(crate) struct Workspace<S: LinearSolver> {
+    pub(crate) r: Vec<f64>,
+    pub(crate) r_trial: Vec<f64>,
+    pub(crate) xt: Vec<f64>,
     /// Newton iterate for the step in flight; copied out only on success so
     /// a failed step leaves the caller's state untouched for the retry.
-    x_new: Vec<f64>,
-    neg_r: Vec<f64>,
-    dx: Vec<f64>,
-    jac: S::Matrix,
-    jac_trial: S::Matrix,
-    solver: BypassSolver<S>,
+    pub(crate) x_new: Vec<f64>,
+    pub(crate) neg_r: Vec<f64>,
+    pub(crate) dx: Vec<f64>,
+    pub(crate) jac: S::Matrix,
+    pub(crate) jac_trial: S::Matrix,
+    pub(crate) solver: BypassSolver<S>,
 }
 
 impl<S: LinearSolver> Workspace<S> {
-    fn new(n: usize, jac: S::Matrix, jac_trial: S::Matrix, solver: BypassSolver<S>) -> Self {
+    pub(crate) fn new(
+        n: usize,
+        jac: S::Matrix,
+        jac_trial: S::Matrix,
+        solver: BypassSolver<S>,
+    ) -> Self {
         Workspace {
             r: vec![0.0; n],
             r_trial: vec![0.0; n],
@@ -383,7 +392,7 @@ fn newton_tran<S: LinearSolver>(
 /// spent it, the failure propagates with the diagnostics of the step that
 /// exhausted it instead of retrying indefinitely.
 #[allow(clippy::too_many_arguments)]
-fn advance<S: LinearSolver>(
+pub(crate) fn advance<S: LinearSolver>(
     ckt: &Circuit,
     structure: &MnaStructure,
     x: &mut [f64],
@@ -468,32 +477,7 @@ fn advance<S: LinearSolver>(
 ///
 /// See the crate-level example for typical usage.
 pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, CircuitError> {
-    // Options may be built by struct update rather than `try_new`, so the
-    // time axis is re-validated here — the analysis entry point is the
-    // chokepoint every construction path goes through.
-    if !(opts.dt > 0.0 && opts.t_stop > opts.dt && opts.dt.is_finite() && opts.t_stop.is_finite()) {
-        return Err(CircuitError::InvalidParameter(format!(
-            "need finite 0 < dt < t_stop, got dt = {}, t_stop = {}",
-            opts.dt, opts.t_stop
-        )));
-    }
-    if !opts.t_record_start.is_finite() {
-        return Err(CircuitError::InvalidParameter(format!(
-            "t_record_start must be finite, got {}",
-            opts.t_record_start
-        )));
-    }
-    if opts.record_every == 0 {
-        return Err(CircuitError::InvalidParameter(
-            "record_every must be at least 1".into(),
-        ));
-    }
-    if let Some((node, v)) = opts.initial_conditions.iter().find(|(_, v)| !v.is_finite()) {
-        return Err(CircuitError::InvalidParameter(format!(
-            "non-finite initial condition {v} on node {node}"
-        )));
-    }
-
+    validate_options(opts)?;
     let start = Instant::now();
     let structure = MnaStructure::new(ckt);
     let n = structure.size();
@@ -527,17 +511,57 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Circui
     }
 }
 
-/// The transient main loop, generic over the linear-solver backend.
-fn transient_impl<S: LinearSolver>(
+/// Re-validates options at the analysis entry point. Options may be built
+/// by struct update rather than `try_new`, so the time axis is checked
+/// here — the chokepoint every construction path goes through.
+pub(crate) fn validate_options(opts: &TranOptions) -> Result<(), CircuitError> {
+    if !(opts.dt > 0.0 && opts.t_stop > opts.dt && opts.dt.is_finite() && opts.t_stop.is_finite()) {
+        return Err(CircuitError::InvalidParameter(format!(
+            "need finite 0 < dt < t_stop, got dt = {}, t_stop = {}",
+            opts.dt, opts.t_stop
+        )));
+    }
+    if !opts.t_record_start.is_finite() {
+        return Err(CircuitError::InvalidParameter(format!(
+            "t_record_start must be finite, got {}",
+            opts.t_record_start
+        )));
+    }
+    if opts.record_every == 0 {
+        return Err(CircuitError::InvalidParameter(
+            "record_every must be at least 1".into(),
+        ));
+    }
+    if let Some((node, v)) = opts.initial_conditions.iter().find(|(_, v)| !v.is_finite()) {
+        return Err(CircuitError::InvalidParameter(format!(
+            "non-finite initial condition {v} on node {node}"
+        )));
+    }
+    Ok(())
+}
+
+/// The state a transient run carries between steps, produced by
+/// [`tran_init`] and consumed by [`run_steps_from`]. Shared by the scalar
+/// main loop and the batched backend's per-lane bring-up, so both paths
+/// initialize identically by construction.
+pub(crate) struct TranInit {
+    pub(crate) x: Vec<f64>,
+    pub(crate) state: DynamicState,
+    pub(crate) next_state: DynamicState,
+    pub(crate) result: TranResult,
+    pub(crate) steps: usize,
+}
+
+/// Budget pre-check, initial state (OP solve or UIC), initial conditions,
+/// dynamic-history seeding and `t = 0` recording — everything a transient
+/// run does before its first step.
+pub(crate) fn tran_init(
     ckt: &Circuit,
     opts: &TranOptions,
-    structure: MnaStructure,
-    mut ws: Workspace<S>,
-    start: Instant,
-) -> Result<TranResult, CircuitError> {
+    structure: &MnaStructure,
+    report: &mut SolveReport,
+) -> Result<TranInit, CircuitError> {
     let n = structure.size();
-    let mut report = SolveReport::new();
-
     // Prompt cancellation: an already-tripped budget (e.g. a zero-second
     // deadline) returns before the operating-point solve even starts.
     if opts.budget.cancelled().is_some() {
@@ -572,21 +596,47 @@ fn transient_impl<S: LinearSolver>(
     // Seed the dynamic history from the initial state (zero element
     // currents: consistent with a quiescent start).
     let mut state = DynamicState::for_circuit(ckt);
-    let mut next_state = DynamicState::for_circuit(ckt);
-    seed_state(ckt, &structure, &x, &mut state);
+    let next_state = DynamicState::for_circuit(ckt);
+    seed_state(ckt, structure, &x, &mut state);
 
     let steps = (opts.t_stop / opts.dt).round() as usize;
     let mut result = TranResult::new(structure.clone());
     if 0.0 >= opts.t_record_start {
         result.push(0.0, &x);
     }
+    Ok(TranInit {
+        x,
+        state,
+        next_state,
+        result,
+        steps,
+    })
+}
 
-    for k in 0..steps {
+/// Advances steps `first_step..steps` of the uniform grid, recording into
+/// `result`. This is the scalar main loop; the batched backend re-enters it
+/// mid-run when a lane retires from its block, which is why the starting
+/// step is a parameter.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_steps_from<S: LinearSolver>(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    structure: &MnaStructure,
+    ws: &mut Workspace<S>,
+    x: &mut Vec<f64>,
+    state: &mut DynamicState,
+    next_state: &mut DynamicState,
+    result: &mut TranResult,
+    report: &mut SolveReport,
+    first_step: usize,
+    steps: usize,
+) -> Result<(), CircuitError> {
+    for k in first_step..steps {
         // Step-boundary check: even if every Newton solve converges on its
         // first iteration (and so never consults the budget itself), a
         // deadline still stops the run within one step of expiring.
         if opts.budget.cancelled().is_some() {
-            return Err(cancelled_err(&opts.budget, x));
+            return Err(cancelled_err(&opts.budget, std::mem::take(x)));
         }
         let t0 = k as f64 * opts.dt;
         // Bootstrap the trapezoidal history with one backward-Euler step.
@@ -596,24 +646,45 @@ fn transient_impl<S: LinearSolver>(
             opts.method
         };
         advance(
-            ckt,
-            &structure,
-            &mut x,
-            &mut state,
-            &mut next_state,
-            t0,
-            opts.dt,
-            method,
-            opts,
-            &mut ws,
-            0,
-            &mut report,
+            ckt, structure, x, state, next_state, t0, opts.dt, method, opts, ws, 0, report,
         )?;
         let t1 = (k + 1) as f64 * opts.dt;
         if t1 >= opts.t_record_start && (k + 1) % opts.record_every == 0 {
-            result.push(t1, &x);
+            result.push(t1, x);
         }
     }
+    Ok(())
+}
+
+/// The transient main loop, generic over the linear-solver backend.
+fn transient_impl<S: LinearSolver>(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    structure: MnaStructure,
+    mut ws: Workspace<S>,
+    start: Instant,
+) -> Result<TranResult, CircuitError> {
+    let mut report = SolveReport::new();
+    let TranInit {
+        mut x,
+        mut state,
+        mut next_state,
+        mut result,
+        steps,
+    } = tran_init(ckt, opts, &structure, &mut report)?;
+    run_steps_from(
+        ckt,
+        opts,
+        &structure,
+        &mut ws,
+        &mut x,
+        &mut state,
+        &mut next_state,
+        &mut result,
+        &mut report,
+        0,
+        steps,
+    )?;
     report.factorizations = ws.solver.factorizations();
     report.reuses = ws.solver.reuses();
     report.wall_time = start.elapsed();
@@ -624,7 +695,12 @@ fn transient_impl<S: LinearSolver>(
 
 /// Initializes capacitor voltages and inductor voltages/currents from the
 /// starting solution.
-fn seed_state(ckt: &Circuit, structure: &MnaStructure, x: &[f64], state: &mut DynamicState) {
+pub(crate) fn seed_state(
+    ckt: &Circuit,
+    structure: &MnaStructure,
+    x: &[f64],
+    state: &mut DynamicState,
+) {
     use crate::device::Device;
     for (di, dev) in ckt.devices().iter().enumerate() {
         match dev {
@@ -1017,6 +1093,7 @@ mod tests {
     fn auto_solver_resolution() {
         assert_eq!(SolverKind::Auto.resolve(3), SolverKind::Dense);
         assert_eq!(SolverKind::Auto.resolve(12), SolverKind::Dense);
+        assert_eq!(SolverKind::Auto.resolve(13), SolverKind::Sparse);
         assert_eq!(SolverKind::Auto.resolve(33), SolverKind::Sparse);
         assert_eq!(SolverKind::Sparse.resolve(0), SolverKind::Dense);
         assert_eq!(SolverKind::Dense.resolve(100), SolverKind::Dense);

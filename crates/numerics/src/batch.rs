@@ -1,0 +1,404 @@
+//! Lane-batched numeric refactorization for parameter sweeps.
+//!
+//! A sweep advances K parameter variants of one topology in lock-step, and
+//! most Newton iterations that miss the factorization-bypass certificate
+//! miss it for *several* lanes in the same iteration. This module
+//! eliminates those lanes together through one structure-of-arrays buffer:
+//! entry `(i, j)` of lane `l` lives at `buf[(i*n + j)*K + l]`, so the
+//! innermost update loops run contiguously across lanes and autovectorize
+//! on stable Rust — no `std::simd` required.
+//!
+//! **Bit-identity contract.** For every lane, the arithmetic performed here
+//! is operation-for-operation identical to
+//! [`factorize_dense_in_place`](crate::solver::factorize_dense_in_place) as
+//! driven by [`SparseSolver::refactorize`](crate::sparse::SparseSolver):
+//! the same scatter, the same strictly-greater pivot scan, the same row
+//! swaps, the same multiplier division, and the same exact-zero multiplier
+//! skip (expressed as a select so the loop still vectorizes). Lanes are
+//! independent columns of the buffer; a singular or non-finite lane is
+//! reported through its own `Result` and masked out of the remaining
+//! elimination without perturbing sibling lanes.
+
+use std::sync::Arc;
+
+use crate::error::NumericsError;
+use crate::solver::{reject_non_finite, BypassSolver, LinearSolver, Stamp};
+use crate::sparse::{SparseMatrix, SparsePattern, SparseSolver};
+
+/// One lane of a batched refactorization: the bypass solver that will
+/// receive the factors and the freshly assembled matrix to eliminate.
+pub struct BatchLane<'a> {
+    /// The lane's solver; on success its factorization state, permutation
+    /// and compressed factors are updated exactly as a scalar
+    /// `refactorize` would have.
+    pub solver: &'a mut BypassSolver<SparseSolver>,
+    /// The lane's Jacobian, stamped over a pattern of the shared dimension.
+    pub matrix: &'a SparseMatrix,
+}
+
+/// Reusable scratch for [`refactorize_lanes`]: the interleaved elimination
+/// buffer plus per-lane bookkeeping. Buffers keep their capacity across
+/// calls, so steady-state batched refactorization performs no allocation.
+#[derive(Debug, Default)]
+pub struct BatchLuScratch {
+    /// Interleaved `n × n × K` elimination buffer.
+    buf: Vec<f64>,
+    /// Per-lane row permutations, lane-major (`perms[l*n..(l+1)*n]`).
+    perms: Vec<usize>,
+    /// Per-lane pivot values for the current column.
+    pivot: Vec<f64>,
+    /// Per-lane multipliers for the current row update (0.0 for dead lanes).
+    mult: Vec<f64>,
+    /// Lanes still eliminating (false once failed).
+    alive: Vec<bool>,
+}
+
+impl BatchLuScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Refactorizes several independent `n × n` sparse systems in lock-step
+/// through a shared structure-of-arrays buffer.
+///
+/// Per lane this is semantically `lane.solver`'s inner
+/// [`refactorize`](crate::solver::LinearSolver::refactorize) followed by
+/// the bypass bookkeeping of a fresh factorization — with bit-identical
+/// factors, permutation and error values. On `Ok`, the lane's solver holds
+/// the new factorization and the caller completes the Newton step with
+/// [`BypassSolver::solve_with_installed_factors`]. On `Err`, the lane's
+/// solver is left unfactorized, exactly like a failed scalar refactorize.
+///
+/// # Panics
+///
+/// Panics if lanes disagree on dimension, or a lane's solver is not in
+/// natural ordering (the only mode whose pivot sequence the batched kernel
+/// reproduces).
+pub fn refactorize_lanes(
+    scratch: &mut BatchLuScratch,
+    lanes: &mut [BatchLane<'_>],
+) -> Vec<Result<(), NumericsError>> {
+    let k = lanes.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let n = lanes[0].solver.inner().dim();
+    let mut results: Vec<Result<(), NumericsError>> = Vec::with_capacity(k);
+
+    scratch.buf.clear();
+    scratch.buf.resize(n * n * k, 0.0);
+    scratch.perms.clear();
+    scratch.perms.resize(n * k, 0);
+    scratch.pivot.clear();
+    scratch.pivot.resize(k, 1.0);
+    scratch.mult.clear();
+    scratch.mult.resize(k, 0.0);
+    scratch.alive.clear();
+    scratch.alive.resize(k, true);
+
+    // Entry protocol per lane: mark stale, reject poisoned stamps, scatter.
+    // Mirrors `SparseSolver::refactorize` up to the elimination call.
+    for (l, lane) in lanes.iter_mut().enumerate() {
+        assert_eq!(lane.solver.inner().dim(), n, "lane dimension mismatch");
+        assert!(
+            lane.solver.inner().has_natural_ordering(),
+            "batched refactorization requires natural ordering"
+        );
+        assert_eq!(lane.matrix.dim(), n, "lane matrix dimension mismatch");
+        lane.solver.inner_mut().begin_external_refactorize();
+        results.push(reject_non_finite(lane.matrix, "sparse jacobian"));
+        if results[l].is_err() {
+            scratch.alive[l] = false;
+            continue;
+        }
+        let pattern: &Arc<SparsePattern> = lane.matrix.pattern();
+        let values = lane.matrix.values();
+        for i in 0..n {
+            for (j, s) in pattern.row(i) {
+                scratch.buf[(i * n + j) * k + l] = values[s];
+            }
+        }
+        for (p, idx) in scratch.perms[l * n..(l + 1) * n].iter_mut().zip(0..n) {
+            *p = idx;
+        }
+    }
+
+    // Lock-step partial-pivot elimination. Pivot search and row swaps are
+    // per-lane (they follow each lane's own permutation); the O(n³) row
+    // updates run across lanes in the contiguous inner loops below.
+    for col in 0..n {
+        for (l, res) in results.iter_mut().enumerate() {
+            if !scratch.alive[l] {
+                continue;
+            }
+            let mut pivot_row = col;
+            let mut pivot_mag = scratch.buf[(col * n + col) * k + l].abs();
+            for i in (col + 1)..n {
+                let mag = scratch.buf[(i * n + col) * k + l].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            // `partial_cmp` keeps the NaN-rejecting behaviour of the scalar
+            // kernel's pivot test.
+            if pivot_mag.partial_cmp(&1e-300) != Some(std::cmp::Ordering::Greater) {
+                *res = Err(NumericsError::SingularMatrix { pivot: col });
+                scratch.alive[l] = false;
+                continue;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    scratch
+                        .buf
+                        .swap((col * n + j) * k + l, (pivot_row * n + j) * k + l);
+                }
+                scratch.perms[l * n..(l + 1) * n].swap(col, pivot_row);
+            }
+            scratch.pivot[l] = scratch.buf[(col * n + col) * k + l];
+        }
+
+        for i in (col + 1)..n {
+            // Multipliers: `m = row_i[col] / pivot`, written back in place
+            // like the scalar kernel. Dead lanes get an exact 0.0 so the
+            // select below leaves their buffer untouched.
+            for l in 0..k {
+                let m = scratch.buf[(i * n + col) * k + l] / scratch.pivot[l];
+                scratch.mult[l] = if scratch.alive[l] { m } else { 0.0 };
+            }
+            scratch.buf[(i * n + col) * k..(i * n + col + 1) * k].copy_from_slice(&scratch.mult);
+            // The scalar kernel skips the whole row when `m == 0.0`, which
+            // is what keeps dense elimination at sparse cost in natural
+            // ordering (most sub-diagonal multipliers are structural
+            // zeros). When *every* lane's multiplier is zero no lane would
+            // write, so skipping the walk outright performs the identical
+            // FP sequence while restoring that sparsity economy batched.
+            if scratch.mult.iter().all(|&m| m == 0.0) {
+                continue;
+            }
+            // Row update. The select form performs the scalar kernel's
+            // per-lane skip (NaN/Inf multipliers compare unequal to zero
+            // and update, matching the scalar path) while keeping the lane
+            // loop branch free so it vectorizes.
+            let (head, tail) = scratch.buf.split_at_mut(i * n * k);
+            let row_k = &head[(col * n + col + 1) * k..(col * n + n) * k];
+            let row_i = &mut tail[(col + 1) * k..n * k];
+            let mult = &scratch.mult[..k];
+            for (ri, rk) in row_i.chunks_exact_mut(k).zip(row_k.chunks_exact(k)) {
+                for l in 0..k {
+                    let cur = ri[l];
+                    let upd = cur - mult[l] * rk[l];
+                    ri[l] = if mult[l] != 0.0 { upd } else { cur };
+                }
+            }
+        }
+    }
+
+    // Harvest: install each surviving lane's factors and count the step as
+    // a fresh factorization, mirroring the tail of the scalar refactorize.
+    for (l, lane) in lanes.iter_mut().enumerate() {
+        if results[l].is_ok() {
+            lane.solver.inner_mut().install_external_factors(
+                &scratch.buf,
+                k,
+                l,
+                &scratch.perms[l * n..(l + 1) * n],
+            );
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{LinearSolver, StepKind};
+
+    /// MNA-shaped pattern: tridiagonal block plus a branch row/column with
+    /// a structurally zero diagonal (forces pivoting, like real MNA).
+    fn mna_like_pattern(n: usize) -> Arc<SparsePattern> {
+        let mut entries = Vec::new();
+        for i in 0..n - 1 {
+            entries.push((i, i));
+            if i + 1 < n - 1 {
+                entries.push((i, i + 1));
+                entries.push((i + 1, i));
+            }
+        }
+        entries.push((n - 1, 0));
+        entries.push((0, n - 1));
+        Arc::new(SparsePattern::from_entries(n, &entries))
+    }
+
+    fn fill(pattern: &Arc<SparsePattern>, seed: u64) -> SparseMatrix {
+        let n = pattern.dim();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut m = SparseMatrix::zeros(pattern.clone());
+        use crate::solver::Stamp;
+        for i in 0..n {
+            for (j, _) in pattern.row(i) {
+                let v = if i == j && i < n - 1 {
+                    next() + 3.0
+                } else {
+                    next()
+                };
+                m.add_at(i, j, v);
+            }
+        }
+        m
+    }
+
+    fn rhs(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as f64 + 1.3) * (seed as f64 + 0.7)).sin())
+            .collect()
+    }
+
+    #[test]
+    fn batched_refactorize_matches_scalar_bitwise() {
+        for n in [3usize, 5, 9, 12] {
+            let pattern = mna_like_pattern(n);
+            for lanes in [1usize, 2, 4, 8] {
+                let mats: Vec<SparseMatrix> = (0..lanes)
+                    .map(|l| fill(&pattern, (n * 1000 + l) as u64))
+                    .collect();
+                let b = rhs(n, n as u64);
+
+                // Scalar reference: independent solvers, plain solve_step.
+                let mut reference = Vec::new();
+                for m in &mats {
+                    let mut s = BypassSolver::new(SparseSolver::new(pattern.clone()));
+                    let mut dx = vec![0.0; n];
+                    let kind = s.solve_step(m, &b, &mut dx).unwrap();
+                    assert_eq!(kind, StepKind::Factorized);
+                    reference.push((dx, s.factorizations(), s.reuses()));
+                }
+
+                // Batched: group refactorization then per-lane solve.
+                let mut solvers: Vec<BypassSolver<SparseSolver>> = (0..lanes)
+                    .map(|_| BypassSolver::new(SparseSolver::new(pattern.clone())))
+                    .collect();
+                let mut scratch = BatchLuScratch::new();
+                {
+                    let mut lane_refs: Vec<BatchLane<'_>> = solvers
+                        .iter_mut()
+                        .zip(&mats)
+                        .map(|(solver, matrix)| BatchLane { solver, matrix })
+                        .collect();
+                    let results = refactorize_lanes(&mut scratch, &mut lane_refs);
+                    assert!(results.iter().all(Result::is_ok));
+                }
+                for (l, s) in solvers.iter_mut().enumerate() {
+                    let mut dx = vec![0.0; n];
+                    s.solve_with_installed_factors(&b, &mut dx);
+                    assert_eq!(dx, reference[l].0, "n={n} lanes={lanes} lane={l}");
+                    assert_eq!(s.factorizations(), reference[l].1);
+                    assert_eq!(s.reuses(), reference[l].2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_after_batched_install_matches_scalar() {
+        // A second solve on a slightly perturbed matrix must take the same
+        // reuse/refactorize decision (and produce the same bits) whether
+        // the first factorization was scalar or batched.
+        let n = 7;
+        let pattern = mna_like_pattern(n);
+        let m0 = fill(&pattern, 1);
+        let mut m1 = m0.clone();
+        use crate::solver::Stamp;
+        m1.add_at(1, 1, 1e-8);
+        let b = rhs(n, 5);
+
+        let mut scalar = BypassSolver::new(SparseSolver::new(pattern.clone()));
+        let mut dx_s = vec![0.0; n];
+        scalar.solve_step(&m0, &b, &mut dx_s).unwrap();
+        let kind_s = scalar.solve_step(&m1, &b, &mut dx_s).unwrap();
+
+        let mut batched = BypassSolver::new(SparseSolver::new(pattern.clone()));
+        let mut scratch = BatchLuScratch::new();
+        {
+            let mut lane_refs = vec![BatchLane {
+                solver: &mut batched,
+                matrix: &m0,
+            }];
+            refactorize_lanes(&mut scratch, &mut lane_refs)[0]
+                .as_ref()
+                .unwrap();
+        }
+        let mut dx_b = vec![0.0; n];
+        batched.solve_with_installed_factors(&b, &mut dx_b);
+        let kind_b = batched.solve_step(&m1, &b, &mut dx_b).unwrap();
+
+        assert_eq!(kind_s, kind_b);
+        assert_eq!(dx_s, dx_b);
+        assert_eq!(scalar.factorizations(), batched.factorizations());
+        assert_eq!(scalar.reuses(), batched.reuses());
+    }
+
+    #[test]
+    fn failing_lane_is_isolated_from_siblings() {
+        let n = 6;
+        let pattern = mna_like_pattern(n);
+        let good = fill(&pattern, 11);
+        // Numerically singular lane: all structural values zero.
+        let singular = SparseMatrix::zeros(pattern.clone());
+        // Poisoned lane: NaN stamp.
+        let mut poisoned = fill(&pattern, 12);
+        use crate::solver::Stamp;
+        poisoned.add_at(0, 0, f64::NAN);
+        let b = rhs(n, 2);
+
+        let mut ref_solver = BypassSolver::new(SparseSolver::new(pattern.clone()));
+        let mut dx_ref = vec![0.0; n];
+        ref_solver.solve_step(&good, &b, &mut dx_ref).unwrap();
+        let scalar_singular = {
+            let mut s = BypassSolver::new(SparseSolver::new(pattern.clone()));
+            let mut dx = vec![0.0; n];
+            s.solve_step(&singular, &b, &mut dx).unwrap_err()
+        };
+        let scalar_poisoned = {
+            let mut s = SparseSolver::new(pattern.clone());
+            s.refactorize(&poisoned).unwrap_err()
+        };
+
+        let mut solvers: Vec<BypassSolver<SparseSolver>> = (0..3)
+            .map(|_| BypassSolver::new(SparseSolver::new(pattern.clone())))
+            .collect();
+        let mats = [&good, &singular, &poisoned];
+        let mut scratch = BatchLuScratch::new();
+        let results = {
+            let mut lane_refs: Vec<BatchLane<'_>> = solvers
+                .iter_mut()
+                .zip(mats)
+                .map(|(solver, matrix)| BatchLane { solver, matrix })
+                .collect();
+            refactorize_lanes(&mut scratch, &mut lane_refs)
+        };
+        assert!(results[0].is_ok());
+        assert_eq!(
+            format!("{}", results[1].as_ref().unwrap_err()),
+            format!("{scalar_singular}")
+        );
+        assert_eq!(
+            format!("{}", results[2].as_ref().unwrap_err()),
+            format!("{scalar_poisoned}")
+        );
+        assert!(!solvers[1].inner().is_factorized());
+        assert!(!solvers[2].inner().is_factorized());
+
+        let mut dx = vec![0.0; n];
+        solvers[0].solve_with_installed_factors(&b, &mut dx);
+        assert_eq!(dx, dx_ref, "sibling lane corrupted by failing lanes");
+    }
+}

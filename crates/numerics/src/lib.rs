@@ -26,6 +26,9 @@
 //!   certification.
 //! - [`sparse`] — CSR matrices with symbolic-analysis reuse
 //!   ([`sparse::SparsePattern`]) and a fill-reducing ordering.
+//! - [`batch`] — lane-batched structure-of-arrays refactorization for
+//!   lock-step parameter sweeps, bit-identical per lane to the scalar
+//!   kernels.
 //! - [`parallel`] — deterministic scoped-thread fan-out
 //!   ([`parallel::ordered_map`]).
 //!
@@ -42,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod complex;
 pub mod contour;
 pub mod fallback;

@@ -46,7 +46,13 @@
 //! `shil_sweep_panics_total`) and checkpoint durability counters
 //! (`shil_runtime_checkpoint_records_total`,
 //! `shil_runtime_checkpoint_restored_total`,
-//! `shil_sweep_checkpoint_write_failures_total`).
+//! `shil_sweep_checkpoint_write_failures_total`). The batched sweep
+//! backend reports per-block lane accounting
+//! (`shil_sweep_batch_lanes_launched_total`,
+//! `shil_sweep_batch_lanes_retired_total`,
+//! `shil_sweep_batch_scalar_fallbacks_total`) and a
+//! `shil_sweep_batch_occupancy` histogram (fraction of launched lanes
+//! still lock-stepping, per block).
 //! DESIGN.md's Observability section documents the full scheme.
 
 pub mod events;

@@ -6,7 +6,8 @@
 //!          [--timeout <s>] [--csv out.csv]
 //! shil-cli ac <file.cir> --port <node-a> <node-b> --from 1e5 --to 1e6 --points 200 [--csv out.csv]
 //! shil-cli sweep <file.cir> --dt 2e-8 --stop 2e-4 --probe <node> --scale 0.5,1,2
-//!          [--threads <n>] [--timeout <s>] [--item-timeout <s>] [--retries <n>]
+//!          [--backend scalar|batched|auto] [--threads <n>] [--timeout <s>]
+//!          [--item-timeout <s>] [--retries <n>]
 //!          [--checkpoint [path]] [--resume] [--csv out.csv]
 //! ```
 //!
@@ -16,7 +17,11 @@
 //! policy-driven (`shil_runtime`): `--timeout` bounds the whole sweep,
 //! `--item-timeout` each run, `--retries` grants extra attempts, and
 //! `--checkpoint`/`--resume` make the sweep durable — a killed run resumes
-//! where it stopped with bit-identical results.
+//! where it stopped with bit-identical results. `--backend` picks the sweep
+//! execution backend: `scalar` runs one transient per thread, `batched`
+//! advances lanes of scale variants in lock-step through the shared sparse
+//! structure, and `auto` (the default) chooses from the point count. All
+//! backends produce bit-identical results.
 //!
 //! Global flags (any subcommand):
 //!
@@ -33,7 +38,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use shil::circuit::analysis::{
-    ac_impedance, operating_point, transient, AcOptions, OpOptions, SweepEngine, TranOptions,
+    ac_impedance, operating_point, transient, AcOptions, BackendChoice, OpOptions, SweepEngine,
+    TranOptions,
 };
 use shil::circuit::{netlist, Circuit, SolveReport};
 use shil::observe::{self, EventLog, RunManifest};
@@ -45,8 +51,8 @@ fn usage() -> ExitCode {
          --probe <node> [--probe <node>] [--timeout <s>] [--csv <out>]\n  shil-cli ac <file.cir> \
          --port <a> <b> --from <hz> --to <hz> [--points <n>] [--csv <out>]\n  shil-cli sweep \
          <file.cir> --dt <s> --stop <s> --probe <node> [--probe <node>] --scale <k[,k...]> \
-         [--threads <n>] [--timeout <s>] [--item-timeout <s>] [--retries <n>] \
-         [--checkpoint [path]] [--resume] [--csv <out>]\n\
+         [--backend scalar|batched|auto] [--threads <n>] [--timeout <s>] [--item-timeout <s>] \
+         [--retries <n>] [--checkpoint [path]] [--resume] [--csv <out>]\n\
          global flags: [--quiet] [--metrics-out [path]] [--events-out [path]]"
     );
     ExitCode::from(2)
@@ -277,6 +283,17 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                 return ExitCode::from(2);
             }
             let threads = flag_value(rest, "--threads").and_then(|v| v.parse::<usize>().ok());
+            let backend = match flag_value(rest, "--backend").as_deref() {
+                None | Some("auto") => BackendChoice::Auto,
+                Some("scalar") => BackendChoice::Scalar,
+                Some("batched") => BackendChoice::Batched {
+                    lanes: BackendChoice::AUTO_LANES,
+                },
+                Some(other) => {
+                    log.error("unknown_backend", &[("backend", other.into())]);
+                    return ExitCode::from(2);
+                }
+            };
             let secs = |flag: &str| {
                 flag_value(rest, flag)
                     .and_then(|v| v.parse::<f64>().ok())
@@ -327,6 +344,7 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                 "sweep_started",
                 &[
                     ("points", (scales.len() as u64).into()),
+                    ("backend", format!("{backend:?}").into()),
                     (
                         "restored",
                         (checkpoint_file.as_ref().map_or(0, |cp| cp.restored().len()) as u64)
@@ -334,26 +352,30 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                     ),
                 ],
             );
-            let sweep = SweepEngine::new(threads).run_checkpointed(
-                &scales,
-                &policy,
-                &Budget::unlimited(),
-                checkpoint_file.as_ref(),
-                |_, &scale, item_budget| {
-                    let scaled = ckt.scale_sources(scale);
-                    let opts = TranOptions::new(dt, stop)
-                        .with_budget(item_budget.clone())
-                        .with_step_retry_budget(policy.step_retry_budget);
-                    let res = transient(&scaled, &opts)?;
-                    let finals: Vec<f64> = probe_ids
-                        .iter()
-                        .map(|&id| *res.node_voltage(id).expect("probed node").last().unwrap())
-                        .collect();
-                    Ok((finals, res.report))
-                },
-                |finals: &Vec<f64>| encode_voltages(finals),
-                decode_voltages,
-            );
+            let sweep = SweepEngine::new(threads)
+                .with_backend(backend)
+                .run_checkpointed_tran(
+                    &scales,
+                    &policy,
+                    &Budget::unlimited(),
+                    checkpoint_file.as_ref(),
+                    |_, &scale, item_budget| {
+                        let scaled = ckt.scale_sources(scale);
+                        let opts = TranOptions::new(dt, stop)
+                            .with_budget(item_budget.clone())
+                            .with_step_retry_budget(policy.step_retry_budget);
+                        (scaled, opts)
+                    },
+                    |_, _, res| {
+                        let finals: Vec<f64> = probe_ids
+                            .iter()
+                            .map(|&id| *res.node_voltage(id).expect("probed node").last().unwrap())
+                            .collect();
+                        Ok((finals, res.report))
+                    },
+                    |finals: &Vec<f64>| encode_voltages(finals),
+                    decode_voltages,
+                );
             log.info(
                 "sweep_finished",
                 &[

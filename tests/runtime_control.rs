@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use shil::circuit::analysis::{transient, SweepEngine, TranOptions};
+use shil::circuit::analysis::{transient, BackendChoice, SweepEngine, TranOptions};
 use shil::circuit::{Circuit, CircuitError, IvCurve, NodeId, SolveReport, SourceWave};
 use shil::numerics::NumericsError;
 use shil::repro::simlock::{lock_sweep_fingerprint, probe_lock_sweep_checkpointed, SimOptions};
@@ -322,6 +322,7 @@ fn resumable_lock_sweep_restores_verdicts() {
         &opts,
         &ic,
         Some(1),
+        BackendChoice::Scalar,
         &policy,
         &Budget::unlimited(),
         None,
@@ -352,6 +353,7 @@ fn resumable_lock_sweep_restores_verdicts() {
             &opts,
             &ic,
             Some(2),
+            BackendChoice::Auto,
             &policy,
             &Budget::unlimited(),
             Some(&cp),
@@ -372,6 +374,10 @@ fn resumable_lock_sweep_restores_verdicts() {
         &opts,
         &ic,
         Some(3),
+        // Resuming a scalar-written checkpoint under the batched backend
+        // must restore and finish identically (results are bit-identical
+        // across backends, so checkpoints are backend-agnostic).
+        BackendChoice::Batched { lanes: 2 },
         &policy,
         &Budget::unlimited(),
         Some(&cp),
