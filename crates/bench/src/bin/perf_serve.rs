@@ -1,0 +1,298 @@
+//! P08 — service-layer benchmark: request latency, sustained polling
+//! throughput, and load shedding under overload.
+//!
+//! Runs three phases against in-process `shil-serve` servers on loopback:
+//!
+//! 1. **Latency** — submits small netlist-sweep jobs one at a time and
+//!    records per-request wall time for `POST /jobs` and `GET /jobs/<id>`,
+//!    reporting p50/p99 for each.
+//! 2. **Throughput** — hammers `GET /jobs/<id>` over a fixed window and
+//!    reports the sustained status-poll rate (requests per second).
+//! 3. **Overload** — offers a burst of slow jobs to a server with a tiny
+//!    admission queue and one worker, counting `202 Accepted` vs
+//!    `429 Too Many Requests` and sampling the `shil_serve_queue_depth`
+//!    gauge after every submission. The artifact records the shed rate and
+//!    the maximum observed depth; the run fails if the queue ever exceeds
+//!    its configured bound or if overload produces no shedding at all.
+//!
+//! ```text
+//! perf_serve [--quick] [--jobs <n>] [--window <s>] [--out <path>]
+//! ```
+//!
+//! Writes `results/BENCH_serve.json` and exits non-zero on any phase
+//! failure so CI can gate on it.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use shil::observe::RunManifest;
+use shil::runtime::json::{self, fmt_f64, Json};
+use shil::serve::{client, Server, ServerConfig};
+use shil_bench::{header, obs, results_dir};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shil-perf-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One-item RC-divider sweep: ~`stop / dt` transient steps per job.
+fn sweep_body(scale: f64, stop: f64) -> String {
+    format!(
+        r#"{{"kind":"sweep","netlist":"V1 in 0 DC 10\nR1 in out 3k\nR2 out 0 1k\nC1 out 0 1n\n.end\n","dt":1e-7,"stop":{},"probes":["out"],"scales":[{}]}}"#,
+        fmt_f64(stop),
+        fmt_f64(scale)
+    )
+}
+
+fn percentile_ms(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "no latency samples");
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[idx]
+}
+
+fn submit(addr: &str, body: &str) -> (u16, Option<u64>, f64) {
+    let t0 = Instant::now();
+    let resp = client::request(addr, "POST", "/jobs", Some(body)).expect("POST /jobs");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let id = json::parse(&resp.body).and_then(|d| d.get("id").and_then(Json::as_u64));
+    (resp.status, id, ms)
+}
+
+fn job_state(addr: &str, id: u64) -> (String, f64) {
+    let t0 = Instant::now();
+    let resp = client::request(addr, "GET", &format!("/jobs/{id}"), None).expect("GET /jobs/<id>");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let state = json::parse(&resp.body)
+        .and_then(|d| d.get("state").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_default();
+    (state, ms)
+}
+
+fn wait_done(addr: &str, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (state, _) = job_state(addr, id);
+        match state.as_str() {
+            "done" => return,
+            "failed" | "cancelled" => panic!("job {id} ended {state}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in `{state}`");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Reads the instantaneous `shil_serve_queue_depth` gauge off `/metrics`.
+fn queue_depth(addr: &str) -> f64 {
+    let body = client::request(addr, "GET", "/metrics", None)
+        .expect("GET /metrics")
+        .body;
+    body.lines()
+        .find_map(|l| l.strip_prefix("shil_serve_queue_depth "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs: usize = flag_value(&args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 16 } else { 64 });
+    let window_s: f64 = flag_value(&args, "--window")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 0.5 } else { 2.0 });
+    let out = flag_value(&args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("BENCH_serve.json"));
+
+    let obs = obs::init("perf_serve");
+    let mut manifest = RunManifest::start("perf_serve");
+    manifest.push_config("quick", quick);
+    manifest.push_config("jobs", jobs as u64);
+
+    header("perf_serve — service latency, throughput, shedding");
+
+    // Phase 1+2: latency and sustained status-poll throughput.
+    let server = Server::start(ServerConfig {
+        data_dir: temp_dir("latency"),
+        workers: 1,
+        sweep_threads: Some(1),
+        queue_capacity: jobs + 8,
+        drain_grace: Duration::from_millis(200),
+        ..ServerConfig::default()
+    })
+    .expect("start latency server");
+    let addr = server.addr().to_string();
+
+    let mut submit_ms = Vec::with_capacity(jobs);
+    let mut status_ms = Vec::with_capacity(jobs);
+    let mut ids = Vec::with_capacity(jobs);
+    let t_jobs = Instant::now();
+    for i in 0..jobs {
+        // Tiny job: 10 transient steps, so the queue never saturates.
+        let (status, id, ms) = submit(&addr, &sweep_body(0.5 + i as f64 / jobs as f64, 1e-6));
+        assert_eq!(status, 202, "latency-phase submit was {status}");
+        submit_ms.push(ms);
+        let id = id.expect("job id");
+        let (_, ms) = job_state(&addr, id);
+        status_ms.push(ms);
+        ids.push(id);
+    }
+    for &id in &ids {
+        wait_done(&addr, id);
+    }
+    let completed_in_s = t_jobs.elapsed().as_secs_f64();
+
+    let poll_id = *ids.last().expect("at least one job");
+    let t_window = Instant::now();
+    let mut polls = 0u64;
+    while t_window.elapsed().as_secs_f64() < window_s {
+        let (state, _) = job_state(&addr, poll_id);
+        assert_eq!(state, "done");
+        polls += 1;
+    }
+    let status_rps = polls as f64 / t_window.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let submit_p50 = percentile_ms(&mut submit_ms, 50.0);
+    let submit_p99 = percentile_ms(&mut submit_ms, 99.0);
+    let status_p50 = percentile_ms(&mut status_ms, 50.0);
+    let status_p99 = percentile_ms(&mut status_ms, 99.0);
+    obs.log.info(
+        "latency_phase_done",
+        &[
+            ("submit_p50_ms", submit_p50.into()),
+            ("submit_p99_ms", submit_p99.into()),
+            ("status_rps", status_rps.into()),
+        ],
+    );
+
+    // Phase 3: overload a one-worker server with a 4-deep queue.
+    let queue_capacity = 4usize;
+    let offered = if quick { 16 } else { 48 };
+    let server = Server::start(ServerConfig {
+        data_dir: temp_dir("overload"),
+        workers: 1,
+        sweep_threads: Some(1),
+        queue_capacity,
+        drain_grace: Duration::from_millis(100),
+        ..ServerConfig::default()
+    })
+    .expect("start overload server");
+    let addr = server.addr().to_string();
+
+    let mut accepted = Vec::new();
+    let mut shed = 0u64;
+    let mut max_depth = 0.0f64;
+    for i in 0..offered {
+        // Slow enough (100k steps, tens of ms each) that the single worker
+        // cannot drain the queue between submissions.
+        let (status, id, _) = submit(&addr, &sweep_body(0.5 + i as f64 / offered as f64, 1e-2));
+        match status {
+            202 => accepted.push(id.expect("job id")),
+            429 => shed += 1,
+            s => panic!("overload submit returned {s}"),
+        }
+        max_depth = max_depth.max(queue_depth(&addr));
+    }
+    let shed_rate = shed as f64 / offered as f64;
+    // Cancel the backlog so shutdown is immediate.
+    for &id in &accepted {
+        let _ = client::request(&addr, "POST", &format!("/jobs/{id}/cancel"), Some(""));
+    }
+    server.shutdown();
+
+    obs.log.info(
+        "overload_phase_done",
+        &[
+            ("offered", (offered as u64).into()),
+            ("shed", shed.into()),
+            ("max_queue_depth", max_depth.into()),
+        ],
+    );
+
+    let mut failures = Vec::new();
+    if max_depth > queue_capacity as f64 {
+        failures.push(format!(
+            "queue depth {max_depth} exceeded capacity {queue_capacity}"
+        ));
+    }
+    if shed == 0 {
+        failures.push(format!(
+            "offered {offered} jobs to a {queue_capacity}-deep queue but nothing was shed"
+        ));
+    }
+    if accepted.is_empty() {
+        failures.push("overload phase accepted no jobs at all".to_string());
+    }
+
+    let artifact = format!(
+        concat!(
+            "{{\n",
+            "  \"quick\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"latency_ms\": {{\n",
+            "    \"submit_p50\": {},\n",
+            "    \"submit_p99\": {},\n",
+            "    \"status_p50\": {},\n",
+            "    \"status_p99\": {}\n",
+            "  }},\n",
+            "  \"throughput\": {{\n",
+            "    \"status_polls\": {},\n",
+            "    \"window_s\": {},\n",
+            "    \"status_rps\": {},\n",
+            "    \"jobs_completed_s\": {}\n",
+            "  }},\n",
+            "  \"overload\": {{\n",
+            "    \"queue_capacity\": {},\n",
+            "    \"offered\": {},\n",
+            "    \"accepted\": {},\n",
+            "    \"shed\": {},\n",
+            "    \"shed_rate\": {},\n",
+            "    \"max_queue_depth\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        quick,
+        jobs,
+        fmt_f64(submit_p50),
+        fmt_f64(submit_p99),
+        fmt_f64(status_p50),
+        fmt_f64(status_p99),
+        polls,
+        fmt_f64(window_s),
+        fmt_f64(status_rps),
+        fmt_f64(completed_in_s),
+        queue_capacity,
+        offered,
+        accepted.len(),
+        shed,
+        fmt_f64(shed_rate),
+        fmt_f64(max_depth),
+    );
+    std::fs::write(&out, artifact).expect("write BENCH_serve.json");
+    println!(
+        "submit p50/p99 {submit_p50:.3}/{submit_p99:.3} ms · status p50/p99 \
+         {status_p50:.3}/{status_p99:.3} ms · {status_rps:.0} status polls/s · \
+         shed {shed}/{offered} (rate {shed_rate:.2}, max depth {max_depth:.0}/{queue_capacity})"
+    );
+    println!("wrote {}", out.display());
+
+    obs.write_manifest(manifest);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

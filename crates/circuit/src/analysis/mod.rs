@@ -4,6 +4,7 @@ mod ac;
 mod batch;
 mod checkpoint;
 mod dc;
+mod jobspec;
 mod op;
 mod sweep;
 mod tran;
@@ -11,6 +12,7 @@ mod tran;
 pub use ac::{ac_impedance, AcOptions};
 pub use batch::{transient_batch, BatchStats};
 pub use dc::{dc_sweep, DcSweep};
+pub use jobspec::{decode_final_voltages, encode_final_voltages, CompiledSweep, NetlistSweepSpec};
 pub use op::{operating_point, operating_point_with_guess, OpOptions, OpSolution};
 pub use sweep::{
     BackendChoice, BatchedBackend, PolicySweep, ScalarBackend, SweepBackend, SweepEngine,

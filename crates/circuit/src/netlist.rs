@@ -88,15 +88,48 @@ fn call_args<'a>(joined: &'a str, keyword: &str) -> Option<Vec<&'a str>> {
     )
 }
 
-fn parse_wave(fields: &[&str], line_no: usize) -> Result<SourceWave, CircuitError> {
+/// Prefixes an [`CircuitError::InvalidParameter`] with `line L, col C:`
+/// source context; other error kinds pass through untouched.
+fn at(line_no: usize, col: usize, e: CircuitError) -> CircuitError {
+    match e {
+        CircuitError::InvalidParameter(msg) => {
+            CircuitError::InvalidParameter(format!("line {line_no}, col {col}: {msg}"))
+        }
+        other => other,
+    }
+}
+
+/// Splits a line into whitespace-separated fields tagged with their byte
+/// offset, so errors can point at the offending token's column.
+fn field_spans(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, &line[s..]));
+    }
+    out
+}
+
+fn parse_wave(fields: &[&str], line_no: usize, col: usize) -> Result<SourceWave, CircuitError> {
     let joined = fields.join(" ");
     let upper = joined.to_ascii_uppercase();
-    let bad = |msg: String| CircuitError::InvalidParameter(format!("line {line_no}: {msg}"));
+    let bad =
+        |msg: String| CircuitError::InvalidParameter(format!("line {line_no}, col {col}: {msg}"));
+    let val = |t: &str| parse_value(t).map_err(|e| at(line_no, col, e));
     if upper.starts_with("DC") {
         let v = fields
             .get(1)
             .ok_or_else(|| bad("DC needs a value".into()))?;
-        return Ok(SourceWave::Dc(parse_value(v)?));
+        return Ok(SourceWave::Dc(val(v)?));
     }
     if upper.starts_with("SIN") {
         let args = call_args(&joined, "SIN")
@@ -104,9 +137,8 @@ fn parse_wave(fields: &[&str], line_no: usize) -> Result<SourceWave, CircuitErro
         if args.len() < 3 {
             return Err(bad("SIN needs at least (offset amp freq)".into()));
         }
-        let get = |k: usize| -> Result<f64, CircuitError> {
-            args.get(k).map_or(Ok(0.0), |t| parse_value(t))
-        };
+        let get =
+            |k: usize| -> Result<f64, CircuitError> { args.get(k).map_or(Ok(0.0), |t| val(t)) };
         return Ok(SourceWave::Sin {
             offset: get(0)?,
             amplitude: get(1)?,
@@ -121,7 +153,7 @@ fn parse_wave(fields: &[&str], line_no: usize) -> Result<SourceWave, CircuitErro
         if args.len() < 7 {
             return Err(bad("PULSE needs 7 arguments".into()));
         }
-        let g = |k: usize| parse_value(args[k]);
+        let g = |k: usize| val(args[k]);
         return Ok(SourceWave::Pulse {
             v1: g(0)?,
             v2: g(1)?,
@@ -134,17 +166,20 @@ fn parse_wave(fields: &[&str], line_no: usize) -> Result<SourceWave, CircuitErro
     }
     // Bare value = DC.
     if fields.len() == 1 {
-        return Ok(SourceWave::Dc(parse_value(fields[0])?));
+        return Ok(SourceWave::Dc(val(fields[0])?));
     }
     Err(bad(format!("unrecognized source specification `{joined}`")))
 }
 
-/// Reads `KEY=value` parameters from the tail of a card.
-fn params(fields: &[&str]) -> Result<Vec<(String, f64)>, CircuitError> {
+/// Reads `KEY=value` parameters from the tail of a card. A malformed value
+/// is reported with the index of the offending field so the caller can
+/// attach its column.
+fn params(fields: &[&str]) -> Result<Vec<(String, f64)>, (usize, CircuitError)> {
     let mut out = Vec::new();
-    for f in fields {
+    for (i, f) in fields.iter().enumerate() {
         if let Some((k, v)) = f.split_once('=') {
-            out.push((k.to_ascii_uppercase(), parse_value(v)?));
+            let v = parse_value(v).map_err(|e| (i, e))?;
+            out.push((k.to_ascii_uppercase(), v));
         }
     }
     Ok(out)
@@ -159,12 +194,16 @@ fn has_flag(fields: &[&str], flag: &str) -> bool {
 /// # Errors
 ///
 /// Returns [`CircuitError::InvalidParameter`] describing the offending line
-/// for any malformed card.
+/// *and column* (`line L, col C: …`, both 1-based, column in characters)
+/// for any malformed card. `parse` never panics, whatever the input bytes —
+/// a property enforced by the `netlist_fuzz` test suite.
 pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
     let mut ckt = Circuit::new();
     for (idx, raw) in netlist.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split('*').next().unwrap_or("").trim();
+        let content = raw.split('*').next().unwrap_or("");
+        let trim_start = content.len() - content.trim_start().len();
+        let line = content.trim();
         if line.is_empty() {
             continue;
         }
@@ -172,9 +211,23 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
         if lower == ".end" || lower.starts_with(".title") {
             continue;
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
+        let spans = field_spans(line);
+        let fields: Vec<&str> = spans.iter().map(|&(_, t)| t).collect();
         let name = fields[0];
-        let bad = |msg: String| CircuitError::InvalidParameter(format!("line {line_no}: {msg}"));
+        // 1-based character column of field `k` in the original line (the
+        // card-name column when the card has fewer fields than `k`).
+        let col = |k: usize| -> usize {
+            let byte = trim_start
+                + spans
+                    .get(k)
+                    .or_else(|| spans.first())
+                    .map_or(0, |&(o, _)| o);
+            raw[..byte].chars().count() + 1
+        };
+        let bad_at = |k: usize, msg: String| {
+            CircuitError::InvalidParameter(format!("line {line_no}, col {}: {msg}", col(k)))
+        };
+        let bad = |msg: String| bad_at(0, msg);
         let kind = name
             .chars()
             .next()
@@ -194,10 +247,10 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
                 }
                 let a = node(fields[1]);
                 let b = node(fields[2]);
-                let v = parse_value(fields[3])?;
+                let v = parse_value(fields[3]).map_err(|e| at(line_no, col(3), e))?;
                 // NaN-rejecting positivity check.
                 if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-                    return Err(bad(format!("{name}: value must be positive")));
+                    return Err(bad_at(3, format!("{name}: value must be positive")));
                 }
                 match kind {
                     'R' => ckt.resistor(a, b, v),
@@ -211,7 +264,7 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
                 }
                 let a = node(fields[1]);
                 let b = node(fields[2]);
-                let wave = parse_wave(&fields[3..], line_no)?;
+                let wave = parse_wave(&fields[3..], line_no, col(3))?;
                 if kind == 'V' {
                     ckt.vsource(a, b, wave);
                 } else {
@@ -226,7 +279,7 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
                 let b = node(fields[2]);
                 let mut is = 1e-12;
                 let mut n = 1.0;
-                for (k, v) in params(&fields[3..])? {
+                for (k, v) in params(&fields[3..]).map_err(|(i, e)| at(line_no, col(3 + i), e))? {
                     match k.as_str() {
                         "IS" => is = v,
                         "N" => n = v,
@@ -243,7 +296,7 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
                 let b = node(fields[2]);
                 let e = node(fields[3]);
                 let mut model = BjtModel::default();
-                for (k, v) in params(&fields[4..])? {
+                for (k, v) in params(&fields[4..]).map_err(|(i, e)| at(line_no, col(4 + i), e))? {
                     match k.as_str() {
                         "IS" => model.saturation_current = v,
                         "BF" => model.beta_f = v,
@@ -266,7 +319,7 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
                 let g = node(fields[2]);
                 let s = node(fields[3]);
                 let mut model = MosfetModel::default();
-                for (k, v) in params(&fields[4..])? {
+                for (k, v) in params(&fields[4..]).map_err(|(i, e)| at(line_no, col(4 + i), e))? {
                     match k.as_str() {
                         "VTH" => model.vth = v,
                         "KP" => model.kp = v,
@@ -295,13 +348,16 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
                     if args.len() != 2 {
                         return Err(bad("TANH needs exactly (i_sat gain)".into()));
                     }
-                    IvCurve::tanh(parse_value(args[0])?, parse_value(args[1])?)
+                    IvCurve::tanh(
+                        parse_value(args[0]).map_err(|e| at(line_no, col(3), e))?,
+                        parse_value(args[1]).map_err(|e| at(line_no, col(3), e))?,
+                    )
                 } else if upper.starts_with("POLY") {
                     let args = call_args(&joined, "POLY")
                         .ok_or_else(|| bad("POLY needs (c0 c1 ...)".into()))?;
                     let coeffs = args
                         .iter()
-                        .map(|t| parse_value(t))
+                        .map(|t| parse_value(t).map_err(|e| at(line_no, col(3), e)))
                         .collect::<Result<Vec<_>, _>>()?;
                     if coeffs.is_empty() {
                         return Err(bad("POLY needs at least one coefficient".into()));
@@ -539,6 +595,25 @@ mod tests {
         assert!(e.to_string().contains("positive"), "{e}");
         let e = parse("V1 a 0 TRI(1 2)\n").unwrap_err();
         assert!(e.to_string().contains("unrecognized source"), "{e}");
+    }
+
+    #[test]
+    fn error_messages_carry_columns() {
+        // The unknown card name sits at column 1 of line 2.
+        let e = parse("R1 a 0 1k\nX9 a 0 1\n").unwrap_err();
+        assert!(e.to_string().contains("line 2, col 1"), "{e}");
+        // The malformed value is the 4th field, column 8.
+        let e = parse("R1 a 0 abc\n").unwrap_err();
+        assert!(e.to_string().contains("line 1, col 8"), "{e}");
+        // Leading whitespace shifts the reported column.
+        let e = parse("  R1 a 0 abc\n").unwrap_err();
+        assert!(e.to_string().contains("line 1, col 10"), "{e}");
+        // KEY=value parse errors point at the offending parameter field.
+        let e = parse("D1 a 0 IS=1e-14 N=bogus\n").unwrap_err();
+        assert!(e.to_string().contains("line 1, col 17"), "{e}");
+        // Waveform errors point at the start of the source specification.
+        let e = parse("V1 a 0 DC zap\n").unwrap_err();
+        assert!(e.to_string().contains("line 1, col 8"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Property tests: `netlist::parse` is total — it returns `Ok` or a
+//! positioned `Err` for *any* input, and never panics. The serve layer
+//! (and any tool ingesting user-supplied netlists) depends on this: a
+//! malformed upload must become a 400 with line/column context, not a
+//! worker crash.
+
+use proptest::prelude::*;
+use shil_circuit::netlist;
+
+/// Characters weighted toward netlist syntax, so generated inputs exercise
+/// the card parsers instead of dying at `unknown element type`.
+const SYNTAX: &[u8] = b"RCLVIDQMGX0123456789abkmnu().=-+* \t_eE";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..255, 0..256)) {
+        // Raw bytes → lossy UTF-8: exercises control characters, invalid
+        // sequences (as U+FFFD) and embedded newlines.
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = netlist::parse(&text);
+    }
+
+    #[test]
+    fn parse_never_panics_on_netlist_shaped_text(picks in prop::collection::vec(0usize..38, 0..200)) {
+        let text: String = picks.iter().map(|&i| {
+            let b = SYNTAX[i % SYNTAX.len()];
+            if b == b'_' { '\n' } else { b as char }
+        }).collect();
+        let _ = netlist::parse(&text);
+    }
+
+    #[test]
+    fn parse_errors_are_positioned(picks in prop::collection::vec(0usize..38, 1..120)) {
+        let text: String = picks.iter().map(|&i| {
+            let b = SYNTAX[i % SYNTAX.len()];
+            if b == b'_' { '\n' } else { b as char }
+        }).collect();
+        if let Err(e) = netlist::parse(&text) {
+            let msg = e.to_string();
+            // Every parse diagnostic carries line/column context.
+            prop_assert!(msg.contains("line ") && msg.contains(", col "), "unpositioned error: {msg}");
+        }
+    }
+
+    #[test]
+    fn parse_value_never_panics(bytes in prop::collection::vec(0u8..255, 0..24)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = netlist::parse_value(&text);
+    }
+}

@@ -116,30 +116,93 @@ pub struct NaturalKey {
     pub options: u64,
 }
 
+/// A cache entry stamped with its last-use tick, the unit of the LRU
+/// eviction order.
+#[derive(Debug)]
+struct Stamped<V> {
+    value: V,
+    last_used: u64,
+}
+
 /// Thread-safe memoization of pre-characterizations and natural solves.
 ///
 /// Entries are shared via [`Arc`]; hit/miss counters expose the reuse a
 /// sweep achieved (the `perf_precharacterize` harness reports them), and
 /// each event is mirrored to the process-wide `shil-observe` registry as
-/// the `shil_core_prechar_*` counters when it is enabled.
-/// Lookups never hold a lock across a build, so concurrent sweeps can
-/// (rarely) race to build the same entry — the first insert wins and both
-/// callers receive the canonical `Arc`.
+/// the `shil_core_prechar_*` counters (plus the cross-layer
+/// `shil_prechar_cache_{hit,miss,evict}_total` triplet) when it is
+/// enabled. Lookups never hold a lock across a build, so concurrent
+/// sweeps can (rarely) race to build the same entry — the first insert
+/// wins and both callers receive the canonical `Arc`.
+///
+/// A cache built with [`PrecharCache::bounded`] holds at most `capacity`
+/// grid entries and `capacity` natural solves, evicting the
+/// least-recently-used entry on overflow — the configuration a long-lived
+/// server needs, where one shared cache sees an unbounded stream of
+/// distinct oscillators and must not grow without bound. [`Arc`]s handed
+/// out before an eviction stay valid; eviction only drops the cache's own
+/// reference.
 #[derive(Debug, Default)]
 pub struct PrecharCache {
-    grids: Mutex<HashMap<PrecharKey, Arc<Precharacterization>>>,
-    naturals: Mutex<HashMap<NaturalKey, NaturalOscillation>>,
+    grids: Mutex<HashMap<PrecharKey, Stamped<Arc<Precharacterization>>>>,
+    naturals: Mutex<HashMap<NaturalKey, Stamped<NaturalOscillation>>>,
+    /// `None` = unbounded (the default, and the pre-existing behavior).
+    capacity: Option<usize>,
+    /// Monotone use counter; entries carry the tick of their last touch.
+    tick: AtomicU64,
     grid_hits: AtomicU64,
     grid_misses: AtomicU64,
     natural_hits: AtomicU64,
     natural_misses: AtomicU64,
+    evictions: AtomicU64,
     uncacheable: AtomicU64,
 }
 
 impl PrecharCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` grid entries (and as many
+    /// natural solves), evicting least-recently-used entries on overflow.
+    /// A zero capacity is clamped to 1 — a cache that can hold nothing
+    /// would turn every lookup into a rebuild while still paying the
+    /// bookkeeping.
+    pub fn bounded(capacity: usize) -> Self {
+        PrecharCache {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// The configured entry bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Entries dropped by the LRU policy since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The next use tick.
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Drops least-recently-used entries until `map` has room for one
+    /// more insert under `capacity`. Called with the map lock held.
+    fn make_room<K: Eq + std::hash::Hash + Copy, V>(&self, map: &mut HashMap<K, Stamped<V>>) {
+        let Some(cap) = self.capacity else { return };
+        while map.len() >= cap {
+            let Some(oldest) = map.iter().min_by_key(|(_, s)| s.last_used).map(|(k, _)| *k) else {
+                return;
+            };
+            map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            shil_observe::incr("shil_prechar_cache_evict_total");
+        }
     }
 
     /// Grid lookups served from memory.
@@ -210,22 +273,32 @@ impl PrecharCache {
             .grids
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
+            .get_mut(&key)
         {
+            hit.last_used = self.next_tick();
             self.grid_hits.fetch_add(1, Ordering::Relaxed);
             shil_observe::incr("shil_core_prechar_grid_hits_total");
-            return Ok(Arc::clone(hit));
+            shil_observe::incr("shil_prechar_cache_hit_total");
+            return Ok(Arc::clone(&hit.value));
         }
         self.grid_misses.fetch_add(1, Ordering::Relaxed);
         shil_observe::incr("shil_core_prechar_grid_misses_total");
+        shil_observe::incr("shil_prechar_cache_miss_total");
         let built = Arc::new(build()?);
-        Ok(Arc::clone(
-            self.grids
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .entry(key)
-                .or_insert(built),
-        ))
+        let mut grids = self
+            .grids
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !grids.contains_key(&key) {
+            self.make_room(&mut grids);
+        }
+        let tick = self.next_tick();
+        let entry = grids.entry(key).or_insert(Stamped {
+            value: built,
+            last_used: tick,
+        });
+        entry.last_used = tick;
+        Ok(Arc::clone(&entry.value))
     }
 
     /// Returns the cached natural oscillation for `key`, solving on a miss.
@@ -238,21 +311,32 @@ impl PrecharCache {
             .naturals
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
+            .get_mut(&key)
         {
+            hit.last_used = self.next_tick();
             self.natural_hits.fetch_add(1, Ordering::Relaxed);
             shil_observe::incr("shil_core_prechar_natural_hits_total");
-            return Ok(*hit);
+            shil_observe::incr("shil_prechar_cache_hit_total");
+            return Ok(hit.value);
         }
         self.natural_misses.fetch_add(1, Ordering::Relaxed);
         shil_observe::incr("shil_core_prechar_natural_misses_total");
+        shil_observe::incr("shil_prechar_cache_miss_total");
         let solved = solve()?;
-        Ok(*self
+        let mut naturals = self
             .naturals
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .entry(key)
-            .or_insert(solved))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !naturals.contains_key(&key) {
+            self.make_room(&mut naturals);
+        }
+        let tick = self.next_tick();
+        let entry = naturals.entry(key).or_insert(Stamped {
+            value: solved,
+            last_used: tick,
+        });
+        entry.last_used = tick;
+        Ok(entry.value)
     }
 }
 
@@ -310,6 +394,88 @@ mod tests {
         assert_eq!(solves, 1);
         assert_eq!(cache.natural_builds(), 1);
         assert_eq!(cache.natural_hits(), 2);
+    }
+
+    fn nat(amplitude: f64) -> NaturalOscillation {
+        NaturalOscillation {
+            amplitude,
+            frequency_hz: 5e5,
+            stable: true,
+            t_f_slope: -1.0,
+        }
+    }
+
+    fn nkey(id: u64) -> NaturalKey {
+        NaturalKey {
+            nonlinearity: id,
+            tank: id,
+            options: id,
+        }
+    }
+
+    #[test]
+    fn bounded_cache_respects_capacity_and_counts_evictions() {
+        let cache = PrecharCache::bounded(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let mut solves = 0;
+        for id in 0..5 {
+            cache
+                .natural_or_insert(nkey(id), || {
+                    solves += 1;
+                    Ok(nat(id as f64))
+                })
+                .unwrap();
+        }
+        assert_eq!(solves, 5);
+        assert_eq!(cache.evictions(), 3);
+        let held = cache
+            .naturals
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
+        assert_eq!(held, 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = PrecharCache::bounded(2);
+        let solve = |id: u64| move || Ok(nat(id as f64));
+        cache.natural_or_insert(nkey(1), solve(1)).unwrap();
+        cache.natural_or_insert(nkey(2), solve(2)).unwrap();
+        // Touch 1 so that 2 becomes the LRU entry, then overflow with 3.
+        cache.natural_or_insert(nkey(1), solve(1)).unwrap();
+        cache.natural_or_insert(nkey(3), solve(3)).unwrap();
+        assert_eq!(cache.evictions(), 1);
+        // 1 and 3 survive (hits); 2 was evicted (re-solve = miss).
+        let before = cache.natural_builds();
+        cache.natural_or_insert(nkey(1), solve(1)).unwrap();
+        cache.natural_or_insert(nkey(3), solve(3)).unwrap();
+        assert_eq!(cache.natural_builds(), before);
+        cache.natural_or_insert(nkey(2), solve(2)).unwrap();
+        assert_eq!(cache.natural_builds(), before + 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache = PrecharCache::bounded(0);
+        assert_eq!(cache.capacity(), Some(1));
+        cache.natural_or_insert(nkey(1), || Ok(nat(1.0))).unwrap();
+        // The single slot still serves repeat lookups as hits.
+        let before = cache.natural_hits();
+        cache.natural_or_insert(nkey(1), || Ok(nat(1.0))).unwrap();
+        assert_eq!(cache.natural_hits(), before + 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = PrecharCache::new();
+        assert_eq!(cache.capacity(), None);
+        for id in 0..64 {
+            cache
+                .natural_or_insert(nkey(id), || Ok(nat(id as f64)))
+                .unwrap();
+        }
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

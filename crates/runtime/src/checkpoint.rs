@@ -23,6 +23,11 @@
 //! 4. **Exact counters.** Per-item solver-effort counters are stored as
 //!    integers and re-read as `u64`, so a resumed sweep's aggregate is
 //!    bit-identical to an uninterrupted run's.
+//! 5. **Single writer.** Opening takes an exclusive advisory lock on the
+//!    file (held for the life of the handle, released by the OS even on
+//!    `SIGKILL`), so two processes resuming the same sweep cannot
+//!    interleave appends — the second opener gets a `WouldBlock` error
+//!    naming the path instead of silently corrupting the record stream.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -128,14 +133,26 @@ impl CheckpointFile {
     /// Opens (or creates) the checkpoint for a sweep of `items` items
     /// whose inputs hash to `fingerprint`.
     ///
+    /// The returned handle holds an exclusive advisory lock on the file
+    /// until it is dropped; the OS releases the lock when the process dies
+    /// (even on `SIGKILL`), so a crashed writer never leaves a stale lock
+    /// behind.
+    ///
     /// # Errors
     ///
-    /// I/O failures, and `InvalidData` when the file belongs to a
-    /// different sweep (schema, fingerprint or item-count mismatch).
+    /// I/O failures, `InvalidData` when the file belongs to a different
+    /// sweep (schema, fingerprint or item-count mismatch), and
+    /// `WouldBlock` when another process already holds the checkpoint open
+    /// — resuming concurrently would interleave appends.
     pub fn open(path: &Path, fingerprint: &str, items: usize) -> io::Result<Self> {
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir)?;
         }
+        // Lock before reading: a concurrent holder may be mid-append, and
+        // reading an unlocked file could see a record the holder is about
+        // to complete.
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        lock_exclusive(&file, path)?;
         let existing = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
@@ -156,7 +173,6 @@ impl CheckpointFile {
                 }
             }
         }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
         let mut writer = BufWriter::new(file);
         if existing.trim().is_empty() {
             let mut header = String::from("{\"schema\":");
@@ -204,6 +220,25 @@ impl CheckpointFile {
         w.flush()?;
         shil_observe::incr("shil_runtime_checkpoint_records_total");
         Ok(())
+    }
+}
+
+/// Takes a non-blocking exclusive advisory lock on `file`, turning a held
+/// lock into a `WouldBlock` error that names the checkpoint path. Advisory
+/// locks are per-file-description and kernel-released on process death, so
+/// `SIGKILL` cannot strand one.
+fn lock_exclusive(file: &File, path: &Path) -> io::Result<()> {
+    match file.try_lock() {
+        Ok(()) => Ok(()),
+        Err(std::fs::TryLockError::WouldBlock) => Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!(
+                "checkpoint {} is locked by another process — \
+                 two resumes of the same sweep must not interleave appends",
+                path.display()
+            ),
+        )),
+        Err(std::fs::TryLockError::Error(e)) => Err(e),
     }
 }
 
@@ -374,6 +409,26 @@ mod tests {
         std::fs::write(&path, "plain text\n").unwrap();
         let e = CheckpointFile::open(&path, &fp, 2).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_open_is_rejected_while_the_lock_is_held() {
+        let path = temp("locked.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[4.0]);
+        let held = CheckpointFile::open(&path, &fp, 2).unwrap();
+        held.append(&sample(0)).unwrap();
+        // A second opener (same fingerprint, same sweep) must be refused
+        // with a clear error while the first handle is alive.
+        let e = CheckpointFile::open(&path, &fp, 2).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::WouldBlock);
+        assert!(e.to_string().contains("locked by another process"), "{e}");
+        // Dropping the holder releases the lock and the restored records
+        // are intact.
+        drop(held);
+        let cp = CheckpointFile::open(&path, &fp, 2).unwrap();
+        assert_eq!(cp.restored().len(), 1);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,5 +1,7 @@
-//! Minimal JSON reading/writing for checkpoint lines (std-only; the
-//! workspace vendors no serialization crates — see the root manifest).
+//! Minimal JSON reading/writing (std-only; the workspace vendors no
+//! serialization crates — see the root manifest). Checkpoint lines parse
+//! through this module, and `shil-serve` reuses it for job specs and
+//! request bodies.
 //!
 //! The writer mirrors `shil-observe`'s hand-rolled JSON helpers; the
 //! parser is the piece `shil-observe` deliberately does not have. It is a
@@ -13,7 +15,7 @@ use std::collections::BTreeMap;
 
 /// A parsed JSON value (checkpoint subset).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// Object with string keys, insertion order irrelevant.
     Obj(BTreeMap<String, Json>),
     /// Array.
@@ -32,28 +34,32 @@ pub(crate) enum Json {
 }
 
 impl Json {
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    /// Member lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(m) => m.get(key),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The exact unsigned integer, when this is one.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::UInt(v) => Some(*v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    /// The numeric value (integers widen), when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
             Json::UInt(v) => Some(*v as f64),
@@ -61,7 +67,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn entries(&self) -> Option<&BTreeMap<String, Json>> {
+    /// The key→value map, when this is an object.
+    pub fn entries(&self) -> Option<&BTreeMap<String, Json>> {
         match self {
             Json::Obj(m) => Some(m),
             _ => None,
@@ -71,7 +78,7 @@ impl Json {
 
 /// Parses one complete JSON document; `None` on any syntax error or
 /// trailing garbage (torn lines must not half-parse).
-pub(crate) fn parse(text: &str) -> Option<Json> {
+pub fn parse(text: &str) -> Option<Json> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let v = parse_value(bytes, &mut pos)?;
@@ -232,7 +239,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Option<Json> {
 }
 
 /// Appends `s` as a JSON string literal (with quotes).
-pub(crate) fn push_str(out: &mut String, s: &str) {
+pub fn push_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -249,7 +256,7 @@ pub(crate) fn push_str(out: &mut String, s: &str) {
 }
 
 /// Formats an `f64` as a JSON number (`null` for non-finite values).
-pub(crate) fn fmt_f64(v: f64) -> String {
+pub fn fmt_f64(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_string();
     }

@@ -25,17 +25,23 @@
 //!   file written after each completed sweep item, tolerant of the torn
 //!   last line a `SIGKILL` leaves behind, so a resumed sweep skips
 //!   completed items and reproduces the uninterrupted aggregate
-//!   bit-for-bit.
+//!   bit-for-bit. Each open handle holds an exclusive advisory lock, so
+//!   two processes cannot interleave appends into one checkpoint.
+//! - [`shutdown`] — the `SIGTERM`/`SIGINT` drain hook for supervised
+//!   daemons: a process-global flag the accept/worker loops poll to stop
+//!   admitting work and checkpoint in-flight sweeps before exiting.
 
 #![warn(missing_docs)]
 
 mod cancel;
 pub mod checkpoint;
-mod json;
+pub mod json;
 mod panic;
 mod policy;
+pub mod shutdown;
 
 pub use cancel::{Budget, CancelCause, CancelToken};
 pub use checkpoint::{CheckpointFile, CheckpointRecord, CHECKPOINT_SCHEMA};
 pub use panic::isolate;
 pub use policy::{ItemOutcome, SweepPolicy};
+pub use shutdown::{install_shutdown_handler, request_shutdown, shutdown_requested};

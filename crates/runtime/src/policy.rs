@@ -46,6 +46,57 @@ impl ItemOutcome {
         }
     }
 
+    /// The documented process exit code for a run that ended with this as
+    /// its worst outcome, so supervisors (systemd, CI, the serve-layer
+    /// restart logic) can distinguish a timeout from a panic from an
+    /// operator cancellation without parsing logs:
+    ///
+    /// | code | outcome |
+    /// |---|---|
+    /// | 0  | `ok` — every item clean |
+    /// | 10 | `degraded` — completed, but fallbacks engaged |
+    /// | 11 | `failed` — at least one item exhausted retries on errors |
+    /// | 12 | `timed_out` — at least one item tripped its deadline |
+    /// | 13 | `panicked` — at least one item panicked (caught) |
+    /// | 14 | `cancelled` — the sweep was cancelled before completion |
+    ///
+    /// Codes 1 (generic failure) and 2 (usage) stay reserved for the
+    /// conventional meanings.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ItemOutcome::Ok => 0,
+            ItemOutcome::Degraded => 10,
+            ItemOutcome::Failed => 11,
+            ItemOutcome::TimedOut => 12,
+            ItemOutcome::Panicked => 13,
+            ItemOutcome::Cancelled => 14,
+        }
+    }
+
+    /// Severity rank for reducing a sweep to its *worst* outcome (higher is
+    /// worse). Panics outrank failures outrank timeouts outrank
+    /// cancellation outrank degradation — a supervisor seeing the exit code
+    /// of [`ItemOutcome::worst`] learns the most actionable problem first.
+    pub fn severity(self) -> u8 {
+        match self {
+            ItemOutcome::Ok => 0,
+            ItemOutcome::Degraded => 1,
+            ItemOutcome::Cancelled => 2,
+            ItemOutcome::TimedOut => 3,
+            ItemOutcome::Failed => 4,
+            ItemOutcome::Panicked => 5,
+        }
+    }
+
+    /// The worst (highest-[severity](ItemOutcome::severity)) outcome of an
+    /// iterator, or `Ok` when it is empty.
+    pub fn worst(outcomes: impl IntoIterator<Item = ItemOutcome>) -> ItemOutcome {
+        outcomes
+            .into_iter()
+            .max_by_key(|o| o.severity())
+            .unwrap_or(ItemOutcome::Ok)
+    }
+
     /// Parses the stable name written by [`ItemOutcome::as_str`].
     pub fn parse(s: &str) -> Option<Self> {
         Some(match s {
@@ -156,6 +207,47 @@ mod tests {
         ] {
             assert!(!o.is_success());
         }
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        use std::collections::HashSet;
+        let all = [
+            ItemOutcome::Ok,
+            ItemOutcome::Degraded,
+            ItemOutcome::Failed,
+            ItemOutcome::TimedOut,
+            ItemOutcome::Panicked,
+            ItemOutcome::Cancelled,
+        ];
+        let codes: HashSet<u8> = all.iter().map(|o| o.exit_code()).collect();
+        assert_eq!(codes.len(), all.len(), "exit codes must be distinct");
+        assert_eq!(ItemOutcome::Ok.exit_code(), 0);
+        // 1 and 2 are reserved for generic failure / usage.
+        assert!(!codes.contains(&1) && !codes.contains(&2));
+        let ranks: HashSet<u8> = all.iter().map(|o| o.severity()).collect();
+        assert_eq!(ranks.len(), all.len(), "severities must be distinct");
+    }
+
+    #[test]
+    fn worst_picks_the_most_severe_outcome() {
+        assert_eq!(ItemOutcome::worst([]), ItemOutcome::Ok);
+        assert_eq!(
+            ItemOutcome::worst([ItemOutcome::Ok, ItemOutcome::Degraded]),
+            ItemOutcome::Degraded
+        );
+        assert_eq!(
+            ItemOutcome::worst([
+                ItemOutcome::TimedOut,
+                ItemOutcome::Panicked,
+                ItemOutcome::Failed,
+            ]),
+            ItemOutcome::Panicked
+        );
+        assert_eq!(
+            ItemOutcome::worst([ItemOutcome::Cancelled, ItemOutcome::TimedOut]),
+            ItemOutcome::TimedOut
+        );
     }
 
     #[test]

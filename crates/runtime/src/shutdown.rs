@@ -1,0 +1,80 @@
+//! Process-level shutdown signals for graceful drain.
+//!
+//! A supervised daemon (see `shil-serve`) is told to stop with `SIGTERM`;
+//! the conventional contract is *drain*: stop admitting work, finish or
+//! checkpoint what is in flight, then exit 0. Rust's std cannot register
+//! signal handlers, and the workspace vendors no crates, so this module
+//! binds the libc `signal(2)` symbol directly (std already links libc on
+//! every supported target) and keeps the handler to the only thing that is
+//! async-signal-safe: storing one atomic flag.
+//!
+//! The flag is process-global by nature — signals are process-global — so
+//! the API is a pair of free functions plus a programmatic trigger for
+//! drain endpoints and tests. Pollers (accept loops, worker queues) check
+//! [`shutdown_requested`] at their own cadence; nothing is interrupted
+//! preemptively.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// The only work a signal handler may do: set the flag.
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the `SIGTERM`/`SIGINT` handler (idempotent). After this, a
+/// termination signal flips the process-wide flag read by
+/// [`shutdown_requested`] instead of killing the process outright.
+///
+/// On non-unix targets this is a no-op: [`request_shutdown`] remains the
+/// only trigger.
+pub fn install_shutdown_handler() {
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    #[cfg(unix)]
+    {
+        // Values are identical across the unix targets std supports.
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+/// Whether a shutdown has been requested — by a signal (after
+/// [`install_shutdown_handler`]) or programmatically.
+pub fn shutdown_requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Programmatic shutdown request, equivalent to receiving `SIGTERM`: used
+/// by drain endpoints and tests. Idempotent; there is no un-request.
+pub fn request_shutdown() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_request_is_observed() {
+        // One test only: the flag is process-global, so asserting the
+        // pre-request state in a second test would race this one.
+        install_shutdown_handler();
+        install_shutdown_handler(); // idempotent
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

@@ -1,0 +1,96 @@
+//! A minimal blocking HTTP/1.1 client for the job API.
+//!
+//! Exists so the integration tests, the CI smoke script and `perf_serve`
+//! can talk to the server without an HTTP dependency. One request per
+//! connection, mirroring the server's `Connection: close` model.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one request against `addr` (e.g. `127.0.0.1:8080`).
+///
+/// # Errors
+///
+/// Connection and read failures, plus unparseable responses (as
+/// [`io::ErrorKind::InvalidData`]).
+pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable HTTP response"))
+}
+
+fn parse_response(raw: &str) -> Option<Response> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let mut lines = head.split("\r\n");
+    let status = lines
+        .next()?
+        .split_ascii_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Some(Response {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nRetry-After: 1\r\n\r\n{\"error\":\"full\"}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.header("retry-after"), Some("1"));
+        assert_eq!(r.header("Retry-After"), Some("1"));
+        assert_eq!(r.body, "{\"error\":\"full\"}");
+    }
+
+    #[test]
+    fn garbage_is_none() {
+        assert!(parse_response("nope").is_none());
+        assert!(parse_response("HTTP/1.1\r\n\r\n").is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Minimal server-side HTTP/1.1 over std TCP.
+//!
+//! The service speaks just enough HTTP for its job API: one request per
+//! connection (`Connection: close`), request bodies bounded by the caller's
+//! limit *before* they are buffered, and a hard cap on header size — a
+//! client can never make the server allocate proportionally to what it
+//! sends beyond those bounds. No TLS, no chunked encoding, no keep-alive:
+//! the deployment model is a reverse proxy or localhost tooling.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query string included, if any).
+    pub path: String,
+    /// Request body (at most the caller's `max_body`).
+    pub body: Vec<u8>,
+}
+
+/// What came off the wire.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The declared or received body exceeds the caller's bound — answer
+    /// 413 and close.
+    BodyTooLarge,
+    /// Not parseable as HTTP/1.1 — answer 400 and close.
+    Malformed,
+    /// The peer vanished before a full request arrived.
+    Disconnected,
+}
+
+/// Reads one request from `stream`, refusing bodies longer than
+/// `max_body` without buffering them.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> ReadOutcome {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(p) = find_head_end(&buf) {
+            break p;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return ReadOutcome::Malformed;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Disconnected,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return ReadOutcome::Disconnected,
+        }
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return ReadOutcome::Malformed,
+    };
+    let mut lines = head.split("\r\n");
+    let mut request_line = lines.next().unwrap_or("").split_ascii_whitespace();
+    let (Some(method), Some(path)) = (request_line.next(), request_line.next()) else {
+        return ReadOutcome::Malformed;
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                match v.trim().parse::<usize>() {
+                    Ok(n) => content_length = n,
+                    Err(_) => return ReadOutcome::Malformed,
+                }
+            }
+        }
+    }
+    if content_length > max_body {
+        return ReadOutcome::BodyTooLarge;
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        // Pipelined bytes beyond the declared body are ignored (we close
+        // after one response anyway).
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Disconnected,
+            Ok(n) => {
+                let want = content_length - body.len();
+                body.extend_from_slice(&chunk[..n.min(want)]);
+            }
+            Err(_) => return ReadOutcome::Disconnected,
+        }
+    }
+    ReadOutcome::Request(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one full response and flushes. `extra` appends verbatim headers
+/// (e.g. `Retry-After`).
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    for (k, v) in extra {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8], max_body: usize) -> ReadOutcome {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            s
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let out = read_request(&mut server_side, max_body);
+        drop(client.join().unwrap());
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        match roundtrip(raw, 1024) {
+            ReadOutcome::Request(r) => {
+                assert_eq!(r.method, "POST");
+                assert_eq!(r.path, "/jobs");
+                assert_eq!(r.body, b"abcd");
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_refused_without_buffering() {
+        let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n";
+        assert!(matches!(roundtrip(raw, 64), ReadOutcome::BodyTooLarge));
+    }
+
+    #[test]
+    fn garbage_is_malformed_or_disconnect() {
+        let raw = b"NOT HTTP\r\n\r\n";
+        assert!(matches!(
+            roundtrip(raw, 64),
+            ReadOutcome::Malformed | ReadOutcome::Request(_)
+        ));
+        // A single token request line is malformed.
+        let raw = b"GET\r\n\r\n";
+        assert!(matches!(roundtrip(raw, 64), ReadOutcome::Malformed));
+    }
+}

@@ -1,0 +1,627 @@
+//! Job specifications, status persistence and deterministic result rendering.
+//!
+//! A job is submitted as one JSON object, validated *fully* at submission
+//! time (a malformed netlist is a 400 with line/column context, never a
+//! worker crash), persisted under `data_dir/jobs/<id>/` and executed by a
+//! worker through the policy-driven sweep engine:
+//!
+//! ```text
+//! jobs/<id>/spec.json        the submitted spec, verbatim semantics
+//! jobs/<id>/status.json      current state machine position (atomic)
+//! jobs/<id>/checkpoint.jsonl per-item records, appended as items finish
+//! jobs/<id>/results.jsonl    final per-item results (atomic rename)
+//! ```
+//!
+//! `results.jsonl` is *deterministic*: it contains no wall-clock times and
+//! no restored-from-checkpoint markers, so a job killed mid-run (even with
+//! `SIGKILL`) and re-run after restart produces a byte-identical file —
+//! the oracle the crash tests and the CI serve-smoke job diff.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use shil_circuit::analysis::{decode_final_voltages, NetlistSweepSpec, PolicySweep};
+use shil_runtime::json::{self, Json};
+use shil_runtime::{CheckpointRecord, ItemOutcome, SweepPolicy};
+
+/// Schema identifier written into every `status.json`.
+pub const JOB_SCHEMA: &str = "shil-serve/job/v1";
+
+/// Parameters of a SHIL lock-range sweep over injection amplitudes, on a
+/// `−i_sat·tanh(gain·v)` negative-resistance oscillator with a parallel
+/// RLC tank — the paper's Fig. 14-style divider-sizing curve, as a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockRangeSpec {
+    /// Tank resistance, ohms.
+    pub r: f64,
+    /// Tank inductance, henries.
+    pub l: f64,
+    /// Tank capacitance, farads.
+    pub c: f64,
+    /// Nonlinearity saturation current, amperes.
+    pub i_sat: f64,
+    /// Nonlinearity gain, 1/volts.
+    pub gain: f64,
+    /// Sub-harmonic order (≥ 2).
+    pub n: u32,
+    /// Injection phasor magnitudes — one sweep item per entry.
+    pub vis: Vec<f64>,
+}
+
+/// What a job computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// A source-scale transient sweep over a netlist.
+    Sweep(NetlistSweepSpec),
+    /// A lock-range sweep over injection amplitudes (served from the
+    /// process-wide pre-characterization cache).
+    LockRange(LockRangeSpec),
+}
+
+impl JobKind {
+    /// Stable kind name used in specs and status documents.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Sweep(_) => "sweep",
+            JobKind::LockRange(_) => "lockrange",
+        }
+    }
+}
+
+/// A validated job submission: what to compute plus its execution policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// What to compute.
+    pub kind: JobKind,
+    /// Whole-job wall-clock deadline, seconds.
+    pub deadline_s: Option<f64>,
+    /// Per-item wall-clock timeout, seconds.
+    pub item_timeout_s: Option<f64>,
+    /// Extra attempts per failed item.
+    pub max_retries: usize,
+}
+
+impl JobSpec {
+    /// Number of sweep items this job will run.
+    pub fn items(&self) -> usize {
+        match &self.kind {
+            JobKind::Sweep(s) => s.scales.len(),
+            JobKind::LockRange(s) => s.vis.len(),
+        }
+    }
+
+    /// The [`SweepPolicy`] this spec maps onto.
+    pub fn policy(&self) -> SweepPolicy {
+        SweepPolicy {
+            deadline: self.deadline_s.map(std::time::Duration::from_secs_f64),
+            item_timeout: self.item_timeout_s.map(std::time::Duration::from_secs_f64),
+            max_retries: self.max_retries,
+            ..SweepPolicy::default()
+        }
+    }
+
+    /// Parses and validates a submission body.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message (the HTTP 400 body). Netlist errors keep
+    /// their `line L, col C` context.
+    pub fn from_json(body: &str) -> Result<JobSpec, String> {
+        let doc = json::parse(body).ok_or_else(|| "body is not valid JSON".to_string())?;
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing `kind` (one of \"sweep\", \"lockrange\")".to_string())?;
+        let f64_field = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric `{key}`"))
+        };
+        let f64_list = |key: &str| -> Result<Vec<f64>, String> {
+            match doc.get(key) {
+                Some(Json::Arr(items)) if !items.is_empty() => items
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| format!("non-numeric entry in `{key}`"))
+                    })
+                    .collect(),
+                _ => Err(format!("missing or empty array `{key}`")),
+            }
+        };
+        let kind = match kind {
+            "sweep" => {
+                let netlist = doc
+                    .get("netlist")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "missing `netlist` text".to_string())?
+                    .to_string();
+                let probes = match doc.get("probes") {
+                    Some(Json::Arr(items)) if !items.is_empty() => items
+                        .iter()
+                        .map(|v| {
+                            v.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "non-string entry in `probes`".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err("missing or empty array `probes`".into()),
+                };
+                let spec = NetlistSweepSpec {
+                    netlist,
+                    dt: f64_field("dt")?,
+                    stop: f64_field("stop")?,
+                    probes,
+                    scales: f64_list("scales")?,
+                };
+                // Front-load every input error into the 400.
+                spec.compile().map_err(|e| e.to_string())?;
+                JobKind::Sweep(spec)
+            }
+            "lockrange" => {
+                let spec = LockRangeSpec {
+                    r: f64_field("r")?,
+                    l: f64_field("l")?,
+                    c: f64_field("c")?,
+                    i_sat: f64_field("i_sat")?,
+                    gain: f64_field("gain")?,
+                    n: doc
+                        .get("n")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| "missing or non-integer `n`".to_string())?
+                        as u32,
+                    vis: f64_list("vi")?,
+                };
+                if spec.n < 2 {
+                    return Err("`n` must be a sub-harmonic order ≥ 2".into());
+                }
+                for (name, v) in [
+                    ("r", spec.r),
+                    ("l", spec.l),
+                    ("c", spec.c),
+                    ("i_sat", spec.i_sat),
+                    ("gain", spec.gain),
+                ] {
+                    if v <= 0.0 || !v.is_finite() {
+                        return Err(format!("`{name}` must be positive and finite, got {v}"));
+                    }
+                }
+                if spec.vis.iter().any(|v| *v <= 0.0 || !v.is_finite()) {
+                    return Err("every `vi` must be positive and finite".into());
+                }
+                JobKind::LockRange(spec)
+            }
+            other => return Err(format!("unknown job kind `{other}`")),
+        };
+        let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
+            match doc.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => {
+                    let v = v
+                        .as_f64()
+                        .filter(|v| *v > 0.0 && v.is_finite())
+                        .ok_or_else(|| format!("`{key}` must be a positive number of seconds"))?;
+                    Ok(Some(v))
+                }
+            }
+        };
+        Ok(JobSpec {
+            kind,
+            deadline_s: opt_f64("deadline_s")?,
+            item_timeout_s: opt_f64("item_timeout_s")?,
+            max_retries: doc.get("max_retries").and_then(Json::as_u64).unwrap_or(0) as usize,
+        })
+    }
+
+    /// Renders the spec back to the canonical JSON document (the persisted
+    /// `spec.json`; re-parsing it yields an equal spec).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"kind\":");
+        json::push_str(&mut out, self.kind.name());
+        match &self.kind {
+            JobKind::Sweep(s) => {
+                out.push_str(",\"netlist\":");
+                json::push_str(&mut out, &s.netlist);
+                out.push_str(&format!(
+                    ",\"dt\":{},\"stop\":{}",
+                    json::fmt_f64(s.dt),
+                    json::fmt_f64(s.stop)
+                ));
+                out.push_str(",\"probes\":[");
+                for (i, p) in s.probes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::push_str(&mut out, p);
+                }
+                out.push_str("],\"scales\":");
+                push_f64_array(&mut out, &s.scales);
+            }
+            JobKind::LockRange(s) => {
+                out.push_str(&format!(
+                    ",\"r\":{},\"l\":{},\"c\":{},\"i_sat\":{},\"gain\":{},\"n\":{}",
+                    json::fmt_f64(s.r),
+                    json::fmt_f64(s.l),
+                    json::fmt_f64(s.c),
+                    json::fmt_f64(s.i_sat),
+                    json::fmt_f64(s.gain),
+                    s.n
+                ));
+                out.push_str(",\"vi\":");
+                push_f64_array(&mut out, &s.vis);
+            }
+        }
+        if let Some(d) = self.deadline_s {
+            out.push_str(&format!(",\"deadline_s\":{}", json::fmt_f64(d)));
+        }
+        if let Some(t) = self.item_timeout_s {
+            out.push_str(&format!(",\"item_timeout_s\":{}", json::fmt_f64(t)));
+        }
+        if self.max_retries > 0 {
+            out.push_str(&format!(",\"max_retries\":{}", self.max_retries));
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_f64_array(out: &mut String, xs: &[f64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::fmt_f64(*x));
+    }
+    out.push(']');
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker (also the parked state a drained or
+    /// crashed-over job returns to, ready for restart recovery).
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; per-item outcomes (including failures) are in
+    /// `results.jsonl` and `worst`/`exit_code` summarize them.
+    Done,
+    /// The job could not run at all (spec failed to compile on re-read,
+    /// checkpoint was locked/corrupt, internal error).
+    Failed,
+    /// Cancelled by the client.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses [`JobState::as_str`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// Whether the job will make no further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// The persisted, queryable status of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Job id (also the directory name).
+    pub id: u64,
+    /// Job kind name.
+    pub kind: String,
+    /// Lifecycle position.
+    pub state: JobState,
+    /// Total sweep items.
+    pub items: usize,
+    /// Items that produced a usable value (terminal states only).
+    pub ok: usize,
+    /// Worst per-item outcome (terminal states only).
+    pub worst: Option<ItemOutcome>,
+    /// Items restored from the checkpoint instead of recomputed, for the
+    /// most recent run (diagnostic; excluded from result bytes).
+    pub restored: usize,
+    /// Failure detail for [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// A fresh queued status.
+    pub fn queued(id: u64, kind: &str, items: usize) -> Self {
+        JobStatus {
+            id,
+            kind: kind.to_string(),
+            state: JobState::Queued,
+            items,
+            ok: 0,
+            worst: None,
+            restored: 0,
+            error: None,
+        }
+    }
+
+    /// The process exit code equivalent of this status (what `shil-cli`
+    /// would exit with for the same outcome taxonomy).
+    pub fn exit_code(&self) -> u8 {
+        match self.state {
+            JobState::Failed => 1,
+            JobState::Cancelled => ItemOutcome::Cancelled.exit_code(),
+            _ => self.worst.map_or(0, ItemOutcome::exit_code),
+        }
+    }
+
+    /// Renders the status document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":");
+        json::push_str(&mut out, JOB_SCHEMA);
+        out.push_str(&format!(",\"id\":{},\"kind\":", self.id));
+        json::push_str(&mut out, &self.kind);
+        out.push_str(",\"state\":");
+        json::push_str(&mut out, self.state.as_str());
+        out.push_str(&format!(
+            ",\"items\":{},\"ok\":{},\"restored\":{}",
+            self.items, self.ok, self.restored
+        ));
+        out.push_str(",\"worst\":");
+        match self.worst {
+            Some(w) => json::push_str(&mut out, w.as_str()),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(",\"exit_code\":{}", self.exit_code()));
+        out.push_str(",\"error\":");
+        match &self.error {
+            Some(e) => json::push_str(&mut out, e),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a persisted status document.
+    pub fn parse(text: &str) -> Option<JobStatus> {
+        let doc = json::parse(text)?;
+        if doc.get("schema").and_then(Json::as_str) != Some(JOB_SCHEMA) {
+            return None;
+        }
+        Some(JobStatus {
+            id: doc.get("id")?.as_u64()?,
+            kind: doc.get("kind")?.as_str()?.to_string(),
+            state: JobState::parse(doc.get("state")?.as_str()?)?,
+            items: doc.get("items")?.as_u64()? as usize,
+            ok: doc.get("ok")?.as_u64()? as usize,
+            worst: match doc.get("worst") {
+                Some(Json::Str(s)) => Some(ItemOutcome::parse(s)?),
+                _ => None,
+            },
+            restored: doc.get("restored").and_then(Json::as_u64).unwrap_or(0) as usize,
+            error: match doc.get("error") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            },
+        })
+    }
+}
+
+/// Writes `content` to `path` atomically (tmp + rename), so a crash never
+/// leaves a half-written document where readers expect a whole one.
+pub fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// One deterministic result line for item `index`.
+///
+/// `x_key`/`x` name the swept coordinate (`scale` or `vi`); `values` are
+/// the item's result vector when successful. Lines carry the exact bits
+/// (`"bits"`) besides the human-readable numbers, and deliberately exclude
+/// wall time and restored flags — the byte-identity oracle.
+pub fn item_line(
+    index: usize,
+    x_key: &str,
+    x: f64,
+    outcome: ItemOutcome,
+    tries: u32,
+    values: Option<&[f64]>,
+    error: Option<&str>,
+) -> String {
+    let mut out = format!("{{\"item\":{index},\"{x_key}\":{}", json::fmt_f64(x));
+    out.push_str(",\"outcome\":");
+    json::push_str(&mut out, outcome.as_str());
+    out.push_str(&format!(",\"tries\":{tries}"));
+    match values {
+        Some(vs) => {
+            out.push_str(",\"v\":");
+            push_f64_array(&mut out, vs);
+            out.push_str(",\"bits\":");
+            json::push_str(&mut out, &shil_circuit::analysis::encode_final_voltages(vs));
+        }
+        None => out.push_str(",\"v\":null"),
+    }
+    if let Some(e) = error {
+        out.push_str(",\"error\":");
+        json::push_str(&mut out, e);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the final `results.jsonl` for a finished sweep: one
+/// [`item_line`] per item plus a deterministic aggregate footer (exact
+/// solver-effort counters; no wall time).
+pub fn result_lines(x_key: &str, xs: &[f64], sweep: &PolicySweep<Vec<f64>>) -> String {
+    let mut out = String::new();
+    for (i, (x, item)) in xs.iter().zip(&sweep.items).enumerate() {
+        out.push_str(&item_line(
+            i,
+            x_key,
+            *x,
+            item.outcome,
+            item.tries,
+            item.value.as_deref(),
+            item.error.as_deref(),
+        ));
+        out.push('\n');
+    }
+    let fallbacks: Vec<String> = sweep
+        .aggregate
+        .fallbacks
+        .iter()
+        .map(|f| f.to_string())
+        .collect();
+    out.push_str(&format!(
+        "{{\"aggregate\":true,\"ok\":{},\"cancelled\":{},\"attempts\":{},\"halvings\":{},\"factorizations\":{},\"reuses\":{},\"fallbacks\":[",
+        sweep.ok_count(),
+        sweep.cancelled,
+        sweep.aggregate.attempts,
+        sweep.aggregate.halvings,
+        sweep.aggregate.factorizations,
+        sweep.aggregate.reuses,
+    ));
+    for (i, f) in fallbacks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str(&mut out, f.as_str());
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders the *partial* per-item view of a running job from its
+/// checkpoint records — the streaming results a client polls before the
+/// job finishes. Completed items render exactly as they will in the final
+/// `results.jsonl` (same [`item_line`]); items still pending are absent.
+pub fn partial_lines(x_key: &str, xs: &[f64], checkpoint_text: &str) -> String {
+    let mut records: BTreeMap<usize, CheckpointRecord> = BTreeMap::new();
+    for line in checkpoint_text.lines().skip(1) {
+        if let Some(rec) = CheckpointRecord::from_line(line) {
+            records.insert(rec.index, rec);
+        }
+    }
+    let mut out = String::new();
+    for (i, rec) in &records {
+        let Some(x) = xs.get(*i) else { continue };
+        let values = if rec.outcome.is_success() {
+            decode_final_voltages(&rec.payload)
+        } else {
+            None
+        };
+        out.push_str(&item_line(
+            *i,
+            x_key,
+            *x,
+            rec.outcome,
+            rec.tries,
+            values.as_deref(),
+            None,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_body() -> String {
+        r#"{"kind":"sweep","netlist":"V1 in 0 DC 10\nR1 in out 3k\nR2 out 0 1k\nC1 out 0 1n\n.end\n","dt":1e-7,"stop":1e-5,"probes":["out"],"scales":[0.5,1.0],"item_timeout_s":30,"max_retries":1}"#
+            .to_string()
+    }
+
+    #[test]
+    fn sweep_spec_round_trips_through_json() {
+        let spec = JobSpec::from_json(&sweep_body()).unwrap();
+        assert_eq!(spec.items(), 2);
+        assert_eq!(spec.max_retries, 1);
+        assert_eq!(spec.item_timeout_s, Some(30.0));
+        let again = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn lockrange_spec_round_trips_and_validates() {
+        let body = r#"{"kind":"lockrange","r":1000.0,"l":1e-5,"c":1e-8,"i_sat":1e-3,"gain":20.0,"n":3,"vi":[0.01,0.03]}"#;
+        let spec = JobSpec::from_json(body).unwrap();
+        assert_eq!(spec.items(), 2);
+        let again = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+        for bad in [
+            r#"{"kind":"lockrange","r":0,"l":1e-5,"c":1e-8,"i_sat":-1e-3,"gain":20,"n":3,"vi":[0.01]}"#,
+            r#"{"kind":"lockrange","r":1000,"l":1e-5,"c":1e-8,"i_sat":1e-3,"gain":20,"n":1,"vi":[0.01]}"#,
+            r#"{"kind":"lockrange","r":1000,"l":1e-5,"c":1e-8,"i_sat":1e-3,"gain":20,"n":3,"vi":[]}"#,
+        ] {
+            assert!(JobSpec::from_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn bad_submissions_get_actionable_errors() {
+        let e = JobSpec::from_json("not json").unwrap_err();
+        assert!(e.contains("JSON"), "{e}");
+        let e = JobSpec::from_json(r#"{"kind":"mystery"}"#).unwrap_err();
+        assert!(e.contains("unknown job kind"), "{e}");
+        // A netlist typo surfaces with line/column context at submission.
+        let body = sweep_body().replace("3k", "3q");
+        let e = JobSpec::from_json(&body).unwrap_err();
+        assert!(e.contains("line 2, col 11"), "{e}");
+        // Unknown probes are caught at submission too.
+        let body = sweep_body().replace("\"out\"", "\"nope\"");
+        let e = JobSpec::from_json(&body).unwrap_err();
+        assert!(e.contains("unknown probe node"), "{e}");
+    }
+
+    #[test]
+    fn status_round_trips_and_maps_exit_codes() {
+        let mut st = JobStatus::queued(7, "sweep", 3);
+        assert_eq!(st.exit_code(), 0);
+        st.state = JobState::Done;
+        st.ok = 2;
+        st.worst = Some(ItemOutcome::TimedOut);
+        st.restored = 1;
+        let parsed = JobStatus::parse(&st.to_json()).unwrap();
+        assert_eq!(parsed, st);
+        assert_eq!(parsed.exit_code(), ItemOutcome::TimedOut.exit_code());
+        st.state = JobState::Failed;
+        st.error = Some("boom".into());
+        let parsed = JobStatus::parse(&st.to_json()).unwrap();
+        assert_eq!(parsed.exit_code(), 1);
+        assert_eq!(parsed.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn item_lines_have_no_wall_time_or_restored_markers() {
+        let line = item_line(0, "scale", 0.5, ItemOutcome::Ok, 1, Some(&[2.5]), None);
+        assert!(!line.contains("wall"), "{line}");
+        assert!(!line.contains("restored"), "{line}");
+        assert!(line.contains("\"bits\""), "{line}");
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(doc.get("outcome").unwrap().as_str(), Some("ok"));
+    }
+}

@@ -1,0 +1,50 @@
+//! `shil-serve` — a crash-tolerant HTTP job service over the SHIL
+//! analysis stack.
+//!
+//! Clients `POST` netlist-sweep or lock-range jobs as JSON, receive a job
+//! id, poll status, and stream per-item results as JSONL. The service is
+//! built for *unattended* operation:
+//!
+//! - **Bounded everything**: admission-controlled work queue (429 +
+//!   `Retry-After` past capacity), request head/body caps, and an
+//!   LRU-bounded pre-characterization cache shared across requests —
+//!   offered load never translates into unbounded memory.
+//! - **Policy-mapped execution**: job deadlines, per-item timeouts and
+//!   retries become a [`shil_runtime::SweepPolicy`]; a panicking item is
+//!   isolated and classified, never a crashed worker.
+//! - **Graceful drain**: `SIGTERM` (via `shil-cli serve`) or
+//!   `POST /drain` stops admissions, lets running jobs finish within a
+//!   grace period, then parks stragglers back to `Queued` with their
+//!   checkpoints intact.
+//! - **Restart recovery**: on startup, jobs that were queued or running
+//!   when the previous process died — including by `SIGKILL` — are
+//!   re-enqueued and resume from their checkpoints, producing final
+//!   results **byte-identical** to an uninterrupted run.
+//!
+//! The HTTP layer is std-only (no TLS, `Connection: close`), intended for
+//! localhost tooling or deployment behind a reverse proxy.
+//!
+//! # API
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness (200 while the process runs) |
+//! | `GET /readyz` | readiness (503 once draining) |
+//! | `GET /metrics` | Prometheus text exposition of [`shil_observe`] |
+//! | `POST /jobs` | submit a job (202 / 400 / 413 / 429 / 503) |
+//! | `GET /jobs` | all job statuses |
+//! | `GET /jobs/<id>` | one job's status |
+//! | `GET /jobs/<id>/results` | final or partial JSONL results |
+//! | `POST /jobs/<id>/cancel` | cancel a queued or running job |
+//! | `POST /drain` | stop admissions (readiness goes 503) |
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod server;
+
+pub use client::{request, Response};
+pub use job::{JobKind, JobSpec, JobState, JobStatus, LockRangeSpec};
+pub use queue::{QueueFull, WorkQueue};
+pub use server::{Server, ServerConfig};

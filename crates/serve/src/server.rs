@@ -1,0 +1,733 @@
+//! The job server: HTTP front-end, bounded work queue, worker pool,
+//! graceful drain and restart recovery.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!            POST /jobs                    worker pops
+//!   client ───────────────► Queued ───────────────────► Running
+//!                             │  ▲                        │
+//!               cancel        │  │ drain/crash requeue    │ finishes
+//!                             ▼  └────────────────────────┤
+//!                         Cancelled                       ▼
+//!                                              Done / Failed
+//! ```
+//!
+//! - **Admission control**: the queue is bounded; a submission beyond
+//!   capacity gets `429 Too Many Requests` with `Retry-After`, and its
+//!   on-disk trace is rolled back. Memory use never grows with offered
+//!   load.
+//! - **Graceful drain**: `drain()` (wired to `SIGTERM` by `shil-cli
+//!   serve`) stops admissions (`/readyz` → 503, `POST /jobs` → 503),
+//!   gives running jobs a grace period to finish, then cancels them
+//!   cooperatively. A cancelled-by-drain job is parked back to `Queued`
+//!   with its checkpoint intact — the *checkpoint-on-shutdown* path.
+//! - **Restart recovery**: on startup every persisted job directory is
+//!   scanned; jobs that were `Queued` or `Running` when the previous
+//!   process died (even by `SIGKILL`) are re-enqueued past the admission
+//!   bound. Their checkpoints make the re-run skip completed items, so
+//!   the final `results.jsonl` is byte-identical to an uninterrupted run.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use shil_circuit::analysis::{decode_final_voltages, encode_final_voltages, SweepEngine};
+use shil_circuit::{CircuitError, SolveReport};
+use shil_core::cache::PrecharCache;
+use shil_core::nonlinearity::NegativeTanh;
+use shil_core::oscillator::Oscillator;
+use shil_core::tank::ParallelRlc;
+use shil_runtime::{Budget, CancelToken, CheckpointFile};
+
+use crate::http::{read_request, respond, ReadOutcome, Request};
+use crate::job::{self, JobKind, JobSpec, JobState, JobStatus};
+use crate::queue::WorkQueue;
+
+/// How a [`Server`] is shaped. `Default` suits tests and local tooling.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Root of the persisted state (`<data_dir>/jobs/<id>/…`).
+    pub data_dir: PathBuf,
+    /// Admission bound: queued jobs beyond this are shed with 429.
+    pub queue_capacity: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// HTTP acceptor threads.
+    pub http_threads: usize,
+    /// Entry bound of the shared pre-characterization cache.
+    pub cache_entries: usize,
+    /// Largest accepted request body, bytes.
+    pub max_body_bytes: usize,
+    /// How long [`Server::drain`] waits for running jobs before cancelling
+    /// them (they park back to `Queued` for restart recovery).
+    pub drain_grace: Duration,
+    /// Threads each sweep fans out to (`None` → one per core).
+    pub sweep_threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: PathBuf::from("shil-serve-data"),
+            queue_capacity: 64,
+            workers: 2,
+            http_threads: 2,
+            cache_entries: 64,
+            max_body_bytes: 1 << 20,
+            drain_grace: Duration::from_secs(5),
+            sweep_threads: None,
+        }
+    }
+}
+
+/// One job's live state.
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    dir: PathBuf,
+    cancel: CancelToken,
+    user_cancelled: AtomicBool,
+    status: Mutex<JobStatus>,
+}
+
+impl Job {
+    fn status(&self) -> MutexGuard<'_, JobStatus> {
+        self.status
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Persists the current status atomically. A persistence failure is
+    /// counted, not fatal — the in-memory view stays authoritative while
+    /// the process lives.
+    fn persist_status(&self) {
+        let doc = self.status().to_json();
+        if job::write_atomic(&self.dir.join("status.json"), &doc).is_err() {
+            shil_observe::incr("shil_serve_status_write_failures_total");
+        }
+    }
+
+    fn set_state(&self, state: JobState) {
+        self.status().state = state;
+        self.persist_status();
+    }
+}
+
+struct ServerInner {
+    config: ServerConfig,
+    jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    queue: WorkQueue,
+    seq: AtomicU64,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    in_flight: AtomicUsize,
+    cache: PrecharCache,
+}
+
+impl ServerInner {
+    fn jobs(&self) -> MutexGuard<'_, BTreeMap<u64, Arc<Job>>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs().get(&id).cloned()
+    }
+
+    fn jobs_root(&self) -> PathBuf {
+        self.config.data_dir.join("jobs")
+    }
+
+    fn publish_gauges(&self) {
+        shil_observe::gauge_set("shil_serve_queue_depth", self.queue.len() as f64);
+        shil_observe::gauge_set(
+            "shil_serve_in_flight",
+            self.in_flight.load(Ordering::Relaxed) as f64,
+        );
+        shil_observe::gauge_set(
+            "shil_serve_draining",
+            if self.draining.load(Ordering::Relaxed) {
+                1.0
+            } else {
+                0.0
+            },
+        );
+    }
+}
+
+/// A running job service. Dropping the handle does *not* stop the server;
+/// call [`Server::shutdown`] (or [`Server::drain`] first for a graceful
+/// stop).
+pub struct Server {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, recovers persisted jobs, and starts the HTTP and worker
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and data-directory I/O failures.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        // A long-running service wants its metrics on; the registry is a
+        // process-wide switch that defaults to off for library users.
+        shil_observe::set_enabled(true);
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        std::fs::create_dir_all(config.data_dir.join("jobs"))?;
+
+        let inner = Arc::new(ServerInner {
+            queue: WorkQueue::new(config.queue_capacity),
+            cache: PrecharCache::bounded(config.cache_entries),
+            jobs: Mutex::new(BTreeMap::new()),
+            seq: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            config,
+        });
+        recover_jobs(&inner)?;
+        inner.publish_gauges();
+
+        // The bound address is persisted so out-of-process clients (tests,
+        // the CI smoke job) can find a port-0 server.
+        job::write_atomic(&inner.config.data_dir.join("addr.txt"), &addr.to_string())?;
+
+        let mut threads = Vec::new();
+        for t in 0..inner.config.http_threads.max(1) {
+            let inner = Arc::clone(&inner);
+            let listener = listener.try_clone()?;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("shil-serve-http-{t}"))
+                    .spawn(move || http_loop(&inner, &listener))?,
+            );
+        }
+        for t in 0..inner.config.workers {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("shil-serve-worker-{t}"))
+                    .spawn(move || worker_loop(&inner))?,
+            );
+        }
+        Ok(Server {
+            inner,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound socket address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the server has stopped admitting work.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Relaxed)
+    }
+
+    /// Stops admissions, then waits up to `drain_grace` for running jobs
+    /// to finish; stragglers are cancelled cooperatively and park back to
+    /// `Queued` (checkpoint intact) for the next process to resume.
+    pub fn drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.publish_gauges();
+        let deadline = Instant::now() + self.inner.config.drain_grace;
+        while self.inner.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if self.inner.in_flight.load(Ordering::SeqCst) > 0 {
+            for jb in self.inner.jobs().values() {
+                if jb.status().state == JobState::Running
+                    && !jb.user_cancelled.load(Ordering::SeqCst)
+                {
+                    jb.cancel.cancel();
+                }
+            }
+        }
+    }
+
+    /// Graceful stop: [`Server::drain`], then join every thread. Running
+    /// jobs have either finished or been parked back to `Queued` with
+    /// their status persisted by the time this returns.
+    pub fn shutdown(self) {
+        self.drain();
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.queue.wake_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.inner.publish_gauges();
+    }
+}
+
+/// Re-registers persisted jobs. Jobs that were `Queued` or `Running` when
+/// the previous process died are parked to `Queued` and re-enqueued
+/// *past* the admission bound: work admitted once is never shed.
+fn recover_jobs(inner: &Arc<ServerInner>) -> io::Result<()> {
+    let mut max_id = 0u64;
+    let mut resume: Vec<u64> = Vec::new();
+    for entry in std::fs::read_dir(inner.jobs_root())? {
+        let dir = entry?.path();
+        let Some(id) = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        max_id = max_id.max(id);
+        let spec_text = std::fs::read_to_string(dir.join("spec.json")).unwrap_or_default();
+        let status_text = std::fs::read_to_string(dir.join("status.json")).unwrap_or_default();
+        let mut status =
+            JobStatus::parse(&status_text).unwrap_or_else(|| JobStatus::queued(id, "unknown", 0));
+        let spec = match JobSpec::from_json(&spec_text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                // Unreadable spec: the job can never run again; make that
+                // visible rather than silently dropping the directory.
+                if !status.state.is_terminal() {
+                    status.state = JobState::Failed;
+                    status.error = Some(format!("unrecoverable spec: {e}"));
+                    let _ = job::write_atomic(&dir.join("status.json"), &status.to_json());
+                    shil_observe::incr("shil_serve_jobs_failed_total");
+                }
+                continue;
+            }
+        };
+        let requeue = !status.state.is_terminal();
+        if requeue {
+            status.state = JobState::Queued;
+            job::write_atomic(&dir.join("status.json"), &status.to_json())?;
+        }
+        let jb = Arc::new(Job {
+            id,
+            spec,
+            dir,
+            cancel: CancelToken::new(),
+            user_cancelled: AtomicBool::new(false),
+            status: Mutex::new(status),
+        });
+        inner.jobs().insert(id, jb);
+        if requeue {
+            resume.push(id);
+            shil_observe::incr("shil_serve_jobs_recovered_total");
+        }
+    }
+    resume.sort_unstable();
+    for id in resume {
+        inner.queue.force_push(id);
+    }
+    inner.seq.store(max_id + 1, Ordering::SeqCst);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front-end
+// ---------------------------------------------------------------------------
+
+fn http_loop(inner: &Arc<ServerInner>, listener: &TcpListener) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        let (mut stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        shil_observe::incr("shil_serve_http_requests_total");
+        let (status, content_type, extra, body) =
+            match read_request(&mut stream, inner.config.max_body_bytes) {
+                ReadOutcome::Request(req) => handle(inner, &req),
+                ReadOutcome::BodyTooLarge => (
+                    413,
+                    "application/json",
+                    Vec::new(),
+                    format!(
+                        "{{\"error\":\"body exceeds {} bytes\"}}",
+                        inner.config.max_body_bytes
+                    ),
+                ),
+                ReadOutcome::Malformed => (
+                    400,
+                    "application/json",
+                    Vec::new(),
+                    "{\"error\":\"malformed request\"}".into(),
+                ),
+                ReadOutcome::Disconnected => continue,
+            };
+        let _ = respond(&mut stream, status, content_type, &extra, body.as_bytes());
+    }
+}
+
+type Reply = (u16, &'static str, Vec<(&'static str, String)>, String);
+
+fn json_reply(status: u16, body: String) -> Reply {
+    (status, "application/json", Vec::new(), body)
+}
+
+fn error_reply(status: u16, msg: &str) -> Reply {
+    let mut body = String::from("{\"error\":");
+    shil_runtime::json::push_str(&mut body, msg);
+    body.push('}');
+    json_reply(status, body)
+}
+
+fn handle(inner: &Arc<ServerInner>, req: &Request) -> Reply {
+    let path = req.path.split('?').next().unwrap_or("");
+    let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+    match (req.method.as_str(), parts.as_slice()) {
+        ("GET", ["healthz"]) => (200, "text/plain", Vec::new(), "ok\n".into()),
+        ("GET", ["readyz"]) => {
+            if inner.draining.load(Ordering::SeqCst) {
+                (503, "text/plain", Vec::new(), "draining\n".into())
+            } else {
+                (200, "text/plain", Vec::new(), "ready\n".into())
+            }
+        }
+        ("GET", ["metrics"]) => {
+            inner.publish_gauges();
+            (
+                200,
+                "text/plain",
+                Vec::new(),
+                shil_observe::to_prometheus(&shil_observe::snapshot()),
+            )
+        }
+        ("GET", ["jobs"]) => {
+            let jobs = inner.jobs();
+            let mut body = String::from("[");
+            for (i, jb) in jobs.values().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&jb.status().to_json());
+            }
+            body.push(']');
+            json_reply(200, body)
+        }
+        ("POST", ["jobs"]) => submit(inner, &req.body),
+        ("GET", ["jobs", id]) => match parse_id(id).and_then(|id| inner.job(id)) {
+            Some(jb) => json_reply(200, jb.status().to_json()),
+            None => error_reply(404, "no such job"),
+        },
+        ("GET", ["jobs", id, "results"]) => match parse_id(id).and_then(|id| inner.job(id)) {
+            Some(jb) => results(&jb),
+            None => error_reply(404, "no such job"),
+        },
+        ("POST", ["jobs", id, "cancel"]) => match parse_id(id).and_then(|id| inner.job(id)) {
+            Some(jb) => cancel(inner, &jb),
+            None => error_reply(404, "no such job"),
+        },
+        ("POST", ["drain"]) => {
+            inner.draining.store(true, Ordering::SeqCst);
+            inner.publish_gauges();
+            (202, "text/plain", Vec::new(), "draining\n".into())
+        }
+        ("GET" | "POST", _) => error_reply(404, "no such route"),
+        _ => error_reply(405, "method not allowed"),
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+fn submit(inner: &Arc<ServerInner>, body: &[u8]) -> Reply {
+    if inner.draining.load(Ordering::SeqCst) {
+        shil_observe::incr("shil_serve_jobs_rejected_total");
+        let mut reply = error_reply(503, "server is draining; resubmit elsewhere or later");
+        reply.2.push(("Retry-After", "5".into()));
+        return reply;
+    }
+    let Ok(text) = std::str::from_utf8(body) else {
+        return error_reply(400, "body is not UTF-8");
+    };
+    let spec = match JobSpec::from_json(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            shil_observe::incr("shil_serve_jobs_rejected_total");
+            return error_reply(400, &e);
+        }
+    };
+
+    let id = inner.seq.fetch_add(1, Ordering::SeqCst);
+    let dir = inner.jobs_root().join(id.to_string());
+    let status = JobStatus::queued(id, spec.kind.name(), spec.items());
+    if std::fs::create_dir_all(&dir).is_err()
+        || job::write_atomic(&dir.join("spec.json"), &spec.to_json()).is_err()
+        || job::write_atomic(&dir.join("status.json"), &status.to_json()).is_err()
+    {
+        let _ = std::fs::remove_dir_all(&dir);
+        return error_reply(500, "could not persist job");
+    }
+    let jb = Arc::new(Job {
+        id,
+        spec,
+        dir: dir.clone(),
+        cancel: CancelToken::new(),
+        user_cancelled: AtomicBool::new(false),
+        status: Mutex::new(status),
+    });
+    inner.jobs().insert(id, Arc::clone(&jb));
+
+    // Admission control: persisted first, pushed second, rolled back on
+    // refusal — a 429'd submission leaves no trace in memory or on disk.
+    match inner.queue.try_push(id) {
+        Ok(_) => {
+            shil_observe::incr("shil_serve_jobs_submitted_total");
+            inner.publish_gauges();
+            json_reply(202, jb.status().to_json())
+        }
+        Err(full) => {
+            inner.jobs().remove(&id);
+            let _ = std::fs::remove_dir_all(&dir);
+            shil_observe::incr("shil_serve_jobs_shed_total");
+            inner.publish_gauges();
+            let mut reply =
+                error_reply(429, &format!("queue full ({} jobs waiting)", full.capacity));
+            reply.2.push(("Retry-After", "1".into()));
+            reply
+        }
+    }
+}
+
+fn results(jb: &Arc<Job>) -> Reply {
+    let final_path = jb.dir.join("results.jsonl");
+    if let Ok(text) = std::fs::read_to_string(&final_path) {
+        return (200, "application/jsonl", Vec::new(), text);
+    }
+    // No final file yet: stream the completed prefix out of the
+    // checkpoint. Lines render exactly as they will in the final file.
+    let (x_key, xs): (&str, &[f64]) = match &jb.spec.kind {
+        JobKind::Sweep(s) => ("scale", &s.scales),
+        JobKind::LockRange(s) => ("vi", &s.vis),
+    };
+    let checkpoint = std::fs::read_to_string(jb.dir.join("checkpoint.jsonl")).unwrap_or_default();
+    let body = job::partial_lines(x_key, xs, &checkpoint);
+    (
+        200,
+        "application/jsonl",
+        vec![("X-Shil-Partial", "true".into())],
+        body,
+    )
+}
+
+fn cancel(inner: &Arc<ServerInner>, jb: &Arc<Job>) -> Reply {
+    if jb.status().state.is_terminal() {
+        return json_reply(409, jb.status().to_json());
+    }
+    jb.user_cancelled.store(true, Ordering::SeqCst);
+    jb.cancel.cancel();
+    // A still-queued job is finalized here; a running one is finalized by
+    // its worker when the cancellation lands.
+    if inner.queue.remove(jb.id) {
+        jb.set_state(JobState::Cancelled);
+        shil_observe::incr("shil_serve_jobs_cancelled_total");
+        inner.publish_gauges();
+    }
+    json_reply(200, jb.status().to_json())
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(inner: &Arc<ServerInner>) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        if inner.draining.load(Ordering::SeqCst) {
+            // Queued jobs stay parked (status already `queued` on disk) so
+            // the next process picks them up; just wait for stop.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        let Some(id) = inner.queue.pop_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
+        let Some(jb) = inner.job(id) else { continue };
+        if jb.user_cancelled.load(Ordering::SeqCst) {
+            jb.set_state(JobState::Cancelled);
+            shil_observe::incr("shil_serve_jobs_cancelled_total");
+            continue;
+        }
+        inner.in_flight.fetch_add(1, Ordering::SeqCst);
+        inner.publish_gauges();
+        // Item-level panics are isolated inside the sweep engine; this
+        // guards the job-level plumbing so a worker thread never dies.
+        if let Err(panic_msg) = shil_runtime::isolate(|| run_job(inner, &jb)) {
+            let mut st = jb.status();
+            st.state = JobState::Failed;
+            st.error = Some(format!("job runner panicked: {panic_msg}"));
+            drop(st);
+            jb.persist_status();
+            shil_observe::incr("shil_serve_jobs_failed_total");
+        }
+        inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+        inner.publish_gauges();
+    }
+}
+
+fn run_job(inner: &Arc<ServerInner>, jb: &Arc<Job>) {
+    jb.set_state(JobState::Running);
+    let engine = SweepEngine::new(inner.config.sweep_threads);
+    let policy = jb.spec.policy();
+    let budget = Budget::unlimited().with_token(jb.cancel.clone());
+
+    let outcome: Result<(Vec<f64>, shil_circuit::analysis::PolicySweep<Vec<f64>>), String> =
+        match &jb.spec.kind {
+            JobKind::Sweep(spec) => match spec.compile() {
+                Ok(compiled) => {
+                    match CheckpointFile::open(
+                        &jb.dir.join("checkpoint.jsonl"),
+                        &compiled.fingerprint(),
+                        compiled.len(),
+                    ) {
+                        Ok(cp) => Ok((
+                            spec.scales.clone(),
+                            compiled.run(&engine, &policy, &budget, Some(&cp)),
+                        )),
+                        Err(e) => Err(format!("checkpoint unavailable: {e}")),
+                    }
+                }
+                Err(e) => Err(format!("spec no longer compiles: {e}")),
+            },
+            JobKind::LockRange(spec) => run_lockrange(inner, jb, &engine, &policy, &budget, spec),
+        };
+
+    match outcome {
+        Err(error) => {
+            let mut st = jb.status();
+            st.state = JobState::Failed;
+            st.error = Some(error);
+            drop(st);
+            jb.persist_status();
+            shil_observe::incr("shil_serve_jobs_failed_total");
+        }
+        Ok((xs, sweep)) => finalize(inner, jb, &xs, &sweep),
+    }
+}
+
+fn run_lockrange(
+    inner: &Arc<ServerInner>,
+    jb: &Arc<Job>,
+    engine: &SweepEngine,
+    policy: &shil_runtime::SweepPolicy,
+    budget: &Budget,
+    spec: &crate::job::LockRangeSpec,
+) -> Result<(Vec<f64>, shil_circuit::analysis::PolicySweep<Vec<f64>>), String> {
+    let tank = ParallelRlc::new(spec.r, spec.l, spec.c).map_err(|e| e.to_string())?;
+    let osc = Oscillator::new(NegativeTanh::new(spec.i_sat, spec.gain), tank);
+    let mut inputs = vec![
+        spec.r,
+        spec.l,
+        spec.c,
+        spec.i_sat,
+        spec.gain,
+        f64::from(spec.n),
+    ];
+    inputs.extend_from_slice(&spec.vis);
+    let fp = shil_runtime::checkpoint::fingerprint("shil-serve/lockrange", &inputs);
+    let cp = CheckpointFile::open(&jb.dir.join("checkpoint.jsonl"), &fp, spec.vis.len())
+        .map_err(|e| format!("checkpoint unavailable: {e}"))?;
+    let n = spec.n;
+    let cache = &inner.cache;
+    let sweep = engine.run_checkpointed(
+        &spec.vis,
+        policy,
+        budget,
+        Some(&cp),
+        |_, &vi, _| {
+            let lock = osc
+                .shil_cached(n, vi, cache)
+                .and_then(|a| a.lock_range())
+                .map_err(|e| CircuitError::InvalidRequest(e.to_string()))?;
+            Ok((
+                vec![
+                    lock.lower_injection_hz,
+                    lock.upper_injection_hz,
+                    lock.injection_span_hz,
+                    lock.amplitude_at_center,
+                ],
+                SolveReport::new(),
+            ))
+        },
+        |v| encode_final_voltages(v),
+        decode_final_voltages,
+    );
+    Ok((spec.vis.clone(), sweep))
+}
+
+/// Classifies a finished sweep into the job's terminal (or re-queued)
+/// state and persists results.
+fn finalize(
+    inner: &Arc<ServerInner>,
+    jb: &Arc<Job>,
+    xs: &[f64],
+    sweep: &shil_circuit::analysis::PolicySweep<Vec<f64>>,
+) {
+    // The job's own cancel token fires for exactly two reasons: a client
+    // cancel, or a drain that ran out of grace. Everything else (deadline,
+    // per-item outcomes) is a regular completion.
+    if jb.cancel.is_cancelled() {
+        if jb.user_cancelled.load(Ordering::SeqCst) {
+            jb.set_state(JobState::Cancelled);
+            shil_observe::incr("shil_serve_jobs_cancelled_total");
+        } else {
+            // Checkpoint-on-shutdown: completed items are on disk; park the
+            // job for the next process to resume.
+            jb.set_state(JobState::Queued);
+            shil_observe::incr("shil_serve_jobs_requeued_total");
+        }
+        return;
+    }
+    let lines = job::result_lines(
+        match &jb.spec.kind {
+            JobKind::Sweep(_) => "scale",
+            JobKind::LockRange(_) => "vi",
+        },
+        xs,
+        sweep,
+    );
+    if let Err(e) = job::write_atomic(&jb.dir.join("results.jsonl"), &lines) {
+        let mut st = jb.status();
+        st.state = JobState::Failed;
+        st.error = Some(format!("could not persist results: {e}"));
+        drop(st);
+        jb.persist_status();
+        shil_observe::incr("shil_serve_jobs_failed_total");
+        return;
+    }
+    let mut st = jb.status();
+    st.state = JobState::Done;
+    st.ok = sweep.ok_count();
+    st.worst = Some(shil_runtime::ItemOutcome::worst(
+        sweep.items.iter().map(|i| i.outcome),
+    ));
+    st.restored = sweep.items.iter().filter(|i| i.restored).count();
+    drop(st);
+    jb.persist_status();
+    shil_observe::incr("shil_serve_jobs_completed_total");
+    let _ = inner;
+}

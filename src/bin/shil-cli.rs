@@ -23,6 +23,24 @@
 //! structure, and `auto` (the default) chooses from the point count. All
 //! backends produce bit-identical results.
 //!
+//! `sweep` exits with the worst per-item outcome's code from the
+//! six-way `shil_runtime::ItemOutcome` taxonomy: `0` ok, `10` degraded,
+//! `11` failed, `12` timed out, `13` panicked, `14` cancelled (`1` and `2`
+//! stay reserved for I/O errors and usage errors respectively).
+//!
+//! ```text
+//! shil-cli serve [--addr <ip:port>] [--data-dir <dir>] [--queue <n>]
+//!          [--workers <n>] [--http-threads <n>] [--cache <entries>]
+//!          [--max-body <bytes>] [--grace <s>] [--sweep-threads <n>]
+//! ```
+//!
+//! `serve` runs the crash-tolerant HTTP job service (`shil_serve`): it
+//! prints `listening <addr>` on stdout (and persists it to
+//! `<data-dir>/addr.txt`), then serves until `SIGTERM`/`SIGINT`, at which
+//! point it drains gracefully — running jobs get `--grace` seconds to
+//! finish, stragglers park back to the queue with their checkpoints and
+//! resume bit-identically on the next start.
+//!
 //! Global flags (any subcommand):
 //!
 //! - `--quiet` — suppress progress events on stderr (errors still show;
@@ -38,12 +56,14 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use shil::circuit::analysis::{
-    ac_impedance, operating_point, transient, AcOptions, BackendChoice, OpOptions, SweepEngine,
-    TranOptions,
+    ac_impedance, operating_point, transient, AcOptions, BackendChoice, NetlistSweepSpec,
+    OpOptions, SweepEngine, TranOptions,
 };
 use shil::circuit::{netlist, Circuit, SolveReport};
 use shil::observe::{self, EventLog, RunManifest};
-use shil::runtime::{checkpoint, Budget, CheckpointFile, SweepPolicy};
+use shil::runtime::shutdown::{install_shutdown_handler, shutdown_requested};
+use shil::runtime::{Budget, CheckpointFile, ItemOutcome, SweepPolicy};
+use shil::serve::{Server, ServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -52,7 +72,10 @@ fn usage() -> ExitCode {
          --port <a> <b> --from <hz> --to <hz> [--points <n>] [--csv <out>]\n  shil-cli sweep \
          <file.cir> --dt <s> --stop <s> --probe <node> [--probe <node>] --scale <k[,k...]> \
          [--backend scalar|batched|auto] [--threads <n>] [--timeout <s>] [--item-timeout <s>] \
-         [--retries <n>] [--checkpoint [path]] [--resume] [--csv <out>]\n\
+         [--retries <n>] [--checkpoint [path]] [--resume] [--csv <out>]\n  shil-cli serve \
+         [--addr <ip:port>] [--data-dir <dir>] [--queue <n>] [--workers <n>] \
+         [--http-threads <n>] [--cache <entries>] [--max-body <bytes>] [--grace <s>] \
+         [--sweep-threads <n>]\n\
          global flags: [--quiet] [--metrics-out [path]] [--events-out [path]]"
     );
     ExitCode::from(2)
@@ -153,7 +176,13 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String], log: &EventLog) -> ExitCode {
-    let (Some(cmd), Some(file)) = (args.first(), args.get(1)) else {
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    if cmd == "serve" {
+        return serve_cmd(&args[1..], log);
+    }
+    let Some(file) = args.get(1) else {
         return usage();
     };
     let Ok(ckt) = load(file, log) else {
@@ -263,16 +292,6 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                 log.error("sweep_needs_probe", &[]);
                 return ExitCode::from(2);
             }
-            let mut probe_ids = Vec::new();
-            for p in &probes {
-                match ckt.find_node(p) {
-                    Some(id) => probe_ids.push(id),
-                    None => {
-                        log.error("unknown_probe_node", &[("node", p.as_str().into())]);
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
             let scales: Vec<f64> = flag_values(rest, "--scale")
                 .iter()
                 .flat_map(|v| v.split(','))
@@ -307,6 +326,26 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                     .unwrap_or(0),
                 ..SweepPolicy::default()
             };
+            // The declarative spec is the same validated path `shil-cli
+            // serve` jobs run through; compiling it front-loads netlist,
+            // probe and grid errors.
+            let Ok(text) = std::fs::read_to_string(file) else {
+                return ExitCode::FAILURE;
+            };
+            let spec = NetlistSweepSpec {
+                netlist: text,
+                dt,
+                stop,
+                probes: probes.clone(),
+                scales: scales.clone(),
+            };
+            let compiled = match spec.compile() {
+                Ok(c) => c,
+                Err(e) => {
+                    log.error("sweep_spec_invalid", &[("error", e.to_string().into())]);
+                    return ExitCode::FAILURE;
+                }
+            };
             let resume = rest.iter().any(|a| a == "--resume");
             let checkpoint_path = optional_path(
                 rest,
@@ -320,10 +359,8 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                         let _ = std::fs::remove_file(path);
                     }
                     // The checkpoint is bound to the sweep's exact inputs:
-                    // time grid and scale factors.
-                    let mut inputs = vec![dt, stop];
-                    inputs.extend_from_slice(&scales);
-                    let fp = checkpoint::fingerprint("shil-cli/sweep", &inputs);
+                    // netlist text, time grid and scale factors.
+                    let fp = compiled.fingerprint();
                     match CheckpointFile::open(path.as_ref(), &fp, scales.len()) {
                         Ok(cp) => Some(cp),
                         Err(e) => {
@@ -352,30 +389,13 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                     ),
                 ],
             );
-            let sweep = SweepEngine::new(threads)
-                .with_backend(backend)
-                .run_checkpointed_tran(
-                    &scales,
-                    &policy,
-                    &Budget::unlimited(),
-                    checkpoint_file.as_ref(),
-                    |_, &scale, item_budget| {
-                        let scaled = ckt.scale_sources(scale);
-                        let opts = TranOptions::new(dt, stop)
-                            .with_budget(item_budget.clone())
-                            .with_step_retry_budget(policy.step_retry_budget);
-                        (scaled, opts)
-                    },
-                    |_, _, res| {
-                        let finals: Vec<f64> = probe_ids
-                            .iter()
-                            .map(|&id| *res.node_voltage(id).expect("probed node").last().unwrap())
-                            .collect();
-                        Ok((finals, res.report))
-                    },
-                    |finals: &Vec<f64>| encode_voltages(finals),
-                    decode_voltages,
-                );
+            let engine = SweepEngine::new(threads).with_backend(backend);
+            let sweep = compiled.run(
+                &engine,
+                &policy,
+                &Budget::unlimited(),
+                checkpoint_file.as_ref(),
+            );
             log.info(
                 "sweep_finished",
                 &[
@@ -411,12 +431,14 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                 out.push('\n');
             }
             out.push_str(&aggregate_line(&sweep.aggregate, sweep.ok_count()));
-            let all_ok = sweep.ok_count() == scales.len() && !sweep.cancelled;
+            // Exit with the worst item's outcome from the six-way taxonomy
+            // (0 ok, 10 degraded, 11 failed, 12 timed out, 13 panicked,
+            // 14 cancelled); emit failures keep their own code.
+            let worst = ItemOutcome::worst(sweep.items.iter().map(|i| i.outcome));
             let emitted = emit(rest, &out, log);
-            if all_ok {
-                emitted
-            } else {
-                ExitCode::FAILURE
+            match worst {
+                ItemOutcome::Ok => emitted,
+                other => ExitCode::from(other.exit_code()),
             }
         }
         "ac" => {
@@ -479,21 +501,54 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
     }
 }
 
-/// Checkpoint payload for a sweep item: the exact bits of each probe's
-/// final voltage, `:`-joined, so restored values are bit-identical.
-fn encode_voltages(finals: &[f64]) -> String {
-    finals
-        .iter()
-        .map(|v| format!("{:016x}", v.to_bits()))
-        .collect::<Vec<_>>()
-        .join(":")
-}
-
-fn decode_voltages(payload: &str) -> Option<Vec<f64>> {
-    payload
-        .split(':')
-        .map(|s| u64::from_str_radix(s, 16).ok().map(f64::from_bits))
-        .collect()
+/// Runs the HTTP job service until a shutdown signal arrives, then drains
+/// gracefully (running jobs get `--grace` seconds, stragglers park back to
+/// the queue with their checkpoints for the next start to resume).
+fn serve_cmd(rest: &[String], log: &EventLog) -> ExitCode {
+    let num = |flag: &str, default: usize| {
+        flag_value(rest, flag)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(default)
+    };
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: flag_value(rest, "--addr").unwrap_or(defaults.addr),
+        data_dir: flag_value(rest, "--data-dir")
+            .map_or(defaults.data_dir, std::path::PathBuf::from),
+        queue_capacity: num("--queue", defaults.queue_capacity),
+        workers: num("--workers", defaults.workers),
+        http_threads: num("--http-threads", defaults.http_threads),
+        cache_entries: num("--cache", defaults.cache_entries),
+        max_body_bytes: num("--max-body", defaults.max_body_bytes),
+        drain_grace: flag_value(rest, "--grace")
+            .and_then(|v| v.parse::<f64>().ok())
+            .map_or(defaults.drain_grace, Duration::from_secs_f64),
+        sweep_threads: flag_value(rest, "--sweep-threads").and_then(|v| v.parse::<usize>().ok()),
+    };
+    install_shutdown_handler();
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            log.error("serve_start_failed", &[("error", e.to_string().into())]);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Out-of-process clients discover a port-0 bind from this line (and
+    // from <data-dir>/addr.txt).
+    println!("listening {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    log.info(
+        "serve_started",
+        &[("addr", server.addr().to_string().into())],
+    );
+    while !shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    log.info("serve_draining", &[]);
+    server.shutdown();
+    log.info("serve_stopped", &[]);
+    ExitCode::SUCCESS
 }
 
 /// The deterministic whole-sweep footer: solver-effort counters that are

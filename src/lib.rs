@@ -17,6 +17,9 @@
 //! - [`runtime`] — execution control: deadlines and cooperative cancellation
 //!   ([`runtime::Budget`]), panic isolation, sweep retry policy, and durable
 //!   checkpoint/resume for long-running sweeps.
+//! - [`serve`] — a crash-tolerant HTTP job service over the stack:
+//!   bounded admission, per-job deadlines, graceful drain, and
+//!   checkpoint-backed restart recovery (`shil-cli serve`).
 //! - [`plot`] — ASCII/SVG/CSV rendering of the graphical procedure.
 //!
 //! # Quickstart
@@ -50,4 +53,5 @@ pub use shil_numerics as numerics;
 pub use shil_observe as observe;
 pub use shil_plot as plot;
 pub use shil_runtime as runtime;
+pub use shil_serve as serve;
 pub use shil_waveform as waveform;

@@ -1,0 +1,209 @@
+//! Out-of-process lifecycle tests for `shil-cli serve`: a server killed
+//! with `SIGKILL` mid-job recovers on restart and produces results
+//! byte-identical to an uninterrupted run, and `SIGTERM` drains cleanly
+//! with exit code 0.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use shil::runtime::json::{self, Json};
+use shil::serve::client;
+
+const SERVE_BIN: &str = env!("CARGO_BIN_EXE_shil-cli");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("shil-serve-lifecycle-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_server(data_dir: &Path) -> Child {
+    Command::new(SERVE_BIN)
+        .args([
+            "serve",
+            "--workers",
+            "1",
+            "--sweep-threads",
+            "1",
+            "--grace",
+            "1",
+            "--quiet",
+            "--data-dir",
+        ])
+        .arg(data_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn shil-cli serve")
+}
+
+/// Waits for the server to advertise its bound address in
+/// `<data_dir>/addr.txt` and answer `/healthz`.
+fn wait_addr(data_dir: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(data_dir.join("addr.txt")) {
+            if client::request(&addr, "GET", "/healthz", None)
+                .map(|r| r.status == 200)
+                .unwrap_or(false)
+            {
+                return addr;
+            }
+        }
+        assert!(Instant::now() < deadline, "server never came up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn sweep_body() -> &'static str {
+    // 8 items × 100k transient steps: long enough that a mid-job kill is
+    // realistic, short enough for CI.
+    r#"{"kind":"sweep","netlist":"V1 in 0 DC 10\nR1 in out 3k\nR2 out 0 1k\nC1 out 0 1n\n.end\n","dt":1e-7,"stop":1e-2,"probes":["out"],"scales":[0.25,0.5,0.75,1.0,1.25,1.5,1.75,2.0]}"#
+}
+
+fn submit(addr: &str, body: &str) -> u64 {
+    let resp = client::request(addr, "POST", "/jobs", Some(body)).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    json::parse(&resp.body)
+        .and_then(|d| d.get("id").and_then(Json::as_u64))
+        .expect("job id")
+}
+
+fn wait_done(addr: &str, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client::request(addr, "GET", &format!("/jobs/{id}"), None).expect("status");
+        let state = json::parse(&resp.body)
+            .and_then(|d| d.get("state").and_then(Json::as_str).map(str::to_string))
+            .unwrap_or_default();
+        match state.as_str() {
+            "done" => return,
+            "failed" | "cancelled" => panic!("job {id} ended {state}: {}", resp.body),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in `{state}`");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn checkpoint_records(data_dir: &Path, id: u64) -> usize {
+    std::fs::read_to_string(data_dir.join(format!("jobs/{id}/checkpoint.jsonl")))
+        .map(|t| t.lines().count().saturating_sub(1))
+        .unwrap_or(0)
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_is_byte_identical_to_clean_run() {
+    // Reference: uninterrupted run.
+    let clean_dir = temp_dir("clean");
+    let mut clean = spawn_server(&clean_dir);
+    let clean_addr = wait_addr(&clean_dir);
+    let id = submit(&clean_addr, sweep_body());
+    wait_done(&clean_addr, id);
+    let clean_results =
+        std::fs::read(clean_dir.join(format!("jobs/{id}/results.jsonl"))).expect("clean results");
+    clean.kill().expect("kill clean server");
+    let _ = clean.wait();
+
+    // Crash: SIGKILL the server once the job has checkpointed some items.
+    let dir = temp_dir("crash");
+    let mut first = spawn_server(&dir);
+    let addr = wait_addr(&dir);
+    let id = submit(&addr, sweep_body());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while checkpoint_records(&dir, id) < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint records before kill"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    first.kill().expect("SIGKILL server"); // Child::kill is SIGKILL
+    let _ = first.wait();
+    let interrupted = !dir.join(format!("jobs/{id}/results.jsonl")).exists();
+
+    // Restart over the same data dir: the job is recovered, resumed from
+    // its checkpoint, and finishes with byte-identical results.
+    let second = spawn_server(&dir);
+    let addr = wait_addr(&dir);
+    wait_done(&addr, id);
+    if interrupted {
+        let status = client::request(&addr, "GET", &format!("/jobs/{id}"), None)
+            .expect("status")
+            .body;
+        let restored = json::parse(&status)
+            .and_then(|d| d.get("restored").and_then(Json::as_u64))
+            .unwrap_or(0);
+        assert!(restored >= 2, "expected restored items, got: {status}");
+    }
+    let resumed_results =
+        std::fs::read(dir.join(format!("jobs/{id}/results.jsonl"))).expect("resumed results");
+    assert_eq!(
+        resumed_results, clean_results,
+        "post-SIGKILL resumed results differ from an uninterrupted run"
+    );
+
+    // SIGTERM drains the second server cleanly: exit code 0.
+    terminate(&second);
+    let mut second = second;
+    let status = wait_exit(&mut second, Duration::from_secs(30));
+    assert!(status.success(), "drain exit was {status:?}");
+}
+
+#[test]
+fn sigterm_parks_running_job_for_the_next_server() {
+    let dir = temp_dir("drain");
+    let first = spawn_server(&dir);
+    let addr = wait_addr(&dir);
+    let id = submit(&addr, sweep_body());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while checkpoint_records(&dir, id) < 1 {
+        assert!(Instant::now() < deadline, "no checkpoint records");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    terminate(&first);
+    let mut first = first;
+    let status = wait_exit(&mut first, Duration::from_secs(30));
+    assert!(status.success(), "SIGTERM exit was {status:?}");
+    // The interrupted job was parked, not lost: `queued` if the drain
+    // grace expired mid-run, `done` if it finished within the grace.
+    let persisted = std::fs::read_to_string(dir.join(format!("jobs/{id}/status.json")))
+        .expect("persisted status");
+    assert!(
+        persisted.contains("\"queued\"") || persisted.contains("\"done\""),
+        "{persisted}"
+    );
+
+    let second = spawn_server(&dir);
+    let addr = wait_addr(&dir);
+    wait_done(&addr, id);
+    terminate(&second);
+    let mut second = second;
+    assert!(wait_exit(&mut second, Duration::from_secs(30)).success());
+}
+
+fn terminate(child: &Child) {
+    let ok = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("send SIGTERM")
+        .success();
+    assert!(ok, "kill failed");
+}
+
+fn wait_exit(child: &mut Child, timeout: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("server did not exit after SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
