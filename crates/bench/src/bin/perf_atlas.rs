@@ -1,0 +1,181 @@
+//! P06 — Arnold-tongue atlas engine vs. the naive dense sweep.
+//!
+//! Maps the paper's tanh LC oscillator under n = 3 sub-harmonic injection
+//! over (injection amplitude × frequency) twice at equal cores: once with
+//! the adaptive `AtlasEngine` (coarse grid → boundary-only refinement,
+//! warm-started and early-exiting interior cells), once as the naive
+//! cold-start dense reference (every pixel, full horizon). The dense
+//! verdict grid doubles as the correctness oracle: boundary pixels —
+//! everything the adaptive map simulated at the finest level — must
+//! classify identically, and the mismatch count lands in the JSON for the
+//! CI `atlas-smoke` job to assert on.
+//!
+//! ```text
+//! perf_atlas [--quick] [--nx <n>] [--ny <n>] [--threads <n>] [--out <path>]
+//! ```
+//!
+//! `--quick` runs the 16×16 smoke map (seconds); the full run is the
+//! 128×128 acceptance map from the ISSUE, where the adaptive engine must
+//! clear a ≥5× wall-clock speedup. Writes `results/BENCH_atlas.json`.
+
+use shil::circuit::analysis::{AtlasSpec, SweepEngine};
+use shil::observe::RunManifest;
+use shil::runtime::{Budget, SweepPolicy};
+use shil_bench::{obs, results_dir, timed};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let obs = obs::init("perf_atlas");
+    let log = &obs.log;
+
+    let (nx_default, ny_default, coarse) = if quick { (16, 16, 4) } else { (128, 128, 8) };
+    let num = |flag: &str, default: usize| {
+        flag_value(&args, flag)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(default)
+    };
+    let (nx, ny) = (num("--nx", nx_default), num("--ny", ny_default));
+    let mut spec = AtlasSpec::paper_oscillator(nx, ny, coarse);
+    if quick {
+        // Smoke fidelity: enough periods for the coprime windows plus
+        // confirmation streaks, same physics, seconds not minutes.
+        spec.steps_per_period = 48;
+        spec.horizon_periods = 240;
+    }
+    let compiled = spec.compile().expect("atlas spec");
+    let threads = flag_value(&args, "--threads").and_then(|v| v.parse::<usize>().ok());
+    let engine = SweepEngine::new(threads);
+    let policy = SweepPolicy::default();
+    let cores = shil::core::shil::effective_parallelism(threads);
+
+    let mut manifest = RunManifest::start("perf_atlas");
+    manifest.push_config("quick", quick);
+    manifest.push_config("nx", nx as u64);
+    manifest.push_config("ny", ny as u64);
+    manifest.push_config("coarse", spec.coarse as u64);
+    manifest.push_config("cores", cores as u64);
+    log.info(
+        "perf_atlas_started",
+        &[
+            ("quick", quick.into()),
+            ("pixels", (compiled.pixels() as u64).into()),
+            ("coarse", (spec.coarse as u64).into()),
+            ("cores", (cores as u64).into()),
+        ],
+    );
+
+    let (map, t_adaptive) =
+        timed(|| compiled.run(&engine, &policy, &Budget::unlimited(), None, None));
+    let st = map.stats;
+    assert!(!map.cancelled, "adaptive map was cancelled");
+    assert_eq!(st.errors, 0, "adaptive map had failing cells");
+    log.info(
+        "adaptive_mapped",
+        &[
+            ("wall_s", t_adaptive.as_secs_f64().into()),
+            ("passes", (st.passes as u64).into()),
+            ("items_simulated", (st.items_simulated as u64).into()),
+            ("naive_items", (st.naive_items as u64).into()),
+            ("steps_run", st.steps_run.into()),
+            ("naive_steps", st.naive_steps.into()),
+            ("early_exits", (st.early_exits as u64).into()),
+            ("warm_starts", (st.warm_starts as u64).into()),
+            ("warm_start_hits", (st.warm_start_hits as u64).into()),
+            ("locked", (map.locked_count() as u64).into()),
+        ],
+    );
+
+    let ((reference, ref_errors), t_dense) =
+        timed(|| compiled.run_dense_reference(&engine, &policy, &Budget::unlimited()));
+    assert_eq!(ref_errors, 0, "dense reference had failing pixels");
+    let boundary_mismatches = map.boundary_mismatches(&reference);
+    let total_mismatches = map.total_mismatches(&reference);
+    let speedup = t_dense.as_secs_f64() / t_adaptive.as_secs_f64();
+    log.info(
+        "dense_reference_mapped",
+        &[
+            ("wall_s", t_dense.as_secs_f64().into()),
+            ("speedup", speedup.into()),
+            ("boundary_mismatches", (boundary_mismatches as u64).into()),
+            ("total_mismatches", (total_mismatches as u64).into()),
+        ],
+    );
+
+    // The acceptance oracle: the finest two refinement levels run the exact
+    // reference protocol, so boundary verdicts are identical by
+    // construction — at any map size.
+    assert_eq!(
+        boundary_mismatches, 0,
+        "boundary pixels must classify identically to the dense reference"
+    );
+    // The wall-clock bar is the ISSUE's 128×128 acceptance criterion; the
+    // 16×16 smoke map is too small to amortize the coarse pass and is
+    // gated on correctness only.
+    if !quick {
+        assert!(
+            speedup >= 5.0,
+            "adaptive atlas must be ≥5× the dense sweep, got {speedup:.2}×"
+        );
+    }
+
+    let warm_hit_rate = if st.warm_starts > 0 {
+        st.warm_start_hits as f64 / st.warm_starts as f64
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\n  \"quick\": {},\n  \"cores\": {},\n  \"nx\": {},\n  \"ny\": {},\n  \
+         \"coarse\": {},\n  \"pixels\": {},\n  \"passes\": {},\n  \
+         \"items_simulated\": {},\n  \"naive_items\": {},\n  \
+         \"items_saved_frac\": {:.4},\n  \"steps_run\": {},\n  \
+         \"steps_budgeted\": {},\n  \"naive_steps\": {},\n  \
+         \"steps_saved_frac\": {:.4},\n  \"early_exits\": {},\n  \
+         \"warm_starts\": {},\n  \"warm_start_hits\": {},\n  \
+         \"warm_start_hit_rate\": {:.4},\n  \"cold_fallbacks\": {},\n  \
+         \"locked\": {},\n  \"adaptive_wall_s\": {:.6e},\n  \
+         \"dense_wall_s\": {:.6e},\n  \"speedup\": {:.3},\n  \
+         \"boundary_mismatches\": {},\n  \"total_mismatches\": {}\n}}\n",
+        quick,
+        cores,
+        nx,
+        ny,
+        spec.coarse,
+        compiled.pixels(),
+        st.passes,
+        st.items_simulated,
+        st.naive_items,
+        1.0 - st.items_simulated as f64 / st.naive_items as f64,
+        st.steps_run,
+        st.steps_budgeted,
+        st.naive_steps,
+        1.0 - st.steps_run as f64 / st.naive_steps as f64,
+        st.early_exits,
+        st.warm_starts,
+        st.warm_start_hits,
+        warm_hit_rate,
+        st.cold_fallbacks,
+        map.locked_count(),
+        t_adaptive.as_secs_f64(),
+        t_dense.as_secs_f64(),
+        speedup,
+        boundary_mismatches,
+        total_mismatches,
+    );
+    let out_path = flag_value(&args, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("BENCH_atlas.json"));
+    std::fs::write(&out_path, json).expect("write json");
+    log.info(
+        "artifact_written",
+        &[("path", out_path.display().to_string().into())],
+    );
+    obs.write_manifest(manifest);
+}

@@ -26,7 +26,10 @@
 //! bitwise identity between the two — `--lanes <k>` overrides the lane
 //! width; and a dense-vs-sparse per-step ladder across system sizes, the
 //! measurement behind `SolverKind::Auto`'s crossover. Both land in the
-//! JSON as `batched` and `auto_crossover`.
+//! JSON as `batched` and `auto_crossover`. A second ladder over small
+//! systems (9–25 unknowns) times the bypass certificate against plain
+//! refactorization, pinning the `TranOptions::REUSE_MIN_DIM` crossover; it
+//! lands as `reuse_threshold`.
 //!
 //! Writes `results/BENCH_tran.json` for regression tracking. Pass
 //! `--quick` for a seconds-scale smoke run (same fields, shorter
@@ -89,7 +92,13 @@ fn tran_options(
         .with_ic(kick_node, params.vcc + 0.05)
         .with_budget(harness_budget());
     opts.solver = solver;
-    if !reuse {
+    if reuse {
+        // The reuse configs measure the certificate machinery itself, so
+        // force it on even below `REUSE_MIN_DIM` (the production default
+        // would skip it for the 9-unknown paper circuit — the regression
+        // the `reuse_threshold` ladder quantifies).
+        opts = opts.with_reuse_min_dim(0);
+    } else {
         opts.reuse_tolerance = 0.0;
     }
     opts
@@ -252,6 +261,80 @@ fn bench_crossover(
             }
         })
         .collect()
+}
+
+/// One rung of the `reuse_min_dim` threshold ladder: per-step time with the
+/// bypass certificate forced on (`with_reuse_min_dim(0)`) vs forced off
+/// (threshold above every size, so the solver refactorizes each iteration)
+/// at one small-system size. This is the measurement behind
+/// `TranOptions::REUSE_MIN_DIM` — at the paper scale the certificate's
+/// `A·x` residual check costs more than a tiny LU, and the ladder pins the
+/// crossover the default threshold sits on.
+struct ReuseThresholdPoint {
+    unknowns: usize,
+    certificate_us: f64,
+    skip_us: f64,
+}
+
+fn bench_reuse_threshold(
+    log: &EventLog,
+    params: DiffPairParams,
+    f_inj: f64,
+    periods: f64,
+    reps: usize,
+) -> Vec<ReuseThresholdPoint> {
+    // Ladder sections add two unknowns each: 9, 11, 13, 17, 25 — bracketing
+    // the default threshold from both sides.
+    [0usize, 1, 2, 4, 8]
+        .iter()
+        .map(|&sections| {
+            let (ckt, node) = injected_diff_pair(params, f_inj, sections);
+            let unknowns = MnaStructure::new(&ckt).size();
+            let mut us = [0.0f64; 2];
+            for (slot, min_dim) in [0usize, usize::MAX].into_iter().enumerate() {
+                // `Auto` picks the production backend at each size (dense
+                // below the sparse crossover), so every rung measures the
+                // configuration the threshold actually gates.
+                let opts = tran_options(params, f_inj, node, periods, SolverKind::Auto, true)
+                    .with_reuse_min_dim(min_dim);
+                let res = transient(&ckt, &opts).expect("transient");
+                let t = median_secs(reps, || {
+                    std::hint::black_box(transient(&ckt, &opts).expect("transient"));
+                });
+                us[slot] = 1e6 * t / res.report.attempts as f64;
+            }
+            log.info(
+                "reuse_threshold_point",
+                &[
+                    ("unknowns", (unknowns as u64).into()),
+                    ("certificate_us_per_step", us[0].into()),
+                    ("skip_us_per_step", us[1].into()),
+                ],
+            );
+            ReuseThresholdPoint {
+                unknowns,
+                certificate_us: us[0],
+                skip_us: us[1],
+            }
+        })
+        .collect()
+}
+
+fn json_reuse_threshold(points: &[ReuseThresholdPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{ \"unknowns\": {}, \"certificate_us\": {:.4}, \"skip_us\": {:.4} }}",
+                p.unknowns, p.certificate_us, p.skip_us
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"min_dim\": {},\n    \"ladder\": [\n      {}\n    ]\n  }}",
+        TranOptions::REUSE_MIN_DIM,
+        rows.join(",\n      ")
+    )
 }
 
 fn json_crossover(points: &[CrossoverPoint]) -> String {
@@ -454,10 +537,12 @@ fn main() {
     );
 
     let crossover = bench_crossover(log, params, f_inj, periods.min(60.0), reps);
+    let reuse_threshold = bench_reuse_threshold(log, params, f_inj, periods.min(60.0), reps);
 
     let json = format!(
         "{{\n  \"cores\": {},\n  \"quick\": {},\n  \"diff_pair\": {},\n  \
-         \"loaded_diff_pair\": {},\n  \"auto_crossover\": {},\n  \"sweep25_points\": 25,\n  \
+         \"loaded_diff_pair\": {},\n  \"auto_crossover\": {},\n  \
+         \"reuse_threshold\": {},\n  \"sweep25_points\": 25,\n  \
          \"sweep25_serial_dense_s\": {:.6e},\n  \
          \"sweep25_parallel_sparse_s\": {:.6e},\n  \"sweep25_speedup\": {:.3},\n  \
          \"batched\": {{\n    \"lanes\": {},\n    \"block_size\": {},\n    \
@@ -470,6 +555,7 @@ fn main() {
         json_circuit(&paper_bench),
         json_circuit(&loaded_bench),
         json_crossover(&crossover),
+        json_reuse_threshold(&reuse_threshold),
         t_serial,
         t_parallel,
         t_serial / t_parallel,

@@ -53,8 +53,8 @@ use crate::report::{Analysis, FallbackKind, SolveReport};
 use crate::trace::TranResult;
 
 use super::tran::{
-    advance, cancelled_err, inf_norm, run_steps_from, tran_init, transient, validate_options,
-    TranInit, TranOptions, Workspace,
+    advance, cancelled_err, effective_eta, inf_norm, run_steps_from, tran_init, transient,
+    validate_options, TranInit, TranOptions, Workspace,
 };
 
 /// Statistics of one batched block, surfaced as `shil_sweep_batch_*`
@@ -450,11 +450,7 @@ fn run_lanes(
                 }
             }
         };
-        let eta = if opts.reuse_tolerance.is_finite() {
-            opts.reuse_tolerance
-        } else {
-            0.0
-        };
+        let eta = effective_eta(&opts, n);
         let solver = BypassSolver::new(SparseSolver::new(pattern.clone())).with_tolerance(eta);
         let mut report = SolveReport::new();
         let init = match tran_init(&ckt, &opts, &structure, &mut report) {

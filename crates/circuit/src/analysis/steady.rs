@@ -1,0 +1,723 @@
+//! Early lock/steady-state detection for injection-locking transients.
+//!
+//! The Arnold-tongue atlas workload classifies each (amplitude × frequency)
+//! grid cell as *locked* or *unlocked*. A cold classification integrates a
+//! long fixed horizon — hundreds of sub-harmonic periods — and inspects the
+//! tail. Most of that horizon is wasted: a locked oscillator settles onto
+//! the injection-referred phase within a few ring-up time constants, and a
+//! strongly unlocked one shows its beat almost immediately. This module
+//! cuts the transient off as soon as the verdict is *stable*.
+//!
+//! # Detector design (bounded false positives)
+//!
+//! The detector tracks the windowed phasor of a probe node against the
+//! sub-harmonic reference `f_ref = f_inj / n`: over a window of `W`
+//! reference periods it correlates the recorded samples with
+//! `cos(2π f_ref t)` / `sin(2π f_ref t)` and compares the phase of the
+//! current window with the phase of the immediately preceding *disjoint*
+//! window. A locked tone sits at exactly `f_ref`, so its window-to-window
+//! phase drift is zero; an unlocked oscillator beats at
+//! `Δf = f_osc − f_ref`, advancing the measured phase by `2π·Δf·W/f_ref`
+//! per window — unless that advance aliases to a whole number of turns.
+//!
+//! Aliasing is why a single window cannot bound false positives. Two
+//! windows of **coprime** lengths `W₁ = 20` and `W₂ = 13` periods close the
+//! gap: for a beat to hide it must alias in *both* windows simultaneously,
+//! i.e. `W₁·δ` and `W₂·δ` must both sit within `ε = tol/2π` turns of an
+//! integer (`δ = Δf/f_ref`). But `W₂·(W₁δ − j) − W₁·(W₂δ − k) = W₁k − W₂j`
+//! is an integer of magnitude at most `W₂ε + W₁ε = 33ε < 1` for the default
+//! tolerance, forcing `W₁k = W₂j` and hence (coprimality) `j = W₁m`,
+//! `k = W₂m`, i.e. `δ` within `ε/W₂` of an integer. **Any beat with
+//! `|Δf mod f_ref| > f_ref·tol/(2π·13)` therefore produces a
+//! super-tolerance drift in at least one window** — a beat can only
+//! masquerade as lock if it is essentially a full reference frequency,
+//! far outside the injection-locking operating band.
+//!
+//! On top of the per-evaluation bound sits a confirmation streak: the
+//! locked verdict requires `confirm` consecutive agreeing evaluations
+//! (spaced one reference period apart), each also requiring the envelope
+//! amplitude to be alive and stable. The unlocked early exit is stricter
+//! still — it requires a *stable, reproducible* beat (consecutive drift
+//! estimates agreeing in both windows) over a longer streak, so decaying
+//! ring-up drift never triggers it.
+//!
+//! The same single-evaluation classifier, [`classify_tail`], is applied to
+//! the final windows of full-horizon reference runs, so the accelerated
+//! path and the dense cold-start reference share one canonical notion of
+//! "locked" by construction.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use shil_numerics::solver::{BypassSolver, DenseSolver, LinearSolver};
+use shil_numerics::sparse::{SparseMatrix, SparseSolver};
+use shil_numerics::Matrix;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::CircuitError;
+use crate::mna::{sparse_pattern, MnaStructure};
+use crate::report::{Analysis, SolveReport};
+use crate::trace::TranResult;
+
+use super::tran::{
+    effective_eta, run_steps_from, tran_init, validate_options, SolverKind, TranInit, TranOptions,
+    Workspace,
+};
+
+/// The two coprime phasor-window lengths, in reference periods.
+pub const DEFAULT_WINDOWS: (usize, usize) = (20, 13);
+
+/// Classification of an injection-locking transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockVerdict {
+    /// The probe tone sits at the sub-harmonic reference: phase drift below
+    /// tolerance in both coprime windows, envelope alive and stable.
+    Locked,
+    /// A beat (or a dead oscillation) — the probe is not phase-locked to
+    /// the reference.
+    Unlocked,
+}
+
+impl LockVerdict {
+    /// `true` for [`LockVerdict::Locked`].
+    pub fn is_locked(self) -> bool {
+        matches!(self, LockVerdict::Locked)
+    }
+
+    /// Stable lowercase name, used in checkpoint payloads and JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockVerdict::Locked => "locked",
+            LockVerdict::Unlocked => "unlocked",
+        }
+    }
+
+    /// Inverse of [`LockVerdict::name`].
+    pub fn parse(s: &str) -> Option<LockVerdict> {
+        match s {
+            "locked" => Some(LockVerdict::Locked),
+            "unlocked" => Some(LockVerdict::Unlocked),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning for the steady-state/lock detector.
+#[derive(Debug, Clone)]
+pub struct SteadyOptions {
+    /// Sub-harmonic reference frequency the phasor windows correlate
+    /// against (`f_inj / n` for divide-by-`n` locking).
+    pub f_ref: f64,
+    /// Coprime window lengths in reference periods. Both must be ≥ 2 and
+    /// their pair coprime for the aliasing bound to hold.
+    pub windows: (usize, usize),
+    /// Max |phase drift| per window, in radians, for a "locked" evaluation.
+    pub phase_tol: f64,
+    /// Max relative envelope change per window for a "locked" evaluation.
+    pub amp_ratio_tol: f64,
+    /// Correlation-amplitude floor below which the oscillation does not
+    /// count as alive (no verdict is formed while the envelope is below
+    /// it; a dead tail classifies as unlocked).
+    pub min_amplitude: f64,
+    /// Consecutive agreeing evaluations (one reference period apart)
+    /// required to confirm a locked verdict.
+    pub confirm: usize,
+    /// Consecutive *stable-beat* evaluations required for the unlocked
+    /// early exit. Stricter than `confirm` because decaying ring-up drift
+    /// must never be mistaken for a persistent beat.
+    pub unlock_confirm: usize,
+    /// The unlocked streak only counts evaluations whose drift exceeds
+    /// `unlock_factor × phase_tol` in at least one window *and* matches the
+    /// previous estimate to within `phase_tol` in both.
+    pub unlock_factor: f64,
+    /// Reference periods to integrate before the first evaluation.
+    pub min_periods: usize,
+}
+
+impl SteadyOptions {
+    /// Conservative defaults for a sub-harmonic reference at `f_ref` Hz.
+    pub fn for_subharmonic(f_ref: f64) -> Self {
+        SteadyOptions {
+            f_ref,
+            windows: DEFAULT_WINDOWS,
+            phase_tol: 0.02,
+            amp_ratio_tol: 0.02,
+            min_amplitude: 1e-6,
+            confirm: 3,
+            unlock_confirm: 6,
+            unlock_factor: 4.0,
+            min_periods: 60,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CircuitError> {
+        let bad = |msg: String| Err(CircuitError::InvalidParameter(msg));
+        if !(self.f_ref > 0.0 && self.f_ref.is_finite()) {
+            return bad(format!(
+                "f_ref must be positive and finite, got {}",
+                self.f_ref
+            ));
+        }
+        let (w1, w2) = self.windows;
+        if w1 < 2 || w2 < 2 || w1 == w2 {
+            return bad(format!(
+                "windows must be distinct and ≥ 2, got ({w1}, {w2})"
+            ));
+        }
+        if gcd(w1, w2) != 1 {
+            return bad(format!(
+                "window lengths ({w1}, {w2}) must be coprime for the aliasing bound"
+            ));
+        }
+        if !(self.phase_tol > 0.0 && self.phase_tol.is_finite()) {
+            return bad(format!(
+                "phase_tol must be positive, got {}",
+                self.phase_tol
+            ));
+        }
+        if !(self.amp_ratio_tol > 0.0 && self.amp_ratio_tol.is_finite()) {
+            return bad(format!(
+                "amp_ratio_tol must be positive, got {}",
+                self.amp_ratio_tol
+            ));
+        }
+        if !(self.min_amplitude > 0.0 && self.min_amplitude.is_finite()) {
+            return bad(format!(
+                "min_amplitude must be positive, got {}",
+                self.min_amplitude
+            ));
+        }
+        if self.confirm == 0 || self.unlock_confirm == 0 {
+            return bad("confirmation streaks must be at least 1".into());
+        }
+        if !(self.unlock_factor >= 1.0 && self.unlock_factor.is_finite()) {
+            return bad(format!(
+                "unlock_factor must be ≥ 1, got {}",
+                self.unlock_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Windowed phasor of `values` against `f_ref` over times in `(a, b]`:
+/// `(amplitude, phase)` of the best-fit `A·cos(2π f_ref t + φ)`.
+/// Returns `None` when the window holds too few samples to mean anything.
+fn window_phasor(time: &[f64], values: &[f64], f_ref: f64, a: f64, b: f64) -> Option<(f64, f64)> {
+    let lo = time.partition_point(|&t| t <= a);
+    let hi = time.partition_point(|&t| t <= b);
+    let count = hi.saturating_sub(lo);
+    if count < 8 {
+        return None;
+    }
+    let omega = std::f64::consts::TAU * f_ref;
+    let (mut i_sum, mut q_sum) = (0.0f64, 0.0f64);
+    for k in lo..hi {
+        let (s, c) = (omega * time[k]).sin_cos();
+        i_sum += values[k] * c;
+        q_sum -= values[k] * s;
+    }
+    let scale = 2.0 / count as f64;
+    let (i, q) = (i_sum * scale, q_sum * scale);
+    Some((i.hypot(q), q.atan2(i)))
+}
+
+/// Wraps an angle difference to `[-π, π]`.
+fn wrap_angle(d: f64) -> f64 {
+    (d + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU) - std::f64::consts::PI
+}
+
+/// One evaluation of both coprime windows at the end of the recording:
+/// per-window `(drift, amp_now, amp_prev)`, or `None` when there is not yet
+/// enough history (each window needs two disjoint spans).
+fn window_pair(time: &[f64], values: &[f64], opts: &SteadyOptions) -> Option<[(f64, f64, f64); 2]> {
+    let t_end = *time.last()?;
+    let period = 1.0 / opts.f_ref;
+    let mut out = [(0.0, 0.0, 0.0); 2];
+    for (slot, w) in [opts.windows.0, opts.windows.1].into_iter().enumerate() {
+        let span = w as f64 * period;
+        if t_end - time[0] < 2.0 * span {
+            return None;
+        }
+        let (a_now, p_now) = window_phasor(time, values, opts.f_ref, t_end - span, t_end)?;
+        let (a_prev, p_prev) =
+            window_phasor(time, values, opts.f_ref, t_end - 2.0 * span, t_end - span)?;
+        out[slot] = (wrap_angle(p_now - p_prev), a_now, a_prev);
+    }
+    Some(out)
+}
+
+/// Single-evaluation classification used by both the early-exit detector
+/// (per streak entry) and the full-horizon tail classifier.
+fn evaluate_once(pair: &[(f64, f64, f64); 2], opts: &SteadyOptions) -> Option<LockVerdict> {
+    let alive = pair
+        .iter()
+        .all(|&(_, a_now, a_prev)| a_now >= opts.min_amplitude && a_prev >= opts.min_amplitude);
+    if !alive {
+        return None;
+    }
+    let phase_ok = pair.iter().all(|&(d, _, _)| d.abs() <= opts.phase_tol);
+    let amp_ok = pair
+        .iter()
+        .all(|&(_, a_now, a_prev)| (a_now / a_prev - 1.0).abs() <= opts.amp_ratio_tol);
+    if phase_ok && amp_ok {
+        Some(LockVerdict::Locked)
+    } else {
+        Some(LockVerdict::Unlocked)
+    }
+}
+
+/// Canonical full-horizon classifier: one evaluation of the final coprime
+/// windows of a recorded trace. A trace too short for both windows — or
+/// whose envelope has died — is unlocked.
+///
+/// This is the *same* test the early-exit detector confirms over a streak,
+/// so an accelerated run and a dense cold-start reference agree on what
+/// "locked" means by construction.
+pub fn classify_tail(time: &[f64], values: &[f64], opts: &SteadyOptions) -> LockVerdict {
+    match window_pair(time, values, opts)
+        .as_ref()
+        .and_then(|p| evaluate_once(p, opts))
+    {
+        Some(v) => v,
+        None => LockVerdict::Unlocked,
+    }
+}
+
+/// Streaming lock detector: feed it the growing recording after each chunk
+/// of integration; it returns a verdict once one is confirmed stable.
+#[derive(Debug, Clone)]
+pub struct SteadyDetector {
+    opts: SteadyOptions,
+    lock_streak: usize,
+    unlock_streak: usize,
+    last_drift: Option<[f64; 2]>,
+    /// Total evaluations performed (diagnostics).
+    pub evaluations: usize,
+}
+
+impl SteadyDetector {
+    /// Creates a detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for non-coprime windows,
+    /// non-positive tolerances, or zero streak lengths.
+    pub fn new(opts: SteadyOptions) -> Result<Self, CircuitError> {
+        opts.validate()?;
+        Ok(SteadyDetector {
+            opts,
+            lock_streak: 0,
+            unlock_streak: 0,
+            last_drift: None,
+            evaluations: 0,
+        })
+    }
+
+    /// The detector's tuning.
+    pub fn options(&self) -> &SteadyOptions {
+        &self.opts
+    }
+
+    /// Evaluates the detector against the recording so far (`time` and the
+    /// probe `values`, parallel slices). Returns a verdict once confirmed:
+    ///
+    /// - [`LockVerdict::Locked`] after `confirm` consecutive evaluations
+    ///   with sub-tolerance drift in *both* windows and a stable, alive
+    ///   envelope;
+    /// - [`LockVerdict::Unlocked`] after `unlock_confirm` consecutive
+    ///   evaluations showing the *same* super-threshold beat;
+    /// - `None` while undecided (keep integrating).
+    pub fn evaluate(&mut self, time: &[f64], values: &[f64]) -> Option<LockVerdict> {
+        let t_end = *time.last()?;
+        let period = 1.0 / self.opts.f_ref;
+        if t_end - time[0] < self.opts.min_periods as f64 * period {
+            return None;
+        }
+        let pair = window_pair(time, values, &self.opts)?;
+        self.evaluations += 1;
+        let drifts = [pair[0].0, pair[1].0];
+        let verdict = evaluate_once(&pair, &self.opts);
+        match verdict {
+            Some(LockVerdict::Locked) => {
+                self.lock_streak += 1;
+                self.unlock_streak = 0;
+                if self.lock_streak >= self.opts.confirm {
+                    self.last_drift = Some(drifts);
+                    return Some(LockVerdict::Locked);
+                }
+            }
+            Some(LockVerdict::Unlocked) => {
+                self.lock_streak = 0;
+                let strong = drifts
+                    .iter()
+                    .any(|d| d.abs() > self.opts.unlock_factor * self.opts.phase_tol);
+                let stable = self.last_drift.is_some_and(|prev| {
+                    drifts
+                        .iter()
+                        .zip(prev.iter())
+                        .all(|(d, p)| wrap_angle(d - p).abs() <= self.opts.phase_tol)
+                });
+                if strong && stable {
+                    self.unlock_streak += 1;
+                    if self.unlock_streak >= self.opts.unlock_confirm {
+                        self.last_drift = Some(drifts);
+                        return Some(LockVerdict::Unlocked);
+                    }
+                } else {
+                    self.unlock_streak = 0;
+                }
+            }
+            // Envelope not alive yet (or a degenerate window): reset both
+            // streaks — nothing about the final verdict is known.
+            None => {
+                self.lock_streak = 0;
+                self.unlock_streak = 0;
+            }
+        }
+        self.last_drift = Some(drifts);
+        None
+    }
+}
+
+/// Outcome of an early-exit transient.
+#[derive(Debug, Clone)]
+pub struct SteadyRun {
+    /// The confirmed (early exit) or tail-classified (full horizon)
+    /// verdict.
+    pub verdict: LockVerdict,
+    /// The recorded trace up to the exit point. Always recorded from
+    /// `t = 0` (the detector needs the history), regardless of the
+    /// `t_record_start` in the transient options.
+    pub result: TranResult,
+    /// Integration steps actually run.
+    pub steps_run: usize,
+    /// Steps the full horizon would have cost.
+    pub steps_budgeted: usize,
+    /// Whether the detector cut the run short.
+    pub early_exit: bool,
+}
+
+/// Runs a transient with the lock detector in the loop, stopping as soon
+/// as a verdict is confirmed. Chunks the scalar main loop one reference
+/// period at a time and evaluates the detector on the probe node's
+/// recording after each chunk; a run that reaches the full horizon without
+/// a confirmed verdict is classified by [`classify_tail`].
+///
+/// Recording is forced to start at `t = 0` (the detector needs the full
+/// history); `record_every` is honored but must leave at least 8 samples
+/// per reference period.
+///
+/// # Errors
+///
+/// Anything [`transient`](super::transient) can return, plus
+/// [`CircuitError::InvalidParameter`] for detector misconfiguration and
+/// [`CircuitError::InvalidRequest`] for a ground probe.
+pub fn transient_steady(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    probe: NodeId,
+    sopts: &SteadyOptions,
+) -> Result<SteadyRun, CircuitError> {
+    validate_options(opts)?;
+    sopts.validate()?;
+    let mut opts = opts.clone();
+    opts.t_record_start = 0.0;
+
+    let period = 1.0 / sopts.f_ref;
+    let steps_per_period = (period / opts.dt).round() as usize;
+    if steps_per_period / opts.record_every < 8 {
+        return Err(CircuitError::InvalidParameter(format!(
+            "{} recorded samples per reference period is too coarse for the \
+             phasor windows (need ≥ 8)",
+            steps_per_period / opts.record_every
+        )));
+    }
+
+    let start = Instant::now();
+    let structure = MnaStructure::new(ckt);
+    let n = structure.size();
+    let probe_col = structure.node_index(probe).ok_or_else(|| {
+        CircuitError::InvalidRequest("cannot probe the ground node for lock detection".into())
+    })?;
+    let eta = effective_eta(&opts, n);
+    match opts.solver.resolve(n) {
+        SolverKind::Sparse => {
+            let pattern = Arc::new(sparse_pattern(ckt, &structure));
+            let ws = Workspace::new(
+                n,
+                SparseMatrix::zeros(pattern.clone()),
+                SparseMatrix::zeros(pattern.clone()),
+                BypassSolver::new(SparseSolver::new(pattern)).with_tolerance(eta),
+            );
+            steady_impl(
+                ckt,
+                &opts,
+                structure,
+                ws,
+                start,
+                probe_col,
+                sopts,
+                steps_per_period,
+            )
+        }
+        _ => {
+            let ws = Workspace::new(
+                n,
+                Matrix::zeros(n, n),
+                Matrix::zeros(n, n),
+                BypassSolver::new(DenseSolver::new(n)).with_tolerance(eta),
+            );
+            steady_impl(
+                ckt,
+                &opts,
+                structure,
+                ws,
+                start,
+                probe_col,
+                sopts,
+                steps_per_period,
+            )
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn steady_impl<S: LinearSolver>(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    structure: MnaStructure,
+    mut ws: Workspace<S>,
+    start: Instant,
+    probe_col: usize,
+    sopts: &SteadyOptions,
+    steps_per_period: usize,
+) -> Result<SteadyRun, CircuitError> {
+    let mut report = SolveReport::new();
+    let TranInit {
+        mut x,
+        mut state,
+        mut next_state,
+        mut result,
+        steps,
+    } = tran_init(ckt, opts, &structure, &mut report)?;
+
+    let mut detector = SteadyDetector::new(sopts.clone())?;
+    let chunk = steps_per_period.max(1);
+    let mut done = 0usize;
+    let mut verdict = None;
+    while done < steps {
+        let until = (done + chunk).min(steps);
+        run_steps_from(
+            ckt,
+            opts,
+            &structure,
+            &mut ws,
+            &mut x,
+            &mut state,
+            &mut next_state,
+            &mut result,
+            &mut report,
+            done,
+            until,
+        )?;
+        done = until;
+        if done < steps {
+            verdict = detector.evaluate(&result.time, &result.columns[probe_col]);
+            if verdict.is_some() {
+                break;
+            }
+        }
+    }
+    let early_exit = done < steps;
+    let verdict =
+        verdict.unwrap_or_else(|| classify_tail(&result.time, &result.columns[probe_col], sopts));
+
+    report.factorizations = ws.solver.factorizations();
+    report.reuses = ws.solver.reuses();
+    report.wall_time = start.elapsed();
+    report.publish(Analysis::Tran);
+    result.report = report;
+
+    shil_observe::incr("shil_circuit_steady_runs_total");
+    if early_exit {
+        shil_observe::incr("shil_circuit_steady_early_exits_total");
+        shil_observe::counter_add(
+            "shil_circuit_steady_steps_saved_total",
+            (steps - done) as u64,
+        );
+    }
+    Ok(SteadyRun {
+        verdict,
+        result,
+        steps_run: done,
+        steps_budgeted: steps,
+        early_exit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::SourceWave;
+    use crate::IvCurve;
+
+    /// Uniform sampling of `f(t)` over `periods` reference periods.
+    fn sample(
+        f_ref: f64,
+        periods: usize,
+        spp: usize,
+        f: impl Fn(f64) -> f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let dt = 1.0 / (f_ref * spp as f64);
+        let n = periods * spp;
+        let time: Vec<f64> = (0..=n).map(|k| k as f64 * dt).collect();
+        let values = time.iter().map(|&t| f(t)).collect();
+        (time, values)
+    }
+
+    fn opts() -> SteadyOptions {
+        SteadyOptions::for_subharmonic(1.0)
+    }
+
+    #[test]
+    fn locked_tone_confirms_quickly() {
+        let (time, values) = sample(1.0, 120, 64, |t| {
+            1.0 * (std::f64::consts::TAU * t + 0.7).cos()
+        });
+        let mut det = SteadyDetector::new(opts()).unwrap();
+        let mut verdict = None;
+        // Feed period by period, as the chunked driver does.
+        for p in 1..=120 {
+            let end = (p * 64 + 1).min(time.len());
+            verdict = det.evaluate(&time[..end], &values[..end]);
+            if verdict.is_some() {
+                break;
+            }
+        }
+        assert_eq!(verdict, Some(LockVerdict::Locked));
+        assert_eq!(classify_tail(&time, &values, &opts()), LockVerdict::Locked);
+    }
+
+    #[test]
+    fn beat_never_confirms_lock_even_when_one_window_aliases() {
+        // Δf = f_ref / 20 aliases to exactly one turn in the 20-period
+        // window; the 13-period window sees 2π·13/20 wrapped — huge.
+        for delta in [0.05, 0.01, 0.003, 1.0 / 13.0] {
+            let (time, values) = sample(1.0, 240, 64, |t| {
+                (std::f64::consts::TAU * (1.0 + delta) * t).cos()
+            });
+            let mut det = SteadyDetector::new(opts()).unwrap();
+            for p in 1..=240 {
+                let end = (p * 64 + 1).min(time.len());
+                let v = det.evaluate(&time[..end], &values[..end]);
+                assert_ne!(v, Some(LockVerdict::Locked), "false lock at Δf = {delta}");
+                if v.is_some() {
+                    break;
+                }
+            }
+            assert_eq!(
+                classify_tail(&time, &values, &opts()),
+                LockVerdict::Unlocked,
+                "tail classifier fooled at Δf = {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn strong_beat_confirms_unlocked_early() {
+        let (time, values) = sample(1.0, 240, 64, |t| (std::f64::consts::TAU * 1.031 * t).cos());
+        let mut det = SteadyDetector::new(opts()).unwrap();
+        let mut verdict = None;
+        let mut at = 0;
+        for p in 1..=240 {
+            let end = (p * 64 + 1).min(time.len());
+            verdict = det.evaluate(&time[..end], &values[..end]);
+            if verdict.is_some() {
+                at = p;
+                break;
+            }
+        }
+        assert_eq!(verdict, Some(LockVerdict::Unlocked));
+        assert!(at < 200, "unlock exit should beat the horizon, got {at}");
+    }
+
+    #[test]
+    fn dead_signal_never_locks() {
+        let (time, values) = sample(1.0, 160, 64, |t| 1e-12 * (std::f64::consts::TAU * t).cos());
+        let mut det = SteadyDetector::new(opts()).unwrap();
+        for p in 1..=160 {
+            let end = (p * 64 + 1).min(time.len());
+            assert_eq!(det.evaluate(&time[..end], &values[..end]), None);
+        }
+        assert_eq!(
+            classify_tail(&time, &values, &opts()),
+            LockVerdict::Unlocked
+        );
+    }
+
+    #[test]
+    fn rejects_non_coprime_windows() {
+        let mut o = opts();
+        o.windows = (20, 12);
+        assert!(SteadyDetector::new(o).is_err());
+    }
+
+    #[test]
+    fn verdict_names_round_trip() {
+        for v in [LockVerdict::Locked, LockVerdict::Unlocked] {
+            assert_eq!(LockVerdict::parse(v.name()), Some(v));
+        }
+        assert_eq!(LockVerdict::parse("bogus"), None);
+    }
+
+    /// End to end on the real oscillator: injected at the natural frequency
+    /// the tank locks (early), injected far off it beats.
+    #[test]
+    fn transient_steady_classifies_the_tanh_oscillator() {
+        let (r, l, c) = (1000.0f64, 10e-6f64, 10e-9f64);
+        let f0 = 1.0 / (std::f64::consts::TAU * (l * c).sqrt());
+        let build = |f_inj: f64, vi: f64| {
+            let mut ckt = Circuit::new();
+            let top = ckt.node("top");
+            let nl = ckt.node("nl");
+            ckt.resistor(top, 0, r);
+            ckt.inductor(top, 0, l);
+            ckt.capacitor(top, 0, c);
+            ckt.vsource(top, nl, SourceWave::sine(2.0 * vi, f_inj, 0.0));
+            ckt.nonlinear(nl, 0, IvCurve::tanh(-1e-3, 20.0));
+            (ckt, top)
+        };
+        let horizon_periods = 240usize;
+        let spp = 64usize;
+        let run = |f_inj: f64, vi: f64| {
+            let (ckt, top) = build(f_inj, vi);
+            let period = 1.0 / f_inj;
+            let dt = period / spp as f64;
+            let topts = TranOptions::new(dt, horizon_periods as f64 * period)
+                .use_ic()
+                .with_ic(top, 0.1);
+            let sopts = SteadyOptions::for_subharmonic(f_inj);
+            transient_steady(&ckt, &topts, top, &sopts).unwrap()
+        };
+
+        // Strong injection at the natural frequency: locked, early.
+        let locked = run(f0, 0.2);
+        assert_eq!(locked.verdict, LockVerdict::Locked);
+        assert!(locked.early_exit, "lock should confirm before the horizon");
+        assert!(locked.steps_run < locked.steps_budgeted);
+
+        // Weak injection 8% off: the tank free-runs near f0, beating
+        // against the reference.
+        let unlocked = run(f0 * 1.08, 0.005);
+        assert_eq!(unlocked.verdict, LockVerdict::Unlocked);
+    }
+}

@@ -693,6 +693,184 @@ impl SweepEngine {
     }
 }
 
+/// A dependency-aware execution plan for continuation sweeps: items are
+/// grouped into *levels* that run as sequential barriers, and each item may
+/// name one *parent* from an earlier level whose value seeds its warm
+/// start.
+///
+/// Determinism: within a level, items run through the same order-preserving
+/// map as every other sweep; across levels, each item's parent value is
+/// fixed by the plan (the parent's level completed before the item
+/// started), never by scheduling. A wavefront sweep is therefore
+/// **bit-identical at any thread count** — warm starts included — because
+/// no item ever observes a racing neighbor, only its declared parent.
+#[derive(Debug, Clone, Default)]
+pub struct Wavefront {
+    /// `levels[l]` holds the item indices of pass `l`. Every item index
+    /// must appear in exactly one level.
+    pub levels: Vec<Vec<usize>>,
+    /// `parents[i]` is the item whose value seeds item `i`'s warm start,
+    /// or `None` for a cold start. A parent must sit in a strictly earlier
+    /// level.
+    pub parents: Vec<Option<usize>>,
+}
+
+impl Wavefront {
+    /// A plan with no dependencies: every item cold-starts in one level.
+    pub fn flat(items: usize) -> Self {
+        Wavefront {
+            levels: vec![(0..items).collect()],
+            parents: vec![None; items],
+        }
+    }
+
+    /// Panics (programmer error in plan construction) unless every item
+    /// appears exactly once and every parent is in a strictly earlier
+    /// level.
+    fn validate(&self, items: usize) {
+        assert_eq!(
+            self.parents.len(),
+            items,
+            "wavefront parents must cover every item"
+        );
+        let mut level_of = vec![usize::MAX; items];
+        let mut seen = 0usize;
+        for (l, level) in self.levels.iter().enumerate() {
+            for &i in level {
+                assert!(i < items, "wavefront level {l} names item {i} of {items}");
+                assert_eq!(level_of[i], usize::MAX, "item {i} appears in two levels");
+                level_of[i] = l;
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, items, "wavefront levels must cover every item");
+        for (i, parent) in self.parents.iter().enumerate() {
+            if let Some(p) = parent {
+                assert!(
+                    level_of[*p] < level_of[i],
+                    "item {i} (level {}) depends on item {p} (level {}) — parents must \
+                     complete strictly earlier",
+                    level_of[i],
+                    level_of[*p]
+                );
+            }
+        }
+    }
+}
+
+impl SweepEngine {
+    /// Policy-driven continuation sweep over a [`Wavefront`] plan.
+    ///
+    /// Levels run sequentially; items within a level fan out across the
+    /// pool with the same per-item retry/timeout/panic handling as
+    /// [`SweepEngine::run_with_policy`]. `run` additionally receives the
+    /// parent's value (`None` for a cold start *or* when the parent did not
+    /// produce a value — continuation failure falls back to cold start by
+    /// construction).
+    ///
+    /// `restore` is consulted once per item before its live attempt; a
+    /// `Some` short-circuits the run (the item is marked restored) and its
+    /// value still seeds dependents — so a resumed atlas warms its children
+    /// exactly as the uninterrupted run did.
+    ///
+    /// `on_item` fires from the worker thread as each non-restored item
+    /// completes (checkpoint appends ride here).
+    ///
+    /// # Panics
+    ///
+    /// If the plan does not cover every item exactly once or orders a
+    /// parent at or after its child (see [`Wavefront::validate`]).
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub fn run_wavefront<I, T, F, G>(
+        &self,
+        items: &[I],
+        front: &Wavefront,
+        policy: &SweepPolicy,
+        budget: &Budget,
+        restore: G,
+        run: F,
+        on_item: Option<&(dyn Fn(usize, &SweepItem<T>) + Sync)>,
+    ) -> PolicySweep<T>
+    where
+        I: Sync,
+        T: Send + Sync,
+        F: Fn(usize, &I, &Budget, Option<&T>) -> Result<(T, SolveReport), CircuitError> + Sync,
+        G: Fn(usize) -> Option<SweepItem<T>> + Sync,
+    {
+        front.validate(items.len());
+        shil_observe::gauge_set("shil_sweep_threads", self.threads as f64);
+        let _sweep_span = shil_observe::span("shil_wavefront_sweep");
+        let fail_token = CancelToken::new();
+        let mut sweep_budget = budget.child(policy.deadline);
+        if policy.fail_fast {
+            sweep_budget = sweep_budget.with_token(fail_token.clone());
+        }
+        let sweep_budget = &sweep_budget;
+        let fail_token = &fail_token;
+
+        let mut slots: Vec<Option<SweepItem<T>>> = (0..items.len()).map(|_| None).collect();
+        for level in &front.levels {
+            let slots_ref = &slots;
+            let level_out = self.map(level, |_, &i| {
+                let started = Instant::now();
+                if let Some(item) = restore(i) {
+                    shil_observe::incr("shil_sweep_restored_total");
+                    shil_observe::incr(outcome_metric(item.outcome));
+                    return item;
+                }
+                let seed = front.parents[i]
+                    .and_then(|p| slots_ref[p].as_ref())
+                    .and_then(|parent| parent.value.as_ref());
+                if seed.is_some() {
+                    shil_observe::incr("shil_sweep_warm_starts_total");
+                }
+                let (outcome, tries, value, report, last_error) =
+                    policy_loop(policy, sweep_budget, None, |attempt_budget| {
+                        isolate(|| run(i, &items[i], attempt_budget, seed))
+                    });
+                if policy.fail_fast && !outcome.is_success() {
+                    fail_token.cancel();
+                }
+                shil_observe::incr(outcome_metric(outcome));
+                shil_observe::incr("shil_sweep_items_total");
+                shil_observe::observe("shil_sweep_item_seconds", started.elapsed().as_secs_f64());
+                let item_out = SweepItem {
+                    outcome,
+                    tries,
+                    value,
+                    report,
+                    error: last_error,
+                    restored: false,
+                };
+                if let Some(f) = on_item {
+                    f(i, &item_out);
+                }
+                item_out
+            });
+            for (&i, item) in level.iter().zip(level_out) {
+                slots[i] = Some(item);
+            }
+        }
+
+        let mut aggregate = SolveReport::new();
+        let out: Vec<SweepItem<T>> = slots
+            .into_iter()
+            .map(|s| s.expect("wavefront covered every item"))
+            .collect();
+        for item in &out {
+            if item.outcome.is_success() {
+                aggregate.absorb(&item.report);
+            }
+        }
+        let cancelled = sweep_budget.cancelled().is_some();
+        PolicySweep {
+            items: out,
+            aggregate,
+            cancelled,
+        }
+    }
+}
+
 impl Default for SweepEngine {
     /// One worker per available core.
     fn default() -> Self {

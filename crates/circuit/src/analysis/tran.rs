@@ -114,6 +114,24 @@ pub struct TranOptions {
     /// `0.0` disables reuse entirely — every iteration refactorizes, as the
     /// pre-sparse engine did. A non-finite value also disables reuse.
     pub reuse_tolerance: f64,
+    /// Smallest system size (unknown count) at which the factorization
+    /// bypass runs at all. Below it the certificate is skipped — the
+    /// residual check (`A·x` plus up to two refinement solves) costs more
+    /// than simply refactorizing a tiny matrix, a regression the
+    /// `reuse_threshold` ladder in `results/BENCH_tran.json` measures
+    /// directly. Defaults to [`TranOptions::REUSE_MIN_DIM`]; set to `0` to
+    /// force the certificate on at every size.
+    pub reuse_min_dim: usize,
+    /// Complete starting solution vector (node voltages *and* branch
+    /// currents, in MNA unknown order) used instead of the operating-point
+    /// solve or the UIC zero start. This is the warm-start continuation
+    /// hook: seeding a sweep item from a neighboring item's
+    /// [`TranResult::final_unknowns`] skips the oscillator ring-up
+    /// entirely. `initial_conditions` overrides still apply on top, and the
+    /// dynamic (capacitor/inductor) history is re-seeded from the given
+    /// vector exactly as for a cold start. The length must equal the MNA
+    /// system size.
+    pub warm_start: Option<Vec<f64>>,
     /// Options for the initial operating-point solve.
     pub op: OpOptions,
 }
@@ -161,9 +179,20 @@ impl TranOptions {
             budget: Budget::unlimited(),
             solver: SolverKind::default(),
             reuse_tolerance: BypassSolver::<DenseSolver>::DEFAULT_ETA,
+            reuse_min_dim: Self::REUSE_MIN_DIM,
+            warm_start: None,
             op: OpOptions::default(),
         })
     }
+
+    /// Default for [`TranOptions::reuse_min_dim`]: the measured size below
+    /// which the bypass certificate loses to plain refactorization (see the
+    /// `reuse_threshold` ladder in `results/BENCH_tran.json` — at 9
+    /// unknowns the certified-reuse path ran ~1.4× *slower* per step than
+    /// refactorizing every iteration). Aligned with the dense→sparse
+    /// [`SolverKind::Auto`] crossover: the dense small-N region is exactly
+    /// where `A·x` residual checks cost as much as a tiny LU.
+    pub const REUSE_MIN_DIM: usize = 13;
 
     /// Adds an initial-condition override for a node voltage.
     #[must_use]
@@ -226,6 +255,36 @@ impl TranOptions {
     pub fn step_retry_budget(&self) -> usize {
         #[allow(deprecated)]
         self.retry_budget
+    }
+
+    /// Seeds the run from a complete solution vector (see
+    /// [`TranOptions::warm_start`]).
+    #[must_use]
+    pub fn with_warm_start(mut self, x: Vec<f64>) -> Self {
+        self.warm_start = Some(x);
+        self
+    }
+
+    /// Sets the smallest system size at which the factorization-bypass
+    /// certificate runs (see [`TranOptions::reuse_min_dim`]).
+    #[must_use]
+    pub fn with_reuse_min_dim(mut self, dim: usize) -> Self {
+        self.reuse_min_dim = dim;
+        self
+    }
+}
+
+/// The reuse tolerance a run of size `n` actually uses: the configured
+/// tolerance, forced to `0.0` (certificate off) when it is non-finite —
+/// fail safe, never certify against an infinite threshold — or when the
+/// system is below [`TranOptions::reuse_min_dim`], where the certificate's
+/// residual check costs more than refactorizing. One chokepoint shared by
+/// the scalar and batched paths so both stay bit-identical.
+pub(crate) fn effective_eta(opts: &TranOptions, n: usize) -> f64 {
+    if !opts.reuse_tolerance.is_finite() || n < opts.reuse_min_dim {
+        0.0
+    } else {
+        opts.reuse_tolerance
     }
 }
 
@@ -481,13 +540,7 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Circui
     let start = Instant::now();
     let structure = MnaStructure::new(ckt);
     let n = structure.size();
-    // A non-finite reuse tolerance must fail safe: disable reuse rather
-    // than certify everything against an infinite threshold.
-    let eta = if opts.reuse_tolerance.is_finite() {
-        opts.reuse_tolerance
-    } else {
-        0.0
-    };
+    let eta = effective_eta(opts, n);
     match opts.solver.resolve(n) {
         SolverKind::Sparse => {
             let pattern = Arc::new(sparse_pattern(ckt, &structure));
@@ -537,6 +590,13 @@ pub(crate) fn validate_options(opts: &TranOptions) -> Result<(), CircuitError> {
             "non-finite initial condition {v} on node {node}"
         )));
     }
+    if let Some(w) = &opts.warm_start {
+        if let Some(v) = w.iter().find(|v| !v.is_finite()) {
+            return Err(CircuitError::InvalidParameter(format!(
+                "non-finite warm-start entry {v}"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -568,8 +628,18 @@ pub(crate) fn tran_init(
         return Err(cancelled_err(&opts.budget, vec![0.0; n]));
     }
 
-    // Initial state.
-    let mut x = if opts.use_ic {
+    // Initial state: a warm-start vector wins over both the UIC zero start
+    // and the operating-point solve — it *is* a (neighboring run's)
+    // converged solution, so no bring-up solve is spent on it.
+    let mut x = if let Some(w) = &opts.warm_start {
+        if w.len() != n {
+            return Err(CircuitError::InvalidParameter(format!(
+                "warm-start vector has {} entries, system has {n} unknowns",
+                w.len()
+            )));
+        }
+        w.clone()
+    } else if opts.use_ic {
         vec![0.0; n]
     } else {
         // The un-publishing variant: this solve's effort is folded into
@@ -1065,7 +1135,10 @@ mod tests {
 
     #[test]
     fn factorization_reuse_dominates_and_changes_nothing() {
+        // The oscillator is far below `REUSE_MIN_DIM`, so force the
+        // certificate on to exercise the reuse machinery itself.
         let (ckt, top, base) = tanh_oscillator();
+        let base = base.with_reuse_min_dim(0);
         let with_reuse = transient(&ckt, &base).unwrap();
         assert!(
             with_reuse.report.reuses > with_reuse.report.factorizations,

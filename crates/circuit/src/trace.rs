@@ -89,6 +89,23 @@ impl TranResult {
         self.time.is_empty()
     }
 
+    /// The complete solution vector (node voltages and branch currents, in
+    /// MNA unknown order) at the last recorded time point, or `None` when
+    /// nothing was recorded. This is the state a warm-start continuation
+    /// feeds into a neighboring run's
+    /// [`TranOptions::warm_start`](crate::analysis::TranOptions::warm_start).
+    pub fn final_unknowns(&self) -> Option<Vec<f64>> {
+        if self.time.is_empty() {
+            return None;
+        }
+        Some(
+            self.columns
+                .iter()
+                .map(|col| *col.last().expect("columns track time"))
+                .collect(),
+        )
+    }
+
     /// The voltage trajectory of a node.
     ///
     /// # Errors

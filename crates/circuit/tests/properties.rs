@@ -157,3 +157,58 @@ fn direct_transfer(ckt: &Circuit, inject: usize, read: usize, f: f64) -> Complex
     // Z_between = Z_ii + Z_rr − 2 Z_t  ⇒  Z_t = (Z_ii + Z_rr − Z_between)/2.
     (z_ii + z_rr - z_ir) * 0.5
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// The early-exit lock detector never confirms a lock on a
+    /// deterministic quasi-periodic signal: a dominant tone offset from
+    /// the sub-harmonic reference by more than the coprime-window aliasing
+    /// bound (`tol/(2π·13)` of the reference, here ≈ 2.5e-4 — every drawn
+    /// offset is ≥ 8× that), mixed with an incommensurate secondary tone.
+    /// The full-horizon tail classifier must agree. This is the safety
+    /// property the atlas engine's early-exit acceleration leans on.
+    #[test]
+    fn detector_never_false_locks_on_quasi_periodic_signals(
+        delta_mag in 2e-3f64..0.45,
+        sign in -1.0f64..1.0,
+        amp in 0.1f64..2.0,
+        ratio in 0.0f64..0.5,
+        gamma in 2.0f64..7.3,
+        phi1 in 0.0f64..std::f64::consts::TAU,
+        phi2 in 0.0f64..std::f64::consts::TAU,
+    ) {
+        use shil_circuit::analysis::{
+            classify_tail, LockVerdict, SteadyDetector, SteadyOptions,
+        };
+        let delta = delta_mag * sign.signum();
+        let (f_ref, spp, periods) = (1.0f64, 24usize, 110usize);
+        let tau = std::f64::consts::TAU;
+        let dt = 1.0 / (f_ref * spp as f64);
+        let n = periods * spp;
+        let time: Vec<f64> = (0..=n).map(|k| k as f64 * dt).collect();
+        let values: Vec<f64> = time
+            .iter()
+            .map(|&t| {
+                amp * ((tau * f_ref * (1.0 + delta) * t + phi1).cos()
+                    + ratio * (tau * f_ref * gamma * t + phi2).cos())
+            })
+            .collect();
+        let sopts = SteadyOptions::for_subharmonic(f_ref);
+        let mut det = SteadyDetector::new(sopts.clone()).unwrap();
+        // Feed period by period, exactly as the chunked transient driver
+        // does; an early `Unlocked` exit is fine, `Locked` never is.
+        for p in 1..=periods {
+            let end = (p * spp + 1).min(time.len());
+            let v = det.evaluate(&time[..end], &values[..end]);
+            prop_assert!(
+                v != Some(LockVerdict::Locked),
+                "false lock at Δ = {delta} after {p} periods"
+            );
+            if v.is_some() {
+                break;
+            }
+        }
+        prop_assert_eq!(classify_tail(&time, &values, &sopts), LockVerdict::Unlocked);
+    }
+}

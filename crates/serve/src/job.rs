@@ -21,7 +21,9 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-use shil_circuit::analysis::{decode_final_voltages, NetlistSweepSpec, PolicySweep};
+use shil_circuit::analysis::{
+    decode_final_voltages, AtlasMap, AtlasSpec, NetlistSweepSpec, PolicySweep,
+};
 use shil_runtime::json::{self, Json};
 use shil_runtime::{CheckpointRecord, ItemOutcome, SweepPolicy};
 
@@ -57,6 +59,8 @@ pub enum JobKind {
     /// A lock-range sweep over injection amplitudes (served from the
     /// process-wide pre-characterization cache).
     LockRange(LockRangeSpec),
+    /// An adaptive Arnold-tongue atlas over (frequency × amplitude).
+    Atlas(AtlasSpec),
 }
 
 impl JobKind {
@@ -65,6 +69,7 @@ impl JobKind {
         match self {
             JobKind::Sweep(_) => "sweep",
             JobKind::LockRange(_) => "lockrange",
+            JobKind::Atlas(_) => "atlas",
         }
     }
 }
@@ -88,6 +93,7 @@ impl JobSpec {
         match &self.kind {
             JobKind::Sweep(s) => s.scales.len(),
             JobKind::LockRange(s) => s.vis.len(),
+            JobKind::Atlas(s) => s.nx * s.ny,
         }
     }
 
@@ -109,10 +115,9 @@ impl JobSpec {
     /// their `line L, col C` context.
     pub fn from_json(body: &str) -> Result<JobSpec, String> {
         let doc = json::parse(body).ok_or_else(|| "body is not valid JSON".to_string())?;
-        let kind = doc
-            .get("kind")
-            .and_then(Json::as_str)
-            .ok_or_else(|| "missing `kind` (one of \"sweep\", \"lockrange\")".to_string())?;
+        let kind = doc.get("kind").and_then(Json::as_str).ok_or_else(|| {
+            "missing `kind` (one of \"sweep\", \"lockrange\", \"atlas\")".to_string()
+        })?;
         let f64_field = |key: &str| -> Result<f64, String> {
             doc.get(key)
                 .and_then(Json::as_f64)
@@ -192,6 +197,61 @@ impl JobSpec {
                 }
                 JobKind::LockRange(spec)
             }
+            "atlas" => {
+                let usize_field = |key: &str| -> Result<usize, String> {
+                    doc.get(key)
+                        .and_then(Json::as_u64)
+                        .map(|v| v as usize)
+                        .ok_or_else(|| format!("missing or non-integer `{key}`"))
+                };
+                let nx = usize_field("nx")?;
+                let ny = usize_field("ny")?;
+                let opt_usize = |key: &str, default: usize| -> Result<usize, String> {
+                    match doc.get(key) {
+                        None | Some(Json::Null) => Ok(default),
+                        Some(v) => v
+                            .as_u64()
+                            .map(|v| v as usize)
+                            .ok_or_else(|| format!("non-integer `{key}`")),
+                    }
+                };
+                let opt_f64v = |key: &str, default: f64| -> Result<f64, String> {
+                    match doc.get(key) {
+                        None | Some(Json::Null) => Ok(default),
+                        Some(v) => v.as_f64().ok_or_else(|| format!("non-numeric `{key}`")),
+                    }
+                };
+                let opt_bool = |key: &str, default: bool| -> Result<bool, String> {
+                    match doc.get(key) {
+                        None | Some(Json::Null) => Ok(default),
+                        Some(Json::Bool(b)) => Ok(*b),
+                        Some(_) => Err(format!("non-boolean `{key}`")),
+                    }
+                };
+                let mut spec = AtlasSpec::paper_oscillator(
+                    nx,
+                    ny,
+                    opt_usize("coarse", default_coarse(nx, ny))?,
+                );
+                spec.r = opt_f64v("r", spec.r)?;
+                spec.l = opt_f64v("l", spec.l)?;
+                spec.c = opt_f64v("c", spec.c)?;
+                spec.i0 = opt_f64v("i0", spec.i0)?;
+                spec.gain = opt_f64v("gain", spec.gain)?;
+                spec.n = opt_usize("n", spec.n as usize)? as u32;
+                spec.f_start = opt_f64v("f_start", spec.f_start)?;
+                spec.f_stop = opt_f64v("f_stop", spec.f_stop)?;
+                spec.vi_start = opt_f64v("vi_start", spec.vi_start)?;
+                spec.vi_stop = opt_f64v("vi_stop", spec.vi_stop)?;
+                spec.steps_per_period = opt_usize("steps_per_period", spec.steps_per_period)?;
+                spec.horizon_periods = opt_usize("horizon_periods", spec.horizon_periods)?;
+                spec.early_exit = opt_bool("early_exit", spec.early_exit)?;
+                spec.warm_start = opt_bool("warm_start", spec.warm_start)?;
+                spec.startup_kick = opt_f64v("startup_kick", spec.startup_kick)?;
+                // Front-load every input error into the 400.
+                spec.compile().map_err(|e| e.to_string())?;
+                JobKind::Atlas(spec)
+            }
             other => return Err(format!("unknown job kind `{other}`")),
         };
         let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
@@ -251,6 +311,35 @@ impl JobSpec {
                 out.push_str(",\"vi\":");
                 push_f64_array(&mut out, &s.vis);
             }
+            JobKind::Atlas(s) => {
+                out.push_str(&format!(
+                    ",\"r\":{},\"l\":{},\"c\":{},\"i0\":{},\"gain\":{},\"n\":{}",
+                    json::fmt_f64(s.r),
+                    json::fmt_f64(s.l),
+                    json::fmt_f64(s.c),
+                    json::fmt_f64(s.i0),
+                    json::fmt_f64(s.gain),
+                    s.n
+                ));
+                out.push_str(&format!(
+                    ",\"f_start\":{},\"f_stop\":{},\"nx\":{},\"vi_start\":{},\"vi_stop\":{},\"ny\":{}",
+                    json::fmt_f64(s.f_start),
+                    json::fmt_f64(s.f_stop),
+                    s.nx,
+                    json::fmt_f64(s.vi_start),
+                    json::fmt_f64(s.vi_stop),
+                    s.ny
+                ));
+                out.push_str(&format!(
+                    ",\"steps_per_period\":{},\"horizon_periods\":{},\"coarse\":{},\"early_exit\":{},\"warm_start\":{},\"startup_kick\":{}",
+                    s.steps_per_period,
+                    s.horizon_periods,
+                    s.coarse,
+                    s.early_exit,
+                    s.warm_start,
+                    json::fmt_f64(s.startup_kick)
+                ));
+            }
         }
         if let Some(d) = self.deadline_s {
             out.push_str(&format!(",\"deadline_s\":{}", json::fmt_f64(d)));
@@ -275,6 +364,81 @@ fn push_f64_array(out: &mut String, xs: &[f64]) {
         out.push_str(&json::fmt_f64(*x));
     }
     out.push(']');
+}
+
+/// The default coarse superpixel size for an atlas submission that omits
+/// `coarse`: the largest power of two ≤ 8 dividing both axes while leaving
+/// at least two tiles per axis.
+fn default_coarse(nx: usize, ny: usize) -> usize {
+    let mut c = 1usize;
+    while c < 8 && nx.is_multiple_of(2 * c) && ny.is_multiple_of(2 * c) && 2 * (2 * c) <= nx.min(ny)
+    {
+        c *= 2;
+    }
+    c
+}
+
+/// Renders the final `results.jsonl` for a finished atlas: one line per
+/// pixel (row-major) plus a deterministic aggregate footer. Like the sweep
+/// renderer, lines exclude wall time and restored counts — the
+/// byte-identity oracle holds across crash/resume.
+pub fn atlas_result_lines(map: &AtlasMap) -> String {
+    let mut out = String::new();
+    for iy in 0..map.ny {
+        for ix in 0..map.nx {
+            let i = iy * map.nx + ix;
+            out.push_str(&format!(
+                "{{\"item\":{i},\"f\":{},\"vi\":{},\"verdict\":\"{}\",\"simulated\":{},\"cell_size\":{}}}\n",
+                json::fmt_f64(map.freqs[ix]),
+                json::fmt_f64(map.amps[iy]),
+                map.verdicts[i].name(),
+                map.simulated[i],
+                map.cell_size[i],
+            ));
+        }
+    }
+    let st = &map.stats;
+    out.push_str(&format!(
+        "{{\"aggregate\":true,\"locked\":{},\"passes\":{},\"items_simulated\":{},\"naive_items\":{},\"steps_run\":{},\"steps_budgeted\":{},\"naive_steps\":{},\"early_exits\":{},\"warm_starts\":{},\"warm_start_hits\":{},\"cold_fallbacks\":{},\"errors\":{},\"cancelled\":{}}}\n",
+        map.locked_count(),
+        st.passes,
+        st.items_simulated,
+        st.naive_items,
+        st.steps_run,
+        st.steps_budgeted,
+        st.naive_steps,
+        st.early_exits,
+        st.warm_starts,
+        st.warm_start_hits,
+        st.cold_fallbacks,
+        st.errors,
+        map.cancelled,
+    ));
+    out
+}
+
+/// One compact snapshot of a (possibly in-progress) atlas map — the
+/// streamed partial view a client polls while passes are still running.
+/// `verdicts` is the row-major grid as a string of `L`/`U`.
+pub fn atlas_partial_json(map: &AtlasMap) -> String {
+    let verdicts: String = map
+        .verdicts
+        .iter()
+        .map(|v| if v.is_locked() { 'L' } else { 'U' })
+        .collect();
+    let mut out = format!(
+        "{{\"nx\":{},\"ny\":{},\"passes\":{},\"items_simulated\":{},\"locked\":{},\"cancelled\":{}",
+        map.nx,
+        map.ny,
+        map.stats.passes,
+        map.stats.items_simulated,
+        map.locked_count(),
+        map.cancelled,
+    );
+    out.push_str(",\"verdicts\":");
+    json::push_str(&mut out, &verdicts);
+    out.push('}');
+    out
 }
 
 /// Where a job is in its lifecycle.
@@ -576,6 +740,32 @@ mod tests {
             r#"{"kind":"lockrange","r":0,"l":1e-5,"c":1e-8,"i_sat":-1e-3,"gain":20,"n":3,"vi":[0.01]}"#,
             r#"{"kind":"lockrange","r":1000,"l":1e-5,"c":1e-8,"i_sat":1e-3,"gain":20,"n":1,"vi":[0.01]}"#,
             r#"{"kind":"lockrange","r":1000,"l":1e-5,"c":1e-8,"i_sat":1e-3,"gain":20,"n":3,"vi":[]}"#,
+        ] {
+            assert!(JobSpec::from_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn atlas_spec_round_trips_and_validates() {
+        let body = r#"{"kind":"atlas","nx":16,"ny":16,"steps_per_period":16,"horizon_periods":170,"deadline_s":600}"#;
+        let spec = JobSpec::from_json(body).unwrap();
+        assert_eq!(spec.items(), 256);
+        let JobKind::Atlas(a) = &spec.kind else {
+            panic!("not an atlas")
+        };
+        assert_eq!(a.coarse, 8, "defaulted coarse");
+        assert_eq!(a.n, 3, "paper default");
+        assert!(a.early_exit && a.warm_start);
+        let again = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+        for bad in [
+            // coarse does not divide the axes
+            r#"{"kind":"atlas","nx":10,"ny":8,"coarse":4}"#,
+            // inverted frequency band
+            r#"{"kind":"atlas","nx":8,"ny":8,"f_start":2e6,"f_stop":1e6}"#,
+            // horizon too short for the detector windows
+            r#"{"kind":"atlas","nx":8,"ny":8,"horizon_periods":10}"#,
+            r#"{"kind":"atlas","ny":8}"#,
         ] {
             assert!(JobSpec::from_json(bad).is_err(), "{bad}");
         }

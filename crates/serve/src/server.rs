@@ -37,7 +37,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use shil_circuit::analysis::{decode_final_voltages, encode_final_voltages, SweepEngine};
+use shil_circuit::analysis::{decode_final_voltages, encode_final_voltages, AtlasMap, SweepEngine};
 use shil_circuit::{CircuitError, SolveReport};
 use shil_core::cache::PrecharCache;
 use shil_core::nonlinearity::NegativeTanh;
@@ -519,11 +519,23 @@ fn results(jb: &Arc<Job>) -> Reply {
     if let Ok(text) = std::fs::read_to_string(&final_path) {
         return (200, "application/jsonl", Vec::new(), text);
     }
-    // No final file yet: stream the completed prefix out of the
-    // checkpoint. Lines render exactly as they will in the final file.
+    // No final file yet: stream the completed prefix. An atlas job
+    // streams the last finished pass's painted map; item sweeps stream
+    // the completed items out of the checkpoint, rendered exactly as
+    // they will be in the final file.
     let (x_key, xs): (&str, &[f64]) = match &jb.spec.kind {
         JobKind::Sweep(s) => ("scale", &s.scales),
         JobKind::LockRange(s) => ("vi", &s.vis),
+        JobKind::Atlas(_) => {
+            let body = std::fs::read_to_string(jb.dir.join("partial.json"))
+                .unwrap_or_else(|_| "{}".into());
+            return (
+                200,
+                "application/json",
+                vec![("X-Shil-Partial", "true".into())],
+                body,
+            );
+        }
     };
     let checkpoint = std::fs::read_to_string(jb.dir.join("checkpoint.jsonl")).unwrap_or_default();
     let body = job::partial_lines(x_key, xs, &checkpoint);
@@ -595,6 +607,21 @@ fn run_job(inner: &Arc<ServerInner>, jb: &Arc<Job>) {
     let policy = jb.spec.policy();
     let budget = Budget::unlimited().with_token(jb.cancel.clone());
 
+    if let JobKind::Atlas(spec) = &jb.spec.kind {
+        match run_atlas(jb, &engine, &policy, &budget, spec) {
+            Ok(map) => finalize_atlas(inner, jb, &map),
+            Err(error) => {
+                let mut st = jb.status();
+                st.state = JobState::Failed;
+                st.error = Some(error);
+                drop(st);
+                jb.persist_status();
+                shil_observe::incr("shil_serve_jobs_failed_total");
+            }
+        }
+        return;
+    }
+
     let outcome: Result<(Vec<f64>, shil_circuit::analysis::PolicySweep<Vec<f64>>), String> =
         match &jb.spec.kind {
             JobKind::Sweep(spec) => match spec.compile() {
@@ -614,6 +641,7 @@ fn run_job(inner: &Arc<ServerInner>, jb: &Arc<Job>) {
                 Err(e) => Err(format!("spec no longer compiles: {e}")),
             },
             JobKind::LockRange(spec) => run_lockrange(inner, jb, &engine, &policy, &budget, spec),
+            JobKind::Atlas(_) => unreachable!("atlas jobs are dispatched above"),
         };
 
     match outcome {
@@ -679,6 +707,76 @@ fn run_lockrange(
     Ok((spec.vis.clone(), sweep))
 }
 
+fn run_atlas(
+    jb: &Arc<Job>,
+    engine: &SweepEngine,
+    policy: &shil_runtime::SweepPolicy,
+    budget: &Budget,
+    spec: &shil_circuit::analysis::AtlasSpec,
+) -> Result<AtlasMap, String> {
+    let compiled = spec
+        .compile()
+        .map_err(|e| format!("spec no longer compiles: {e}"))?;
+    let cp = CheckpointFile::open(
+        &jb.dir.join("checkpoint.jsonl"),
+        &compiled.fingerprint(),
+        compiled.checkpoint_slots(),
+    )
+    .map_err(|e| format!("checkpoint unavailable: {e}"))?;
+    // Stream each pass's painted map so clients polling `/results` watch
+    // the tongue sharpen while the job runs.
+    let partial_path = jb.dir.join("partial.json");
+    let mut on_pass = |map: &AtlasMap| {
+        if job::write_atomic(&partial_path, &job::atlas_partial_json(map)).is_err() {
+            shil_observe::incr("shil_serve_status_write_failures_total");
+        }
+    };
+    Ok(compiled.run(engine, policy, budget, Some(&cp), Some(&mut on_pass)))
+}
+
+/// Atlas twin of [`finalize`]: classifies the finished (or interrupted)
+/// map into the job's terminal or re-queued state and persists the
+/// deterministic per-pixel results.
+fn finalize_atlas(inner: &Arc<ServerInner>, jb: &Arc<Job>, map: &AtlasMap) {
+    if jb.cancel.is_cancelled() {
+        if jb.user_cancelled.load(Ordering::SeqCst) {
+            jb.set_state(JobState::Cancelled);
+            shil_observe::incr("shil_serve_jobs_cancelled_total");
+        } else {
+            // Checkpoint-on-shutdown: simulated cells are on disk; park
+            // the job for the next process to resume the remaining passes.
+            jb.set_state(JobState::Queued);
+            shil_observe::incr("shil_serve_jobs_requeued_total");
+        }
+        return;
+    }
+    let lines = job::atlas_result_lines(map);
+    if let Err(e) = job::write_atomic(&jb.dir.join("results.jsonl"), &lines) {
+        let mut st = jb.status();
+        st.state = JobState::Failed;
+        st.error = Some(format!("could not persist results: {e}"));
+        drop(st);
+        jb.persist_status();
+        shil_observe::incr("shil_serve_jobs_failed_total");
+        return;
+    }
+    let mut st = jb.status();
+    st.state = JobState::Done;
+    st.ok = map.stats.items_simulated;
+    st.worst = Some(if map.cancelled {
+        shil_runtime::ItemOutcome::Cancelled
+    } else if map.stats.errors > 0 {
+        shil_runtime::ItemOutcome::Failed
+    } else {
+        shil_runtime::ItemOutcome::Ok
+    });
+    st.restored = map.stats.restored;
+    drop(st);
+    jb.persist_status();
+    shil_observe::incr("shil_serve_jobs_completed_total");
+    let _ = inner;
+}
+
 /// Classifies a finished sweep into the job's terminal (or re-queued)
 /// state and persists results.
 fn finalize(
@@ -706,6 +804,7 @@ fn finalize(
         match &jb.spec.kind {
             JobKind::Sweep(_) => "scale",
             JobKind::LockRange(_) => "vi",
+            JobKind::Atlas(_) => unreachable!("atlas jobs use finalize_atlas"),
         },
         xs,
         sweep,

@@ -302,3 +302,58 @@ fn count_records(path: &Path) -> usize {
         .map(|t| t.lines().count().saturating_sub(1))
         .unwrap_or(0)
 }
+
+#[test]
+fn atlas_jobs_map_the_tongue_and_stream_partials() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        sweep_threads: Some(4),
+        ..config("atlas")
+    })
+    .expect("start");
+    let addr = server.addr().to_string();
+
+    // Bad submissions are 400s at the door, not worker crashes.
+    let bad = r#"{"kind":"atlas","nx":7,"ny":8,"coarse":4}"#;
+    let resp = post(&addr, "/jobs", bad);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    let body =
+        r#"{"kind":"atlas","nx":8,"ny":8,"coarse":4,"steps_per_period":16,"horizon_periods":170}"#;
+    let resp = post(&addr, "/jobs", body);
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let id = job_id(&resp);
+    let done = wait_state(&addr, id, "done", Duration::from_secs(120));
+    assert_eq!(done.get("kind").and_then(Json::as_str), Some("atlas"));
+    assert_eq!(done.get("items").and_then(Json::as_u64), Some(64));
+    assert_eq!(done.get("worst").and_then(Json::as_str), Some("ok"));
+    assert_eq!(done.get("exit_code").and_then(Json::as_u64), Some(0));
+
+    let results = get(&addr, &format!("/jobs/{id}/results"));
+    assert_eq!(results.status, 200);
+    assert!(results.header("x-shil-partial").is_none());
+    let lines: Vec<&str> = results.body.lines().collect();
+    assert_eq!(lines.len(), 65, "{}", results.body); // 64 pixels + aggregate
+    assert!(lines[0].contains("\"verdict\":"), "{}", lines[0]);
+    assert!(lines[64].contains("\"aggregate\":true"), "{}", lines[64]);
+    assert!(lines[64].contains("\"naive_items\":64"), "{}", lines[64]);
+    // Determinism contract carries over from the sweep kinds.
+    assert!(!results.body.contains("wall"), "{}", results.body);
+    assert!(!results.body.contains("restored"), "{}", results.body);
+
+    // Every refinement pass streamed a painted partial map.
+    let partial = std::fs::read_to_string(
+        temp_dir_existing("atlas")
+            .join("jobs")
+            .join(id.to_string())
+            .join("partial.json"),
+    )
+    .expect("partial.json streamed");
+    let doc = json::parse(&partial).expect("partial json");
+    assert_eq!(doc.get("nx").and_then(Json::as_u64), Some(8));
+    let verdicts = doc.get("verdicts").and_then(Json::as_str).unwrap();
+    assert_eq!(verdicts.len(), 64);
+    assert!(verdicts.chars().all(|c| c == 'L' || c == 'U'), "{verdicts}");
+
+    server.shutdown();
+}

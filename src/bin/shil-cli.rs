@@ -29,6 +29,27 @@
 //! stay reserved for I/O errors and usage errors respectively).
 //!
 //! ```text
+//! shil-cli atlas [--nx <n>] [--ny <n>] [--coarse <n>] [--spp <n>] [--horizon <periods>]
+//!          [--n <order>] [--no-early-exit] [--no-warm-start] [--threads <n>]
+//!          [--timeout <s>] [--item-timeout <s>] [--retries <n>]
+//!          [--checkpoint [path]] [--resume] [--csv out.csv] [--progress]
+//! ```
+//!
+//! `atlas` maps the Arnold tongue of the paper's tanh LC oscillator under
+//! sub-harmonic injection: an adaptive (amplitude × frequency) lock map
+//! that refines only the lock/unlock boundary, warm-starts refined cells
+//! from their parents, and cuts each transient short once its verdict is
+//! confirmed (`shil_circuit::analysis::AtlasSpec`). Output is one CSV row
+//! per pixel plus a deterministic aggregate footer. Exit codes follow the
+//! sweep taxonomy (`14` if the deadline cancelled refinement, `11` if any
+//! cell failed outright).
+//!
+//! `--progress` (also on `sweep`) publishes items-done/ETA as the
+//! `shil_sweep_eta_s` gauge and prints progress lines to stderr; the lines
+//! are suppressed under `--quiet` and default off in JSONL (`--events-out`)
+//! mode, where the event stream itself carries progress.
+//!
+//! ```text
 //! shil-cli serve [--addr <ip:port>] [--data-dir <dir>] [--queue <n>]
 //!          [--workers <n>] [--http-threads <n>] [--cache <entries>]
 //!          [--max-body <bytes>] [--grace <s>] [--sweep-threads <n>]
@@ -56,8 +77,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use shil::circuit::analysis::{
-    ac_impedance, operating_point, transient, AcOptions, BackendChoice, NetlistSweepSpec,
-    OpOptions, SweepEngine, TranOptions,
+    ac_impedance, operating_point, transient, AcOptions, AtlasMap, AtlasSpec, BackendChoice,
+    NetlistSweepSpec, OpOptions, SweepEngine, TranOptions,
 };
 use shil::circuit::{netlist, Circuit, SolveReport};
 use shil::observe::{self, EventLog, RunManifest};
@@ -72,7 +93,11 @@ fn usage() -> ExitCode {
          --port <a> <b> --from <hz> --to <hz> [--points <n>] [--csv <out>]\n  shil-cli sweep \
          <file.cir> --dt <s> --stop <s> --probe <node> [--probe <node>] --scale <k[,k...]> \
          [--backend scalar|batched|auto] [--threads <n>] [--timeout <s>] [--item-timeout <s>] \
-         [--retries <n>] [--checkpoint [path]] [--resume] [--csv <out>]\n  shil-cli serve \
+         [--retries <n>] [--checkpoint [path]] [--resume] [--csv <out>] [--progress]\n  \
+         shil-cli atlas [--nx <n>] [--ny <n>] [--coarse <n>] [--spp <n>] \
+         [--horizon <periods>] [--n <order>] [--no-early-exit] [--no-warm-start] \
+         [--threads <n>] [--timeout <s>] [--item-timeout <s>] [--retries <n>] \
+         [--checkpoint [path]] [--resume] [--csv <out>] [--progress]\n  shil-cli serve \
          [--addr <ip:port>] [--data-dir <dir>] [--queue <n>] [--workers <n>] \
          [--http-threads <n>] [--cache <entries>] [--max-body <bytes>] [--grace <s>] \
          [--sweep-threads <n>]\n\
@@ -108,6 +133,70 @@ fn optional_path(args: &[String], flag: &str, default: &str) -> Option<String> {
     match args.get(i + 1) {
         Some(v) if !v.starts_with("--") => Some(v.clone()),
         _ => Some(default.to_string()),
+    }
+}
+
+/// `--progress` lines go to stderr only when a human is plausibly watching
+/// it: `--quiet` silences them like every other progress event, and in
+/// JSONL (`--events-out`) mode the event stream itself carries progress, so
+/// the stderr ticker defaults off. The `shil_sweep_eta_s` gauge is
+/// published either way.
+fn progress_silent(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quiet" || a == "--events-out")
+}
+
+/// Items-done/ETA watcher behind `--progress`: samples the process-wide
+/// metric registry for a per-item counter, publishes the remaining-time
+/// estimate as the `shil_sweep_eta_s` gauge, and (unless silenced) prints
+/// progress lines to stderr.
+struct Progress {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Progress {
+    /// `total` is the item count the run converges to — for adaptive runs
+    /// an upper bound, which makes the ETA conservative.
+    fn spawn(counter: &'static str, total: usize, silent: bool) -> Progress {
+        // The watcher reads the same registry the engines write to, so
+        // metrics must be on even without `--metrics-out`.
+        observe::set_enabled(true);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&stop);
+        // Counters are process-cumulative; progress is relative to the
+        // count at spawn time.
+        let base = observe::snapshot().counter(counter);
+        let started = std::time::Instant::now();
+        let handle = std::thread::spawn(move || {
+            let mut last = u64::MAX;
+            while !flag.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(200));
+                let done = observe::snapshot().counter(counter).saturating_sub(base);
+                let eta = if done == 0 || done as usize >= total {
+                    0.0
+                } else {
+                    let remaining = (total - done as usize) as f64;
+                    started.elapsed().as_secs_f64() * remaining / done as f64
+                };
+                observe::gauge_set("shil_sweep_eta_s", eta);
+                if !silent && done != last {
+                    eprintln!("progress {done}/{total} items, eta {eta:.1}s");
+                    last = done;
+                }
+            }
+            observe::gauge_set("shil_sweep_eta_s", 0.0);
+        });
+        Progress {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn finish(mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -181,6 +270,11 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
     };
     if cmd == "serve" {
         return serve_cmd(&args[1..], log);
+    }
+    // `atlas` synthesises the paper oscillator itself, so like `serve` it
+    // takes no netlist file.
+    if cmd == "atlas" {
+        return atlas_cmd(&args[1..], log, progress_silent(args));
     }
     let Some(file) = args.get(1) else {
         return usage();
@@ -390,12 +484,22 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
                 ],
             );
             let engine = SweepEngine::new(threads).with_backend(backend);
+            let watcher = rest.iter().any(|a| a == "--progress").then(|| {
+                Progress::spawn(
+                    "shil_sweep_items_total",
+                    scales.len(),
+                    progress_silent(args),
+                )
+            });
             let sweep = compiled.run(
                 &engine,
                 &policy,
                 &Budget::unlimited(),
                 checkpoint_file.as_ref(),
             );
+            if let Some(w) = watcher {
+                w.finish();
+            }
             log.info(
                 "sweep_finished",
                 &[
@@ -499,6 +603,194 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// Maps the paper oscillator's Arnold tongue with the adaptive atlas
+/// engine (`shil_circuit::analysis::AtlasSpec`): coarse lock/unlock grid,
+/// boundary-only refinement, warm-started and early-exiting interior
+/// cells, with the finest two levels run at full fidelity so boundary
+/// pixels match a dense cold-start sweep exactly.
+fn atlas_cmd(rest: &[String], log: &EventLog, silent_progress: bool) -> ExitCode {
+    let num = |flag: &str, default: usize| {
+        flag_value(rest, flag)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(default)
+    };
+    let nx = num("--nx", 64);
+    let ny = num("--ny", 64);
+    // Default coarse tile: the largest power of two ≤ 8 that divides both
+    // axes while leaving at least two tiles per axis, so the coarse pass
+    // can actually bracket the tongue.
+    let default_coarse = {
+        let mut c = 1;
+        while c < 8
+            && nx.is_multiple_of(2 * c)
+            && ny.is_multiple_of(2 * c)
+            && 2 * (2 * c) <= nx.min(ny)
+        {
+            c *= 2;
+        }
+        c
+    };
+    let mut spec = AtlasSpec::paper_oscillator(nx, ny, num("--coarse", default_coarse));
+    spec.steps_per_period = num("--spp", spec.steps_per_period);
+    spec.horizon_periods = num("--horizon", spec.horizon_periods);
+    spec.n = flag_value(rest, "--n")
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(spec.n);
+    if rest.iter().any(|a| a == "--no-early-exit") {
+        spec.early_exit = false;
+    }
+    if rest.iter().any(|a| a == "--no-warm-start") {
+        spec.warm_start = false;
+    }
+    let compiled = match spec.compile() {
+        Ok(c) => c,
+        Err(e) => {
+            log.error("atlas_spec_invalid", &[("error", e.to_string().into())]);
+            return ExitCode::from(2);
+        }
+    };
+    let resume = rest.iter().any(|a| a == "--resume");
+    let checkpoint_path = optional_path(
+        rest,
+        "--checkpoint",
+        "results/checkpoint_shil_cli_atlas.jsonl",
+    );
+    let checkpoint_file = match &checkpoint_path {
+        Some(path) => {
+            if !resume {
+                // A fresh (non-resume) run must not inherit records.
+                let _ = std::fs::remove_file(path);
+            }
+            match CheckpointFile::open(
+                path.as_ref(),
+                &compiled.fingerprint(),
+                compiled.checkpoint_slots(),
+            ) {
+                Ok(cp) => Some(cp),
+                Err(e) => {
+                    log.error(
+                        "checkpoint_open_failed",
+                        &[
+                            ("path", path.as_str().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let secs = |flag: &str| {
+        flag_value(rest, flag)
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(Duration::from_secs_f64)
+    };
+    let policy = SweepPolicy {
+        deadline: secs("--timeout"),
+        item_timeout: secs("--item-timeout"),
+        max_retries: flag_value(rest, "--retries")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0),
+        ..SweepPolicy::default()
+    };
+    let threads = flag_value(rest, "--threads").and_then(|v| v.parse::<usize>().ok());
+    let engine = SweepEngine::new(threads);
+    log.info(
+        "atlas_started",
+        &[
+            ("pixels", (compiled.pixels() as u64).into()),
+            ("coarse", (spec.coarse as u64).into()),
+            (
+                "restored",
+                (checkpoint_file.as_ref().map_or(0, |cp| cp.restored().len()) as u64).into(),
+            ),
+        ],
+    );
+    let watcher = rest.iter().any(|a| a == "--progress").then(|| {
+        Progress::spawn(
+            "shil_atlas_cells_simulated_total",
+            compiled.pixels(),
+            silent_progress,
+        )
+    });
+    let mut on_pass = |map: &AtlasMap| {
+        log.info(
+            "atlas_pass",
+            &[
+                ("passes", (map.stats.passes as u64).into()),
+                ("simulated", (map.stats.items_simulated as u64).into()),
+                ("locked", (map.locked_count() as u64).into()),
+            ],
+        );
+    };
+    let map = compiled.run(
+        &engine,
+        &policy,
+        &Budget::unlimited(),
+        checkpoint_file.as_ref(),
+        Some(&mut on_pass),
+    );
+    if let Some(w) = watcher {
+        w.finish();
+    }
+    let st = &map.stats;
+    log.info(
+        "atlas_finished",
+        &[
+            ("simulated", (st.items_simulated as u64).into()),
+            ("naive_items", (st.naive_items as u64).into()),
+            ("steps_run", (st.steps_run as u64).into()),
+            ("naive_steps", (st.naive_steps as u64).into()),
+            ("locked", (map.locked_count() as u64).into()),
+            ("errors", (st.errors as u64).into()),
+            ("cancelled", map.cancelled.into()),
+        ],
+    );
+    let mut out = String::from("ix,iy,f_hz,vi,verdict,simulated,cell_size\n");
+    for iy in 0..map.ny {
+        for ix in 0..map.nx {
+            let i = iy * map.nx + ix;
+            out.push_str(&format!(
+                "{},{},{:e},{:e},{},{},{}\n",
+                ix,
+                iy,
+                map.freqs[ix],
+                map.amps[iy],
+                map.verdicts[i].name(),
+                u8::from(map.simulated[i]),
+                map.cell_size[i],
+            ));
+        }
+    }
+    // Deterministic footer, mirroring the sweep aggregate: effort counters
+    // identical at any thread count and across kill/resume (`restored` and
+    // wall time are deliberately excluded).
+    out.push_str(&format!(
+        "# aggregate locked={} passes={} simulated={}/{} steps={}/{} early_exits={} \
+         warm_starts={} warm_start_hits={} cold_fallbacks={} errors={}\n",
+        map.locked_count(),
+        st.passes,
+        st.items_simulated,
+        st.naive_items,
+        st.steps_run,
+        st.naive_steps,
+        st.early_exits,
+        st.warm_starts,
+        st.warm_start_hits,
+        st.cold_fallbacks,
+        st.errors,
+    ));
+    let emitted = emit(rest, &out, log);
+    if map.cancelled {
+        return ExitCode::from(ItemOutcome::Cancelled.exit_code());
+    }
+    if st.errors > 0 {
+        return ExitCode::from(ItemOutcome::Failed.exit_code());
+    }
+    emitted
 }
 
 /// Runs the HTTP job service until a shutdown signal arrives, then drains

@@ -219,14 +219,17 @@ fn diff_pair_parallel_lock_sweep_brackets_the_predicted_range() {
 
     assert_eq!(sweep.locked, vec![false, true, true, true, false]);
     assert_eq!(sweep.locked_count(), 3);
-    // The production transient path runs with factorization reuse on; a
-    // diff-pair run should serve most Newton iterations from stale LUs.
-    assert!(
-        sweep.report.reuse_rate() > 0.5,
-        "reuse rate {} from {}",
-        sweep.report.reuse_rate(),
+    // The diff pair (9 unknowns) sits below `TranOptions::REUSE_MIN_DIM`,
+    // where the bypass certificate's residual check costs more than
+    // refactorizing a tiny matrix (the `reuse_threshold` ladder in
+    // `BENCH_tran.json` is the measurement), so the production path skips
+    // it: every Newton iteration refactorizes, zero certified reuses.
+    assert_eq!(
+        sweep.report.reuses, 0,
+        "certificate should be skipped below REUSE_MIN_DIM: {}",
         sweep.report
     );
+    assert!(sweep.report.factorizations > 0);
 
     // Determinism: a serial pass returns the identical verdict vector.
     let serial = probe_lock_sweep(
