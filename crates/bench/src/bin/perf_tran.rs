@@ -24,8 +24,9 @@
 //! (anchored at the center frequency, so lanes share a step schedule)
 //! under the scalar vs the batched sweep backend at equal cores, asserting
 //! bitwise identity between the two — `--lanes <k>` overrides the lane
-//! width; and a dense-vs-sparse per-step ladder across system sizes, the
-//! measurement behind `SolverKind::Auto`'s crossover. Both land in the
+//! width; and a three-tier (dense / sparse / GMRES+ILU) per-step ladder
+//! across system sizes, the measurement behind `SolverKind::Auto`'s
+//! crossovers. Both land in the
 //! JSON as `batched` and `auto_crossover`. A second ladder over small
 //! systems (9–25 unknowns) times the bypass certificate against plain
 //! refactorization, pinning the `TranOptions::REUSE_MIN_DIM` crossover; it
@@ -210,15 +211,25 @@ fn bench_circuit(
 }
 
 /// One rung of the `SolverKind::Auto` crossover ladder: per-step time of
-/// the dense and sparse backends (both with the production reuse setting)
-/// at one system size. This is the measurement behind the constant in
-/// `SolverKind::resolve` — the per-config story (reuse on/off) lives in the
-/// two `bench_circuit` calls; here both backends run the engine default so
-/// the numbers answer exactly the question `Auto` has to decide.
+/// all three backends (each with the production reuse setting) at one
+/// system size. This is the measurement behind the dense↔sparse constant
+/// in `SolverKind::resolve` — the per-config story (reuse on/off) lives in
+/// the two `bench_circuit` calls; here the backends run the engine default
+/// so the numbers answer exactly the question `Auto` has to decide.
+///
+/// The iterative column documents why the GMRES tier does *not* engage on
+/// this circuit family: the injection voltage source contributes branch
+/// rows with structurally zero diagonals, so ILU(0) breaks down and every
+/// Krylov solve falls back to the embedded exact LU — pure overhead. The
+/// sparse↔iterative leg of the crossover is tuned on coupled-oscillator
+/// networks (diagonal-rich MNA, ~10²–10³ unknowns) by `perf_network`,
+/// which also measures the refactorization path the bypass certificate
+/// hides here; its artifact is `BENCH_network.json`.
 struct CrossoverPoint {
     unknowns: usize,
     dense_us: f64,
     sparse_us: f64,
+    iterative_us: f64,
 }
 
 fn bench_crossover(
@@ -234,8 +245,8 @@ fn bench_crossover(
         .map(|&sections| {
             let (ckt, node) = injected_diff_pair(params, f_inj, sections);
             let unknowns = MnaStructure::new(&ckt).size();
-            let mut us = [0.0f64; 2];
-            for (slot, kind) in [SolverKind::Dense, SolverKind::Sparse]
+            let mut us = [0.0f64; 3];
+            for (slot, kind) in [SolverKind::Dense, SolverKind::Sparse, SolverKind::Iterative]
                 .into_iter()
                 .enumerate()
             {
@@ -252,12 +263,14 @@ fn bench_crossover(
                     ("unknowns", (unknowns as u64).into()),
                     ("dense_us_per_step", us[0].into()),
                     ("sparse_us_per_step", us[1].into()),
+                    ("iterative_us_per_step", us[2].into()),
                 ],
             );
             CrossoverPoint {
                 unknowns,
                 dense_us: us[0],
                 sparse_us: us[1],
+                iterative_us: us[2],
             }
         })
         .collect()
@@ -342,8 +355,9 @@ fn json_crossover(points: &[CrossoverPoint]) -> String {
         .iter()
         .map(|p| {
             format!(
-                "{{ \"unknowns\": {}, \"dense_us\": {:.4}, \"sparse_us\": {:.4} }}",
-                p.unknowns, p.dense_us, p.sparse_us
+                "{{ \"unknowns\": {}, \"dense_us\": {:.4}, \"sparse_us\": {:.4}, \
+                 \"iterative_us\": {:.4} }}",
+                p.unknowns, p.dense_us, p.sparse_us, p.iterative_us
             )
         })
         .collect();
@@ -542,6 +556,8 @@ fn main() {
     let json = format!(
         "{{\n  \"cores\": {},\n  \"quick\": {},\n  \"diff_pair\": {},\n  \
          \"loaded_diff_pair\": {},\n  \"auto_crossover\": {},\n  \
+         \"iterative_crossover\": {},\n  \
+         \"iterative_crossover_measured_by\": \"BENCH_network.json\",\n  \
          \"reuse_threshold\": {},\n  \"sweep25_points\": 25,\n  \
          \"sweep25_serial_dense_s\": {:.6e},\n  \
          \"sweep25_parallel_sparse_s\": {:.6e},\n  \"sweep25_speedup\": {:.3},\n  \
@@ -555,6 +571,7 @@ fn main() {
         json_circuit(&paper_bench),
         json_circuit(&loaded_bench),
         json_crossover(&crossover),
+        SolverKind::ITERATIVE_CROSSOVER,
         json_reuse_threshold(&reuse_threshold),
         t_serial,
         t_parallel,

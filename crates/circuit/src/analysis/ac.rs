@@ -241,6 +241,21 @@ fn stamp_linearized(
                 let v = op.node_voltage(*a) - op.node_voltage(*b) + injection.dc_value();
                 g_stamp(m, *a, *b, Complex64::new(curve.conductance(v), 0.0));
             }
+            Device::MutualInductance { l1, l2, k } => {
+                // Branch rows become v₁ − jωL₁i₁ − jωM i₂ = 0 (and the
+                // mirror image): the self terms come from the inductors'
+                // own stamps, so only the ±jωM cross-terms are added here.
+                let henries = |d: usize| match ckt.devices()[d] {
+                    Device::Inductor { henries, .. } => henries,
+                    _ => unreachable!("mutual() guarantees inductor targets"),
+                };
+                let mval = k * (henries(*l1) * henries(*l2)).sqrt();
+                let b1 = structure.branch_index(*l1).expect("inductor branch");
+                let b2 = structure.branch_index(*l2).expect("inductor branch");
+                let jwm = Complex64::new(0.0, -omega * mval);
+                m.add_at(b1, b2, jwm);
+                m.add_at(b2, b1, jwm);
+            }
         }
     }
     let _ = IvCurve::Linear { g: 0.0 }; // keep the import used in all cfgs

@@ -353,6 +353,37 @@ impl Circuit {
         self.push(Device::Nonlinear { a, b, curve })
     }
 
+    /// Couples two existing inductors with mutual inductance
+    /// `M = k·√(L1·L2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not an [`Device::Inductor`], if the two ids
+    /// coincide, or if `k` is outside `0 < |k| < 1` — a passivity
+    /// requirement (`|k| = 1` makes the inductance matrix singular).
+    pub fn mutual(&mut self, l1: DeviceId, l2: DeviceId, k: f64) -> DeviceId {
+        assert!(
+            matches!(self.devices.get(l1.0), Some(Device::Inductor { .. })),
+            "mutual coupling target {} is not an inductor",
+            l1.0
+        );
+        assert!(
+            matches!(self.devices.get(l2.0), Some(Device::Inductor { .. })),
+            "mutual coupling target {} is not an inductor",
+            l2.0
+        );
+        assert!(l1 != l2, "cannot couple an inductor to itself");
+        assert!(
+            k.abs() > 0.0 && k.abs() < 1.0,
+            "coupling coefficient must satisfy 0 < |k| < 1, got {k}"
+        );
+        self.push(Device::MutualInductance {
+            l1: l1.0,
+            l2: l2.0,
+            k,
+        })
+    }
+
     /// Adds a series-injection nonlinear element
     /// `i = f(v_a − v_b + v_inj(t))` — the paper's SHIL topology.
     ///

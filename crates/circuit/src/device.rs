@@ -227,6 +227,19 @@ pub enum Device {
         /// The injection waveform `v_inj(t)`.
         injection: SourceWave,
     },
+    /// Mutual inductive coupling between two existing inductors.
+    ///
+    /// `M = k·√(L1·L2)`; the coupling element touches no nodes of its own
+    /// and adds no unknowns — it stamps cross-terms onto the two inductors'
+    /// branch-current rows.
+    MutualInductance {
+        /// Device index of the first coupled inductor.
+        l1: usize,
+        /// Device index of the second coupled inductor.
+        l2: usize,
+        /// Coupling coefficient `k` with `0 < |k| < 1`.
+        k: f64,
+    },
 }
 
 impl Device {
@@ -243,6 +256,9 @@ impl Device {
             | Device::InjectedNonlinear { a, b, .. } => vec![*a, *b],
             Device::Bjt { c, b, e, .. } => vec![*c, *b, *e],
             Device::Mosfet { d, g, s, .. } => vec![*d, *g, *s],
+            // The coupling references other devices' terminals, not nodes
+            // of its own.
+            Device::MutualInductance { .. } => vec![],
         }
     }
 

@@ -44,6 +44,7 @@ pub mod device;
 pub mod iv;
 pub mod mna;
 pub mod netlist;
+pub mod network;
 pub mod report;
 pub mod trace;
 pub mod wave;

@@ -411,6 +411,33 @@ pub fn assemble<J: Stamp>(
                 kcl!(*b, -i);
                 stamp_conductance(structure, jac, *a, *b, g);
             }
+            Device::MutualInductance { l1, l2, k } => {
+                // Trapezoidal/BE discretization of the coupled branch pair
+                //   v₁ = L₁·di₁/dt + M·di₂/dt,  v₂ = L₂·di₂/dt + M·di₁/dt:
+                // the self terms are already on the inductors' branch rows,
+                // so this element only adds the M cross-terms. DC: inductors
+                // are shorts and the coupling contributes nothing.
+                if let StampMode::Transient {
+                    dt, method, prev, ..
+                } = mode
+                {
+                    let henries = |d: usize| match ckt.devices()[d] {
+                        Device::Inductor { henries, .. } => henries,
+                        _ => unreachable!("mutual() guarantees inductor targets"),
+                    };
+                    let m = k * (henries(*l1) * henries(*l2)).sqrt();
+                    let km = match method {
+                        Integrator::Trapezoidal => 2.0 * m / dt,
+                        Integrator::BackwardEuler => m / dt,
+                    };
+                    let b1 = structure.branch_index(*l1).expect("inductor has branch");
+                    let b2 = structure.branch_index(*l2).expect("inductor has branch");
+                    residual[b1] -= km * (x[b2] - prev.ind_i[*l2]);
+                    residual[b2] -= km * (x[b1] - prev.ind_i[*l1]);
+                    jac.add_at(b1, b2, -km);
+                    jac.add_at(b2, b1, -km);
+                }
+            }
         }
     }
 
@@ -656,6 +683,90 @@ mod tests {
     }
 
     #[test]
+    fn mutual_inductance_jacobian_matches_finite_differences() {
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        ckt.capacitor(n1, 0, 10e-9);
+        ckt.capacitor(n2, 0, 10e-9);
+        let l1 = ckt.inductor(n1, 0, 10e-6);
+        let l2 = ckt.inductor(n2, 0, 40e-6);
+        ckt.mutual(l1, l2, 0.7);
+        ckt.resistor(n1, n2, 1e3);
+
+        let structure = MnaStructure::new(&ckt);
+        let n = structure.size();
+        let mut prev = DynamicState::for_circuit(&ckt);
+        prev.ind_v.fill(0.05);
+        prev.ind_i.fill(1e-3);
+        for method in [Integrator::Trapezoidal, Integrator::BackwardEuler] {
+            let mode = StampMode::Transient {
+                t: 1e-6,
+                dt: 2e-8,
+                method,
+                prev: &prev,
+            };
+            let x: Vec<f64> = (0..n).map(|i| 0.02 * (i as f64 + 1.0)).collect();
+            let mut r0 = vec![0.0; n];
+            let mut jac = Matrix::zeros(n, n);
+            assemble(&ckt, &structure, &x, mode, 0.0, &mut r0, &mut jac);
+            let mut r1 = vec![0.0; n];
+            let mut scratch = Matrix::zeros(n, n);
+            let h = 1e-8;
+            for j in 0..n {
+                let mut xp = x.clone();
+                xp[j] += h;
+                assemble(&ckt, &structure, &xp, mode, 0.0, &mut r1, &mut scratch);
+                for i in 0..n {
+                    let fd = (r1[i] - r0[i]) / h;
+                    assert!(
+                        (jac[(i, j)] - fd).abs() < 1e-2 * (1.0 + fd.abs()),
+                        "{method:?} J[{i},{j}] = {} but fd = {}",
+                        jac[(i, j)],
+                        fd
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutual_inductance_couples_the_branch_rows() {
+        // With i₂ ≠ i₂(prev), the cross-term must show up in branch row 1
+        // and symmetrically, with magnitude 2M/dt under trapezoidal.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.node("n1");
+        let n2 = ckt.node("n2");
+        let l1 = ckt.inductor(n1, 0, 10e-6);
+        let l2 = ckt.inductor(n2, 0, 40e-6);
+        ckt.mutual(l1, l2, 0.5);
+        ckt.resistor(n1, 0, 1e3);
+        ckt.resistor(n2, 0, 1e3);
+        let structure = MnaStructure::new(&ckt);
+        let n = structure.size();
+        let b1 = structure.branch_index(l1.index()).unwrap();
+        let b2 = structure.branch_index(l2.index()).unwrap();
+        let prev = DynamicState::for_circuit(&ckt);
+        let dt = 1e-8;
+        let mode = StampMode::Transient {
+            t: 1e-6,
+            dt,
+            method: Integrator::Trapezoidal,
+            prev: &prev,
+        };
+        let mut x = vec![0.0; n];
+        x[b2] = 1e-3;
+        let mut r = vec![0.0; n];
+        let mut jac = Matrix::zeros(n, n);
+        assemble(&ckt, &structure, &x, mode, 0.0, &mut r, &mut jac);
+        let m = 0.5 * (10e-6f64 * 40e-6).sqrt();
+        let km = 2.0 * m / dt;
+        assert!((r[b1] - (-km * 1e-3)).abs() < 1e-12 * km);
+        assert_eq!(jac[(b1, b2)], -km);
+        assert_eq!(jac[(b2, b1)], -km);
+    }
+
+    #[test]
     fn structure_layout() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
@@ -687,7 +798,9 @@ mod tests {
         ckt.vsource(n1, 0, SourceWave::sine(2.0, 1e3, 0.0));
         ckt.resistor(n1, n2, 1e3);
         ckt.capacitor(n2, 0, 1e-6);
-        ckt.inductor(n2, n3, 1e-3);
+        let la = ckt.inductor(n2, n3, 1e-3);
+        let lb = ckt.inductor(n3, 0, 2e-3);
+        ckt.mutual(la, lb, 0.4);
         ckt.diode(n2, 0, 1e-12, 1.0);
         ckt.npn(n2, n3, 0, Default::default());
         ckt.nmos(n3, n2, 0, Default::default());

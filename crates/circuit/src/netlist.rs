@@ -31,12 +31,19 @@
 //! | `Qxxx c b e [IS=…] [BF=…] [BR=…] [PNP]` | Ebers–Moll BJT |
 //! | `Mxxx d g s [VTH=…] [KP=…] [WL=…] [LAMBDA=…] [PMOS]` | level-1 MOSFET |
 //! | `Gxxx a b TANH(i_sat gain)` / `POLY(c0 c1 …)` / `TD()` | nonlinear resistor |
+//! | `Kxxx Lyyy Lzzz k` | mutual inductance between two inductor cards |
+//! | `.subckt name p1 [p2 …]` … `.ends` | subcircuit definition |
+//! | `Xinst n1 [n2 …] name` | subcircuit instantiation |
 //!
 //! Values accept engineering suffixes `f p n u m k meg g t` (case
 //! insensitive). Node `0` is ground; all other node names are arbitrary
-//! identifiers.
+//! identifiers. Subcircuit-local nodes and element names are scoped by
+//! prefixing the instance name (`X1.tank`); element names referenced by
+//! `K` cards are matched case-insensitively within the enclosing scope.
 
-use crate::circuit::Circuit;
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, DeviceId, NodeId};
 use crate::device::{BjtModel, MosfetModel};
 use crate::error::CircuitError;
 use crate::iv::{IvCurve, TunnelDiodeModel};
@@ -189,6 +196,17 @@ fn has_flag(fields: &[&str], flag: &str) -> bool {
     fields.iter().any(|f| f.eq_ignore_ascii_case(flag))
 }
 
+/// One `.subckt` definition: port names plus body cards carrying their
+/// original line numbers, so diagnostics point at the definition text.
+struct SubcktDef {
+    ports: Vec<String>,
+    body: Vec<(usize, String)>,
+}
+
+/// Maximum `X` instantiation depth — a recursive subcircuit otherwise
+/// expands forever.
+const MAX_SUBCKT_DEPTH: usize = 8;
+
 /// Parses a netlist into a [`Circuit`].
 ///
 /// # Errors
@@ -198,19 +216,116 @@ fn has_flag(fields: &[&str], flag: &str) -> bool {
 /// for any malformed card. `parse` never panics, whatever the input bytes —
 /// a property enforced by the `netlist_fuzz` test suite.
 pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
-    let mut ckt = Circuit::new();
+    // Pass 1: lift `.subckt` … `.ends` blocks out of the card stream.
+    let mut subckts: HashMap<String, SubcktDef> = HashMap::new();
+    let mut main_body: Vec<(usize, String)> = Vec::new();
+    let mut open: Option<(String, SubcktDef)> = None;
+    let mut last_line = 0;
     for (idx, raw) in netlist.lines().enumerate() {
         let line_no = idx + 1;
+        last_line = line_no;
         let content = raw.split('*').next().unwrap_or("");
-        let trim_start = content.len() - content.trim_start().len();
         let line = content.trim();
-        if line.is_empty() {
+        let first = line.split_whitespace().next().unwrap_or("");
+        let bad =
+            |msg: String| CircuitError::InvalidParameter(format!("line {line_no}, col 1: {msg}"));
+        if first.eq_ignore_ascii_case(".subckt") {
+            if open.is_some() {
+                return Err(bad("nested .subckt definitions are not supported".into()));
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() < 3 {
+                return Err(bad(".subckt needs `name port [port ...]`".into()));
+            }
+            let name = fields[1].to_ascii_uppercase();
+            if subckts.contains_key(&name) {
+                return Err(bad(format!("duplicate .subckt `{}`", fields[1])));
+            }
+            let ports: Vec<String> = fields[2..].iter().map(|p| p.to_string()).collect();
+            open = Some((
+                name,
+                SubcktDef {
+                    ports,
+                    body: Vec::new(),
+                },
+            ));
             continue;
         }
-        let lower = line.to_ascii_lowercase();
-        if lower == ".end" || lower.starts_with(".title") {
+        if first.eq_ignore_ascii_case(".ends") {
+            match open.take() {
+                Some((name, def)) => {
+                    subckts.insert(name, def);
+                }
+                None => return Err(bad(".ends without a matching .subckt".into())),
+            }
             continue;
         }
+        match open.as_mut() {
+            Some((_, def)) => def.body.push((line_no, raw.to_string())),
+            None => main_body.push((line_no, raw.to_string())),
+        }
+    }
+    if let Some((name, _)) = open {
+        return Err(CircuitError::InvalidParameter(format!(
+            "line {last_line}, col 1: unterminated .subckt `{name}`"
+        )));
+    }
+
+    let mut ckt = Circuit::new();
+    let mut inductors: HashMap<String, DeviceId> = HashMap::new();
+    expand_body(
+        &mut ckt,
+        &mut inductors,
+        &subckts,
+        "",
+        &HashMap::new(),
+        &main_body,
+        0,
+    )?;
+    Ok(ckt)
+}
+
+/// Processes a sequence of cards within one subcircuit scope.
+fn expand_body(
+    ckt: &mut Circuit,
+    inductors: &mut HashMap<String, DeviceId>,
+    subckts: &HashMap<String, SubcktDef>,
+    prefix: &str,
+    port_map: &HashMap<String, NodeId>,
+    body: &[(usize, String)],
+    depth: usize,
+) -> Result<(), CircuitError> {
+    for (line_no, raw) in body {
+        parse_card(
+            ckt, inductors, subckts, prefix, port_map, *line_no, raw, depth,
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses one element card in the scope described by `prefix`/`port_map`.
+#[allow(clippy::too_many_arguments)]
+fn parse_card(
+    ckt: &mut Circuit,
+    inductors: &mut HashMap<String, DeviceId>,
+    subckts: &HashMap<String, SubcktDef>,
+    prefix: &str,
+    port_map: &HashMap<String, NodeId>,
+    line_no: usize,
+    raw: &str,
+    depth: usize,
+) -> Result<(), CircuitError> {
+    let content = raw.split('*').next().unwrap_or("");
+    let trim_start = content.len() - content.trim_start().len();
+    let line = content.trim();
+    if line.is_empty() {
+        return Ok(());
+    }
+    let lower = line.to_ascii_lowercase();
+    if lower == ".end" || lower.starts_with(".title") {
+        return Ok(());
+    }
+    {
         let spans = field_spans(line);
         let fields: Vec<&str> = spans.iter().map(|&(_, t)| t).collect();
         let name = fields[0];
@@ -236,8 +351,12 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
         let mut node = |tok: &str| -> usize {
             if tok == "0" {
                 Circuit::GROUND
-            } else {
+            } else if let Some(&mapped) = port_map.get(tok) {
+                mapped
+            } else if prefix.is_empty() {
                 ckt.node(tok)
+            } else {
+                ckt.node(&format!("{prefix}{tok}"))
             }
         };
         match kind {
@@ -253,10 +372,80 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
                     return Err(bad_at(3, format!("{name}: value must be positive")));
                 }
                 match kind {
-                    'R' => ckt.resistor(a, b, v),
-                    'C' => ckt.capacitor(a, b, v),
-                    _ => ckt.inductor(a, b, v),
+                    'R' => {
+                        ckt.resistor(a, b, v);
+                    }
+                    'C' => {
+                        ckt.capacitor(a, b, v);
+                    }
+                    _ => {
+                        let id = ckt.inductor(a, b, v);
+                        inductors.insert(format!("{prefix}{name}").to_ascii_uppercase(), id);
+                    }
+                }
+            }
+            'K' => {
+                if fields.len() < 4 {
+                    return Err(bad(format!("{name} needs `L1 L2 k`")));
+                }
+                let lookup = |k: usize| -> Result<DeviceId, CircuitError> {
+                    let key = format!("{prefix}{}", fields[k]).to_ascii_uppercase();
+                    inductors.get(&key).copied().ok_or_else(|| {
+                        bad_at(k, format!("{name}: unknown inductor `{}`", fields[k]))
+                    })
                 };
+                let l1 = lookup(1)?;
+                let l2 = lookup(2)?;
+                if l1 == l2 {
+                    return Err(bad_at(
+                        2,
+                        format!("{name}: cannot couple `{}` to itself", fields[2]),
+                    ));
+                }
+                let kval = parse_value(fields[3]).map_err(|e| at(line_no, col(3), e))?;
+                // NaN-rejecting passivity check.
+                if !(kval.abs() > 0.0 && kval.abs() < 1.0) {
+                    return Err(bad_at(
+                        3,
+                        format!("{name}: coupling must satisfy 0 < |k| < 1"),
+                    ));
+                }
+                ckt.mutual(l1, l2, kval);
+            }
+            'X' => {
+                if fields.len() < 2 {
+                    return Err(bad(format!("{name} needs `[node ...] subckt`")));
+                }
+                let sub_tok = fields[fields.len() - 1];
+                let def = subckts.get(&sub_tok.to_ascii_uppercase()).ok_or_else(|| {
+                    bad_at(fields.len() - 1, format!("unknown subcircuit `{sub_tok}`"))
+                })?;
+                let given = &fields[1..fields.len() - 1];
+                if given.len() != def.ports.len() {
+                    return Err(bad(format!(
+                        "{name}: subcircuit `{sub_tok}` has {} ports but {} nodes were given",
+                        def.ports.len(),
+                        given.len()
+                    )));
+                }
+                if depth >= MAX_SUBCKT_DEPTH {
+                    return Err(bad(
+                        "subcircuit nesting too deep (recursive instantiation?)".into(),
+                    ));
+                }
+                let resolved: Vec<NodeId> = given.iter().map(|tok| node(tok)).collect();
+                let child_ports: HashMap<String, NodeId> =
+                    def.ports.iter().cloned().zip(resolved).collect();
+                let child_prefix = format!("{prefix}{name}.");
+                expand_body(
+                    ckt,
+                    inductors,
+                    subckts,
+                    &child_prefix,
+                    &child_ports,
+                    &def.body,
+                    depth + 1,
+                )?;
             }
             'V' | 'I' => {
                 if fields.len() < 4 {
@@ -375,7 +564,7 @@ pub fn parse(netlist: &str) -> Result<Circuit, CircuitError> {
             }
         }
     }
-    Ok(ckt)
+    Ok(())
 }
 
 /// Serializes a circuit back into netlist text (an inverse of [`parse`] for
@@ -509,6 +698,10 @@ pub fn write(ckt: &Circuit) -> Result<String, CircuitError> {
                 }
                 _ => return Err(unsupported("tabulated/shifted nonlinearity")),
             },
+            Device::MutualInductance { l1, l2, k: kc } => {
+                // References the coupled inductors by their emitted names.
+                let _ = writeln!(out, "K{k} L{l1} L{l2} {kc:e}");
+            }
             _ => return Err(unsupported("injected nonlinearity")),
         }
     }
@@ -600,8 +793,11 @@ mod tests {
     #[test]
     fn error_messages_carry_columns() {
         // The unknown card name sits at column 1 of line 2.
-        let e = parse("R1 a 0 1k\nX9 a 0 1\n").unwrap_err();
+        let e = parse("R1 a 0 1k\nY9 a 0 1\n").unwrap_err();
         assert!(e.to_string().contains("line 2, col 1"), "{e}");
+        // An X card referencing a missing subcircuit points at its name.
+        let e = parse("R1 a 0 1k\nX9 a 0 osc\n").unwrap_err();
+        assert!(e.to_string().contains("line 2, col 8"), "{e}");
         // The malformed value is the 4th field, column 8.
         let e = parse("R1 a 0 abc\n").unwrap_err();
         assert!(e.to_string().contains("line 1, col 8"), "{e}");
@@ -645,6 +841,129 @@ mod tests {
         let a = ckt.node("a");
         ckt.injected_nonlinear(a, 0, IvCurve::tanh(-1e-3, 20.0), SourceWave::Dc(0.0));
         assert!(write(&ckt).is_err());
+    }
+
+    #[test]
+    fn parses_mutual_inductance() {
+        use crate::device::Device;
+        let ckt = parse(
+            "L1 a 0 10u\n\
+             L2 b 0 40u\n\
+             K1 L1 L2 0.3\n\
+             R1 a 0 1k\n\
+             R2 b 0 1k\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            ckt.devices()[2],
+            Device::MutualInductance { l1: 0, l2: 1, k } if k == 0.3
+        ));
+    }
+
+    #[test]
+    fn mutual_inductance_errors_are_positioned() {
+        let base = "L1 a 0 10u\nL2 b 0 10u\n";
+        let e = parse(&format!("{base}K1 L1 L9 0.5\n")).unwrap_err();
+        assert!(e.to_string().contains("line 3, col 7"), "{e}");
+        assert!(e.to_string().contains("unknown inductor"), "{e}");
+        let e = parse(&format!("{base}K1 L1 L1 0.5\n")).unwrap_err();
+        assert!(e.to_string().contains("couple"), "{e}");
+        let e = parse(&format!("{base}K1 L1 L2 1.5\n")).unwrap_err();
+        assert!(e.to_string().contains("0 < |k| < 1"), "{e}");
+        let e = parse(&format!("{base}K1 L1 L2 0\n")).unwrap_err();
+        assert!(e.to_string().contains("0 < |k| < 1"), "{e}");
+        // A K card naming a non-inductor element never reaches the builder:
+        // the registry only holds inductors.
+        let e = parse("R1 a 0 1k\nL1 a 0 1u\nK1 R1 L1 0.5\n").unwrap_err();
+        assert!(e.to_string().contains("unknown inductor"), "{e}");
+    }
+
+    #[test]
+    fn subckt_expansion_scopes_nodes_and_elements() {
+        use crate::device::Device;
+        // The coupled-tank idiom: each instance carries its own pair of
+        // inductors and its own K card.
+        let ckt = parse(
+            ".subckt ctank p1 p2\n\
+             L1 p1 0 10u\n\
+             L2 p2 0 10u\n\
+             K1 L1 L2 0.6\n\
+             .ends\n\
+             X1 a b ctank\n\
+             X2 c d ctank\n\
+             R1 a 0 1k\n",
+        )
+        .unwrap();
+        assert_eq!(ckt.devices().len(), 7);
+        assert!(matches!(
+            ckt.devices()[2],
+            Device::MutualInductance { l1: 0, l2: 1, k } if k == 0.6
+        ));
+        assert!(matches!(
+            ckt.devices()[5],
+            Device::MutualInductance { l1: 3, l2: 4, k } if k == 0.6
+        ));
+        // Ports bind to caller nodes; no phantom local nodes appear.
+        assert!(ckt.find_node("a").is_some());
+        assert!(ckt.find_node("X1.p1").is_none());
+    }
+
+    #[test]
+    fn subckt_local_nodes_are_instance_scoped() {
+        let ckt = parse(
+            ".subckt rdiv top\n\
+             R1 top mid 1k\n\
+             R2 mid 0 1k\n\
+             .ends\n\
+             X1 a rdiv\n\
+             X2 a rdiv\n",
+        )
+        .unwrap();
+        // Each instance gets its own `mid` node.
+        assert!(ckt.find_node("X1.mid").is_some());
+        assert!(ckt.find_node("X2.mid").is_some());
+        assert_eq!(ckt.devices().len(), 4);
+    }
+
+    #[test]
+    fn subckt_structural_errors_are_positioned() {
+        let e = parse(".subckt t a\nR1 a 0 1k\n").unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+        assert!(e.to_string().contains("line 2, col 1"), "{e}");
+        let e = parse(".ends\n").unwrap_err();
+        assert!(e.to_string().contains("without a matching"), "{e}");
+        let e = parse(".subckt t a\n.subckt u b\n.ends\n.ends\n").unwrap_err();
+        assert!(e.to_string().contains("nested"), "{e}");
+        let e = parse(".subckt t\n.ends\n").unwrap_err();
+        assert!(e.to_string().contains("needs"), "{e}");
+        let e = parse(".subckt t a\n.ends\nX1 a b t\n").unwrap_err();
+        assert!(e.to_string().contains("1 ports but 2"), "{e}");
+        // Self-instantiation terminates with a depth error, not a hang.
+        let e = parse(".subckt t a\nX1 a t\n.ends\nX0 n t\n").unwrap_err();
+        assert!(e.to_string().contains("too deep"), "{e}");
+    }
+
+    #[test]
+    fn mutual_roundtrips_through_write_and_parse() {
+        use crate::device::Device;
+        let ckt = parse(
+            "L1 a 0 10u\n\
+             L2 b 0 10u\n\
+             K1 L1 L2 0.45\n\
+             R1 a 0 1k\n\
+             R2 b 0 1k\n\
+             C1 a 0 10n\n\
+             C2 b 0 10n\n",
+        )
+        .unwrap();
+        let rendered = write(&ckt).unwrap();
+        assert!(rendered.contains("K2 L0 L1"), "{rendered}");
+        let again = parse(&rendered).unwrap();
+        assert_eq!(ckt.devices().len(), again.devices().len());
+        assert!(matches!(
+            again.devices()[2],
+            Device::MutualInductance { l1: 0, l2: 1, k } if k == 0.45
+        ));
     }
 
     #[test]

@@ -8,8 +8,10 @@ use proptest::prelude::*;
 use shil_circuit::netlist;
 
 /// Characters weighted toward netlist syntax, so generated inputs exercise
-/// the card parsers instead of dying at `unknown element type`.
-const SYNTAX: &[u8] = b"RCLVIDQMGX0123456789abkmnu().=-+* \t_eE";
+/// the card parsers instead of dying at `unknown element type`. Includes
+/// `K`, `X`, `.` and the letters of `.subckt`/`.ends` so mutual-inductance
+/// cards and subcircuit blocks get fuzzed too.
+const SYNTAX: &[u8] = b"RCLVIDQMGXK0123456789abkmnustcd().=-+* \t_eE";
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -23,7 +25,7 @@ proptest! {
     }
 
     #[test]
-    fn parse_never_panics_on_netlist_shaped_text(picks in prop::collection::vec(0usize..38, 0..200)) {
+    fn parse_never_panics_on_netlist_shaped_text(picks in prop::collection::vec(0usize..SYNTAX.len(), 0..200)) {
         let text: String = picks.iter().map(|&i| {
             let b = SYNTAX[i % SYNTAX.len()];
             if b == b'_' { '\n' } else { b as char }
@@ -32,7 +34,7 @@ proptest! {
     }
 
     #[test]
-    fn parse_errors_are_positioned(picks in prop::collection::vec(0usize..38, 1..120)) {
+    fn parse_errors_are_positioned(picks in prop::collection::vec(0usize..SYNTAX.len(), 1..120)) {
         let text: String = picks.iter().map(|&i| {
             let b = SYNTAX[i % SYNTAX.len()];
             if b == b'_' { '\n' } else { b as char }

@@ -1,0 +1,123 @@
+//! Solver-tier identity for coupled-oscillator network lock analysis: the
+//! GMRES + ILU(0) iterative tier must produce the same lock verdicts as
+//! the sparse-LU reference on the same network — the CI-fast version of
+//! the metronome example's acceptance gate.
+//!
+//! Two regimes are pinned. Below the iterative tier's direct-solve floor
+//! the embedded LU makes the *waveforms* bit-identical, so everything
+//! downstream agrees trivially; above the floor real restarted-GMRES
+//! iterations decide every Newton step and only the certificate
+//! (`‖b − A·x‖ ≤ rtol·‖b‖`) bounds the difference — the lock verdicts
+//! still may not move.
+
+use shil_circuit::analysis::{SolverKind, TranOptions};
+use shil_circuit::mna::MnaStructure;
+use shil_circuit::network::{
+    CoupledNetwork, Coupling, NetworkLockOptions, NetworkLockReport, NetworkSpec, Topology,
+};
+use shil_numerics::iterative::GmresSolver;
+use shil_waveform::lock::LockOptions;
+
+/// Windows sized for the short CI transients (6 × 7 periods inside a
+/// 48-period recorded tail, leaving margin for consensus detuning).
+fn short_lock_options() -> NetworkLockOptions {
+    NetworkLockOptions {
+        lock: LockOptions {
+            windows: 6,
+            periods_per_window: 7,
+            ..LockOptions::default()
+        },
+        ..NetworkLockOptions::default()
+    }
+}
+
+fn detuned_ring(n: usize, spread: f64, ohms: f64) -> NetworkSpec {
+    let detuning: Vec<f64> = (0..n)
+        .map(|i| -spread + 2.0 * spread * i as f64 / (n - 1) as f64)
+        .collect();
+    NetworkSpec::new(n, Topology::Ring, Coupling::Resistive { ohms }).with_detuning(detuning)
+}
+
+fn run(net: &CoupledNetwork, solver: SolverKind) -> (TranOptions, NetworkLockReport) {
+    let mut opts = net.transient_options(120.0, 48.0, 48);
+    opts.solver = solver;
+    let result = net.simulate(&opts).expect("transient");
+    let report = net
+        .probe_lock(&result, &short_lock_options())
+        .expect("lock analysis");
+    (opts, report)
+}
+
+fn assert_verdicts_identical(tag: &str, a: &NetworkLockReport, b: &NetworkLockReport) {
+    assert_eq!(a.mutual_lock, b.mutual_lock, "{tag}: mutual verdict");
+    assert_eq!(
+        a.locked_fraction, b.locked_fraction,
+        "{tag}: locked fraction"
+    );
+    for (oa, ob) in a.oscillators.iter().zip(&b.oscillators) {
+        assert_eq!(oa.locked, ob.locked, "{tag}: oscillator {}", oa.index);
+    }
+    for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+        assert_eq!(
+            (pa.a, pa.b, pa.locked),
+            (pb.a, pb.b, pb.locked),
+            "{tag}: pair ({}, {})",
+            pa.a,
+            pa.b
+        );
+    }
+}
+
+/// Below the direct-solve floor the iterative tier routes through its
+/// embedded exact LU: waveforms — and therefore verdicts — bit-identical.
+#[test]
+fn network_small_ring_iterative_is_bit_identical_to_sparse() {
+    let net = detuned_ring(6, 0.005, 2e3).build().expect("build");
+    let unknowns = MnaStructure::new(&net.circuit).size();
+    assert!(
+        unknowns < GmresSolver::DIRECT_BELOW_DIM,
+        "{unknowns} unknowns should sit below the direct floor"
+    );
+    let mut sp_opts = net.transient_options(120.0, 48.0, 48);
+    sp_opts.solver = SolverKind::Sparse;
+    let mut it_opts = sp_opts.clone();
+    it_opts.solver = SolverKind::Iterative;
+    let sp = net.simulate(&sp_opts).expect("sparse transient");
+    let it = net.simulate(&it_opts).expect("iterative transient");
+    for &probe in &net.probes {
+        assert_eq!(
+            sp.node_voltage(probe).unwrap(),
+            it.node_voltage(probe).unwrap(),
+            "waveform at node {probe} must be bit-identical below the direct floor"
+        );
+    }
+    assert_verdicts_identical(
+        "6-ring",
+        &net.probe_lock(&sp, &short_lock_options()).unwrap(),
+        &net.probe_lock(&it, &short_lock_options()).unwrap(),
+    );
+}
+
+/// Above the floor real GMRES iterations serve the Newton steps; the lock
+/// verdicts must not move, on either side of the synchronization
+/// transition.
+#[test]
+fn network_large_ring_verdicts_match_across_solver_tiers() {
+    for (ohms, expect_lock) in [(2e2, true), (3e5, false)] {
+        let net = detuned_ring(33, 0.003, ohms).build().expect("build");
+        let unknowns = MnaStructure::new(&net.circuit).size();
+        assert!(
+            unknowns >= GmresSolver::DIRECT_BELOW_DIM,
+            "{unknowns} unknowns should exercise real GMRES"
+        );
+        let (_, sp) = run(&net, SolverKind::Sparse);
+        let (_, it) = run(&net, SolverKind::Iterative);
+        assert_eq!(
+            sp.mutual_lock,
+            expect_lock,
+            "sparse reference at R_c = {ohms} should {} lock",
+            if expect_lock { "" } else { "not" }
+        );
+        assert_verdicts_identical(&format!("33-ring at R_c = {ohms}"), &sp, &it);
+    }
+}

@@ -1,0 +1,957 @@
+//! Iterative Krylov tier: restarted GMRES(m) with an ILU(0) preconditioner.
+//!
+//! Coupled-oscillator networks push MNA systems to ~10²–10³ unknowns, where
+//! [`SparseSolver`]'s per-refactorization cost — an `O(n²)` dense working
+//! buffer scatter plus elimination — dominates every Newton iteration. This
+//! module adds the third [`LinearSolver`] backend: a restarted GMRES whose
+//! per-solve cost is `O(nnz)` per Krylov iteration, preconditioned by an
+//! incomplete LU factorization with zero fill-in (ILU(0)) computed over the
+//! *existing* CSR [`SparsePattern`] — no symbolic analysis beyond what the
+//! circuit already owns.
+//!
+//! # Correctness contract
+//!
+//! [`LinearSolver::solve_in_place`] cannot return errors, so all failure
+//! handling is internal and fail-safe:
+//!
+//! - systems below [`GmresSolver::DIRECT_BELOW_DIM`] unknowns are served by
+//!   an embedded natural-ordering [`SparseSolver`] — **bit-identical** to the
+//!   sparse-LU backend (same elimination kernel, same pivot order);
+//! - a Krylov solve is served **only** after its true residual passes the
+//!   certificate `‖b − A·x‖₂ ≤ rtol·‖b‖₂` against the stored copy of `A`;
+//! - ILU breakdown, stagnation, non-finite intermediates, or a failed
+//!   certificate all fall back to the embedded exact LU — a NaN-poisoned
+//!   preconditioner can therefore never influence a served solution;
+//! - if even the fallback LU cannot factorize (the system is singular at
+//!   solve time), the output is filled with NaN, which the NaN-propagating
+//!   norms of every caller in this workspace treat as a failed step — never
+//!   as an answer;
+//! - a tripped [`Budget`] stops the Krylov loop cooperatively and poisons
+//!   the output the same way, so a deadline aborts work instead of finishing
+//!   it; the caller's own budget check converts that into a typed
+//!   cancellation.
+
+use std::sync::Arc;
+
+use shil_runtime::Budget;
+
+use crate::error::NumericsError;
+use crate::solver::{reject_non_finite, LinearSolver, Stamp};
+use crate::sparse::{SparseMatrix, SparsePattern, SparseSolver};
+
+/// Incomplete LU factorization with zero fill-in over a CSR pattern.
+///
+/// Factors are stored in the pattern's own slot layout: `L` strictly below
+/// the diagonal (unit diagonal implied), `U` on and above it. Positions
+/// outside the pattern are dropped — that is the ILU(0) approximation.
+#[derive(Debug, Clone)]
+pub struct Ilu0 {
+    pattern: Arc<SparsePattern>,
+    values: Vec<f64>,
+    /// Slot of each diagonal entry `(i, i)`; MNA patterns always include the
+    /// full diagonal ([`sparse_pattern`] forces it).
+    ///
+    /// [`sparse_pattern`]: https://docs.rs/shil-circuit
+    diag_slot: Vec<usize>,
+    ready: bool,
+}
+
+impl Ilu0 {
+    /// Pivot magnitudes at or below this threshold abort the factorization
+    /// (same floor as the exact elimination kernel).
+    const PIVOT_FLOOR: f64 = 1e-300;
+
+    /// Allocates factor storage over `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidInput`] if any diagonal position is missing
+    /// from the pattern — ILU(0) needs every pivot to be structural.
+    pub fn new(pattern: Arc<SparsePattern>) -> Result<Self, NumericsError> {
+        let n = pattern.dim();
+        let mut diag_slot = Vec::with_capacity(n);
+        for i in 0..n {
+            match pattern.slot(i, i) {
+                Some(s) => diag_slot.push(s),
+                None => {
+                    return Err(NumericsError::InvalidInput(format!(
+                        "ILU(0) requires a structural diagonal; ({i}, {i}) is missing"
+                    )))
+                }
+            }
+        }
+        Ok(Ilu0 {
+            values: vec![0.0; pattern.nnz()],
+            pattern,
+            diag_slot,
+            ready: false,
+        })
+    }
+
+    /// Recomputes the factors from CSR values (same slot order as the
+    /// pattern). Returns `false` on breakdown — a zero, denormal-tiny or
+    /// non-finite pivot — leaving the factorization unusable until the next
+    /// successful call.
+    pub fn compute(&mut self, a_values: &[f64]) -> bool {
+        let n = self.pattern.dim();
+        assert_eq!(a_values.len(), self.values.len(), "value length mismatch");
+        self.ready = false;
+        self.values.copy_from_slice(a_values);
+        // IKJ Gaussian elimination restricted to the pattern.
+        for i in 0..n {
+            // Eliminate columns k < i present in row i, in ascending order
+            // (CSR rows are sorted, so iteration order is already correct).
+            for (k, slot_ik) in self.pattern.row(i) {
+                if k >= i {
+                    break;
+                }
+                // `<=` plus the finiteness check rejects NaN pivots too.
+                let pivot = self.values[self.diag_slot[k]];
+                if pivot.abs() <= Self::PIVOT_FLOOR || !pivot.is_finite() {
+                    return false;
+                }
+                let m = self.values[slot_ik] / pivot;
+                self.values[slot_ik] = m;
+                if m == 0.0 {
+                    continue;
+                }
+                for (j, slot_kj) in self.pattern.row(k) {
+                    if j > k {
+                        if let Some(slot_ij) = self.pattern.slot(i, j) {
+                            self.values[slot_ij] -= m * self.values[slot_kj];
+                        }
+                    }
+                }
+            }
+            let d = self.values[self.diag_slot[i]];
+            if d.abs() <= Self::PIVOT_FLOOR || !d.is_finite() {
+                return false;
+            }
+        }
+        self.ready = true;
+        true
+    }
+
+    /// Whether a successful factorization is stored.
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// Applies the preconditioner: overwrites `x` with `(LU)⁻¹·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no successful [`compute`](Self::compute) has happened or on
+    /// a length mismatch.
+    pub fn apply(&self, x: &mut [f64]) {
+        assert!(self.ready, "Ilu0::apply before a successful compute");
+        let n = self.pattern.dim();
+        assert_eq!(x.len(), n, "vector length mismatch");
+        // Forward solve with unit-lower L.
+        for i in 0..n {
+            let mut acc = x[i];
+            for (j, s) in self.pattern.row(i) {
+                if j >= i {
+                    break;
+                }
+                acc -= self.values[s] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back solve with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (j, s) in self.pattern.row(i) {
+                if j > i {
+                    acc -= self.values[s] * x[j];
+                }
+            }
+            x[i] = acc / self.values[self.diag_slot[i]];
+        }
+    }
+
+    /// Test-only fault injection: overwrites one stored factor entry.
+    ///
+    /// Exists so the fault-injection suite can prove that a poisoned
+    /// preconditioner never influences a served solution; not part of the
+    /// supported API.
+    #[doc(hidden)]
+    pub fn poison_slot_for_tests(&mut self, slot: usize, value: f64) {
+        let idx = slot % self.values.len().max(1);
+        self.values[idx] = value;
+    }
+}
+
+/// How a Krylov attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KrylovOutcome {
+    /// The certificate passed; the solution buffer holds the answer.
+    Converged,
+    /// No convergence (stagnation, restart budget spent, breakdown, or a
+    /// non-finite intermediate) — fall back to exact LU.
+    Stagnated,
+    /// The execution budget tripped mid-loop.
+    Cancelled,
+}
+
+/// Which engine serves solves for the current factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Embedded exact sparse LU (small systems and ILU-breakdown recovery).
+    Direct,
+    /// Preconditioned restarted GMRES with LU fallback.
+    Krylov,
+}
+
+/// Restarted GMRES(m) + ILU(0): the iterative [`LinearSolver`] backend.
+///
+/// ```
+/// use std::sync::Arc;
+/// use shil_numerics::iterative::GmresSolver;
+/// use shil_numerics::solver::{LinearSolver, Stamp};
+/// use shil_numerics::sparse::{SparseMatrix, SparsePattern};
+///
+/// # fn main() -> Result<(), shil_numerics::NumericsError> {
+/// let pattern = Arc::new(SparsePattern::from_entries(
+///     2,
+///     &[(0, 0), (0, 1), (1, 0), (1, 1)],
+/// ));
+/// let mut a = SparseMatrix::zeros(pattern.clone());
+/// a.add_at(0, 0, 4.0);
+/// a.add_at(0, 1, 1.0);
+/// a.add_at(1, 0, 1.0);
+/// a.add_at(1, 1, 3.0);
+/// let mut solver = GmresSolver::new(pattern)?;
+/// solver.refactorize(&a)?;
+/// let mut x = [9.0, 10.0];
+/// solver.solve_in_place(&mut x);
+/// assert!((x[0] - 17.0 / 11.0).abs() < 1e-10);
+/// assert!((x[1] - 31.0 / 11.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GmresSolver {
+    pattern: Arc<SparsePattern>,
+    /// Values of the current matrix (Krylov matvecs and the residual
+    /// certificate both run against this copy, never a caller borrow).
+    a_copy: SparseMatrix,
+    ilu: Ilu0,
+    fallback: SparseSolver,
+    /// Whether `fallback` currently holds factors of `a_copy`.
+    fallback_ready: bool,
+    mode: Mode,
+    factorized: bool,
+    direct_below: usize,
+    restart: usize,
+    max_restarts: usize,
+    rtol: f64,
+    budget: Budget,
+    // Preallocated Krylov workspace.
+    basis: Vec<Vec<f64>>,
+    /// Upper-triangular `R` from the Givens-rotated Hessenberg, stored
+    /// column-major with leading dimension `restart + 1`.
+    hess: Vec<f64>,
+    givens_c: Vec<f64>,
+    givens_s: Vec<f64>,
+    g: Vec<f64>,
+    y: Vec<f64>,
+    w: Vec<f64>,
+    z: Vec<f64>,
+    xk: Vec<f64>,
+    rhs: Vec<f64>,
+    // Lifetime stats (also exported as shil_numerics_gmres_* counters).
+    iterations: u64,
+    restarts: u64,
+    stagnations: u64,
+    fallback_solves: u64,
+}
+
+impl GmresSolver {
+    /// Default Krylov subspace dimension before a restart.
+    pub const DEFAULT_RESTART: usize = 32;
+    /// Default cap on restart cycles before declaring stagnation.
+    pub const DEFAULT_MAX_RESTARTS: usize = 40;
+    /// Default relative residual tolerance. Tight enough that a certified
+    /// Krylov step is indistinguishable from an exact solve as far as the
+    /// damped-Newton loops in this workspace are concerned (they converge
+    /// the *nonlinear* residual to ~1e-9 absolute).
+    pub const DEFAULT_RTOL: f64 = 1e-10;
+    /// Systems with fewer unknowns than this are served by the embedded
+    /// exact sparse LU (bit-identical to [`SparseSolver`]): below a few
+    /// hundred unknowns the `O(n²)` refactorization is cheaper than a
+    /// Krylov cycle, and exactness preserves the bit-compatibility contract
+    /// of the dense/sparse pair.
+    pub const DIRECT_BELOW_DIM: usize = 64;
+
+    /// Allocates a solver over `pattern` with default parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidInput`] if the pattern lacks a structural
+    /// diagonal (see [`Ilu0::new`]).
+    pub fn new(pattern: Arc<SparsePattern>) -> Result<Self, NumericsError> {
+        let n = pattern.dim();
+        let restart = Self::DEFAULT_RESTART.min(n.max(1));
+        let ilu = Ilu0::new(pattern.clone())?;
+        Ok(GmresSolver {
+            a_copy: SparseMatrix::zeros(pattern.clone()),
+            ilu,
+            fallback: SparseSolver::new(pattern.clone()),
+            fallback_ready: false,
+            mode: Mode::Direct,
+            factorized: false,
+            direct_below: Self::DIRECT_BELOW_DIM,
+            restart,
+            max_restarts: Self::DEFAULT_MAX_RESTARTS,
+            rtol: Self::DEFAULT_RTOL,
+            budget: Budget::unlimited(),
+            basis: (0..=restart).map(|_| vec![0.0; n]).collect(),
+            hess: vec![0.0; (restart + 1) * restart],
+            givens_c: vec![0.0; restart],
+            givens_s: vec![0.0; restart],
+            g: vec![0.0; restart + 1],
+            y: vec![0.0; restart],
+            w: vec![0.0; n],
+            z: vec![0.0; n],
+            xk: vec![0.0; n],
+            rhs: vec![0.0; n],
+            pattern,
+            iterations: 0,
+            restarts: 0,
+            stagnations: 0,
+            fallback_solves: 0,
+        })
+    }
+
+    /// Overrides the Krylov subspace dimension (clamped to `≥ 1`).
+    #[must_use]
+    pub fn with_restart(mut self, m: usize) -> Self {
+        let n = self.pattern.dim();
+        let restart = m.clamp(1, n.max(1));
+        self.restart = restart;
+        self.basis = (0..=restart).map(|_| vec![0.0; n]).collect();
+        self.hess = vec![0.0; (restart + 1) * restart];
+        self.givens_c = vec![0.0; restart];
+        self.givens_s = vec![0.0; restart];
+        self.g = vec![0.0; restart + 1];
+        self.y = vec![0.0; restart];
+        self
+    }
+
+    /// Overrides the relative residual tolerance (certificate bound).
+    #[must_use]
+    pub fn with_tolerance(mut self, rtol: f64) -> Self {
+        self.rtol = rtol.max(0.0);
+        self
+    }
+
+    /// Overrides the size below which solves go straight to the embedded
+    /// exact LU. `0` forces the Krylov path at every size (test hook).
+    #[must_use]
+    pub fn with_direct_below(mut self, dim: usize) -> Self {
+        self.direct_below = dim;
+        self
+    }
+
+    /// Installs a cooperative execution budget, checked once per Krylov
+    /// iteration. A tripped budget poisons the output with NaN (see the
+    /// module docs) rather than finishing the solve.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Krylov iterations performed over this solver's lifetime.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Restart cycles beyond the first, over this solver's lifetime.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Krylov attempts that ended in stagnation/breakdown and fell back.
+    pub fn stagnations(&self) -> u64 {
+        self.stagnations
+    }
+
+    /// Solves served by the embedded exact LU (direct mode + fallbacks).
+    pub fn fallback_solves(&self) -> u64 {
+        self.fallback_solves
+    }
+
+    /// Whether the current factorization serves solves through the Krylov
+    /// path (as opposed to the embedded exact LU).
+    pub fn is_krylov(&self) -> bool {
+        self.factorized && self.mode == Mode::Krylov
+    }
+
+    /// Test-only access to the preconditioner for fault injection.
+    #[doc(hidden)]
+    pub fn preconditioner_mut_for_tests(&mut self) -> &mut Ilu0 {
+        &mut self.ilu
+    }
+
+    /// Serves `x` (holding the rhs in `self.rhs`) through the exact LU,
+    /// factorizing on demand. On a singular system the output is poisoned
+    /// with NaN — callers' NaN-propagating norms treat that as a failed
+    /// step, never as an answer.
+    fn solve_direct(&mut self, x: &mut [f64]) {
+        if !self.fallback_ready {
+            match self.fallback.refactorize(&self.a_copy) {
+                Ok(()) => self.fallback_ready = true,
+                Err(_) => {
+                    shil_observe::incr("shil_numerics_gmres_fallback_failures_total");
+                    x.fill(f64::NAN);
+                    return;
+                }
+            }
+        }
+        self.fallback_solves += 1;
+        x.copy_from_slice(&self.rhs);
+        self.fallback.solve_in_place(x);
+    }
+
+    /// One full restarted-GMRES attempt on `A·x = rhs` with `A = a_copy`.
+    /// On `Converged` the answer is in `self.xk` and certified against the
+    /// true residual.
+    fn krylov_solve(&mut self) -> KrylovOutcome {
+        let n = self.pattern.dim();
+        let ld = self.restart + 1;
+        self.xk.fill(0.0);
+        let bnorm = norm2(&self.rhs);
+        if bnorm == 0.0 {
+            // The zero vector is the exact solution.
+            return KrylovOutcome::Converged;
+        }
+        if !bnorm.is_finite() {
+            return KrylovOutcome::Stagnated;
+        }
+        let target = self.rtol * bnorm;
+        let mut best = f64::INFINITY;
+        let mut iters_this_solve = 0u64;
+        for cycle in 0..=self.max_restarts {
+            // True residual r = b − A·xk into w (xk = 0 on the first cycle,
+            // so r = b exactly).
+            if cycle == 0 {
+                self.w.copy_from_slice(&self.rhs);
+            } else {
+                self.a_copy.mul_vec_into(&self.xk, &mut self.w);
+                for (wi, &bi) in self.w.iter_mut().zip(&self.rhs) {
+                    *wi = bi - *wi;
+                }
+            }
+            let beta = norm2(&self.w);
+            if !beta.is_finite() {
+                self.flush_iteration_count(&mut iters_this_solve);
+                return KrylovOutcome::Stagnated;
+            }
+            if beta <= target {
+                // Certified: the loop-top residual *is* the certificate.
+                self.flush_iteration_count(&mut iters_this_solve);
+                return KrylovOutcome::Converged;
+            }
+            if cycle == self.max_restarts || beta >= 0.9 * best {
+                // Out of restarts, or the last cycle failed to shrink the
+                // true residual meaningfully: stagnation.
+                self.flush_iteration_count(&mut iters_this_solve);
+                return KrylovOutcome::Stagnated;
+            }
+            best = beta;
+            if cycle > 0 {
+                self.restarts += 1;
+                shil_observe::incr("shil_numerics_gmres_restarts_total");
+            }
+
+            // Arnoldi with modified Gram–Schmidt and Givens rotations.
+            for (vi, &wi) in self.basis[0].iter_mut().zip(&self.w) {
+                *vi = wi / beta;
+            }
+            self.g.fill(0.0);
+            self.g[0] = beta;
+            let mut cols = 0usize;
+            let mut poisoned = false;
+            for j in 0..self.restart {
+                if self.budget.cancelled().is_some() {
+                    self.flush_iteration_count(&mut iters_this_solve);
+                    return KrylovOutcome::Cancelled;
+                }
+                iters_this_solve += 1;
+                // w = A·M⁻¹·v_j (right preconditioning).
+                self.z.copy_from_slice(&self.basis[j]);
+                self.ilu.apply(&mut self.z);
+                self.a_copy.mul_vec_into(&self.z, &mut self.w);
+                // MGS orthogonalization; h column lives in hess[.., j].
+                for i in 0..=j {
+                    let hij = dot(&self.w, &self.basis[i]);
+                    self.hess[j * ld + i] = hij;
+                    for (wk, &vk) in self.w.iter_mut().zip(&self.basis[i]) {
+                        *wk -= hij * vk;
+                    }
+                }
+                let hj1 = norm2(&self.w);
+                if !hj1.is_finite() {
+                    poisoned = true;
+                    break;
+                }
+                // Previously accumulated rotations applied to the new column.
+                for i in 0..j {
+                    let a = self.hess[j * ld + i];
+                    let b = self.hess[j * ld + i + 1];
+                    self.hess[j * ld + i] = self.givens_c[i] * a + self.givens_s[i] * b;
+                    self.hess[j * ld + i + 1] = -self.givens_s[i] * a + self.givens_c[i] * b;
+                }
+                // New rotation annihilating the subdiagonal.
+                let a = self.hess[j * ld + j];
+                let r = (a * a + hj1 * hj1).sqrt();
+                let (c, s) = if r == 0.0 {
+                    (1.0, 0.0)
+                } else {
+                    (a / r, hj1 / r)
+                };
+                self.givens_c[j] = c;
+                self.givens_s[j] = s;
+                self.hess[j * ld + j] = r;
+                self.g[j + 1] = -s * self.g[j];
+                self.g[j] *= c;
+                cols = j + 1;
+                if hj1 > 0.0 {
+                    for (vk, &wk) in self.basis[j + 1].iter_mut().zip(&self.w) {
+                        *vk = wk / hj1;
+                    }
+                } else {
+                    // Happy breakdown: the subspace already contains the
+                    // exact solution.
+                    break;
+                }
+                if self.g[j + 1].abs() <= target {
+                    break;
+                }
+            }
+            if poisoned || cols == 0 {
+                self.flush_iteration_count(&mut iters_this_solve);
+                return KrylovOutcome::Stagnated;
+            }
+            // Back-substitute R·y = g.
+            for i in (0..cols).rev() {
+                let mut acc = self.g[i];
+                for k in (i + 1)..cols {
+                    acc -= self.hess[k * ld + i] * self.y[k];
+                }
+                let d = self.hess[i * ld + i];
+                if d == 0.0 || !d.is_finite() {
+                    self.flush_iteration_count(&mut iters_this_solve);
+                    return KrylovOutcome::Stagnated;
+                }
+                self.y[i] = acc / d;
+            }
+            // xk += M⁻¹·(V·y).
+            self.z.fill(0.0);
+            for (k, yk) in self.y[..cols].iter().enumerate() {
+                for (zi, &vi) in self.z.iter_mut().zip(&self.basis[k]) {
+                    *zi += yk * vi;
+                }
+            }
+            self.ilu.apply(&mut self.z);
+            for (xi, &zi) in self.xk.iter_mut().zip(&self.z) {
+                *xi += zi;
+            }
+            let _ = n;
+        }
+        self.flush_iteration_count(&mut iters_this_solve);
+        KrylovOutcome::Stagnated
+    }
+
+    fn flush_iteration_count(&mut self, iters: &mut u64) {
+        if *iters > 0 {
+            self.iterations += *iters;
+            shil_observe::counter_add("shil_numerics_gmres_iterations_total", *iters);
+            *iters = 0;
+        }
+    }
+}
+
+impl LinearSolver for GmresSolver {
+    type Matrix = SparseMatrix;
+
+    fn dim(&self) -> usize {
+        self.pattern.dim()
+    }
+
+    fn refactorize(&mut self, a: &SparseMatrix) -> Result<(), NumericsError> {
+        let n = self.pattern.dim();
+        assert_eq!(a.dim(), n, "matrix dimension mismatch");
+        debug_assert!(
+            Arc::ptr_eq(&self.pattern, a.pattern()) || *a.pattern().as_ref() == *self.pattern,
+            "matrix stamped over a different pattern"
+        );
+        self.factorized = false;
+        self.fallback_ready = false;
+        reject_non_finite(a, "iterative jacobian")?;
+        self.a_copy.values_mut().copy_from_slice(a.values());
+        if n < self.direct_below {
+            // Small system: the embedded exact LU *is* the backend, so a
+            // singular matrix surfaces here exactly as it would from
+            // `SparseSolver`.
+            self.fallback.refactorize(&self.a_copy)?;
+            self.fallback_ready = true;
+            self.mode = Mode::Direct;
+        } else {
+            shil_observe::incr("shil_numerics_gmres_precond_rebuilds_total");
+            if self.ilu.compute(self.a_copy.values()) {
+                self.mode = Mode::Krylov;
+            } else {
+                // ILU breakdown (often a genuinely singular system): recover
+                // through the exact LU so singularity is reported from
+                // refactorize like every other backend.
+                shil_observe::incr("shil_numerics_gmres_precond_breakdowns_total");
+                self.fallback.refactorize(&self.a_copy)?;
+                self.fallback_ready = true;
+                self.mode = Mode::Direct;
+            }
+        }
+        self.factorized = true;
+        Ok(())
+    }
+
+    fn solve_in_place(&mut self, x: &mut [f64]) {
+        assert!(self.factorized, "solve_in_place before refactorize");
+        let n = self.pattern.dim();
+        assert_eq!(x.len(), n, "rhs length mismatch");
+        self.rhs.copy_from_slice(x);
+        match self.mode {
+            Mode::Direct => self.solve_direct(x),
+            Mode::Krylov => match self.krylov_solve() {
+                KrylovOutcome::Converged => x.copy_from_slice(&self.xk),
+                KrylovOutcome::Stagnated => {
+                    self.stagnations += 1;
+                    shil_observe::incr("shil_numerics_gmres_stagnations_total");
+                    self.solve_direct(x);
+                }
+                KrylovOutcome::Cancelled => {
+                    shil_observe::incr("shil_numerics_gmres_cancellations_total");
+                    // Poison, don't answer: finishing the solve after a
+                    // deadline would invert cancellation semantics, and the
+                    // NaN is guaranteed to be caught by the caller's
+                    // NaN-propagating norms before any result is recorded.
+                    x.fill(f64::NAN);
+                }
+            },
+        }
+    }
+
+    fn is_factorized(&self) -> bool {
+        self.factorized
+    }
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Matrix;
+    use crate::solver::DenseSolver;
+    use shil_runtime::CancelToken;
+
+    /// An MNA-shaped pattern: tridiagonal block plus a branch row with a
+    /// structurally present diagonal (matching `sparse_pattern`'s contract).
+    fn banded_pattern(n: usize, bandwidth: usize) -> SparsePattern {
+        let mut entries = Vec::new();
+        for i in 0..n {
+            for j in i.saturating_sub(bandwidth)..(i + bandwidth + 1).min(n) {
+                entries.push((i, j));
+            }
+        }
+        SparsePattern::from_entries(n, &entries)
+    }
+
+    fn fill_spd_like(pattern: &Arc<SparsePattern>, seed: u64) -> (SparseMatrix, Matrix) {
+        let n = pattern.dim();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut sparse = SparseMatrix::zeros(pattern.clone());
+        let mut dense = Matrix::zeros(n, n);
+        for i in 0..n {
+            for (j, _) in pattern.row(i) {
+                // Diagonal dominance keeps the draws well-conditioned.
+                let v = if i == j { next().abs() + 4.0 } else { next() };
+                sparse.add_at(i, j, v);
+                dense.add_at(i, j, v);
+            }
+        }
+        (sparse, dense)
+    }
+
+    fn rhs_for(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as f64 + 1.0) * 0.37 + seed as f64 * 0.11).sin())
+            .collect()
+    }
+
+    #[test]
+    fn small_systems_are_bit_identical_to_sparse_lu() {
+        for n in [2usize, 5, 9, 17, 33] {
+            let pattern = Arc::new(banded_pattern(n, 2));
+            for seed in 0..5u64 {
+                let (a, _) = fill_spd_like(&pattern, seed);
+                let b = rhs_for(n, seed);
+                let mut gm = GmresSolver::new(pattern.clone()).unwrap();
+                let mut lu = SparseSolver::new(pattern.clone());
+                gm.refactorize(&a).unwrap();
+                lu.refactorize(&a).unwrap();
+                assert!(!gm.is_krylov(), "n = {n} should be direct mode");
+                let mut xg = b.clone();
+                let mut xl = b.clone();
+                gm.solve_in_place(&mut xg);
+                lu.solve_in_place(&mut xl);
+                assert_eq!(xg, xl, "n = {n}, seed = {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn krylov_path_matches_dense_lu_to_certificate_tolerance() {
+        let n = 80;
+        let pattern = Arc::new(banded_pattern(n, 3));
+        for seed in 0..8u64 {
+            let (a, dense) = fill_spd_like(&pattern, 100 + seed);
+            let b = rhs_for(n, seed);
+            let mut gm = GmresSolver::new(pattern.clone())
+                .unwrap()
+                .with_direct_below(0);
+            gm.refactorize(&a).unwrap();
+            assert!(gm.is_krylov());
+            let mut x = b.clone();
+            gm.solve_in_place(&mut x);
+            assert!(gm.iterations() > 0, "Krylov loop never ran");
+            // Certificate check against the dense reference.
+            let mut reference = DenseSolver::new(n);
+            reference.refactorize(&dense).unwrap();
+            let mut xr = b.clone();
+            reference.solve_in_place(&mut xr);
+            let bnorm = norm2(&b);
+            let mut ax = vec![0.0; n];
+            a.mul_vec_into(&x, &mut ax);
+            let rnorm = norm2(
+                &ax.iter()
+                    .zip(&b)
+                    .map(|(axi, bi)| bi - axi)
+                    .collect::<Vec<_>>(),
+            );
+            assert!(
+                rnorm <= GmresSolver::DEFAULT_RTOL * bnorm * 1.01,
+                "certificate violated: {rnorm:.3e} vs {:.3e}",
+                GmresSolver::DEFAULT_RTOL * bnorm
+            );
+            for (xi, ri) in x.iter().zip(&xr) {
+                assert!((xi - ri).abs() < 1e-7 * (1.0 + ri.abs()), "{xi} vs {ri}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_small_system_is_rejected_at_refactorize() {
+        let pattern = Arc::new(SparsePattern::from_entries(
+            2,
+            &[(0, 0), (0, 1), (1, 0), (1, 1)],
+        ));
+        let mut a = SparseMatrix::zeros(pattern.clone());
+        a.add_at(0, 0, 1.0);
+        a.add_at(0, 1, 2.0);
+        a.add_at(1, 0, 2.0);
+        a.add_at(1, 1, 4.0);
+        let mut gm = GmresSolver::new(pattern).unwrap();
+        assert!(matches!(
+            gm.refactorize(&a),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+        assert!(!gm.is_factorized());
+    }
+
+    #[test]
+    fn non_finite_matrix_is_rejected_before_any_solve() {
+        let pattern = Arc::new(banded_pattern(10, 1));
+        let (mut a, _) = fill_spd_like(&pattern, 3);
+        a.add_at(4, 5, f64::NAN);
+        let mut gm = GmresSolver::new(pattern).unwrap().with_direct_below(0);
+        assert!(matches!(
+            gm.refactorize(&a),
+            Err(NumericsError::NonFinite { .. })
+        ));
+    }
+
+    /// A pattern with scattered off-diagonals: elimination generates fill
+    /// *outside* the pattern, so ILU(0) is genuinely approximate (a banded
+    /// pattern would make it exact and defeat stagnation tests).
+    fn scattered_pattern(n: usize) -> SparsePattern {
+        let mut entries = Vec::new();
+        for i in 0..n {
+            entries.push((i, i));
+            entries.push((i, (i * 7 + 3) % n));
+            entries.push(((i * 5 + 1) % n, i));
+            if i + 1 < n {
+                entries.push((i, i + 1));
+                entries.push((i + 1, i));
+            }
+        }
+        SparsePattern::from_entries(n, &entries)
+    }
+
+    #[test]
+    fn stagnation_falls_back_to_exact_lu() {
+        // One restart cycle of a size-1 subspace cannot solve a generic
+        // system: the solver must detect stagnation and serve the exact
+        // answer through the fallback LU.
+        let n = 40;
+        let pattern = Arc::new(scattered_pattern(n));
+        let (a, _) = fill_spd_like(&pattern, 7);
+        let b = rhs_for(n, 7);
+        let mut gm = GmresSolver::new(pattern.clone())
+            .unwrap()
+            .with_direct_below(0)
+            .with_restart(1)
+            .with_tolerance(1e-14);
+        // A single restart gives the stagnation detector no room.
+        gm.max_restarts = 1;
+        gm.refactorize(&a).unwrap();
+        let mut x = b.clone();
+        gm.solve_in_place(&mut x);
+        assert!(gm.stagnations() > 0, "expected a stagnation fallback");
+        assert!(gm.fallback_solves() > 0);
+        let mut ax = vec![0.0; n];
+        a.mul_vec_into(&x, &mut ax);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-9, "fallback answer wrong");
+        }
+    }
+
+    #[test]
+    fn poisoned_preconditioner_never_influences_the_answer() {
+        let n = 64;
+        let pattern = Arc::new(banded_pattern(n, 2));
+        let (a, _) = fill_spd_like(&pattern, 11);
+        let b = rhs_for(n, 11);
+        let mut gm = GmresSolver::new(pattern.clone())
+            .unwrap()
+            .with_direct_below(0);
+        gm.refactorize(&a).unwrap();
+        gm.preconditioner_mut_for_tests()
+            .poison_slot_for_tests(17, f64::NAN);
+        let mut x = b.clone();
+        gm.solve_in_place(&mut x);
+        // The poison forces stagnation; the served answer must come from
+        // the exact LU and satisfy the residual bound.
+        assert!(gm.stagnations() > 0);
+        let mut ax = vec![0.0; n];
+        a.mul_vec_into(&x, &mut ax);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!(
+                (axi - bi).abs() < 1e-9,
+                "poisoned preconditioner leaked into the answer"
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_poisons_the_output() {
+        let n = 70;
+        let pattern = Arc::new(banded_pattern(n, 2));
+        let (a, _) = fill_spd_like(&pattern, 13);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut gm = GmresSolver::new(pattern)
+            .unwrap()
+            .with_direct_below(0)
+            .with_budget(Budget::unlimited().with_token(token));
+        gm.refactorize(&a).unwrap();
+        let mut x = rhs_for(n, 13);
+        gm.solve_in_place(&mut x);
+        assert!(
+            x.iter().all(|v| v.is_nan()),
+            "a cancelled solve must not serve numbers"
+        );
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let n = 70;
+        let pattern = Arc::new(banded_pattern(n, 2));
+        let (a, _) = fill_spd_like(&pattern, 21);
+        let mut gm = GmresSolver::new(pattern).unwrap().with_direct_below(0);
+        gm.refactorize(&a).unwrap();
+        let mut x = vec![0.0; n];
+        gm.solve_in_place(&mut x);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn missing_diagonal_is_rejected_at_construction() {
+        let pattern = Arc::new(SparsePattern::from_entries(2, &[(0, 0), (0, 1), (1, 0)]));
+        assert!(matches!(
+            GmresSolver::new(pattern),
+            Err(NumericsError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn refactorize_tracks_matrix_changes() {
+        let n = 72;
+        let pattern = Arc::new(banded_pattern(n, 2));
+        let mut gm = GmresSolver::new(pattern.clone())
+            .unwrap()
+            .with_direct_below(0);
+        for seed in 0..3u64 {
+            let (a, dense) = fill_spd_like(&pattern, 40 + seed);
+            let b = rhs_for(n, seed);
+            gm.refactorize(&a).unwrap();
+            let mut x = b.clone();
+            gm.solve_in_place(&mut x);
+            let mut reference = DenseSolver::new(n);
+            reference.refactorize(&dense).unwrap();
+            let mut xr = b.clone();
+            reference.solve_in_place(&mut xr);
+            for (xi, ri) in x.iter().zip(&xr) {
+                assert!((xi - ri).abs() < 1e-7 * (1.0 + ri.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn ilu_apply_inverts_its_own_product_on_triangular_cases() {
+        // For a lower-triangular matrix ILU(0) is exact, so M⁻¹·(A·x) = x.
+        let pattern = Arc::new(SparsePattern::from_entries(
+            3,
+            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)],
+        ));
+        let mut a = SparseMatrix::zeros(pattern.clone());
+        a.add_at(0, 0, 2.0);
+        a.add_at(1, 0, -1.0);
+        a.add_at(1, 1, 3.0);
+        a.add_at(2, 1, 0.5);
+        a.add_at(2, 2, 4.0);
+        let mut ilu = Ilu0::new(pattern).unwrap();
+        assert!(ilu.compute(a.values()));
+        let x = [1.0, -2.0, 0.25];
+        let mut y = [0.0; 3];
+        a.mul_vec_into(&x, &mut y);
+        ilu.apply(&mut y);
+        for (yi, xi) in y.iter().zip(&x) {
+            assert!((yi - xi).abs() < 1e-12);
+        }
+    }
+}

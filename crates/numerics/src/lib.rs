@@ -26,6 +26,9 @@
 //!   certification.
 //! - [`sparse`] — CSR matrices with symbolic-analysis reuse
 //!   ([`sparse::SparsePattern`]) and a fill-reducing ordering.
+//! - [`iterative`] — restarted GMRES(m) with an ILU(0) preconditioner over
+//!   the same CSR pattern: the large-N [`solver::LinearSolver`] tier, with
+//!   certified solves and exact-LU fallback.
 //! - [`batch`] — lane-batched structure-of-arrays refactorization for
 //!   lock-step parameter sweeps, bit-identical per lane to the scalar
 //!   kernels.
@@ -52,6 +55,7 @@ pub mod fallback;
 pub mod fft;
 pub mod grid;
 pub mod interp;
+pub mod iterative;
 pub mod linalg;
 pub mod newton;
 pub mod parallel;

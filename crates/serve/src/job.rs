@@ -24,6 +24,7 @@ use std::path::Path;
 use shil_circuit::analysis::{
     decode_final_voltages, AtlasMap, AtlasSpec, NetlistSweepSpec, PolicySweep,
 };
+use shil_circuit::network::{Coupling, NetworkLockOptions, NetworkSpec, Topology};
 use shil_runtime::json::{self, Json};
 use shil_runtime::{CheckpointRecord, ItemOutcome, SweepPolicy};
 
@@ -51,6 +52,64 @@ pub struct LockRangeSpec {
     pub vis: Vec<f64>,
 }
 
+/// Parameters of a coupled-oscillator network sweep over coupling
+/// strengths: one transient + network lock classification per strength
+/// (see [`shil_circuit::network`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpecJob {
+    /// Number of oscillators (≥ 2).
+    pub n: usize,
+    /// Topology name (`chain`, `ring`, `star`, `all-to-all`).
+    pub topology: String,
+    /// Coupling kind (`resistive`, `capacitive`, `mutual`).
+    pub coupling: String,
+    /// Coupling strengths — one sweep item per entry (ohms, farads, or
+    /// coupling coefficient, depending on `coupling`).
+    pub strengths: Vec<f64>,
+    /// Per-oscillator fractional detuning (cyclic; empty = none).
+    pub detuning: Vec<f64>,
+    /// Mean periods to settle before recording.
+    pub settle_periods: f64,
+    /// Mean periods recorded and analyzed.
+    pub record_periods: f64,
+    /// Output samples per mean period.
+    pub points_per_period: usize,
+}
+
+impl NetworkSpecJob {
+    /// The base [`NetworkSpec`] this job sweeps (strength of the first
+    /// item; per-item rebuilds substitute each swept strength).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the topology/coupling names or the
+    /// network parameters are invalid.
+    pub fn base_spec(&self) -> Result<NetworkSpec, String> {
+        let topology = Topology::parse(&self.topology)
+            .ok_or_else(|| format!("unknown topology `{}`", self.topology))?;
+        let strength = self.strengths.first().copied().unwrap_or(0.0);
+        let coupling = Coupling::parse(&self.coupling, strength)
+            .ok_or_else(|| format!("unknown coupling kind `{}`", self.coupling))?;
+        let spec =
+            NetworkSpec::new(self.n, topology, coupling).with_detuning(self.detuning.clone());
+        // Front-load build errors (n, detuning, coupling range).
+        spec.build().map_err(|e| e.to_string())?;
+        Ok(spec)
+    }
+
+    /// The lock-analysis options implied by the recording window: 6
+    /// windows sized to ~90 % of `record_periods` (the slack absorbs
+    /// detuned consensus frequencies whose periods run longer than the
+    /// nominal mean the recording was sized on).
+    pub fn lock_options(&self) -> NetworkLockOptions {
+        let mut opts = NetworkLockOptions::default();
+        opts.lock.windows = 6;
+        opts.lock.periods_per_window =
+            ((0.9 * self.record_periods / opts.lock.windows as f64).floor() as usize).max(2);
+        opts
+    }
+}
+
 /// What a job computes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobKind {
@@ -61,6 +120,8 @@ pub enum JobKind {
     LockRange(LockRangeSpec),
     /// An adaptive Arnold-tongue atlas over (frequency × amplitude).
     Atlas(AtlasSpec),
+    /// A coupled-oscillator network sweep over coupling strengths.
+    Network(NetworkSpecJob),
 }
 
 impl JobKind {
@@ -70,6 +131,7 @@ impl JobKind {
             JobKind::Sweep(_) => "sweep",
             JobKind::LockRange(_) => "lockrange",
             JobKind::Atlas(_) => "atlas",
+            JobKind::Network(_) => "network",
         }
     }
 }
@@ -94,6 +156,7 @@ impl JobSpec {
             JobKind::Sweep(s) => s.scales.len(),
             JobKind::LockRange(s) => s.vis.len(),
             JobKind::Atlas(s) => s.nx * s.ny,
+            JobKind::Network(s) => s.strengths.len(),
         }
     }
 
@@ -116,7 +179,7 @@ impl JobSpec {
     pub fn from_json(body: &str) -> Result<JobSpec, String> {
         let doc = json::parse(body).ok_or_else(|| "body is not valid JSON".to_string())?;
         let kind = doc.get("kind").and_then(Json::as_str).ok_or_else(|| {
-            "missing `kind` (one of \"sweep\", \"lockrange\", \"atlas\")".to_string()
+            "missing `kind` (one of \"sweep\", \"lockrange\", \"atlas\", \"network\")".to_string()
         })?;
         let f64_field = |key: &str| -> Result<f64, String> {
             doc.get(key)
@@ -252,6 +315,71 @@ impl JobSpec {
                 spec.compile().map_err(|e| e.to_string())?;
                 JobKind::Atlas(spec)
             }
+            "network" => {
+                let str_field = |key: &str, default: &str| -> Result<String, String> {
+                    match doc.get(key) {
+                        None | Some(Json::Null) => Ok(default.to_string()),
+                        Some(v) => v
+                            .as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("non-string `{key}`")),
+                    }
+                };
+                let opt_f64v = |key: &str, default: f64| -> Result<f64, String> {
+                    match doc.get(key) {
+                        None | Some(Json::Null) => Ok(default),
+                        Some(v) => v.as_f64().ok_or_else(|| format!("non-numeric `{key}`")),
+                    }
+                };
+                let detuning = match doc.get("detuning") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|v| {
+                            v.as_f64()
+                                .ok_or_else(|| "non-numeric entry in `detuning`".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    Some(_) => return Err("`detuning` must be an array".into()),
+                };
+                let spec = NetworkSpecJob {
+                    n: doc
+                        .get("n")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| "missing or non-integer `n`".to_string())?
+                        as usize,
+                    topology: str_field("topology", "ring")?,
+                    coupling: str_field("coupling", "resistive")?,
+                    strengths: f64_list("strengths")?,
+                    detuning,
+                    settle_periods: opt_f64v("settle_periods", 60.0)?,
+                    record_periods: opt_f64v("record_periods", 60.0)?,
+                    points_per_period: match doc.get("points_per_period") {
+                        None | Some(Json::Null) => 64,
+                        Some(v) => v
+                            .as_u64()
+                            .ok_or_else(|| "non-integer `points_per_period`".to_string())?
+                            as usize,
+                    },
+                };
+                if spec.strengths.iter().any(|v| *v <= 0.0 || !v.is_finite()) {
+                    return Err("every `strengths` entry must be positive and finite".into());
+                }
+                if !(spec.settle_periods > 0.0 && spec.record_periods >= 16.0) {
+                    return Err(
+                        "`settle_periods` must be positive and `record_periods` ≥ 16 \
+                         (the analysis needs 6 windows of ≥ 2 periods plus margin)"
+                            .into(),
+                    );
+                }
+                if !(4..=4096).contains(&spec.points_per_period) {
+                    return Err("`points_per_period` must be in 4..=4096".into());
+                }
+                // Front-load every build error (n, topology, coupling range,
+                // detuning) into the 400.
+                spec.base_spec()?;
+                JobKind::Network(spec)
+            }
             other => return Err(format!("unknown job kind `{other}`")),
         };
         let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
@@ -338,6 +466,24 @@ impl JobSpec {
                     s.early_exit,
                     s.warm_start,
                     json::fmt_f64(s.startup_kick)
+                ));
+            }
+            JobKind::Network(s) => {
+                out.push_str(&format!(",\"n\":{},\"topology\":", s.n));
+                json::push_str(&mut out, &s.topology);
+                out.push_str(",\"coupling\":");
+                json::push_str(&mut out, &s.coupling);
+                out.push_str(",\"strengths\":");
+                push_f64_array(&mut out, &s.strengths);
+                if !s.detuning.is_empty() {
+                    out.push_str(",\"detuning\":");
+                    push_f64_array(&mut out, &s.detuning);
+                }
+                out.push_str(&format!(
+                    ",\"settle_periods\":{},\"record_periods\":{},\"points_per_period\":{}",
+                    json::fmt_f64(s.settle_periods),
+                    json::fmt_f64(s.record_periods),
+                    s.points_per_period
                 ));
             }
         }
@@ -766,6 +912,52 @@ mod tests {
             // horizon too short for the detector windows
             r#"{"kind":"atlas","nx":8,"ny":8,"horizon_periods":10}"#,
             r#"{"kind":"atlas","ny":8}"#,
+        ] {
+            assert!(JobSpec::from_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn network_spec_round_trips_and_validates() {
+        let body = r#"{"kind":"network","n":4,"topology":"ring","coupling":"mutual","strengths":[0.05,0.2],"detuning":[-0.004,0.004],"settle_periods":40,"record_periods":24,"points_per_period":48}"#;
+        let spec = JobSpec::from_json(body).unwrap();
+        assert_eq!(spec.items(), 2);
+        let JobKind::Network(n) = &spec.kind else {
+            panic!("not a network job")
+        };
+        assert_eq!(n.topology, "ring");
+        let lock = n.lock_options();
+        assert_eq!(lock.lock.windows, 6);
+        assert_eq!(
+            lock.lock.periods_per_window, 3,
+            "90 % of 24 periods / 6 windows"
+        );
+        let again = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+        // Defaults: ring topology, resistive coupling, 60+60 periods.
+        let spec = JobSpec::from_json(r#"{"kind":"network","n":3,"strengths":[1e3]}"#).unwrap();
+        let JobKind::Network(n) = &spec.kind else {
+            panic!("not a network job")
+        };
+        assert_eq!(
+            (n.topology.as_str(), n.coupling.as_str()),
+            ("ring", "resistive")
+        );
+        let again = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+        for bad in [
+            // n = 1 is not a network
+            r#"{"kind":"network","n":1,"strengths":[1e3]}"#,
+            // unknown topology
+            r#"{"kind":"network","n":3,"topology":"moebius","strengths":[1e3]}"#,
+            // mutual coupling with |k| ≥ 1
+            r#"{"kind":"network","n":3,"coupling":"mutual","strengths":[1.5]}"#,
+            // non-positive strength
+            r#"{"kind":"network","n":3,"strengths":[0.0]}"#,
+            // recording window too short for the analysis
+            r#"{"kind":"network","n":3,"strengths":[1e3],"record_periods":6}"#,
+            // detuning at or below −1 is non-physical
+            r#"{"kind":"network","n":3,"strengths":[1e3],"detuning":[-1.0]}"#,
         ] {
             assert!(JobSpec::from_json(bad).is_err(), "{bad}");
         }

@@ -526,6 +526,7 @@ fn results(jb: &Arc<Job>) -> Reply {
     let (x_key, xs): (&str, &[f64]) = match &jb.spec.kind {
         JobKind::Sweep(s) => ("scale", &s.scales),
         JobKind::LockRange(s) => ("vi", &s.vis),
+        JobKind::Network(s) => ("strength", &s.strengths),
         JobKind::Atlas(_) => {
             let body = std::fs::read_to_string(jb.dir.join("partial.json"))
                 .unwrap_or_else(|_| "{}".into());
@@ -641,6 +642,7 @@ fn run_job(inner: &Arc<ServerInner>, jb: &Arc<Job>) {
                 Err(e) => Err(format!("spec no longer compiles: {e}")),
             },
             JobKind::LockRange(spec) => run_lockrange(inner, jb, &engine, &policy, &budget, spec),
+            JobKind::Network(spec) => run_network(jb, &engine, &policy, &budget, spec),
             JobKind::Atlas(_) => unreachable!("atlas jobs are dispatched above"),
         };
 
@@ -705,6 +707,73 @@ fn run_lockrange(
         decode_final_voltages,
     );
     Ok((spec.vis.clone(), sweep))
+}
+
+/// Runs a coupled-oscillator network job: one transient + network lock
+/// classification per coupling strength, checkpointed per item so a
+/// crashed or drained job resumes without recomputation.
+///
+/// Each item's result vector is
+/// `[mutual_lock (0/1), locked_fraction, consensus_frequency_hz,
+///   locked_pairs]` — fully derived from the deterministic transient, so
+/// the byte-identity oracle of `results.jsonl` holds across crash/resume.
+fn run_network(
+    jb: &Arc<Job>,
+    engine: &SweepEngine,
+    policy: &shil_runtime::SweepPolicy,
+    budget: &Budget,
+    spec: &crate::job::NetworkSpecJob,
+) -> Result<(Vec<f64>, shil_circuit::analysis::PolicySweep<Vec<f64>>), String> {
+    let base = spec.base_spec()?;
+    let lock_opts = spec.lock_options();
+    let mut inputs = vec![
+        base.n as f64,
+        spec.settle_periods,
+        spec.record_periods,
+        spec.points_per_period as f64,
+    ];
+    inputs.extend_from_slice(&spec.detuning);
+    inputs.extend_from_slice(&spec.strengths);
+    let fp = shil_runtime::checkpoint::fingerprint(
+        &format!("shil-serve/network/{}/{}", spec.topology, spec.coupling),
+        &inputs,
+    );
+    let cp = CheckpointFile::open(&jb.dir.join("checkpoint.jsonl"), &fp, spec.strengths.len())
+        .map_err(|e| format!("checkpoint unavailable: {e}"))?;
+    let sweep = engine.run_checkpointed(
+        &spec.strengths,
+        policy,
+        budget,
+        Some(&cp),
+        |_, &strength, item_budget| {
+            let coupling = shil_circuit::network::Coupling::parse(base.coupling.kind(), strength)
+                .expect("kind() strings always re-parse");
+            let mut point = base.clone();
+            point.coupling = coupling;
+            let net = point.build()?;
+            let opts = net
+                .transient_options(
+                    spec.settle_periods,
+                    spec.record_periods,
+                    spec.points_per_period,
+                )
+                .with_budget(item_budget.clone());
+            let result = net.simulate(&opts)?;
+            let report = net.probe_lock(&result, &lock_opts)?;
+            Ok((
+                vec![
+                    if report.mutual_lock { 1.0 } else { 0.0 },
+                    report.locked_fraction,
+                    report.consensus_frequency_hz,
+                    report.pairs.iter().filter(|p| p.locked).count() as f64,
+                ],
+                result.report,
+            ))
+        },
+        |v| encode_final_voltages(v),
+        decode_final_voltages,
+    );
+    Ok((spec.strengths.clone(), sweep))
 }
 
 fn run_atlas(
@@ -804,6 +873,7 @@ fn finalize(
         match &jb.spec.kind {
             JobKind::Sweep(_) => "scale",
             JobKind::LockRange(_) => "vi",
+            JobKind::Network(_) => "strength",
             JobKind::Atlas(_) => unreachable!("atlas jobs use finalize_atlas"),
         },
         xs,

@@ -50,6 +50,27 @@
 //! mode, where the event stream itself carries progress.
 //!
 //! ```text
+//! shil-cli network [--n <count>] [--topology chain|ring|star|all-to-all]
+//!          [--coupling resistive|capacitive|mutual] --strength <v[,v...]>
+//!          [--detune <d[,d...]>] [--settle <periods>] [--record <periods>]
+//!          [--ppp <samples>] [--solver auto|dense|sparse|iterative]
+//!          [--threads <n>] [--csv out.csv]
+//! ```
+//!
+//! `network` builds a coupled-oscillator network
+//! (`shil_circuit::network`): `--n` tanh LC oscillators wired by
+//! `--topology`, coupled by the `--coupling` element at each swept
+//! `--strength` (ohms, farads, or coupling coefficient `k`), optionally
+//! detuned per oscillator by the cyclic `--detune` list. Each strength
+//! runs one transient (`--settle` mean periods discarded, `--record`
+//! analyzed at `--ppp` samples per period) and reports the network lock
+//! classification: per-oscillator lock against the consensus frequency,
+//! pairwise relative-phase stationarity, and the mutual-lock verdict.
+//! `--solver` forces the transient's linear-solver tier (the three-tier
+//! `auto` ladder is the default) — CI uses this to check that the
+//! iterative GMRES+ILU tier produces the same verdicts as sparse LU.
+//!
+//! ```text
 //! shil-cli serve [--addr <ip:port>] [--data-dir <dir>] [--queue <n>]
 //!          [--workers <n>] [--http-threads <n>] [--cache <entries>]
 //!          [--max-body <bytes>] [--grace <s>] [--sweep-threads <n>]
@@ -78,8 +99,9 @@ use std::time::Duration;
 
 use shil::circuit::analysis::{
     ac_impedance, operating_point, transient, AcOptions, AtlasMap, AtlasSpec, BackendChoice,
-    NetlistSweepSpec, OpOptions, SweepEngine, TranOptions,
+    NetlistSweepSpec, OpOptions, SolverKind, SweepEngine, TranOptions,
 };
+use shil::circuit::network::{Coupling, NetworkLockOptions, NetworkSpec, Topology};
 use shil::circuit::{netlist, Circuit, SolveReport};
 use shil::observe::{self, EventLog, RunManifest};
 use shil::runtime::shutdown::{install_shutdown_handler, shutdown_requested};
@@ -97,7 +119,11 @@ fn usage() -> ExitCode {
          shil-cli atlas [--nx <n>] [--ny <n>] [--coarse <n>] [--spp <n>] \
          [--horizon <periods>] [--n <order>] [--no-early-exit] [--no-warm-start] \
          [--threads <n>] [--timeout <s>] [--item-timeout <s>] [--retries <n>] \
-         [--checkpoint [path]] [--resume] [--csv <out>] [--progress]\n  shil-cli serve \
+         [--checkpoint [path]] [--resume] [--csv <out>] [--progress]\n  shil-cli network \
+         [--n <count>] [--topology chain|ring|star|all-to-all] \
+         [--coupling resistive|capacitive|mutual] --strength <v[,v...]> [--detune <d[,d...]>] \
+         [--settle <periods>] [--record <periods>] [--ppp <samples>] \
+         [--solver auto|dense|sparse|iterative] [--threads <n>] [--csv <out>]\n  shil-cli serve \
          [--addr <ip:port>] [--data-dir <dir>] [--queue <n>] [--workers <n>] \
          [--http-threads <n>] [--cache <entries>] [--max-body <bytes>] [--grace <s>] \
          [--sweep-threads <n>]\n\
@@ -275,6 +301,10 @@ fn run(args: &[String], log: &EventLog) -> ExitCode {
     // takes no netlist file.
     if cmd == "atlas" {
         return atlas_cmd(&args[1..], log, progress_silent(args));
+    }
+    // `network` synthesises its coupled-oscillator circuit too.
+    if cmd == "network" {
+        return network_cmd(&args[1..], log);
     }
     let Some(file) = args.get(1) else {
         return usage();
@@ -788,6 +818,142 @@ fn atlas_cmd(rest: &[String], log: &EventLog, silent_progress: bool) -> ExitCode
         return ExitCode::from(ItemOutcome::Cancelled.exit_code());
     }
     if st.errors > 0 {
+        return ExitCode::from(ItemOutcome::Failed.exit_code());
+    }
+    emitted
+}
+
+/// Builds and classifies a coupled-oscillator network
+/// (`shil_circuit::network`): one transient + network lock analysis per
+/// swept coupling strength, fanned out through the sweep engine, with the
+/// per-oscillator / pairwise / mutual verdicts reported as CSV.
+fn network_cmd(rest: &[String], log: &EventLog) -> ExitCode {
+    let count = flag_value(rest, "--n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8);
+    let topology_name = flag_value(rest, "--topology").unwrap_or_else(|| "ring".into());
+    let Some(topology) = Topology::parse(&topology_name) else {
+        log.error(
+            "unknown_topology",
+            &[("topology", topology_name.as_str().into())],
+        );
+        return ExitCode::from(2);
+    };
+    let coupling_name = flag_value(rest, "--coupling").unwrap_or_else(|| "resistive".into());
+    let strengths: Vec<f64> = flag_values(rest, "--strength")
+        .iter()
+        .flat_map(|v| v.split(','))
+        .filter_map(|v| v.trim().parse::<f64>().ok())
+        .collect();
+    if strengths.is_empty() {
+        log.error("network_needs_strength", &[]);
+        return ExitCode::from(2);
+    }
+    let Some(coupling) = Coupling::parse(&coupling_name, strengths[0]) else {
+        log.error(
+            "unknown_coupling",
+            &[("coupling", coupling_name.as_str().into())],
+        );
+        return ExitCode::from(2);
+    };
+    let detuning: Vec<f64> = flag_values(rest, "--detune")
+        .iter()
+        .flat_map(|v| v.split(','))
+        .filter_map(|v| v.trim().parse::<f64>().ok())
+        .collect();
+    let fnum = |flag: &str, default: f64| {
+        flag_value(rest, flag)
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(default)
+    };
+    let settle = fnum("--settle", 60.0);
+    let record = fnum("--record", 60.0);
+    let ppp = flag_value(rest, "--ppp")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(64);
+    let solver = match flag_value(rest, "--solver").as_deref() {
+        None | Some("auto") => SolverKind::Auto,
+        Some("dense") => SolverKind::Dense,
+        Some("sparse") => SolverKind::Sparse,
+        Some("iterative") => SolverKind::Iterative,
+        Some(other) => {
+            log.error("unknown_solver", &[("solver", other.into())]);
+            return ExitCode::from(2);
+        }
+    };
+    let base = NetworkSpec::new(count, topology, coupling).with_detuning(detuning);
+    // Front-load build errors (n, detuning, coupling range) before the fan-out.
+    if let Err(e) = base.build() {
+        log.error("network_spec_invalid", &[("error", e.to_string().into())]);
+        return ExitCode::from(2);
+    }
+    // Lock windows sized to ~90 % of the recorded tail (6 windows, ≥ 2
+    // periods each): the slack absorbs detuned consensus frequencies whose
+    // periods run longer than the nominal mean the recording was sized on.
+    let mut lock_opts = NetworkLockOptions::default();
+    lock_opts.lock.windows = 6;
+    lock_opts.lock.periods_per_window = ((0.9 * record / 6.0).floor() as usize).max(2);
+    log.info(
+        "network_started",
+        &[
+            ("oscillators", (count as u64).into()),
+            ("topology", topology.name().into()),
+            ("coupling", coupling.kind().into()),
+            ("points", (strengths.len() as u64).into()),
+        ],
+    );
+    let threads = flag_value(rest, "--threads").and_then(|v| v.parse::<usize>().ok());
+    let engine = SweepEngine::new(threads);
+    let runs = engine.map(&strengths, |_, &strength| {
+        let mut spec = base.clone();
+        spec.coupling = Coupling::parse(coupling.kind(), strength).expect("kind re-parses");
+        let net = spec.build()?;
+        let mut opts = net.transient_options(settle, record, ppp);
+        opts.solver = solver;
+        let result = net.simulate(&opts)?;
+        let report = net.probe_lock(&result, &lock_opts)?;
+        Ok::<_, shil::circuit::CircuitError>((net, report))
+    });
+    let mut out =
+        String::from("strength,mutual,locked_fraction,consensus_hz,locked_pairs,total_pairs\n");
+    let mut failures = 0usize;
+    for (strength, run) in strengths.iter().zip(&runs) {
+        match run {
+            Ok((net, report)) => {
+                log.info(
+                    "network_point",
+                    &[
+                        ("strength", (*strength).into()),
+                        ("mutual", report.mutual_lock.into()),
+                        ("locked_fraction", report.locked_fraction.into()),
+                        ("oscillators", (net.probes.len() as u64).into()),
+                    ],
+                );
+                out.push_str(&format!(
+                    "{:e},{},{:e},{:e},{},{}\n",
+                    strength,
+                    u8::from(report.mutual_lock),
+                    report.locked_fraction,
+                    report.consensus_frequency_hz,
+                    report.pairs.iter().filter(|p| p.locked).count(),
+                    report.pairs.len(),
+                ));
+            }
+            Err(e) => {
+                failures += 1;
+                log.error(
+                    "network_point_failed",
+                    &[
+                        ("strength", (*strength).into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+                out.push_str(&format!("{strength:e},,,,,\n"));
+            }
+        }
+    }
+    let emitted = emit(rest, &out, log);
+    if failures > 0 {
         return ExitCode::from(ItemOutcome::Failed.exit_code());
     }
     emitted

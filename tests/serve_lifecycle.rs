@@ -152,6 +152,80 @@ fn sigkill_mid_job_then_restart_is_byte_identical_to_clean_run() {
     assert!(status.success(), "drain exit was {status:?}");
 }
 
+fn network_body() -> &'static str {
+    // 6 strengths across the lock transition of a detuned 4-ring: enough
+    // items that a mid-job kill leaves work to resume, small enough for CI.
+    r#"{"kind":"network","n":4,"topology":"ring","coupling":"resistive","strengths":[1e3,2e3,5e3,2e4,8e4,2e5],"detuning":[-0.005,0.005],"settle_periods":200,"record_periods":120,"points_per_period":64}"#
+}
+
+#[test]
+fn network_job_round_trips_and_resumes_from_checkpoint() {
+    // Reference: uninterrupted run.
+    let clean_dir = temp_dir("net-clean");
+    let mut clean = spawn_server(&clean_dir);
+    let clean_addr = wait_addr(&clean_dir);
+    let id = submit(&clean_addr, network_body());
+    wait_done(&clean_addr, id);
+    let clean_results = std::fs::read_to_string(clean_dir.join(format!("jobs/{id}/results.jsonl")))
+        .expect("clean results");
+    // The strongest couplings lock the detuned ring, the weakest do not:
+    // both verdicts must appear (v[0] is the mutual-lock flag).
+    assert!(clean_results.contains("\"strength\":"), "{clean_results}");
+    let (mut locked, mut unlocked) = (0, 0);
+    for line in clean_results.lines() {
+        let Some(doc) = json::parse(line) else {
+            continue;
+        };
+        if doc.get("aggregate").is_some() {
+            continue;
+        }
+        match doc.get("v").and_then(|v| match v {
+            Json::Arr(xs) => xs.first().and_then(Json::as_f64),
+            _ => None,
+        }) {
+            Some(m) if m > 0.5 => locked += 1,
+            Some(_) => unlocked += 1,
+            None => {}
+        }
+    }
+    assert!(
+        locked > 0 && unlocked > 0,
+        "expected a lock transition across the swept strengths:\n{clean_results}"
+    );
+    clean.kill().expect("kill clean server");
+    let _ = clean.wait();
+
+    // Crash: SIGKILL once some items have checkpointed, then restart and
+    // verify byte-identical results.
+    let dir = temp_dir("net-crash");
+    let mut first = spawn_server(&dir);
+    let addr = wait_addr(&dir);
+    let id = submit(&addr, network_body());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while checkpoint_records(&dir, id) < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "no checkpoint records before kill"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    first.kill().expect("SIGKILL server");
+    let _ = first.wait();
+
+    let second = spawn_server(&dir);
+    let addr = wait_addr(&dir);
+    wait_done(&addr, id);
+    let resumed_results = std::fs::read_to_string(dir.join(format!("jobs/{id}/results.jsonl")))
+        .expect("resumed results");
+    assert_eq!(
+        resumed_results, clean_results,
+        "post-SIGKILL resumed network results differ from an uninterrupted run"
+    );
+    terminate(&second);
+    let mut second = second;
+    assert!(wait_exit(&mut second, Duration::from_secs(30)).success());
+}
+
 #[test]
 fn sigterm_parks_running_job_for_the_next_server() {
     let dir = temp_dir("drain");
