@@ -568,6 +568,16 @@ impl SweepEngine {
             }
         }
         let cancelled = sweep_budget.cancelled().is_some();
+        // A sweep that ran to its natural end seals the checkpoint: the
+        // sealed record count lets the next reader distinguish "file is
+        // short because the run was interrupted" from "records silently
+        // went missing". Cancelled/drained sweeps stay unsealed on purpose
+        // — their file legitimately ends mid-run.
+        if let Some(cp) = checkpoint {
+            if !cancelled && cp.seal().is_err() {
+                shil_observe::incr("shil_sweep_checkpoint_write_failures_total");
+            }
+        }
         PolicySweep {
             items: out,
             aggregate,

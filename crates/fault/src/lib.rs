@@ -32,6 +32,10 @@
 use shil_circuit::IvCurve;
 use shil_core::nonlinearity::Nonlinearity;
 
+pub mod storage;
+
+pub use storage::{FaultyStorage, StorageFaultKind, StorageFaultSpec};
+
 /// The kind of fault injected at one evaluation point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {

@@ -1,0 +1,466 @@
+//! Deterministic I/O fault injection behind the [`Storage`] trait.
+//!
+//! [`FaultyStorage`] wraps any inner backend (normally the real
+//! `FsStorage`) and injects the classic durability failure modes at a
+//! seeded rate: short writes that leave a torn prefix, `ENOSPC`, bare
+//! `EIO`, flushes that fail or are silently dropped, and torn renames
+//! that leave a half-replaced destination. Every injected fault is
+//! recorded in a failure trail so a failing chaos run can be shipped as
+//! an artifact and replayed from `(seed, rate)` alone.
+//!
+//! # Determinism
+//!
+//! Decisions are a pure function of the spec's seed and a per-handle
+//! operation counter: the N-th storage operation of a run always gets the
+//! same verdict for the same seed. (Under multi-threaded use the op
+//! *interleaving* may vary, but single-threaded chaos suites — the
+//! intended use — replay exactly.)
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use shil_runtime::storage::{AppendFile, FsStorage, Storage};
+
+/// The kind of storage fault injected at one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// An append writes only a prefix of the buffer, then errors — the
+    /// torn-line signature checkpoint v2 framing must catch.
+    ShortWrite,
+    /// `ENOSPC`: the operation fails cleanly, nothing is written.
+    Enospc,
+    /// A bare I/O error with nothing written.
+    Eio,
+    /// `sync` fails with an error.
+    FlushError,
+    /// `sync` reports success without syncing — the lying-drive mode.
+    DroppedFlush,
+    /// An atomic replace leaves the *destination* holding a torn prefix
+    /// and errors — the crash-between-write-and-rename signature.
+    TornRename,
+}
+
+impl StorageFaultKind {
+    /// Short tag used in failure-trail lines.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StorageFaultKind::ShortWrite => "short-write",
+            StorageFaultKind::Enospc => "enospc",
+            StorageFaultKind::Eio => "eio",
+            StorageFaultKind::FlushError => "flush-error",
+            StorageFaultKind::DroppedFlush => "dropped-flush",
+            StorageFaultKind::TornRename => "torn-rename",
+        }
+    }
+}
+
+/// Fault rate, seed and grace window for a [`FaultyStorage`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageFaultSpec {
+    /// Probability that any one storage operation is faulted.
+    pub rate: f64,
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// Number of initial operations that are never faulted, so a run can
+    /// get past setup (header writes, dir creation) into interesting
+    /// states before the chaos starts.
+    pub grace_ops: u64,
+}
+
+impl StorageFaultSpec {
+    /// A spec faulting roughly `rate` of operations after a short grace.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        StorageFaultSpec {
+            rate,
+            seed,
+            grace_ops: 2,
+        }
+    }
+}
+
+/// Shared fault state: the op counter, the decision spec, the arm switch
+/// and the failure trail. One per [`FaultyStorage`], shared with every
+/// append handle it vends.
+#[derive(Debug)]
+struct Core {
+    spec: StorageFaultSpec,
+    ops: AtomicU64,
+    armed: AtomicBool,
+    trail: Mutex<Vec<String>>,
+}
+
+impl Core {
+    /// Decides whether the next operation is faulted; returns a hash for
+    /// sub-decisions (which kind, how many bytes survive a short write).
+    fn draw(&self) -> Option<u64> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if !self.armed.load(Ordering::Relaxed) || op < self.spec.grace_ops {
+            return None;
+        }
+        let h = splitmix64(op ^ self.spec.seed);
+        (unit(h) < self.spec.rate).then(|| splitmix64(h))
+    }
+
+    fn record(&self, kind: StorageFaultKind, path: &Path, detail: &str) {
+        let op = self.ops.load(Ordering::Relaxed);
+        let mut line = format!("op#{op} {} {}", kind.as_str(), path.display());
+        if !detail.is_empty() {
+            line.push_str(": ");
+            line.push_str(detail);
+        }
+        if let Ok(mut t) = self.trail.lock() {
+            t.push(line);
+        }
+    }
+
+    fn error(&self, kind: StorageFaultKind, path: &Path, detail: &str) -> io::Error {
+        self.record(kind, path, detail);
+        let ek = match kind {
+            StorageFaultKind::Enospc => io::ErrorKind::StorageFull,
+            StorageFaultKind::ShortWrite => io::ErrorKind::WriteZero,
+            _ => io::ErrorKind::Other,
+        };
+        io::Error::new(ek, format!("injected {} ({detail})", kind.as_str()))
+    }
+}
+
+/// A [`Storage`] backend that injects seeded faults into an inner one.
+///
+/// Only the data-path operations are faulted (read, append, sync,
+/// replace); directory bookkeeping passes through, so a chaos run fails
+/// in its durability layer rather than in setup boilerplate.
+#[derive(Debug, Clone)]
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    core: Arc<Core>,
+}
+
+impl FaultyStorage {
+    /// Wraps `inner` with the given fault spec.
+    pub fn new(inner: Arc<dyn Storage>, spec: StorageFaultSpec) -> Self {
+        FaultyStorage {
+            inner,
+            core: Arc::new(Core {
+                spec,
+                ops: AtomicU64::new(0),
+                armed: AtomicBool::new(true),
+                trail: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A faulty layer over the real file system.
+    pub fn over_fs(spec: StorageFaultSpec) -> Self {
+        Self::new(Arc::new(FsStorage), spec)
+    }
+
+    /// Stops injecting (existing handles included) — the "storage healed"
+    /// phase of a chaos scenario.
+    pub fn disarm(&self) {
+        self.core.armed.store(false, Ordering::Relaxed);
+    }
+
+    /// Resumes injecting after [`FaultyStorage::disarm`].
+    pub fn arm(&self) {
+        self.core.armed.store(true, Ordering::Relaxed);
+    }
+
+    /// The failure trail so far: one line per injected fault, in order.
+    pub fn trail(&self) -> Vec<String> {
+        self.core
+            .trail
+            .lock()
+            .map(|t| t.clone())
+            .unwrap_or_default()
+    }
+
+    /// How many faults have been injected so far.
+    pub fn injected(&self) -> usize {
+        self.core.trail.lock().map(|t| t.len()).unwrap_or(0)
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn read(&self, path: &Path) -> io::Result<String> {
+        if self.core.draw().is_some() {
+            return Err(self.core.error(StorageFaultKind::Eio, path, "read failed"));
+        }
+        self.inner.read(path)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>> {
+        if self.core.draw().is_some() {
+            return Err(self.core.error(StorageFaultKind::Eio, path, "open failed"));
+        }
+        Ok(Box::new(FaultyAppend {
+            inner: self.inner.open_append(path)?,
+            core: Arc::clone(&self.core),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn replace(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.core.draw() {
+            None => self.inner.replace(path, bytes),
+            Some(h) if h & 1 == 0 && !bytes.is_empty() => {
+                // Torn rename: the destination ends up holding a prefix
+                // of the new contents — neither old nor new.
+                let keep = (h >> 1) as usize % bytes.len();
+                let _ = self.inner.replace(path, &bytes[..keep]);
+                Err(self.core.error(
+                    StorageFaultKind::TornRename,
+                    path,
+                    &format!("destination torn at {keep}/{} bytes", bytes.len()),
+                ))
+            }
+            Some(_) => {
+                Err(self
+                    .core
+                    .error(StorageFaultKind::Enospc, path, "no space left on device"))
+            }
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[derive(Debug)]
+struct FaultyAppend {
+    inner: Box<dyn AppendFile>,
+    core: Arc<Core>,
+    path: PathBuf,
+}
+
+impl AppendFile for FaultyAppend {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self.core.draw() {
+            None => self.inner.append(bytes),
+            Some(h) => match h % 3 {
+                0 if !bytes.is_empty() => {
+                    // Short write: a torn prefix lands in the file.
+                    let wrote = (h >> 2) as usize % bytes.len();
+                    let _ = self.inner.append(&bytes[..wrote]);
+                    Err(self.core.error(
+                        StorageFaultKind::ShortWrite,
+                        &self.path,
+                        &format!("wrote {wrote}/{} bytes", bytes.len()),
+                    ))
+                }
+                1 => Err(self.core.error(
+                    StorageFaultKind::Enospc,
+                    &self.path,
+                    "no space left on device",
+                )),
+                _ => Err(self
+                    .core
+                    .error(StorageFaultKind::Eio, &self.path, "append failed")),
+            },
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        match self.core.draw() {
+            None => self.inner.sync(),
+            Some(h) if h & 1 == 0 => {
+                // Dropped flush: report success without syncing.
+                self.core
+                    .record(StorageFaultKind::DroppedFlush, &self.path, "sync skipped");
+                Ok(())
+            }
+            Some(_) => {
+                Err(self
+                    .core
+                    .error(StorageFaultKind::FlushError, &self.path, "fsync failed"))
+            }
+        }
+    }
+}
+
+/// splitmix64 finalizer — same mixing quality as the value-domain
+/// injector in the crate root.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from the top 53 bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("shil_fault_storage_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn zero_rate_is_a_transparent_passthrough() {
+        let path = temp("clean.txt");
+        let fs = FaultyStorage::over_fs(StorageFaultSpec::new(0.0, 1));
+        fs.replace(&path, b"hello").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), "hello");
+        assert_eq!(fs.injected(), 0);
+        fs.remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn short_write_leaves_a_torn_prefix_and_errors() {
+        let path = temp("short.log");
+        let _ = std::fs::remove_file(&path);
+        // rate = 1.0: every post-grace op faults deterministically.
+        let spec = StorageFaultSpec {
+            rate: 1.0,
+            seed: 0,
+            grace_ops: 1, // let open_append through
+        };
+        let fs = FaultyStorage::over_fs(spec);
+        let mut f = fs.open_append(&path).unwrap();
+        let payload = b"{\"item\":0}\n";
+        // Walk the op stream until a short write fires (kind is h % 3).
+        let mut saw_short = false;
+        for _ in 0..32 {
+            match f.append(payload) {
+                Err(e) if e.to_string().contains("short-write") => {
+                    saw_short = true;
+                    break;
+                }
+                Err(_) => {}
+                Ok(()) => panic!("rate-1.0 append must fail"),
+            }
+        }
+        assert!(saw_short, "no short write in 32 faulted appends");
+        drop(f);
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            on_disk.len() < payload.len(),
+            "destination must hold a strict prefix, got {on_disk:?}"
+        );
+        assert!(fs.trail().iter().any(|l| l.contains("short-write")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn enospc_carries_the_storage_full_kind() {
+        let path = temp("full.log");
+        let _ = std::fs::remove_file(&path);
+        let spec = StorageFaultSpec {
+            rate: 1.0,
+            seed: 3,
+            grace_ops: 1,
+        };
+        let fs = FaultyStorage::over_fs(spec);
+        let mut f = fs.open_append(&path).unwrap();
+        let mut saw = false;
+        for _ in 0..32 {
+            if let Err(e) = f.append(b"x\n") {
+                if e.kind() == io::ErrorKind::StorageFull {
+                    assert!(e.to_string().contains("injected enospc"), "{e}");
+                    saw = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw, "no ENOSPC in 32 faulted appends");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_rename_leaves_a_half_replaced_destination() {
+        let path = temp("torn.json");
+        let fs_clean = FaultyStorage::over_fs(StorageFaultSpec::new(0.0, 0));
+        fs_clean.replace(&path, b"OLD CONTENTS").unwrap();
+        let spec = StorageFaultSpec {
+            rate: 1.0,
+            seed: 5,
+            grace_ops: 0,
+        };
+        let fs = FaultyStorage::over_fs(spec);
+        let new = b"NEW CONTENTS, LONGER THAN OLD";
+        let mut saw = false;
+        for _ in 0..32 {
+            match fs.replace(&path, new) {
+                Err(e) if e.to_string().contains("torn-rename") => {
+                    saw = true;
+                    break;
+                }
+                Err(_) => {}
+                Ok(()) => panic!("rate-1.0 replace must fail"),
+            }
+        }
+        assert!(saw, "no torn rename in 32 faulted replaces");
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(
+            new.starts_with(&on_disk) && on_disk.len() < new.len(),
+            "destination must hold a prefix of the new contents, got {on_disk:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn decisions_replay_from_the_seed() {
+        let run = |seed: u64| -> Vec<String> {
+            let path = temp(&format!("replay-{seed}.log"));
+            let _ = std::fs::remove_file(&path);
+            let fs = FaultyStorage::over_fs(StorageFaultSpec {
+                rate: 0.5,
+                seed,
+                grace_ops: 1,
+            });
+            if let Ok(mut f) = fs.open_append(&path) {
+                for _ in 0..50 {
+                    let _ = f.append(b"line\n");
+                    let _ = f.sync();
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+            fs.trail()
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        assert_ne!(run(42), run(43), "different seeds must differ");
+        assert!(!run(42).is_empty(), "rate 0.5 must inject something");
+    }
+
+    #[test]
+    fn disarm_heals_the_storage() {
+        let path = temp("healed.log");
+        let _ = std::fs::remove_file(&path);
+        let fs = FaultyStorage::over_fs(StorageFaultSpec {
+            rate: 1.0,
+            seed: 9,
+            grace_ops: 1,
+        });
+        let mut f = fs.open_append(&path).unwrap();
+        assert!(f.append(b"doomed\n").is_err());
+        fs.disarm();
+        f.append(b"ok\n").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert!(std::fs::read_to_string(&path).unwrap().ends_with("ok\n"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -44,8 +44,13 @@
 //! per-layer `*_cancellations_total`, the sweep outcome taxonomy
 //! (`shil_sweep_outcome_<outcome>_total`, `shil_sweep_retries_total`,
 //! `shil_sweep_panics_total`) and checkpoint durability counters
-//! (`shil_runtime_checkpoint_records_total`,
-//! `shil_runtime_checkpoint_restored_total`,
+//! (`shil_runtime_checkpoint_records_written_total`,
+//! `shil_runtime_checkpoint_records_replayed_total`,
+//! `shil_runtime_checkpoint_bytes_appended_total`,
+//! `shil_runtime_checkpoint_torn_tails_total`,
+//! `shil_runtime_checkpoint_corrupt_skipped_total`,
+//! `shil_runtime_checkpoint_seals_total`,
+//! `shil_runtime_storage_renames_total`,
 //! `shil_sweep_checkpoint_write_failures_total`). The batched sweep
 //! backend reports per-block lane accounting
 //! (`shil_sweep_batch_lanes_launched_total`,

@@ -1,45 +1,102 @@
-//! Durable sweep checkpoints: append-only, schema-versioned JSONL.
+//! Durable sweep checkpoints: append-only, schema-versioned, CRC-framed
+//! JSONL.
 //!
 //! One line per event. The first line is a header binding the file to a
 //! specific sweep (schema version, caller-computed fingerprint of the
-//! inputs, item count); every following line is one completed item:
+//! inputs, item count); every following line is one completed item. In the
+//! v2 layout each line is framed with its CRC-32C so corruption anywhere
+//! in the body — not just the torn tail a `SIGKILL` leaves — is detected:
 //!
-//! ```json
-//! {"schema":"shil-runtime/checkpoint/v1","fingerprint":"a1b2c3","items":25}
-//! {"item":0,"outcome":"ok","tries":1,"wall_s":0.41,"counters":{"attempts":101,"halvings":0},"payload":"3fe0000000000000"}
+//! ```text
+//! {"schema":"shil-runtime/checkpoint/v2","fingerprint":"a1b2c3","items":25}|9d0726a8
+//! {"item":0,"outcome":"ok","tries":1,"wall_s":0.41,"counters":{"attempts":101},"payload":"3fe0000000000000"}|5b1a22c4
+//! {"seal":true,"records":25}|71c0863d
 //! ```
 //!
 //! Design rules, in the order they matter:
 //!
-//! 1. **Append-only.** A record is written (and flushed) after each item
+//! 1. **Append-only.** A record is written (and synced) after each item
 //!    completes; nothing is ever rewritten, so a crash can only lose or
 //!    tear the *last* line.
-//! 2. **Torn lines read as absent.** The parser accepts a line only if it
-//!    is a complete JSON document; a half-written tail (the `SIGKILL`
-//!    signature) simply means that item re-runs on resume.
-//! 3. **Fingerprint-bound.** Resuming against a checkpoint whose header
+//! 2. **Torn tails read as absent.** A half-written final line (the
+//!    `SIGKILL` signature) fails its CRC frame and simply means that item
+//!    re-runs on resume; it is tolerated and counted
+//!    (`shil_runtime_checkpoint_torn_tails_total`).
+//! 3. **Body corruption is detected, skipped and counted.** A mid-file
+//!    line whose CRC does not match (bit rot, a torn prefix left by a
+//!    failed append, an editor accident) is dropped — the affected item
+//!    simply re-runs — and counted
+//!    (`shil_runtime_checkpoint_corrupt_skipped_total`). A corrupt
+//!    *header* fails loud: the file's identity can no longer be trusted.
+//! 4. **Sealed on completion.** When a sweep finishes, a trailer records
+//!    how many record lines the file held. On reopen a shortfall against
+//!    the seal exposes wholly deleted lines, which per-line CRCs cannot
+//!    see.
+//! 5. **Fingerprint-bound.** Resuming against a checkpoint whose header
 //!    fingerprint or item count does not match the sweep being run is an
 //!    error, not a silent mix of two different campaigns.
-//! 4. **Exact counters.** Per-item solver-effort counters are stored as
+//! 6. **Exact counters.** Per-item solver-effort counters are stored as
 //!    integers and re-read as `u64`, so a resumed sweep's aggregate is
 //!    bit-identical to an uninterrupted run's.
-//! 5. **Single writer.** Opening takes an exclusive advisory lock on the
+//! 7. **Single writer.** Opening takes an exclusive advisory lock on the
 //!    file (held for the life of the handle, released by the OS even on
 //!    `SIGKILL`), so two processes resuming the same sweep cannot
-//!    interleave appends — the second opener gets a `WouldBlock` error
-//!    naming the path instead of silently corrupting the record stream.
+//!    interleave appends.
+//! 8. **Backward compatible.** A v1 file (no CRC frames) opens for
+//!    resume with the v1 reader and keeps appending unframed v1 records,
+//!    so the file stays uniform; new files are always v2.
+//!
+//! All I/O goes through the injectable [`Storage`] trait, so the same
+//! code paths are exercised against deterministic fault injection in
+//! chaos tests (`shil-fault`).
 
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use crate::crc32c::crc32c;
 use crate::json::{self, Json};
 use crate::policy::ItemOutcome;
+use crate::storage::{AppendFile, FsStorage, Storage};
 
-/// Identifier of the checkpoint JSONL layout this crate writes.
-pub const CHECKPOINT_SCHEMA: &str = "shil-runtime/checkpoint/v1";
+/// Identifier of the checkpoint layout this crate writes (CRC-framed v2).
+pub const CHECKPOINT_SCHEMA: &str = "shil-runtime/checkpoint/v2";
+
+/// The legacy unframed layout, still readable (and appendable) for
+/// backward-compatible resume of files written before v2.
+pub const CHECKPOINT_SCHEMA_V1: &str = "shil-runtime/checkpoint/v1";
+
+/// Which on-disk layout an open checkpoint file uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointVersion {
+    /// Legacy: bare JSONL, torn-tail-tolerant only.
+    V1,
+    /// Current: per-line CRC-32C frames plus a sealed trailer.
+    V2,
+}
+
+/// What the reader had to tolerate (or detect) while restoring a file.
+/// All zeros for a healthy checkpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityReport {
+    /// Unreadable *final* lines — the expected crash signature; tolerated.
+    pub torn_tails: usize,
+    /// Unreadable lines *before* the end: CRC mismatches, torn prefixes
+    /// left by failed appends, foreign garbage. Skipped and counted; the
+    /// affected items re-run.
+    pub corrupt_records: usize,
+    /// Record lines a sealed trailer promised but the file no longer
+    /// holds — wholly deleted lines, invisible to per-line CRCs.
+    pub sealed_missing: usize,
+}
+
+impl DurabilityReport {
+    /// Whether any corruption beyond the tolerated torn tail was seen.
+    pub fn saw_corruption(&self) -> bool {
+        self.corrupt_records > 0 || self.sealed_missing > 0
+    }
+}
 
 /// One completed sweep item, as stored in (and restored from) a
 /// checkpoint file.
@@ -63,7 +120,8 @@ pub struct CheckpointRecord {
 }
 
 impl CheckpointRecord {
-    /// Renders the record as one JSONL line (no trailing newline).
+    /// Renders the record body as one JSON document (no CRC frame, no
+    /// trailing newline). The writer frames it per the file's version.
     pub fn to_line(&self) -> String {
         let mut out = String::from("{\"item\":");
         out.push_str(&self.index.to_string());
@@ -90,10 +148,21 @@ impl CheckpointRecord {
         out
     }
 
-    /// Parses a line written by [`CheckpointRecord::to_line`]; `None` for
-    /// torn or foreign lines.
+    /// Parses a checkpoint line in either layout: a CRC-framed v2 line
+    /// (`None` if the frame's checksum does not match) or a bare v1 line.
+    /// `None` for torn or foreign lines.
     pub fn from_line(line: &str) -> Option<Self> {
-        let v = json::parse(line.trim())?;
+        let line = line.trim();
+        let body = match parse_frame(line) {
+            Framed::Ok(body) => body,
+            Framed::BadCrc => return None,
+            Framed::Unframed => line,
+        };
+        Self::parse_body(body)
+    }
+
+    fn parse_body(body: &str) -> Option<Self> {
+        let v = json::parse(body)?;
         let index = v.get("item")?.as_u64()? as usize;
         let outcome = ItemOutcome::parse(v.get("outcome")?.as_str()?)?;
         let tries = u32::try_from(v.get("tries")?.as_u64()?).ok()?;
@@ -114,6 +183,48 @@ impl CheckpointRecord {
     }
 }
 
+/// Appends `|xxxxxxxx` (CRC-32C of the body, 8 hex digits) to a line body.
+fn frame(body: &str) -> String {
+    format!("{body}|{:08x}", crc32c(body.as_bytes()))
+}
+
+enum Framed<'a> {
+    /// A well-formed frame whose checksum matches; the body.
+    Ok(&'a str),
+    /// A well-formed frame whose checksum does not match: corruption.
+    BadCrc,
+    /// No trailing `|xxxxxxxx` tag — a bare v1 line or a torn fragment.
+    Unframed,
+}
+
+fn parse_frame(line: &str) -> Framed<'_> {
+    // The frame is always the last `|` on the line; record bodies are
+    // JSON documents ending in `}`, so a bare line can never end in an
+    // 8-hex-digit tag.
+    match line.rsplit_once('|') {
+        Some((body, tag)) if tag.len() == 8 && tag.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            match u32::from_str_radix(tag, 16) {
+                Ok(want) if crc32c(body.as_bytes()) == want => Framed::Ok(body),
+                _ => Framed::BadCrc,
+            }
+        }
+        _ => Framed::Unframed,
+    }
+}
+
+/// The append side of an open checkpoint, serialized behind one mutex.
+#[derive(Debug)]
+struct Writer {
+    file: Box<dyn AppendFile>,
+    /// Record lines currently in the file (restorable or not), so a seal
+    /// can state how many lines a complete file must hold.
+    record_lines: usize,
+    /// Set when an append failed mid-line: the file may end in a torn
+    /// prefix, so the next append starts with a `\n` to begin a clean
+    /// line instead of concatenating into the garbage.
+    dirty: bool,
+}
+
 /// An open checkpoint file: records restored from any previous run of the
 /// same sweep, plus an append handle for this run.
 ///
@@ -121,17 +232,19 @@ impl CheckpointRecord {
 /// a missing or empty file starts a new checkpoint, an existing one is
 /// validated against the header and its records exposed via
 /// [`CheckpointFile::restored`]. Appends are serialized behind a mutex and
-/// flushed per record, so concurrent sweep workers can share one handle.
+/// synced per record, so concurrent sweep workers can share one handle.
 #[derive(Debug)]
 pub struct CheckpointFile {
     path: PathBuf,
-    writer: Mutex<BufWriter<File>>,
+    version: CheckpointVersion,
+    writer: Mutex<Writer>,
     restored: BTreeMap<usize, CheckpointRecord>,
+    durability: DurabilityReport,
 }
 
 impl CheckpointFile {
     /// Opens (or creates) the checkpoint for a sweep of `items` items
-    /// whose inputs hash to `fingerprint`.
+    /// whose inputs hash to `fingerprint`, on the real file system.
     ///
     /// The returned handle holds an exclusive advisory lock on the file
     /// until it is dropped; the OS releases the lock when the process dies
@@ -141,56 +254,118 @@ impl CheckpointFile {
     /// # Errors
     ///
     /// I/O failures, `InvalidData` when the file belongs to a different
-    /// sweep (schema, fingerprint or item-count mismatch), and
-    /// `WouldBlock` when another process already holds the checkpoint open
-    /// — resuming concurrently would interleave appends.
+    /// sweep (schema, fingerprint or item-count mismatch) or its header
+    /// line is corrupt, and `WouldBlock` when another process already
+    /// holds the checkpoint open — resuming concurrently would interleave
+    /// appends.
     pub fn open(path: &Path, fingerprint: &str, items: usize) -> io::Result<Self> {
+        Self::open_with(&FsStorage, path, fingerprint, items)
+    }
+
+    /// [`CheckpointFile::open`] against an injectable [`Storage`] backend
+    /// (the real file system in production, `shil-fault`'s `FaultyStorage`
+    /// in chaos tests).
+    pub fn open_with(
+        storage: &dyn Storage,
+        path: &Path,
+        fingerprint: &str,
+        items: usize,
+    ) -> io::Result<Self> {
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            std::fs::create_dir_all(dir)?;
+            storage.create_dir_all(dir)?;
         }
-        // Lock before reading: a concurrent holder may be mid-append, and
-        // reading an unlocked file could see a record the holder is about
-        // to complete.
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        lock_exclusive(&file, path)?;
-        let existing = match std::fs::read_to_string(path) {
+        // Lock (via open_append) before reading: a concurrent holder may
+        // be mid-append, and reading an unlocked file could see a record
+        // the holder is about to complete.
+        let mut file = storage.open_append(path)?;
+        let existing = match storage.read(path) {
             Ok(text) => text,
             Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(e),
         };
+        let lines: Vec<&str> = existing.lines().filter(|l| !l.trim().is_empty()).collect();
+
         let mut restored = BTreeMap::new();
-        let mut lines = existing.lines().filter(|l| !l.trim().is_empty());
-        if let Some(header) = lines.next() {
-            validate_header(header, fingerprint, items)?;
-            for line in lines {
-                // Torn or foreign lines are skipped, not fatal: rule 2.
-                if let Some(rec) = CheckpointRecord::from_line(line) {
-                    if rec.index < items {
-                        // Later records win — a re-run item appends a
-                        // fresh record rather than rewriting the old one.
-                        restored.insert(rec.index, rec);
+        let mut durability = DurabilityReport::default();
+        let mut record_lines = 0usize;
+        let version = match lines.first() {
+            None => {
+                // Fresh file: write a framed v2 header now so a crash
+                // before the first record still leaves a valid file.
+                let mut header = String::from("{\"schema\":");
+                json::push_str(&mut header, CHECKPOINT_SCHEMA);
+                header.push_str(",\"fingerprint\":");
+                json::push_str(&mut header, fingerprint);
+                header.push_str(&format!(",\"items\":{items}}}"));
+                let framed = frame(&header) + "\n";
+                file.append(framed.as_bytes())?;
+                file.sync()?;
+                CheckpointVersion::V2
+            }
+            Some(first) => {
+                let version = parse_header(first, path, fingerprint, items)?;
+                let body = &lines[1..];
+                for (i, line) in body.iter().enumerate() {
+                    let is_last = i + 1 == body.len();
+                    let parsed = match version {
+                        CheckpointVersion::V2 => match parse_frame(line) {
+                            Framed::Ok(b) => Some(b),
+                            Framed::BadCrc | Framed::Unframed => None,
+                        },
+                        // v1 has no frames: the JSON parse below is the
+                        // only integrity check.
+                        CheckpointVersion::V1 => Some(*line),
+                    };
+                    match parsed.and_then(parse_body_line) {
+                        Some(BodyLine::Record(rec)) => {
+                            record_lines += 1;
+                            if rec.index < items {
+                                // Later records win — a re-run item
+                                // appends a fresh record rather than
+                                // rewriting the old one.
+                                restored.insert(rec.index, rec);
+                            }
+                        }
+                        Some(BodyLine::Seal { records }) => {
+                            // A seal states how many record lines preceded
+                            // it; a shortfall means lines were deleted
+                            // wholesale (per-line CRCs cannot see that).
+                            durability.sealed_missing += records.saturating_sub(record_lines);
+                        }
+                        None => {
+                            if is_last {
+                                durability.torn_tails += 1;
+                            } else {
+                                durability.corrupt_records += 1;
+                            }
+                        }
                     }
                 }
+                version
             }
-        }
-        let mut writer = BufWriter::new(file);
-        if existing.trim().is_empty() {
-            let mut header = String::from("{\"schema\":");
-            json::push_str(&mut header, CHECKPOINT_SCHEMA);
-            header.push_str(",\"fingerprint\":");
-            json::push_str(&mut header, fingerprint);
-            header.push_str(&format!(",\"items\":{items}}}\n"));
-            writer.write_all(header.as_bytes())?;
-            writer.flush()?;
-        }
+        };
         shil_observe::counter_add(
-            "shil_runtime_checkpoint_restored_total",
+            "shil_runtime_checkpoint_records_replayed_total",
             restored.len() as u64,
+        );
+        shil_observe::counter_add(
+            "shil_runtime_checkpoint_torn_tails_total",
+            durability.torn_tails as u64,
+        );
+        shil_observe::counter_add(
+            "shil_runtime_checkpoint_corrupt_skipped_total",
+            (durability.corrupt_records + durability.sealed_missing) as u64,
         );
         Ok(CheckpointFile {
             path: path.to_path_buf(),
-            writer: Mutex::new(writer),
+            version,
+            writer: Mutex::new(Writer {
+                file,
+                record_lines,
+                dirty: false,
+            }),
             restored,
+            durability,
         })
     }
 
@@ -204,61 +379,154 @@ impl CheckpointFile {
         &self.path
     }
 
-    /// Appends one completed item and flushes it to disk.
+    /// The on-disk layout this file uses (v1 files stay v1 on resume).
+    pub fn version(&self) -> CheckpointVersion {
+        self.version
+    }
+
+    /// What the reader tolerated or detected while restoring this file.
+    pub fn durability(&self) -> DurabilityReport {
+        self.durability
+    }
+
+    /// Appends one completed item and syncs it to stable storage.
+    ///
+    /// A failed append marks the stream dirty: the file may end in a torn
+    /// prefix, so the next append opens a fresh line first. The torn
+    /// fragment is exactly what the v2 CRC frames catch on resume.
     ///
     /// # Errors
     ///
     /// I/O failures (a poisoned writer lock surfaces as `Other`).
     pub fn append(&self, record: &CheckpointRecord) -> io::Result<()> {
-        let mut line = record.to_line();
-        line.push('\n');
-        let mut w = self
-            .writer
-            .lock()
-            .map_err(|_| io::Error::other("checkpoint writer poisoned"))?;
-        w.write_all(line.as_bytes())?;
-        w.flush()?;
-        shil_observe::incr("shil_runtime_checkpoint_records_total");
+        let body = record.to_line();
+        let line = match self.version {
+            CheckpointVersion::V2 => frame(&body),
+            CheckpointVersion::V1 => body,
+        };
+        self.append_line(&line)?;
+        let mut w = self.writer.lock().map_err(poisoned)?;
+        w.record_lines += 1;
+        drop(w);
+        shil_observe::incr("shil_runtime_checkpoint_records_written_total");
+        Ok(())
+    }
+
+    /// Writes the completion trailer: a framed line recording how many
+    /// record lines the file holds, so a resume can detect wholly deleted
+    /// lines. No-op on v1 files (the legacy layout has no trailer).
+    /// Appends may still follow a seal — a later resume that re-runs
+    /// failed items simply seals again.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, as for [`CheckpointFile::append`].
+    pub fn seal(&self) -> io::Result<()> {
+        if self.version == CheckpointVersion::V1 {
+            return Ok(());
+        }
+        let records = self.writer.lock().map_err(poisoned)?.record_lines;
+        let line = frame(&format!("{{\"seal\":true,\"records\":{records}}}"));
+        self.append_line(&line)?;
+        shil_observe::incr("shil_runtime_checkpoint_seals_total");
+        Ok(())
+    }
+
+    fn append_line(&self, line: &str) -> io::Result<()> {
+        let mut w = self.writer.lock().map_err(poisoned)?;
+        if w.dirty {
+            // The previous append failed mid-line; start a clean line so
+            // this record does not concatenate into the torn prefix.
+            w.file.append(b"\n")?;
+            w.dirty = false;
+        }
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        if let Err(e) = w.file.append(buf.as_bytes()) {
+            w.dirty = true;
+            return Err(e);
+        }
+        w.file.sync()?;
+        shil_observe::counter_add(
+            "shil_runtime_checkpoint_bytes_appended_total",
+            buf.len() as u64,
+        );
         Ok(())
     }
 }
 
-/// Takes a non-blocking exclusive advisory lock on `file`, turning a held
-/// lock into a `WouldBlock` error that names the checkpoint path. Advisory
-/// locks are per-file-description and kernel-released on process death, so
-/// `SIGKILL` cannot strand one.
-fn lock_exclusive(file: &File, path: &Path) -> io::Result<()> {
-    match file.try_lock() {
-        Ok(()) => Ok(()),
-        Err(std::fs::TryLockError::WouldBlock) => Err(io::Error::new(
-            io::ErrorKind::WouldBlock,
-            format!(
-                "checkpoint {} is locked by another process — \
-                 two resumes of the same sweep must not interleave appends",
-                path.display()
-            ),
-        )),
-        Err(std::fs::TryLockError::Error(e)) => Err(e),
+fn poisoned<T>(_: T) -> io::Error {
+    io::Error::other("checkpoint writer poisoned")
+}
+
+enum BodyLine {
+    Record(CheckpointRecord),
+    Seal { records: usize },
+}
+
+/// Classifies a (frame-verified or bare-v1) line body. `None` for
+/// anything that is neither a record nor a seal.
+fn parse_body_line(body: &str) -> Option<BodyLine> {
+    if let Some(rec) = CheckpointRecord::parse_body(body) {
+        return Some(BodyLine::Record(rec));
+    }
+    let v = json::parse(body)?;
+    match (v.get("seal"), v.get("records").and_then(Json::as_u64)) {
+        (Some(Json::Bool(true)), Some(records)) => Some(BodyLine::Seal {
+            records: records as usize,
+        }),
+        _ => None,
     }
 }
 
-fn validate_header(line: &str, fingerprint: &str, items: usize) -> io::Result<()> {
+/// Validates the header line and decides the file's layout version.
+///
+/// A framed header must carry the v2 schema; an unframed header must
+/// carry the v1 schema. An unframed line claiming v2, or a framed line
+/// failing its CRC, means the header itself is corrupt — that fails loud,
+/// because nothing below it can be trusted.
+fn parse_header(
+    line: &str,
+    path: &Path,
+    fingerprint: &str,
+    items: usize,
+) -> io::Result<CheckpointVersion> {
+    let corrupt = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "corrupt checkpoint header in {}: {what} — \
+                 the file's identity cannot be trusted; delete it to start fresh",
+                path.display()
+            ),
+        )
+    };
+    let (body, framed) = match parse_frame(line) {
+        Framed::Ok(body) => (body, true),
+        Framed::BadCrc => return Err(corrupt("CRC mismatch")),
+        Framed::Unframed => (line, false),
+    };
     let bad = |what: &str| {
         io::Error::new(
             io::ErrorKind::InvalidData,
             format!("checkpoint header mismatch: {what}"),
         )
     };
-    let v = json::parse(line.trim()).ok_or_else(|| bad("unparseable header line"))?;
-    match v.get("schema").and_then(Json::as_str) {
-        Some(s) if s == CHECKPOINT_SCHEMA => {}
+    let v = json::parse(body.trim()).ok_or_else(|| corrupt("unparseable header line"))?;
+    let version = match v.get("schema").and_then(Json::as_str) {
+        Some(s) if s == CHECKPOINT_SCHEMA && framed => CheckpointVersion::V2,
+        Some(s) if s == CHECKPOINT_SCHEMA && !framed => {
+            return Err(corrupt("v2 header without its CRC frame"))
+        }
+        Some(s) if s == CHECKPOINT_SCHEMA_V1 => CheckpointVersion::V1,
         Some(s) => {
             return Err(bad(&format!(
-                "schema {s:?}, expected {CHECKPOINT_SCHEMA:?}"
+                "schema {s:?}, expected {CHECKPOINT_SCHEMA:?} (or legacy {CHECKPOINT_SCHEMA_V1:?})"
             )))
         }
         None => return Err(bad("missing schema")),
-    }
+    };
     match v.get("fingerprint").and_then(Json::as_str) {
         Some(f) if f == fingerprint => {}
         _ => {
@@ -268,7 +536,7 @@ fn validate_header(line: &str, fingerprint: &str, items: usize) -> io::Result<()
         }
     }
     match v.get("items").and_then(Json::as_u64) {
-        Some(n) if n as usize == items => Ok(()),
+        Some(n) if n as usize == items => Ok(version),
         _ => Err(bad("item count differs")),
     }
 }
@@ -311,6 +579,21 @@ mod tests {
         std::env::temp_dir().join(format!("shil_runtime_{}_{name}", std::process::id()))
     }
 
+    /// Composes a legacy v1 checkpoint file the way the v1 writer did:
+    /// bare header line plus bare record lines.
+    fn write_v1_file(path: &Path, fingerprint: &str, items: usize, records: &[CheckpointRecord]) {
+        let mut text = String::from("{\"schema\":");
+        json::push_str(&mut text, CHECKPOINT_SCHEMA_V1);
+        text.push_str(",\"fingerprint\":");
+        json::push_str(&mut text, fingerprint);
+        text.push_str(&format!(",\"items\":{items}}}\n"));
+        for rec in records {
+            text.push_str(&rec.to_line());
+            text.push('\n');
+        }
+        std::fs::write(path, text).unwrap();
+    }
+
     #[test]
     fn record_line_round_trips() {
         let rec = CheckpointRecord {
@@ -318,20 +601,41 @@ mod tests {
             payload: "weird \"quoted\"\npayload".to_string(),
             ..sample(7)
         };
+        // Bare (v1) body and CRC-framed (v2) line both round-trip.
         let line = rec.to_line();
-        assert_eq!(CheckpointRecord::from_line(&line), Some(rec));
+        assert_eq!(CheckpointRecord::from_line(&line), Some(rec.clone()));
+        assert_eq!(CheckpointRecord::from_line(&frame(&line)), Some(rec));
     }
 
     #[test]
     fn torn_lines_parse_as_absent() {
-        let line = sample(3).to_line();
-        for cut in 1..line.len() {
-            assert_eq!(
-                CheckpointRecord::from_line(&line[..cut]),
-                None,
-                "prefix of length {cut} must not parse"
-            );
+        let bare = sample(3).to_line();
+        let framed = frame(&bare);
+        for line in [bare.as_str(), framed.as_str()] {
+            for cut in 1..line.len() {
+                // One exception: a framed line torn exactly at the frame
+                // boundary leaves a complete JSON body — indistinguishable
+                // from a bare v1 line, and its data is intact, so it parses.
+                if cut == bare.len() {
+                    continue;
+                }
+                assert_eq!(
+                    CheckpointRecord::from_line(&line[..cut]),
+                    None,
+                    "prefix of length {cut} must not parse"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn framed_line_with_bad_crc_parses_as_absent() {
+        let good = frame(&sample(2).to_line());
+        // Flip one payload bit; the frame stays well-formed.
+        let mut bytes = good.clone().into_bytes();
+        bytes[12] ^= 0x01;
+        let bad = String::from_utf8(bytes).unwrap();
+        assert_eq!(CheckpointRecord::from_line(&bad), None);
     }
 
     #[test]
@@ -342,6 +646,7 @@ mod tests {
         {
             let cp = CheckpointFile::open(&path, &fp, 5).unwrap();
             assert!(cp.restored().is_empty());
+            assert_eq!(cp.version(), CheckpointVersion::V2);
             cp.append(&sample(0)).unwrap();
             cp.append(&sample(2)).unwrap();
         }
@@ -350,6 +655,7 @@ mod tests {
         assert_eq!(cp.restored()[&0], sample(0));
         assert_eq!(cp.restored()[&2], sample(2));
         assert_eq!(cp.path(), path.as_path());
+        assert_eq!(cp.durability(), DurabilityReport::default());
         std::fs::remove_file(&path).ok();
     }
 
@@ -375,7 +681,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_ignored_on_open() {
+    fn torn_tail_is_tolerated_and_counted_on_open() {
         let path = temp("torn.jsonl");
         std::fs::remove_file(&path).ok();
         let fp = fingerprint("unit", &[3.5]);
@@ -385,11 +691,150 @@ mod tests {
         }
         // Simulate a SIGKILL mid-write: half a record at the end.
         let mut text = std::fs::read_to_string(&path).unwrap();
-        let half = sample(1).to_line();
+        let half = frame(&sample(1).to_line());
         text.push_str(&half[..half.len() / 2]);
         std::fs::write(&path, text).unwrap();
         let cp = CheckpointFile::open(&path, &fp, 4).unwrap();
         assert_eq!(cp.restored().len(), 1, "only the complete record survives");
+        assert_eq!(
+            cp.durability(),
+            DurabilityReport {
+                torn_tails: 1,
+                ..Default::default()
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_skipped_counted_and_rerun() {
+        let path = temp("midfile.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[1.0]);
+        {
+            let cp = CheckpointFile::open(&path, &fp, 4).unwrap();
+            for i in 0..4 {
+                cp.append(&sample(i)).unwrap();
+            }
+        }
+        // Flip a byte inside record 1's *body* (not the tail).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut bytes = lines[2].clone().into_bytes();
+        bytes[10] ^= 0x40;
+        lines[2] = String::from_utf8(bytes).unwrap();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let cp = CheckpointFile::open(&path, &fp, 4).unwrap();
+        assert_eq!(
+            cp.restored().keys().copied().collect::<Vec<_>>(),
+            vec![0, 2, 3],
+            "exactly the corrupted record is invalidated"
+        );
+        assert_eq!(cp.durability().corrupt_records, 1);
+        assert!(cp.durability().saw_corruption());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_header_fails_loud() {
+        let path = temp("badheader.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[2.0]);
+        drop(CheckpointFile::open(&path, &fp, 2).unwrap());
+        // Flip a byte in the header body: framed-but-CRC-mismatched.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut bytes = text.into_bytes();
+        bytes[4] ^= 0x20;
+        std::fs::write(&path, bytes).unwrap();
+        let e = CheckpointFile::open(&path, &fp, 2).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("corrupt checkpoint header"), "{e}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seal_detects_wholly_deleted_record_lines() {
+        let path = temp("sealed.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[7.0]);
+        {
+            let cp = CheckpointFile::open(&path, &fp, 3).unwrap();
+            for i in 0..3 {
+                cp.append(&sample(i)).unwrap();
+            }
+            cp.seal().unwrap();
+        }
+        // A healthy sealed file reopens with a clean report.
+        {
+            let cp = CheckpointFile::open(&path, &fp, 3).unwrap();
+            assert_eq!(cp.restored().len(), 3);
+            assert_eq!(cp.durability(), DurabilityReport::default());
+        }
+        // Delete record 1's line entirely — every remaining line still has
+        // a valid CRC, so only the seal can notice.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().filter(|l| !l.contains("\"item\":1")).collect();
+        std::fs::write(&path, kept.join("\n") + "\n").unwrap();
+        let cp = CheckpointFile::open(&path, &fp, 3).unwrap();
+        assert_eq!(cp.restored().len(), 2);
+        assert_eq!(cp.durability().sealed_missing, 1);
+        assert!(cp.durability().saw_corruption());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_after_seal_appends_and_reseals_cleanly() {
+        let path = temp("reseal.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[9.0]);
+        {
+            let cp = CheckpointFile::open(&path, &fp, 2).unwrap();
+            cp.append(&CheckpointRecord {
+                outcome: ItemOutcome::Failed,
+                ..sample(0)
+            })
+            .unwrap();
+            cp.append(&sample(1)).unwrap();
+            cp.seal().unwrap();
+        }
+        {
+            // Resume re-runs the failed item and seals again.
+            let cp = CheckpointFile::open(&path, &fp, 2).unwrap();
+            assert_eq!(cp.durability(), DurabilityReport::default());
+            cp.append(&sample(0)).unwrap();
+            cp.seal().unwrap();
+        }
+        let cp = CheckpointFile::open(&path, &fp, 2).unwrap();
+        assert_eq!(cp.restored().len(), 2);
+        assert_eq!(cp.restored()[&0].outcome, ItemOutcome::Ok);
+        assert_eq!(cp.durability(), DurabilityReport::default());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_files_resume_and_keep_appending_v1() {
+        let path = temp("v1compat.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint("unit", &[5.0]);
+        write_v1_file(&path, &fp, 4, &[sample(0), sample(2)]);
+        {
+            let cp = CheckpointFile::open(&path, &fp, 4).unwrap();
+            assert_eq!(cp.version(), CheckpointVersion::V1);
+            assert_eq!(cp.restored().len(), 2);
+            cp.append(&sample(1)).unwrap();
+            // Sealing a v1 file is a no-op: the legacy layout stays
+            // byte-compatible with the v1 reader.
+            cp.seal().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().all(|l| !l.contains('|')),
+            "v1 file must stay unframed:\n{text}"
+        );
+        let cp = CheckpointFile::open(&path, &fp, 4).unwrap();
+        assert_eq!(cp.version(), CheckpointVersion::V1);
+        assert_eq!(cp.restored().len(), 3);
         std::fs::remove_file(&path).ok();
     }
 

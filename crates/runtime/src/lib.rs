@@ -35,13 +35,19 @@
 
 mod cancel;
 pub mod checkpoint;
+pub mod crc32c;
 pub mod json;
 mod panic;
 mod policy;
 pub mod shutdown;
+pub mod storage;
 
 pub use cancel::{Budget, CancelCause, CancelToken};
-pub use checkpoint::{CheckpointFile, CheckpointRecord, CHECKPOINT_SCHEMA};
+pub use checkpoint::{
+    CheckpointFile, CheckpointRecord, CheckpointVersion, DurabilityReport, CHECKPOINT_SCHEMA,
+    CHECKPOINT_SCHEMA_V1,
+};
 pub use panic::isolate;
 pub use policy::{ItemOutcome, SweepPolicy};
 pub use shutdown::{install_shutdown_handler, request_shutdown, shutdown_requested};
+pub use storage::{AppendFile, FsStorage, Storage};

@@ -1,0 +1,325 @@
+//! Injectable storage: the narrow file-system surface every durability
+//! path in the workspace goes through.
+//!
+//! Checkpoints, the serve job store and `results.jsonl` streaming all talk
+//! to a [`Storage`] trait object instead of `std::fs` directly, so the
+//! same code runs against the real [`FsStorage`] in production and against
+//! a deterministic fault injector (`shil-fault`'s `FaultyStorage`) in
+//! chaos tests. The surface is deliberately small — read a whole file,
+//! append to a stream, atomically replace, and a handful of directory
+//! ops — because a small surface is what makes exhaustive fault coverage
+//! tractable.
+//!
+//! Durability discipline encoded here rather than at call sites:
+//!
+//! - [`Storage::replace`] is always write-temp → fsync → atomic-rename →
+//!   fsync-parent-dir. No caller ever sees a half-written replacement.
+//! - [`Storage::open_append`] takes a non-blocking exclusive advisory
+//!   lock on the file (kernel-released even on `SIGKILL`), so two
+//!   processes can never interleave appends into one stream.
+//! - Every error is wrapped with the operation and path
+//!   (`storage append /data/checkpoint.jsonl: ...`) while preserving the
+//!   original [`io::ErrorKind`], so a storage failure anywhere surfaces
+//!   as a *diagnosed* error, never a bare `EIO`.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The injectable file-system surface. Object-safe: durability code holds
+/// an `Arc<dyn Storage>` and never names a concrete backend.
+pub trait Storage: Send + Sync + fmt::Debug {
+    /// Reads the whole file as UTF-8 text.
+    fn read(&self, path: &Path) -> io::Result<String>;
+
+    /// Opens `path` for appending (creating it if absent) and takes an
+    /// exclusive advisory lock held for the life of the handle.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>>;
+
+    /// Atomically replaces the contents of `path` with `bytes`:
+    /// write-temp → fsync → rename → fsync parent directory. After a
+    /// crash the file holds either the old or the new contents, never a
+    /// mixture.
+    fn replace(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Creates `path` and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes a file; `Ok` even if it does not exist.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Recursively removes a directory; `Ok` even if it does not exist.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// The entries of a directory (full paths, unsorted).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// An open append stream: whole-buffer appends plus explicit durability.
+pub trait AppendFile: Send + fmt::Debug {
+    /// Appends `bytes` in full (short writes are errors, not partial
+    /// successes — a fault backend may still leave a torn prefix behind,
+    /// which is exactly the corruption checkpoint v2 framing detects).
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Forces appended data to stable storage (`fdatasync`).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// Wraps an I/O error with the failing operation and path, preserving the
+/// original kind so callers can still match on it.
+pub fn err_ctx(op: &str, path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("storage {op} {}: {e}", path.display()))
+}
+
+/// The real file system.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FsStorage;
+
+impl FsStorage {
+    /// A shared handle to the real file system.
+    pub fn shared() -> Arc<dyn Storage> {
+        Arc::new(FsStorage)
+    }
+}
+
+/// Monotonic discriminator for temp-file names, so concurrent `replace`
+/// calls on the same path in one process never collide.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Storage for FsStorage {
+    fn read(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path).map_err(|e| err_ctx("read", path, e))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| err_ctx("open-append", path, e))?;
+        lock_exclusive(&file, path)?;
+        Ok(Box::new(FsAppend {
+            file,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn replace(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("replace");
+        let tmp = path.with_file_name(format!(
+            ".{name}.tmp.{}.{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write_tmp = || -> io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()
+        };
+        if let Err(e) = write_tmp() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(err_ctx("replace-write", path, e));
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(err_ctx("replace-rename", path, e));
+        }
+        shil_observe::incr("shil_runtime_storage_renames_total");
+        // Persist the rename itself: without the directory fsync a crash
+        // can forget the new name while keeping the new inode.
+        #[cfg(unix)]
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path).map_err(|e| err_ctx("create-dir", path, e))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(err_ctx("remove-file", path, e)),
+        }
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_dir_all(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(err_ctx("remove-dir", path, e)),
+        }
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(path).map_err(|e| err_ctx("list-dir", path, e))? {
+            out.push(entry.map_err(|e| err_ctx("list-dir", path, e))?.path());
+        }
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[derive(Debug)]
+struct FsAppend {
+    file: File,
+    path: PathBuf,
+}
+
+impl AppendFile for FsAppend {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| err_ctx("append", &self.path, e))
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| err_ctx("sync", &self.path, e))
+    }
+}
+
+/// Takes a non-blocking exclusive advisory lock on `file`, turning a held
+/// lock into a `WouldBlock` error that names the path. Advisory locks are
+/// per-file-description and kernel-released on process death, so `SIGKILL`
+/// cannot strand one.
+fn lock_exclusive(file: &File, path: &Path) -> io::Result<()> {
+    match file.try_lock() {
+        Ok(()) => Ok(()),
+        Err(std::fs::TryLockError::WouldBlock) => Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!(
+                "checkpoint {} is locked by another process — \
+                 two resumes of the same sweep must not interleave appends",
+                path.display()
+            ),
+        )),
+        Err(std::fs::TryLockError::Error(e)) => Err(err_ctx("lock", path, e)),
+    }
+}
+
+/// Fail-fast writability probe: creates `dir` if needed, then round-trips
+/// a uniquely named probe file (create → write → read back → delete).
+///
+/// Run at startup so a read-only or full `--data-dir` is a clear exit-time
+/// error instead of a failure on the first job submit.
+///
+/// # Errors
+///
+/// The underlying storage error, wrapped with the probe path; `InvalidData`
+/// if the read-back contents differ from what was written.
+pub fn probe_writable(storage: &dyn Storage, dir: &Path) -> io::Result<()> {
+    storage.create_dir_all(dir)?;
+    let probe = dir.join(format!(".shil-write-probe-{}", std::process::id()));
+    storage.replace(&probe, b"probe")?;
+    let back = storage.read(&probe)?;
+    storage.remove_file(&probe)?;
+    if back != "probe" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "write probe {} read back {back:?}, expected \"probe\" — storage is lying",
+                probe.display()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("shil_storage_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn replace_round_trips_and_is_total() {
+        let path = temp("replace.txt");
+        let fs = FsStorage;
+        fs.replace(&path, b"one").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), "one");
+        fs.replace(&path, b"two, longer").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), "two, longer");
+        // No temp litter left behind.
+        let dir = path.parent().unwrap();
+        let litter: Vec<_> = fs
+            .list_dir(dir)
+            .unwrap()
+            .into_iter()
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.contains("replace.txt.tmp"))
+            })
+            .collect();
+        assert!(litter.is_empty(), "temp files left behind: {litter:?}");
+        fs.remove_file(&path).unwrap();
+        assert!(!fs.exists(&path));
+    }
+
+    #[test]
+    fn open_append_locks_out_a_second_opener() {
+        let path = temp("append.log");
+        let fs = FsStorage;
+        fs.remove_file(&path).unwrap();
+        let mut a = fs.open_append(&path).unwrap();
+        a.append(b"line 1\n").unwrap();
+        a.sync().unwrap();
+        let e = fs.open_append(&path).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::WouldBlock);
+        drop(a);
+        let mut b = fs.open_append(&path).unwrap();
+        b.append(b"line 2\n").unwrap();
+        drop(b);
+        assert_eq!(fs.read(&path).unwrap(), "line 1\nline 2\n");
+        fs.remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn errors_carry_operation_and_path() {
+        let fs = FsStorage;
+        let missing = temp("no-such-dir").join("x.txt");
+        let e = fs.read(&missing).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::NotFound);
+        assert!(e.to_string().contains("storage read"), "{e}");
+        assert!(e.to_string().contains("x.txt"), "{e}");
+    }
+
+    #[test]
+    fn probe_writable_accepts_a_real_dir_and_rejects_a_bogus_one() {
+        let dir = temp("probe-dir");
+        probe_writable(&FsStorage, &dir).unwrap();
+        // The probe file cleans up after itself.
+        assert!(FsStorage.list_dir(&dir).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+        // A path that cannot be a directory (parent is a file) fails with
+        // a diagnosed error.
+        let file = temp("probe-file");
+        std::fs::write(&file, "x").unwrap();
+        let e = probe_writable(&FsStorage, &file.join("sub")).unwrap_err();
+        assert!(e.to_string().contains("storage"), "{e}");
+        let _ = std::fs::remove_file(&file);
+    }
+}

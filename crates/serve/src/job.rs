@@ -26,7 +26,7 @@ use shil_circuit::analysis::{
 };
 use shil_circuit::network::{Coupling, NetworkLockOptions, NetworkSpec, Topology};
 use shil_runtime::json::{self, Json};
-use shil_runtime::{CheckpointRecord, ItemOutcome, SweepPolicy};
+use shil_runtime::{CheckpointRecord, ItemOutcome, Storage, SweepPolicy};
 
 /// Schema identifier written into every `status.json`.
 pub const JOB_SCHEMA: &str = "shil-serve/job/v1";
@@ -110,6 +110,45 @@ impl NetworkSpecJob {
     }
 }
 
+/// How a chaos job kills its worker (test/chaos-engineering support; the
+/// server rejects chaos submissions unless explicitly enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// The job runner panics — caught by worker panic isolation, so only
+    /// this job crashes.
+    Panic,
+    /// The job calls `abort()`, killing the whole server process — the
+    /// crash-across-restarts scenario quarantine defends against.
+    Abort,
+}
+
+impl ChaosMode {
+    /// Stable lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChaosMode::Panic => "panic",
+            ChaosMode::Abort => "abort",
+        }
+    }
+
+    /// Parses [`ChaosMode::as_str`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "panic" => ChaosMode::Panic,
+            "abort" => ChaosMode::Abort,
+            _ => return None,
+        })
+    }
+}
+
+/// A job that deterministically kills its worker — the poison pill the
+/// quarantine state machine is tested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// How the worker dies.
+    pub mode: ChaosMode,
+}
+
 /// What a job computes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobKind {
@@ -122,6 +161,9 @@ pub enum JobKind {
     Atlas(AtlasSpec),
     /// A coupled-oscillator network sweep over coupling strengths.
     Network(NetworkSpecJob),
+    /// A worker-killing poison pill (admitted only when the server runs
+    /// with chaos jobs enabled).
+    Chaos(ChaosSpec),
 }
 
 impl JobKind {
@@ -132,6 +174,7 @@ impl JobKind {
             JobKind::LockRange(_) => "lockrange",
             JobKind::Atlas(_) => "atlas",
             JobKind::Network(_) => "network",
+            JobKind::Chaos(_) => "chaos",
         }
     }
 }
@@ -157,6 +200,7 @@ impl JobSpec {
             JobKind::LockRange(s) => s.vis.len(),
             JobKind::Atlas(s) => s.nx * s.ny,
             JobKind::Network(s) => s.strengths.len(),
+            JobKind::Chaos(_) => 1,
         }
     }
 
@@ -380,6 +424,16 @@ impl JobSpec {
                 spec.base_spec()?;
                 JobKind::Network(spec)
             }
+            "chaos" => {
+                let mode = doc
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .and_then(ChaosMode::parse)
+                    .ok_or_else(|| {
+                        "missing or unknown `mode` (one of \"panic\", \"abort\")".to_string()
+                    })?;
+                JobKind::Chaos(ChaosSpec { mode })
+            }
             other => return Err(format!("unknown job kind `{other}`")),
         };
         let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
@@ -485,6 +539,10 @@ impl JobSpec {
                     json::fmt_f64(s.record_periods),
                     s.points_per_period
                 ));
+            }
+            JobKind::Chaos(s) => {
+                out.push_str(",\"mode\":");
+                json::push_str(&mut out, s.mode.as_str());
             }
         }
         if let Some(d) = self.deadline_s {
@@ -603,6 +661,10 @@ pub enum JobState {
     Failed,
     /// Cancelled by the client.
     Cancelled,
+    /// The job crashed its worker (panic or whole-process death) too many
+    /// consecutive times and is permanently benched — a poison pill must
+    /// not be re-enqueued forever. The failure trail is in the status.
+    Quarantined,
 }
 
 impl JobState {
@@ -614,6 +676,7 @@ impl JobState {
             JobState::Done => "done",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::Quarantined => "quarantined",
         }
     }
 
@@ -625,6 +688,7 @@ impl JobState {
             "done" => JobState::Done,
             "failed" => JobState::Failed,
             "cancelled" => JobState::Cancelled,
+            "quarantined" => JobState::Quarantined,
             _ => return None,
         })
     }
@@ -633,7 +697,7 @@ impl JobState {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobState::Done | JobState::Failed | JobState::Cancelled
+            JobState::Done | JobState::Failed | JobState::Cancelled | JobState::Quarantined
         )
     }
 }
@@ -658,7 +722,19 @@ pub struct JobStatus {
     pub restored: usize,
     /// Failure detail for [`JobState::Failed`].
     pub error: Option<String>,
+    /// Consecutive worker crashes (panics or whole-process deaths while
+    /// this job was running). Reset is deliberate *not* provided: a job
+    /// that crashes its worker is a poison pill, not bad luck.
+    pub crashes: usize,
+    /// One line per crash, most recent last (bounded), so `/jobs/<id>`
+    /// shows *why* a job was quarantined.
+    pub trail: Vec<String>,
+    /// Human-readable reason for [`JobState::Quarantined`].
+    pub reason: Option<String>,
 }
+
+/// How many crash-trail lines a status keeps (most recent last).
+pub const TRAIL_LIMIT: usize = 8;
 
 impl JobStatus {
     /// A fresh queued status.
@@ -672,6 +748,35 @@ impl JobStatus {
             worst: None,
             restored: 0,
             error: None,
+            crashes: 0,
+            trail: Vec::new(),
+            reason: None,
+        }
+    }
+
+    /// Records one worker crash and advances the state machine: back to
+    /// [`JobState::Queued`] for another attempt, or — once `crashes`
+    /// reaches `quarantine_after` — to the terminal
+    /// [`JobState::Quarantined`]. Returns `true` when the job was
+    /// quarantined by this crash.
+    pub fn record_crash(&mut self, cause: String, quarantine_after: usize) -> bool {
+        self.crashes += 1;
+        self.trail.push(format!("crash {}: {cause}", self.crashes));
+        if self.trail.len() > TRAIL_LIMIT {
+            let drop = self.trail.len() - TRAIL_LIMIT;
+            self.trail.drain(..drop);
+        }
+        if self.crashes >= quarantine_after.max(1) {
+            self.state = JobState::Quarantined;
+            self.reason = Some(format!(
+                "quarantined after {} consecutive worker crash{}; last: {cause}",
+                self.crashes,
+                if self.crashes == 1 { "" } else { "es" },
+            ));
+            true
+        } else {
+            self.state = JobState::Queued;
+            false
         }
     }
 
@@ -681,6 +786,7 @@ impl JobStatus {
         match self.state {
             JobState::Failed => 1,
             JobState::Cancelled => ItemOutcome::Cancelled.exit_code(),
+            JobState::Quarantined => ItemOutcome::Panicked.exit_code(),
             _ => self.worst.map_or(0, ItemOutcome::exit_code),
         }
     }
@@ -708,6 +814,22 @@ impl JobStatus {
             Some(e) => json::push_str(&mut out, e),
             None => out.push_str("null"),
         }
+        out.push_str(&format!(",\"crashes\":{}", self.crashes));
+        out.push_str(",\"reason\":");
+        match &self.reason {
+            Some(r) => json::push_str(&mut out, r),
+            None => out.push_str("null"),
+        }
+        if !self.trail.is_empty() {
+            out.push_str(",\"trail\":[");
+            for (i, t) in self.trail.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_str(&mut out, t);
+            }
+            out.push(']');
+        }
         out.push('}');
         out
     }
@@ -733,16 +855,30 @@ impl JobStatus {
                 Some(Json::Str(s)) => Some(s.clone()),
                 _ => None,
             },
+            // Absent in documents written before the quarantine layer —
+            // old statuses parse as crash-free.
+            crashes: doc.get("crashes").and_then(Json::as_u64).unwrap_or(0) as usize,
+            trail: match doc.get("trail") {
+                Some(Json::Arr(xs)) => xs
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect(),
+                _ => Vec::new(),
+            },
+            reason: match doc.get("reason") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            },
         })
     }
 }
 
-/// Writes `content` to `path` atomically (tmp + rename), so a crash never
-/// leaves a half-written document where readers expect a whole one.
-pub fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, content)?;
-    std::fs::rename(&tmp, path)
+/// Writes `content` to `path` atomically through the injectable storage
+/// layer (write-temp → fsync → rename → fsync-dir, see
+/// [`Storage::replace`]), so a crash never leaves a half-written document
+/// where readers expect a whole one.
+pub fn write_atomic(storage: &dyn Storage, path: &Path, content: &str) -> io::Result<()> {
+    storage.replace(path, content.as_bytes())
 }
 
 /// One deterministic result line for item `index`.
@@ -995,6 +1131,75 @@ mod tests {
         let parsed = JobStatus::parse(&st.to_json()).unwrap();
         assert_eq!(parsed.exit_code(), 1);
         assert_eq!(parsed.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn chaos_spec_round_trips_and_validates() {
+        for (body, mode) in [
+            (r#"{"kind":"chaos","mode":"panic"}"#, ChaosMode::Panic),
+            (r#"{"kind":"chaos","mode":"abort"}"#, ChaosMode::Abort),
+        ] {
+            let spec = JobSpec::from_json(body).unwrap();
+            let JobKind::Chaos(c) = &spec.kind else {
+                panic!("not a chaos job")
+            };
+            assert_eq!(c.mode, mode);
+            assert_eq!(spec.items(), 1);
+            let again = JobSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, again);
+        }
+        for bad in [
+            r#"{"kind":"chaos"}"#,
+            r#"{"kind":"chaos","mode":"segfault"}"#,
+        ] {
+            let e = JobSpec::from_json(bad).unwrap_err();
+            assert!(e.contains("mode"), "{e}");
+        }
+    }
+
+    #[test]
+    fn crash_accounting_quarantines_at_the_threshold() {
+        let mut st = JobStatus::queued(9, "chaos", 1);
+        assert!(!st.record_crash("worker panic: boom".into(), 3));
+        assert_eq!(st.state, JobState::Queued, "first crash requeues");
+        assert!(!st.record_crash("worker panic: boom".into(), 3));
+        assert_eq!(st.state, JobState::Queued, "second crash requeues");
+        assert!(st.record_crash("worker panic: boom".into(), 3));
+        assert_eq!(st.state, JobState::Quarantined);
+        assert!(st.state.is_terminal());
+        assert_eq!(st.crashes, 3);
+        assert_eq!(st.exit_code(), ItemOutcome::Panicked.exit_code());
+        let reason = st.reason.clone().expect("quarantine reason");
+        assert!(reason.contains("3 consecutive worker crashes"), "{reason}");
+        assert_eq!(st.trail.len(), 3);
+        assert!(st.trail[0].starts_with("crash 1:"), "{:?}", st.trail);
+
+        // The persisted document round-trips the whole failure trail …
+        let parsed = JobStatus::parse(&st.to_json()).unwrap();
+        assert_eq!(parsed, st);
+        // … and statuses written before the quarantine layer still parse.
+        let legacy = st
+            .to_json()
+            .replace(",\"crashes\":3", "")
+            .replace(",\"reason\":", ",\"ignored\":");
+        let parsed = JobStatus::parse(&legacy).unwrap();
+        assert_eq!(parsed.crashes, 0);
+        assert_eq!(parsed.reason, None);
+    }
+
+    #[test]
+    fn crash_trail_is_bounded() {
+        let mut st = JobStatus::queued(1, "chaos", 1);
+        for _ in 0..3 * TRAIL_LIMIT {
+            st.record_crash("x".into(), usize::MAX);
+        }
+        assert_eq!(st.trail.len(), TRAIL_LIMIT, "trail must not grow forever");
+        // The oldest entries are dropped, the newest kept.
+        assert!(
+            st.trail.last().unwrap().starts_with("crash 24:"),
+            "{:?}",
+            st.trail
+        );
     }
 
     #[test]

@@ -43,10 +43,11 @@ use shil_core::cache::PrecharCache;
 use shil_core::nonlinearity::NegativeTanh;
 use shil_core::oscillator::Oscillator;
 use shil_core::tank::ParallelRlc;
-use shil_runtime::{Budget, CancelToken, CheckpointFile};
+use shil_runtime::storage::probe_writable;
+use shil_runtime::{Budget, CancelToken, CheckpointFile, FsStorage, Storage};
 
 use crate::http::{read_request, respond, ReadOutcome, Request};
-use crate::job::{self, JobKind, JobSpec, JobState, JobStatus};
+use crate::job::{self, ChaosMode, JobKind, JobSpec, JobState, JobStatus};
 use crate::queue::WorkQueue;
 
 /// How a [`Server`] is shaped. `Default` suits tests and local tooling.
@@ -71,6 +72,17 @@ pub struct ServerConfig {
     pub drain_grace: Duration,
     /// Threads each sweep fans out to (`None` → one per core).
     pub sweep_threads: Option<usize>,
+    /// Backend for every durable write (job specs, statuses, checkpoints,
+    /// results). Tests swap in `shil_fault::FaultyStorage` to prove the
+    /// durability story; production uses [`FsStorage`].
+    pub storage: Arc<dyn Storage>,
+    /// Consecutive worker crashes before a job is quarantined instead of
+    /// requeued. A poison job stops crash-looping the pool after this many
+    /// attempts (counted across restarts via the persisted status).
+    pub quarantine_after: usize,
+    /// Whether `kind: "chaos"` jobs (deliberate worker panic/abort) are
+    /// admitted. Off by default; only test harnesses turn this on.
+    pub allow_chaos: bool,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +97,9 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             drain_grace: Duration::from_secs(5),
             sweep_threads: None,
+            storage: FsStorage::shared(),
+            quarantine_after: 3,
+            allow_chaos: false,
         }
     }
 }
@@ -97,6 +112,7 @@ struct Job {
     cancel: CancelToken,
     user_cancelled: AtomicBool,
     status: Mutex<JobStatus>,
+    storage: Arc<dyn Storage>,
 }
 
 impl Job {
@@ -111,7 +127,7 @@ impl Job {
     /// the process lives.
     fn persist_status(&self) {
         let doc = self.status().to_json();
-        if job::write_atomic(&self.dir.join("status.json"), &doc).is_err() {
+        if job::write_atomic(&*self.storage, &self.dir.join("status.json"), &doc).is_err() {
             shil_observe::incr("shil_serve_status_write_failures_total");
         }
     }
@@ -180,7 +196,9 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind and data-directory I/O failures.
+    /// Propagates bind and data-directory I/O failures; in particular a
+    /// data directory that cannot actually be written (read-only mount,
+    /// full disk, bad permissions) fails here, before any job is accepted.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         // A long-running service wants its metrics on; the registry is a
         // process-wide switch that defaults to off for library users.
@@ -188,7 +206,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        std::fs::create_dir_all(config.data_dir.join("jobs"))?;
+        probe_writable(&*config.storage, &config.data_dir.join("jobs"))?;
 
         let inner = Arc::new(ServerInner {
             queue: WorkQueue::new(config.queue_capacity),
@@ -205,7 +223,11 @@ impl Server {
 
         // The bound address is persisted so out-of-process clients (tests,
         // the CI smoke job) can find a port-0 server.
-        job::write_atomic(&inner.config.data_dir.join("addr.txt"), &addr.to_string())?;
+        job::write_atomic(
+            &*inner.config.storage,
+            &inner.config.data_dir.join("addr.txt"),
+            &addr.to_string(),
+        )?;
 
         let mut threads = Vec::new();
         for t in 0..inner.config.http_threads.max(1) {
@@ -280,11 +302,18 @@ impl Server {
 /// Re-registers persisted jobs. Jobs that were `Queued` or `Running` when
 /// the previous process died are parked to `Queued` and re-enqueued
 /// *past* the admission bound: work admitted once is never shed.
+///
+/// A job found `Running` counts a worker crash against it (the previous
+/// process died mid-job — graceful drains park to `Queued` first, so a
+/// `Running` status at recovery always means an ungraceful death). A job
+/// that has crashed `quarantine_after` consecutive times lands in the
+/// terminal `Quarantined` state instead of re-entering the queue, ending
+/// the crash loop.
 fn recover_jobs(inner: &Arc<ServerInner>) -> io::Result<()> {
+    let storage = &inner.config.storage;
     let mut max_id = 0u64;
     let mut resume: Vec<u64> = Vec::new();
-    for entry in std::fs::read_dir(inner.jobs_root())? {
-        let dir = entry?.path();
+    for dir in storage.list_dir(&inner.jobs_root())? {
         let Some(id) = dir
             .file_name()
             .and_then(|n| n.to_str())
@@ -293,8 +322,9 @@ fn recover_jobs(inner: &Arc<ServerInner>) -> io::Result<()> {
             continue;
         };
         max_id = max_id.max(id);
-        let spec_text = std::fs::read_to_string(dir.join("spec.json")).unwrap_or_default();
-        let status_text = std::fs::read_to_string(dir.join("status.json")).unwrap_or_default();
+        let read_text = |name: &str| storage.read(&dir.join(name)).unwrap_or_default();
+        let spec_text = read_text("spec.json");
+        let status_text = read_text("status.json");
         let mut status =
             JobStatus::parse(&status_text).unwrap_or_else(|| JobStatus::queued(id, "unknown", 0));
         let spec = match JobSpec::from_json(&spec_text) {
@@ -305,16 +335,30 @@ fn recover_jobs(inner: &Arc<ServerInner>) -> io::Result<()> {
                 if !status.state.is_terminal() {
                     status.state = JobState::Failed;
                     status.error = Some(format!("unrecoverable spec: {e}"));
-                    let _ = job::write_atomic(&dir.join("status.json"), &status.to_json());
+                    let _ =
+                        job::write_atomic(&**storage, &dir.join("status.json"), &status.to_json());
                     shil_observe::incr("shil_serve_jobs_failed_total");
                 }
                 continue;
             }
         };
-        let requeue = !status.state.is_terminal();
-        if requeue {
+        let mut requeue = !status.state.is_terminal();
+        if status.state == JobState::Running {
+            // The previous process died while this job ran: that is one
+            // crash on this job's record. `record_crash` either parks it
+            // back to `Queued` or quarantines it for good.
+            let quarantined = status.record_crash(
+                "process died while the job was running (found at restart recovery)".into(),
+                inner.config.quarantine_after,
+            );
+            if quarantined {
+                requeue = false;
+                shil_observe::incr("shil_serve_jobs_quarantined_total");
+            }
+            job::write_atomic(&**storage, &dir.join("status.json"), &status.to_json())?;
+        } else if requeue {
             status.state = JobState::Queued;
-            job::write_atomic(&dir.join("status.json"), &status.to_json())?;
+            job::write_atomic(&**storage, &dir.join("status.json"), &status.to_json())?;
         }
         let jb = Arc::new(Job {
             id,
@@ -323,6 +367,7 @@ fn recover_jobs(inner: &Arc<ServerInner>) -> io::Result<()> {
             cancel: CancelToken::new(),
             user_cancelled: AtomicBool::new(false),
             status: Mutex::new(status),
+            storage: Arc::clone(storage),
         });
         inner.jobs().insert(id, jb);
         if requeue {
@@ -455,11 +500,25 @@ fn parse_id(s: &str) -> Option<u64> {
     s.parse().ok()
 }
 
+/// A `Retry-After` value in `base..base + spread` seconds. The jitter
+/// desynchronises clients that were all shed by the same burst — without
+/// it they retry in lockstep and collide again ("thundering herd").
+fn jittered_retry_after(base: u64, spread: u64) -> String {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let x = NONCE.fetch_add(1, Ordering::Relaxed) ^ std::process::id() as u64;
+    // splitmix64 finalizer: cheap, stateless, uniform enough for jitter.
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (base + z % spread.max(1)).to_string()
+}
+
 fn submit(inner: &Arc<ServerInner>, body: &[u8]) -> Reply {
     if inner.draining.load(Ordering::SeqCst) {
         shil_observe::incr("shil_serve_jobs_rejected_total");
         let mut reply = error_reply(503, "server is draining; resubmit elsewhere or later");
-        reply.2.push(("Retry-After", "5".into()));
+        reply.2.push(("Retry-After", jittered_retry_after(5, 5)));
         return reply;
     }
     let Ok(text) = std::str::from_utf8(body) else {
@@ -472,15 +531,23 @@ fn submit(inner: &Arc<ServerInner>, body: &[u8]) -> Reply {
             return error_reply(400, &e);
         }
     };
+    if matches!(spec.kind, JobKind::Chaos(_)) && !inner.config.allow_chaos {
+        shil_observe::incr("shil_serve_jobs_rejected_total");
+        return error_reply(
+            400,
+            "chaos jobs are disabled; start the server with --allow-chaos to admit them",
+        );
+    }
 
+    let storage = &inner.config.storage;
     let id = inner.seq.fetch_add(1, Ordering::SeqCst);
     let dir = inner.jobs_root().join(id.to_string());
     let status = JobStatus::queued(id, spec.kind.name(), spec.items());
-    if std::fs::create_dir_all(&dir).is_err()
-        || job::write_atomic(&dir.join("spec.json"), &spec.to_json()).is_err()
-        || job::write_atomic(&dir.join("status.json"), &status.to_json()).is_err()
+    if storage.create_dir_all(&dir).is_err()
+        || job::write_atomic(&**storage, &dir.join("spec.json"), &spec.to_json()).is_err()
+        || job::write_atomic(&**storage, &dir.join("status.json"), &status.to_json()).is_err()
     {
-        let _ = std::fs::remove_dir_all(&dir);
+        let _ = storage.remove_dir_all(&dir);
         return error_reply(500, "could not persist job");
     }
     let jb = Arc::new(Job {
@@ -490,6 +557,7 @@ fn submit(inner: &Arc<ServerInner>, body: &[u8]) -> Reply {
         cancel: CancelToken::new(),
         user_cancelled: AtomicBool::new(false),
         status: Mutex::new(status),
+        storage: Arc::clone(storage),
     });
     inner.jobs().insert(id, Arc::clone(&jb));
 
@@ -503,20 +571,20 @@ fn submit(inner: &Arc<ServerInner>, body: &[u8]) -> Reply {
         }
         Err(full) => {
             inner.jobs().remove(&id);
-            let _ = std::fs::remove_dir_all(&dir);
+            let _ = storage.remove_dir_all(&dir);
             shil_observe::incr("shil_serve_jobs_shed_total");
             inner.publish_gauges();
             let mut reply =
                 error_reply(429, &format!("queue full ({} jobs waiting)", full.capacity));
-            reply.2.push(("Retry-After", "1".into()));
+            reply.2.push(("Retry-After", jittered_retry_after(1, 4)));
             reply
         }
     }
 }
 
 fn results(jb: &Arc<Job>) -> Reply {
-    let final_path = jb.dir.join("results.jsonl");
-    if let Ok(text) = std::fs::read_to_string(&final_path) {
+    let read_text = |name: &str| jb.storage.read(&jb.dir.join(name)).ok();
+    if let Some(text) = read_text("results.jsonl") {
         return (200, "application/jsonl", Vec::new(), text);
     }
     // No final file yet: stream the completed prefix. An atlas job
@@ -527,9 +595,9 @@ fn results(jb: &Arc<Job>) -> Reply {
         JobKind::Sweep(s) => ("scale", &s.scales),
         JobKind::LockRange(s) => ("vi", &s.vis),
         JobKind::Network(s) => ("strength", &s.strengths),
+        JobKind::Chaos(_) => return error_reply(409, "chaos jobs produce no results"),
         JobKind::Atlas(_) => {
-            let body = std::fs::read_to_string(jb.dir.join("partial.json"))
-                .unwrap_or_else(|_| "{}".into());
+            let body = read_text("partial.json").unwrap_or_else(|| "{}".into());
             return (
                 200,
                 "application/json",
@@ -538,7 +606,7 @@ fn results(jb: &Arc<Job>) -> Reply {
             );
         }
     };
-    let checkpoint = std::fs::read_to_string(jb.dir.join("checkpoint.jsonl")).unwrap_or_default();
+    let checkpoint = read_text("checkpoint.jsonl").unwrap_or_default();
     let body = job::partial_lines(x_key, xs, &checkpoint);
     (
         200,
@@ -590,20 +658,50 @@ fn worker_loop(inner: &Arc<ServerInner>) {
         // Item-level panics are isolated inside the sweep engine; this
         // guards the job-level plumbing so a worker thread never dies.
         if let Err(panic_msg) = shil_runtime::isolate(|| run_job(inner, &jb)) {
-            let mut st = jb.status();
-            st.state = JobState::Failed;
-            st.error = Some(format!("job runner panicked: {panic_msg}"));
-            drop(st);
-            jb.persist_status();
-            shil_observe::incr("shil_serve_jobs_failed_total");
+            crash_job(inner, &jb, format!("job runner panicked: {panic_msg}"));
         }
         inner.in_flight.fetch_sub(1, Ordering::SeqCst);
         inner.publish_gauges();
     }
 }
 
+/// Books one worker crash against `jb`: the job is requeued for another
+/// attempt, or — after `quarantine_after` consecutive crashes — moved to
+/// the terminal `Quarantined` state so a poison job cannot crash-loop the
+/// pool forever. The crash trail rides along in the persisted status.
+fn crash_job(inner: &Arc<ServerInner>, jb: &Arc<Job>, cause: String) {
+    let quarantined = jb
+        .status()
+        .record_crash(cause, inner.config.quarantine_after);
+    jb.persist_status();
+    if quarantined {
+        shil_observe::incr("shil_serve_jobs_quarantined_total");
+    } else {
+        shil_observe::incr("shil_serve_jobs_crash_requeued_total");
+        // Past the admission bound: a job admitted once is never shed.
+        inner.queue.force_push(jb.id);
+    }
+    inner.publish_gauges();
+}
+
 fn run_job(inner: &Arc<ServerInner>, jb: &Arc<Job>) {
     jb.set_state(JobState::Running);
+
+    // Chaos jobs are poison pills for resilience testing: they take the
+    // same `Running` path as real work and then kill their worker. The
+    // panic mode unwinds into `worker_loop`'s isolation (crash counted,
+    // job requeued or quarantined); the abort mode kills the whole
+    // process, exercising restart recovery's crash accounting.
+    if let JobKind::Chaos(spec) = &jb.spec.kind {
+        match spec.mode {
+            ChaosMode::Panic => panic!("chaos job {}: deliberate worker panic", jb.id),
+            ChaosMode::Abort => {
+                eprintln!("chaos job {}: deliberate process abort", jb.id);
+                std::process::abort();
+            }
+        }
+    }
+
     let engine = SweepEngine::new(inner.config.sweep_threads);
     let policy = jb.spec.policy();
     let budget = Budget::unlimited().with_token(jb.cancel.clone());
@@ -627,7 +725,8 @@ fn run_job(inner: &Arc<ServerInner>, jb: &Arc<Job>) {
         match &jb.spec.kind {
             JobKind::Sweep(spec) => match spec.compile() {
                 Ok(compiled) => {
-                    match CheckpointFile::open(
+                    match CheckpointFile::open_with(
+                        &*jb.storage,
                         &jb.dir.join("checkpoint.jsonl"),
                         &compiled.fingerprint(),
                         compiled.len(),
@@ -644,6 +743,7 @@ fn run_job(inner: &Arc<ServerInner>, jb: &Arc<Job>) {
             JobKind::LockRange(spec) => run_lockrange(inner, jb, &engine, &policy, &budget, spec),
             JobKind::Network(spec) => run_network(jb, &engine, &policy, &budget, spec),
             JobKind::Atlas(_) => unreachable!("atlas jobs are dispatched above"),
+            JobKind::Chaos(_) => unreachable!("chaos jobs never return from the dispatch above"),
         };
 
     match outcome {
@@ -679,8 +779,13 @@ fn run_lockrange(
     ];
     inputs.extend_from_slice(&spec.vis);
     let fp = shil_runtime::checkpoint::fingerprint("shil-serve/lockrange", &inputs);
-    let cp = CheckpointFile::open(&jb.dir.join("checkpoint.jsonl"), &fp, spec.vis.len())
-        .map_err(|e| format!("checkpoint unavailable: {e}"))?;
+    let cp = CheckpointFile::open_with(
+        &*jb.storage,
+        &jb.dir.join("checkpoint.jsonl"),
+        &fp,
+        spec.vis.len(),
+    )
+    .map_err(|e| format!("checkpoint unavailable: {e}"))?;
     let n = spec.n;
     let cache = &inner.cache;
     let sweep = engine.run_checkpointed(
@@ -738,8 +843,13 @@ fn run_network(
         &format!("shil-serve/network/{}/{}", spec.topology, spec.coupling),
         &inputs,
     );
-    let cp = CheckpointFile::open(&jb.dir.join("checkpoint.jsonl"), &fp, spec.strengths.len())
-        .map_err(|e| format!("checkpoint unavailable: {e}"))?;
+    let cp = CheckpointFile::open_with(
+        &*jb.storage,
+        &jb.dir.join("checkpoint.jsonl"),
+        &fp,
+        spec.strengths.len(),
+    )
+    .map_err(|e| format!("checkpoint unavailable: {e}"))?;
     let sweep = engine.run_checkpointed(
         &spec.strengths,
         policy,
@@ -786,7 +896,8 @@ fn run_atlas(
     let compiled = spec
         .compile()
         .map_err(|e| format!("spec no longer compiles: {e}"))?;
-    let cp = CheckpointFile::open(
+    let cp = CheckpointFile::open_with(
+        &*jb.storage,
         &jb.dir.join("checkpoint.jsonl"),
         &compiled.fingerprint(),
         compiled.checkpoint_slots(),
@@ -796,7 +907,7 @@ fn run_atlas(
     // the tongue sharpen while the job runs.
     let partial_path = jb.dir.join("partial.json");
     let mut on_pass = |map: &AtlasMap| {
-        if job::write_atomic(&partial_path, &job::atlas_partial_json(map)).is_err() {
+        if job::write_atomic(&*jb.storage, &partial_path, &job::atlas_partial_json(map)).is_err() {
             shil_observe::incr("shil_serve_status_write_failures_total");
         }
     };
@@ -820,7 +931,7 @@ fn finalize_atlas(inner: &Arc<ServerInner>, jb: &Arc<Job>, map: &AtlasMap) {
         return;
     }
     let lines = job::atlas_result_lines(map);
-    if let Err(e) = job::write_atomic(&jb.dir.join("results.jsonl"), &lines) {
+    if let Err(e) = job::write_atomic(&*jb.storage, &jb.dir.join("results.jsonl"), &lines) {
         let mut st = jb.status();
         st.state = JobState::Failed;
         st.error = Some(format!("could not persist results: {e}"));
@@ -875,11 +986,12 @@ fn finalize(
             JobKind::LockRange(_) => "vi",
             JobKind::Network(_) => "strength",
             JobKind::Atlas(_) => unreachable!("atlas jobs use finalize_atlas"),
+            JobKind::Chaos(_) => unreachable!("chaos jobs never finalize"),
         },
         xs,
         sweep,
     );
-    if let Err(e) = job::write_atomic(&jb.dir.join("results.jsonl"), &lines) {
+    if let Err(e) = job::write_atomic(&*jb.storage, &jb.dir.join("results.jsonl"), &lines) {
         let mut st = jb.status();
         st.state = JobState::Failed;
         st.error = Some(format!("could not persist results: {e}"));

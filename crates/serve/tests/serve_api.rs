@@ -112,7 +112,12 @@ fn admission_control_sheds_with_429_and_rolls_back() {
 
     let shed = post(&addr, "/jobs", &sweep_body("[2.0]", 1e-5));
     assert_eq!(shed.status, 429, "{}", shed.body);
-    assert_eq!(shed.header("retry-after"), Some("1"));
+    // Retry-After is jittered (anti-thundering-herd), but stays bounded.
+    let retry: u64 = shed
+        .header("retry-after")
+        .and_then(|v| v.parse().ok())
+        .expect("numeric retry-after");
+    assert!((1..=4).contains(&retry), "retry-after {retry} out of range");
     // The shed job left no trace: no status, no directory.
     let shed_dir = server_data_dir(&addr).join("jobs").join("2");
     assert!(!shed_dir.exists(), "shed job left {shed_dir:?}");
@@ -301,6 +306,150 @@ fn count_records(path: &Path) -> usize {
     std::fs::read_to_string(path)
         .map(|t| t.lines().count().saturating_sub(1))
         .unwrap_or(0)
+}
+
+#[test]
+fn chaos_jobs_are_rejected_unless_enabled() {
+    let server = Server::start(ServerConfig {
+        workers: 0,
+        ..config("chaos-gate")
+    })
+    .expect("start");
+    let addr = server.addr().to_string();
+    let refused = post(&addr, "/jobs", r#"{"kind":"chaos","mode":"panic"}"#);
+    assert_eq!(refused.status, 400, "{}", refused.body);
+    assert!(refused.body.contains("--allow-chaos"), "{}", refused.body);
+    // The gate rejects before persistence: no job directory appears.
+    assert_eq!(get(&addr, "/jobs/1").status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn panicking_job_is_quarantined_while_siblings_complete() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        sweep_threads: Some(1),
+        allow_chaos: true,
+        quarantine_after: 2,
+        ..config("quarantine")
+    })
+    .expect("start");
+    let addr = server.addr().to_string();
+
+    // A poison pill that panics its worker every time it runs, plus an
+    // honest sibling job sharing the single worker.
+    let poison = post(&addr, "/jobs", r#"{"kind":"chaos","mode":"panic"}"#);
+    assert_eq!(poison.status, 202, "{}", poison.body);
+    let poison_id = job_id(&poison);
+    let sibling = post(&addr, "/jobs", &sweep_body("[1.0]", 1e-5));
+    assert_eq!(sibling.status, 202, "{}", sibling.body);
+    let sibling_id = job_id(&sibling);
+
+    // The poison job crashes, requeues, crashes again, and lands in the
+    // terminal quarantined state — while the sibling still completes.
+    let quarantined = wait_state(&addr, poison_id, "quarantined", Duration::from_secs(60));
+    wait_state(&addr, sibling_id, "done", Duration::from_secs(120));
+
+    assert_eq!(quarantined.get("crashes").and_then(Json::as_u64), Some(2));
+    let reason = quarantined
+        .get("reason")
+        .and_then(Json::as_str)
+        .expect("quarantine reason");
+    assert!(reason.contains("2 consecutive worker crashes"), "{reason}");
+    let Some(Json::Arr(trail)) = quarantined.get("trail") else {
+        panic!(
+            "no trail in {}",
+            get(&addr, &format!("/jobs/{poison_id}")).body
+        )
+    };
+    assert_eq!(trail.len(), 2, "{trail:?}");
+    assert!(
+        trail
+            .iter()
+            .all(|t| t.as_str().is_some_and(|s| s.contains("panicked"))),
+        "{trail:?}"
+    );
+
+    // Terminal semantics: no results, cancel conflicts, metric exported.
+    assert_eq!(
+        get(&addr, &format!("/jobs/{poison_id}/results")).status,
+        409
+    );
+    assert_eq!(
+        post(&addr, &format!("/jobs/{poison_id}/cancel"), "").status,
+        409
+    );
+    let metrics = get(&addr, "/metrics").body;
+    assert!(
+        metrics.contains("shil_serve_jobs_quarantined_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("shil_serve_jobs_crash_requeued_total 1"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn faulty_storage_submissions_fail_loud_not_silent() {
+    // Storage that fails every data-path write: the server must refuse to
+    // start (the write probe catches it at the door).
+    let spec = shil_fault::StorageFaultSpec {
+        rate: 1.0,
+        seed: 1,
+        grace_ops: 0,
+    };
+    let err = Server::start(ServerConfig {
+        storage: std::sync::Arc::new(shil_fault::FaultyStorage::over_fs(spec)),
+        ..config("faulty-probe")
+    })
+    .map(|s| s.shutdown())
+    .expect_err("a server over broken storage must not start");
+    assert!(err.to_string().contains("injected"), "{err}");
+
+    // Storage that starts healthy and degrades later: submissions either
+    // persist fully or roll back with a 500 — never a half-admitted job.
+    let faulty = std::sync::Arc::new(shil_fault::FaultyStorage::over_fs(
+        shil_fault::StorageFaultSpec {
+            rate: 0.45,
+            seed: 7,
+            grace_ops: 32,
+        },
+    ));
+    let server = Server::start(ServerConfig {
+        workers: 0,
+        storage: faulty.clone(),
+        ..config("faulty-submit")
+    })
+    .expect("healthy during startup grace");
+    let addr = server.addr().to_string();
+    let mut accepted = Vec::new();
+    let mut refused = 0;
+    for k in 0..24 {
+        let resp = post(&addr, "/jobs", &sweep_body(&format!("[{}.0]", k + 1), 1e-5));
+        match resp.status {
+            202 => accepted.push(job_id(&resp)),
+            500 => refused += 1,
+            other => panic!("unexpected status {other}: {}", resp.body),
+        }
+    }
+    assert!(refused > 0, "fault rate 0.45 must refuse some submissions");
+    faulty.disarm();
+    // Every accepted job is fully persisted and listed; every refused one
+    // left no registered trace.
+    for id in &accepted {
+        let resp = get(&addr, &format!("/jobs/{id}"));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    let listed = get(&addr, "/jobs").body.matches("\"queued\"").count();
+    assert_eq!(listed, accepted.len(), "{}", get(&addr, "/jobs").body);
+    assert!(
+        !faulty.trail().is_empty(),
+        "the injector records a failure trail"
+    );
+    server.shutdown();
 }
 
 #[test]

@@ -126,7 +126,8 @@ fn usage() -> ExitCode {
          [--solver auto|dense|sparse|iterative] [--threads <n>] [--csv <out>]\n  shil-cli serve \
          [--addr <ip:port>] [--data-dir <dir>] [--queue <n>] [--workers <n>] \
          [--http-threads <n>] [--cache <entries>] [--max-body <bytes>] [--grace <s>] \
-         [--sweep-threads <n>]\n\
+         [--sweep-threads <n>] [--quarantine-after <n>] [--allow-chaos] \
+         [--chaos-storage <rate>:<seed>]\n\
          global flags: [--quiet] [--metrics-out [path]] [--events-out [path]]"
     );
     ExitCode::from(2)
@@ -969,6 +970,34 @@ fn serve_cmd(rest: &[String], log: &EventLog) -> ExitCode {
             .unwrap_or(default)
     };
     let defaults = ServerConfig::default();
+    // `--chaos-storage <rate>:<seed>` routes every durable write through the
+    // deterministic fault injector — a test-harness hook for out-of-process
+    // chaos runs (injected I/O faults + kill -9) against the real binary.
+    let storage: std::sync::Arc<dyn shil::runtime::Storage> =
+        match flag_value(rest, "--chaos-storage") {
+            None => shil::runtime::FsStorage::shared(),
+            Some(v) => {
+                let (rate, seed) = match v.split_once(':') {
+                    Some((r, s)) => match (r.parse::<f64>(), s.parse::<u64>()) {
+                        (Ok(r), Ok(s)) if (0.0..=1.0).contains(&r) => (r, s),
+                        _ => {
+                            eprintln!(
+                                "error: --chaos-storage wants <rate>:<seed> \
+                                 (rate in [0,1]), got {v:?}"
+                            );
+                            return ExitCode::from(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("error: --chaos-storage wants <rate>:<seed>, got {v:?}");
+                        return ExitCode::from(2);
+                    }
+                };
+                std::sync::Arc::new(shil_fault::FaultyStorage::over_fs(
+                    shil_fault::StorageFaultSpec::new(rate, seed),
+                ))
+            }
+        };
     let config = ServerConfig {
         addr: flag_value(rest, "--addr").unwrap_or(defaults.addr),
         data_dir: flag_value(rest, "--data-dir")
@@ -982,7 +1011,30 @@ fn serve_cmd(rest: &[String], log: &EventLog) -> ExitCode {
             .and_then(|v| v.parse::<f64>().ok())
             .map_or(defaults.drain_grace, Duration::from_secs_f64),
         sweep_threads: flag_value(rest, "--sweep-threads").and_then(|v| v.parse::<usize>().ok()),
+        quarantine_after: num("--quarantine-after", defaults.quarantine_after),
+        allow_chaos: rest.iter().any(|a| a == "--allow-chaos"),
+        storage,
     };
+    // Fail fast on an unusable data directory: a serve process that cannot
+    // persist jobs would otherwise limp along 500-ing every submission. The
+    // probe creates the directory, round-trips a marker file through the
+    // configured storage, and deletes it.
+    if let Err(e) =
+        shil::runtime::storage::probe_writable(&*config.storage, &config.data_dir.join("jobs"))
+    {
+        eprintln!(
+            "error: data dir {} is not writable: {e}",
+            config.data_dir.display()
+        );
+        log.error(
+            "serve_data_dir_unwritable",
+            &[
+                ("data_dir", config.data_dir.display().to_string().into()),
+                ("error", e.to_string().into()),
+            ],
+        );
+        return ExitCode::FAILURE;
+    }
     install_shutdown_handler();
     let server = match Server::start(config) {
         Ok(s) => s,

@@ -1,0 +1,222 @@
+//! Out-of-process crash-loop defense for `shil-cli serve`: a poison job
+//! that aborts its worker process is quarantined after `--quarantine-after`
+//! consecutive crashes spread across restarts, while sibling jobs keep
+//! completing. Also: a server pointed at an unwritable data dir fails fast
+//! at startup with a clear error instead of limping along.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use shil::runtime::json::{self, Json};
+use shil::serve::client;
+
+const SERVE_BIN: &str = env!("CARGO_BIN_EXE_shil-cli");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "shil-serve-quarantine-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_server(data_dir: &Path) -> Child {
+    Command::new(SERVE_BIN)
+        .args([
+            "serve",
+            "--workers",
+            "1",
+            "--sweep-threads",
+            "1",
+            "--grace",
+            "1",
+            "--quarantine-after",
+            "2",
+            "--allow-chaos",
+            "--quiet",
+            "--data-dir",
+        ])
+        .arg(data_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn shil-cli serve")
+}
+
+fn wait_addr(data_dir: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(data_dir.join("addr.txt")) {
+            if client::request(&addr, "GET", "/healthz", None)
+                .map(|r| r.status == 200)
+                .unwrap_or(false)
+            {
+                return addr;
+            }
+        }
+        assert!(Instant::now() < deadline, "server never came up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn submit(addr: &str, body: &str) -> u64 {
+    let resp = client::request(addr, "POST", "/jobs", Some(body)).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    json::parse(&resp.body)
+        .and_then(|d| d.get("id").and_then(Json::as_u64))
+        .expect("job id")
+}
+
+fn wait_done(addr: &str, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client::request(addr, "GET", &format!("/jobs/{id}"), None).expect("status");
+        let state = json::parse(&resp.body)
+            .and_then(|d| d.get("state").and_then(Json::as_str).map(str::to_string))
+            .unwrap_or_default();
+        match state.as_str() {
+            "done" => return,
+            "failed" | "cancelled" | "quarantined" => {
+                panic!("job {id} ended {state}: {}", resp.body)
+            }
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in `{state}`");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_exit(child: &mut Child, timeout: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("server did not exit in time");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn terminate(child: &Child) {
+    let ok = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("send SIGTERM")
+        .success();
+    assert!(ok, "kill failed");
+}
+
+/// The poison pill: aborts the whole server process the moment a worker
+/// picks it up. Crash 1 kills server #1; restart recovery books the crash,
+/// requeues, and the re-run kills server #2; the second restart books
+/// crash 2 and quarantines the job — while a sibling sweep completed
+/// before the poison and stays `done` with its results intact.
+#[test]
+fn aborting_job_is_quarantined_across_restarts_while_siblings_survive() {
+    let dir = temp_dir("abort-loop");
+    let mut first = spawn_server(&dir);
+    let addr = wait_addr(&dir);
+
+    // An honest sibling completes first (single worker: strict FIFO).
+    let sibling = submit(
+        &addr,
+        r#"{"kind":"sweep","netlist":"V1 in 0 DC 10\nR1 in out 3k\nR2 out 0 1k\nC1 out 0 1n\n.end\n","dt":1e-7,"stop":1e-5,"probes":["out"],"scales":[0.5,1.0]}"#,
+    );
+    wait_done(&addr, sibling);
+    let sibling_results =
+        std::fs::read_to_string(dir.join(format!("jobs/{sibling}/results.jsonl")))
+            .expect("sibling results");
+
+    // The poison pill takes the worker down with the whole process.
+    let poison = submit(&addr, r#"{"kind":"chaos","mode":"abort"}"#);
+    let status = wait_exit(&mut first, Duration::from_secs(30));
+    assert!(!status.success(), "an abort is not a clean exit");
+
+    // Restart #1: recovery books crash 1, requeues, and the re-run aborts
+    // the process again. No HTTP traffic — the abort races startup.
+    let mut second = spawn_server(&dir);
+    let status = wait_exit(&mut second, Duration::from_secs(30));
+    assert!(!status.success(), "the requeued poison must abort again");
+
+    // Restart #2: recovery books crash 2 and quarantines. This server
+    // lives: the poison job never reaches a worker again.
+    let third = spawn_server(&dir);
+    let addr = wait_addr(&dir);
+    let resp =
+        client::request(&addr, "GET", &format!("/jobs/{poison}"), None).expect("poison status");
+    let doc = json::parse(&resp.body).expect("status json");
+    assert_eq!(
+        doc.get("state").and_then(Json::as_str),
+        Some("quarantined"),
+        "{}",
+        resp.body
+    );
+    assert_eq!(doc.get("crashes").and_then(Json::as_u64), Some(2));
+    let reason = doc
+        .get("reason")
+        .and_then(Json::as_str)
+        .expect("quarantine reason");
+    assert!(reason.contains("2 consecutive worker crashes"), "{reason}");
+    let Some(Json::Arr(trail)) = doc.get("trail") else {
+        panic!("no failure trail: {}", resp.body)
+    };
+    assert_eq!(trail.len(), 2, "{trail:?}");
+
+    // The sibling survived every restart untouched.
+    let resp =
+        client::request(&addr, "GET", &format!("/jobs/{sibling}"), None).expect("sibling status");
+    assert!(resp.body.contains("\"done\""), "{}", resp.body);
+    let now = std::fs::read_to_string(dir.join(format!("jobs/{sibling}/results.jsonl")))
+        .expect("sibling results survive");
+    assert_eq!(
+        now, sibling_results,
+        "sibling results changed across crashes"
+    );
+
+    // The quarantine metric is exported, and the server still takes work.
+    let metrics = client::request(&addr, "GET", "/metrics", None)
+        .expect("metrics")
+        .body;
+    assert!(
+        metrics.contains("shil_serve_jobs_quarantined_total 1"),
+        "{metrics}"
+    );
+    let after = submit(
+        &addr,
+        r#"{"kind":"sweep","netlist":"V1 in 0 DC 10\nR1 in out 3k\nR2 out 0 1k\nC1 out 0 1n\n.end\n","dt":1e-7,"stop":1e-5,"probes":["out"],"scales":[2.0]}"#,
+    );
+    wait_done(&addr, after);
+
+    terminate(&third);
+    let mut third = third;
+    assert!(wait_exit(&mut third, Duration::from_secs(30)).success());
+}
+
+/// `serve` refuses to start when `--data-dir` cannot actually be written,
+/// with an actionable message on stderr — instead of accepting jobs it can
+/// never persist.
+#[test]
+fn unwritable_data_dir_fails_fast_at_startup() {
+    // A file where the jobs directory should be: create_dir_all fails.
+    let dir = temp_dir("probe");
+    std::fs::create_dir_all(&dir).unwrap();
+    let blocker = dir.join("data");
+    std::fs::write(&blocker, "not a directory").unwrap();
+
+    let out = Command::new(SERVE_BIN)
+        .args(["serve", "--quiet", "--data-dir"])
+        .arg(&blocker)
+        .output()
+        .expect("run shil-cli serve");
+    assert!(!out.status.success(), "must fail fast");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not writable") && stderr.contains("data"),
+        "unhelpful startup error: {stderr}"
+    );
+}

@@ -1,0 +1,375 @@
+//! Storage chaos suite: checkpointed sweeps driven over deterministic
+//! fault-injecting storage ([`shil_fault::FaultyStorage`]) must never lose
+//! data silently. Across 1000 seeds of short writes, ENOSPC, EIO, dropped
+//! flushes and torn renames, an interrupted-and-resumed sweep either
+//! completes **byte-identical** to an uninterrupted run or fails with a
+//! diagnosed storage error — no panics, no hangs, no wrong answers.
+//!
+//! On failure, each test prints the injector's failure trail (every
+//! injected fault with its op number and path), so a failing seed replays
+//! exactly.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use shil::circuit::analysis::SweepEngine;
+use shil::circuit::{CircuitError, SolveReport};
+use shil::runtime::{
+    checkpoint, Budget, CheckpointFile, CheckpointVersion, FsStorage, ItemOutcome, Storage,
+    SweepPolicy,
+};
+use shil_fault::{FaultyStorage, StorageFaultSpec};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shil-storage-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// The swept items: enough that interruptions land mid-file.
+const SCALES: [f64; 6] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+
+/// A cheap, fully deterministic item: the chaos suite stresses the storage
+/// layer, not the solver, so the "simulation" is a pure function whose
+/// exact bits must survive any crash/resume path.
+fn run_item(_: usize, scale: &f64, _: &Budget) -> Result<(f64, SolveReport), CircuitError> {
+    Ok((scale * 3.0 + scale.sin(), SolveReport::new()))
+}
+
+fn encode(v: &f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn decode(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// The byte-identity oracle: the exact bit pattern of every item value.
+fn reference_bits() -> Vec<u64> {
+    let sweep = SweepEngine::serial().run_checkpointed(
+        &SCALES,
+        &SweepPolicy::default(),
+        &Budget::unlimited(),
+        None,
+        run_item,
+        encode,
+        decode,
+    );
+    sweep
+        .items
+        .iter()
+        .map(|i| i.value.expect("reference item").to_bits())
+        .collect()
+}
+
+fn sweep_with(cp: &CheckpointFile) -> Vec<u64> {
+    let sweep = SweepEngine::serial().run_checkpointed(
+        &SCALES,
+        &SweepPolicy::default(),
+        &Budget::unlimited(),
+        Some(cp),
+        run_item,
+        encode,
+        decode,
+    );
+    assert!(!sweep.cancelled, "nothing cancels in this suite");
+    for item in &sweep.items {
+        assert_eq!(item.outcome, ItemOutcome::Ok, "{item:?}");
+    }
+    sweep
+        .items
+        .iter()
+        .map(|i| i.value.expect("item value").to_bits())
+        .collect()
+}
+
+/// 1000 seeds of injected I/O faults during a checkpointed run, then a
+/// resume on healed storage: every seed must end in byte-identical results
+/// or a loudly diagnosed storage error.
+#[test]
+fn thousand_seed_chaos_resume_is_byte_identical_or_diagnosed() {
+    let reference = reference_bits();
+    let dir = temp_dir("1000-seeds");
+    let path = dir.join("checkpoint.jsonl");
+    let fp = checkpoint::fingerprint("storage-chaos", &SCALES);
+    let mut faulted_runs = 0usize;
+    let mut diagnosed_opens = 0usize;
+    let mut corrupt_resumes = 0usize;
+
+    for seed in 0..1000u64 {
+        let _ = std::fs::remove_file(&path);
+        let faulty = FaultyStorage::over_fs(StorageFaultSpec {
+            rate: 0.15,
+            seed,
+            grace_ops: 0,
+        });
+
+        // Phase 1: a run over faulty storage. The open may fail loudly
+        // (diagnosed) — a run that starts absorbs append/flush faults as
+        // degraded durability and still computes correct in-memory values.
+        match CheckpointFile::open_with(&faulty, &path, &fp, SCALES.len()) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("storage")
+                        || msg.contains("injected")
+                        || msg.contains("checkpoint"),
+                    "seed {seed}: undiagnosed open failure: {msg}\ntrail:\n{}",
+                    faulty.trail().join("\n")
+                );
+                diagnosed_opens += 1;
+            }
+            Ok(cp) => {
+                let bits = sweep_with(&cp);
+                assert_eq!(
+                    bits,
+                    reference,
+                    "seed {seed}: in-memory values drifted under storage faults\ntrail:\n{}",
+                    faulty.trail().join("\n")
+                );
+            }
+        }
+        if !faulty.trail().is_empty() {
+            faulted_runs += 1;
+        }
+
+        // Phase 2 ("the process restarted, the disk healed"): resume over
+        // clean storage. Either the checkpoint opens — possibly skipping
+        // torn/corrupt records, which then re-run — and the sweep finishes
+        // byte-identical, or the open fails with a diagnosed corruption
+        // and a fresh checkpoint completes the job.
+        match CheckpointFile::open_with(&FsStorage, &path, &fp, SCALES.len()) {
+            Ok(cp) => {
+                if cp.durability().saw_corruption() {
+                    corrupt_resumes += 1;
+                }
+                let bits = sweep_with(&cp);
+                assert_eq!(
+                    bits, reference,
+                    "seed {seed}: resumed values differ from a clean run"
+                );
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("checkpoint"),
+                    "seed {seed}: undiagnosed resume failure: {msg}"
+                );
+                // The operator remedy — discard the corrupt file — must
+                // always converge to the clean-run answer.
+                std::fs::remove_file(&path).expect("remove corrupt checkpoint");
+                let cp = CheckpointFile::open_with(&FsStorage, &path, &fp, SCALES.len())
+                    .expect("fresh checkpoint after discard");
+                assert_eq!(sweep_with(&cp), reference, "seed {seed}: fresh rerun");
+            }
+        }
+    }
+
+    // The suite is vacuous if the injector never fired.
+    assert!(
+        faulted_runs > 400,
+        "only {faulted_runs}/1000 seeds injected faults"
+    );
+    println!(
+        "chaos: {faulted_runs}/1000 seeds faulted, {diagnosed_opens} diagnosed open failures, \
+         {corrupt_resumes} resumes over corrupt files"
+    );
+}
+
+/// Mid-file corruption of a sealed v2 checkpoint: the resumed run re-runs
+/// exactly the invalidated item and byte-matches an uninterrupted run.
+#[test]
+fn mid_file_corruption_reruns_exactly_the_invalidated_items() {
+    let reference = reference_bits();
+    let dir = temp_dir("corrupt");
+    let path = dir.join("checkpoint.jsonl");
+    let fp = checkpoint::fingerprint("storage-chaos", &SCALES);
+
+    // A clean, complete, sealed run.
+    {
+        let cp = CheckpointFile::open_with(&FsStorage, &path, &fp, SCALES.len()).unwrap();
+        assert_eq!(sweep_with(&cp), reference);
+    }
+
+    // Flip one byte inside the *third* record's JSON body (a mid-file
+    // line, not the tolerated torn tail).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= SCALES.len() + 2, "header + records + seal");
+    let mut corrupted: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    corrupted[3] = corrupted[3].replacen("\"item\":", "\"itym\":", 1);
+    std::fs::write(&path, corrupted.join("\n") + "\n").unwrap();
+
+    // Resume: the corrupt record is skipped and counted, every other item
+    // restores, and only the invalidated one re-executes.
+    let live = Arc::new(AtomicUsize::new(0));
+    let cp = CheckpointFile::open_with(&FsStorage, &path, &fp, SCALES.len()).unwrap();
+    assert_eq!(cp.version(), CheckpointVersion::V2);
+    let report = cp.durability();
+    assert_eq!(report.corrupt_records, 1, "{report:?}");
+    assert!(report.saw_corruption());
+    assert_eq!(cp.restored().len(), SCALES.len() - 1);
+    let live_in = Arc::clone(&live);
+    let sweep = SweepEngine::serial().run_checkpointed(
+        &SCALES,
+        &SweepPolicy::default(),
+        &Budget::unlimited(),
+        Some(&cp),
+        move |i, scale, b| {
+            live_in.fetch_add(1, Ordering::SeqCst);
+            run_item(i, scale, b)
+        },
+        encode,
+        decode,
+    );
+    let bits: Vec<u64> = sweep
+        .items
+        .iter()
+        .map(|i| i.value.expect("item value").to_bits())
+        .collect();
+    assert_eq!(bits, reference, "corruption recovery must byte-match");
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        1,
+        "exactly the invalidated item re-executes"
+    );
+    assert_eq!(
+        sweep.items.iter().filter(|i| i.restored).count(),
+        SCALES.len() - 1
+    );
+}
+
+/// A v1 (pre-CRC) checkpoint keeps resuming after the v2 upgrade: the
+/// reader stays in v1 framing for the whole file, restored items come
+/// back bit-exact, and the finished sweep byte-matches a clean run.
+#[test]
+fn v1_checkpoint_resumes_under_the_v2_reader() {
+    let reference = reference_bits();
+    let dir = temp_dir("v1-compat");
+    let path = dir.join("checkpoint.jsonl");
+    let fp = checkpoint::fingerprint("storage-chaos", &SCALES);
+
+    // Hand-write a v1 file: bare JSON header + bare record lines for the
+    // first three items, exactly as the pre-v2 writer laid them out.
+    let mut text = format!(
+        "{{\"schema\":\"shil-runtime/checkpoint/v1\",\"fingerprint\":\"{fp}\",\"items\":{}}}\n",
+        SCALES.len()
+    );
+    for (i, scale) in SCALES.iter().take(3).enumerate() {
+        let rec = shil::runtime::CheckpointRecord {
+            index: i,
+            outcome: ItemOutcome::Ok,
+            tries: 1,
+            wall_s: 0.0,
+            counters: Default::default(),
+            payload: encode(&(scale * 3.0 + scale.sin())),
+        };
+        text.push_str(&rec.to_line());
+        text.push('\n');
+    }
+    std::fs::write(&path, text).unwrap();
+
+    let live = Arc::new(AtomicUsize::new(0));
+    let cp = CheckpointFile::open_with(&FsStorage, &path, &fp, SCALES.len()).unwrap();
+    assert_eq!(cp.version(), CheckpointVersion::V1);
+    assert_eq!(cp.restored().len(), 3);
+    let live_in = Arc::clone(&live);
+    let sweep = SweepEngine::serial().run_checkpointed(
+        &SCALES,
+        &SweepPolicy::default(),
+        &Budget::unlimited(),
+        Some(&cp),
+        move |i, scale, b| {
+            live_in.fetch_add(1, Ordering::SeqCst);
+            run_item(i, scale, b)
+        },
+        encode,
+        decode,
+    );
+    let bits: Vec<u64> = sweep
+        .items
+        .iter()
+        .map(|i| i.value.expect("item value").to_bits())
+        .collect();
+    assert_eq!(bits, reference, "v1 resume must byte-match a clean run");
+    assert_eq!(live.load(Ordering::SeqCst), 3, "three items were pending");
+    // Appended lines honoured the file's v1 framing: every line is bare
+    // JSON, none carries a CRC frame, and the v1 file is never sealed.
+    let text = std::fs::read_to_string(&path).unwrap();
+    for line in text.lines() {
+        assert!(line.ends_with('}'), "v1 line got framed: {line}");
+    }
+    assert!(!text.contains("\"seal\""), "v1 files must stay seal-free");
+}
+
+/// The checkpoint durability counters flow through the global registry:
+/// a write/seal/replay cycle moves every `shil_runtime_checkpoint_*`
+/// counter that the cycle exercises, plus the storage rename counter.
+#[test]
+fn checkpoint_counters_flow_through_the_registry() {
+    shil::observe::set_enabled(true);
+    let base = shil::observe::snapshot();
+    let dir = temp_dir("counters");
+    let path = dir.join("checkpoint.jsonl");
+    let fp = checkpoint::fingerprint("storage-chaos", &SCALES);
+    {
+        let cp = CheckpointFile::open_with(&FsStorage, &path, &fp, SCALES.len()).unwrap();
+        sweep_with(&cp);
+    }
+    {
+        let cp = CheckpointFile::open_with(&FsStorage, &path, &fp, SCALES.len()).unwrap();
+        assert_eq!(cp.restored().len(), SCALES.len());
+    }
+    FsStorage
+        .replace(&dir.join("results.jsonl"), b"x\n")
+        .unwrap();
+    let now = shil::observe::snapshot();
+    let moved = |name: &str, at_least: u64| {
+        let delta = now.counter(name).saturating_sub(base.counter(name));
+        assert!(
+            delta >= at_least,
+            "{name} moved {delta}, wanted >= {at_least}"
+        );
+    };
+    moved(
+        "shil_runtime_checkpoint_records_written_total",
+        SCALES.len() as u64,
+    );
+    moved(
+        "shil_runtime_checkpoint_records_replayed_total",
+        SCALES.len() as u64,
+    );
+    moved("shil_runtime_checkpoint_bytes_appended_total", 100);
+    moved("shil_runtime_checkpoint_seals_total", 1);
+    moved("shil_runtime_storage_renames_total", 1);
+}
+
+/// Atomic replacement under torn renames: a faulted `replace` must report
+/// its error (never silently succeed), and a healed retry fully repairs
+/// the destination — the half-replaced window is bounded to the fault.
+#[test]
+fn torn_renames_are_reported_and_heal_on_retry() {
+    let dir = temp_dir("torn-rename");
+    let path = dir.join("results.jsonl");
+    let good = "line one\nline two\nline three\n";
+    FsStorage.replace(&path, good.as_bytes()).unwrap();
+
+    let faulty = FaultyStorage::over_fs(StorageFaultSpec {
+        rate: 1.0,
+        seed: 42,
+        grace_ops: 0,
+    });
+    let replacement = "new one\nnew two\nnew three\n";
+    let err = faulty
+        .replace(&path, replacement.as_bytes())
+        .expect_err("rate-1.0 storage must fail the replace");
+    assert!(err.to_string().contains("injected"), "{err}");
+    assert!(!faulty.trail().is_empty(), "fault must be on the trail");
+
+    // Whatever the torn rename left behind, a healed retry converges.
+    faulty.disarm();
+    faulty.replace(&path, replacement.as_bytes()).unwrap();
+    assert_eq!(FsStorage.read(&path).unwrap(), replacement);
+}
